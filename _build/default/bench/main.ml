@@ -1,0 +1,78 @@
+(* The benchmark harness: regenerates every table and figure of the paper
+   (printing the reproduced rows next to the paper's numbers), then runs
+   one Bechamel micro-benchmark per experiment measuring the wall-clock
+   cost of regenerating it on this machine.
+
+     dune exec bench/main.exe                 # tables + bechamel
+     dune exec bench/main.exe -- --no-bechamel  # reproduction output only
+*)
+
+let experiments : (string * (unit -> Harness.Report.t)) list =
+  [
+    ("table1", Harness.Table1.run);
+    ("table2", Harness.Table2.run);
+    ("table3", Harness.Table3.run);
+    ("table4", Harness.Table4.run);
+    ("table5", Harness.Table5.run);
+    ("table6", Harness.Table6.run);
+    ("table7", Harness.Table7.run);
+    ("table8", fun () -> Harness.Table8.run ~requests:25 ());
+    ("figure2", Harness.Figure2.run);
+    ("microcosts", Harness.Microcosts.run);
+    ("ablation", Harness.Ablation.run);
+    ("ablation-security", Harness.Ablation.security_only);
+    ("ablation-bound", Harness.Ablation.bound_instruction);
+    ("ablation-efence", Harness.Ablation.efence);
+  ]
+
+let print_reproduction () =
+  print_endline
+    "=====================================================================";
+  print_endline
+    " Cash reproduction: every table and figure of the DSN 2005 paper";
+  print_endline
+    "=====================================================================";
+  List.iter
+    (fun (_, run) -> Harness.Report.print (run ()))
+    experiments
+
+(* --- bechamel: one Test.make per table ---------------------------------- *)
+
+open Bechamel
+open Toolkit
+
+let tests =
+  Test.make_grouped ~name:"experiments" ~fmt:"%s/%s"
+    (List.map
+       (fun (name, run) ->
+         Test.make ~name (Staged.stage (fun () -> ignore (run ()))))
+       experiments)
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "\n== bechamel: wall-clock per experiment regeneration ==";
+  Printf.printf "%-28s %16s\n" "experiment" "time per run";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] ->
+        let ms = est /. 1e6 in
+        Printf.printf "%-28s %13.1f ms\n" name ms
+      | _ -> Printf.printf "%-28s %16s\n" name "n/a")
+    results
+
+let () =
+  let no_bechamel =
+    Array.exists (fun a -> a = "--no-bechamel") Sys.argv
+  in
+  print_reproduction ();
+  if not no_bechamel then run_bechamel ()

@@ -1,0 +1,92 @@
+(* cashc: compile and run a mini-C file on the simulated machine.
+
+     dune exec bin/cashc.exe -- prog.c                 # Cash, 3 registers
+     dune exec bin/cashc.exe -- --compiler gcc prog.c
+     dune exec bin/cashc.exe -- --compiler bcc --stats prog.c
+     dune exec bin/cashc.exe -- --dump-asm prog.c      # print generated code
+*)
+
+open Cmdliner
+
+let backend_conv =
+  let all =
+    [ ("gcc", Core.gcc); ("bcc", Core.bcc); ("cash", Core.cash);
+      ("cash2", Core.cash_n 2); ("cash4", Core.cash_n 4) ]
+  in
+  Arg.enum all
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"mini-C source file")
+
+let backend =
+  Arg.(value & opt backend_conv Core.cash &
+       info [ "c"; "compiler" ] ~doc:"Compiler: gcc, bcc, cash, cash2, cash4.")
+
+let stats =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print static and dynamic statistics.")
+
+let dump_asm =
+  Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the generated code and exit.")
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run file backend stats dump_asm =
+  let source = read_file file in
+  match Core.compile backend source with
+  | exception Minic.Lexer.Lex_error (m, l) ->
+    Printf.eprintf "%s:%d: lexical error: %s\n" file l m; 1
+  | exception Minic.Parser.Parse_error (m, l) ->
+    Printf.eprintf "%s:%d: parse error: %s\n" file l m; 1
+  | exception Minic.Typecheck.Type_error m ->
+    Printf.eprintf "%s: type error: %s\n" file m; 1
+  | compiled ->
+    if dump_asm then begin
+      Fmt.pr "%a@." Machine.Program.pp compiled.Compilers.Codegen.program;
+      0
+    end
+    else begin
+      let r = Core.run compiled in
+      print_string r.Core.output;
+      let exit_code =
+        match r.Core.status with
+        | Core.Finished -> 0
+        | Core.Bound_violation m ->
+          Printf.eprintf "bound violation: %s\n" m; 2
+        | Core.Crashed m ->
+          Printf.eprintf "fault: %s\n" m; 3
+      in
+      if stats then begin
+        let i = Core.static_info compiled in
+        Printf.eprintf
+          "cycles: %d\ninstructions: %d\ncode bytes: %d\ndata bytes: %d\n\
+           hw checks (static): %d\nsw checks (static): %d\n\
+           bcc checks (static): %d\nsw checks executed: %d\n"
+          r.Core.cycles r.Core.insns i.Core.code_bytes i.Core.data_bytes
+          i.Core.hw_checks i.Core.sw_checks i.Core.bcc_checks
+          (Core.stat_sum r ~prefix:"__stat_swc_");
+        match r.Core.runtime with
+        | Some rt ->
+          let c = Cashrt.Runtime.cache rt in
+          Printf.eprintf
+            "segment allocations: %d\nsegment cache hits/misses: %d/%d\n\
+             peak live segments: %d\n"
+            (Cashrt.Runtime.stats rt).Cashrt.Runtime.seg_allocs
+            (Cashrt.Seg_cache.hits c) (Cashrt.Seg_cache.misses c)
+            (Cashrt.Segment_pool.peak_live (Cashrt.Runtime.pool rt))
+        | None -> ()
+      end;
+      exit_code
+    end
+
+let cmd =
+  let doc = "compile and run mini-C on the simulated segmented x86" in
+  Cmd.v (Cmd.info "cashc" ~doc)
+    Term.(const run $ file $ backend $ stats $ dump_asm)
+
+let () = exit (Cmd.eval' cmd)

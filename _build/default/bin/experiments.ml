@@ -1,0 +1,62 @@
+(* Run the paper's experiments and print the reproduced tables.
+
+     dune exec bin/experiments.exe            # everything
+     dune exec bin/experiments.exe -- table1 figure2
+     dune exec bin/experiments.exe -- --requests 100 table8
+*)
+
+let experiments =
+  [
+    ("table1", fun _ -> Harness.Report.print (Harness.Table1.run ()));
+    ("table2", fun _ -> Harness.Report.print (Harness.Table2.run ()));
+    ("table3", fun _ -> Harness.Report.print (Harness.Table3.run ()));
+    ("table4", fun _ -> Harness.Report.print (Harness.Table4.run ()));
+    ("table5", fun _ -> Harness.Report.print (Harness.Table5.run ()));
+    ("table6", fun _ -> Harness.Report.print (Harness.Table6.run ()));
+    ("table7", fun _ -> Harness.Report.print (Harness.Table7.run ()));
+    ( "table8",
+      fun requests ->
+        Harness.Report.print (Harness.Table8.run ~requests ()) );
+    ("figure2", fun _ -> Harness.Report.print (Harness.Figure2.run ()));
+    ("microcosts", fun _ -> Harness.Report.print (Harness.Microcosts.run ()));
+    ( "ablation",
+      fun _ ->
+        Harness.Report.print (Harness.Ablation.run ());
+        Harness.Report.print (Harness.Ablation.sw_check_dynamics ()) );
+    ( "security",
+      fun _ -> Harness.Report.print (Harness.Ablation.security_only ()) );
+    ( "bound",
+      fun _ -> Harness.Report.print (Harness.Ablation.bound_instruction ()) );
+    ( "efence",
+      fun _ -> Harness.Report.print (Harness.Ablation.efence ()) );
+  ]
+
+let names = List.map fst experiments
+
+open Cmdliner
+
+let selected =
+  let doc =
+    Printf.sprintf "Experiments to run (default: all). One of: %s."
+      (String.concat ", " names)
+  in
+  Arg.(value & pos_all (enum (List.map (fun n -> (n, n)) names)) [] &
+       info [] ~docv:"EXPERIMENT" ~doc)
+
+let requests =
+  let doc = "Requests per server for table8." in
+  Arg.(value & opt int Harness.Table8.default_requests &
+       info [ "requests" ] ~doc)
+
+let run selected requests =
+  let to_run = if selected = [] then names else selected in
+  List.iter
+    (fun name -> (List.assoc name experiments) requests)
+    to_run
+
+let cmd =
+  let doc = "reproduce the tables and figures of the Cash paper (DSN 2005)" in
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(const run $ selected $ requests)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,37 @@
+(* A simulated network server under load: fork one child per request (the
+   paper's Apache setup, §4.4) and measure the latency and throughput
+   penalty of Cash's bound checking.
+
+     dune exec examples/network_server.exe
+*)
+
+let requests = 25
+
+let serve backend source =
+  let kernel = Osim.Kernel.create () in
+  let compiled = Core.compile backend source in
+  let records =
+    Osim.Scheduler.serve ~kernel ~requests (fun _ ->
+        let run = Core.run ~kernel compiled in
+        assert (run.Core.status = Core.Finished);
+        run.Core.process)
+  in
+  (Osim.Scheduler.latency records, Osim.Scheduler.throughput records)
+
+let () =
+  let source = Workloads.Netapps.apache () in
+  Printf.printf "serving %d HTTP requests per compiler...\n\n" requests;
+  let glat, gthr = serve Core.gcc source in
+  let clat, cthr = serve Core.cash source in
+  let blat, bthr = serve Core.bcc source in
+  Printf.printf "%-16s %14s %22s\n" "compiler" "latency (cyc)"
+    "throughput (req/Gcyc)";
+  Printf.printf "%-16s %14.0f %22.1f\n" "gcc (unchecked)" glat gthr;
+  Printf.printf "%-16s %14.0f %22.1f\n" "cash" clat cthr;
+  Printf.printf "%-16s %14.0f %22.1f\n" "bcc" blat bthr;
+  Printf.printf "\nCash latency penalty: %.1f%%  (paper Table 8, Apache: 3.3%%)\n"
+    (100.0 *. (clat /. glat -. 1.0));
+  Printf.printf "Cash throughput penalty: %.1f%%  (paper: 3.2%%)\n"
+    (100.0 *. (1.0 -. (cthr /. gthr)));
+  Printf.printf "BCC latency penalty: %.1f%%\n"
+    (100.0 *. (blat /. glat -. 1.0))

@@ -1,0 +1,82 @@
+(* Overflow-detection matrix: run classic buffer-overflow shapes under
+   all three compilers and show who catches what, and how (§3.8).
+
+     dune exec examples/overflow_detection.exe
+*)
+
+let scenarios =
+  [
+    ( "strcpy-style attack (string longer than buffer)",
+      {|
+char dst[12];
+int main() {
+  char *payload = "AAAAAAAAAAAAAAAAAAAAAAAAAAAA\x41\x41\x41\x41";
+  int i = 0;
+  while (payload[i] != 0) { dst[i] = payload[i]; i++; }
+  return 0;
+}
+|} );
+    ( "heap buffer overrun through malloc'd pointer",
+      {|
+int main() {
+  int *p = (int*)malloc(8 * sizeof(int));
+  int i;
+  for (i = 0; i < 16; i++) p[i] = i;
+  free(p);
+  return 0;
+}
+|} );
+    ( "negative index (lower-bound violation)",
+      {|
+int secrets[4];
+int buf[4];
+int main() {
+  int i;
+  for (i = 3; i >= -4; i--) buf[i] = 7; /* walks down into secrets */
+  return 0;
+}
+|} );
+    ( "read overrun leaking adjacent memory",
+      {|
+char key[8];
+char packet[8];
+int main() {
+  int i; int leak = 0;
+  for (i = 0; i < 16; i++) leak += packet[i]; /* reads past packet into key */
+  print_int(leak);
+  return 0;
+}
+|} );
+    ( "off-by-one outside any loop (Cash's documented blind spot)",
+      {|
+int buf[4];
+int main() {
+  buf[4] = 1;
+  return 0;
+}
+|} );
+  ]
+
+let describe = function
+  | Core.Finished -> "NOT caught (ran to completion)"
+  | Core.Bound_violation m ->
+    if String.length m >= 3 && String.sub m 0 3 = "#BR" then
+      "caught by SOFTWARE check (" ^ m ^ ")"
+    else "caught by SEGMENT HARDWARE (" ^ m ^ ")"
+  | Core.Crashed m -> "crashed incidentally (" ^ m ^ ")"
+
+let () =
+  List.iter
+    (fun (name, src) ->
+      Printf.printf "--- %s ---\n" name;
+      List.iter
+        (fun (bname, b) ->
+          Printf.printf "  %-5s %s\n" bname
+            (describe (Core.exec b src).Core.status))
+        [ ("gcc", Core.gcc); ("bcc", Core.bcc); ("cash", Core.cash) ];
+      print_newline ())
+    scenarios;
+  print_endline
+    "Cash catches in-loop violations in hardware at zero per-reference \
+     cost;\nBCC catches everything in software at ~2x runtime; GCC catches \
+     nothing."

@@ -1,0 +1,1 @@
+lib/cashrt/runtime.ml: Machine Osim Seg_cache Seghw Segment_pool

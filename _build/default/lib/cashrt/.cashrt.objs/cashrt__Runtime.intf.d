@@ -1,0 +1,1 @@
+lib/cashrt/runtime.mli: Machine Osim Seg_cache Segment_pool

@@ -1,0 +1,1 @@
+lib/cashrt/seg_cache.ml: List

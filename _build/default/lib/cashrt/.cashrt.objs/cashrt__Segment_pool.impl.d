@@ -1,0 +1,1 @@
+lib/cashrt/segment_pool.ml: List Printf Seghw

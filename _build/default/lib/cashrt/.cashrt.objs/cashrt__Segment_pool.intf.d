@@ -1,0 +1,1 @@
+lib/cashrt/segment_pool.mli:

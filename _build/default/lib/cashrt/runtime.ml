@@ -1,0 +1,201 @@
+(* The Cash runtime library: the user-space support code the Cash compiler
+   links into every program.
+
+   Exposed to simulated programs as host externals:
+
+     cash_startup()                      — per-program initialisation:
+                                           installs the call gate
+                                           (set_ldt_callgate syscall) and
+                                           the free_ldt_entry list. This is
+                                           the paper's 543-cycle
+                                           per-program overhead.
+     cash_seg_init(info, base, size)     — allocate a segment for an array
+                                           and fill its 3-word information
+                                           structure. The 263-cycle
+                                           per-array overhead: ~10 cycles
+                                           of user-space list work plus a
+                                           253-cycle call-gate entry on a
+                                           segment-cache miss.
+     cash_seg_free(info)                 — release an array's segment into
+                                           the 3-entry reuse cache (never
+                                           enters the kernel).
+     cash_malloc(size) / cash_free(ptr)  — the modified malloc/free: carve
+                                           a 3-word info structure in front
+                                           of the buffer and manage its
+                                           segment.
+
+   Information-structure layout (matching the paper's §3.3 code example,
+   where `movw 0(%ecx),%gs` loads the selector and `subl 4(%ecx),%eax`
+   subtracts the base):
+
+     info+0 : segment selector (16 bits, zero-extended)
+     info+4 : segment base — equals the array's lower bound for arrays
+              <= 1 MiB; for larger arrays it is the 4 KiB-granular base,
+              up to 4095 bytes below the array (Figure 2's slack)
+     info+8 : the array's upper bound (one past the last byte; coincides
+              with the end of the segment by construction, §3.5) *)
+
+type stats = {
+  mutable seg_allocs : int;       (* cash_seg_init + cash_malloc calls *)
+  mutable global_fallbacks : int; (* allocations served by the flat segment *)
+}
+
+type t = {
+  kernel : Osim.Kernel.t;
+  process : Osim.Process.t;
+  pool : Segment_pool.t;
+  cache : Seg_cache.t;
+  stats : stats;
+  mutable started : bool;
+}
+
+(* User-space cycle charges (the list/cache manipulation code we do not
+   simulate instruction-by-instruction). Chosen so that the per-array cost
+   on a cache miss is ~263 cycles, the paper's measurement: 253 (gate) +
+   [pool_cycles]. *)
+let pool_cycles = 10
+let freelist_init_cycles = 43
+
+let info_size = 12
+
+let create ?pool_capacity ~kernel ~process () =
+  {
+    kernel;
+    process;
+    pool = Segment_pool.create ?capacity:pool_capacity ();
+    cache = Seg_cache.create ();
+    stats = { seg_allocs = 0; global_fallbacks = 0 };
+    started = false;
+  }
+
+let pool t = t.pool
+let cache t = t.cache
+let stats t = t.stats
+
+let read32 t linear =
+  let phys =
+    Seghw.Mmu.translate_linear (Osim.Process.mmu t.process) ~linear
+      ~write:false
+  in
+  Machine.Phys_mem.read32 (Osim.Process.phys t.process) phys
+
+let write32 t linear v =
+  let phys =
+    Seghw.Mmu.translate_linear (Osim.Process.mmu t.process) ~linear
+      ~write:true
+  in
+  Machine.Phys_mem.write32 (Osim.Process.phys t.process) phys v
+
+(* Segment geometry for an array (§3.5): byte-exact for <= 1 MiB; for
+   larger arrays, the minimal multiple of 4 KiB with the array's end
+   aligned to the segment's end. *)
+let segment_geometry ~base ~size =
+  if size <= 1 lsl 20 then (base, size)
+  else begin
+    let pages = (size + 4095) / 4096 in
+    let seg_size = pages * 4096 in
+    (base + size - seg_size, seg_size)
+  end
+
+let selector_for_index index =
+  Seghw.Selector.make ~index ~table:Seghw.Selector.Ldt ~rpl:3
+
+(* Allocate (or reuse) a segment covering [base, base+size) and return its
+   selector. Falls back to the flat data segment when the pool is empty. *)
+let allocate_segment t cpu ~base ~size =
+  t.stats.seg_allocs <- t.stats.seg_allocs + 1;
+  Machine.Cpu.add_cycles cpu pool_cycles;
+  let seg_base, seg_size = segment_geometry ~base ~size in
+  match Seg_cache.take_matching t.cache ~base:seg_base ~size:seg_size with
+  | Some index -> selector_for_index index
+  | None ->
+    (match Segment_pool.allocate t.pool with
+     | None ->
+       t.stats.global_fallbacks <- t.stats.global_fallbacks + 1;
+       Osim.Kernel.user_data_selector
+     | Some index ->
+       Osim.Kernel.invoke_cash_modify_ldt t.kernel cpu
+         ~ldt:(Osim.Process.ldt t.process) ~index ~base:seg_base
+         ~size:seg_size ~writable:true;
+       selector_for_index index)
+
+(* Release a segment by selector: LDT segments are parked in the reuse
+   cache; the flat-segment fallback has nothing to release. *)
+let release_segment t cpu ~selector ~seg_base ~seg_size =
+  Machine.Cpu.add_cycles cpu pool_cycles;
+  if Seghw.Selector.table selector = Seghw.Selector.Ldt then begin
+    let index = Seghw.Selector.index selector in
+    match Seg_cache.park t.cache ~index ~base:seg_base ~size:seg_size with
+    | None -> ()
+    | Some evicted -> Segment_pool.release t.pool evicted
+  end
+
+let fill_info t ~info ~selector ~seg_base ~upper =
+  write32 t info (Seghw.Selector.to_int selector);
+  write32 t (info + 4) seg_base;
+  write32 t (info + 8) upper
+
+let seg_init t cpu ~info ~base ~size =
+  if not t.started then
+    Seghw.Fault.gp "cash_seg_init before cash_startup";
+  let selector = allocate_segment t cpu ~base ~size in
+  if Seghw.Selector.table selector = Seghw.Selector.Ldt then begin
+    let seg_base, _ = segment_geometry ~base ~size in
+    fill_info t ~info ~selector ~seg_base ~upper:(base + size)
+  end
+  else
+    (* global-segment fallback (§3.4): the flat segment starts at 0 and
+       covers everything — offsets equal linear addresses and both the
+       hardware and software checks become vacuous *)
+    fill_info t ~info ~selector ~seg_base:0 ~upper:0xFFFFFFFF
+
+let seg_free t cpu ~info =
+  let selector = Seghw.Selector.of_int (read32 t info land 0xFFFF) in
+  let seg_base = read32 t (info + 4) in
+  let upper = read32 t (info + 8) in
+  release_segment t cpu ~selector ~seg_base ~seg_size:(upper - seg_base)
+
+(* Register all runtime externals on the process's CPU. *)
+let install t =
+  let cpu = Osim.Process.cpu t.process in
+  let libc = Osim.Process.libc t.process in
+  Machine.Cpu.register_external cpu "cash_startup" (fun cpu ->
+      Osim.Kernel.invoke_set_ldt_callgate t.kernel cpu
+        ~ldt:(Osim.Process.ldt t.process);
+      Machine.Cpu.add_cycles cpu freelist_init_cycles;
+      t.started <- true);
+  Machine.Cpu.register_external cpu "cash_seg_init" (fun cpu ->
+      let info = Machine.Cpu.arg_int cpu 0 in
+      let base = Machine.Cpu.arg_int cpu 1 in
+      let size = Machine.Cpu.arg_int cpu 2 in
+      seg_init t cpu ~info ~base ~size);
+  Machine.Cpu.register_external cpu "cash_seg_free" (fun cpu ->
+      let info = Machine.Cpu.arg_int cpu 0 in
+      seg_free t cpu ~info);
+  Machine.Cpu.register_external cpu "cash_malloc" (fun cpu ->
+      Machine.Cpu.add_cycles cpu Osim.Libc.malloc_cycles;
+      let size = Machine.Cpu.arg_int cpu 0 in
+      let block = Osim.Libc.alloc libc (info_size + size) in
+      let base = block + info_size in
+      seg_init t cpu ~info:block ~base ~size;
+      Machine.Cpu.return_int cpu base;
+      (* The info-structure address travels in ECX so the caller can bind
+         it to the pointer's shadow word. *)
+      Machine.Registers.set (Machine.Cpu.regs cpu) Machine.Registers.ECX
+        block);
+  Machine.Cpu.register_external cpu "cash_free" (fun cpu ->
+      Machine.Cpu.add_cycles cpu Osim.Libc.free_cycles;
+      let ptr = Machine.Cpu.arg_int cpu 0 in
+      let info = ptr - info_size in
+      seg_free t cpu ~info;
+      Osim.Libc.release libc info)
+
+(* Convenience: build and install the runtime for a loaded process.
+   [pool_capacity] below the architectural 8191 exercises the
+   pool-exhaustion fallback (§3.4) cheaply. *)
+let attach ?pool_capacity process =
+  let t =
+    create ?pool_capacity ~kernel:(Osim.Process.kernel process) ~process ()
+  in
+  install t;
+  t

@@ -1,0 +1,53 @@
+(** The Cash runtime: the user-space support code the Cash compiler links
+    into every program, exposed to simulated programs as host externals —
+    [cash_startup] (the 543-cycle per-program setup: call gate +
+    free-list), [cash_seg_init]/[cash_seg_free] (the 263-cycle per-array
+    segment lifecycle through the pool and 3-entry cache), and
+    [cash_malloc]/[cash_free] (§3.4's modified allocator, carving the
+    3-word information structure in front of each buffer).
+
+    Information-structure layout (§3.3): info+0 selector, info+4 segment
+    base, info+8 the array's upper bound. *)
+
+type stats = {
+  mutable seg_allocs : int;
+  mutable global_fallbacks : int;
+      (** allocations served by the flat segment after pool exhaustion:
+          bound checking disabled for those objects (§3.4) *)
+}
+
+type t
+
+val pool_cycles : int
+val freelist_init_cycles : int
+
+(** Bytes of the per-object information structure (3 words). *)
+val info_size : int
+
+val create :
+  ?pool_capacity:int -> kernel:Osim.Kernel.t -> process:Osim.Process.t ->
+  unit -> t
+
+val pool : t -> Segment_pool.t
+val cache : t -> Seg_cache.t
+val stats : t -> stats
+
+(** Segment geometry for an array (§3.5): byte-exact for sizes up to
+    1 MiB; above, the minimal multiple of 4 KiB with the array's end
+    aligned to the segment's end. Returns (segment base, segment size). *)
+val segment_geometry : base:int -> size:int -> int * int
+
+(** Allocate (or reuse from the cache) a segment for the array at
+    [base] and fill its information structure at [info]. Raises [#GP]
+    before [cash_startup] has run. *)
+val seg_init : t -> Machine.Cpu.t -> info:int -> base:int -> size:int -> unit
+
+(** Release into the 3-entry cache (never enters the kernel). *)
+val seg_free : t -> Machine.Cpu.t -> info:int -> unit
+
+(** Register all runtime externals on the process's CPU. *)
+val install : t -> unit
+
+(** [attach ?pool_capacity process] builds and installs the runtime.
+    Shrunken capacities exercise the §3.4 exhaustion fallback. *)
+val attach : ?pool_capacity:int -> Osim.Process.t -> t

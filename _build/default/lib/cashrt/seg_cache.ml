@@ -1,0 +1,68 @@
+(* The 3-entry most-recently-freed segment cache (§3.6, third optimisation).
+
+   Freeing a segment never modifies the LDT; the descriptor stays valid in
+   its entry. So Cash parks the three most recently freed segments here,
+   and a subsequent allocation whose base and limit match a parked segment
+   reuses the LDT entry without entering the kernel. This is what makes
+   functions with local arrays called inside loops cheap: every call after
+   the first hits the cache.
+
+   Eviction pushes the victim's LDT entry back to the free pool (its stale
+   descriptor is harmless: the entry is not referenced by any loaded
+   segment register, and the next allocation overwrites it). *)
+
+type entry = { index : int; base : int; size : int }
+
+type t = {
+  mutable entries : entry list; (* most recent first, length <= capacity *)
+  capacity : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 3) () = { entries = []; capacity; hits = 0; misses = 0 }
+
+(* Try to reuse a cached segment with exactly this base and size. *)
+let take_matching t ~base ~size =
+  let rec split acc = function
+    | [] -> None
+    | e :: rest when e.base = base && e.size = size ->
+      t.entries <- List.rev_append acc rest;
+      Some e.index
+    | e :: rest -> split (e :: acc) rest
+  in
+  match split [] t.entries with
+  | Some idx ->
+    t.hits <- t.hits + 1;
+    Some idx
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+(* Park a freed segment; returns the evicted LDT entry, if any, which the
+   caller must return to the free pool. *)
+let park t ~index ~base ~size =
+  let entries = { index; base; size } :: t.entries in
+  if List.length entries <= t.capacity then begin
+    t.entries <- entries;
+    None
+  end
+  else begin
+    let rec take_front n = function
+      | [] -> ([], [])
+      | x :: rest ->
+        if n = 0 then ([], x :: rest)
+        else
+          let kept, dropped = take_front (n - 1) rest in
+          (x :: kept, dropped)
+    in
+    let kept, dropped = take_front t.capacity entries in
+    t.entries <- kept;
+    match dropped with
+    | [ victim ] -> Some victim.index
+    | _ -> assert false (* we only ever exceed capacity by one *)
+  end
+
+let hits t = t.hits
+let misses t = t.misses
+let size t = List.length t.entries

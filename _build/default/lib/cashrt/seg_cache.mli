@@ -1,0 +1,20 @@
+(** The 3-entry most-recently-freed segment cache (§3.6). Freeing never
+    modifies the LDT, so freed segments are parked here and an allocation
+    matching a parked (base, size) reuses the entry without entering the
+    kernel — what makes local-array functions called in loops cheap. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+(** Take a parked segment matching exactly this geometry; counts a hit
+    or miss. *)
+val take_matching : t -> base:int -> size:int -> int option
+
+(** Park a freed segment; returns the evicted (oldest) LDT entry, if any,
+    which the caller returns to the free pool. *)
+val park : t -> index:int -> base:int -> size:int -> int option
+
+val hits : t -> int
+val misses : t -> int
+val size : t -> int

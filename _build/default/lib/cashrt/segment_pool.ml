@@ -1,0 +1,53 @@
+(* The user-space free_ldt_entry list (§3.6, second optimisation).
+
+   LDT entries 1..8191 are managed entirely in user space: allocating an
+   entry pops the list, freeing pushes it back — neither touches the
+   kernel. Only *writing a descriptor* into a popped entry requires the
+   call gate. Entry 0 is reserved for the cash_modify_ldt call gate.
+
+   If the pool is exhausted (more than 8191 simultaneously-live arrays) the
+   allocator returns [None]; the caller then assigns the array to the
+   global (flat) data segment, which disables bound checking for that array
+   (§3.4) — a documented, counted degradation, not an error. *)
+
+type t = {
+  mutable free : int list;
+  capacity : int;
+  mutable live : int;
+  mutable peak_live : int;
+  mutable exhausted_allocs : int;
+}
+
+let default_capacity = Seghw.Descriptor_table.capacity - 1 (* entry 0 reserved *)
+
+(* [capacity] below the architectural 8191 is for tests that exercise the
+   exhaustion path without allocating thousands of segments. *)
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 || capacity > default_capacity then
+    invalid_arg (Printf.sprintf "Segment_pool.create: capacity %d" capacity);
+  (* Build 1..capacity in increasing order so tests can predict indices. *)
+  let rec build i acc = if i < 1 then acc else build (i - 1) (i :: acc) in
+  { free = build capacity []; capacity; live = 0; peak_live = 0;
+    exhausted_allocs = 0 }
+
+let allocate t =
+  match t.free with
+  | [] ->
+    t.exhausted_allocs <- t.exhausted_allocs + 1;
+    None
+  | idx :: rest ->
+    t.free <- rest;
+    t.live <- t.live + 1;
+    if t.live > t.peak_live then t.peak_live <- t.live;
+    Some idx
+
+let release t idx =
+  if idx < 1 || idx > t.capacity then
+    invalid_arg (Printf.sprintf "Segment_pool.release: bad index %d" idx);
+  t.free <- idx :: t.free;
+  t.live <- t.live - 1
+
+let live t = t.live
+let peak_live t = t.peak_live
+let exhausted_allocs t = t.exhausted_allocs
+let free_count t = List.length t.free

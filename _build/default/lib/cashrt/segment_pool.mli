@@ -1,0 +1,25 @@
+(** The user-space [free_ldt_entry] list (§3.6): LDT entries 1..8191
+    managed without kernel involvement. Exhaustion returns [None] and the
+    caller falls back to the flat global segment, disabling checking for
+    that object (§3.4). *)
+
+type t
+
+val default_capacity : int
+(** 8191 (entry 0 is the call gate's). *)
+
+(** [create ?capacity ()] — capacities below the architectural maximum
+    let tests exercise exhaustion cheaply.
+    @raise Invalid_argument outside 1..8191. *)
+val create : ?capacity:int -> unit -> t
+
+(** Pop a free LDT entry, or [None] when exhausted (counted). *)
+val allocate : t -> int option
+
+(** @raise Invalid_argument on an out-of-range index. *)
+val release : t -> int -> unit
+
+val live : t -> int
+val peak_live : t -> int
+val exhausted_allocs : t -> int
+val free_count : t -> int

@@ -1,0 +1,1 @@
+lib/compilers/backend.ml: Minic Osim Printf Seghw

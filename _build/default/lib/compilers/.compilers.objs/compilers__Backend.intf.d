@@ -1,0 +1,1 @@
+lib/compilers/backend.mli: Minic Seghw

@@ -1,0 +1,1 @@
+lib/compilers/codegen.ml: Array Backend Data_layout Hashtbl Insn List Machine Minic Option Printf Registers Seghw String

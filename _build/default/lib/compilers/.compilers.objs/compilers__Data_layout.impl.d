@@ -1,0 +1,1 @@
+lib/compilers/data_layout.ml: Array Backend Bytes Char Hashtbl Int64 List Machine Minic Osim Printf Seghw String

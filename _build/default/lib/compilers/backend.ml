@@ -1,0 +1,100 @@
+(* Backend descriptors: the three compilers under comparison.
+
+   All share the mini-C front end and differ exactly where the paper says
+   they differ:
+
+   - [Gcc]: no bound checking, 1-word pointers. The baseline.
+   - [Bcc]: software bound checking everywhere, 3-word fat pointers
+     (value, lower bound, upper bound). Checks cost the paper's
+     6-instruction minimum sequence; direct array references check only
+     the upper bound (a BCC behaviour the paper points out).
+   - [Cash]: segmentation-hardware checking, 2-word pointers (value +
+     pointer to the 3-word information structure). Array-like references
+     inside loops are checked by the segment-limit hardware when a segment
+     register is available, and by BCC-style software checks otherwise. *)
+
+module Ast = Minic.Ast
+
+type cash_config = {
+  seg_budget : int;
+  (* Segment registers available for array bound checking, in FCFS
+     assignment order. The default is ES, FS, GS (§3.7). *)
+  seg_regs : Seghw.Segreg.name list;
+  (* The 4-register configuration frees SS by rewriting PUSH/POP into
+     MOV/SUB-ADD with explicit DS overrides (§3.7). *)
+  rewrite_pushpop : bool;
+  (* §3.8: "If Cash is used for security only, Cash does not need to
+     bound-check read operations" — writes are what an attacker needs.
+     With [check_reads = false], read-only arrays consume no segment
+     registers and reads never fall back to software checks. *)
+  check_reads : bool;
+}
+
+let cash_default =
+  {
+    seg_budget = 3;
+    seg_regs = [ Seghw.Segreg.ES; Seghw.Segreg.FS; Seghw.Segreg.GS ];
+    rewrite_pushpop = false;
+    check_reads = true;
+  }
+
+let cash_two_regs = { cash_default with seg_budget = 2;
+                      seg_regs = [ Seghw.Segreg.FS; Seghw.Segreg.GS ] }
+
+let cash_four_regs =
+  {
+    cash_default with
+    seg_budget = 4;
+    seg_regs =
+      [ Seghw.Segreg.ES; Seghw.Segreg.FS; Seghw.Segreg.GS; Seghw.Segreg.SS ];
+    rewrite_pushpop = true;
+  }
+
+(* The security-only deployment of §3.8. *)
+let cash_security_only = { cash_default with check_reads = false }
+
+type bcc_config = {
+  (* §2: the x86 BOUND instruction packs both comparisons into one opcode
+     but costs 7 cycles against 6 for the equivalent plain instructions
+     (and needs its bounds pair in memory). [use_bound_insn] switches the
+     software checker to it, reproducing the paper's argument for why the
+     instruction fell out of use. *)
+  use_bound_insn : bool;
+}
+
+let bcc_default = { use_bound_insn = false }
+let bcc_bound_insn = { use_bound_insn = true }
+
+type kind =
+  | Gcc
+  | Bcc of bcc_config
+  | Cash of cash_config
+
+let name = function
+  | Gcc -> "gcc"
+  | Bcc { use_bound_insn = false } -> "bcc"
+  | Bcc { use_bound_insn = true } -> "bcc-bound"
+  | Cash c -> Printf.sprintf "cash%d" c.seg_budget
+
+(* How many bytes a *value* of this type occupies in memory under this
+   backend. Pointer representation is the paper's: 1 word (GCC), 3 words
+   (BCC), 2 words (Cash). *)
+let rec val_size kind (ty : Ast.ty) =
+  match ty with
+  | Ast.Tptr _ ->
+    (match kind with Gcc -> 4 | Cash _ -> 8 | Bcc _ -> 12)
+  | Ast.Tarray (t, n) -> n * val_size kind t
+  | Ast.Tint -> 4
+  | Ast.Tchar -> 1
+  | Ast.Tdouble -> 8
+  | Ast.Tvoid -> 0
+
+(* Resolve sizeof(T) as the simulated program sees it. *)
+let sizeof kind ty = val_size kind ty
+
+(* The selector value for the "global segment" — the flat user data
+   segment Cash assigns to objects it cannot or will not track (scalars
+   whose address is taken, exhausted segment pool, int-to-pointer casts).
+   References through it always pass the hardware check, i.e. bound
+   checking is disabled for those objects (§3.4, §3.9). *)
+let global_segment_selector = Osim.Kernel.user_data_selector

@@ -1,0 +1,54 @@
+(** Backend descriptors: the compilers under comparison. All share the
+    mini-C front end and differ exactly where the paper says they differ
+    — pointer representation and check generation. *)
+
+module Ast = Minic.Ast
+
+type cash_config = {
+  seg_budget : int;
+      (** how many segment registers are available for checking *)
+  seg_regs : Seghw.Segreg.name list;
+      (** the registers, in FCFS assignment order (§3.7) *)
+  rewrite_pushpop : bool;
+      (** the 4-register mode frees SS by rewriting PUSH/POP into
+          MOV/SUB-ADD with DS overrides (§3.7) *)
+  check_reads : bool;
+      (** [false] = §3.8's security-only mode: only writes are checked *)
+}
+
+(** 3 registers: ES, FS, GS — the prototype's default. *)
+val cash_default : cash_config
+
+val cash_two_regs : cash_config
+
+(** 4 registers (+ SS), with PUSH/POP rewriting. *)
+val cash_four_regs : cash_config
+
+val cash_security_only : cash_config
+
+type bcc_config = {
+  use_bound_insn : bool;
+      (** check via the x86 BOUND instruction instead of the plain
+          6-instruction sequence (§2's losing alternative) *)
+}
+
+val bcc_default : bcc_config
+val bcc_bound_insn : bcc_config
+
+type kind =
+  | Gcc  (** no checking: the baseline *)
+  | Bcc of bcc_config  (** software checking, 3-word fat pointers *)
+  | Cash of cash_config  (** the paper's contribution *)
+
+val name : kind -> string
+
+(** Bytes a value of this type occupies in memory under this backend;
+    pointers are 1 word (GCC), 3 (BCC), or 2 (Cash), per the paper. *)
+val val_size : kind -> Ast.ty -> int
+
+(** How the backend resolves [sizeof(T)] in source. *)
+val sizeof : kind -> Ast.ty -> int
+
+(** Selector of the flat "global segment" Cash assigns to objects it does
+    not track (§3.4, §3.9): references through it always pass. *)
+val global_segment_selector : Seghw.Selector.t

@@ -1,0 +1,2199 @@
+(* Code generation: typed IR -> machine instructions, for all three
+   backends.
+
+   The generator is a simple one-register-plus-stack scheme with the
+   operand-folding fast paths a real compiler would apply to array
+   references (index in a register, base folded into the addressing mode),
+   so that the baseline's inner loops are tight enough for the checking
+   overheads to be measured against something honest.
+
+   Value protocol (results of expression evaluation):
+     int/char        EAX
+     double          XMM0
+     pointer         EAX = value, plus representation-specific metadata:
+                       Cash: EBX = pointer to the 3-word info structure
+                       BCC:  EBX = lower bound, ECX = upper bound
+                       GCC:  no metadata
+   Temporaries spill to the machine stack. Scratch registers: EDX and EDI
+   for addresses, ESI for transient values, ECX for division/shift counts.
+
+   The Cash-specific machinery follows §3.3-§3.7:
+   - at entry to an *outermost* loop whose nest references arrays, the
+     first [seg_budget] distinct bases get a segment register each
+     (first-come-first-served); the segment selector is loaded from the
+     base's info structure (4 cycles, the per-array-use overhead), and the
+     segment base is hoisted into a frame slot;
+   - references to assigned bases are compiled so the effective offset is
+     relative to the segment base, making the hardware limit check perform
+     the array bound check;
+   - references to spilled or computed bases inside loops fall back to the
+     BCC-style software check, driven by the info structure;
+   - references outside loops are not checked (§3.8);
+   - segment registers used anywhere in a function are saved in the
+     prologue and restored in the epilogue. *)
+
+open Machine
+module Ast = Minic.Ast
+module Ir = Minic.Ir
+
+type stats = {
+  mutable hw_checks : int;   (* static ref sites checked by segmentation *)
+  mutable sw_checks : int;   (* static ref sites software-checked (Cash) *)
+  mutable bcc_checks : int;  (* static ref sites checked by BCC *)
+  mutable seg_loads : int;   (* static segment-register load sites *)
+}
+
+(* How an assigned base is addressed inside the active loop nest. *)
+type seg_access =
+  | Sa_array of { delta : int; base : [ `Const of int | `Slot of int ] }
+    (* a named array variable: direct references use offset = delta +
+       idx*scale, where delta > 0 only for >1 MiB arrays (Figure 2's page
+       rounding); [base] is the segment base, for general dereferences *)
+  | Sa_ptr of { base_slot : int; rel_slot : int option }
+    (* a pointer variable: [base_slot] holds the hoisted segment base;
+       [rel_slot], present when the pointer is loop-invariant, holds the
+       hoisted (pointer value - segment base) so direct references pay no
+       per-reference cost at all *)
+
+type seg_assign = {
+  seg : Seghw.Segreg.name;
+  mutable access : seg_access;
+  abase : Minic.Loop_analysis.base; (* which object this register covers *)
+  mutable established : bool;
+    (* selector loaded and hoist slots valid; false until the preheader
+       (or, for pointers declared inside their loop, the definition site)
+       has run *)
+  mutable needs_reload : bool;
+    (* the pointer was retargeted while a deeper loop owned the register:
+       the selector must be reloaded when this assignment becomes active
+       again *)
+  mutable skip_def_reload : bool;
+    (* every definition of this pointer inside the loop derives from one
+       stable object whose segment was loaded at the preheader, so
+       definition sites need no segment work at all *)
+}
+
+type fenv = {
+  kind : Backend.kind;
+  prog : Ir.tprog;
+  layout : Data_layout.t;
+  analysis : Minic.Loop_analysis.t;
+  stats : stats;
+  label_counter : int ref;
+  swcheck_counter : int ref;
+  (* per-function state *)
+  fname : string;
+  mutable code : Insn.t list; (* reversed *)
+  offsets : (int, int) Hashtbl.t;      (* sym id -> EBP offset of value *)
+  info_offsets : (int, int) Hashtbl.t; (* sym id -> EBP offset of local
+                                          array info struct (Cash) *)
+  mutable frame_size : int;
+  mutable seg_saves : (Seghw.Segreg.name * int) list;
+  mutable loop_stack : int list;
+  mutable active_nest : (string * seg_assign) list;
+  mutable all_assigns : (string * seg_assign) list;
+    (* every assignment live anywhere on the loop stack (for def-site
+       bookkeeping when the base is not active in the innermost loop) *)
+  mutable seg_contents : (Seghw.Segreg.name * string) list;
+    (* which base key each segment register currently holds *)
+  mutable break_labels : string list;
+  mutable continue_labels : string list;
+  mutable local_arrays : Ir.sym list; (* for prologue/epilogue seg calls *)
+}
+
+let cash_config = function
+  | Backend.Cash c -> Some c
+  | Backend.Gcc | Backend.Bcc _ -> None
+
+let emit env i = env.code <- i :: env.code
+
+let fresh_label env stem =
+  incr env.label_counter;
+  Printf.sprintf ".L%d_%s" !(env.label_counter) stem
+
+(* Frame-slot allocation for compiler temporaries. *)
+let alloc_slot env size =
+  let size = (size + 3) land lnot 3 in
+  env.frame_size <- env.frame_size + size;
+  -env.frame_size
+
+(* --- operand helpers --------------------------------------------------- *)
+
+let ebp_mem ?seg off = Insn.mem ?seg ~base:Registers.EBP ~disp:off ()
+let abs_mem ?seg addr = Insn.mem ?seg ~disp:addr ()
+
+(* Apply the 4-register configuration's PUSH/POP elimination: explicit DS
+   overrides on EBP/ESP-based operands (§3.7). *)
+let fix_mem env (m : Insn.mem) =
+  match cash_config env.kind with
+  | Some { Backend.rewrite_pushpop = true; _ } when m.Insn.seg = None ->
+    (match m.Insn.base with
+     | Some Registers.EBP | Some Registers.ESP ->
+       { m with Insn.seg = Some Seghw.Segreg.DS }
+     | _ -> m)
+  | _ -> m
+
+let fix_operand env (o : Insn.operand) =
+  match o with Insn.Mem m -> Insn.Mem (fix_mem env m) | _ -> o
+
+let emit_push env (o : Insn.operand) =
+  match cash_config env.kind with
+  | Some { Backend.rewrite_pushpop = true; _ } ->
+    emit env (Insn.Alu (Insn.Sub, Insn.Reg Registers.ESP, Insn.Imm 4));
+    let dst =
+      Insn.Mem (Insn.mem ~seg:Seghw.Segreg.DS ~base:Registers.ESP ())
+    in
+    (match o with
+     | Insn.Reg _ | Insn.Imm _ -> emit env (Insn.Mov (Insn.Long, dst, o))
+     | Insn.Mem _ ->
+       emit env (Insn.Mov (Insn.Long, Insn.Reg Registers.ESI, fix_operand env o));
+       emit env (Insn.Mov (Insn.Long, dst, Insn.Reg Registers.ESI)))
+  | _ -> emit env (Insn.Push (fix_operand env o))
+
+let emit_pop env (o : Insn.operand) =
+  match cash_config env.kind with
+  | Some { Backend.rewrite_pushpop = true; _ } ->
+    let src =
+      Insn.Mem (Insn.mem ~seg:Seghw.Segreg.DS ~base:Registers.ESP ())
+    in
+    (match o with
+     | Insn.Reg _ -> emit env (Insn.Mov (Insn.Long, o, src))
+     | _ ->
+       emit env (Insn.Mov (Insn.Long, Insn.Reg Registers.ESI, src));
+       emit env (Insn.Mov (Insn.Long, fix_operand env o, Insn.Reg Registers.ESI)));
+    emit env (Insn.Alu (Insn.Add, Insn.Reg Registers.ESP, Insn.Imm 4))
+  | _ -> emit env (Insn.Pop (fix_operand env o))
+
+let emit_mov env dst src = emit env (Insn.Mov (Insn.Long, fix_operand env dst, fix_operand env src))
+let emit_movw env dst src = emit env (Insn.Mov (Insn.Word, fix_operand env dst, fix_operand env src))
+let emit_movb env dst src = emit env (Insn.Mov (Insn.Byte, fix_operand env dst, fix_operand env src))
+let emit_alu env op dst src =
+  emit env (Insn.Alu (op, fix_operand env dst, fix_operand env src))
+let emit_cmp env a b = emit env (Insn.Cmp (fix_operand env a, fix_operand env b))
+let emit_lea env r m = emit env (Insn.Lea (r, m))
+let emit_fmov env dst src =
+  let fix = function Insn.Fmem m -> Insn.Fmem (fix_mem env m) | f -> f in
+  emit env (Insn.Fmov (fix dst, fix src))
+
+let eax = Insn.Reg Registers.EAX
+let ebx = Insn.Reg Registers.EBX
+let ecx = Insn.Reg Registers.ECX
+let edx = Insn.Reg Registers.EDX
+let esi = Insn.Reg Registers.ESI
+let edi = Insn.Reg Registers.EDI
+let xmm0 = Insn.Freg Registers.XMM0
+let xmm1 = Insn.Freg Registers.XMM1
+
+(* --- symbol locations -------------------------------------------------- *)
+
+type loc =
+  | Global of Data_layout.entry
+  | Frame of int (* EBP offset of the value *)
+
+let loc_of env (sym : Ir.sym) =
+  match sym.Ir.storage with
+  | Ir.Global_var -> Global (Data_layout.entry_exn env.layout sym)
+  | Ir.Local_var | Ir.Param ->
+    (match Hashtbl.find_opt env.offsets sym.Ir.id with
+     | Some off -> Frame off
+     | None -> failwith ("no frame slot for " ^ sym.Ir.name))
+
+(* Operand for the value word(s) of a scalar/pointer variable, at byte
+   offset [delta] into its representation. *)
+let var_mem env sym ~delta =
+  match loc_of env sym with
+  | Global e -> abs_mem (e.Data_layout.addr + delta)
+  | Frame off -> ebp_mem (off + delta)
+
+(* Cash: operand(s) describing the info pointer of a base variable, or the
+   address of the info structure for array variables. *)
+type info_source =
+  | Info_const of int      (* info structure at a known address *)
+  | Info_frame of int      (* info structure in the frame at offset *)
+  | Info_slot of Insn.mem  (* pointer variable's shadow word *)
+
+let info_of_sym env (sym : Ir.sym) =
+  match sym.Ir.ty with
+  | Ast.Tarray _ ->
+    (match loc_of env sym with
+     | Global e -> Info_const e.Data_layout.info_addr
+     | Frame _ ->
+       (match Hashtbl.find_opt env.info_offsets sym.Ir.id with
+        | Some off -> Info_frame off
+        | None -> failwith ("no info slot for local array " ^ sym.Ir.name)))
+  | Ast.Tptr _ -> Info_slot (fix_mem env (var_mem env sym ~delta:4))
+  | _ -> failwith "info_of_sym: not an array or pointer"
+
+(* Load the info-structure *address* into [reg]. *)
+let load_info_addr env reg = function
+  | Info_const addr -> emit_mov env (Insn.Reg reg) (Insn.Imm addr)
+  | Info_frame off -> emit_lea env reg (ebp_mem off)
+  | Info_slot m -> emit_mov env (Insn.Reg reg) (Insn.Mem m)
+
+(* --- type/width helpers ------------------------------------------------ *)
+
+let elem_size env ty = Backend.val_size env.kind ty
+
+let elem_type (e : Ir.texpr) =
+  match Ast.decay e.Ir.ty with
+  | Ast.Tptr t -> t
+  | _ -> failwith "elem_type: not a pointer"
+
+let is_double ty = Ast.decay ty = Ast.Tdouble
+let is_ptr ty = match Ast.decay ty with Ast.Tptr _ -> true | _ -> false
+
+let ptr_meta_words env =
+  match env.kind with Backend.Gcc -> 0 | Backend.Cash _ -> 1 | Backend.Bcc _ -> 2
+
+(* Memory operands addressing a BCC bounds record (lower at +0, upper at
+   +4) for an array variable or string literal. *)
+let bcc_bounds_ops env (src : info_source) =
+  match src with
+  | Info_const a -> (abs_mem a, abs_mem (a + 4))
+  | Info_frame off -> (fix_mem env (ebp_mem off), fix_mem env (ebp_mem (off + 4)))
+  | Info_slot _ -> invalid_arg "bcc_bounds_ops: not an array record"
+
+(* Cash §3.5: for arrays larger than 1 MiB the segment is the minimal
+   multiple of 4 KiB with the array's *end* aligned to the segment's end;
+   direct references therefore add the rounding delta to the offset. *)
+let seg_delta size =
+  if size <= 1 lsl 20 then 0 else ((size + 4095) / 4096 * 4096) - size
+
+(* --- value spilling ---------------------------------------------------- *)
+
+(* Spill the current expression result of type [ty] to the machine stack;
+   for pointers, metadata is pushed first so the value word ends at ESP. *)
+let push_result env ty =
+  if is_double ty then begin
+    emit_alu env Insn.Sub (Insn.Reg Registers.ESP) (Insn.Imm 8);
+    emit_fmov env (Insn.Fmem (Insn.mem ~base:Registers.ESP ())) xmm0
+  end
+  else begin
+    if is_ptr ty then begin
+      if ptr_meta_words env >= 2 then emit_push env ecx;
+      if ptr_meta_words env >= 1 then emit_push env ebx
+    end;
+    emit_push env eax
+  end
+
+(* Load "no provenance" pointer metadata: the flat global segment (Cash)
+   or the whole address space (BCC). *)
+let load_unchecked_meta env =
+  match env.kind with
+  | Backend.Gcc -> ()
+  | Backend.Cash _ ->
+    emit_mov env ebx (Insn.Imm env.layout.Data_layout.unchecked_info)
+  | Backend.Bcc _ ->
+    emit_mov env ebx (Insn.Imm 0);
+    emit_mov env ecx (Insn.Imm 0xFFFFFFFF)
+
+(* --- condition-code helpers ------------------------------------------- *)
+
+let signed_cond = function
+  | Ast.Lt -> Insn.Lt | Ast.Le -> Insn.Le | Ast.Gt -> Insn.Gt
+  | Ast.Ge -> Insn.Ge | Ast.Eq -> Insn.Eq | Ast.Ne -> Insn.Ne
+  | _ -> invalid_arg "signed_cond"
+
+let unsigned_cond = function
+  | Ast.Lt -> Insn.Below | Ast.Le -> Insn.Below_eq | Ast.Gt -> Insn.Above
+  | Ast.Ge -> Insn.Above_eq | Ast.Eq -> Insn.Eq | Ast.Ne -> Insn.Ne
+  | _ -> invalid_arg "unsigned_cond"
+
+let negate_cond = function
+  | Insn.Eq -> Insn.Ne | Insn.Ne -> Insn.Eq
+  | Insn.Lt -> Insn.Ge | Insn.Le -> Insn.Gt
+  | Insn.Gt -> Insn.Le | Insn.Ge -> Insn.Lt
+  | Insn.Below -> Insn.Above_eq | Insn.Below_eq -> Insn.Above
+  | Insn.Above -> Insn.Below_eq | Insn.Above_eq -> Insn.Below
+
+(* --- segment-register bookkeeping (Cash) ------------------------------- *)
+
+let ensure_seg_saved env seg =
+  if not (List.mem_assoc seg env.seg_saves) then begin
+    let slot = alloc_slot env 4 in
+    env.seg_saves <- (seg, slot) :: env.seg_saves
+  end
+
+let fault_label env = Printf.sprintf ".Lfault_%s" env.fname
+
+(* Emit the zero-cost dynamic counter for an executed software check. *)
+let emit_swcheck_stat env =
+  incr env.swcheck_counter;
+  emit env (Insn.Label (Printf.sprintf "__stat_swc_%d" !(env.swcheck_counter)))
+
+(* Software check of the address in [addr_reg] for an access of [size]
+   bytes, against bounds described by [bounds]:
+     [`Info_reg r]   Cash info structure whose address is in register r
+     [`Regs]         BCC bounds already in EBX (lower) / ECX (upper)
+     [`Slots (l,u)]  bounds in memory operands l and u
+     [`Consts (l,u)] static bounds
+   [sentinel] adds BCC's guard for pointers of unknown provenance (real
+   BCC tests its "unknown bounds" marker before comparing). *)
+type sw_bounds =
+  [ `Info_reg of Registers.reg      (* Cash info structure address *)
+  | `Regs                           (* BCC bounds in EBX/ECX *)
+  | `Slots of Insn.mem * Insn.mem   (* bounds in memory operands *)
+  | `Consts of int * int ]          (* static bounds *)
+
+let emit_sw_check ?(sentinel = false) env ~addr_reg ~size
+    (bounds : sw_bounds) =
+  emit_swcheck_stat env;
+  let fault = fault_label env in
+  let a = Insn.Reg addr_reg in
+  let skip =
+    if sentinel then begin
+      let l = fresh_label env "nobounds" in
+      (match bounds with
+       | `Regs -> emit_cmp env ebx (Insn.Imm 0)
+       | `Slots (lo, _) -> emit_cmp env (Insn.Mem lo) (Insn.Imm 0)
+       | `Info_reg _ | `Consts _ -> emit_cmp env a a (* never taken *));
+      emit env (Insn.Jcc (Insn.Eq, l));
+      Some l
+    end
+    else None
+  in
+  let use_bound =
+    match env.kind with
+    | Backend.Bcc { Backend.use_bound_insn = true } -> true
+    | _ -> false
+  in
+  if use_bound then begin
+    (* §2: one BOUND instruction against the contiguous (lower, upper)
+       pair. The checked value is addr+size, making the one-past-the-end
+       comparison exact; the lower bound is loose by [size] bytes, the
+       same tolerance the 6-instruction sequence's lea introduces the
+       other way. BOUND requires its pair in memory, so register-resident
+       bounds must first spill — part of why the instruction lost to the
+       plain sequence. *)
+    emit_lea env Registers.ESI (Insn.mem ~base:addr_reg ~disp:size ());
+    (match bounds with
+     | `Slots (lo, _) ->
+       (match lo with
+        | { Insn.base = Some Registers.EBP; disp; _ } ->
+          emit env (Insn.Bound (Registers.ESI, fix_mem env (ebp_mem disp)))
+        | { Insn.base = None; disp; _ } ->
+          emit env (Insn.Bound (Registers.ESI, abs_mem disp))
+        | _ -> assert false)
+     | `Regs ->
+       let tmp = alloc_slot env 8 in
+       emit_mov env (Insn.Mem (ebp_mem tmp)) ebx;
+       emit_mov env (Insn.Mem (ebp_mem (tmp + 4))) ecx;
+       emit env (Insn.Bound (Registers.ESI, fix_mem env (ebp_mem tmp)))
+     | `Consts (l, u) ->
+       let tmp = alloc_slot env 8 in
+       emit_mov env (Insn.Mem (ebp_mem tmp)) (Insn.Imm l);
+       emit_mov env (Insn.Mem (ebp_mem (tmp + 4))) (Insn.Imm u);
+       emit env (Insn.Bound (Registers.ESI, fix_mem env (ebp_mem tmp)))
+     | `Info_reg r ->
+       (* Cash never uses the BOUND variant, but keep it total: bounds
+          live at info+4 (base) and info+8 (upper) *)
+       emit env
+         (Insn.Bound (Registers.ESI, Insn.mem ~base:r ~disp:4 ())));
+    match skip with Some l -> emit env (Insn.Label l) | None -> ()
+  end
+  else begin
+  (match bounds with
+   | `Info_reg r ->
+     emit_cmp env a (Insn.Mem (Insn.mem ~base:r ~disp:4 ()));
+     emit env (Insn.Jcc (Insn.Below, fault));
+     emit_lea env Registers.ESI (Insn.mem ~base:addr_reg ~disp:size ());
+     emit_cmp env esi (Insn.Mem (Insn.mem ~base:r ~disp:8 ()));
+     emit env (Insn.Jcc (Insn.Above, fault))
+   | `Regs ->
+     emit_cmp env a ebx;
+     emit env (Insn.Jcc (Insn.Below, fault));
+     emit_lea env Registers.ESI (Insn.mem ~base:addr_reg ~disp:size ());
+     emit_cmp env esi ecx;
+     emit env (Insn.Jcc (Insn.Above, fault))
+   | `Slots (l, u) ->
+     emit_cmp env a (Insn.Mem l);
+     emit env (Insn.Jcc (Insn.Below, fault));
+     emit_lea env Registers.ESI (Insn.mem ~base:addr_reg ~disp:size ());
+     emit_cmp env esi (Insn.Mem u);
+     emit env (Insn.Jcc (Insn.Above, fault))
+   | `Consts (l, u) ->
+     emit_cmp env a (Insn.Imm l);
+     emit env (Insn.Jcc (Insn.Below, fault));
+     emit_lea env Registers.ESI (Insn.mem ~base:addr_reg ~disp:size ());
+     emit_cmp env esi (Insn.Imm u);
+     emit env (Insn.Jcc (Insn.Above, fault)));
+  match skip with Some l -> emit env (Insn.Label l) | None -> ()
+  end
+
+(* --- reference plans --------------------------------------------------- *)
+
+(* What kind of bound checking applies to one array-like reference site. *)
+type plan =
+  | P_unchecked
+  | P_hw of seg_assign          (* Cash: the segment hardware checks it *)
+  | P_bcc_direct of int         (* BCC direct array ref: index < count *)
+  | P_sw_var                    (* software check, base is a named var *)
+  | P_sw_regs                   (* software check, metadata in registers *)
+
+let in_loop env = env.loop_stack <> []
+
+let base_of_expr (e : Ir.texpr) = Minic.Loop_analysis.classify_base e
+
+let active_assignment env b =
+  List.assoc_opt (Minic.Loop_analysis.base_key b) env.active_nest
+
+(* Subtract the active segment base from the pointer value in [reg]
+   (general dereference path under a hardware plan). *)
+let emit_sub_segbase env reg (access : seg_access) =
+  match access with
+  | Sa_array { base = `Const c; _ } ->
+    emit_alu env Insn.Sub (Insn.Reg reg) (Insn.Imm c)
+  | Sa_array { base = `Slot o; _ } ->
+    emit_alu env Insn.Sub (Insn.Reg reg) (Insn.Mem (ebp_mem o))
+  | Sa_ptr { base_slot; _ } ->
+    emit_alu env Insn.Sub (Insn.Reg reg) (Insn.Mem (ebp_mem base_slot))
+
+(* Force a computed element address into EDI, keeping any segment
+   override: the LEA computes the segment-relative offset, the override
+   re-applies the segment on the final access. *)
+let materialize_addr env (m : Insn.mem) =
+  match m.Insn.base, m.Insn.index, m.Insn.disp with
+  | Some Registers.EDI, None, 0 -> m
+  | _ ->
+    emit_lea env Registers.EDI { m with Insn.seg = None };
+    Insn.mem ?seg:m.Insn.seg ~base:Registers.EDI ()
+
+let scale_ok s = s = 1 || s = 2 || s = 4 || s = 8
+
+(* string literal helpers *)
+let str_addr env i = Data_layout.string_addr env.layout i
+let str_info env i = Data_layout.string_info env.layout i
+let str_size env i = Data_layout.string_size env.layout env.prog i
+
+(* --- per-loop segment-register assignment (§3.3, §3.7) ------------------
+
+   At entry to EVERY loop, the first [seg_budget] distinct assignable
+   bases of that loop get a segment register each, first-come-first-served.
+   A base inherited from the enclosing loop (same base, same register)
+   keeps its record — its hoisted slots stay valid and no code is emitted;
+   a new base pays the selector load (the 4-cycle per-array-use overhead)
+   plus base-slot hoisting. When an inner loop returns, registers it
+   repurposed are re-established for the enclosing loop with a bare
+   selector reload (the slots never moved). *)
+
+let make_assignment env b seg =
+  let access =
+    match b with
+    | Minic.Loop_analysis.Bstr i ->
+      Sa_array { delta = 0; base = `Const (str_addr env i) }
+    | Minic.Loop_analysis.Bsym sym ->
+      (match sym.Ir.ty with
+       | Ast.Tarray (elem, n) ->
+         let total = n * elem_size env elem in
+         let delta = seg_delta total in
+         (match loc_of env sym with
+          | Global entry ->
+            Sa_array
+              { delta; base = `Const (entry.Data_layout.addr - delta) }
+          | Frame _ -> Sa_array { delta; base = `Slot (alloc_slot env 4) })
+       | Ast.Tptr _ -> Sa_ptr { base_slot = alloc_slot env 4; rel_slot = None }
+       | _ -> assert false)
+    | Minic.Loop_analysis.Bcomplex -> assert false
+  in
+  { seg; access; abase = b; established = false; needs_reload = false;
+    skip_def_reload = false }
+
+let record_seg_contents env seg key =
+  env.seg_contents <- (seg, key) :: List.remove_assoc seg env.seg_contents
+
+(* Load just the selector into the assignment's register (hoist slots are
+   already valid): the cheap re-establishment path. *)
+let emit_selector_load env (a : seg_assign) =
+  env.stats.seg_loads <- env.stats.seg_loads + 1;
+  (match a.abase with
+   | Minic.Loop_analysis.Bstr i ->
+     emit env (Insn.Mov_to_seg (a.seg, Insn.Mem (abs_mem (str_info env i))))
+   | Minic.Loop_analysis.Bsym sym ->
+     (match sym.Ir.ty with
+      | Ast.Tarray _ ->
+        (match info_of_sym env sym with
+         | Info_const info ->
+           emit env (Insn.Mov_to_seg (a.seg, Insn.Mem (abs_mem info)))
+         | Info_frame off ->
+           emit env
+             (Insn.Mov_to_seg (a.seg, Insn.Mem (fix_mem env (ebp_mem off))))
+         | Info_slot _ -> assert false)
+      | _ ->
+        load_info_addr env Registers.ECX (info_of_sym env sym);
+        emit env
+          (Insn.Mov_to_seg (a.seg, Insn.Mem (Insn.mem ~base:Registers.ECX ()))))
+   | Minic.Loop_analysis.Bcomplex -> assert false);
+  a.needs_reload <- false;
+  record_seg_contents env a.seg (Minic.Loop_analysis.base_key a.abase)
+
+(* Full setup: selector load plus hoisted segment-base (and, for pointers
+   that stay invariant in this loop, the hoisted relative base that makes
+   their references free). *)
+let establish_assignment env (a : seg_assign) ~invariant =
+  ensure_seg_saved env a.seg;
+  (match a.abase, a.access with
+   | Minic.Loop_analysis.Bstr _, _ -> emit_selector_load env a
+   | Minic.Loop_analysis.Bsym sym, Sa_array { delta; base } ->
+     emit_selector_load env a;
+     (match base, loc_of env sym with
+      | `Slot slot, Frame data_off ->
+        emit_lea env Registers.ESI (ebp_mem (data_off - delta));
+        emit_mov env (Insn.Mem (ebp_mem slot)) esi
+      | `Const _, _ -> ()
+      | `Slot _, Global _ -> assert false)
+   | Minic.Loop_analysis.Bsym sym, Sa_ptr { base_slot; _ } ->
+     env.stats.seg_loads <- env.stats.seg_loads + 1;
+     load_info_addr env Registers.ECX (info_of_sym env sym);
+     emit env
+       (Insn.Mov_to_seg (a.seg, Insn.Mem (Insn.mem ~base:Registers.ECX ())));
+     record_seg_contents env a.seg (Minic.Loop_analysis.base_key a.abase);
+     emit_mov env esi (Insn.Mem (Insn.mem ~base:Registers.ECX ~disp:4 ()));
+     emit_mov env (Insn.Mem (ebp_mem base_slot)) esi;
+     if invariant then begin
+       let r = alloc_slot env 4 in
+       emit_mov env edi (Insn.Mem (var_mem env sym ~delta:0));
+       emit_alu env Insn.Sub edi esi;
+       emit_mov env (Insn.Mem (ebp_mem r)) edi;
+       a.access <- Sa_ptr { base_slot; rel_slot = Some r }
+     end
+   | Minic.Loop_analysis.Bcomplex, _ -> assert false);
+  a.established <- true;
+  a.needs_reload <- false
+
+(* Establish a pointer assignment by *borrowing* the segment of the one
+   stable object all its in-loop definitions derive from (p = zone + k
+   inside the loop): the selector and base are the source object's and are
+   loaded once at the preheader; definition sites then need no segment
+   work (§3.3's hoisting taken to its logical end). *)
+let establish_from_source env (a : seg_assign) (src : Minic.Loop_analysis.base)
+    =
+  ensure_seg_saved env a.seg;
+  env.stats.seg_loads <- env.stats.seg_loads + 1;
+  let base_slot =
+    match a.access with
+    | Sa_ptr { base_slot; _ } -> base_slot
+    | Sa_array _ -> invalid_arg "establish_from_source: not a pointer"
+  in
+  (match src with
+   | Minic.Loop_analysis.Bstr i ->
+     emit env (Insn.Mov_to_seg (a.seg, Insn.Mem (abs_mem (str_info env i))));
+     emit_mov env (Insn.Mem (ebp_mem base_slot)) (Insn.Imm (str_addr env i))
+   | Minic.Loop_analysis.Bsym sym ->
+     (match sym.Ir.ty with
+      | Ast.Tarray (elem, n) ->
+        let total = n * elem_size env elem in
+        let delta = seg_delta total in
+        (match info_of_sym env sym with
+         | Info_const info ->
+           emit env (Insn.Mov_to_seg (a.seg, Insn.Mem (abs_mem info)))
+         | Info_frame off ->
+           emit env
+             (Insn.Mov_to_seg (a.seg, Insn.Mem (fix_mem env (ebp_mem off))))
+         | Info_slot _ -> assert false);
+        (match loc_of env sym with
+         | Global entry ->
+           emit_mov env (Insn.Mem (ebp_mem base_slot))
+             (Insn.Imm (entry.Data_layout.addr - delta))
+         | Frame data_off ->
+           emit_lea env Registers.ESI (ebp_mem (data_off - delta));
+           emit_mov env (Insn.Mem (ebp_mem base_slot)) esi)
+      | Ast.Tptr _ ->
+        load_info_addr env Registers.ECX (info_of_sym env sym);
+        emit env
+          (Insn.Mov_to_seg (a.seg, Insn.Mem (Insn.mem ~base:Registers.ECX ())));
+        emit_mov env esi (Insn.Mem (Insn.mem ~base:Registers.ECX ~disp:4 ()));
+        emit_mov env (Insn.Mem (ebp_mem base_slot)) esi
+      | _ -> assert false)
+   | Minic.Loop_analysis.Bcomplex -> assert false);
+  record_seg_contents env a.seg (Minic.Loop_analysis.base_key a.abase);
+  a.established <- true;
+  a.needs_reload <- false;
+  a.skip_def_reload <- true
+
+(* Hoist (pointer - segment base) at this loop's entry for an inherited
+   pointer assignment that is invariant within this loop: references
+   inside become free (the "standard optimisation compiler" hoisting the
+   paper relies on, §3.3). Reverted by the caller at loop exit. *)
+let add_rel_hoist env (a : seg_assign) =
+  match a.access, a.abase with
+  | Sa_ptr { base_slot; rel_slot = None }, Minic.Loop_analysis.Bsym sym
+    when a.established ->
+    let r = alloc_slot env 4 in
+    emit_mov env edi (Insn.Mem (var_mem env sym ~delta:0));
+    emit_alu env Insn.Sub edi (Insn.Mem (ebp_mem base_slot));
+    emit_mov env (Insn.Mem (ebp_mem r)) edi;
+    a.access <- Sa_ptr { base_slot; rel_slot = Some r };
+    true
+  | _ -> false
+
+(* Re-establish segment register and hoisted base after a pointer that
+   carries a live segment assignment is retargeted (p = <new object>).
+   If the assignment is active in the innermost loop, the register is
+   reloaded immediately; if it belongs to an enclosing loop whose register
+   a deeper loop may be using, only the slots are refreshed and the
+   selector reload is deferred to the loop-exit re-establishment pass.
+   Same-object updates (p++, p = p + k) keep everything valid and skip
+   this entirely. *)
+let gen_seg_reload_at_def env (sym : Ir.sym) (a : seg_assign) ~active =
+  match a.access with
+  | Sa_ptr { base_slot; rel_slot } ->
+    load_info_addr env Registers.ECX (info_of_sym env sym);
+    if active then begin
+      env.stats.seg_loads <- env.stats.seg_loads + 1;
+      emit env
+        (Insn.Mov_to_seg (a.seg, Insn.Mem (Insn.mem ~base:Registers.ECX ())));
+      record_seg_contents env a.seg (Minic.Loop_analysis.base_key a.abase);
+      a.needs_reload <- false
+    end
+    else a.needs_reload <- true;
+    emit_mov env esi (Insn.Mem (Insn.mem ~base:Registers.ECX ~disp:4 ()));
+    emit_mov env (Insn.Mem (ebp_mem base_slot)) esi;
+    (match rel_slot with
+     | Some r ->
+       emit_mov env edi (Insn.Mem (var_mem env sym ~delta:0));
+       emit_alu env Insn.Sub edi esi;
+       emit_mov env (Insn.Mem (ebp_mem r)) edi
+     | None -> ());
+    a.established <- true
+  | Sa_array _ -> ()
+
+
+(* Decide the plan for a reference through pointer expression [pe], where
+   [direct_index] says the site is a[i] with a a named array variable. *)
+let decide_plan env ~pe ~direct_index ~is_store =
+  match env.kind with
+  | Backend.Gcc -> P_unchecked
+  | Backend.Bcc _ ->
+    ignore direct_index;
+    env.stats.bcc_checks <- env.stats.bcc_checks + 1;
+    (match base_of_expr pe with
+     | Minic.Loop_analysis.Bsym _ | Minic.Loop_analysis.Bstr _ ->
+       (match pe.Ir.e with
+        | Ir.Tvar _ | Ir.Tstr_lit _ -> P_sw_var
+        | _ -> P_sw_regs)
+     | Minic.Loop_analysis.Bcomplex -> P_sw_regs)
+  | Backend.Cash cfg ->
+    if not (in_loop env) then P_unchecked
+    else begin
+      let b = base_of_expr pe in
+      match active_assignment env b with
+      | Some a ->
+        env.stats.hw_checks <- env.stats.hw_checks + 1;
+        (* safety net: a deferred selector reload pending at a reference
+           site is materialised here *)
+        if a.established && a.needs_reload then emit_selector_load env a;
+        P_hw a
+      | None ->
+        if (not cfg.Backend.check_reads) && not is_store then
+          (* security-only mode (§3.8): reads are not worth a software
+             check — only writes corrupt state *)
+          P_unchecked
+        else begin
+          env.stats.sw_checks <- env.stats.sw_checks + 1;
+          (match pe.Ir.e with
+           | Ir.Tvar _ | Ir.Tstr_lit _ -> P_sw_var
+           | _ -> P_sw_regs)
+        end
+    end
+
+
+(* --- the mutually recursive generator ---------------------------------- *)
+
+let rec gen_expr env (e : Ir.texpr) =
+  match e.Ir.e with
+  | Ir.Tint_lit n -> emit_mov env eax (Insn.Imm n)
+  | Ir.Tfloat_lit f -> emit env (Insn.Fload_const (Registers.XMM0, f))
+  | Ir.Tstr_lit i ->
+    emit_mov env eax (Insn.Imm (str_addr env i));
+    (match env.kind with
+     | Backend.Gcc -> ()
+     | Backend.Cash _ -> emit_mov env ebx (Insn.Imm (str_info env i))
+     | Backend.Bcc _ ->
+       let rec_addr = str_info env i in
+       emit_mov env ebx (Insn.Mem (abs_mem rec_addr));
+       emit_mov env ecx (Insn.Mem (abs_mem (rec_addr + 4))))
+  | Ir.Tsizeof ty -> emit_mov env eax (Insn.Imm (Backend.sizeof env.kind ty))
+  | Ir.Tvar sym -> gen_var env sym
+  | Ir.Tindex _ | Ir.Tderef _ -> gen_ref_load env e
+  | Ir.Taddr inner -> gen_addr_of env inner
+  | Ir.Tunop (op, a) -> gen_unop env op a
+  | Ir.Tbinop (op, a, b) -> gen_binop env e.Ir.ty op a b
+  | Ir.Tland (a, b) ->
+    let lfalse = fresh_label env "andf" in
+    let lend = fresh_label env "ande" in
+    gen_branch env a ~jump_if:false ~target:lfalse;
+    gen_branch env b ~jump_if:false ~target:lfalse;
+    emit_mov env eax (Insn.Imm 1);
+    emit env (Insn.Jmp lend);
+    emit env (Insn.Label lfalse);
+    emit_mov env eax (Insn.Imm 0);
+    emit env (Insn.Label lend)
+  | Ir.Tlor (a, b) ->
+    let ltrue = fresh_label env "ort" in
+    let lend = fresh_label env "ore" in
+    gen_branch env a ~jump_if:true ~target:ltrue;
+    gen_branch env b ~jump_if:true ~target:ltrue;
+    emit_mov env eax (Insn.Imm 0);
+    emit env (Insn.Jmp lend);
+    emit env (Insn.Label ltrue);
+    emit_mov env eax (Insn.Imm 1);
+    emit env (Insn.Label lend)
+  | Ir.Tcond (c, a, b) ->
+    let lelse = fresh_label env "celse" in
+    let lend = fresh_label env "cend" in
+    gen_branch env c ~jump_if:false ~target:lelse;
+    gen_expr env a;
+    emit env (Insn.Jmp lend);
+    emit env (Insn.Label lelse);
+    gen_expr env b;
+    emit env (Insn.Label lend)
+  | Ir.Tassign (lv, rhs) -> gen_assign env lv rhs
+  | Ir.Tincdec (pos, op, lv) -> gen_incdec env pos op lv
+  | Ir.Tcall (fsym, args) -> gen_call env fsym args
+  | Ir.Tbuiltin (b, args) -> gen_builtin env b args
+  | Ir.Tcast (ty, inner) -> gen_cast env ty inner
+
+and gen_var env (sym : Ir.sym) =
+  match sym.Ir.ty with
+  | Ast.Tint -> emit_mov env eax (Insn.Mem (var_mem env sym ~delta:0))
+  | Ast.Tchar ->
+    emit env
+      (Insn.Movzx
+         (Registers.EAX, fix_operand env (Insn.Mem (var_mem env sym ~delta:0)),
+          Insn.Byte))
+  | Ast.Tdouble ->
+    emit_fmov env xmm0 (Insn.Fmem (var_mem env sym ~delta:0))
+  | Ast.Tptr _ ->
+    emit_mov env eax (Insn.Mem (var_mem env sym ~delta:0));
+    (match env.kind with
+     | Backend.Gcc -> ()
+     | Backend.Cash _ ->
+       emit_mov env ebx (Insn.Mem (var_mem env sym ~delta:4))
+     | Backend.Bcc _ ->
+       emit_mov env ebx (Insn.Mem (var_mem env sym ~delta:4));
+       emit_mov env ecx (Insn.Mem (var_mem env sym ~delta:8)))
+  | Ast.Tarray (elem, n) ->
+    (* the array decays to a pointer to its first element *)
+    let total = n * elem_size env elem in
+    (match loc_of env sym with
+     | Global entry -> emit_mov env eax (Insn.Imm entry.Data_layout.addr)
+     | Frame off -> emit_lea env Registers.EAX (ebp_mem off));
+    (match env.kind with
+     | Backend.Gcc -> ()
+     | Backend.Cash _ ->
+       (match info_of_sym env sym with
+        | Info_const a -> emit_mov env ebx (Insn.Imm a)
+        | Info_frame off -> emit_lea env Registers.EBX (ebp_mem off)
+        | Info_slot m -> emit_mov env ebx (Insn.Mem m))
+     | Backend.Bcc _ ->
+       ignore total;
+       let lo, hi = bcc_bounds_ops env (info_of_sym env sym) in
+       emit_mov env ebx (Insn.Mem lo);
+       emit_mov env ecx (Insn.Mem hi))
+  | Ast.Tvoid -> failwith "void variable"
+
+and gen_addr_of env (inner : Ir.texpr) =
+  match inner.Ir.e with
+  | Ir.Tindex (base, idx) ->
+    (* &a[i] is pointer arithmetic: base + i, keeping provenance *)
+    gen_binop env (Ast.Tptr inner.Ir.ty) Ast.Add base idx
+  | Ir.Tderef pe -> gen_expr env pe
+  | Ir.Tvar sym ->
+    (match sym.Ir.ty with
+     | Ast.Tarray _ -> gen_var env sym
+     | _ ->
+       (* address of a scalar: Cash associates it with the global segment
+          (§3.9), disabling checks for the resulting pointer *)
+       (match loc_of env sym with
+        | Global entry -> emit_mov env eax (Insn.Imm entry.Data_layout.addr)
+        | Frame off -> emit_lea env Registers.EAX (ebp_mem off));
+       load_unchecked_meta env)
+  | _ -> failwith "address-of requires an lvalue"
+
+and gen_cast env ty (inner : Ir.texpr) =
+  let from_ty = Ast.decay inner.Ir.ty in
+  let to_ty = Ast.decay ty in
+  gen_expr env inner;
+  match from_ty, to_ty with
+  | a, b when a = b -> ()
+  | (Ast.Tint | Ast.Tchar), Ast.Tdouble ->
+    emit env (Insn.Cvtsi2sd (Registers.XMM0, eax))
+  | Ast.Tdouble, (Ast.Tint | Ast.Tchar) ->
+    emit env (Insn.Cvtsd2si (Registers.EAX, xmm0))
+  | Ast.Tint, Ast.Tchar -> emit_alu env Insn.And eax (Insn.Imm 0xFF)
+  | Ast.Tchar, Ast.Tint -> ()
+  | Ast.Tptr _, Ast.Tptr _ -> () (* metadata flows through *)
+  | (Ast.Tint | Ast.Tchar), Ast.Tptr _ -> load_unchecked_meta env
+  | Ast.Tptr _, (Ast.Tint | Ast.Tchar) -> ()
+  | _ ->
+    failwith
+      (Printf.sprintf "unsupported cast from %s to %s" (Ast.show_ty from_ty)
+         (Ast.show_ty to_ty))
+
+and gen_unop env op (a : Ir.texpr) =
+  match op with
+  | Ast.Neg ->
+    gen_expr env a;
+    if is_double a.Ir.ty then emit env (Insn.Fneg Registers.XMM0)
+    else emit env (Insn.Neg (eax))
+  | Ast.Bnot ->
+    gen_expr env a;
+    emit_alu env Insn.Xor eax (Insn.Imm 0xFFFFFFFF)
+  | Ast.Lnot ->
+    if is_double a.Ir.ty then begin
+      gen_expr env a;
+      emit env (Insn.Fload_const (Registers.XMM1, 0.0));
+      emit env (Insn.Fcmp (Registers.XMM0, xmm1));
+      emit env (Insn.Setcc (Insn.Eq, Registers.EAX))
+    end
+    else begin
+      gen_expr env a;
+      emit env (Insn.Test (eax, eax));
+      emit env (Insn.Setcc (Insn.Eq, Registers.EAX))
+    end
+
+(* An operand usable directly in an ALU instruction without clobbering
+   registers: an int literal or a plain int variable. *)
+and leaf_int_operand env (e : Ir.texpr) =
+  match e.Ir.e with
+  | Ir.Tint_lit n -> Some (Insn.Imm n)
+  | Ir.Tsizeof ty -> Some (Insn.Imm (Backend.sizeof env.kind ty))
+  | Ir.Tvar sym when sym.Ir.ty = Ast.Tint ->
+    Some (Insn.Mem (var_mem env sym ~delta:0))
+  | _ -> None
+
+and leaf_double_operand env (e : Ir.texpr) =
+  match e.Ir.e with
+  | Ir.Tvar sym when sym.Ir.ty = Ast.Tdouble ->
+    Some (Insn.Fmem (var_mem env sym ~delta:0))
+  | _ -> None
+
+(* Evaluate an int pair for a comparison or non-commutative operation:
+   leaves lhs in EAX and rhs in [rhs_operand] (register ECX or a leaf). *)
+and gen_int_pair env (a : Ir.texpr) (b : Ir.texpr) =
+  match leaf_int_operand env b with
+  | Some op -> gen_expr env a; op
+  | None ->
+    gen_expr env a;
+    emit_push env eax;
+    gen_expr env b;
+    emit_mov env ecx eax;
+    emit_pop env eax;
+    ecx
+
+and gen_binop env result_ty op (a : Ir.texpr) (b : Ir.texpr) =
+  let ta = Ast.decay a.Ir.ty and tb = Ast.decay b.Ir.ty in
+  match ta, tb with
+  | Ast.Tptr _, Ast.Tptr _ when op = Ast.Sub ->
+    (* pointer difference, scaled down by the element size *)
+    let esize = elem_size env (elem_type a) in
+    gen_expr env a;
+    emit_push env eax;
+    gen_expr env b;
+    emit_mov env ecx eax;
+    emit_pop env eax;
+    emit_alu env Insn.Sub eax ecx;
+    if esize > 1 then begin
+      let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+      if scale_ok esize then
+        emit_alu env Insn.Sar eax (Insn.Imm (log2 esize))
+      else begin
+        emit_mov env ecx (Insn.Imm esize);
+        emit env (Insn.Idiv ecx)
+      end
+    end
+  | Ast.Tptr _, Ast.Tptr _ | Ast.Tptr _, Ast.Tint | Ast.Tint, Ast.Tptr _
+    when (match op with
+          | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+          | _ -> false) ->
+    (* pointer comparison: compare the value words, unsigned *)
+    gen_expr env a;
+    emit_push env eax;
+    gen_expr env b;
+    emit_mov env ecx eax;
+    emit_pop env eax;
+    emit_cmp env eax ecx;
+    emit env (Insn.Setcc (unsigned_cond op, Registers.EAX))
+  | Ast.Tptr _, _ when op = Ast.Add || op = Ast.Sub ->
+    gen_ptr_arith env op a b
+  | _, Ast.Tptr _ when op = Ast.Add -> gen_ptr_arith env Ast.Add b a
+  | _ ->
+    if Ast.decay result_ty = Ast.Tdouble
+       || (is_double a.Ir.ty && (match op with
+           | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne -> true
+           | _ -> false))
+    then gen_double_binop env op a b
+    else gen_int_binop env op a b
+
+and gen_ptr_arith env op (p : Ir.texpr) (i : Ir.texpr) =
+  let esize = elem_size env (elem_type p) in
+  (* can the pointer's value/metadata be produced without disturbing EAX?
+     (named variables, arrays, string literals) *)
+  let simple_ptr =
+    match p.Ir.e with
+    | Ir.Tvar _ | Ir.Tstr_lit _ -> true
+    | _ -> false
+  in
+  match i.Ir.e with
+  | Ir.Tint_lit n ->
+    gen_expr env p;
+    emit_alu env
+      (match op with Ast.Add -> Insn.Add | _ -> Insn.Sub)
+      eax (Insn.Imm (n * esize))
+  | _ when simple_ptr && not (expr_clobbers_fp i) ->
+    (* index first into EAX, then fold the named pointer in directly *)
+    gen_expr env i;
+    if esize > 1 then emit_alu env Insn.Imul eax (Insn.Imm esize);
+    (match p.Ir.e with
+     | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym) ->
+       (match loc_of env sym with
+        | Global entry -> emit_mov env edx (Insn.Imm entry.Data_layout.addr)
+        | Frame off -> emit_lea env Registers.EDX (ebp_mem off))
+     | Ir.Tvar sym -> emit_mov env edx (Insn.Mem (var_mem env sym ~delta:0))
+     | Ir.Tstr_lit si -> emit_mov env edx (Insn.Imm (str_addr env si))
+     | _ -> assert false);
+    (match op with
+     | Ast.Add ->
+       emit_lea env Registers.EAX
+         (Insn.mem ~base:Registers.EDX ~index:(Registers.EAX, 1) ())
+     | _ ->
+       emit_alu env Insn.Sub edx eax;
+       emit_mov env eax edx);
+    (* metadata loads touch only EBX/ECX *)
+    if ptr_meta_words env >= 1 then begin
+      match p.Ir.e, env.kind with
+      | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym), Backend.Cash _ ->
+        (match info_of_sym env sym with
+         | Info_const a -> emit_mov env ebx (Insn.Imm a)
+         | Info_frame off -> emit_lea env Registers.EBX (ebp_mem off)
+         | Info_slot m -> emit_mov env ebx (Insn.Mem m))
+      | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym), Backend.Bcc _ ->
+        let lo, hi = bcc_bounds_ops env (info_of_sym env sym) in
+        emit_mov env ebx (Insn.Mem lo);
+        emit_mov env ecx (Insn.Mem hi)
+      | Ir.Tvar sym, _ ->
+        emit_mov env ebx (Insn.Mem (var_mem env sym ~delta:4));
+        if ptr_meta_words env >= 2 then
+          emit_mov env ecx (Insn.Mem (var_mem env sym ~delta:8))
+      | Ir.Tstr_lit si, Backend.Cash _ ->
+        emit_mov env ebx (Insn.Imm (str_info env si))
+      | Ir.Tstr_lit si, Backend.Bcc _ ->
+        let rec_addr = str_info env si in
+        emit_mov env ebx (Insn.Mem (abs_mem rec_addr));
+        emit_mov env ecx (Insn.Mem (abs_mem (rec_addr + 4)))
+      | _ -> assert false
+    end
+  | _ ->
+    gen_expr env p;
+    push_result env p.Ir.ty;
+    gen_expr env i;
+    if esize > 1 then emit_alu env Insn.Imul eax (Insn.Imm esize);
+    emit_pop env edx;
+    (match op with
+     | Ast.Add -> emit_alu env Insn.Add edx eax
+     | _ -> emit_alu env Insn.Sub edx eax);
+    emit_mov env eax edx;
+    if ptr_meta_words env >= 1 then emit_pop env ebx;
+    if ptr_meta_words env >= 2 then emit_pop env ecx
+
+and gen_int_binop env op (a : Ir.texpr) (b : Ir.texpr) =
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Band | Ast.Bor | Ast.Bxor ->
+    let alu =
+      match op with
+      | Ast.Add -> Insn.Add | Ast.Sub -> Insn.Sub | Ast.Mul -> Insn.Imul
+      | Ast.Band -> Insn.And | Ast.Bor -> Insn.Or | _ -> Insn.Xor
+    in
+    let rhs = gen_int_pair env a b in
+    emit_alu env alu eax rhs
+  | Ast.Div | Ast.Mod ->
+    gen_expr env a;
+    emit_push env eax;
+    gen_expr env b;
+    emit_mov env ecx eax;
+    emit_pop env eax;
+    emit env (Insn.Idiv ecx);
+    if op = Ast.Mod then emit_mov env eax edx
+  | Ast.Shl | Ast.Shr ->
+    let rhs = gen_int_pair env a b in
+    (match rhs with
+     | Insn.Reg Registers.ECX -> ()
+     | other -> emit_mov env ecx other);
+    emit_alu env (if op = Ast.Shl then Insn.Shl else Insn.Sar) eax ecx
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    let rhs = gen_int_pair env a b in
+    emit_cmp env eax rhs;
+    emit env (Insn.Setcc (signed_cond op, Registers.EAX))
+
+and gen_double_binop env op (a : Ir.texpr) (b : Ir.texpr) =
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div ->
+    gen_double_to env { Ir.ty = Ast.Tdouble; e = Ir.Tbinop (op, a, b) } ~dst:0
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne ->
+    gen_double_cmp env a b;
+    emit env (Insn.Setcc (unsigned_cond op, Registers.EAX))
+  | _ -> failwith "invalid double operation"
+
+(* Evaluate a double comparison so flags hold (a ? b). *)
+and gen_double_cmp env (a : Ir.texpr) (b : Ir.texpr) =
+  if not (expr_clobbers_fp b) then begin
+    gen_double_to env a ~dst:0;
+    gen_double_to env b ~dst:1;
+    emit env (Insn.Fcmp (Registers.XMM0, xmm1))
+  end
+  else begin
+    gen_expr env a;
+    push_result env Ast.Tdouble;
+    gen_expr env b;
+    emit_fmov env xmm1
+      (Insn.Fmem (fix_mem env (Insn.mem ~base:Registers.ESP ())));
+    emit_alu env Insn.Add (Insn.Reg Registers.ESP) (Insn.Imm 8);
+    (* xmm1 = a, xmm0 = b *)
+    emit env (Insn.Fcmp (Registers.XMM1, xmm0))
+  end
+
+(* Does evaluating this expression go through a call (which clobbers every
+   XMM register under the calling convention)? *)
+and expr_clobbers_fp (e : Ir.texpr) =
+  match e.Ir.e with
+  | Ir.Tcall _ | Ir.Tbuiltin _ -> true
+  | Ir.Tint_lit _ | Ir.Tfloat_lit _ | Ir.Tstr_lit _ | Ir.Tvar _
+  | Ir.Tsizeof _ -> false
+  | Ir.Tindex (a, b) | Ir.Tbinop (_, a, b) | Ir.Tland (a, b)
+  | Ir.Tlor (a, b) | Ir.Tassign (a, b) ->
+    expr_clobbers_fp a || expr_clobbers_fp b
+  | Ir.Tderef a | Ir.Taddr a | Ir.Tunop (_, a) | Ir.Tcast (_, a)
+  | Ir.Tincdec (_, _, a) ->
+    expr_clobbers_fp a
+  | Ir.Tcond (c, a, b) ->
+    expr_clobbers_fp c || expr_clobbers_fp a || expr_clobbers_fp b
+
+(* Evaluate a double-typed expression into XMM[dst], using XMM[dst+1..]
+   as scratch — the register-stack FP evaluation a real optimising
+   compiler performs, so the baseline's numeric inner loops are tight.
+   Falls back to the general (stack-spilling) evaluator for calls and for
+   pathological nesting depth, preserving the live lower registers. *)
+and gen_double_to env (e : Ir.texpr) ~dst =
+  let xmm n = Registers.freg_of_int n in
+  let spill_live () =
+    for i = 0 to dst - 1 do
+      emit_alu env Insn.Sub (Insn.Reg Registers.ESP) (Insn.Imm 8);
+      emit_fmov env
+        (Insn.Fmem (Insn.mem ~base:Registers.ESP ()))
+        (Insn.Freg (xmm i))
+    done
+  in
+  let restore_live () =
+    for i = dst - 1 downto 0 do
+      emit_fmov env (Insn.Freg (xmm i))
+        (Insn.Fmem (Insn.mem ~base:Registers.ESP ()));
+      emit_alu env Insn.Add (Insn.Reg Registers.ESP) (Insn.Imm 8)
+    done
+  in
+  (* both-operands-clobber binops: explicit stack discipline around two
+     general evaluations (must not re-enter gen_double_to, which would
+     not terminate) *)
+  let binop_via_stack fop a b =
+    spill_live ();
+    gen_expr env a;
+    emit_alu env Insn.Sub (Insn.Reg Registers.ESP) (Insn.Imm 8);
+    emit_fmov env (Insn.Fmem (Insn.mem ~base:Registers.ESP ())) xmm0;
+    gen_expr env b;
+    emit_fmov env xmm1 xmm0;
+    emit_fmov env xmm0 (Insn.Fmem (Insn.mem ~base:Registers.ESP ()));
+    emit_alu env Insn.Add (Insn.Reg Registers.ESP) (Insn.Imm 8);
+    emit env (Insn.Falu (fop, Registers.XMM0, Insn.Freg Registers.XMM1));
+    if dst > 0 then emit_fmov env (Insn.Freg (xmm dst)) xmm0;
+    restore_live ()
+  in
+  let fallback () =
+    (* spill live XMM0..dst-1, evaluate via the general path (which only
+       uses XMM0/XMM1), move the result into place, restore *)
+    spill_live ();
+    gen_expr env e;
+    if dst > 0 then emit_fmov env (Insn.Freg (xmm dst)) xmm0;
+    restore_live ()
+  in
+  if dst > 5 then fallback ()
+  else
+    match e.Ir.e with
+    | Ir.Tfloat_lit f -> emit env (Insn.Fload_const (xmm dst, f))
+    | Ir.Tvar sym when sym.Ir.ty = Ast.Tdouble ->
+      emit_fmov env (Insn.Freg (xmm dst)) (Insn.Fmem (var_mem env sym ~delta:0))
+    | (Ir.Tindex _ | Ir.Tderef _) when Ast.decay e.Ir.ty = Ast.Tdouble ->
+      (* gen_ref_mem only touches integer registers, so any dst is safe *)
+      let m = gen_ref_mem env e in
+      emit env (Insn.Fmov (Insn.Freg (xmm dst), Insn.Fmem m))
+    | Ir.Tbinop (((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op), a, b)
+      when Ast.decay e.Ir.ty = Ast.Tdouble ->
+      let fop =
+        match op with
+        | Ast.Add -> Insn.Fadd | Ast.Sub -> Insn.Fsub | Ast.Mul -> Insn.Fmul
+        | _ -> Insn.Fdiv
+      in
+      (* operand folding: a simple variable rhs needs no extra register *)
+      (match leaf_double_operand env b with
+       | Some src when not (expr_clobbers_fp a) ->
+         gen_double_to env a ~dst;
+         let src =
+           match src with
+           | Insn.Fmem m -> Insn.Fmem (fix_mem env m)
+           | s -> s
+         in
+         emit env (Insn.Falu (fop, xmm dst, src))
+       | _ ->
+         if not (expr_clobbers_fp b) then begin
+           gen_double_to env a ~dst;
+           gen_double_to env b ~dst:(dst + 1);
+           emit env (Insn.Falu (fop, xmm dst, Insn.Freg (xmm (dst + 1))))
+         end
+         else if not (expr_clobbers_fp a) then begin
+           gen_double_to env b ~dst;
+           gen_double_to env a ~dst:(dst + 1);
+           match op with
+           | Ast.Add | Ast.Mul ->
+             emit env (Insn.Falu (fop, xmm dst, Insn.Freg (xmm (dst + 1))))
+           | _ ->
+             emit env (Insn.Falu (fop, xmm (dst + 1), Insn.Freg (xmm dst)));
+             emit env
+               (Insn.Fmov (Insn.Freg (xmm dst), Insn.Freg (xmm (dst + 1))))
+         end
+         else binop_via_stack fop a b)
+    | Ir.Tunop (Ast.Neg, a) ->
+      gen_double_to env a ~dst;
+      emit env (Insn.Fneg (xmm dst))
+    | Ir.Tcast (Ast.Tdouble, inner)
+      when Ast.is_integral (Ast.decay inner.Ir.ty) ->
+      if expr_clobbers_fp inner && dst > 0 then fallback ()
+      else begin
+        gen_expr env inner;
+        emit env (Insn.Cvtsi2sd (xmm dst, eax))
+      end
+    | _ -> fallback ()
+
+(* --- array-like reference sites ---------------------------------------- *)
+
+(* Evaluate an index expression into EAX, pre-multiplying when the element
+   size is not a legal SIB scale. Returns the scale to use. *)
+and eval_index env (idx : Ir.texpr) ~esize =
+  gen_expr env idx;
+  if scale_ok esize then esize
+  else begin
+    emit_alu env Insn.Imul eax (Insn.Imm esize);
+    1
+  end
+
+(* Compute the memory operand for the element designated by a[i] where [a]
+   is a named base (variable or string literal). Emits any checking code
+   the plan requires. *)
+and gen_index_mem_named env ~(base : Ir.texpr) ~idx ~esize ~is_store =
+  let direct_count =
+    match base.Ir.e with
+    | Ir.Tvar { Ir.ty = Ast.Tarray (_, n); _ } -> Some n
+    | Ir.Tstr_lit i -> Some (str_size env i)
+    | _ -> None
+  in
+  let plan = decide_plan env ~pe:base ~direct_index:direct_count ~is_store in
+  let s = eval_index env idx ~esize in
+  (* unchecked/base address helpers *)
+  let unchecked_mem () =
+    match base.Ir.e with
+    | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym) ->
+      (match loc_of env sym with
+       | Global entry ->
+         Insn.mem ~disp:entry.Data_layout.addr
+           ~index:(Registers.EAX, s) ()
+       | Frame off ->
+         fix_mem env
+           (Insn.mem ~base:Registers.EBP ~disp:off
+              ~index:(Registers.EAX, s) ()))
+    | Ir.Tstr_lit i ->
+      Insn.mem ~disp:(str_addr env i) ~index:(Registers.EAX, s) ()
+    | Ir.Tvar sym ->
+      emit_mov env edx (Insn.Mem (var_mem env sym ~delta:0));
+      Insn.mem ~base:Registers.EDX ~index:(Registers.EAX, s) ()
+    | _ -> assert false
+  in
+  match plan with
+  | P_unchecked -> unchecked_mem ()
+  | P_bcc_direct _ ->
+    (* no longer produced: BCC direct references go through the bounds
+       record like every other BCC check *)
+    assert false
+  | P_hw { seg; access; _ } ->
+    (match access with
+     | Sa_array { delta; _ } ->
+       Insn.mem ~seg ~disp:delta ~index:(Registers.EAX, s) ()
+     | Sa_ptr { rel_slot = Some r; _ } ->
+       emit_mov env edx (Insn.Mem (ebp_mem r));
+       Insn.mem ~seg ~base:Registers.EDX ~index:(Registers.EAX, s) ()
+     | Sa_ptr { base_slot; rel_slot = None } ->
+       (match base.Ir.e with
+        | Ir.Tvar sym ->
+          emit_mov env edx (Insn.Mem (var_mem env sym ~delta:0))
+        | _ -> assert false);
+       emit_alu env Insn.Sub edx (Insn.Mem (ebp_mem base_slot));
+       Insn.mem ~seg ~base:Registers.EDX ~index:(Registers.EAX, s) ())
+  | P_sw_var ->
+    (* software check through the base's bounds; address goes to EDI *)
+    let size = esize in
+    (match base.Ir.e with
+     | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym) ->
+       (match loc_of env sym with
+        | Global entry ->
+          emit_lea env Registers.EDI
+            (Insn.mem ~disp:entry.Data_layout.addr ~index:(Registers.EAX, s)
+               ())
+        | Frame off ->
+          emit_lea env Registers.EDI
+            (Insn.mem ~base:Registers.EBP ~disp:off ~index:(Registers.EAX, s)
+               ()));
+       (match env.kind with
+        | Backend.Cash _ ->
+          load_info_addr env Registers.ECX (info_of_sym env sym);
+          emit_sw_check env ~addr_reg:Registers.EDI ~size
+            (`Info_reg Registers.ECX)
+        | _ ->
+          (* BCC: the canonical 6-instruction check through the array's
+             bounds record *)
+          let lo, hi = bcc_bounds_ops env (info_of_sym env sym) in
+          emit_sw_check env ~addr_reg:Registers.EDI ~size (`Slots (lo, hi)))
+     | Ir.Tvar sym (* pointer variable *) ->
+       emit_mov env edx (Insn.Mem (var_mem env sym ~delta:0));
+       emit_lea env Registers.EDI
+         (Insn.mem ~base:Registers.EDX ~index:(Registers.EAX, s) ());
+       (match env.kind with
+        | Backend.Cash _ ->
+          load_info_addr env Registers.ECX (info_of_sym env sym);
+          emit_sw_check env ~addr_reg:Registers.EDI ~size
+            (`Info_reg Registers.ECX)
+        | _ ->
+          emit_sw_check ~sentinel:true env ~addr_reg:Registers.EDI ~size
+            (`Slots
+               ( fix_mem env (var_mem env sym ~delta:4),
+                 fix_mem env (var_mem env sym ~delta:8) )))
+     | Ir.Tstr_lit i ->
+       let a = str_addr env i in
+       emit_lea env Registers.EDI
+         (Insn.mem ~disp:a ~index:(Registers.EAX, s) ());
+       (match env.kind with
+        | Backend.Cash _ ->
+          emit_mov env ecx (Insn.Imm (str_info env i));
+          emit_sw_check env ~addr_reg:Registers.EDI ~size
+            (`Info_reg Registers.ECX)
+        | _ ->
+          let rec_addr = str_info env i in
+          emit_sw_check env ~addr_reg:Registers.EDI ~size
+            (`Slots (abs_mem rec_addr, abs_mem (rec_addr + 4))))
+     | _ -> assert false);
+    Insn.mem ~base:Registers.EDI ()
+  | P_sw_regs -> assert false (* named bases never take the regs path *)
+
+(* a[i] where the base is a computed pointer expression. *)
+and gen_index_mem_complex env ~(base : Ir.texpr) ~idx ~esize ~is_store =
+  let plan = decide_plan env ~pe:base ~direct_index:None ~is_store in
+  gen_expr env base;
+  push_result env base.Ir.ty;
+  let s = eval_index env idx ~esize in
+  emit_pop env edx;
+  if ptr_meta_words env >= 1 then emit_pop env ebx;
+  if ptr_meta_words env >= 2 then emit_pop env ecx;
+  match plan with
+  | P_unchecked ->
+    Insn.mem ~base:Registers.EDX ~index:(Registers.EAX, s) ()
+  | P_hw { seg; access; _ } ->
+    emit_sub_segbase env Registers.EDX access;
+    Insn.mem ~seg ~base:Registers.EDX ~index:(Registers.EAX, s) ()
+  | P_sw_regs | P_sw_var ->
+    emit_lea env Registers.EDI
+      (Insn.mem ~base:Registers.EDX ~index:(Registers.EAX, s) ());
+    (match env.kind with
+     | Backend.Cash _ ->
+       emit_sw_check env ~addr_reg:Registers.EDI ~size:esize
+         (`Info_reg Registers.EBX)
+     | _ ->
+       emit_sw_check ~sentinel:true env ~addr_reg:Registers.EDI ~size:esize
+         `Regs);
+    Insn.mem ~base:Registers.EDI ()
+  | P_bcc_direct _ -> assert false
+
+(* *p and derived forms. *)
+and gen_deref_mem env ~(pe : Ir.texpr) ~esize ~is_store =
+  match pe.Ir.e with
+  | Ir.Tvar sym ->
+    let plan = decide_plan env ~pe ~direct_index:None ~is_store in
+    let is_array = match sym.Ir.ty with Ast.Tarray _ -> true | _ -> false in
+    (match plan with
+     | P_unchecked | P_bcc_direct _ ->
+       if is_array then
+         (match loc_of env sym with
+          | Global entry -> abs_mem entry.Data_layout.addr
+          | Frame off -> fix_mem env (ebp_mem off))
+       else begin
+         emit_mov env edx (Insn.Mem (var_mem env sym ~delta:0));
+         Insn.mem ~base:Registers.EDX ()
+       end
+     | P_hw { seg; access; _ } ->
+       (match access with
+        | Sa_array { delta; _ } -> Insn.mem ~seg ~disp:delta ()
+        | Sa_ptr { rel_slot = Some r; _ } ->
+          emit_mov env edx (Insn.Mem (ebp_mem r));
+          Insn.mem ~seg ~base:Registers.EDX ()
+        | Sa_ptr { base_slot; rel_slot = None } ->
+          emit_mov env edx (Insn.Mem (var_mem env sym ~delta:0));
+          emit_alu env Insn.Sub edx (Insn.Mem (ebp_mem base_slot));
+          Insn.mem ~seg ~base:Registers.EDX ())
+     | P_sw_var | P_sw_regs ->
+       (if is_array then
+          match loc_of env sym with
+          | Global entry -> emit_mov env edi (Insn.Imm entry.Data_layout.addr)
+          | Frame off -> emit_lea env Registers.EDI (ebp_mem off)
+        else emit_mov env edi (Insn.Mem (var_mem env sym ~delta:0)));
+       (match env.kind with
+        | Backend.Cash _ ->
+          load_info_addr env Registers.ECX (info_of_sym env sym);
+          emit_sw_check env ~addr_reg:Registers.EDI ~size:esize
+            (`Info_reg Registers.ECX)
+        | Backend.Bcc _ when is_array ->
+          let lo, hi = bcc_bounds_ops env (info_of_sym env sym) in
+          emit_sw_check env ~addr_reg:Registers.EDI ~size:esize
+            (`Slots (lo, hi))
+        | _ ->
+          emit_sw_check ~sentinel:true env ~addr_reg:Registers.EDI ~size:esize
+            (`Slots
+               ( fix_mem env (var_mem env sym ~delta:4),
+                 fix_mem env (var_mem env sym ~delta:8) )));
+       Insn.mem ~base:Registers.EDI ())
+  | _ ->
+    (* computed pointer expression *)
+    let plan = decide_plan env ~pe ~direct_index:None ~is_store in
+    gen_expr env pe;
+    (match plan with
+     | P_unchecked | P_bcc_direct _ -> Insn.mem ~base:Registers.EAX ()
+     | P_hw { seg; access; _ } ->
+       emit_sub_segbase env Registers.EAX access;
+       Insn.mem ~seg ~base:Registers.EAX ()
+     | P_sw_var | P_sw_regs ->
+       (match env.kind with
+        | Backend.Cash _ ->
+          emit_sw_check env ~addr_reg:Registers.EAX ~size:esize
+            (`Info_reg Registers.EBX)
+        | _ ->
+          emit_sw_check ~sentinel:true env ~addr_reg:Registers.EAX ~size:esize
+            `Regs);
+       Insn.mem ~base:Registers.EAX ())
+
+(* The memory operand for a reference lvalue (Tindex or Tderef). *)
+and gen_ref_mem ?(is_store = false) env (refe : Ir.texpr) =
+  let esize = elem_size env refe.Ir.ty in
+  match refe.Ir.e with
+  | Ir.Tindex (base, idx) ->
+    (match base.Ir.e with
+     | Ir.Tvar _ | Ir.Tstr_lit _ ->
+       gen_index_mem_named env ~base ~idx ~esize ~is_store
+     | _ -> gen_index_mem_complex env ~base ~idx ~esize ~is_store)
+  | Ir.Tderef pe -> gen_deref_mem env ~pe ~esize ~is_store
+  | Ir.Tcast (_, inner) -> gen_ref_mem ~is_store env inner
+  | _ -> failwith "gen_ref_mem: not a reference lvalue"
+
+(* Load the value designated by a reference lvalue into the result regs. *)
+and gen_ref_load env (refe : Ir.texpr) =
+  let m = gen_ref_mem env refe in
+  match Ast.decay refe.Ir.ty with
+  | Ast.Tint -> emit env (Insn.Mov (Insn.Long, eax, Insn.Mem m))
+  | Ast.Tchar -> emit env (Insn.Movzx (Registers.EAX, Insn.Mem m, Insn.Byte))
+  | Ast.Tdouble -> emit env (Insn.Fmov (xmm0, Insn.Fmem m))
+  | Ast.Tptr _ ->
+    let m = materialize_addr env m in
+    if ptr_meta_words env >= 1 then
+      emit env
+        (Insn.Mov (Insn.Long, ebx, Insn.Mem { m with Insn.disp = m.Insn.disp + 4 }));
+    if ptr_meta_words env >= 2 then
+      emit env
+        (Insn.Mov (Insn.Long, ecx, Insn.Mem { m with Insn.disp = m.Insn.disp + 8 }));
+    emit env (Insn.Mov (Insn.Long, eax, Insn.Mem m))
+  | Ast.Tvoid | Ast.Tarray _ -> failwith "gen_ref_load: bad element type"
+
+(* Store the pushed right-hand side into a reference lvalue; leaves the
+   stored value in the result registers. *)
+and gen_ref_store env (refe : Ir.texpr) =
+  let ty = Ast.decay refe.Ir.ty in
+  let m = gen_ref_mem ~is_store:true env refe in
+  match ty with
+  | Ast.Tint ->
+    emit_pop env esi;
+    emit env (Insn.Mov (Insn.Long, Insn.Mem m, esi));
+    emit_mov env eax esi
+  | Ast.Tchar ->
+    emit_pop env esi;
+    emit env (Insn.Mov (Insn.Byte, Insn.Mem m, esi));
+    emit_mov env eax esi
+  | Ast.Tdouble ->
+    emit_fmov env xmm0
+      (Insn.Fmem (fix_mem env (Insn.mem ~base:Registers.ESP ())));
+    emit_alu env Insn.Add (Insn.Reg Registers.ESP) (Insn.Imm 8);
+    emit env (Insn.Fmov (Insn.Fmem m, xmm0))
+  | Ast.Tptr _ ->
+    let m = materialize_addr env m in
+    emit_pop env eax;
+    if ptr_meta_words env >= 1 then emit_pop env ebx;
+    if ptr_meta_words env >= 2 then emit_pop env ecx;
+    emit env (Insn.Mov (Insn.Long, Insn.Mem m, eax));
+    if ptr_meta_words env >= 1 then
+      emit env
+        (Insn.Mov (Insn.Long, Insn.Mem { m with Insn.disp = m.Insn.disp + 4 }, ebx));
+    if ptr_meta_words env >= 2 then
+      emit env
+        (Insn.Mov (Insn.Long, Insn.Mem { m with Insn.disp = m.Insn.disp + 8 }, ecx))
+  | Ast.Tvoid | Ast.Tarray _ -> failwith "gen_ref_store: bad element type"
+
+(* --- assignment, increment/decrement ----------------------------------- *)
+
+and gen_assign env (lv : Ir.texpr) (rhs : Ir.texpr) =
+  match lv.Ir.e with
+  | Ir.Tvar sym ->
+    (match Ast.decay lv.Ir.ty with
+     | Ast.Tint ->
+       gen_expr env rhs;
+       emit_mov env (Insn.Mem (var_mem env sym ~delta:0)) eax
+     | Ast.Tchar ->
+       gen_expr env rhs;
+       emit_movb env (Insn.Mem (var_mem env sym ~delta:0)) eax
+     | Ast.Tdouble ->
+       gen_double_to env rhs ~dst:0;
+       emit_fmov env (Insn.Fmem (var_mem env sym ~delta:0)) xmm0
+     | Ast.Tptr _ ->
+       gen_expr env rhs;
+       emit_mov env (Insn.Mem (var_mem env sym ~delta:0)) eax;
+       if ptr_meta_words env >= 1 then
+         emit_mov env (Insn.Mem (var_mem env sym ~delta:4)) ebx;
+       if ptr_meta_words env >= 2 then
+         emit_mov env (Insn.Mem (var_mem env sym ~delta:8)) ecx;
+       (* if this pointer carries a live segment assignment and may now
+          point into a different object, refresh the assignment: register
+          and slots if the assignment is active in this loop, slots only
+          (with a deferred selector reload) if it belongs to an enclosing
+          loop *)
+       let key = Minic.Loop_analysis.base_key (Minic.Loop_analysis.Bsym sym) in
+       let same_object =
+         match Minic.Loop_analysis.classify_base rhs with
+         | Minic.Loop_analysis.Bsym s -> Ir.sym_equal s sym
+         | _ -> false
+       in
+       if not same_object then begin
+         match List.assoc_opt key env.active_nest with
+         | Some a when not a.skip_def_reload ->
+           gen_seg_reload_at_def env sym a ~active:true
+         | Some _ -> ()
+         | None ->
+           (match List.assoc_opt key env.all_assigns with
+            | Some a when not a.skip_def_reload ->
+              gen_seg_reload_at_def env sym a ~active:false
+            | Some _ | None -> ())
+       end
+     | Ast.Tvoid | Ast.Tarray _ -> failwith "bad assignment target")
+  | Ir.Tindex _ | Ir.Tderef _ when Ast.decay lv.Ir.ty = Ast.Tdouble ->
+    (* doubles skip the stack round trip: the value sits in XMM0 while the
+       address is computed in the integer registers *)
+    gen_double_to env rhs ~dst:0;
+    let m = gen_ref_mem ~is_store:true env lv in
+    emit env (Insn.Fmov (Insn.Fmem m, xmm0))
+  | Ir.Tindex _ | Ir.Tderef _
+    when (match Ast.decay lv.Ir.ty with
+          | Ast.Tint | Ast.Tchar -> leaf_int_operand env rhs <> None
+          | _ -> false) ->
+    (* storing a constant or a plain variable: no stack round trip; the
+       leaf is read after address computation, which writes no variable *)
+    let width =
+      match Ast.decay lv.Ir.ty with Ast.Tchar -> Insn.Byte | _ -> Insn.Long
+    in
+    let m = gen_ref_mem ~is_store:true env lv in
+    (match leaf_int_operand env rhs with
+     | Some (Insn.Imm n) ->
+       emit env (Insn.Mov (width, Insn.Mem m, Insn.Imm n));
+       emit_mov env eax (Insn.Imm n)
+     | Some src ->
+       emit_mov env esi src;
+       emit env (Insn.Mov (width, Insn.Mem m, esi));
+       emit_mov env eax esi
+     | None -> assert false)
+  | Ir.Tindex _ | Ir.Tderef _ ->
+    gen_expr env rhs;
+    push_result env lv.Ir.ty;
+    gen_ref_store env lv
+  | Ir.Tcast (_, inner) -> gen_assign env inner rhs
+  | _ -> failwith "assignment to non-lvalue"
+
+and gen_incdec env pos op (lv : Ir.texpr) =
+  let ty = Ast.decay lv.Ir.ty in
+  let delta =
+    match ty with
+    | Ast.Tptr pointee -> elem_size env pointee
+    | _ -> 1
+  in
+  let delta = match op with Ast.Incr -> delta | Ast.Decr -> -delta in
+  match lv.Ir.e with
+  | Ir.Tvar sym ->
+    let slot = Insn.Mem (var_mem env sym ~delta:0) in
+    (match ty with
+     | Ast.Tint | Ast.Tptr _ ->
+       (match pos with
+        | Ast.Post ->
+          emit_mov env eax slot;
+          emit_alu env Insn.Add slot (Insn.Imm delta)
+        | Ast.Pre ->
+          emit_alu env Insn.Add slot (Insn.Imm delta);
+          emit_mov env eax slot);
+       (match ty with
+        | Ast.Tptr _ ->
+          if ptr_meta_words env >= 1 then
+            emit_mov env ebx (Insn.Mem (var_mem env sym ~delta:4));
+          if ptr_meta_words env >= 2 then
+            emit_mov env ecx (Insn.Mem (var_mem env sym ~delta:8))
+        | _ -> ())
+     | Ast.Tchar ->
+       emit env
+         (Insn.Movzx (Registers.ESI, fix_operand env slot, Insn.Byte));
+       if pos = Ast.Post then emit_mov env eax esi;
+       emit_alu env Insn.Add esi (Insn.Imm delta);
+       emit_alu env Insn.And esi (Insn.Imm 0xFF);
+       emit_movb env slot esi;
+       if pos = Ast.Pre then emit_mov env eax esi
+     | _ -> failwith "++/-- on unsupported type")
+  | Ir.Tindex _ | Ir.Tderef _ ->
+    let m = gen_ref_mem ~is_store:true env lv in
+    let m = materialize_addr env m in
+    (match ty with
+     | Ast.Tint | Ast.Tptr _ ->
+       emit env (Insn.Mov (Insn.Long, esi, Insn.Mem m));
+       if pos = Ast.Post then emit_mov env eax esi;
+       emit_alu env Insn.Add esi (Insn.Imm delta);
+       emit env (Insn.Mov (Insn.Long, Insn.Mem m, esi));
+       if pos = Ast.Pre then emit_mov env eax esi;
+       (match ty with
+        | Ast.Tptr _ ->
+          if ptr_meta_words env >= 1 then
+            emit env
+              (Insn.Mov
+                 (Insn.Long, ebx, Insn.Mem { m with Insn.disp = m.Insn.disp + 4 }));
+          if ptr_meta_words env >= 2 then
+            emit env
+              (Insn.Mov
+                 (Insn.Long, ecx, Insn.Mem { m with Insn.disp = m.Insn.disp + 8 }))
+        | _ -> ())
+     | Ast.Tchar ->
+       emit env (Insn.Movzx (Registers.ESI, Insn.Mem m, Insn.Byte));
+       if pos = Ast.Post then emit_mov env eax esi;
+       emit_alu env Insn.Add esi (Insn.Imm delta);
+       emit_alu env Insn.And esi (Insn.Imm 0xFF);
+       emit env (Insn.Mov (Insn.Byte, Insn.Mem m, esi));
+       if pos = Ast.Pre then emit_mov env eax esi
+     | _ -> failwith "++/-- on unsupported type")
+  | _ -> failwith "++/-- on non-lvalue"
+
+(* --- calls -------------------------------------------------------------- *)
+
+(* Push one already-evaluated argument; returns its stack footprint. *)
+and push_arg env (a : Ir.texpr) =
+  let ty = Ast.decay a.Ir.ty in
+  if is_double ty then begin
+    push_result env ty;
+    8
+  end
+  else if is_ptr ty then begin
+    push_result env ty;
+    4 * (1 + ptr_meta_words env)
+  end
+  else begin
+    emit_push env eax;
+    4
+  end
+
+and gen_call env (fsym : Ir.sym) args =
+  let bytes = ref 0 in
+  List.iter
+    (fun a ->
+      gen_expr env a;
+      bytes := !bytes + push_arg env a)
+    (List.rev args);
+  emit env (Insn.Call fsym.Ir.name);
+  if !bytes > 0 then
+    emit_alu env Insn.Add (Insn.Reg Registers.ESP) (Insn.Imm !bytes)
+
+and gen_builtin env (b : Ir.builtin) args =
+  let pop n = emit_alu env Insn.Add (Insn.Reg Registers.ESP) (Insn.Imm n) in
+  match b, args with
+  | Ir.Bmalloc, [ size ] ->
+    gen_expr env size;
+    emit_push env eax;
+    (match env.kind with
+     | Backend.Gcc ->
+       emit env (Insn.Callext "malloc");
+       pop 4
+     | Backend.Bcc _ ->
+       emit env (Insn.Callext "malloc");
+       pop 4;
+       (* libc returns base in ECX and one-past-end in EDX *)
+       emit_mov env ebx ecx;
+       emit_mov env ecx edx
+     | Backend.Cash _ ->
+       emit env (Insn.Callext "cash_malloc");
+       pop 4;
+       (* the runtime returns the info-structure address in ECX *)
+       emit_mov env ebx ecx)
+  | Ir.Bfree, [ p ] ->
+    gen_expr env p;
+    emit_push env eax;
+    emit env
+      (Insn.Callext
+         (match env.kind with Backend.Cash _ -> "cash_free" | _ -> "free"));
+    pop 4
+  | Ir.Bprint_int, [ x ] | Ir.Bsrand, [ x ] | Ir.Bprint_char, [ x ] ->
+    gen_expr env x;
+    emit_push env eax;
+    emit env
+      (Insn.Callext
+         (match b with
+          | Ir.Bprint_int -> "print_int"
+          | Ir.Bprint_char -> "print_char"
+          | _ -> "srand"));
+    pop 4
+  | Ir.Bprint_float, [ x ] ->
+    gen_expr env x;
+    push_result env Ast.Tdouble;
+    emit env (Insn.Callext "print_float");
+    pop 8
+  | Ir.Brand, [] -> emit env (Insn.Callext "rand")
+  | Ir.Bsqrt, [ x ] ->
+    (* inlined SSE square root, as an optimising compiler emits *)
+    gen_expr env x;
+    emit env (Insn.Fsqrt (Registers.XMM0, xmm0))
+  | Ir.Bmath1 name, [ x ] ->
+    gen_expr env x;
+    push_result env Ast.Tdouble;
+    emit env (Insn.Callext name);
+    pop 8
+  | Ir.Bmath2 name, [ x; y ] ->
+    gen_expr env y;
+    push_result env Ast.Tdouble;
+    gen_expr env x;
+    push_result env Ast.Tdouble;
+    emit env (Insn.Callext name);
+    pop 16
+  | _ -> failwith "builtin arity mismatch"
+
+(* --- branches ----------------------------------------------------------- *)
+
+(* Emit a conditional jump to [target] taken when [e]'s truth value equals
+   [jump_if]. *)
+and gen_branch env (e : Ir.texpr) ~jump_if ~target =
+  match e.Ir.e with
+  | Ir.Tint_lit n -> if (n <> 0) = jump_if then emit env (Insn.Jmp target)
+  | Ir.Tunop (Ast.Lnot, inner) ->
+    gen_branch env inner ~jump_if:(not jump_if) ~target
+  | Ir.Tland (a, b) ->
+    if not jump_if then begin
+      gen_branch env a ~jump_if:false ~target;
+      gen_branch env b ~jump_if:false ~target
+    end
+    else begin
+      let skip = fresh_label env "skip" in
+      gen_branch env a ~jump_if:false ~target:skip;
+      gen_branch env b ~jump_if:true ~target;
+      emit env (Insn.Label skip)
+    end
+  | Ir.Tlor (a, b) ->
+    if jump_if then begin
+      gen_branch env a ~jump_if:true ~target;
+      gen_branch env b ~jump_if:true ~target
+    end
+    else begin
+      let skip = fresh_label env "skip" in
+      gen_branch env a ~jump_if:true ~target:skip;
+      gen_branch env b ~jump_if:false ~target;
+      emit env (Insn.Label skip)
+    end
+  | Ir.Tbinop (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op),
+               a, b) ->
+    let ta = Ast.decay a.Ir.ty in
+    if ta = Ast.Tdouble then begin
+      gen_double_cmp env a b;
+      let c = unsigned_cond op in
+      emit env (Insn.Jcc ((if jump_if then c else negate_cond c), target))
+    end
+    else begin
+      let unsigned = Ast.is_pointer ta || Ast.is_pointer (Ast.decay b.Ir.ty) in
+      let c = if unsigned then unsigned_cond op else signed_cond op in
+      (* compare a variable directly against a constant without loading *)
+      (match leaf_int_operand env a, leaf_int_operand env b with
+       | Some (Insn.Mem m), Some (Insn.Imm n) ->
+         emit_cmp env (Insn.Mem m) (Insn.Imm n)
+       | _ ->
+         let rhs = gen_int_pair env a b in
+         emit_cmp env eax rhs);
+      emit env (Insn.Jcc ((if jump_if then c else negate_cond c), target))
+    end
+  | _ ->
+    gen_expr env e;
+    if is_double e.Ir.ty then begin
+      emit env (Insn.Fload_const (Registers.XMM1, 0.0));
+      emit env (Insn.Fcmp (Registers.XMM0, xmm1));
+      emit env (Insn.Jcc ((if jump_if then Insn.Ne else Insn.Eq), target))
+    end
+    else begin
+      emit env (Insn.Test (eax, eax));
+      emit env (Insn.Jcc ((if jump_if then Insn.Ne else Insn.Eq), target))
+    end
+
+(* --- Cash loop-nest preheader ------------------------------------------ *)
+
+and enter_loop_codegen env (li : Ir.loop_info) ~gen_cond_and_body =
+  let summary = Minic.Loop_analysis.loop env.analysis li.Ir.loop_id in
+  let saved_nest = env.active_nest in
+  let saved_all = env.all_assigns in
+  let reverts = ref [] in
+  (match cash_config env.kind, summary with
+   | Some cfg, Some s ->
+     let rec take n = function
+       | [] -> []
+       | _ when n = 0 -> []
+       | x :: r -> x :: take (n - 1) r
+     in
+     let desired =
+       take cfg.Backend.seg_budget
+         (List.filter
+            (fun b ->
+              Minic.Loop_analysis.base_assignable s b
+              && (cfg.Backend.check_reads
+                  || List.mem
+                       (Minic.Loop_analysis.base_key b)
+                       s.Minic.Loop_analysis.written))
+            s.Minic.Loop_analysis.bases)
+     in
+     let entries =
+       List.map2
+         (fun b seg ->
+           let key = Minic.Loop_analysis.base_key b in
+           match List.assoc_opt key env.active_nest with
+           | Some a when a.seg = seg ->
+             (* inherited: slots stay valid; reload the selector if a
+                deferred re-establishment is pending, and hoist the
+                relative base if the pointer is invariant in this loop *)
+             if a.established
+                && (a.needs_reload
+                    || List.assoc_opt a.seg env.seg_contents <> Some key)
+             then emit_selector_load env a;
+             if (not (Minic.Loop_analysis.base_mutated s b))
+                && List.mem key s.Minic.Loop_analysis.direct
+             then begin
+               (* hoist (pointer - segment base) only where this loop's own
+                  body references the pointer; deeper loops hoist at their
+                  own entries *)
+               let old_access = a.access in
+               if add_rel_hoist env a then
+                 reverts := (a, old_access) :: !reverts
+             end;
+             (key, a)
+           | _ ->
+             let a = make_assignment env b seg in
+             env.all_assigns <- (key, a) :: env.all_assigns;
+             (if not (Minic.Loop_analysis.base_declared_inside s b) then
+                establish_assignment env a
+                  ~invariant:
+                    ((not (Minic.Loop_analysis.base_mutated s b))
+                     && List.mem key s.Minic.Loop_analysis.direct)
+              else
+                match Minic.Loop_analysis.stable_def_source s b with
+                | Some src
+                  when (not (Minic.Loop_analysis.base_mutated s src))
+                       && not (Minic.Loop_analysis.base_declared_inside s src)
+                  ->
+                  establish_from_source env a src
+                | _ -> () (* setup deferred to the definition site *));
+             (key, a))
+         desired
+         (take (List.length desired) cfg.Backend.seg_regs)
+     in
+     env.active_nest <- entries
+   | _ -> ());
+  env.loop_stack <- li.Ir.loop_id :: env.loop_stack;
+  gen_cond_and_body summary;
+  env.loop_stack <- List.tl env.loop_stack;
+  (* undo this loop's relative-base hoists on inherited assignments *)
+  List.iter (fun (a, old_access) -> a.access <- old_access) !reverts;
+  env.active_nest <- saved_nest;
+  env.all_assigns <- saved_all;
+  (* Re-establish registers the inner loop repurposed or invalidated —
+     but only eagerly for bases the enclosing loop references in its own
+     body; bases used only inside (further) nested loops defer the reload
+     to those loops' preheaders, which keeps the common
+     sequence-of-sibling-loops pattern free of re-establishment code. *)
+  (* Eager: deferring the reload to the next consumer would be unsound
+     across the enclosing loop's back edge (the static register-contents
+     tracking is linear in codegen order and cannot see that iteration
+     N+1 of the parent re-enters the first inner loop with the registers
+     the LAST inner loop left behind). The reload is 1-2 instructions per
+     repurposed register per inner-loop exit. *)
+  List.iter
+    (fun (key, a) ->
+      if a.established
+         && (a.needs_reload
+             || List.assoc_opt a.seg env.seg_contents <> Some key)
+      then emit_selector_load env a)
+    saved_nest
+
+and emit_loop_stats env (summary : Minic.Loop_analysis.loop_summary option) =
+  match summary with
+  | Some s
+    when s.Minic.Loop_analysis.bases <> []
+         || s.Minic.Loop_analysis.has_complex ->
+    emit env
+      (Insn.Label
+         (Printf.sprintf "__stat_iter_a_%d" s.Minic.Loop_analysis.loop_id));
+    let budget =
+      match cash_config env.kind with
+      | Some c -> c.Backend.seg_budget
+      | None -> 3
+    in
+    if List.length s.Minic.Loop_analysis.bases > budget
+       || s.Minic.Loop_analysis.has_complex
+    then
+      emit env
+        (Insn.Label
+           (Printf.sprintf "__stat_iter_s_%d" s.Minic.Loop_analysis.loop_id))
+  | _ -> ()
+
+and gen_stmt env (s : Ir.tstmt) =
+  match s with
+  | Ir.Sexpr { Ir.e = Ir.Tincdec (_, op, ({ Ir.e = Ir.Tvar sym; _ } as lv));
+               _ }
+    when (match Ast.decay lv.Ir.ty with
+          | Ast.Tint | Ast.Tptr _ -> true
+          | _ -> false) ->
+    (* statement-context i++ / p++: a single read-modify-write, as an
+       optimising compiler emits — the result value is dead *)
+    let delta =
+      match Ast.decay lv.Ir.ty with
+      | Ast.Tptr pointee -> elem_size env pointee
+      | _ -> 1
+    in
+    let delta = match op with Ast.Incr -> delta | Ast.Decr -> -delta in
+    emit_alu env Insn.Add (Insn.Mem (var_mem env sym ~delta:0)) (Insn.Imm delta)
+  | Ir.Sexpr e -> gen_expr env e
+  | Ir.Sdecl (sym, init) ->
+    (match init with
+     | None -> ()
+     | Some rhs ->
+       gen_assign env { Ir.ty = sym.Ir.ty; e = Ir.Tvar sym } rhs)
+  | Ir.Sif (c, then_, else_) ->
+    let lelse = fresh_label env "else" in
+    let lend = fresh_label env "endif" in
+    gen_branch env c ~jump_if:false ~target:lelse;
+    gen_stmt env then_;
+    (match else_ with
+     | None -> emit env (Insn.Label lelse)
+     | Some eb ->
+       emit env (Insn.Jmp lend);
+       emit env (Insn.Label lelse);
+       gen_stmt env eb;
+       emit env (Insn.Label lend))
+  | Ir.Swhile (li, cond, body) ->
+    enter_loop_codegen env li ~gen_cond_and_body:(fun summary ->
+        let lbody = fresh_label env "body" in
+        let lcond = fresh_label env "cond" in
+        let lend = fresh_label env "endloop" in
+        env.break_labels <- lend :: env.break_labels;
+        env.continue_labels <- lcond :: env.continue_labels;
+        emit env (Insn.Jmp lcond);
+        emit env (Insn.Label lbody);
+        emit_loop_stats env summary;
+        gen_stmt env body;
+        emit env (Insn.Label lcond);
+        gen_branch env cond ~jump_if:true ~target:lbody;
+        emit env (Insn.Label lend);
+        env.break_labels <- List.tl env.break_labels;
+        env.continue_labels <- List.tl env.continue_labels)
+  | Ir.Sfor (li, init, cond, step, body) ->
+    Option.iter (gen_stmt env) init;
+    enter_loop_codegen env li ~gen_cond_and_body:(fun summary ->
+        let lbody = fresh_label env "body" in
+        let lcont = fresh_label env "cont" in
+        let lcond = fresh_label env "cond" in
+        let lend = fresh_label env "endloop" in
+        env.break_labels <- lend :: env.break_labels;
+        env.continue_labels <- lcont :: env.continue_labels;
+        emit env (Insn.Jmp lcond);
+        emit env (Insn.Label lbody);
+        emit_loop_stats env summary;
+        gen_stmt env body;
+        emit env (Insn.Label lcont);
+        (* route the step through gen_stmt so statement-context fast paths
+           (single-instruction i++) apply *)
+        Option.iter (fun e -> gen_stmt env (Ir.Sexpr e)) step;
+        emit env (Insn.Label lcond);
+        (match cond with
+         | Some c -> gen_branch env c ~jump_if:true ~target:lbody
+         | None -> emit env (Insn.Jmp lbody));
+        emit env (Insn.Label lend);
+        env.break_labels <- List.tl env.break_labels;
+        env.continue_labels <- List.tl env.continue_labels)
+  | Ir.Sreturn e ->
+    Option.iter (gen_expr env) e;
+    emit env (Insn.Jmp (Printf.sprintf ".Lret_%s" env.fname))
+  | Ir.Sblock stmts -> List.iter (gen_stmt env) stmts
+  | Ir.Sbreak ->
+    (match env.break_labels with
+     | l :: _ -> emit env (Insn.Jmp l)
+     | [] -> failwith "break outside loop")
+  | Ir.Scontinue ->
+    (match env.continue_labels with
+     | l :: _ -> emit env (Insn.Jmp l)
+     | [] -> failwith "continue outside loop")
+  | Ir.Sempty -> ()
+
+(* --- functions ---------------------------------------------------------- *)
+
+let align4 n = (n + 3) land lnot 3
+
+(* Assign frame offsets to parameters and locals. *)
+let assign_frame env (f : Ir.tfunc) =
+  (* parameters: first at [EBP+8] (return address at +4, saved EBP at 0) *)
+  let cursor = ref 8 in
+  List.iter
+    (fun (p : Ir.sym) ->
+      Hashtbl.replace env.offsets p.Ir.id !cursor;
+      cursor := !cursor + align4 (Backend.val_size env.kind p.Ir.ty))
+    f.Ir.params;
+  (* locals grow downward from EBP *)
+  List.iter
+    (fun (l : Ir.sym) ->
+      match l.Ir.ty with
+      | Ast.Tarray _ ->
+        let data_size = align4 (Backend.val_size env.kind l.Ir.ty) in
+        (match env.kind with
+         | Backend.Cash _ ->
+           (* [info : 12][data : n] — info just below the array *)
+           env.frame_size <- env.frame_size + data_size + 12;
+           let info_off = -env.frame_size in
+           Hashtbl.replace env.info_offsets l.Ir.id info_off;
+           Hashtbl.replace env.offsets l.Ir.id (info_off + 12);
+           env.local_arrays <- l :: env.local_arrays
+         | Backend.Bcc _ ->
+           (* [bounds : 8][data : n] — initialised in the prologue, BCC's
+              object registration *)
+           env.frame_size <- env.frame_size + data_size + 8;
+           let info_off = -env.frame_size in
+           Hashtbl.replace env.info_offsets l.Ir.id info_off;
+           Hashtbl.replace env.offsets l.Ir.id (info_off + 8);
+           env.local_arrays <- l :: env.local_arrays
+         | Backend.Gcc ->
+           env.frame_size <- env.frame_size + data_size;
+           Hashtbl.replace env.offsets l.Ir.id (-env.frame_size))
+      | _ ->
+        let size = align4 (Backend.val_size env.kind l.Ir.ty) in
+        env.frame_size <- env.frame_size + size;
+        Hashtbl.replace env.offsets l.Ir.id (-env.frame_size))
+    f.Ir.locals
+
+let local_array_init env (sym : Ir.sym) =
+  let info_off = Hashtbl.find env.info_offsets sym.Ir.id in
+  let size =
+    match sym.Ir.ty with
+    | Ast.Tarray (elem, n) -> n * elem_size env elem
+    | _ -> assert false
+  in
+  match env.kind with
+  | Backend.Cash _ ->
+    let data_off = info_off + 12 in
+    emit_push env (Insn.Imm size);
+    emit_lea env Registers.ESI (ebp_mem data_off);
+    emit_push env esi;
+    emit_lea env Registers.ESI (ebp_mem info_off);
+    emit_push env esi;
+    emit env (Insn.Callext "cash_seg_init");
+    emit_alu env Insn.Add (Insn.Reg Registers.ESP) (Insn.Imm 12)
+  | Backend.Bcc _ ->
+    (* fill the bounds record: BCC's per-object registration *)
+    let data_off = info_off + 8 in
+    emit_lea env Registers.ESI (ebp_mem data_off);
+    emit_mov env (Insn.Mem (ebp_mem info_off)) esi;
+    emit_lea env Registers.ESI (ebp_mem (data_off + size));
+    emit_mov env (Insn.Mem (ebp_mem (info_off + 4))) esi
+  | Backend.Gcc -> ()
+
+let local_array_free env (sym : Ir.sym) =
+  match env.kind with
+  | Backend.Cash _ ->
+    let info_off = Hashtbl.find env.info_offsets sym.Ir.id in
+    emit_lea env Registers.ESI (ebp_mem info_off);
+    emit_push env esi;
+    emit env (Insn.Callext "cash_seg_free");
+    emit_alu env Insn.Add (Insn.Reg Registers.ESP) (Insn.Imm 4)
+  | Backend.Bcc _ | Backend.Gcc -> ()
+
+(* Does the emitted body reference the per-function fault label? *)
+let body_uses_fault body fname =
+  let fl = Printf.sprintf ".Lfault_%s" fname in
+  List.exists
+    (function Insn.Jcc (_, l) | Insn.Jmp l -> l = fl | _ -> false)
+    body
+
+let gen_function ~kind ~prog ~layout ~analysis ~stats ~label_counter
+    ~swcheck_counter (f : Ir.tfunc) =
+  let env =
+    {
+      kind;
+      prog;
+      layout;
+      analysis;
+      stats;
+      label_counter;
+      swcheck_counter;
+      fname = f.Ir.fsym.Ir.name;
+      code = [];
+      offsets = Hashtbl.create 31;
+      info_offsets = Hashtbl.create 7;
+      frame_size = 0;
+      seg_saves = [];
+      loop_stack = [];
+      active_nest = [];
+      all_assigns = [];
+      seg_contents = [];
+      break_labels = [];
+      continue_labels = [];
+      local_arrays = [];
+    }
+  in
+  assign_frame env f;
+  (* body first: it finalises frame_size and seg_saves *)
+  List.iter (gen_stmt env) f.Ir.body;
+  let body = List.rev env.code in
+  (* prologue *)
+  env.code <- [];
+  emit env (Insn.Label env.fname);
+  emit_push env (Insn.Reg Registers.EBP);
+  emit_mov env (Insn.Reg Registers.EBP) (Insn.Reg Registers.ESP);
+  if env.frame_size > 0 then
+    emit_alu env Insn.Sub (Insn.Reg Registers.ESP) (Insn.Imm env.frame_size);
+  List.iter
+    (fun (seg, slot) ->
+      emit env (Insn.Mov_from_seg (Insn.Mem (fix_mem env (ebp_mem slot)), seg)))
+    env.seg_saves;
+  List.iter (local_array_init env) (List.rev env.local_arrays);
+  let prologue = List.rev env.code in
+  (* epilogue *)
+  env.code <- [];
+  emit env (Insn.Label (Printf.sprintf ".Lret_%s" env.fname));
+  List.iter (local_array_free env) env.local_arrays;
+  List.iter
+    (fun (seg, slot) ->
+      emit env (Insn.Mov_to_seg (seg, Insn.Mem (fix_mem env (ebp_mem slot)))))
+    env.seg_saves;
+  emit_mov env (Insn.Reg Registers.ESP) (Insn.Reg Registers.EBP);
+  emit_pop env (Insn.Reg Registers.EBP);
+  emit env Insn.Ret;
+  if body_uses_fault body env.fname then begin
+    emit env (Insn.Label (fault_label env));
+    emit env (Insn.Callext "bounds_violation");
+    emit env Insn.Halt
+  end;
+  let epilogue = List.rev env.code in
+  prologue @ body @ epilogue
+
+(* --- whole program ------------------------------------------------------ *)
+
+type result = {
+  kind : Backend.kind;
+  program : Machine.Program.t;
+  layout : Data_layout.t;
+  analysis : Minic.Loop_analysis.t;
+  stats : stats;
+  code_bytes : int;
+  data_bytes : int;
+}
+
+(* The _start stub: Cash programs install the call gate and register every
+   static array's segment before main runs (§3.4). *)
+let gen_start ~kind ~prog ~(layout : Data_layout.t) =
+  let env =
+    {
+      kind;
+      prog;
+      layout;
+      analysis = Minic.Loop_analysis.analyze { prog with Ir.funcs = [] };
+      stats = { hw_checks = 0; sw_checks = 0; bcc_checks = 0; seg_loads = 0 };
+      label_counter = ref 0;
+      swcheck_counter = ref 0;
+      fname = "_start";
+      code = [];
+      offsets = Hashtbl.create 1;
+      info_offsets = Hashtbl.create 1;
+      frame_size = 0;
+      seg_saves = [];
+      loop_stack = [];
+      active_nest = [];
+      all_assigns = [];
+      seg_contents = [];
+      break_labels = [];
+      continue_labels = [];
+      local_arrays = [];
+    }
+  in
+  emit env (Insn.Label "_start");
+  (match kind with
+   | Backend.Cash _ ->
+     emit env (Insn.Callext "cash_startup");
+     let register ~info ~addr ~size =
+       emit_push env (Insn.Imm size);
+       emit_push env (Insn.Imm addr);
+       emit_push env (Insn.Imm info);
+       emit env (Insn.Callext "cash_seg_init");
+       emit_alu env Insn.Add (Insn.Reg Registers.ESP) (Insn.Imm 12)
+     in
+     List.iter
+       (fun ((sym : Ir.sym), _) ->
+         match sym.Ir.ty with
+         | Ast.Tarray (elem, n) ->
+           let entry = Data_layout.entry_exn layout sym in
+           register ~info:entry.Data_layout.info_addr
+             ~addr:entry.Data_layout.addr
+             ~size:(n * elem_size env elem)
+         | _ -> ())
+       prog.Ir.globals;
+     Array.iteri
+       (fun i s ->
+         register ~info:(str_info env i) ~addr:(str_addr env i)
+           ~size:(String.length s + 1))
+       prog.Ir.strings
+   | Backend.Gcc | Backend.Bcc _ -> ());
+  emit env (Insn.Call "main");
+  emit env Insn.Halt;
+  List.rev env.code
+
+(* Compile a typed program with the given backend. *)
+let generate kind (prog : Ir.tprog) =
+  let layout = Data_layout.build kind prog in
+  let analysis = Minic.Loop_analysis.analyze prog in
+  let stats = { hw_checks = 0; sw_checks = 0; bcc_checks = 0; seg_loads = 0 } in
+  let label_counter = ref 0 in
+  let swcheck_counter = ref 0 in
+  let funcs =
+    List.concat_map
+      (gen_function ~kind ~prog ~layout ~analysis ~stats ~label_counter
+         ~swcheck_counter)
+      prog.Ir.funcs
+  in
+  let start = gen_start ~kind ~prog ~layout in
+  let insns = start @ funcs in
+  let program =
+    Machine.Program.link ~entry:"_start" ~data:layout.Data_layout.data insns
+  in
+  {
+    kind;
+    program;
+    layout;
+    analysis;
+    stats;
+    code_bytes = Machine.Program.code_size program;
+    data_bytes = layout.Data_layout.total_bytes;
+  }

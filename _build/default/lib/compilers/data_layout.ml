@@ -1,0 +1,182 @@
+(* Static data layout: assign linear addresses to globals and string
+   literals, and produce the loader directives.
+
+   Under Cash, every global array and string literal is preceded by its
+   12-byte information structure ("when a 100-byte array is statically
+   allocated, Cash allocates 112 bytes", §3.2). The info structure is
+   *filled at startup* by cash_seg_init; here we only reserve it.
+
+   Cash additionally gets one static info structure, [unchecked_info],
+   describing the flat global segment — the shadow target for pointers
+   whose provenance Cash does not track.
+
+   Under BCC, every array and string literal likewise gets an 8-byte
+   bounds record (lower, upper): real BCC keeps object bounds in memory
+   and its checks load them — the paper's 6-instruction minimum sequence
+   (2 loads, 2 comparisons, 2 branches). Unlike Cash's, BCC's records can
+   be statically initialised (no startup registration code needed). *)
+
+module Ast = Minic.Ast
+module Ir = Minic.Ir
+
+type entry = {
+  sym : Ir.sym;
+  addr : int;       (* address of the value / first array element *)
+  info_addr : int;  (* Cash info structure address; -1 if none *)
+  byte_size : int;
+}
+
+type t = {
+  kind : Backend.kind;
+  entries : (int, entry) Hashtbl.t;    (* sym id -> entry *)
+  string_addrs : (int * int) array;    (* string id -> (addr, info_addr) *)
+  unchecked_info : int;                (* Cash only; -1 otherwise *)
+  data : Machine.Program.datum list;
+  total_bytes : int;
+}
+
+let align8 n = (n + 7) land lnot 7
+
+let int32_le v =
+  let b = Bytes.create 4 in
+  Bytes.set b 0 (Char.chr (v land 0xFF));
+  Bytes.set b 1 (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set b 2 (Char.chr ((v lsr 16) land 0xFF));
+  Bytes.set b 3 (Char.chr ((v lsr 24) land 0xFF));
+  Bytes.to_string b
+
+let float64_le f =
+  let bits = Int64.bits_of_float f in
+  String.init 8 (fun i ->
+      Char.chr
+        (Int64.to_int (Int64.shift_right_logical bits (8 * i)) land 0xFF))
+
+let const_bytes (ty : Ast.ty) (c : Ir.const option) size =
+  let raw =
+    match c with
+    | None -> None
+    | Some (Ir.Cint n) ->
+      (match ty with
+       | Ast.Tchar -> Some (String.make 1 (Char.chr (n land 0xFF)))
+       | Ast.Tdouble -> Some (float64_le (float_of_int n))
+       | _ -> Some (int32_le n))
+    | Some (Ir.Cfloat f) ->
+      (match ty with
+       | Ast.Tdouble -> Some (float64_le f)
+       | _ -> Some (int32_le (int_of_float f)))
+  in
+  match raw with
+  | Some s when String.length s < size ->
+    Some (s ^ String.make (size - String.length s) '\000')
+  | other -> other
+
+let is_cash = function Backend.Cash _ -> true | _ -> false
+let is_bcc = function Backend.Bcc _ -> true | _ -> false
+
+let needs_info kind (ty : Ast.ty) =
+  (is_cash kind || is_bcc kind)
+  && match ty with Ast.Tarray _ -> true | _ -> false
+
+(* Lay out the data section for [prog] under [kind], starting at the
+   standard data base. *)
+let build kind (prog : Ir.tprog) =
+  let entries = Hashtbl.create 31 in
+  let data = ref [] in
+  let cursor = ref Osim.Layout.data_base in
+  let place ~label ~size ~init =
+    let addr = !cursor in
+    cursor := align8 (!cursor + size);
+    data := { Machine.Program.label; addr; size; init } :: !data;
+    addr
+  in
+  (* Cash's static info structure for untracked pointers: selector = flat
+     data segment, base = 0, upper = 0xFFFFFFFF. *)
+  let unchecked_info =
+    if is_cash kind then
+      place ~label:"__cash_unchecked_info" ~size:12
+        ~init:
+          (Some
+             (int32_le
+                (Seghw.Selector.to_int Backend.global_segment_selector)
+              ^ int32_le 0 ^ int32_le 0xFFFFFFFF))
+    else -1
+  in
+  List.iter
+    (fun ((sym : Ir.sym), init) ->
+      let size = Backend.val_size kind sym.Ir.ty in
+      let info_addr =
+        if needs_info kind sym.Ir.ty then
+          if is_cash kind then
+            place ~label:(sym.Ir.name ^ "$info") ~size:12 ~init:None
+          else begin
+            (* BCC bounds record: lower = array start, upper = one past
+               the end, both known statically for globals *)
+            let record = place ~label:(sym.Ir.name ^ "$bounds") ~size:8
+                ~init:None in
+            record
+          end
+        else -1
+      in
+      let addr =
+        place ~label:sym.Ir.name ~size
+          ~init:(const_bytes sym.Ir.ty init size)
+      in
+      (* now that the array's address is known, backpatch the BCC bounds
+         record's static initialiser *)
+      let data' =
+        if is_bcc kind && info_addr <> -1 then
+          List.map
+            (fun (d : Machine.Program.datum) ->
+              if d.Machine.Program.addr = info_addr then
+                { d with Machine.Program.init =
+                    Some (int32_le addr ^ int32_le (addr + size)) }
+              else d)
+            !data
+        else !data
+      in
+      data := data';
+      Hashtbl.replace entries sym.Ir.id { sym; addr; info_addr; byte_size = size })
+    prog.Ir.globals;
+  let string_addrs =
+    Array.map
+      (fun s ->
+        let size = String.length s + 1 in
+        let info_addr =
+          if is_cash kind then place ~label:"$strinfo" ~size:12 ~init:None
+          else if is_bcc kind then
+            place ~label:"$strbounds" ~size:8 ~init:None
+          else -1
+        in
+        let addr = place ~label:"$str" ~size ~init:(Some (s ^ "\000")) in
+        (if is_bcc kind && info_addr <> -1 then
+           data :=
+             List.map
+               (fun (d : Machine.Program.datum) ->
+                 if d.Machine.Program.addr = info_addr then
+                   { d with Machine.Program.init =
+                       Some (int32_le addr ^ int32_le (addr + size)) }
+                 else d)
+               !data);
+        (addr, info_addr))
+      prog.Ir.strings
+  in
+  {
+    kind;
+    entries;
+    string_addrs;
+    unchecked_info;
+    data = List.rev !data;
+    total_bytes = !cursor - Osim.Layout.data_base;
+  }
+
+let entry t sym_id = Hashtbl.find_opt t.entries sym_id
+
+let entry_exn t (sym : Ir.sym) =
+  match entry t sym.Ir.id with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "no data entry for %s" sym.Ir.name)
+
+let string_addr t id = fst t.string_addrs.(id)
+let string_info t id = snd t.string_addrs.(id)
+let string_size (_ : t) (prog : Ir.tprog) id =
+  String.length prog.Ir.strings.(id) + 1

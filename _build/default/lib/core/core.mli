@@ -1,0 +1,90 @@
+(** Cash — checking array bound violations using (simulated) segmentation
+    hardware: the public API.
+
+    {[
+      let compiled = Core.compile Core.cash source_text in
+      match (Core.run compiled).Core.status with
+      | Core.Finished -> ...
+      | Core.Bound_violation msg -> ...   (* #GP/#SS/#BR *)
+      | Core.Crashed msg -> ...
+    ]} *)
+
+type backend = Compilers.Backend.kind
+
+(** The baseline: no bound checking. *)
+val gcc : backend
+
+(** Software bound checking with 3-word fat pointers and in-memory bounds
+    records — the paper's comparison compiler. *)
+val bcc : backend
+
+(** [bcc] with checks through the x86 [BOUND] instruction — §2's losing
+    alternative. *)
+val bcc_bound : backend
+
+(** The paper's contribution, default 3-segment-register configuration. *)
+val cash : backend
+
+(** §3.8's security-only deployment: writes checked, reads free. *)
+val cash_security : backend
+
+(** The 2-, 3-, and 4-register configurations of §3.7/§4.2.
+    @raise Invalid_argument for any other count. *)
+val cash_n : int -> backend
+
+val backend_name : backend -> string
+
+type compiled = Compilers.Codegen.result
+
+(** Parse, type-check, and compile.
+    @raise Minic.Lexer.Lex_error, [Minic.Parser.Parse_error], or
+    [Minic.Typecheck.Type_error] on bad input. *)
+val compile : backend -> string -> compiled
+
+type status =
+  | Finished                   (** ran to the final HLT *)
+  | Bound_violation of string  (** segment limit / BOUND / software check *)
+  | Crashed of string          (** any other processor fault *)
+
+type run = {
+  status : status;
+  cycles : int;
+  insns : int;
+  output : string;
+  process : Osim.Process.t;
+  runtime : Cashrt.Runtime.t option;  (** present for Cash programs *)
+  kernel : Osim.Kernel.t;
+}
+
+(** Load into a fresh simulated process and run to completion. Supply
+    [kernel] to share a global clock across processes (the network
+    experiments do); [guard_malloc] enables the Electric Fence comparator
+    (§2): page-fenced heap allocations that catch malloc-buffer overruns
+    under ANY backend, at page-granular virtual-memory cost.
+    @raise Machine.Cpu.Out_of_fuel past [fuel] instructions. *)
+val run :
+  ?kernel:Osim.Kernel.t -> ?fuel:int -> ?guard_malloc:bool -> compiled -> run
+
+(** [compile] then [run]. *)
+val exec : ?fuel:int -> ?guard_malloc:bool -> backend -> string -> run
+
+(** Sum of the dynamic zero-cost counters with the given name prefix:
+    ["__stat_iter_a_"] array-loop iterations, ["__stat_iter_s_"]
+    spilled-loop iterations, ["__stat_swc_"] software checks executed. *)
+val stat_sum : run -> prefix:string -> int
+
+(** Static characteristics, feeding Tables 1/2/4/6/7. *)
+type static_info = {
+  code_bytes : int;
+  data_bytes : int;
+  image_bytes : int;
+  hw_checks : int;   (** reference sites checked by segmentation *)
+  sw_checks : int;   (** sites on Cash's software fallback *)
+  bcc_checks : int;  (** sites checked by the BCC backends *)
+  loops : Minic.Loop_analysis.characteristics;
+}
+
+val static_info : ?budget:int -> compiled -> static_info
+
+(** Retained for the original scaffold's smoke test. *)
+val placeholder : unit -> unit

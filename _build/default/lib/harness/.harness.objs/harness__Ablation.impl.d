@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Core List Osim Printf Report Runner String Workloads

@@ -1,0 +1,1 @@
+lib/harness/figure2.ml: Cashrt Core List Printf Report

@@ -1,0 +1,1 @@
+lib/harness/microcosts.ml: Cashrt Core List Machine Printf Report Workloads

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Core List Printf Report String

@@ -1,0 +1,1 @@
+lib/harness/table2.ml: List Report Runner Workloads

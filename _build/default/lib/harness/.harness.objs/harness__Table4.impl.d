@@ -1,0 +1,1 @@
+lib/harness/table4.ml: Core List Minic Printf Report Runner Workloads

@@ -1,0 +1,1 @@
+lib/harness/table5.ml: List Report Runner Workloads

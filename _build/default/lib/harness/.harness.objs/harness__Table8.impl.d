@@ -1,0 +1,1 @@
+lib/harness/table8.ml: Core List Osim Printf Report Runner Workloads

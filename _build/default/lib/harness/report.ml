@@ -1,0 +1,46 @@
+(* Table formatting for experiment output: fixed-width text tables that
+   mirror the paper's, with a notes section recording the paper's numbers
+   next to ours. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+let make ~title ~headers ~rows ?(notes = []) () = { title; headers; rows; notes }
+
+let column_widths t =
+  let all = t.headers :: t.rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    all;
+  widths
+
+let pad s w = s ^ String.make (max 0 (w - String.length s)) ' '
+
+let pp ppf t =
+  let widths = column_widths t in
+  let line row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad cell widths.(i)) row)
+  in
+  Fmt.pf ppf "@.== %s ==@." t.title;
+  let header = line t.headers in
+  Fmt.pf ppf "%s@." header;
+  Fmt.pf ppf "%s@." (String.make (String.length header) '-');
+  List.iter (fun row -> Fmt.pf ppf "%s@." (line row)) t.rows;
+  List.iter (fun n -> Fmt.pf ppf "  note: %s@." n) t.notes
+
+let print t = Fmt.pr "%a@." pp t
+
+(* formatting helpers *)
+let pct v = Printf.sprintf "%.1f%%" v
+let kcycles v = Printf.sprintf "%dK" (v / 1000)
+let overhead ~base v = 100.0 *. (float_of_int v /. float_of_int base -. 1.0)

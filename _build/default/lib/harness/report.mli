@@ -1,0 +1,25 @@
+(** Fixed-width text tables mirroring the paper's, with a notes section
+    recording the paper's numbers next to ours. *)
+
+type t = {
+  title : string;
+  headers : string list;
+  rows : string list list;
+  notes : string list;
+}
+
+val make :
+  title:string -> headers:string list -> rows:string list list ->
+  ?notes:string list -> unit -> t
+
+val pp : Format.formatter -> t -> unit
+val print : t -> unit
+
+(** ["12.3%"]. *)
+val pct : float -> string
+
+(** Cycles in thousands, ["123K"]. *)
+val kcycles : int -> string
+
+(** Percentage overhead of [v] relative to [base]. *)
+val overhead : base:int -> int -> float

@@ -1,0 +1,62 @@
+(* Shared measurement driver: compile one source under the three
+   compilers, run each to completion, verify the outputs agree (the
+   experiments are only meaningful on semantically identical binaries),
+   and collect cycles, sizes, and check counts. *)
+
+type measurement = {
+  backend : Core.backend;
+  compiled : Core.compiled;
+  run : Core.run;
+}
+
+exception Disagreement of string
+
+let measure ?fuel backend source =
+  let compiled = Core.compile backend source in
+  let run = Core.run ?fuel compiled in
+  (match run.Core.status with
+   | Core.Finished -> ()
+   | Core.Bound_violation m ->
+     raise (Disagreement (Printf.sprintf "bound violation under %s: %s"
+                            (Core.backend_name backend) m))
+   | Core.Crashed m ->
+     raise (Disagreement (Printf.sprintf "crash under %s: %s"
+                            (Core.backend_name backend) m)));
+  { backend; compiled; run }
+
+type comparison = {
+  gcc : measurement;
+  bcc : measurement;
+  cash : measurement;
+}
+
+(* Compile and run under GCC, BCC, and the given Cash configuration;
+   check all three outputs agree. *)
+let compare_backends ?fuel ?(cash = Core.cash) source =
+  let g = measure ?fuel Core.gcc source in
+  let b = measure ?fuel Core.bcc source in
+  let c = measure ?fuel cash source in
+  if g.run.Core.output <> b.run.Core.output
+     || g.run.Core.output <> c.run.Core.output
+  then raise (Disagreement "backends produced different outputs");
+  { gcc = g; bcc = b; cash = c }
+
+let cycles m = m.run.Core.cycles
+let output m = m.run.Core.output
+
+let cash_overhead c = Report.overhead ~base:(cycles c.gcc) (cycles c.cash)
+let bcc_overhead c = Report.overhead ~base:(cycles c.gcc) (cycles c.bcc)
+
+let code_size m = (Core.static_info m.compiled).Core.code_bytes
+let image_size m = (Core.static_info m.compiled).Core.image_bytes
+
+let hw_sw_checks m =
+  let i = Core.static_info m.compiled in
+  (i.Core.hw_checks, i.Core.sw_checks)
+
+(* Source line count, for the LoC columns of Tables 4 and 7. *)
+let line_count source =
+  List.length
+    (List.filter
+       (fun l -> String.trim l <> "")
+       (String.split_on_char '\n' source))

@@ -1,0 +1,38 @@
+(** Shared measurement driver for the experiments: compile one source
+    under several compilers, run each to completion, verify the outputs
+    agree, and collect cycles, sizes, and check counts. *)
+
+type measurement = {
+  backend : Core.backend;
+  compiled : Core.compiled;
+  run : Core.run;
+}
+
+(** Raised when a run does not finish cleanly or outputs differ across
+    backends — an experiment on semantically different binaries would be
+    meaningless. *)
+exception Disagreement of string
+
+val measure : ?fuel:int -> Core.backend -> string -> measurement
+
+type comparison = {
+  gcc : measurement;
+  bcc : measurement;
+  cash : measurement;
+}
+
+(** Compile and run under GCC, BCC, and the given Cash configuration
+    (default 3 registers); check all outputs agree. *)
+val compare_backends :
+  ?fuel:int -> ?cash:Core.backend -> string -> comparison
+
+val cycles : measurement -> int
+val output : measurement -> string
+val cash_overhead : comparison -> float
+val bcc_overhead : comparison -> float
+val code_size : measurement -> int
+val image_size : measurement -> int
+val hw_sw_checks : measurement -> int * int
+
+(** Non-blank source lines, for the LoC columns of Tables 4 and 7. *)
+val line_count : string -> int

@@ -1,0 +1,29 @@
+(* Table 5: macro-benchmark performance — GCC cycles, Cash and BCC
+   overheads, with the paper's numbers alongside. Default (3-register)
+   Cash configuration, as the paper used for the large applications. *)
+
+let run () =
+  let rows =
+    List.map
+      (fun (a : Workloads.Macro.app) ->
+        let c = Runner.compare_backends a.Workloads.Macro.source in
+        [
+          a.Workloads.Macro.name;
+          Report.kcycles (Runner.cycles c.Runner.gcc);
+          Report.pct (Runner.cash_overhead c);
+          Report.pct (Runner.bcc_overhead c);
+          Report.pct a.Workloads.Macro.paper_cash_pct;
+          Report.pct a.Workloads.Macro.paper_bcc_pct;
+        ])
+      (Workloads.Macro.table5_suite ())
+  in
+  Report.make ~title:"Table 5: macro-benchmark applications"
+    ~headers:[ "Program"; "GCC"; "Cash"; "BCC"; "paper-Cash"; "paper-BCC" ]
+    ~rows
+    ~notes:
+      [
+        "Cash < BCC everywhere, and macro overheads exceed the micro \
+         suite's (more spilled loops and per-array traffic), as in the \
+         paper.";
+      ]
+    ()

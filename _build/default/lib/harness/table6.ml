@@ -1,0 +1,21 @@
+(* Table 6: binary code size of the macro suite. *)
+
+let run () =
+  let rows =
+    List.map
+      (fun (a : Workloads.Macro.app) ->
+        let c = Runner.compare_backends a.Workloads.Macro.source in
+        let g = Runner.code_size c.Runner.gcc in
+        [
+          a.Workloads.Macro.name;
+          string_of_int g;
+          Report.pct (Report.overhead ~base:g (Runner.code_size c.Runner.cash));
+          Report.pct (Report.overhead ~base:g (Runner.code_size c.Runner.bcc));
+        ])
+      (Workloads.Macro.table5_suite ())
+  in
+  Report.make ~title:"Table 6: binary code size, macro suite"
+    ~headers:[ "Program"; "GCC (bytes)"; "Cash"; "BCC" ]
+    ~rows
+    ~notes:[ "paper: Cash 30.6-61.8%, BCC 123.5-151.2%." ]
+    ()

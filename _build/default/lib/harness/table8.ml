@@ -1,0 +1,69 @@
+(* Table 8: latency penalty, throughput penalty, and space overhead of the
+   network applications (§4.4).
+
+   The paper's setup: clients send 2000 requests; the server forks one
+   child per request; latency is average child CPU time, throughput is
+   2000 / (first fork .. last exit). We run [requests] simulated children
+   per compiler on a shared kernel clock with the scheduler's fork
+   overhead, which reproduces the paper's observation that latency and
+   throughput penalties track each other.
+
+   Space overhead is the program image (text + initialised data),
+   mirroring the statically-linked binary sizes the paper reports. *)
+
+let default_requests = 50
+
+let serve backend source ~requests =
+  let kernel = Osim.Kernel.create () in
+  let compiled = Core.compile backend source in
+  let reference = ref None in
+  let records =
+    Osim.Scheduler.serve ~kernel ~requests (fun _ ->
+        let run = Core.run ~kernel compiled in
+        (match run.Core.status with
+         | Core.Finished -> ()
+         | _ -> raise (Runner.Disagreement "request handler did not finish"));
+        (match !reference with
+         | None -> reference := Some run.Core.output
+         | Some r ->
+           if r <> run.Core.output then
+             raise (Runner.Disagreement "nondeterministic handler output"));
+        run.Core.process)
+  in
+  ( Osim.Scheduler.latency records,
+    Osim.Scheduler.throughput records,
+    Core.static_info compiled )
+
+let run ?(requests = default_requests) () =
+  let rows =
+    List.map
+      (fun (a : Workloads.Netapps.app) ->
+        let src = a.Workloads.Netapps.source in
+        let glat, gthr, ginfo = serve Core.gcc src ~requests in
+        let clat, cthr, cinfo = serve Core.cash src ~requests in
+        let latency_pen = 100.0 *. (clat /. glat -. 1.0) in
+        let throughput_pen = 100.0 *. (1.0 -. (cthr /. gthr)) in
+        let space =
+          Report.overhead ~base:ginfo.Core.image_bytes cinfo.Core.image_bytes
+        in
+        [
+          a.Workloads.Netapps.name;
+          Report.pct latency_pen;
+          Report.pct throughput_pen;
+          Report.pct space;
+          Printf.sprintf "%.1f/%.1f/%.1f%%" a.Workloads.Netapps.paper_latency_pct
+            a.Workloads.Netapps.paper_throughput_pct
+            a.Workloads.Netapps.paper_space_pct;
+        ])
+      (Workloads.Netapps.table8_suite ())
+  in
+  Report.make ~title:"Table 8: network applications under Cash"
+    ~headers:
+      [ "Program"; "Latency"; "Throughput"; "Space"; "paper (lat/thr/space)" ]
+    ~rows
+    ~notes:
+      [
+        "latency and throughput penalties track each other, as in the \
+         paper (single-CPU server, §4.4).";
+      ]
+    ()

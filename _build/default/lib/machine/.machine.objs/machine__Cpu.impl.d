@@ -1,0 +1,1 @@
+lib/machine/cpu.ml: Array Cost_model Hashtbl Insn Phys_mem Printf Program Registers Seghw String

@@ -1,0 +1,1 @@
+lib/machine/cpu.mli: Cost_model Phys_mem Program Registers Seghw

@@ -1,0 +1,1 @@
+lib/machine/encode.ml: Array Insn Registers

@@ -1,0 +1,1 @@
+lib/machine/program.ml: Array Encode Fmt Hashtbl Insn List Printf

@@ -1,0 +1,102 @@
+(* The cycle cost model, calibrated to a 1.1 GHz Pentium III running Red Hat
+   Linux 7.2 — the paper's measurement platform.
+
+   Anchor points taken directly from the paper:
+     - a segment-register load takes 4 cycles (§3.3);
+     - the [bound] instruction takes 7 cycles while its 6-instruction
+       software equivalent takes 6 (§2) — i.e. ordinary ALU/branch/load
+       instructions retire at ~1 cycle each;
+     - the cash_modify_ldt call-gate path costs 253 cycles end-to-end and
+       the modify_ldt int-0x80 system call costs 781 (§3.6).
+
+   Everything else uses standard P-III latencies (imul 4, idiv ~24, SSE
+   add/mul 3-4, div/sqrt ~30). The absolute numbers do not matter for the
+   reproduction; the *ratios* between checked and unchecked code do. *)
+
+type t = {
+  alu : int;            (* add/sub/logic/lea/mov reg-reg *)
+  mem_access : int;     (* extra cost of a memory operand (L1 hit) *)
+  imul : int;
+  idiv : int;
+  branch : int;         (* jmp / jcc *)
+  call : int;
+  ret : int;
+  push_pop : int;
+  seg_load : int;       (* mov to segment register *)
+  seg_store : int;      (* mov from segment register *)
+  bound : int;          (* the BOUND instruction *)
+  fp_alu : int;         (* addsd/subsd/mulsd *)
+  fp_div : int;
+  fp_sqrt : int;
+  fp_mov : int;
+  cvt : int;
+  call_gate : int;      (* lcall through a call gate, round trip,
+                           including the (minimal) kernel work *)
+  int_syscall : int;    (* int 0x80 kernel entry/exit incl. register
+                           save/restore — the slow modify_ldt path *)
+}
+
+let pentium3 = {
+  alu = 1;
+  mem_access = 1;
+  imul = 4;
+  idiv = 24;
+  branch = 1;
+  call = 2;
+  ret = 2;
+  (* matches the MOV + SUB/ADD pair the 4-segment-register configuration
+     substitutes for PUSH/POP, which the paper found performance-neutral *)
+  push_pop = 3;
+  seg_load = 4;
+  seg_store = 1;
+  bound = 7;
+  fp_alu = 3;
+  fp_div = 30;
+  fp_sqrt = 30;
+  fp_mov = 2;
+  cvt = 3;
+  call_gate = 253;
+  int_syscall = 781;
+}
+
+let has_mem_operand (o : Insn.operand) =
+  match o with Insn.Mem _ -> true | Insn.Reg _ | Insn.Imm _ -> false
+
+let fsrc_mem (s : Insn.fsrc) =
+  match s with Insn.Fmem _ -> true | Insn.Freg _ -> false
+
+(* Cycle cost of one instruction. Memory operands add [mem_access]. *)
+let cost t (i : Insn.t) =
+  let mem o = if has_mem_operand o then t.mem_access else 0 in
+  let fmem s = if fsrc_mem s then t.mem_access else 0 in
+  match i with
+  | Insn.Mov (_, dst, src) -> t.alu + mem dst + mem src
+  | Insn.Lea _ -> t.alu
+  | Insn.Movsx (_, src, _) | Insn.Movzx (_, src, _) -> t.alu + mem src
+  | Insn.Alu (Insn.Imul, dst, src) -> t.imul + mem dst + mem src
+  | Insn.Alu (_, dst, src) -> t.alu + mem dst + mem src
+  | Insn.Idiv src -> t.idiv + mem src
+  | Insn.Neg o | Insn.Inc o | Insn.Dec o -> t.alu + mem o
+  | Insn.Cmp (a, b) | Insn.Test (a, b) -> t.alu + mem a + mem b
+  | Insn.Setcc _ -> t.alu
+  | Insn.Fmov (dst, src) -> t.fp_mov + fmem dst + fmem src
+  | Insn.Fload_const _ -> t.fp_mov + t.mem_access
+  | Insn.Falu (Insn.Fdiv, _, src) -> t.fp_div + fmem src
+  | Insn.Falu (_, _, src) -> t.fp_alu + fmem src
+  | Insn.Fcmp (_, src) -> t.fp_alu + fmem src
+  | Insn.Fneg _ -> t.fp_alu
+  | Insn.Fsqrt (_, src) -> t.fp_sqrt + fmem src
+  | Insn.Cvtsi2sd (_, src) -> t.cvt + mem src
+  | Insn.Cvtsd2si (_, src) -> t.cvt + fmem src
+  | Insn.Jmp _ | Insn.Jcc _ -> t.branch
+  | Insn.Call _ -> t.call
+  | Insn.Ret -> t.ret
+  | Insn.Push o | Insn.Pop o -> t.push_pop + mem o
+  | Insn.Mov_to_seg (_, o) -> t.seg_load + mem o
+  | Insn.Mov_from_seg (o, _) -> t.seg_store + mem o
+  | Insn.Lcall_gate _ -> t.call_gate
+  | Insn.Int_syscall _ -> t.int_syscall
+  | Insn.Bound (_, _) -> t.bound + t.mem_access
+  | Insn.Label _ -> 0
+  | Insn.Callext _ -> t.call (* host routine adds its own cycles *)
+  | Insn.Halt | Insn.Nop -> 0

@@ -1,0 +1,34 @@
+(** The cycle cost model, calibrated to the paper's 1.1 GHz Pentium III.
+
+    Anchors taken from the paper: segment-register load = 4 cycles
+    (§3.3); [bound] = 7 cycles vs 6 for its plain-instruction equivalent
+    (§2); [cash_modify_ldt] call gate = 253 cycles and [modify_ldt]
+    int-0x80 = 781 cycles (§3.6). *)
+
+type t = {
+  alu : int;
+  mem_access : int;
+  imul : int;
+  idiv : int;
+  branch : int;
+  call : int;
+  ret : int;
+  push_pop : int;
+  seg_load : int;
+  seg_store : int;
+  bound : int;
+  fp_alu : int;
+  fp_div : int;
+  fp_sqrt : int;
+  fp_mov : int;
+  cvt : int;
+  call_gate : int;
+  int_syscall : int;
+}
+
+(** The calibrated P-III model. *)
+val pentium3 : t
+
+(** Cycle cost of one instruction under the model; memory operands add
+    [mem_access] each. *)
+val cost : t -> Insn.t -> int

@@ -1,0 +1,459 @@
+(* The CPU: a fetch/decode/execute interpreter over a linked [Program],
+   with cycle accounting from [Cost_model] and every data access translated
+   through the segmentation/paging [Mmu].
+
+   Design notes:
+   - Return addresses are instruction indices pushed on the simulated stack.
+     CALL/RET access the stack through the flat DS segment rather than SS:
+     the OS initialises SS = DS (flat), so this is semantically identical,
+     and it keeps CALL/RET working in the 4-segment-register configuration
+     where the Cash backend temporarily repurposes SS inside loops (§3.7).
+   - PUSH/POP use SS, as on hardware; the 4-register Cash configuration
+     rewrites them into MOV/SUB with explicit DS overrides at codegen time,
+     exactly as the paper describes.
+   - Labels whose name starts with "__stat_" are zero-cost dynamic counters:
+     executing one bumps a named counter. The harness uses these to measure
+     dynamic software-check and spilled-loop-iteration frequencies without
+     perturbing cycle counts. *)
+
+type status =
+  | Running
+  | Halted
+  | Faulted of Seghw.Fault.t
+
+type t = {
+  regs : Registers.t;
+  mmu : Seghw.Mmu.t;
+  phys : Phys_mem.t;
+  costs : Cost_model.t;
+  program : Program.t;
+  mutable eip : int;
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable ovf : bool;
+  mutable cycles : int;
+  mutable insns_executed : int;
+  mutable status : status;
+  mutable kernel : t -> gate:[ `Gate of Seghw.Selector.t | `Int of int ] -> unit;
+  externals : (string, t -> unit) Hashtbl.t;
+  stat_counters : (string, int ref) Hashtbl.t;
+}
+
+exception Out_of_fuel
+
+let create ~mmu ~phys ~costs ~program =
+  {
+    regs = Registers.create ();
+    mmu;
+    phys;
+    costs;
+    program;
+    eip = Program.resolve program program.Program.entry;
+    zf = false;
+    sf = false;
+    cf = false;
+    ovf = false;
+    cycles = 0;
+    insns_executed = 0;
+    status = Running;
+    kernel = (fun _ ~gate:_ -> Seghw.Fault.gp "no kernel installed");
+    externals = Hashtbl.create 31;
+    stat_counters = Hashtbl.create 31;
+  }
+
+let set_kernel t k = t.kernel <- k
+let register_external t name f = Hashtbl.replace t.externals name f
+let add_cycles t n = t.cycles <- t.cycles + n
+let cycles t = t.cycles
+let insns_executed t = t.insns_executed
+let status t = t.status
+let regs t = t.regs
+let mmu t = t.mmu
+let phys t = t.phys
+let program t = t.program
+
+let stat t name =
+  match Hashtbl.find_opt t.stat_counters name with
+  | Some r -> !r
+  | None -> 0
+
+let stats t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.stat_counters []
+
+let bump_stat t name =
+  match Hashtbl.find_opt t.stat_counters name with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.stat_counters name (ref 1)
+
+(* --- memory access through segmentation ------------------------------- *)
+
+let default_seg (m : Insn.mem) =
+  match m.Insn.seg with
+  | Some s -> s
+  | None ->
+    (match m.Insn.base with
+     | Some Registers.EBP | Some Registers.ESP -> Seghw.Segreg.SS
+     | _ -> Seghw.Segreg.DS)
+
+let effective_offset t (m : Insn.mem) =
+  let base = match m.Insn.base with
+    | Some r -> Registers.get t.regs r
+    | None -> 0
+  in
+  let index = match m.Insn.index with
+    | Some (r, scale) -> Registers.get t.regs r * scale
+    | None -> 0
+  in
+  (base + index + m.Insn.disp) land 0xFFFFFFFF
+
+let load_mem t (m : Insn.mem) ~width =
+  let size = Insn.width_bytes width in
+  let offset = effective_offset t m in
+  let phys_addr =
+    Seghw.Mmu.translate t.mmu ~seg_name:(default_seg m) ~offset ~size
+      ~write:false
+  in
+  match width with
+  | Insn.Byte -> Phys_mem.read8 t.phys phys_addr
+  | Insn.Word -> Phys_mem.read16 t.phys phys_addr
+  | Insn.Long -> Phys_mem.read32 t.phys phys_addr
+
+let store_mem t (m : Insn.mem) ~width v =
+  let size = Insn.width_bytes width in
+  let offset = effective_offset t m in
+  let phys_addr =
+    Seghw.Mmu.translate t.mmu ~seg_name:(default_seg m) ~offset ~size
+      ~write:true
+  in
+  match width with
+  | Insn.Byte -> Phys_mem.write8 t.phys phys_addr v
+  | Insn.Word -> Phys_mem.write16 t.phys phys_addr v
+  | Insn.Long -> Phys_mem.write32 t.phys phys_addr v
+
+let load_f64 t (m : Insn.mem) =
+  let offset = effective_offset t m in
+  let phys_addr =
+    Seghw.Mmu.translate t.mmu ~seg_name:(default_seg m) ~offset ~size:8
+      ~write:false
+  in
+  Phys_mem.read_float t.phys phys_addr
+
+let store_f64 t (m : Insn.mem) v =
+  let offset = effective_offset t m in
+  let phys_addr =
+    Seghw.Mmu.translate t.mmu ~seg_name:(default_seg m) ~offset ~size:8
+      ~write:true
+  in
+  Phys_mem.write_float t.phys phys_addr v
+
+let read_operand t (o : Insn.operand) ~width =
+  match o with
+  | Insn.Reg r ->
+    let v = Registers.get t.regs r in
+    (match width with
+     | Insn.Long -> v
+     | Insn.Word -> v land 0xFFFF
+     | Insn.Byte -> v land 0xFF)
+  | Insn.Imm i -> i land 0xFFFFFFFF
+  | Insn.Mem m -> load_mem t m ~width
+
+let write_operand t (o : Insn.operand) ~width v =
+  match o with
+  | Insn.Reg r ->
+    (match width with
+     | Insn.Long -> Registers.set t.regs r v
+     | Insn.Word ->
+       let old = Registers.get t.regs r in
+       Registers.set t.regs r ((old land 0xFFFF0000) lor (v land 0xFFFF))
+     | Insn.Byte ->
+       let old = Registers.get t.regs r in
+       Registers.set t.regs r ((old land 0xFFFFFF00) lor (v land 0xFF)))
+  | Insn.Mem m -> store_mem t m ~width v
+  | Insn.Imm _ -> Seghw.Fault.ud "write to immediate operand"
+
+let read_fsrc t = function
+  | Insn.Freg r -> Registers.getf t.regs r
+  | Insn.Fmem m -> load_f64 t m
+
+(* --- flags ------------------------------------------------------------ *)
+
+let sign32 v = v land 0x80000000 <> 0
+
+let set_flags_result t r =
+  let r = r land 0xFFFFFFFF in
+  t.zf <- r = 0;
+  t.sf <- sign32 r
+
+let set_flags_sub t a b =
+  let a = a land 0xFFFFFFFF and b = b land 0xFFFFFFFF in
+  let r = (a - b) land 0xFFFFFFFF in
+  t.cf <- a < b;
+  t.zf <- r = 0;
+  t.sf <- sign32 r;
+  t.ovf <- sign32 a <> sign32 b && sign32 r <> sign32 a
+
+let set_flags_add t a b =
+  let a = a land 0xFFFFFFFF and b = b land 0xFFFFFFFF in
+  let r = a + b in
+  t.cf <- r > 0xFFFFFFFF;
+  let r = r land 0xFFFFFFFF in
+  t.zf <- r = 0;
+  t.sf <- sign32 r;
+  t.ovf <- sign32 a = sign32 b && sign32 r <> sign32 a
+
+let set_flags_logic t r =
+  t.cf <- false;
+  t.ovf <- false;
+  set_flags_result t r
+
+let cond_holds t (c : Insn.cond) =
+  match c with
+  | Insn.Eq -> t.zf
+  | Insn.Ne -> not t.zf
+  | Insn.Lt -> t.sf <> t.ovf
+  | Insn.Le -> t.zf || t.sf <> t.ovf
+  | Insn.Gt -> (not t.zf) && t.sf = t.ovf
+  | Insn.Ge -> t.sf = t.ovf
+  | Insn.Below -> t.cf
+  | Insn.Below_eq -> t.cf || t.zf
+  | Insn.Above -> (not t.cf) && not t.zf
+  | Insn.Above_eq -> not t.cf
+
+(* --- stack helpers ----------------------------------------------------- *)
+
+let push32 t v ~seg =
+  let esp = (Registers.get t.regs Registers.ESP - 4) land 0xFFFFFFFF in
+  Registers.set t.regs Registers.ESP esp;
+  let phys_addr =
+    Seghw.Mmu.translate t.mmu ~seg_name:seg ~offset:esp ~size:4 ~write:true
+  in
+  Phys_mem.write32 t.phys phys_addr v
+
+let pop32 t ~seg =
+  let esp = Registers.get t.regs Registers.ESP in
+  let phys_addr =
+    Seghw.Mmu.translate t.mmu ~seg_name:seg ~offset:esp ~size:4 ~write:false
+  in
+  let v = Phys_mem.read32 t.phys phys_addr in
+  Registers.set t.regs Registers.ESP ((esp + 4) land 0xFFFFFFFF);
+  v
+
+(* Read the [n]th 32-bit argument of a Callext host routine (0-based;
+   arguments were pushed cdecl so arg 0 sits at [ESP]). *)
+let arg_int t n =
+  let esp = Registers.get t.regs Registers.ESP in
+  let phys_addr =
+    Seghw.Mmu.translate t.mmu ~seg_name:Seghw.Segreg.DS
+      ~offset:((esp + (4 * n)) land 0xFFFFFFFF)
+      ~size:4 ~write:false
+  in
+  Phys_mem.read32 t.phys phys_addr
+
+let arg_float t n =
+  let esp = Registers.get t.regs Registers.ESP in
+  let phys_addr =
+    Seghw.Mmu.translate t.mmu ~seg_name:Seghw.Segreg.DS
+      ~offset:((esp + (4 * n)) land 0xFFFFFFFF)
+      ~size:8 ~write:false
+  in
+  Phys_mem.read_float t.phys phys_addr
+
+let return_int t v = Registers.set t.regs Registers.EAX v
+let return_float t v = Registers.setf t.regs Registers.XMM0 v
+
+(* --- execution --------------------------------------------------------- *)
+
+(* Allocation-free prefix test for "__stat_" (this runs on every executed
+   label, including hot loop heads). *)
+let is_stat_label l =
+  String.length l >= 7
+  && String.unsafe_get l 0 = '_'
+  && String.unsafe_get l 1 = '_'
+  && String.unsafe_get l 2 = 's'
+  && String.unsafe_get l 3 = 't'
+  && String.unsafe_get l 4 = 'a'
+  && String.unsafe_get l 5 = 't'
+  && String.unsafe_get l 6 = '_'
+
+let exec t (i : Insn.t) =
+  let next = t.eip + 1 in
+  (match i with
+   | Insn.Label l -> if is_stat_label l then bump_stat t l
+   | Insn.Nop -> ()
+   | Insn.Halt -> t.status <- Halted
+   | Insn.Mov (w, dst, src) ->
+     write_operand t dst ~width:w (read_operand t src ~width:w)
+   | Insn.Lea (r, m) -> Registers.set t.regs r (effective_offset t m)
+   | Insn.Movsx (r, src, w) ->
+     let v = read_operand t src ~width:w in
+     let v =
+       match w with
+       | Insn.Byte -> if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
+       | Insn.Word -> if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v
+       | Insn.Long -> v
+     in
+     Registers.set t.regs r v
+   | Insn.Movzx (r, src, w) ->
+     Registers.set t.regs r (read_operand t src ~width:w)
+   | Insn.Alu (op, dst, src) ->
+     let a = read_operand t dst ~width:Insn.Long in
+     let b = read_operand t src ~width:Insn.Long in
+     let r =
+       match op with
+       | Insn.Add -> set_flags_add t a b; a + b
+       | Insn.Sub -> set_flags_sub t a b; a - b
+       | Insn.And -> let r = a land b in set_flags_logic t r; r
+       | Insn.Or -> let r = a lor b in set_flags_logic t r; r
+       | Insn.Xor -> let r = a lxor b in set_flags_logic t r; r
+       | Insn.Imul ->
+         let r = Registers.to_signed a * Registers.to_signed b in
+         set_flags_logic t r; r
+       | Insn.Shl -> let r = a lsl (b land 31) in set_flags_logic t r; r
+       | Insn.Shr -> let r = a lsr (b land 31) in set_flags_logic t r; r
+       | Insn.Sar ->
+         let r = Registers.to_signed a asr (b land 31) in
+         set_flags_logic t r; r
+     in
+     write_operand t dst ~width:Insn.Long r
+   | Insn.Idiv src ->
+     let a = Registers.to_signed (Registers.get t.regs Registers.EAX) in
+     let b = Registers.to_signed (read_operand t src ~width:Insn.Long) in
+     if b = 0 then Seghw.Fault.ud "integer division by zero";
+     let q = a / b and r = a mod b in
+     Registers.set t.regs Registers.EAX (Registers.of_signed q);
+     Registers.set t.regs Registers.EDX (Registers.of_signed r)
+   | Insn.Neg o ->
+     let v = read_operand t o ~width:Insn.Long in
+     set_flags_sub t 0 v;
+     write_operand t o ~width:Insn.Long (-v)
+   | Insn.Inc o ->
+     let v = read_operand t o ~width:Insn.Long in
+     let r = v + 1 in
+     set_flags_result t r;
+     t.ovf <- v land 0xFFFFFFFF = 0x7FFFFFFF;
+     write_operand t o ~width:Insn.Long r
+   | Insn.Dec o ->
+     let v = read_operand t o ~width:Insn.Long in
+     let r = v - 1 in
+     set_flags_result t r;
+     t.ovf <- v land 0xFFFFFFFF = 0x80000000;
+     write_operand t o ~width:Insn.Long r
+   | Insn.Cmp (a, b) ->
+     set_flags_sub t
+       (read_operand t a ~width:Insn.Long)
+       (read_operand t b ~width:Insn.Long)
+   | Insn.Test (a, b) ->
+     set_flags_logic t
+       (read_operand t a ~width:Insn.Long
+        land read_operand t b ~width:Insn.Long)
+   | Insn.Setcc (c, r) ->
+     Registers.set t.regs r (if cond_holds t c then 1 else 0)
+   | Insn.Fmov (dst, src) ->
+     let v = read_fsrc t src in
+     (match dst with
+      | Insn.Freg r -> Registers.setf t.regs r v
+      | Insn.Fmem m -> store_f64 t m v)
+   | Insn.Fload_const (r, f) -> Registers.setf t.regs r f
+   | Insn.Falu (op, dst, src) ->
+     let a = Registers.getf t.regs dst in
+     let b = read_fsrc t src in
+     let r =
+       match op with
+       | Insn.Fadd -> a +. b
+       | Insn.Fsub -> a -. b
+       | Insn.Fmul -> a *. b
+       | Insn.Fdiv -> a /. b
+     in
+     Registers.setf t.regs dst r
+   | Insn.Fcmp (a, src) ->
+     (* comisd: ZF/CF as for an unsigned compare; OF/SF cleared *)
+     let x = Registers.getf t.regs a in
+     let y = read_fsrc t src in
+     t.ovf <- false;
+     t.sf <- false;
+     t.zf <- x = y;
+     t.cf <- x < y
+   | Insn.Fneg r -> Registers.setf t.regs r (-.Registers.getf t.regs r)
+   | Insn.Fsqrt (d, src) -> Registers.setf t.regs d (sqrt (read_fsrc t src))
+   | Insn.Cvtsi2sd (d, src) ->
+     Registers.setf t.regs d
+       (float_of_int (Registers.to_signed (read_operand t src ~width:Insn.Long)))
+   | Insn.Cvtsd2si (d, src) ->
+     let f = read_fsrc t src in
+     Registers.set t.regs d (Registers.of_signed (truncate f))
+   | Insn.Jmp l ->
+     t.eip <- Program.resolve t.program l;
+     t.insns_executed <- t.insns_executed + 1;
+     t.cycles <- t.cycles + Cost_model.cost t.costs i;
+     raise Exit (* handled by caller: eip already set *)
+   | Insn.Jcc (c, l) ->
+     if cond_holds t c then begin
+       t.eip <- Program.resolve t.program l;
+       t.insns_executed <- t.insns_executed + 1;
+       t.cycles <- t.cycles + Cost_model.cost t.costs i;
+       raise Exit
+     end
+   | Insn.Call l ->
+     push32 t next ~seg:Seghw.Segreg.DS;
+     t.eip <- Program.resolve t.program l;
+     t.insns_executed <- t.insns_executed + 1;
+     t.cycles <- t.cycles + Cost_model.cost t.costs i;
+     raise Exit
+   | Insn.Ret ->
+     let ra = pop32 t ~seg:Seghw.Segreg.DS in
+     t.eip <- ra;
+     t.insns_executed <- t.insns_executed + 1;
+     t.cycles <- t.cycles + Cost_model.cost t.costs i;
+     raise Exit
+   | Insn.Push o ->
+     push32 t (read_operand t o ~width:Insn.Long) ~seg:Seghw.Segreg.SS
+   | Insn.Pop o ->
+     write_operand t o ~width:Insn.Long (pop32 t ~seg:Seghw.Segreg.SS)
+   | Insn.Mov_to_seg (name, o) ->
+     let sel = Seghw.Selector.of_int (read_operand t o ~width:Insn.Word) in
+     Seghw.Mmu.load_segreg t.mmu name sel
+   | Insn.Mov_from_seg (o, name) ->
+     write_operand t o ~width:Insn.Word
+       (Seghw.Selector.to_int (Seghw.Mmu.read_segreg t.mmu name))
+   | Insn.Lcall_gate sel -> t.kernel t ~gate:(`Gate sel)
+   | Insn.Int_syscall n -> t.kernel t ~gate:(`Int n)
+   | Insn.Bound (r, m) ->
+     (* bound r32, m32&32: lower word at [m], upper at [m+4]; the checked
+        value must satisfy lower <= r <= upper, else #BR. *)
+     let v = Registers.to_signed (Registers.get t.regs r) in
+     let lower = Registers.to_signed (load_mem t m ~width:Insn.Long) in
+     let upper =
+       Registers.to_signed
+         (load_mem t { m with Insn.disp = m.Insn.disp + 4 } ~width:Insn.Long)
+     in
+     if v < lower || v > upper then
+       Seghw.Fault.br
+         (Printf.sprintf "bound: %d not in [%d, %d]" v lower upper)
+   | Insn.Callext name ->
+     (match Hashtbl.find_opt t.externals name with
+      | Some f -> f t
+      | None ->
+        Seghw.Fault.ud (Printf.sprintf "undefined external %S" name)));
+  t.eip <- next;
+  t.insns_executed <- t.insns_executed + 1;
+  t.cycles <- t.cycles + Cost_model.cost t.costs i
+
+let step t =
+  if t.status = Running then begin
+    if t.eip < 0 || t.eip >= Array.length t.program.Program.code then
+      Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" t.eip);
+    let i = t.program.Program.code.(t.eip) in
+    try exec t i with
+    | Exit -> () (* control transfer already applied *)
+  end
+
+(* Run until halt, fault, or fuel exhaustion. Returns the final status. *)
+let run ?(fuel = 4_000_000_000) t =
+  (try
+     while t.status = Running do
+       if t.insns_executed > fuel then raise Out_of_fuel;
+       step t
+     done
+   with Seghw.Fault.Fault f -> t.status <- Faulted f);
+  t.status

@@ -1,0 +1,62 @@
+(** The CPU: a fetch/decode/execute interpreter over a linked {!Program},
+    with cycle accounting from {!Cost_model} and every data access
+    translated through the segmentation/paging {!Seghw.Mmu}.
+
+    Labels whose name starts with ["__stat_"] are zero-cost dynamic
+    counters: executing one bumps a named counter without consuming
+    cycles — the harness's measurement channel. *)
+
+type status =
+  | Running
+  | Halted                     (** reached HLT *)
+  | Faulted of Seghw.Fault.t   (** processor fault, EIP at the fault *)
+
+type t
+
+exception Out_of_fuel
+
+val create :
+  mmu:Seghw.Mmu.t -> phys:Phys_mem.t -> costs:Cost_model.t ->
+  program:Program.t -> t
+
+(** Install the kernel entry point dispatching `int n` and call-gate far
+    calls. *)
+val set_kernel :
+  t -> (t -> gate:[ `Gate of Seghw.Selector.t | `Int of int ] -> unit) -> unit
+
+(** Register a host routine reachable via [Callext name]. *)
+val register_external : t -> string -> (t -> unit) -> unit
+
+(** Charge extra cycles (host externals model their own library cost). *)
+val add_cycles : t -> int -> unit
+
+val cycles : t -> int
+val insns_executed : t -> int
+val status : t -> status
+val regs : t -> Registers.t
+val mmu : t -> Seghw.Mmu.t
+val phys : t -> Phys_mem.t
+val program : t -> Program.t
+
+(** Value of one ["__stat_"] counter (0 if never executed). *)
+val stat : t -> string -> int
+
+(** All counters, unordered. *)
+val stats : t -> (string * int) list
+
+(** Read the [n]th 32-bit cdecl argument of a host routine (arg 0 at
+    [ESP]). *)
+val arg_int : t -> int -> int
+
+(** Read a double argument starting at word [n]. *)
+val arg_float : t -> int -> float
+
+val return_int : t -> int -> unit
+val return_float : t -> float -> unit
+
+(** Execute one instruction (no-op unless [Running]). *)
+val step : t -> unit
+
+(** Run until halt, fault, or fuel exhaustion; returns the final status.
+    @raise Out_of_fuel past [fuel] instructions (default 4e9). *)
+val run : ?fuel:int -> t -> status

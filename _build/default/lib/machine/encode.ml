@@ -1,0 +1,104 @@
+(* Instruction byte-size estimation for binary-size accounting (Tables 2
+   and 6).
+
+   We do not emit machine code — the CPU interprets the structured form —
+   but the size tables need realistic x86 encodings: opcode bytes, ModRM,
+   SIB when an index register or ESP base is involved, disp8 vs disp32,
+   imm8 vs imm32, and the +1 segment-override prefix that every
+   Cash-generated override costs. *)
+
+let disp_size m =
+  match m.Insn.base, m.Insn.index with
+  | None, None -> 4 (* absolute disp32 *)
+  | _ ->
+    if m.Insn.disp = 0 then
+      (* EBP-based addressing still needs disp8 = 0 *)
+      (match m.Insn.base with Some Registers.EBP -> 1 | _ -> 0)
+    else if m.Insn.disp >= -128 && m.Insn.disp <= 127 then 1
+    else 4
+
+let sib_size m =
+  match m.Insn.index, m.Insn.base with
+  | Some _, _ -> 1
+  | None, Some Registers.ESP -> 1
+  | None, _ -> 0
+
+let override_size m =
+  match m.Insn.seg with
+  | None -> 0
+  | Some _ -> 1
+
+(* ModRM + SIB + displacement + prefix for a memory operand. *)
+let mem_size m = 1 + sib_size m + disp_size m + override_size m
+
+let imm_size v = if v >= -128 && v <= 127 then 1 else 4
+
+let operand_pair_size dst src =
+  match dst, src with
+  | Insn.Reg _, Insn.Reg _ -> 1 + 1                  (* opcode + modrm *)
+  | Insn.Reg _, Insn.Imm v | Insn.Imm v, Insn.Reg _ -> 1 + 1 + imm_size v
+  | Insn.Reg _, Insn.Mem m | Insn.Mem m, Insn.Reg _ -> 1 + mem_size m
+  | Insn.Mem m, Insn.Imm v | Insn.Imm v, Insn.Mem m ->
+    1 + mem_size m + imm_size v
+  | Insn.Imm _, Insn.Imm _ -> 1 + 1 + 4 (* does not occur *)
+  | Insn.Mem m1, Insn.Mem m2 -> 1 + mem_size m1 + mem_size m2 (* pseudo *)
+
+let fsrc_size = function
+  | Insn.Freg _ -> 1
+  | Insn.Fmem m -> mem_size m
+
+(* Estimated encoded size of one instruction, in bytes. *)
+let size (i : Insn.t) =
+  match i with
+  | Insn.Mov (Insn.Word, dst, src) -> 1 + operand_pair_size dst src (* 0x66 *)
+  | Insn.Mov (_, dst, src) -> operand_pair_size dst src
+  | Insn.Lea (_, m) -> 1 + mem_size m
+  | Insn.Movsx (_, src, _) | Insn.Movzx (_, src, _) ->
+    2 + (match src with
+         | Insn.Mem m -> mem_size m
+         | Insn.Reg _ | Insn.Imm _ -> 1)
+  | Insn.Alu (Insn.Imul, dst, src) -> 1 + operand_pair_size dst src
+  | Insn.Alu (_, dst, src) -> operand_pair_size dst src
+  | Insn.Idiv src ->
+    (match src with
+     | Insn.Mem m -> 1 + mem_size m
+     | Insn.Reg _ | Insn.Imm _ -> 2)
+  | Insn.Neg o | Insn.Inc o | Insn.Dec o ->
+    (match o with
+     | Insn.Mem m -> 1 + mem_size m
+     | Insn.Reg _ | Insn.Imm _ -> 2)
+  | Insn.Cmp (a, b) | Insn.Test (a, b) -> operand_pair_size a b
+  | Insn.Setcc _ -> 3
+  | Insn.Fmov (dst, src) -> 3 + fsrc_size dst + fsrc_size src - 1
+  | Insn.Fload_const _ -> 8 (* opcode + modrm + disp32, plus pool share *)
+  | Insn.Falu (_, _, src) -> 3 + fsrc_size src
+  | Insn.Fcmp (_, src) -> 3 + fsrc_size src
+  | Insn.Fneg _ -> 4 (* xorpd with a sign mask *)
+  | Insn.Fsqrt (_, src) -> 3 + fsrc_size src
+  | Insn.Cvtsi2sd (_, src) ->
+    3 + (match src with Insn.Mem m -> mem_size m | _ -> 1)
+  | Insn.Cvtsd2si (_, src) -> 3 + fsrc_size src
+  | Insn.Jmp _ -> 5
+  | Insn.Jcc _ -> 6
+  | Insn.Call _ -> 5
+  | Insn.Ret -> 1
+  | Insn.Push (Insn.Reg _) -> 1
+  | Insn.Push (Insn.Imm v) -> 1 + imm_size v
+  | Insn.Push (Insn.Mem m) -> 1 + mem_size m
+  | Insn.Pop (Insn.Reg _) -> 1
+  | Insn.Pop (Insn.Imm _) -> 1 (* does not occur *)
+  | Insn.Pop (Insn.Mem m) -> 1 + mem_size m
+  | Insn.Mov_to_seg (_, o) | Insn.Mov_from_seg (o, _) ->
+    (match o with
+     | Insn.Mem m -> 1 + mem_size m
+     | Insn.Reg _ | Insn.Imm _ -> 2)
+  | Insn.Lcall_gate _ -> 7 (* lcall ptr16:32 *)
+  | Insn.Int_syscall _ -> 2
+  | Insn.Bound (_, m) -> 1 + mem_size m
+  | Insn.Label _ -> 0
+  | Insn.Callext _ -> 5
+  | Insn.Halt -> 1
+  | Insn.Nop -> 1
+
+(* Total encoded size of an instruction sequence. *)
+let code_size insns = Array.fold_left (fun acc i -> acc + size i) 0 insns

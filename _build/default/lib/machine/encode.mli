@@ -1,0 +1,11 @@
+(** Instruction byte-size estimation for the binary-size experiments
+    (Tables 2 and 6): realistic IA-32 encodings — opcode bytes, ModRM,
+    SIB, disp8/disp32, imm8/imm32, and the +1-byte segment-override
+    prefix every Cash-generated override costs. *)
+
+(** Estimated encoded size of one instruction, in bytes. Pseudo
+    instructions ([Label]) are free. *)
+val size : Insn.t -> int
+
+(** Total encoded size of an instruction sequence. *)
+val code_size : Insn.t array -> int

@@ -1,0 +1,186 @@
+(* The instruction set: a 32-bit x86 subset sufficient for the three Cash
+   code generators.
+
+   Control flow uses symbolic labels (resolved to instruction indices at
+   link time by [Program]). Memory operands carry an optional segment
+   override; without one the hardware default applies — SS for EBP/ESP-based
+   addressing, DS otherwise — exactly the rule the Cash backend manipulates
+   when it frees the SS register (§3.7). *)
+
+type width = Byte | Word | Long
+
+let width_bytes = function Byte -> 1 | Word -> 2 | Long -> 4
+
+type mem = {
+  seg : Seghw.Segreg.name option; (* segment override prefix *)
+  base : Registers.reg option;
+  index : (Registers.reg * int) option; (* register * scale (1,2,4,8) *)
+  disp : int;
+}
+
+let mem ?seg ?base ?index ?(disp = 0) () = { seg; base; index; disp }
+
+type operand =
+  | Reg of Registers.reg
+  | Imm of int
+  | Mem of mem
+
+type fsrc =
+  | Freg of Registers.freg
+  | Fmem of mem  (* a 64-bit double in memory *)
+
+type alu =
+  | Add | Sub | And | Or | Xor
+  | Imul          (* 32-bit signed multiply, truncating *)
+  | Shl | Shr | Sar
+
+type cond =
+  | Eq | Ne
+  | Lt | Le | Gt | Ge          (* signed *)
+  | Below | Below_eq | Above | Above_eq  (* unsigned *)
+
+type falu = Fadd | Fsub | Fmul | Fdiv
+
+type t =
+  (* data movement *)
+  | Mov of width * operand * operand              (* dst, src *)
+  | Lea of Registers.reg * mem
+  | Movsx of Registers.reg * operand * width      (* sign-extend load *)
+  | Movzx of Registers.reg * operand * width      (* zero-extend load *)
+  (* integer ALU: dst := dst op src (dst is Reg or Mem) *)
+  | Alu of alu * operand * operand
+  | Idiv of operand   (* EAX := EDX:EAX / src (we use EAX only), EDX := rem *)
+  | Neg of operand
+  | Inc of operand
+  | Dec of operand
+  | Cmp of operand * operand
+  | Test of operand * operand
+  | Setcc of cond * Registers.reg  (* reg := 0/1 from flags *)
+  (* floating point (scalar double) *)
+  | Fmov of fsrc * fsrc            (* dst, src; Fmem dst = store *)
+  | Fload_const of Registers.freg * float
+      (* movsd .LCn(%rip)-style literal-pool load *)
+  | Falu of falu * Registers.freg * fsrc
+  | Fcmp of Registers.freg * fsrc  (* sets integer flags like comisd *)
+  | Fneg of Registers.freg
+  | Fsqrt of Registers.freg * fsrc
+  | Cvtsi2sd of Registers.freg * operand
+  | Cvtsd2si of Registers.reg * fsrc (* truncating *)
+  (* control flow *)
+  | Jmp of string
+  | Jcc of cond * string
+  | Call of string
+  | Ret
+  | Push of operand
+  | Pop of operand
+  (* segmentation *)
+  | Mov_to_seg of Seghw.Segreg.name * operand    (* movw %r/m16, %sreg *)
+  | Mov_from_seg of operand * Seghw.Segreg.name  (* movw %sreg, %r/m16 *)
+  | Lcall_gate of Seghw.Selector.t (* far call through a call gate *)
+  | Int_syscall of int             (* int 0x80-style kernel entry *)
+  | Bound of Registers.reg * mem   (* bound r32, m32&32 *)
+  (* pseudo *)
+  | Label of string
+  | Callext of string  (* call into a host-implemented runtime routine *)
+  | Halt
+  | Nop
+
+(* --- pretty-printing (AT&T-flavoured, for debugging dumps) ------------ *)
+
+let pp_mem ppf m =
+  (match m.seg with
+   | Some s -> Fmt.pf ppf "%%%s:" (String.lowercase_ascii
+                                     (Seghw.Segreg.name_to_string s))
+   | None -> ());
+  if m.disp <> 0 || (m.base = None && m.index = None) then
+    Fmt.pf ppf "%d" m.disp;
+  match m.base, m.index with
+  | None, None -> ()
+  | base, index ->
+    Fmt.pf ppf "(";
+    (match base with
+     | Some r -> Fmt.pf ppf "%%%s" (Registers.reg_name r)
+     | None -> ());
+    (match index with
+     | Some (r, scale) -> Fmt.pf ppf ",%%%s,%d" (Registers.reg_name r) scale
+     | None -> ());
+    Fmt.pf ppf ")"
+
+let pp_operand ppf = function
+  | Reg r -> Fmt.pf ppf "%%%s" (Registers.reg_name r)
+  | Imm i -> Fmt.pf ppf "$%d" i
+  | Mem m -> pp_mem ppf m
+
+let pp_fsrc ppf = function
+  | Freg r -> Fmt.pf ppf "%%%s" (Registers.freg_name r)
+  | Fmem m -> pp_mem ppf m
+
+let alu_name = function
+  | Add -> "add" | Sub -> "sub" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Imul -> "imul" | Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+
+let cond_name = function
+  | Eq -> "e" | Ne -> "ne" | Lt -> "l" | Le -> "le" | Gt -> "g" | Ge -> "ge"
+  | Below -> "b" | Below_eq -> "be" | Above -> "a" | Above_eq -> "ae"
+
+let falu_name = function
+  | Fadd -> "addsd" | Fsub -> "subsd" | Fmul -> "mulsd" | Fdiv -> "divsd"
+
+let width_suffix = function Byte -> "b" | Word -> "w" | Long -> "l"
+
+let pp ppf = function
+  | Mov (w, dst, src) ->
+    Fmt.pf ppf "mov%s %a, %a" (width_suffix w) pp_operand src pp_operand dst
+  | Lea (r, m) -> Fmt.pf ppf "leal %a, %%%s" pp_mem m (Registers.reg_name r)
+  | Movsx (r, src, w) ->
+    Fmt.pf ppf "movs%sl %a, %%%s" (width_suffix w) pp_operand src
+      (Registers.reg_name r)
+  | Movzx (r, src, w) ->
+    Fmt.pf ppf "movz%sl %a, %%%s" (width_suffix w) pp_operand src
+      (Registers.reg_name r)
+  | Alu (op, dst, src) ->
+    Fmt.pf ppf "%sl %a, %a" (alu_name op) pp_operand src pp_operand dst
+  | Idiv src -> Fmt.pf ppf "idivl %a" pp_operand src
+  | Neg o -> Fmt.pf ppf "negl %a" pp_operand o
+  | Inc o -> Fmt.pf ppf "incl %a" pp_operand o
+  | Dec o -> Fmt.pf ppf "decl %a" pp_operand o
+  | Cmp (a, b) -> Fmt.pf ppf "cmpl %a, %a" pp_operand b pp_operand a
+  | Test (a, b) -> Fmt.pf ppf "testl %a, %a" pp_operand b pp_operand a
+  | Setcc (c, r) ->
+    Fmt.pf ppf "set%s %%%s" (cond_name c) (Registers.reg_name r)
+  | Fmov (dst, src) -> Fmt.pf ppf "movsd %a, %a" pp_fsrc src pp_fsrc dst
+  | Fload_const (r, f) ->
+    Fmt.pf ppf "movsd $%g, %%%s" f (Registers.freg_name r)
+  | Falu (op, dst, src) ->
+    Fmt.pf ppf "%s %a, %%%s" (falu_name op) pp_fsrc src
+      (Registers.freg_name dst)
+  | Fcmp (a, b) ->
+    Fmt.pf ppf "comisd %a, %%%s" pp_fsrc b (Registers.freg_name a)
+  | Fneg r -> Fmt.pf ppf "negsd %%%s" (Registers.freg_name r)
+  | Fsqrt (d, s) ->
+    Fmt.pf ppf "sqrtsd %a, %%%s" pp_fsrc s (Registers.freg_name d)
+  | Cvtsi2sd (d, s) ->
+    Fmt.pf ppf "cvtsi2sd %a, %%%s" pp_operand s (Registers.freg_name d)
+  | Cvtsd2si (d, s) ->
+    Fmt.pf ppf "cvttsd2si %a, %%%s" pp_fsrc s (Registers.reg_name d)
+  | Jmp l -> Fmt.pf ppf "jmp %s" l
+  | Jcc (c, l) -> Fmt.pf ppf "j%s %s" (cond_name c) l
+  | Call l -> Fmt.pf ppf "call %s" l
+  | Ret -> Fmt.pf ppf "ret"
+  | Push o -> Fmt.pf ppf "pushl %a" pp_operand o
+  | Pop o -> Fmt.pf ppf "popl %a" pp_operand o
+  | Mov_to_seg (s, o) ->
+    Fmt.pf ppf "movw %a, %%%s" pp_operand o
+      (String.lowercase_ascii (Seghw.Segreg.name_to_string s))
+  | Mov_from_seg (o, s) ->
+    Fmt.pf ppf "movw %%%s, %a"
+      (String.lowercase_ascii (Seghw.Segreg.name_to_string s)) pp_operand o
+  | Lcall_gate sel ->
+    Fmt.pf ppf "lcall $0x%x, $0x0" (Seghw.Selector.to_int sel)
+  | Int_syscall n -> Fmt.pf ppf "int $0x%x" n
+  | Bound (r, m) ->
+    Fmt.pf ppf "bound %%%s, %a" (Registers.reg_name r) pp_mem m
+  | Label l -> Fmt.pf ppf "%s:" l
+  | Callext name -> Fmt.pf ppf "call @%s" name
+  | Halt -> Fmt.pf ppf "hlt"
+  | Nop -> Fmt.pf ppf "nop"

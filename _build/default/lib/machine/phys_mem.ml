@@ -1,0 +1,78 @@
+(* Physical memory: a dense, growable little-endian byte store.
+
+   Physical frames are handed out sequentially by the paging unit, so
+   physical memory is contiguous from address 0 and a doubling Bytes buffer
+   suffices. All multi-byte accessors are little-endian, matching x86. *)
+
+type t = { mutable data : Bytes.t; mutable high_water : int }
+
+let create ?(initial = 1 lsl 20) () =
+  { data = Bytes.make initial '\000'; high_water = 0 }
+
+let ensure t addr_end =
+  if addr_end > Bytes.length t.data then begin
+    let len = ref (Bytes.length t.data) in
+    while addr_end > !len do
+      len := !len * 2
+    done;
+    let grown = Bytes.make !len '\000' in
+    Bytes.blit t.data 0 grown 0 (Bytes.length t.data);
+    t.data <- grown
+  end;
+  if addr_end > t.high_water then t.high_water <- addr_end
+
+let read8 t addr =
+  if addr + 1 > Bytes.length t.data then 0
+  else Char.code (Bytes.unsafe_get t.data addr)
+
+let write8 t addr v =
+  ensure t (addr + 1);
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+
+let read16 t addr =
+  if addr + 2 <= Bytes.length t.data then
+    Char.code (Bytes.unsafe_get t.data addr)
+    lor (Char.code (Bytes.unsafe_get t.data (addr + 1)) lsl 8)
+  else read8 t addr lor (read8 t (addr + 1) lsl 8)
+
+let write16 t addr v =
+  ensure t (addr + 2);
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+
+let read32 t addr =
+  if addr + 4 <= Bytes.length t.data then begin
+    let b0 = Char.code (Bytes.unsafe_get t.data addr) in
+    let b1 = Char.code (Bytes.unsafe_get t.data (addr + 1)) in
+    let b2 = Char.code (Bytes.unsafe_get t.data (addr + 2)) in
+    let b3 = Char.code (Bytes.unsafe_get t.data (addr + 3)) in
+    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+  end
+  else
+    read8 t addr
+    lor (read8 t (addr + 1) lsl 8)
+    lor (read8 t (addr + 2) lsl 16)
+    lor (read8 t (addr + 3) lsl 24)
+
+let write32 t addr v =
+  ensure t (addr + 4);
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+  Bytes.unsafe_set t.data (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+  Bytes.unsafe_set t.data (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+
+let read64 t addr =
+  Int64.logor
+    (Int64.of_int (read32 t addr))
+    (Int64.shift_left (Int64.of_int (read32 t (addr + 4))) 32)
+
+let write64 t addr v =
+  write32 t addr (Int64.to_int (Int64.logand v 0xFFFFFFFFL));
+  write32 t (addr + 4) (Int64.to_int (Int64.shift_right_logical v 32))
+
+let read_float t addr = Int64.float_of_bits (read64 t addr)
+let write_float t addr v = write64 t addr (Int64.bits_of_float v)
+
+(* Highest physical address ever written + 1; a cheap memory-footprint
+   statistic for the space-overhead tables. *)
+let high_water t = t.high_water

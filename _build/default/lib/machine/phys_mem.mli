@@ -1,0 +1,25 @@
+(** Physical memory: a dense, growable, little-endian byte store. Frames
+    are handed out sequentially by the paging unit, so a doubling buffer
+    from address 0 suffices. *)
+
+type t
+
+val create : ?initial:int -> unit -> t
+
+val read8 : t -> int -> int
+val write8 : t -> int -> int -> unit
+val read16 : t -> int -> int
+val write16 : t -> int -> int -> unit
+val read32 : t -> int -> int
+val write32 : t -> int -> int -> unit
+val read64 : t -> int -> int64
+val write64 : t -> int -> int64 -> unit
+
+(** IEEE double stored as its 64-bit image. *)
+val read_float : t -> int -> float
+
+val write_float : t -> int -> float -> unit
+
+(** Highest physical address ever written, plus one — a cheap footprint
+    statistic. *)
+val high_water : t -> int

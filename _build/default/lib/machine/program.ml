@@ -1,0 +1,68 @@
+(* A linked program: instructions with resolved labels, plus the data-section
+   layout the loader must establish.
+
+   Code lives outside simulated memory (the CPU interprets the structured
+   instruction array); only its encoded byte size is accounted, via
+   [Encode]. Data ranges are mapped and initialised by the simulated OS at
+   load time. *)
+
+type datum = {
+  label : string;      (* symbolic name, for debugging *)
+  addr : int;          (* linear address *)
+  size : int;          (* bytes *)
+  init : string option (* initial contents; None = zero-filled *)
+}
+
+type t = {
+  code : Insn.t array;
+  labels : (string, int) Hashtbl.t; (* label -> instruction index *)
+  entry : string;
+  data : datum list;
+  data_bytes : int;   (* total initialised + bss data size *)
+}
+
+exception Link_error of string
+
+(* Build a program from an instruction list: index every [Label] and check
+   that all jump/call targets resolve. *)
+let link ?(entry = "main") ?(data = []) insns =
+  let code = Array.of_list insns in
+  let labels = Hashtbl.create 97 in
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Label l ->
+        if Hashtbl.mem labels l then
+          raise (Link_error (Printf.sprintf "duplicate label %S" l));
+        Hashtbl.add labels l i
+      | _ -> ())
+    code;
+  let require l =
+    if not (Hashtbl.mem labels l) then
+      raise (Link_error (Printf.sprintf "undefined label %S" l))
+  in
+  Array.iter
+    (fun insn ->
+      match insn with
+      | Insn.Jmp l | Insn.Jcc (_, l) | Insn.Call l -> require l
+      | _ -> ())
+    code;
+  require entry;
+  let data_bytes = List.fold_left (fun acc d -> acc + d.size) 0 data in
+  { code; labels; entry; data; data_bytes }
+
+let resolve t label =
+  match Hashtbl.find_opt t.labels label with
+  | Some i -> i
+  | None -> raise (Link_error (Printf.sprintf "undefined label %S" label))
+
+let code_size t = Encode.code_size t.code
+let insn_count t = Array.length t.code
+
+let pp ppf t =
+  Array.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Label l -> Fmt.pf ppf "%s:@." l
+      | _ -> Fmt.pf ppf "  %4d  %a@." i Insn.pp insn)
+    t.code

@@ -1,0 +1,33 @@
+(** A linked program: instructions with resolved labels plus the
+    data-section layout the loader must establish. Code is interpreted
+    structurally (only its encoded size is accounted); data ranges are
+    mapped and initialised by the simulated OS at load time. *)
+
+type datum = {
+  label : string;       (** symbolic name, for debugging *)
+  addr : int;           (** linear address *)
+  size : int;           (** bytes *)
+  init : string option; (** initial contents; [None] = zero-filled *)
+}
+
+type t = {
+  code : Insn.t array;
+  labels : (string, int) Hashtbl.t;
+  entry : string;
+  data : datum list;
+  data_bytes : int;
+}
+
+exception Link_error of string
+
+(** [link ?entry ?data insns] indexes every [Label] and checks that all
+    jump/call targets and the entry point resolve.
+    @raise Link_error on duplicate labels or unresolved targets. *)
+val link : ?entry:string -> ?data:datum list -> Insn.t list -> t
+
+(** @raise Link_error if undefined. *)
+val resolve : t -> string -> int
+
+val code_size : t -> int
+val insn_count : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+(* General-purpose and floating-point register files.
+
+   Integer registers hold 32-bit unsigned values (0 .. 2^32-1) stored in
+   OCaml ints; arithmetic masks back to 32 bits so wrap-around behaves like
+   hardware — which matters, because Cash's lower-bound check relies on
+   negative offsets wrapping to huge unsigned values that fail the segment
+   limit check.
+
+   Floating-point registers model SSE2 scalar-double registers (XMM0-7)
+   rather than the x87 stack; the workloads only need scalar double
+   arithmetic and this keeps code generation straightforward. *)
+
+type reg = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
+
+type freg = XMM0 | XMM1 | XMM2 | XMM3 | XMM4 | XMM5 | XMM6 | XMM7
+
+let reg_index = function
+  | EAX -> 0 | EBX -> 1 | ECX -> 2 | EDX -> 3
+  | ESI -> 4 | EDI -> 5 | EBP -> 6 | ESP -> 7
+
+let freg_index = function
+  | XMM0 -> 0 | XMM1 -> 1 | XMM2 -> 2 | XMM3 -> 3
+  | XMM4 -> 4 | XMM5 -> 5 | XMM6 -> 6 | XMM7 -> 7
+
+let freg_of_int = function
+  | 0 -> XMM0 | 1 -> XMM1 | 2 -> XMM2 | 3 -> XMM3
+  | 4 -> XMM4 | 5 -> XMM5 | 6 -> XMM6 | 7 -> XMM7
+  | n -> invalid_arg (Printf.sprintf "freg_of_int: %d" n)
+
+let reg_name = function
+  | EAX -> "eax" | EBX -> "ebx" | ECX -> "ecx" | EDX -> "edx"
+  | ESI -> "esi" | EDI -> "edi" | EBP -> "ebp" | ESP -> "esp"
+
+let freg_name r = Printf.sprintf "xmm%d" (freg_index r)
+
+type t = {
+  gp : int array;     (* 8 general-purpose registers *)
+  fp : float array;   (* 8 scalar-double registers *)
+}
+
+let mask32 v = v land 0xFFFFFFFF
+
+(* Interpret a 32-bit unsigned value as signed two's complement. *)
+let to_signed v =
+  let v = mask32 v in
+  if v >= 0x80000000 then v - 0x100000000 else v
+
+let of_signed v = mask32 v
+
+let create () = { gp = Array.make 8 0; fp = Array.make 8 0.0 }
+
+let get t r = t.gp.(reg_index r)
+let set t r v = t.gp.(reg_index r) <- mask32 v
+
+let getf t r = t.fp.(freg_index r)
+let setf t r v = t.fp.(freg_index r) <- v
+
+let reset t =
+  Array.fill t.gp 0 8 0;
+  Array.fill t.fp 0 8 0.0

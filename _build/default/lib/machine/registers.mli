@@ -1,0 +1,36 @@
+(** General-purpose and floating-point register files.
+
+    Integer registers hold 32-bit unsigned values; arithmetic masks back
+    to 32 bits so wrap-around behaves like hardware (which Cash's
+    lower-bound check relies on). Floating-point registers model SSE2
+    scalar doubles (XMM0-7). *)
+
+type reg = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
+type freg = XMM0 | XMM1 | XMM2 | XMM3 | XMM4 | XMM5 | XMM6 | XMM7
+
+val reg_index : reg -> int
+val freg_index : freg -> int
+
+(** @raise Invalid_argument outside 0..7. *)
+val freg_of_int : int -> freg
+
+val reg_name : reg -> string
+val freg_name : freg -> string
+
+type t
+
+(** Truncate to 32 bits. *)
+val mask32 : int -> int
+
+(** Interpret a 32-bit unsigned value as signed two's complement. *)
+val to_signed : int -> int
+
+(** Encode a signed value as 32-bit unsigned. *)
+val of_signed : int -> int
+
+val create : unit -> t
+val get : t -> reg -> int
+val set : t -> reg -> int -> unit
+val getf : t -> freg -> float
+val setf : t -> freg -> float -> unit
+val reset : t -> unit

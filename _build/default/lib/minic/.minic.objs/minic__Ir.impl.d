@@ -1,0 +1,1 @@
+lib/minic/ir.pp.ml: Ast List

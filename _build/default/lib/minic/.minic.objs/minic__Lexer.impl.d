@@ -1,0 +1,1 @@
+lib/minic/lexer.pp.ml: Buffer Char List Printf String Token

@@ -1,0 +1,1 @@
+lib/minic/loop_analysis.pp.ml: Ast Hashtbl Ir List Option Printf

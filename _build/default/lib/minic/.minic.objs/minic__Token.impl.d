@@ -1,0 +1,1 @@
+lib/minic/token.pp.ml: Printf

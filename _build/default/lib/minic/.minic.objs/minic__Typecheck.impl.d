@@ -1,0 +1,1 @@
+lib/minic/typecheck.pp.ml: Array Ast Char Hashtbl Ir List Option Parser Printf

@@ -1,0 +1,97 @@
+(* Abstract syntax for mini-C: the C subset the Cash workloads are written
+   in. Covers the constructs the paper's analysis cares about — static and
+   dynamic arrays, pointers with arithmetic, loops — plus enough expression
+   and statement forms to write real numerical kernels and server loops.
+   Deliberately omitted (unused by the workloads): structs/unions, switch,
+   goto, varargs, multi-dimensional array types (kernels index flat arrays,
+   as optimised C code usually does). *)
+
+type ty =
+  | Tint
+  | Tchar
+  | Tdouble
+  | Tvoid
+  | Tptr of ty
+  | Tarray of ty * int
+[@@deriving show { with_path = false }, eq]
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Band | Bor | Bxor | Shl | Shr
+[@@deriving show { with_path = false }, eq]
+
+type unop = Neg | Lnot | Bnot [@@deriving show { with_path = false }, eq]
+
+type incdec_pos = Pre | Post [@@deriving show { with_path = false }, eq]
+type incdec_op = Incr | Decr [@@deriving show { with_path = false }, eq]
+
+type expr =
+  | Int_lit of int
+  | Char_lit of char
+  | Float_lit of float
+  | Str_lit of string
+  | Var of string
+  | Index of expr * expr              (* a[i] *)
+  | Deref of expr                     (* *p *)
+  | Addr_of of expr                   (* &lvalue *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Land of expr * expr               (* && — short-circuit *)
+  | Lor of expr * expr                (* || *)
+  | Cond of expr * expr * expr        (* c ? a : b *)
+  | Assign of expr * expr             (* lvalue = e *)
+  | Op_assign of binop * expr * expr  (* lvalue op= e *)
+  | Incdec of incdec_pos * incdec_op * expr
+  | Call of string * expr list
+  | Cast of ty * expr
+  | Sizeof_ty of ty
+[@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | Expr of expr
+  | Decl of ty * string * expr option
+  | If of expr * stmt * stmt option
+  | While of expr * stmt
+  | For of stmt option * expr option * expr option * stmt
+      (* init is a Decl or Expr statement *)
+  | Return of expr option
+  | Block of stmt list
+  | Break
+  | Continue
+  | Empty
+[@@deriving show { with_path = false }, eq]
+
+type func = {
+  ret : ty;
+  name : string;
+  params : (ty * string) list;
+  body : stmt list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type global =
+  | Gvar of ty * string * expr option (* initialiser: constant expr *)
+  | Gfunc of func
+[@@deriving show { with_path = false }, eq]
+
+type program = global list [@@deriving show { with_path = false }, eq]
+
+(* Size of a type in bytes under the *reference* (1-word-pointer) model.
+   Backends with fat pointers override pointer size at code generation;
+   [sizeof] in source is likewise resolved per backend. *)
+let rec sizeof_ref = function
+  | Tint -> 4
+  | Tchar -> 1
+  | Tdouble -> 8
+  | Tvoid -> 0
+  | Tptr _ -> 4
+  | Tarray (t, n) -> n * sizeof_ref t
+
+let is_pointer = function Tptr _ | Tarray _ -> true | _ -> false
+let is_arith = function Tint | Tchar | Tdouble -> true | _ -> false
+let is_integral = function Tint | Tchar -> true | _ -> false
+
+(* The type a value of type [ty] has when used in an expression: arrays
+   decay to pointers. *)
+let decay = function Tarray (t, _) -> Tptr t | t -> t

@@ -1,0 +1,91 @@
+(* The typed intermediate representation: the AST after name resolution,
+   type checking, implicit-conversion insertion, and loop numbering.
+   This is the single input shared by all three code generators, mirroring
+   the paper's setup where BCC and Cash share one GCC front end. *)
+
+type storage =
+  | Global_var
+  | Local_var
+  | Param
+
+type sym = {
+  id : int;            (* unique across the program *)
+  name : string;
+  ty : Ast.ty;
+  storage : storage;
+}
+
+let sym_equal a b = a.id = b.id
+
+type builtin =
+  | Bmalloc
+  | Bfree
+  | Bprint_int
+  | Bprint_char
+  | Bprint_float
+  | Brand
+  | Bsrand
+  | Bsqrt
+  | Bmath1 of string (* sin, cos, exp, log, atan, fabs, floor *)
+  | Bmath2 of string (* pow *)
+
+type texpr = { ty : Ast.ty; e : te }
+
+and te =
+  | Tint_lit of int
+  | Tfloat_lit of float
+  | Tstr_lit of int (* index into the program string table *)
+  | Tvar of sym
+  | Tindex of texpr * texpr        (* pointer-typed base, int index *)
+  | Tderef of texpr
+  | Taddr of texpr                 (* &lvalue *)
+  | Tunop of Ast.unop * texpr
+  | Tbinop of Ast.binop * texpr * texpr
+  | Tland of texpr * texpr
+  | Tlor of texpr * texpr
+  | Tcond of texpr * texpr * texpr
+  | Tassign of texpr * texpr       (* lvalue, rvalue *)
+  | Tincdec of Ast.incdec_pos * Ast.incdec_op * texpr
+  | Tcall of sym * texpr list      (* user function *)
+  | Tbuiltin of builtin * texpr list
+  | Tcast of Ast.ty * texpr
+  | Tsizeof of Ast.ty (* resolved at codegen: pointer width is per-backend *)
+
+type loop_info = { loop_id : int }
+
+type tstmt =
+  | Sexpr of texpr
+  | Sdecl of sym * texpr option
+  | Sif of texpr * tstmt * tstmt option
+  | Swhile of loop_info * texpr * tstmt
+  | Sfor of loop_info * tstmt option * texpr option * texpr option * tstmt
+  | Sreturn of texpr option
+  | Sblock of tstmt list
+  | Sbreak
+  | Scontinue
+  | Sempty
+
+type tfunc = {
+  fsym : sym;          (* ty = return type *)
+  params : sym list;
+  locals : sym list;   (* every block-scoped declaration, flattened *)
+  body : tstmt list;
+}
+
+type const = Cint of int | Cfloat of float
+
+type tprog = {
+  globals : (sym * const option) list;
+  strings : string array;
+  funcs : tfunc list;
+}
+
+(* Is this expression an lvalue (has an address)? *)
+let rec is_lvalue e =
+  match e.e with
+  | Tvar _ | Tindex _ | Tderef _ -> true
+  | Tcast (_, inner) -> is_lvalue inner
+  | _ -> false
+
+let find_func prog name =
+  List.find_opt (fun f -> f.fsym.name = name) prog.funcs

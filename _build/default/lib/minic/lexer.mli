@@ -1,0 +1,9 @@
+(** Hand-written lexer for mini-C: //- and /* */ comments, decimal and
+    hex integer literals, floating literals, character and string
+    literals with the common escapes including [\xNN]. *)
+
+exception Lex_error of string * int  (** message, line *)
+
+(** Tokenise a full source string; the result always ends with [EOF].
+    @raise Lex_error with the offending line number. *)
+val tokenize : string -> Token.located list

@@ -1,0 +1,392 @@
+(* Loop and array-reference analysis (§3.7, §4.3).
+
+   For every loop, determine which distinct arrays/buffers its body
+   references. This drives:
+   - the Cash backend's first-come-first-served segment-register
+     assignment, performed per outermost loop nest (segment loads are
+     hoisted outside the outermost loop, so a nest shares one assignment);
+   - the "array-using loops" and "> N arrays" (spilled-loop) columns of
+     Tables 4 and 7.
+
+   A reference's *base* is the variable that carries the object identity —
+   the paper's shadow-pointer P whose adjacent P_A names the info
+   structure. Simple patterns (A[i], *p, *(p+k), *p++, p[i] after casts)
+   resolve to the underlying symbol; anything else is [Bcomplex] and is
+   always software-checked, because no loop-invariant segment register
+   load can cover a base that varies per iteration. *)
+
+type base =
+  | Bsym of Ir.sym   (* a named array or pointer variable *)
+  | Bstr of int      (* a string literal (its own anonymous array) *)
+  | Bcomplex         (* computed pointer: software check only *)
+
+let base_key = function
+  | Bsym s -> Printf.sprintf "s%d" s.Ir.id
+  | Bstr i -> Printf.sprintf "l%d" i
+  | Bcomplex -> "?"
+
+(* Resolve the base of the pointer expression [e] used in an array-like
+   reference. *)
+let rec classify_base (e : Ir.texpr) =
+  match e.Ir.e with
+  | Ir.Tvar sym -> Bsym sym
+  | Ir.Tstr_lit i -> Bstr i
+  | Ir.Tcast (_, inner) -> classify_base inner
+  | Ir.Tbinop ((Ast.Add | Ast.Sub), a, b) ->
+    (* pointer arithmetic keeps the base of the pointer side *)
+    (match Ast.decay a.Ir.ty, Ast.decay b.Ir.ty with
+     | Ast.Tptr _, _ -> classify_base a
+     | _, Ast.Tptr _ -> classify_base b
+     | _ -> Bcomplex)
+  | Ir.Tincdec (_, _, inner) -> classify_base inner
+  | Ir.Tassign (_, rhs) -> classify_base rhs
+  | Ir.Taddr inner ->
+    (* &a[k] used as a pointer keeps a's identity *)
+    (match inner.Ir.e with
+     | Ir.Tindex (b, _) -> classify_base b
+     | Ir.Tvar sym -> Bsym sym
+     | _ -> Bcomplex)
+  | _ -> Bcomplex
+
+type loop_summary = {
+  loop_id : int;
+  parent : int option;
+  outermost_id : int; (* the enclosing outermost loop (self if outermost) *)
+  bases : base list;  (* distinct non-complex bases, first-occurrence order *)
+  has_complex : bool; (* body contains computed-pointer references *)
+  ref_sites : int;    (* number of array-like reference sites in the body *)
+  mutated : string list; (* base keys of variables assigned / ++ / address-
+                            taken inside the nest body *)
+  escaped : string list; (* base keys whose address is taken inside the
+                            body: mutable through aliases, so never safe
+                            to cover with a hoisted segment register *)
+  declared : string list; (* base keys of variables *declared* inside the
+                             body: their segment setup cannot be hoisted
+                             to the loop preheader (the variable does not
+                             exist yet) and is emitted at the definition
+                             site instead *)
+  direct : string list;   (* base keys referenced directly in this loop's
+                             own body, outside any nested loop — decides
+                             whether a repurposed segment register must be
+                             re-established eagerly on inner-loop exit *)
+  written : string list;  (* base keys of references that are stored
+                             through inside the body — the only ones the
+                             security-only mode (§3.8) must cover *)
+  def_sources : (string * base) list;
+                          (* for each pointer assignment p = <expr> in the
+                             body: (p's key, the base of <expr>). A pointer
+                             whose defs all derive from one stable outer
+                             object can borrow that object's segment at
+                             the preheader and skip per-definition segment
+                             reloads (the zone/row-pointer pattern). *)
+  has_call : bool;    (* body contains a user-function call (a global
+                          pointer may be mutated behind our back) *)
+}
+
+(* Is [b]'s pointer value possibly modified inside loop [l]? Globals are
+   additionally clobbered by any call. *)
+let base_mutated l = function
+  | Bsym s ->
+    List.mem (base_key (Bsym s)) l.mutated
+    || (s.Ir.storage = Ir.Global_var && l.has_call)
+  | Bstr _ -> false
+  | Bcomplex -> true
+
+let base_declared_inside l b = List.mem (base_key b) l.declared
+
+(* If every definition of pointer base [b] inside loop [l] derives from
+   one named object other than [b] itself, return that object's base:
+   [b] can borrow its segment for the whole loop. *)
+let stable_def_source l b =
+  let key = base_key b in
+  let sources =
+    List.filter_map
+      (fun (k, src) ->
+        if k <> key then None
+        else
+          match src with
+          | Bsym s when base_key src <> key -> Some (Bsym s)
+          | Bstr _ -> Some src
+          | _ -> Some Bcomplex)
+      l.def_sources
+  in
+  match sources with
+  | [] -> None
+  | first :: rest ->
+    let same =
+      List.for_all (fun s -> base_key s = base_key first) rest
+      && first <> Bcomplex
+    in
+    if same then Some first else None
+
+(* May this base be covered by a segment register in this nest? Arrays
+   and string literals always can (the object never changes). Pointer
+   variables can unless they escape (aliased mutation we cannot see) or
+   are globals in a nest with calls (the callee may retarget them). *)
+let base_assignable l = function
+  | Bstr _ -> true
+  | Bcomplex -> false
+  | Bsym s ->
+    (match s.Ir.ty with
+     | Ast.Tarray _ -> true
+     | _ ->
+       (not (List.mem (base_key (Bsym s)) l.escaped))
+       && not (s.Ir.storage = Ir.Global_var && l.has_call))
+
+type t = {
+  by_id : (int, loop_summary) Hashtbl.t;
+  per_func : (string * loop_summary list) list; (* loops per function *)
+}
+
+(* Mutable accumulator for one loop during the walk. *)
+type acc = {
+  a_id : int;
+  a_parent : int option;
+  a_outer : int;
+  mutable a_bases : base list; (* reversed first-occurrence order *)
+  mutable a_keys : string list;
+  mutable a_complex : bool;
+  mutable a_sites : int;
+  mutable a_mutated : string list;
+  mutable a_escaped : string list;
+  mutable a_direct : string list;
+  mutable a_declared : string list;
+  mutable a_written : string list;
+  mutable a_def_sources : (string * base) list;
+  mutable a_call : bool;
+}
+
+let record_write stack b =
+  match b with
+  | Bcomplex -> ()
+  | _ ->
+    let key = base_key b in
+    List.iter
+      (fun acc ->
+        if not (List.mem key acc.a_written) then
+          acc.a_written <- key :: acc.a_written)
+      stack
+
+let record_def_source stack sym rhs_base =
+  let key = base_key (Bsym sym) in
+  List.iter
+    (fun acc -> acc.a_def_sources <- (key, rhs_base) :: acc.a_def_sources)
+    stack
+
+let record_mutation stack sym =
+  let key = base_key (Bsym sym) in
+  List.iter
+    (fun acc ->
+      if not (List.mem key acc.a_mutated) then
+        acc.a_mutated <- key :: acc.a_mutated)
+    stack
+
+let record_escape stack sym =
+  let key = base_key (Bsym sym) in
+  List.iter
+    (fun acc ->
+      if not (List.mem key acc.a_escaped) then
+        acc.a_escaped <- key :: acc.a_escaped)
+    stack
+
+let record_decl stack sym =
+  let key = base_key (Bsym sym) in
+  List.iter
+    (fun acc ->
+      if not (List.mem key acc.a_declared) then
+        acc.a_declared <- key :: acc.a_declared)
+    stack
+
+let record_call stack = List.iter (fun acc -> acc.a_call <- true) stack
+
+let record_ref stack b =
+  (match stack, b with
+   | acc :: _, (Bsym _ | Bstr _) ->
+     let key = base_key b in
+     if not (List.mem key acc.a_direct) then
+       acc.a_direct <- key :: acc.a_direct
+   | _ -> ());
+  List.iter
+    (fun acc ->
+      acc.a_sites <- acc.a_sites + 1;
+      match b with
+      | Bcomplex -> acc.a_complex <- true
+      | _ ->
+        let key = base_key b in
+        if not (List.mem key acc.a_keys) then begin
+          acc.a_keys <- key :: acc.a_keys;
+          acc.a_bases <- b :: acc.a_bases
+        end)
+    stack
+
+let rec walk_expr stack (e : Ir.texpr) =
+  match e.Ir.e with
+  | Ir.Tint_lit _ | Ir.Tfloat_lit _ | Ir.Tstr_lit _ | Ir.Tvar _
+  | Ir.Tsizeof _ -> ()
+  | Ir.Tindex (base, idx) ->
+    record_ref stack (classify_base base);
+    walk_expr stack base;
+    walk_expr stack idx
+  | Ir.Tderef p ->
+    record_ref stack (classify_base p);
+    walk_expr stack p
+  | Ir.Taddr inner ->
+    (* taking an address is not itself a memory reference, but it lets the
+       variable be mutated through an alias *)
+    (match inner.Ir.e with
+     | Ir.Tindex (b, i) -> walk_expr stack b; walk_expr stack i
+     | Ir.Tvar sym -> record_mutation stack sym; record_escape stack sym
+     | _ -> walk_expr stack inner)
+  | Ir.Tunop (_, a) | Ir.Tcast (_, a) -> walk_expr stack a
+  | Ir.Tbinop (_, a, b) | Ir.Tland (a, b) | Ir.Tlor (a, b) ->
+    walk_expr stack a;
+    walk_expr stack b
+  | Ir.Tcond (c, a, b) ->
+    walk_expr stack c;
+    walk_expr stack a;
+    walk_expr stack b
+  | Ir.Tassign (lhs, rhs) ->
+    (match lhs.Ir.e with
+     | Ir.Tvar sym ->
+       record_mutation stack sym;
+       if Ast.is_pointer (Ast.decay sym.Ir.ty) then
+         record_def_source stack sym (classify_base rhs)
+     | Ir.Tindex (b, _) | Ir.Tderef b ->
+       record_write stack (classify_base b);
+       walk_expr stack lhs
+     | _ -> walk_expr stack lhs);
+    walk_expr stack rhs
+  | Ir.Tincdec (_, _, inner) ->
+    (match inner.Ir.e with
+     | Ir.Tvar sym -> record_mutation stack sym
+     | Ir.Tindex (b, _) | Ir.Tderef b ->
+       record_write stack (classify_base b)
+     | _ -> ());
+    walk_expr stack inner
+  | Ir.Tcall (_, args) ->
+    record_call stack;
+    List.iter (walk_expr stack) args
+  | Ir.Tbuiltin (_, args) -> List.iter (walk_expr stack) args
+
+let rec walk_stmt by_id out stack (s : Ir.tstmt) =
+  match s with
+  | Ir.Sexpr e -> walk_expr stack e
+  | Ir.Sdecl (sym, init) ->
+    record_decl stack sym;
+    (match init with
+     | Some rhs ->
+       record_mutation stack sym;
+       if Ast.is_pointer (Ast.decay sym.Ir.ty) then
+         record_def_source stack sym (classify_base rhs)
+     | None -> ());
+    Option.iter (walk_expr stack) init
+  | Ir.Sif (c, a, b) ->
+    walk_expr stack c;
+    walk_stmt by_id out stack a;
+    Option.iter (walk_stmt by_id out stack) b
+  | Ir.Swhile (li, c, body) ->
+    enter_loop by_id out stack li (fun stack ->
+        walk_expr stack c;
+        walk_stmt by_id out stack body)
+  | Ir.Sfor (li, init, cond, step, body) ->
+    Option.iter (walk_stmt by_id out stack) init;
+    enter_loop by_id out stack li (fun stack ->
+        Option.iter (walk_expr stack) cond;
+        Option.iter (walk_expr stack) step;
+        walk_stmt by_id out stack body)
+  | Ir.Sreturn e -> Option.iter (walk_expr stack) e
+  | Ir.Sblock stmts -> List.iter (walk_stmt by_id out stack) stmts
+  | Ir.Sbreak | Ir.Scontinue | Ir.Sempty -> ()
+
+and enter_loop by_id out stack (li : Ir.loop_info) f =
+  let parent = match stack with a :: _ -> Some a.a_id | [] -> None in
+  let outer = match stack with a :: _ -> a.a_outer | [] -> li.Ir.loop_id in
+  let acc =
+    {
+      a_id = li.Ir.loop_id;
+      a_parent = parent;
+      a_outer = outer;
+      a_bases = [];
+      a_keys = [];
+      a_complex = false;
+      a_sites = 0;
+      a_mutated = [];
+      a_escaped = [];
+      a_declared = [];
+      a_direct = [];
+      a_written = [];
+      a_def_sources = [];
+      a_call = false;
+    }
+  in
+  f (acc :: stack);
+  let summary =
+    {
+      loop_id = acc.a_id;
+      parent = acc.a_parent;
+      outermost_id = acc.a_outer;
+      bases = List.rev acc.a_bases;
+      has_complex = acc.a_complex;
+      ref_sites = acc.a_sites;
+      mutated = acc.a_mutated;
+      escaped = acc.a_escaped;
+      declared = acc.a_declared;
+      direct = acc.a_direct;
+      written = acc.a_written;
+      def_sources = acc.a_def_sources;
+      has_call = acc.a_call;
+    }
+  in
+  Hashtbl.replace by_id acc.a_id summary;
+  out := summary :: !out
+
+(* Analyse a whole program. *)
+let analyze (prog : Ir.tprog) =
+  let by_id = Hashtbl.create 64 in
+  let per_func =
+    List.map
+      (fun (f : Ir.tfunc) ->
+        let out = ref [] in
+        List.iter (walk_stmt by_id out []) f.Ir.body;
+        (f.Ir.fsym.Ir.name, List.rev !out))
+      prog.Ir.funcs
+  in
+  { by_id; per_func }
+
+let loop t id = Hashtbl.find_opt t.by_id id
+
+let all_loops t = List.concat_map snd t.per_func
+
+(* --- static characteristics for Tables 4 and 7 ------------------------ *)
+
+type characteristics = {
+  total_loops : int;
+  array_using_loops : int;
+  spilled_loops : int; (* loops whose own body uses more than [budget]
+                          distinct arrays *)
+}
+
+let characteristics ?(budget = 3) t =
+  let loops = all_loops t in
+  let uses_arrays l = l.bases <> [] || l.has_complex in
+  {
+    total_loops = List.length loops;
+    array_using_loops = List.length (List.filter uses_arrays loops);
+    spilled_loops =
+      List.length
+        (List.filter (fun l -> List.length l.bases > budget) loops);
+  }
+
+(* The segment-register assignment for a loop nest: the first [budget]
+   bases of the *outermost* loop get registers; everything else in the
+   nest is software-checked. Returns the assigned bases in order. *)
+let nest_assignment t ~budget ~outermost_id =
+  match loop t outermost_id with
+  | None -> []
+  | Some l ->
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    take budget l.bases

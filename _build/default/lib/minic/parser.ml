@@ -1,0 +1,439 @@
+(* Recursive-descent parser for mini-C.
+
+   Grammar follows C's precedence levels:
+     assignment > conditional > || > && > | > ^ > & > equality >
+     relational > shift > additive > multiplicative > unary > postfix.
+
+   Declarations use the restricted form
+     type ['*'...] name [ '[' int ']' ] [ '=' expr ]
+   i.e. a single declarator per declaration, which keeps the workloads
+   honest without C's full declarator grammar. *)
+
+exception Parse_error of string * int
+
+type state = { mutable toks : Token.located list }
+
+let error st fmt =
+  let line = match st.toks with t :: _ -> t.Token.line | [] -> 0 in
+  Printf.ksprintf (fun msg -> raise (Parse_error (msg, line))) fmt
+
+let peek st =
+  match st.toks with t :: _ -> t.Token.tok | [] -> Token.EOF
+
+let peek2 st =
+  match st.toks with _ :: t :: _ -> t.Token.tok | _ -> Token.EOF
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let expect_ident st =
+  match peek st with
+  | Token.IDENT s -> advance st; s
+  | t -> error st "expected identifier but found '%s'" (Token.to_string t)
+
+let is_type_start = function
+  | Token.KW_INT | Token.KW_CHAR | Token.KW_DOUBLE | Token.KW_VOID -> true
+  | _ -> false
+
+(* base type + pointer stars *)
+let parse_type st =
+  let base =
+    match peek st with
+    | Token.KW_INT -> advance st; Ast.Tint
+    | Token.KW_CHAR -> advance st; Ast.Tchar
+    | Token.KW_DOUBLE -> advance st; Ast.Tdouble
+    | Token.KW_VOID -> advance st; Ast.Tvoid
+    | t -> error st "expected type but found '%s'" (Token.to_string t)
+  in
+  let rec stars ty =
+    if peek st = Token.STAR then begin advance st; stars (Ast.Tptr ty) end
+    else ty
+  in
+  stars base
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_cond st in
+  match peek st with
+  | Token.ASSIGN -> advance st; Ast.Assign (lhs, parse_assign st)
+  | Token.PLUS_ASSIGN -> advance st; Ast.Op_assign (Ast.Add, lhs, parse_assign st)
+  | Token.MINUS_ASSIGN -> advance st; Ast.Op_assign (Ast.Sub, lhs, parse_assign st)
+  | Token.STAR_ASSIGN -> advance st; Ast.Op_assign (Ast.Mul, lhs, parse_assign st)
+  | Token.SLASH_ASSIGN -> advance st; Ast.Op_assign (Ast.Div, lhs, parse_assign st)
+  | Token.PERCENT_ASSIGN -> advance st; Ast.Op_assign (Ast.Mod, lhs, parse_assign st)
+  | _ -> lhs
+
+and parse_cond st =
+  let c = parse_lor st in
+  if peek st = Token.QUESTION then begin
+    advance st;
+    let a = parse_expr st in
+    expect st Token.COLON;
+    let b = parse_cond st in
+    Ast.Cond (c, a, b)
+  end
+  else c
+
+and parse_lor st =
+  let rec go acc =
+    if peek st = Token.OROR then begin
+      advance st;
+      go (Ast.Lor (acc, parse_land st))
+    end
+    else acc
+  in
+  go (parse_land st)
+
+and parse_land st =
+  let rec go acc =
+    if peek st = Token.ANDAND then begin
+      advance st;
+      go (Ast.Land (acc, parse_bor st))
+    end
+    else acc
+  in
+  go (parse_bor st)
+
+and parse_bor st =
+  let rec go acc =
+    if peek st = Token.PIPE then begin
+      advance st;
+      go (Ast.Binop (Ast.Bor, acc, parse_bxor st))
+    end
+    else acc
+  in
+  go (parse_bxor st)
+
+and parse_bxor st =
+  let rec go acc =
+    if peek st = Token.CARET then begin
+      advance st;
+      go (Ast.Binop (Ast.Bxor, acc, parse_band st))
+    end
+    else acc
+  in
+  go (parse_band st)
+
+and parse_band st =
+  let rec go acc =
+    if peek st = Token.AMP then begin
+      advance st;
+      go (Ast.Binop (Ast.Band, acc, parse_equality st))
+    end
+    else acc
+  in
+  go (parse_equality st)
+
+and parse_equality st =
+  let rec go acc =
+    match peek st with
+    | Token.EQEQ -> advance st; go (Ast.Binop (Ast.Eq, acc, parse_relational st))
+    | Token.NEQ -> advance st; go (Ast.Binop (Ast.Ne, acc, parse_relational st))
+    | _ -> acc
+  in
+  go (parse_relational st)
+
+and parse_relational st =
+  let rec go acc =
+    match peek st with
+    | Token.LT -> advance st; go (Ast.Binop (Ast.Lt, acc, parse_shift st))
+    | Token.LE -> advance st; go (Ast.Binop (Ast.Le, acc, parse_shift st))
+    | Token.GT -> advance st; go (Ast.Binop (Ast.Gt, acc, parse_shift st))
+    | Token.GE -> advance st; go (Ast.Binop (Ast.Ge, acc, parse_shift st))
+    | _ -> acc
+  in
+  go (parse_shift st)
+
+and parse_shift st =
+  let rec go acc =
+    match peek st with
+    | Token.SHL -> advance st; go (Ast.Binop (Ast.Shl, acc, parse_additive st))
+    | Token.SHR -> advance st; go (Ast.Binop (Ast.Shr, acc, parse_additive st))
+    | _ -> acc
+  in
+  go (parse_additive st)
+
+and parse_additive st =
+  let rec go acc =
+    match peek st with
+    | Token.PLUS -> advance st; go (Ast.Binop (Ast.Add, acc, parse_multiplicative st))
+    | Token.MINUS -> advance st; go (Ast.Binop (Ast.Sub, acc, parse_multiplicative st))
+    | _ -> acc
+  in
+  go (parse_multiplicative st)
+
+and parse_multiplicative st =
+  let rec go acc =
+    match peek st with
+    | Token.STAR -> advance st; go (Ast.Binop (Ast.Mul, acc, parse_unary st))
+    | Token.SLASH -> advance st; go (Ast.Binop (Ast.Div, acc, parse_unary st))
+    | Token.PERCENT -> advance st; go (Ast.Binop (Ast.Mod, acc, parse_unary st))
+    | _ -> acc
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Token.MINUS -> advance st; Ast.Unop (Ast.Neg, parse_unary st)
+  | Token.BANG -> advance st; Ast.Unop (Ast.Lnot, parse_unary st)
+  | Token.TILDE -> advance st; Ast.Unop (Ast.Bnot, parse_unary st)
+  | Token.STAR -> advance st; Ast.Deref (parse_unary st)
+  | Token.AMP -> advance st; Ast.Addr_of (parse_unary st)
+  | Token.PLUSPLUS -> advance st; Ast.Incdec (Ast.Pre, Ast.Incr, parse_unary st)
+  | Token.MINUSMINUS -> advance st; Ast.Incdec (Ast.Pre, Ast.Decr, parse_unary st)
+  | Token.KW_SIZEOF ->
+    advance st;
+    expect st Token.LPAREN;
+    let ty = parse_type st in
+    expect st Token.RPAREN;
+    Ast.Sizeof_ty ty
+  | Token.LPAREN when is_type_start (peek2 st) ->
+    (* cast *)
+    advance st;
+    let ty = parse_type st in
+    expect st Token.RPAREN;
+    Ast.Cast (ty, parse_unary st)
+  | _ -> parse_postfix st
+
+and parse_postfix st =
+  let rec go acc =
+    match peek st with
+    | Token.LBRACKET ->
+      advance st;
+      let idx = parse_expr st in
+      expect st Token.RBRACKET;
+      go (Ast.Index (acc, idx))
+    | Token.PLUSPLUS -> advance st; go (Ast.Incdec (Ast.Post, Ast.Incr, acc))
+    | Token.MINUSMINUS -> advance st; go (Ast.Incdec (Ast.Post, Ast.Decr, acc))
+    | _ -> acc
+  in
+  go (parse_primary st)
+
+and parse_primary st =
+  match peek st with
+  | Token.INT_LIT n -> advance st; Ast.Int_lit n
+  | Token.FLOAT_LIT f -> advance st; Ast.Float_lit f
+  | Token.CHAR_LIT c -> advance st; Ast.Char_lit c
+  | Token.STR_LIT s -> advance st; Ast.Str_lit s
+  | Token.IDENT name ->
+    advance st;
+    if peek st = Token.LPAREN then begin
+      advance st;
+      let args =
+        if peek st = Token.RPAREN then []
+        else
+          let rec go acc =
+            let a = parse_assign st in
+            if peek st = Token.COMMA then begin advance st; go (a :: acc) end
+            else List.rev (a :: acc)
+          in
+          go []
+      in
+      expect st Token.RPAREN;
+      Ast.Call (name, args)
+    end
+    else Ast.Var name
+  | Token.LPAREN ->
+    advance st;
+    let e = parse_expr st in
+    expect st Token.RPAREN;
+    e
+  | t -> error st "unexpected token '%s' in expression" (Token.to_string t)
+
+(* declaration tail after the type: name, optional array suffix, optional
+   initialiser *)
+let parse_decl_tail st ty =
+  let name = expect_ident st in
+  let ty =
+    if peek st = Token.LBRACKET then begin
+      advance st;
+      let n =
+        match peek st with
+        | Token.INT_LIT n -> advance st; n
+        | t -> error st "expected array size but found '%s'" (Token.to_string t)
+      in
+      expect st Token.RBRACKET;
+      Ast.Tarray (ty, n)
+    end
+    else ty
+  in
+  let init =
+    if peek st = Token.ASSIGN then begin
+      advance st;
+      Some (parse_assign st)
+    end
+    else None
+  in
+  (ty, name, init)
+
+let rec parse_stmt st =
+  match peek st with
+  | Token.SEMI -> advance st; Ast.Empty
+  | Token.LBRACE ->
+    advance st;
+    let rec go acc =
+      if peek st = Token.RBRACE then begin
+        advance st;
+        Ast.Block (List.rev acc)
+      end
+      else go (parse_stmt st :: acc)
+    in
+    go []
+  | Token.KW_IF ->
+    advance st;
+    expect st Token.LPAREN;
+    let c = parse_expr st in
+    expect st Token.RPAREN;
+    let then_ = parse_stmt st in
+    if peek st = Token.KW_ELSE then begin
+      advance st;
+      Ast.If (c, then_, Some (parse_stmt st))
+    end
+    else Ast.If (c, then_, None)
+  | Token.KW_WHILE ->
+    advance st;
+    expect st Token.LPAREN;
+    let c = parse_expr st in
+    expect st Token.RPAREN;
+    Ast.While (c, parse_stmt st)
+  | Token.KW_FOR ->
+    advance st;
+    expect st Token.LPAREN;
+    let init =
+      if peek st = Token.SEMI then begin advance st; None end
+      else if is_type_start (peek st) then begin
+        let ty = parse_type st in
+        let ty, name, init = parse_decl_tail st ty in
+        expect st Token.SEMI;
+        Some (Ast.Decl (ty, name, init))
+      end
+      else begin
+        let e = parse_expr st in
+        expect st Token.SEMI;
+        Some (Ast.Expr e)
+      end
+    in
+    let cond =
+      if peek st = Token.SEMI then None else Some (parse_expr st)
+    in
+    expect st Token.SEMI;
+    let step =
+      if peek st = Token.RPAREN then None else Some (parse_expr st)
+    in
+    expect st Token.RPAREN;
+    Ast.For (init, cond, step, parse_stmt st)
+  | Token.KW_RETURN ->
+    advance st;
+    if peek st = Token.SEMI then begin
+      advance st;
+      Ast.Return None
+    end
+    else begin
+      let e = parse_expr st in
+      expect st Token.SEMI;
+      Ast.Return (Some e)
+    end
+  | Token.KW_BREAK -> advance st; expect st Token.SEMI; Ast.Break
+  | Token.KW_CONTINUE -> advance st; expect st Token.SEMI; Ast.Continue
+  | t when is_type_start t ->
+    let ty = parse_type st in
+    let ty, name, init = parse_decl_tail st ty in
+    expect st Token.SEMI;
+    Ast.Decl (ty, name, init)
+  | _ ->
+    let e = parse_expr st in
+    expect st Token.SEMI;
+    Ast.Expr e
+
+let parse_params st =
+  expect st Token.LPAREN;
+  if peek st = Token.RPAREN then begin advance st; [] end
+  else if peek st = Token.KW_VOID && peek2 st = Token.RPAREN then begin
+    advance st; advance st; []
+  end
+  else begin
+    let rec go acc =
+      let ty = parse_type st in
+      let name = expect_ident st in
+      (* array parameters — written [int a[8]] — decay to pointers, as
+         in C; the size, if any, is parsed and discarded *)
+      let ty =
+        if peek st = Token.LBRACKET then begin
+          advance st;
+          (match peek st with
+           | Token.INT_LIT _ -> advance st
+           | _ -> ());
+          expect st Token.RBRACKET;
+          Ast.Tptr ty
+        end
+        else match ty with Ast.Tarray (t, _) -> Ast.Tptr t | t -> t
+      in
+      if peek st = Token.COMMA then begin
+        advance st;
+        go ((ty, name) :: acc)
+      end
+      else List.rev ((ty, name) :: acc)
+    in
+    let params = go [] in
+    expect st Token.RPAREN;
+    params
+  end
+
+let parse_global st =
+  let ty = parse_type st in
+  let name = expect_ident st in
+  if peek st = Token.LPAREN then begin
+    let params = parse_params st in
+    expect st Token.LBRACE;
+    let rec go acc =
+      if peek st = Token.RBRACE then begin
+        advance st;
+        List.rev acc
+      end
+      else go (parse_stmt st :: acc)
+    in
+    let body = go [] in
+    Ast.Gfunc { Ast.ret = ty; name; params; body }
+  end
+  else begin
+    (* re-use declaration tail for the array suffix / initialiser *)
+    let ty =
+      if peek st = Token.LBRACKET then begin
+        advance st;
+        let n =
+          match peek st with
+          | Token.INT_LIT n -> advance st; n
+          | t -> error st "expected array size but found '%s'"
+                   (Token.to_string t)
+        in
+        expect st Token.RBRACKET;
+        Ast.Tarray (ty, n)
+      end
+      else ty
+    in
+    let init =
+      if peek st = Token.ASSIGN then begin
+        advance st;
+        Some (parse_assign st)
+      end
+      else None
+    in
+    expect st Token.SEMI;
+    Ast.Gvar (ty, name, init)
+  end
+
+(* Parse a complete translation unit. *)
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let rec go acc =
+    if peek st = Token.EOF then List.rev acc
+    else go (parse_global st :: acc)
+  in
+  go []

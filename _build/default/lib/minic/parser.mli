@@ -1,0 +1,9 @@
+(** Recursive-descent parser for mini-C, with C's expression precedence.
+    Declarations use the restricted one-declarator-per-statement form
+    [type '*'* name ('[' int ']')? ('=' expr)?]. *)
+
+exception Parse_error of string * int  (** message, line *)
+
+(** Parse a complete translation unit.
+    @raise Parse_error (and {!Lexer.Lex_error} from tokenisation). *)
+val parse_program : string -> Ast.program

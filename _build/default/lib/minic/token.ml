@@ -1,0 +1,51 @@
+(* Lexical tokens for mini-C. *)
+
+type t =
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | CHAR_LIT of char
+  | STR_LIT of string
+  | IDENT of string
+  (* keywords *)
+  | KW_INT | KW_CHAR | KW_DOUBLE | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_FOR | KW_RETURN
+  | KW_BREAK | KW_CONTINUE | KW_SIZEOF
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  (* operators *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | ANDAND | OROR | BANG
+  | ASSIGN
+  | PLUS_ASSIGN | MINUS_ASSIGN | STAR_ASSIGN | SLASH_ASSIGN | PERCENT_ASSIGN
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let to_string = function
+  | INT_LIT n -> string_of_int n
+  | FLOAT_LIT f -> string_of_float f
+  | CHAR_LIT c -> Printf.sprintf "'%c'" c
+  | STR_LIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_INT -> "int" | KW_CHAR -> "char" | KW_DOUBLE -> "double"
+  | KW_VOID -> "void" | KW_IF -> "if" | KW_ELSE -> "else"
+  | KW_WHILE -> "while" | KW_FOR -> "for" | KW_RETURN -> "return"
+  | KW_BREAK -> "break" | KW_CONTINUE -> "continue" | KW_SIZEOF -> "sizeof"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]" | SEMI -> ";" | COMMA -> ","
+  | QUESTION -> "?" | COLON -> ":"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~"
+  | SHL -> "<<" | SHR -> ">>"
+  | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">=" | EQEQ -> "==" | NEQ -> "!="
+  | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+=" | MINUS_ASSIGN -> "-=" | STAR_ASSIGN -> "*="
+  | SLASH_ASSIGN -> "/=" | PERCENT_ASSIGN -> "%="
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"
+
+(* A token paired with its source line, for error messages. *)
+type located = { tok : t; line : int }

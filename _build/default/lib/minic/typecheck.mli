@@ -1,0 +1,14 @@
+(** Semantic analysis: name resolution, type checking, implicit
+    conversion insertion (char/int promotion, int/double), [op=]
+    desugaring, and loop numbering. Produces the typed IR all code
+    generators share. *)
+
+exception Type_error of string
+
+(** Type-check a parsed translation unit; requires a [main] function.
+    @raise Type_error *)
+val check : Ast.program -> Ir.tprog
+
+(** Source text straight to typed IR.
+    @raise Type_error, [Parser.Parse_error], [Lexer.Lex_error]. *)
+val check_source : string -> Ir.tprog

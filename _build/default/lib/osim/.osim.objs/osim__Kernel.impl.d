@@ -1,0 +1,1 @@
+lib/osim/kernel.ml: Machine Printf Seghw

@@ -1,0 +1,1 @@
+lib/osim/kernel.mli: Machine Seghw

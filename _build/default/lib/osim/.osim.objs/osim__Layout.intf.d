@@ -1,0 +1,1 @@
+lib/osim/layout.mli:

@@ -1,0 +1,1 @@
+lib/osim/libc.ml: Buffer Char Cpu Float Hashtbl Layout Machine Printf Registers Seghw

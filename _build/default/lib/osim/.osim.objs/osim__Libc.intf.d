@@ -1,0 +1,1 @@
+lib/osim/libc.mli: Machine Seghw

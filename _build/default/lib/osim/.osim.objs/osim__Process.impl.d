@@ -1,0 +1,1 @@
+lib/osim/process.ml: Char Kernel Layout Libc List Machine Seghw String

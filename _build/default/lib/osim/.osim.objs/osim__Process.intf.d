@@ -1,0 +1,1 @@
+lib/osim/process.mli: Kernel Libc Machine Seghw

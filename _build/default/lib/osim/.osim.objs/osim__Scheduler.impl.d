@@ -1,0 +1,1 @@
+lib/osim/scheduler.ml: Kernel List Process

@@ -1,0 +1,1 @@
+lib/osim/scheduler.mli: Kernel Process

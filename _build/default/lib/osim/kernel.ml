@@ -1,0 +1,200 @@
+(* The simulated operating system kernel.
+
+   Models the two kernel facilities the Cash paper adds to Linux 2.4 (§3.6):
+
+   - [modify_ldt] reached through `int 0x80` (syscall 123): the stock Linux
+     path. It saves/restores all registers and copies parameters, which is
+     why the paper measures it at 781 cycles. The cycle cost is charged by
+     the CPU's cost model on the `Int_syscall` instruction.
+
+   - [cash_modify_ldt] reached through a call gate installed in LDT entry 0
+     by the new [set_ldt_callgate] syscall (242). It only saves EDX/DS and
+     passes parameters in registers, measured at 253 cycles; again the cost
+     model charges this on `Lcall_gate`.
+
+   Parameter passing is register-based for both paths (EBX = LDT index,
+   ECX = base, EDX = size in bytes, ESI = writable flag; size 0 clears the
+   entry). The real modify_ldt takes a user_desc struct pointer — the
+   register ABI is a simulator simplification; the *cost asymmetry* between
+   the two paths is preserved by the cost model, which is what the paper's
+   argument rests on.
+
+   Security invariants (§3.8), enforced here and unit-tested: neither path
+   can create a call gate or a privileged (DPL < 3) segment in the LDT, and
+   neither can touch LDT entry 0 once the call gate is installed. *)
+
+type stats = {
+  mutable modify_ldt_calls : int;     (* slow int-0x80 path *)
+  mutable cash_modify_ldt_calls : int; (* fast call-gate path *)
+  mutable descriptors_written : int;
+  mutable descriptors_cleared : int;
+}
+
+type t = {
+  gdt : Seghw.Descriptor_table.t;
+  costs : Machine.Cost_model.t;
+  mutable next_pid : int;
+  mutable clock : int; (* global cycle clock, advanced by the scheduler *)
+  stats : stats;
+}
+
+(* Fixed GDT layout, mirroring Linux's: entries for kernel and user flat
+   segments. All user segments are flat 4 GiB (base 0, limit 0xFFFFF, G=1),
+   giving the classic flat address-space model that Cash layers segments on
+   top of. *)
+let kernel_code_index = 1
+let kernel_data_index = 2
+let user_code_index = 3
+let user_data_index = 4
+
+let flat ~dpl ~seg_type =
+  Seghw.Descriptor.make ~base:0 ~limit:0xFFFFF ~granularity:true ~dpl
+    ~present:true ~seg_type
+
+let create ?(costs = Machine.Cost_model.pentium3) () =
+  let gdt = Seghw.Descriptor_table.create Seghw.Descriptor_table.Gdt_table in
+  Seghw.Descriptor_table.set gdt kernel_code_index
+    (flat ~dpl:0 ~seg_type:(Seghw.Descriptor.Code { readable = true }));
+  Seghw.Descriptor_table.set gdt kernel_data_index
+    (flat ~dpl:0 ~seg_type:(Seghw.Descriptor.Data { writable = true }));
+  Seghw.Descriptor_table.set gdt user_code_index
+    (flat ~dpl:3 ~seg_type:(Seghw.Descriptor.Code { readable = true }));
+  Seghw.Descriptor_table.set gdt user_data_index
+    (flat ~dpl:3 ~seg_type:(Seghw.Descriptor.Data { writable = true }));
+  {
+    gdt;
+    costs;
+    next_pid = 1;
+    clock = 0;
+    stats =
+      {
+        modify_ldt_calls = 0;
+        cash_modify_ldt_calls = 0;
+        descriptors_written = 0;
+        descriptors_cleared = 0;
+      };
+  }
+
+let gdt t = t.gdt
+let costs t = t.costs
+let stats t = t.stats
+let clock t = t.clock
+let advance_clock t cycles = t.clock <- t.clock + cycles
+
+let fresh_pid t =
+  let pid = t.next_pid in
+  t.next_pid <- t.next_pid + 1;
+  pid
+
+(* Selectors handed to user processes. *)
+let user_code_selector =
+  Seghw.Selector.make ~index:user_code_index ~table:Seghw.Selector.Gdt ~rpl:3
+
+let user_data_selector =
+  Seghw.Selector.make ~index:user_data_index ~table:Seghw.Selector.Gdt ~rpl:3
+
+(* The call-gate selector Cash programs use: LDT entry 0, RPL 3 — the
+   `lcall $0x7, $0x0` of the paper. *)
+let cash_gate_selector =
+  Seghw.Selector.make ~index:0 ~table:Seghw.Selector.Ldt ~rpl:3
+
+let cash_gate_handler = 1
+
+(* Syscall numbers. *)
+let sys_modify_ldt = 123
+let sys_set_ldt_callgate = 242
+let sys_exit = 1
+
+(* Write or clear an LDT descriptor on behalf of a user process. This is
+   the common core of both the slow and the fast path; all the §3.8
+   security checks live here. *)
+let do_modify_ldt t ~ldt ~index ~base ~size ~writable =
+  if index = 0 then
+    Seghw.Fault.gp "modify_ldt: entry 0 is reserved for the call gate";
+  if index < 0 || index >= Seghw.Descriptor_table.capacity then
+    Seghw.Fault.gp (Printf.sprintf "modify_ldt: bad index %d" index);
+  if size = 0 then begin
+    Seghw.Descriptor_table.clear ldt index;
+    t.stats.descriptors_cleared <- t.stats.descriptors_cleared + 1
+  end
+  else begin
+    (* Only unprivileged data segments can be created: no call gates, no
+       code segments, no DPL < 3. *)
+    let d = Seghw.Descriptor.for_array ~base ~size_bytes:size ~writable in
+    Seghw.Descriptor_table.set ldt index d;
+    t.stats.descriptors_written <- t.stats.descriptors_written + 1
+  end
+
+let install_call_gate t ~ldt =
+  ignore t;
+  Seghw.Descriptor_table.set ldt 0
+    (Seghw.Descriptor.make ~base:0 ~limit:0 ~granularity:false ~dpl:3
+       ~present:true
+       ~seg_type:
+         (Seghw.Descriptor.Call_gate
+            { handler = cash_gate_handler; param_count = 0 }))
+
+(* Host-runtime entry points: these model a user-space runtime routine
+   executing `lcall $0x7,$0x0` or `int 0x80` without simulating the
+   routine's own instructions. They charge the same cycle costs the cost
+   model charges for the corresponding instructions, verify the same
+   conditions, and bump the same statistics. *)
+
+let invoke_cash_modify_ldt t cpu ~ldt ~index ~base ~size ~writable =
+  Machine.Cpu.add_cycles cpu t.costs.Machine.Cost_model.call_gate;
+  (* The gate must actually be installed; calling before set_ldt_callgate
+     faults exactly as the hardware far call would. *)
+  (match Seghw.Descriptor_table.get ldt 0 with
+   | Some d when Seghw.Descriptor.is_call_gate d -> ()
+   | _ -> Seghw.Fault.gp "cash_modify_ldt: call gate not installed");
+  t.stats.cash_modify_ldt_calls <- t.stats.cash_modify_ldt_calls + 1;
+  do_modify_ldt t ~ldt ~index ~base ~size ~writable
+
+let invoke_modify_ldt t cpu ~ldt ~index ~base ~size ~writable =
+  Machine.Cpu.add_cycles cpu t.costs.Machine.Cost_model.int_syscall;
+  t.stats.modify_ldt_calls <- t.stats.modify_ldt_calls + 1;
+  do_modify_ldt t ~ldt ~index ~base ~size ~writable
+
+(* Cost of the set_ldt_callgate system call: a plain syscall without the
+   register-restore burden of modify_ldt. Together with the runtime's
+   free-list initialisation this makes up the paper's 543-cycle per-program
+   overhead. *)
+let set_ldt_callgate_cycles = 500
+
+let invoke_set_ldt_callgate t cpu ~ldt =
+  Machine.Cpu.add_cycles cpu set_ldt_callgate_cycles;
+  install_call_gate t ~ldt
+
+(* The kernel entry point wired into each process's CPU: dispatches
+   `int 0x80` and call-gate far calls. *)
+let handle_entry t ~ldt cpu ~gate =
+  let regs = Machine.Cpu.regs cpu in
+  let reg r = Machine.Registers.get regs r in
+  match gate with
+  | `Int 0x80 ->
+    (match reg Machine.Registers.EAX with
+     | n when n = sys_modify_ldt ->
+       t.stats.modify_ldt_calls <- t.stats.modify_ldt_calls + 1;
+       do_modify_ldt t ~ldt ~index:(reg Machine.Registers.EBX)
+         ~base:(reg Machine.Registers.ECX) ~size:(reg Machine.Registers.EDX)
+         ~writable:(reg Machine.Registers.ESI <> 0)
+     | n when n = sys_set_ldt_callgate -> install_call_gate t ~ldt
+     | n when n = sys_exit -> Seghw.Fault.gp "sys_exit via int 0x80"
+     | n -> Seghw.Fault.gp (Printf.sprintf "unknown syscall %d" n))
+  | `Int n -> Seghw.Fault.gp (Printf.sprintf "unknown interrupt 0x%x" n)
+  | `Gate sel ->
+    (* Resolve the gate through the LDT exactly as hardware would: the
+       selector must name a present call gate. *)
+    if Seghw.Selector.table sel <> Seghw.Selector.Ldt then
+      Seghw.Fault.gp "far call through non-LDT selector";
+    let d = Seghw.Descriptor_table.lookup_exn ldt (Seghw.Selector.index sel) in
+    (match d.Seghw.Descriptor.seg_type with
+     | Seghw.Descriptor.Call_gate { handler; _ }
+       when handler = cash_gate_handler ->
+       t.stats.cash_modify_ldt_calls <- t.stats.cash_modify_ldt_calls + 1;
+       do_modify_ldt t ~ldt ~index:(reg Machine.Registers.EBX)
+         ~base:(reg Machine.Registers.ECX) ~size:(reg Machine.Registers.EDX)
+         ~writable:(reg Machine.Registers.ESI <> 0)
+     | Seghw.Descriptor.Call_gate { handler; _ } ->
+       Seghw.Fault.gp (Printf.sprintf "unknown call-gate handler %d" handler)
+     | _ -> Seghw.Fault.gp "far call target is not a call gate")

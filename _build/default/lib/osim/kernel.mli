@@ -1,0 +1,77 @@
+(** The simulated operating system kernel: the GDT with Linux's flat
+    segment layout, and the two LDT-modification facilities of §3.6 —
+    stock [modify_ldt] via `int 0x80` (781 cycles) and Cash's
+    [cash_modify_ldt] via a call gate in LDT entry 0 (253 cycles) —
+    with the §3.8 security invariants (no call gates or privileged
+    segments creatable from user space, entry 0 untouchable). *)
+
+type stats = {
+  mutable modify_ldt_calls : int;
+  mutable cash_modify_ldt_calls : int;
+  mutable descriptors_written : int;
+  mutable descriptors_cleared : int;
+}
+
+type t
+
+(** Fixed GDT layout, mirroring Linux's. *)
+val kernel_code_index : int
+
+val kernel_data_index : int
+val user_code_index : int
+val user_data_index : int
+
+val create : ?costs:Machine.Cost_model.t -> unit -> t
+val gdt : t -> Seghw.Descriptor_table.t
+val costs : t -> Machine.Cost_model.t
+val stats : t -> stats
+
+(** Global cycle clock, advanced by the scheduler as processes run —
+    the timestamp source for Table 8's fork accounting. *)
+val clock : t -> int
+
+val advance_clock : t -> int -> unit
+val fresh_pid : t -> int
+
+val user_code_selector : Seghw.Selector.t
+val user_data_selector : Seghw.Selector.t
+
+(** The paper's `lcall $0x7, $0x0` gate selector (LDT entry 0, RPL 3). *)
+val cash_gate_selector : Seghw.Selector.t
+
+val cash_gate_handler : int
+val sys_modify_ldt : int
+val sys_set_ldt_callgate : int
+val sys_exit : int
+
+(** Write or clear (size 0) an LDT descriptor on behalf of a user
+    process; enforces the §3.8 checks. Raises [#GP] on entry 0 or bad
+    indices; only DPL-3 data segments can be created. *)
+val do_modify_ldt :
+  t -> ldt:Seghw.Descriptor_table.t -> index:int -> base:int -> size:int ->
+  writable:bool -> unit
+
+val install_call_gate : t -> ldt:Seghw.Descriptor_table.t -> unit
+
+(** Host-runtime entry points: model a user-space routine executing the
+    corresponding kernel-entry instruction, charging the same cycle costs
+    and enforcing the same checks. [invoke_cash_modify_ldt] verifies the
+    gate is actually installed, as the hardware far call would. *)
+val invoke_cash_modify_ldt :
+  t -> Machine.Cpu.t -> ldt:Seghw.Descriptor_table.t -> index:int ->
+  base:int -> size:int -> writable:bool -> unit
+
+val invoke_modify_ldt :
+  t -> Machine.Cpu.t -> ldt:Seghw.Descriptor_table.t -> index:int ->
+  base:int -> size:int -> writable:bool -> unit
+
+val set_ldt_callgate_cycles : int
+
+val invoke_set_ldt_callgate :
+  t -> Machine.Cpu.t -> ldt:Seghw.Descriptor_table.t -> unit
+
+(** The kernel entry point wired into each process's CPU: dispatches
+    `int 0x80` and call-gate far calls. *)
+val handle_entry :
+  t -> ldt:Seghw.Descriptor_table.t -> Machine.Cpu.t ->
+  gate:[ `Gate of Seghw.Selector.t | `Int of int ] -> unit

@@ -1,0 +1,16 @@
+(* The user-space address layout established at load time.
+
+   Mirrors a classic 32-bit Linux process: code low, static data above it,
+   heap in the middle, stack just under 3 GiB growing down. Cash layers
+   array segments on top of this otherwise flat space without moving
+   anything (§3.9). *)
+
+let text_base = 0x08048000
+let data_base = 0x08100000
+let heap_base = 0x10000000
+let stack_top = 0xC0000000
+let stack_size = 1 lsl 20 (* 1 MiB mapped eagerly *)
+let stack_bottom = stack_top - stack_size
+
+(* Initial ESP, leaving a little headroom below the very top. *)
+let initial_esp = stack_top - 16

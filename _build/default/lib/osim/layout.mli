@@ -1,0 +1,12 @@
+(** The user-space address layout established at load time: a classic
+    32-bit Linux process (code low, static data above, heap in the
+    middle, stack under 3 GiB). Cash layers segments on top of this flat
+    space without moving anything (§3.9). *)
+
+val text_base : int
+val data_base : int
+val heap_base : int
+val stack_top : int
+val stack_size : int
+val stack_bottom : int
+val initial_esp : int

@@ -1,0 +1,197 @@
+(* A miniature C library implemented as host routines.
+
+   The simulated programs call these through `Callext`; each routine reads
+   its cdecl arguments from the simulated stack, performs the work on the
+   host, charges a fixed cycle cost that stands in for the library code we
+   do not simulate instruction-by-instruction, and writes results back into
+   simulated registers/memory.
+
+   The cycle charges are identical across the three compilers, so they
+   cancel out of the relative overheads the experiments report. All output
+   goes to a per-process buffer, which the differential tests compare
+   across backends.
+
+   malloc/free: a size-class free-list allocator over a bump heap. The
+   allocation size is tracked host-side; BCC needs object bounds at the
+   call site, so malloc additionally returns base in ECX and one-past-end
+   in EDX (the BCC backend consumes them; GCC ignores them). *)
+
+type t = {
+  mmu : Seghw.Mmu.t;
+  mutable brk : int;
+  free_lists : (int, int list ref) Hashtbl.t; (* rounded size -> addrs *)
+  alloc_sizes : (int, int) Hashtbl.t;         (* addr -> requested size *)
+  output : Buffer.t;
+  mutable rand_state : int;
+  mutable bytes_allocated : int;
+  mutable peak_heap : int;
+  mutable guard_malloc : bool;
+      (* Electric Fence mode (§2 of the paper): every allocation is
+         end-aligned to a page boundary with the following page left
+         unmapped, so any overrun page-faults at the offending
+         instruction; freed memory is unmapped, catching use-after-free.
+         Zero per-reference cost, page-granular virtual-memory cost. *)
+  mutable guard_vm_bytes : int; (* VM consumed by guard-mode allocations *)
+}
+
+let create ~mmu =
+  {
+    mmu;
+    brk = Layout.heap_base;
+    free_lists = Hashtbl.create 31;
+    alloc_sizes = Hashtbl.create 255;
+    output = Buffer.create 4096;
+    rand_state = 123456789;
+    bytes_allocated = 0;
+    peak_heap = 0;
+    guard_malloc = false;
+    guard_vm_bytes = 0;
+  }
+
+let output t = Buffer.contents t.output
+let peak_heap t = t.peak_heap
+let set_guard_malloc t v = t.guard_malloc <- v
+let guard_vm_bytes t = t.guard_vm_bytes
+
+(* Cycle charges for the routines we do not simulate. *)
+let malloc_cycles = 60
+let free_cycles = 40
+let print_cycles = 150
+let math_cycles = 80
+let rand_cycles = 12
+
+let round_size size = if size <= 0 then 16 else (size + 15) land lnot 15
+
+let page = 4096
+let round_pages size = (max size 1 + page - 1) / page * page
+
+(* Electric Fence allocation: payload pages mapped so the buffer's END
+   coincides with a page end; the next page stays unmapped (the fence). *)
+let guard_alloc t size =
+  let payload = round_pages size in
+  let region = t.brk in
+  t.brk <- t.brk + payload + page; (* payload pages + unmapped guard *)
+  Seghw.Mmu.map_range t.mmu ~linear:region ~size:payload ~writable:true;
+  let addr = region + payload - max size 1 in
+  Hashtbl.replace t.alloc_sizes addr size;
+  t.guard_vm_bytes <- t.guard_vm_bytes + payload + page;
+  if t.brk - Layout.heap_base > t.peak_heap then
+    t.peak_heap <- t.brk - Layout.heap_base;
+  addr
+
+let guard_release t addr size =
+  (* unmap the payload so use-after-free faults too *)
+  let payload = round_pages size in
+  let region_start = addr + max size 1 - payload in
+  let first = region_start / page and last = (region_start + payload - 1) / page in
+  for p_ = first to last do
+    Seghw.Paging.unmap_page (Seghw.Mmu.paging t.mmu) ~linear:(p_ * page);
+    Seghw.Tlb.invalidate_page (Seghw.Mmu.tlb t.mmu) ~page:p_
+  done
+
+let alloc t size =
+  if t.guard_malloc then guard_alloc t size
+  else begin
+  let rounded = round_size size in
+  let addr =
+    match Hashtbl.find_opt t.free_lists rounded with
+    | Some ({ contents = addr :: rest } as l) ->
+      l := rest;
+      addr
+    | _ ->
+      let addr = t.brk in
+      t.brk <- t.brk + rounded;
+      Seghw.Mmu.map_range t.mmu ~linear:addr ~size:rounded ~writable:true;
+      addr
+  in
+  Hashtbl.replace t.alloc_sizes addr size;
+  t.bytes_allocated <- t.bytes_allocated + rounded;
+  if t.brk - Layout.heap_base > t.peak_heap then
+    t.peak_heap <- t.brk - Layout.heap_base;
+  addr
+  end
+
+let release t addr =
+  match Hashtbl.find_opt t.alloc_sizes addr with
+  | None -> Seghw.Fault.gp (Printf.sprintf "free of unallocated 0x%x" addr)
+  | Some size ->
+    Hashtbl.remove t.alloc_sizes addr;
+    if t.guard_malloc then guard_release t addr size
+    else begin
+      let rounded = round_size size in
+      match Hashtbl.find_opt t.free_lists rounded with
+      | Some l -> l := addr :: !l
+      | None -> Hashtbl.add t.free_lists rounded (ref [ addr ])
+    end
+
+(* Deterministic LCG so workload inputs are reproducible across backends
+   and runs (no wall-clock anywhere). *)
+let next_rand t =
+  t.rand_state <- ((t.rand_state * 1103515245) + 12345) land 0x3FFFFFFF;
+  t.rand_state
+
+let externals t =
+  let open Machine in
+  let charge cpu n = Cpu.add_cycles cpu n in
+  [
+    ( "malloc",
+      fun cpu ->
+        charge cpu malloc_cycles;
+        let size = Cpu.arg_int cpu 0 in
+        let addr = alloc t size in
+        Cpu.return_int cpu addr;
+        (* bounds for fat-pointer backends *)
+        Registers.set (Cpu.regs cpu) Registers.ECX addr;
+        Registers.set (Cpu.regs cpu) Registers.EDX (addr + size) );
+    ( "bounds_violation",
+      fun _cpu ->
+        (* Target of the software bound-check failure branch (BCC checks
+           and Cash's software fallback). Raises the same class of fault
+           the BOUND instruction would. *)
+        Seghw.Fault.br "software bound check failed" );
+    ( "free",
+      fun cpu ->
+        charge cpu free_cycles;
+        let addr = Cpu.arg_int cpu 0 in
+        release t addr );
+    ( "print_int",
+      fun cpu ->
+        charge cpu print_cycles;
+        Buffer.add_string t.output
+          (string_of_int (Registers.to_signed (Cpu.arg_int cpu 0)));
+        Buffer.add_char t.output '\n' );
+    ( "print_float",
+      fun cpu ->
+        charge cpu print_cycles;
+        Buffer.add_string t.output
+          (Printf.sprintf "%.6f\n" (Cpu.arg_float cpu 0)) );
+    ( "print_char",
+      fun cpu ->
+        charge cpu print_cycles;
+        Buffer.add_char t.output (Char.chr (Cpu.arg_int cpu 0 land 0xFF)) );
+    ( "rand",
+      fun cpu ->
+        charge cpu rand_cycles;
+        Cpu.return_int cpu (next_rand t land 0x7FFF) );
+    ( "srand",
+      fun cpu ->
+        charge cpu rand_cycles;
+        t.rand_state <- Cpu.arg_int cpu 0 );
+    ("sin", fun cpu -> charge cpu math_cycles;
+      Cpu.return_float cpu (sin (Cpu.arg_float cpu 0)));
+    ("cos", fun cpu -> charge cpu math_cycles;
+      Cpu.return_float cpu (cos (Cpu.arg_float cpu 0)));
+    ("exp", fun cpu -> charge cpu math_cycles;
+      Cpu.return_float cpu (exp (Cpu.arg_float cpu 0)));
+    ("log", fun cpu -> charge cpu math_cycles;
+      Cpu.return_float cpu (log (Cpu.arg_float cpu 0)));
+    ("atan", fun cpu -> charge cpu math_cycles;
+      Cpu.return_float cpu (atan (Cpu.arg_float cpu 0)));
+    ("fabs", fun cpu -> charge cpu math_cycles;
+      Cpu.return_float cpu (Float.abs (Cpu.arg_float cpu 0)));
+    ("floor", fun cpu -> charge cpu math_cycles;
+      Cpu.return_float cpu (floor (Cpu.arg_float cpu 0)));
+    ("pow", fun cpu -> charge cpu math_cycles;
+      Cpu.return_float cpu
+        (Float.pow (Cpu.arg_float cpu 0) (Cpu.arg_float cpu 2)));
+  ]

@@ -1,0 +1,46 @@
+(** A miniature C library implemented as host routines, reached via
+    [Callext]: malloc/free (size-class free lists over a bump heap),
+    print_* (into a per-process buffer the differential tests compare),
+    a deterministic LCG rand, and scalar math. Each routine charges a
+    fixed cycle cost, identical across compilers, standing in for the
+    library code we do not simulate instruction-by-instruction. *)
+
+type t
+
+val create : mmu:Seghw.Mmu.t -> t
+
+(** Everything the process printed. *)
+val output : t -> string
+
+(** Peak heap footprint, bytes. *)
+val peak_heap : t -> int
+
+(** Electric Fence mode (the §2 comparator): when enabled, [malloc]
+    end-aligns every allocation to a page boundary and leaves the next
+    page unmapped, so overruns page-fault at the offending instruction;
+    [free] unmaps the payload, catching use-after-free. Zero
+    per-reference cost; page-granular virtual-memory cost. *)
+val set_guard_malloc : t -> bool -> unit
+
+(** Virtual memory consumed by guard-mode allocations (payload pages plus
+    one fence page each). *)
+val guard_vm_bytes : t -> int
+
+val malloc_cycles : int
+val free_cycles : int
+val print_cycles : int
+val math_cycles : int
+val rand_cycles : int
+
+(** Allocate [size] bytes (16-byte size classes); maps the pages. *)
+val alloc : t -> int -> int
+
+(** Release an allocation. Raises [#GP] on unknown or double frees. *)
+val release : t -> int -> unit
+
+(** The deterministic LCG behind [rand()]. *)
+val next_rand : t -> int
+
+(** All externals to register on a CPU, including the
+    ["bounds_violation"] target of software checks (raises [#BR]). *)
+val externals : t -> (string * (Machine.Cpu.t -> unit)) list

@@ -1,0 +1,23 @@
+(** Request scheduling for the network experiments (Table 8): one forked
+    child per request on the kernel's global cycle clock. Latency is
+    average child CPU time; throughput is requests over the span from
+    first creation to last termination — the paper's two metrics. *)
+
+type record = { pid : int; created_at : int; terminated_at : int }
+
+val default_fork_overhead : int
+
+(** [serve ~kernel ~requests handle] runs [handle i] for each request;
+    the callback must create, run, and return the serving process. *)
+val serve :
+  kernel:Kernel.t -> requests:int -> ?fork_overhead:int ->
+  (int -> Process.t) -> record list
+
+(** Cycles from first creation to last termination. *)
+val span : record list -> int
+
+(** Average per-request CPU time, in cycles. *)
+val latency : record list -> float
+
+(** Requests per billion cycles. *)
+val throughput : record list -> float

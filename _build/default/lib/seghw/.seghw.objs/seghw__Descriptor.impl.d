@@ -1,0 +1,1 @@
+lib/seghw/descriptor.ml: Bytes Char Fmt Printf String

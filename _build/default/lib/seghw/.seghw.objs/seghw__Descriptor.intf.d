@@ -1,0 +1,1 @@
+lib/seghw/descriptor.mli: Format

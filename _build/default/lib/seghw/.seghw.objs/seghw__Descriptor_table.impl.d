@@ -1,0 +1,1 @@
+lib/seghw/descriptor_table.ml: Array Descriptor Fault Printf Selector

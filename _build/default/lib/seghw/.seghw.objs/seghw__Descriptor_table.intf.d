@@ -1,0 +1,1 @@
+lib/seghw/descriptor_table.mli: Descriptor

@@ -1,0 +1,1 @@
+lib/seghw/fault.ml: Fmt Printf

@@ -1,0 +1,1 @@
+lib/seghw/fault.mli: Format

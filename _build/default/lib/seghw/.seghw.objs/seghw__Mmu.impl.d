@@ -1,0 +1,1 @@
+lib/seghw/mmu.ml: Descriptor_table Paging Segreg Selector Tlb

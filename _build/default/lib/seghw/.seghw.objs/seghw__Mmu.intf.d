@@ -1,0 +1,1 @@
+lib/seghw/mmu.mli: Descriptor_table Paging Segreg Selector Tlb

@@ -1,0 +1,1 @@
+lib/seghw/paging.ml: Array Fault

@@ -1,0 +1,1 @@
+lib/seghw/segreg.ml: Descriptor Fault Fmt Printf Selector

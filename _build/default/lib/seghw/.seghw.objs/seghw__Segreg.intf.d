@@ -1,0 +1,1 @@
+lib/seghw/segreg.mli: Descriptor Format Selector

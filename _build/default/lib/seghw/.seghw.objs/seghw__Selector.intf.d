@@ -1,0 +1,1 @@
+lib/seghw/selector.mli: Format

@@ -1,0 +1,1 @@
+lib/seghw/tlb.ml: Array

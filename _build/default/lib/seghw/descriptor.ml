@@ -1,0 +1,170 @@
+(* Segment descriptors: the 8-byte GDT/LDT entries of the x86 architecture.
+
+   A descriptor carries a 32-bit base, a 20-bit limit, the granularity bit G
+   (G = 1 scales the limit by 4096 and ORs in 0xFFF), a descriptor privilege
+   level, a present bit, and a type. We model the descriptor types Cash
+   needs: expand-up data segments (read-only or read/write), code segments,
+   call gates (used for the cash_modify_ldt fast kernel entry), and LDT
+   system segments.
+
+   [encode]/[decode] serialise to the real x86 byte layout so that property
+   tests can check the round-trip against the architectural format. *)
+
+type seg_type =
+  | Data of { writable : bool }
+  | Code of { readable : bool }
+  | Call_gate of { handler : int; param_count : int }
+      (** [handler] stands in for the target code offset; the simulated
+          kernel dispatches on it. *)
+  | Ldt_system
+
+type t = {
+  base : int;        (* 32-bit segment base linear address *)
+  limit : int;       (* raw 20-bit limit field *)
+  granularity : bool;(* G bit: false = byte units, true = 4 KiB units *)
+  dpl : int;         (* descriptor privilege level, 0..3 *)
+  present : bool;
+  seg_type : seg_type;
+}
+
+let max_byte_limit = (1 lsl 20) - 1 (* largest limit expressible with G=0 *)
+
+let check_invariants d =
+  if d.base < 0 || d.base > 0xFFFFFFFF then
+    invalid_arg (Printf.sprintf "Descriptor: base 0x%x not 32-bit" d.base);
+  if d.limit < 0 || d.limit > max_byte_limit then
+    invalid_arg (Printf.sprintf "Descriptor: limit 0x%x not 20-bit" d.limit);
+  if d.dpl < 0 || d.dpl > 3 then
+    invalid_arg (Printf.sprintf "Descriptor: dpl %d out of range" d.dpl);
+  d
+
+let make ~base ~limit ~granularity ~dpl ~present ~seg_type =
+  check_invariants { base; limit; granularity; dpl; present; seg_type }
+
+(* Build a data-segment descriptor covering [size_bytes] bytes starting at
+   [base], choosing the granularity bit the way Cash does (§3.5): segments
+   of at most 1 MiB use byte granularity and are exact; larger segments use
+   page granularity, the size is rounded up to a multiple of 4 KiB, and the
+   caller is expected to align the *end* of the array with the end of the
+   segment so the upper-bound check stays byte-exact. *)
+let for_array ~base ~size_bytes ~writable =
+  if size_bytes <= 0 then invalid_arg "Descriptor.for_array: size must be > 0";
+  if size_bytes <= 1 lsl 20 then
+    make ~base ~limit:(size_bytes - 1) ~granularity:false ~dpl:3 ~present:true
+      ~seg_type:(Data { writable })
+  else begin
+    let pages = (size_bytes + 4095) / 4096 in
+    if pages - 1 > max_byte_limit then
+      invalid_arg "Descriptor.for_array: segment larger than 4 GiB";
+    make ~base ~limit:(pages - 1) ~granularity:true ~dpl:3 ~present:true
+      ~seg_type:(Data { writable })
+  end
+
+(* Effective limit in bytes: the highest valid offset within the segment. *)
+let effective_limit d =
+  if d.granularity then (d.limit lsl 12) lor 0xFFF else d.limit
+
+(* Size in bytes covered by the segment. *)
+let byte_size d = effective_limit d + 1
+
+let is_data d = match d.seg_type with Data _ -> true | _ -> false
+let is_code d = match d.seg_type with Code _ -> true | _ -> false
+let is_call_gate d = match d.seg_type with Call_gate _ -> true | _ -> false
+
+let is_writable d =
+  match d.seg_type with Data { writable } -> writable | _ -> false
+
+(* The segment-limit check the hardware performs on every memory reference:
+   an access of [size] bytes at [offset] must lie entirely within
+   [0, effective_limit]. Offsets are 32-bit unsigned, so a "negative" offset
+   computed by wrapped arithmetic appears as a huge value and fails the
+   check — this is how segmentation gives Cash its lower-bound check. *)
+let offset_ok d ~offset ~size =
+  let offset = offset land 0xFFFFFFFF in
+  size > 0 && offset + size - 1 <= effective_limit d
+
+(* --- architectural byte encoding ------------------------------------- *)
+
+let type_bits = function
+  | Data { writable } -> (if writable then 0b0011 else 0b0001) lor 0b10000
+    (* S=1 (bit 4 of the access byte), accessed bit set *)
+  | Code { readable } -> (if readable then 0b1011 else 0b1001) lor 0b10000
+  | Call_gate _ -> 0b01100 (* S=0, type 0xC = 32-bit call gate *)
+  | Ldt_system -> 0b00010 (* S=0, type 0x2 = LDT *)
+
+(* Encode to the 8-byte descriptor layout. Call gates reuse the base/limit
+   fields to carry the handler id and parameter count (their architectural
+   layout differs, but the simulated kernel is the only consumer). *)
+let encode d =
+  let b = Bytes.make 8 '\000' in
+  let set i v = Bytes.set b i (Char.chr (v land 0xFF)) in
+  (match d.seg_type with
+   | Call_gate { handler; param_count } ->
+     set 0 (handler land 0xFF);
+     set 1 ((handler lsr 8) land 0xFF);
+     set 2 (param_count land 0x1F);
+     set 5
+       (type_bits d.seg_type
+        lor (d.dpl lsl 5)
+        lor (if d.present then 0x80 else 0))
+   | Data _ | Code _ | Ldt_system ->
+     set 0 (d.limit land 0xFF);
+     set 1 ((d.limit lsr 8) land 0xFF);
+     set 2 (d.base land 0xFF);
+     set 3 ((d.base lsr 8) land 0xFF);
+     set 4 ((d.base lsr 16) land 0xFF);
+     set 5
+       (type_bits d.seg_type
+        lor (d.dpl lsl 5)
+        lor (if d.present then 0x80 else 0));
+     set 6
+       (((d.limit lsr 16) land 0xF)
+        lor (if d.granularity then 0x80 else 0)
+        lor 0x40 (* D/B = 1: 32-bit segment *));
+     set 7 ((d.base lsr 24) land 0xFF));
+  Bytes.to_string b
+
+let decode s =
+  if String.length s <> 8 then invalid_arg "Descriptor.decode: need 8 bytes";
+  let get i = Char.code s.[i] in
+  let access = get 5 in
+  let present = access land 0x80 <> 0 in
+  let dpl = (access lsr 5) land 3 in
+  let s_bit = access land 0x10 <> 0 in
+  let type_field = access land 0xF in
+  if s_bit then begin
+    let limit = get 0 lor (get 1 lsl 8) lor ((get 6 land 0xF) lsl 16) in
+    let base = get 2 lor (get 3 lsl 8) lor (get 4 lsl 16) lor (get 7 lsl 24) in
+    let granularity = get 6 land 0x80 <> 0 in
+    let seg_type =
+      if type_field land 0x8 <> 0 then
+        Code { readable = type_field land 0x2 <> 0 }
+      else Data { writable = type_field land 0x2 <> 0 }
+    in
+    make ~base ~limit ~granularity ~dpl ~present ~seg_type
+  end
+  else
+    match type_field with
+    | 0xC ->
+      let handler = get 0 lor (get 1 lsl 8) in
+      let param_count = get 2 land 0x1F in
+      make ~base:0 ~limit:0 ~granularity:false ~dpl ~present
+        ~seg_type:(Call_gate { handler; param_count })
+    | 0x2 ->
+      make ~base:0 ~limit:0 ~granularity:false ~dpl ~present
+        ~seg_type:Ldt_system
+    | t -> invalid_arg (Printf.sprintf "Descriptor.decode: system type 0x%x" t)
+
+let equal a b = a = b
+
+let pp ppf d =
+  let kind =
+    match d.seg_type with
+    | Data { writable } -> if writable then "data rw" else "data ro"
+    | Code { readable } -> if readable then "code r" else "code"
+    | Call_gate { handler; _ } -> Printf.sprintf "gate->%d" handler
+    | Ldt_system -> "ldt"
+  in
+  Fmt.pf ppf "desc(base=0x%08x lim=0x%05x G=%b dpl=%d %s%s)" d.base d.limit
+    d.granularity d.dpl kind
+    (if d.present then "" else " !P")

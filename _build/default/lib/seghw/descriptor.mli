@@ -1,0 +1,65 @@
+(** Segment descriptors: the 8-byte GDT/LDT entries of the x86.
+
+    A descriptor carries a 32-bit base, a 20-bit limit, the granularity
+    bit G (G = 1 scales the limit by 4096 and ORs in 0xFFF — the source
+    of Figure 2's lower-bound slack), a privilege level, a present bit,
+    and a type. *)
+
+type seg_type =
+  | Data of { writable : bool }  (** expand-up data segment *)
+  | Code of { readable : bool }
+  | Call_gate of { handler : int; param_count : int }
+      (** [handler] stands in for the target code offset; the simulated
+          kernel dispatches on it (Cash's [cash_modify_ldt] gate). *)
+  | Ldt_system
+
+type t = {
+  base : int;          (** 32-bit segment base linear address *)
+  limit : int;         (** raw 20-bit limit field *)
+  granularity : bool;  (** G bit: false = byte units, true = 4 KiB units *)
+  dpl : int;           (** descriptor privilege level, 0..3 *)
+  present : bool;
+  seg_type : seg_type;
+}
+
+(** Largest limit expressible with G = 0 (2^20 - 1). *)
+val max_byte_limit : int
+
+(** [make ~base ~limit ~granularity ~dpl ~present ~seg_type] builds a
+    descriptor. @raise Invalid_argument on out-of-range fields. *)
+val make :
+  base:int -> limit:int -> granularity:bool -> dpl:int -> present:bool ->
+  seg_type:seg_type -> t
+
+(** [for_array ~base ~size_bytes ~writable] builds the descriptor Cash
+    allocates for an array (§3.5): byte-granular and exact for sizes up
+    to 1 MiB; page-granular above, sized to the minimal multiple of
+    4 KiB (the caller aligns the array's end with the segment's end). *)
+val for_array : base:int -> size_bytes:int -> writable:bool -> t
+
+(** Highest valid offset within the segment (the limit after granularity
+    scaling). *)
+val effective_limit : t -> int
+
+(** Bytes covered by the segment, [effective_limit + 1]. *)
+val byte_size : t -> int
+
+val is_data : t -> bool
+val is_code : t -> bool
+val is_call_gate : t -> bool
+val is_writable : t -> bool
+
+(** The segment-limit check the hardware performs on every memory
+    reference: a [size]-byte access at [offset] must lie inside
+    [0, effective_limit]. Offsets are 32-bit unsigned, so wrapped
+    negative offsets fail — this is Cash's lower-bound check. *)
+val offset_ok : t -> offset:int -> size:int -> bool
+
+(** Architectural 8-byte encoding (little-endian field layout of the
+    IA-32 descriptor). [decode] inverts [encode].
+    @raise Invalid_argument on a malformed 8-byte string. *)
+val encode : t -> string
+
+val decode : string -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

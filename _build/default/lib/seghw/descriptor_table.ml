@@ -1,0 +1,71 @@
+(* Descriptor tables: the GDT (shared) and per-process LDTs.
+
+   Each table holds up to 8192 descriptors. Entry 0 of the GDT is
+   architecturally unusable (the null descriptor); Cash additionally reserves
+   entry 0 of each LDT for its fast-syscall call gate (§3.6), leaving 8191
+   entries for array segments. *)
+
+type kind = Gdt_table | Ldt_table
+
+type t = {
+  kind : kind;
+  entries : Descriptor.t option array;
+  mutable live : int; (* number of present entries, for statistics *)
+}
+
+let capacity = 8192
+
+let create kind = { kind; entries = Array.make capacity None; live = 0 }
+
+let kind t = t.kind
+
+let check_index i =
+  if i < 0 || i >= capacity then
+    Fault.gp (Printf.sprintf "descriptor table index %d out of range" i)
+
+(* Install a descriptor. Installing at GDT index 0 is rejected: that slot is
+   the architectural null descriptor. *)
+let set t i d =
+  check_index i;
+  if t.kind = Gdt_table && i = 0 then
+    Fault.gp "cannot install a descriptor in GDT entry 0 (null descriptor)";
+  (match t.entries.(i) with
+   | None -> t.live <- t.live + 1
+   | Some _ -> ());
+  t.entries.(i) <- Some d
+
+let clear t i =
+  check_index i;
+  (match t.entries.(i) with
+   | Some _ -> t.live <- t.live - 1
+   | None -> ());
+  t.entries.(i) <- None
+
+let get t i =
+  check_index i;
+  t.entries.(i)
+
+(* Descriptor-table lookup as performed during a segment-register load:
+   missing or absent descriptors fault. *)
+let lookup_exn t i =
+  check_index i;
+  match t.entries.(i) with
+  | None ->
+    Fault.gp
+      (Printf.sprintf "selector references empty %s entry %d"
+         (match t.kind with Gdt_table -> "GDT" | Ldt_table -> "LDT")
+         i)
+  | Some d ->
+    if not d.Descriptor.present then
+      Fault.np (Selector.to_int (Selector.make ~index:i
+                                   ~table:(match t.kind with
+                                           | Gdt_table -> Selector.Gdt
+                                           | Ldt_table -> Selector.Ldt)
+                                   ~rpl:0));
+    d
+
+let live_count t = t.live
+
+let iteri f t = Array.iteri (fun i d -> match d with
+  | Some d -> f i d
+  | None -> ()) t.entries

@@ -1,0 +1,31 @@
+(** Descriptor tables: the GDT (shared across processes) and the
+    per-process LDTs, each holding up to 8192 descriptors. GDT entry 0 is
+    the architectural null descriptor; Cash reserves LDT entry 0 for its
+    call gate, leaving 8191 entries for array segments (§3.4). *)
+
+type kind = Gdt_table | Ldt_table
+
+type t
+
+val capacity : int
+(** 8192, the 13-bit selector index space. *)
+
+val create : kind -> t
+val kind : t -> kind
+
+(** [set t i d] installs a descriptor. Raises [#GP] ({!Fault.Fault}) for
+    out-of-range indices or GDT entry 0. *)
+val set : t -> int -> Descriptor.t -> unit
+
+val clear : t -> int -> unit
+
+(** [get t i] reads an entry without the fault semantics of a hardware
+    lookup (for inspection and tests). *)
+val get : t -> int -> Descriptor.t option
+
+(** Lookup as performed during a segment-register load: raises [#GP] on
+    an empty entry and [#NP] on a not-present descriptor. *)
+val lookup_exn : t -> int -> Descriptor.t
+
+val live_count : t -> int
+val iteri : (int -> Descriptor.t -> unit) -> t -> unit

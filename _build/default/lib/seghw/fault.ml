@@ -1,0 +1,47 @@
+(* Processor faults raised by the simulated segmentation/paging hardware.
+
+   These mirror the x86 exception vectors that matter for Cash: the
+   general-protection fault (#GP) raised on segment-limit violations, the
+   stack fault (#SS), the page fault (#PF), segment-not-present (#NP) and
+   invalid-opcode (#UD). A segment-limit violation through a data segment
+   raises #GP; through SS it raises #SS, exactly as on real hardware. *)
+
+type t =
+  | General_protection of string  (** #GP: limit violation, null selector use,
+                                      privilege violation, bad descriptor. *)
+  | Stack_fault of string         (** #SS: limit violation through SS. *)
+  | Page_fault of { linear : int; write : bool }
+                                  (** #PF: unmapped linear address. *)
+  | Not_present of int            (** #NP: descriptor with P=0; payload is the
+                                      selector value. *)
+  | Invalid_opcode of string      (** #UD. *)
+  | Bound_range of string         (** #BR: raised by the [bound] instruction. *)
+
+exception Fault of t
+
+let raise_fault t = raise (Fault t)
+
+let gp msg = raise_fault (General_protection msg)
+let ss msg = raise_fault (Stack_fault msg)
+let pf ~linear ~write = raise_fault (Page_fault { linear; write })
+let np selector = raise_fault (Not_present selector)
+let ud msg = raise_fault (Invalid_opcode msg)
+let br msg = raise_fault (Bound_range msg)
+
+let to_string = function
+  | General_protection m -> Printf.sprintf "#GP(%s)" m
+  | Stack_fault m -> Printf.sprintf "#SS(%s)" m
+  | Page_fault { linear; write } ->
+    Printf.sprintf "#PF(linear=0x%08x, %s)" linear
+      (if write then "write" else "read")
+  | Not_present sel -> Printf.sprintf "#NP(selector=0x%04x)" sel
+  | Invalid_opcode m -> Printf.sprintf "#UD(%s)" m
+  | Bound_range m -> Printf.sprintf "#BR(%s)" m
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+(* Classify: is this fault the kind Cash uses to report an array bound
+   violation (a segment-limit #GP/#SS or a #BR from software checks)? *)
+let is_bound_violation = function
+  | General_protection _ | Stack_fault _ | Bound_range _ -> true
+  | Page_fault _ | Not_present _ | Invalid_opcode _ -> false

@@ -1,0 +1,38 @@
+(** Processor faults raised by the simulated segmentation/paging hardware.
+
+    These mirror the x86 exception vectors Cash interacts with: a
+    segment-limit violation through a data segment raises [#GP]; through
+    SS it raises [#SS]; the [bound] instruction raises [#BR]; unmapped
+    pages raise [#PF]. *)
+
+type t =
+  | General_protection of string
+      (** #GP: limit violation, null-selector use, privilege violation,
+          bad descriptor. *)
+  | Stack_fault of string  (** #SS: limit violation through SS. *)
+  | Page_fault of { linear : int; write : bool }
+      (** #PF: unmapped linear address or write to a read-only page. *)
+  | Not_present of int
+      (** #NP: descriptor with P = 0; payload is the selector value. *)
+  | Invalid_opcode of string  (** #UD. *)
+  | Bound_range of string  (** #BR: raised by the [bound] instruction. *)
+
+exception Fault of t
+
+(** [raise_fault t] raises {!Fault}. The shorthands below build the
+    payload and raise in one step. *)
+val raise_fault : t -> 'a
+
+val gp : string -> 'a
+val ss : string -> 'a
+val pf : linear:int -> write:bool -> 'a
+val np : int -> 'a
+val ud : string -> 'a
+val br : string -> 'a
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Is this fault the kind Cash uses to report an array bound violation
+    (segment-limit #GP/#SS, or #BR from software checks)? *)
+val is_bound_violation : t -> bool

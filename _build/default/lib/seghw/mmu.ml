@@ -1,0 +1,115 @@
+(* The memory-management unit: Figure 1's full translation pipeline.
+
+   logical address (segment register + 32-bit offset)
+     --[segment limit & protection check]--> linear address
+     --[TLB / two-level page walk]--------> physical address
+
+   The MMU owns the six segment registers, references the GDT and the
+   current process's LDT (the LDTR), and drives paging through a TLB.
+   Every data access performed by the CPU goes through [translate]; the
+   segment-limit check that Cash exploits is therefore applied to every
+   simulated memory reference, exactly as on real hardware. *)
+
+type t = {
+  gdt : Descriptor_table.t;
+  mutable ldt : Descriptor_table.t; (* the LDTR: current process's LDT *)
+  cs : Segreg.t;
+  ss : Segreg.t;
+  ds : Segreg.t;
+  es : Segreg.t;
+  fs : Segreg.t;
+  gs : Segreg.t;
+  paging : Paging.t;
+  tlb : Tlb.t;
+  mutable limit_checks : int; (* # segment-limit checks performed *)
+}
+
+let create ~gdt ~ldt =
+  {
+    gdt;
+    ldt;
+    cs = Segreg.create ();
+    ss = Segreg.create ();
+    ds = Segreg.create ();
+    es = Segreg.create ();
+    fs = Segreg.create ();
+    gs = Segreg.create ();
+    paging = Paging.create ();
+    tlb = Tlb.create ();
+    limit_checks = 0;
+  }
+
+let seg t = function
+  | Segreg.CS -> t.cs
+  | Segreg.SS -> t.ss
+  | Segreg.DS -> t.ds
+  | Segreg.ES -> t.es
+  | Segreg.FS -> t.fs
+  | Segreg.GS -> t.gs
+
+let gdt t = t.gdt
+let ldt t = t.ldt
+let paging t = t.paging
+let tlb t = t.tlb
+
+(* Reload the LDTR (simulates an LDT switch: flushes nothing but future
+   segment loads resolve against the new table). *)
+let set_ldt t ldt = t.ldt <- ldt
+
+let table_for t selector =
+  match Selector.table selector with
+  | Selector.Gdt -> t.gdt
+  | Selector.Ldt -> t.ldt
+
+(* Segment-register load: resolve the selector through the GDT/LDT and fill
+   the hidden descriptor cache. A null selector loads an empty cache (legal
+   for data registers; #GP for CS/SS inside Segreg.load). *)
+let load_segreg t name selector =
+  let descriptor =
+    if Selector.is_null selector then None
+    else Some (Descriptor_table.lookup_exn (table_for t selector)
+                 (Selector.index selector))
+  in
+  Segreg.load (seg t name) ~name ~selector ~descriptor
+
+(* Read back the visible selector, as MOV from a segment register does. *)
+let read_segreg t name = Segreg.selector (seg t name)
+
+(* Resolve linear -> physical through the TLB, falling back to the walk. *)
+let linear_to_physical t ~linear ~write =
+  let page = linear lsr Paging.page_shift in
+  match Tlb.lookup t.tlb ~page ~write with
+  | Some frame -> (frame lsl Paging.page_shift) lor (linear land 0xFFF)
+  | None ->
+    let phys = Paging.walk t.paging ~linear ~write in
+    Tlb.insert t.tlb ~page ~frame:(phys lsr Paging.page_shift)
+      ~writable:write;
+    phys
+
+(* Full logical -> physical translation for a [size]-byte access. This is
+   the hot path: one segment-limit check plus a TLB lookup. *)
+let translate t ~seg_name ~offset ~size ~write =
+  t.limit_checks <- t.limit_checks + 1;
+  let stack = seg_name = Segreg.SS in
+  let linear =
+    Segreg.translate (seg t seg_name) ~name:seg_name ~offset ~size ~write
+      ~stack
+  in
+  linear_to_physical t ~linear ~write
+
+(* Translate without a segment register: used by the simulated kernel when
+   it touches memory directly (flat linear addressing). *)
+let translate_linear t ~linear ~write = linear_to_physical t ~linear ~write
+
+(* Demand-map all pages covering [linear, linear+size). *)
+let map_range t ~linear ~size ~writable =
+  if size > 0 then begin
+    let first = linear lsr Paging.page_shift in
+    let last = (linear + size - 1) lsr Paging.page_shift in
+    for page = first to last do
+      ignore (Paging.map_page t.paging ~linear:(page lsl Paging.page_shift)
+                ~writable : int)
+    done
+  end
+
+let limit_checks t = t.limit_checks

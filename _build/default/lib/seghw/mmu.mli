@@ -1,0 +1,46 @@
+(** The memory-management unit: Figure 1's full pipeline.
+
+    logical (segment register + offset)
+      → segment-limit & protection check → linear
+      → TLB / two-level walk → physical
+
+    Every data access of the simulated CPU goes through {!translate}, so
+    the segment-limit check Cash exploits runs on every reference, as on
+    real hardware. *)
+
+type t
+
+val create : gdt:Descriptor_table.t -> ldt:Descriptor_table.t -> t
+
+val seg : t -> Segreg.name -> Segreg.t
+val gdt : t -> Descriptor_table.t
+val ldt : t -> Descriptor_table.t
+val paging : t -> Paging.t
+val tlb : t -> Tlb.t
+
+(** Reload the LDTR: future segment loads resolve against the new
+    table (already-loaded registers keep their descriptor caches). *)
+val set_ldt : t -> Descriptor_table.t -> unit
+
+(** Segment-register load: resolve [selector] through the GDT/LDT and
+    fill the hidden cache. Null selectors load an empty cache for data
+    registers and fault for CS/SS. *)
+val load_segreg : t -> Segreg.name -> Selector.t -> unit
+
+(** Read back the visible selector, as [MOV r, sreg] does. *)
+val read_segreg : t -> Segreg.name -> Selector.t
+
+(** Full logical-to-physical translation for a [size]-byte access; one
+    segment-limit check plus a TLB lookup (or walk). *)
+val translate :
+  t -> seg_name:Segreg.name -> offset:int -> size:int -> write:bool -> int
+
+(** Flat linear-to-physical translation, bypassing segmentation — used by
+    the simulated kernel and loaders. *)
+val translate_linear : t -> linear:int -> write:bool -> int
+
+(** Demand-map all pages covering [linear, linear + size). *)
+val map_range : t -> linear:int -> size:int -> writable:bool -> unit
+
+(** Number of segment-limit checks performed so far. *)
+val limit_checks : t -> int

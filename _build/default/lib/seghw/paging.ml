@@ -1,0 +1,89 @@
+(* Two-level page tables and a physical frame allocator.
+
+   The x86 splits a 32-bit linear address into a 10-bit page-directory
+   index, a 10-bit page-table index, and a 12-bit page offset (Figure 1's
+   second stage). The simulator walks a real two-level structure; frames
+   are allocated on demand by the simulated kernel (demand paging keeps
+   large sparse address spaces cheap, which matters for >1 MiB array
+   segments in the Figure 2 experiment). *)
+
+let page_size = 4096
+let page_shift = 12
+
+type pte = { mutable frame : int; mutable present : bool; mutable writable : bool }
+
+type page_table = pte option array (* 1024 entries *)
+
+type t = {
+  directory : page_table option array; (* 1024 entries *)
+  mutable next_frame : int;
+  mutable mapped_pages : int;
+}
+
+let create () =
+  { directory = Array.make 1024 None; next_frame = 0; mapped_pages = 0 }
+
+let split linear =
+  let linear = linear land 0xFFFFFFFF in
+  (linear lsr 22, (linear lsr 12) land 0x3FF, linear land 0xFFF)
+
+let alloc_frame t =
+  let f = t.next_frame in
+  t.next_frame <- t.next_frame + 1;
+  f
+
+(* Map the page containing [linear] to a fresh frame (if not mapped).
+   Returns the frame number. *)
+let map_page t ~linear ~writable =
+  let dir_idx, tbl_idx, _ = split linear in
+  let table =
+    match t.directory.(dir_idx) with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Array.make 1024 None in
+      t.directory.(dir_idx) <- Some tbl;
+      tbl
+  in
+  match table.(tbl_idx) with
+  | Some pte ->
+    if writable && not pte.writable then pte.writable <- true;
+    pte.frame
+  | None ->
+    let frame = alloc_frame t in
+    table.(tbl_idx) <- Some { frame; present = true; writable };
+    t.mapped_pages <- t.mapped_pages + 1;
+    frame
+
+let unmap_page t ~linear =
+  let dir_idx, tbl_idx, _ = split linear in
+  match t.directory.(dir_idx) with
+  | None -> ()
+  | Some tbl ->
+    (match tbl.(tbl_idx) with
+     | Some _ -> t.mapped_pages <- t.mapped_pages - 1
+     | None -> ());
+    tbl.(tbl_idx) <- None
+
+(* The page-table walk: linear -> physical. Faults with #PF if unmapped or
+   on a write to a read-only page. *)
+let walk t ~linear ~write =
+  let dir_idx, tbl_idx, off = split linear in
+  match t.directory.(dir_idx) with
+  | None -> Fault.pf ~linear ~write
+  | Some tbl ->
+    match tbl.(tbl_idx) with
+    | None -> Fault.pf ~linear ~write
+    | Some pte ->
+      if not pte.present then Fault.pf ~linear ~write;
+      if write && not pte.writable then Fault.pf ~linear ~write;
+      (pte.frame lsl page_shift) lor off
+
+let is_mapped t ~linear =
+  let dir_idx, tbl_idx, _ = split linear in
+  match t.directory.(dir_idx) with
+  | None -> false
+  | Some tbl ->
+    (match tbl.(tbl_idx) with Some pte -> pte.present | None -> false)
+
+let mapped_pages t = t.mapped_pages
+let frames_allocated t = t.next_frame

@@ -1,0 +1,28 @@
+(** Two-level page tables and a physical frame allocator: Figure 1's
+    second stage. Frames are allocated on demand, so large sparse address
+    spaces (the > 1 MiB array segments of Figure 2) stay cheap. *)
+
+(** 4096. *)
+val page_size : int
+
+(** 12. *)
+val page_shift : int
+
+type t
+
+val create : unit -> t
+
+(** Map the page containing [linear] (allocating a fresh frame if
+    unmapped); returns the frame number. An existing read-only mapping is
+    upgraded when [writable] is set. *)
+val map_page : t -> linear:int -> writable:bool -> int
+
+val unmap_page : t -> linear:int -> unit
+
+(** The page-table walk, linear to physical. Raises [#PF] ({!Fault.Fault})
+    if unmapped or on a write to a read-only page. *)
+val walk : t -> linear:int -> write:bool -> int
+
+val is_mapped : t -> linear:int -> bool
+val mapped_pages : t -> int
+val frames_allocated : t -> int

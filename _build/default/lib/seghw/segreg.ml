@@ -1,0 +1,76 @@
+(* Segment registers with their hidden descriptor caches.
+
+   Every x86 segment register has a visible part (the 16-bit selector) and a
+   hidden part — a cache of the base, limit, and access rights copied from
+   the descriptor at load time (§3.1 of the paper). Address translation uses
+   only the cached copy; modifying the descriptor table does *not* affect a
+   register already loaded. The simulator preserves this property because
+   Cash's 3-entry segment-reuse cache depends on it being safe to leave
+   stale selectors loaded. *)
+
+type name = CS | SS | DS | ES | FS | GS
+
+let name_to_string = function
+  | CS -> "CS" | SS -> "SS" | DS -> "DS" | ES -> "ES" | FS -> "FS" | GS -> "GS"
+
+let all_names = [ CS; SS; DS; ES; FS; GS ]
+
+type t = {
+  mutable selector : Selector.t;
+  mutable cache : Descriptor.t option;
+      (* None = loaded with the null selector (or never loaded). *)
+}
+
+let create () = { selector = Selector.null; cache = None }
+
+let selector t = t.selector
+let cached_descriptor t = t.cache
+let is_null t = t.cache = None
+
+(* Load a segment register: copies the descriptor into the hidden cache.
+   [name] determines the architectural rules: CS and SS reject the null
+   selector with #GP; data registers accept it but fault later on use. *)
+let load t ~name ~selector ~descriptor =
+  (match name, descriptor with
+   | (CS | SS), None ->
+     Fault.gp
+       (Printf.sprintf "loading null selector into %s" (name_to_string name))
+   | _, _ -> ());
+  (match name, descriptor with
+   | CS, Some d when not (Descriptor.is_code d) ->
+     Fault.gp "loading non-code descriptor into CS"
+   | SS, Some d when not (Descriptor.is_writable d) ->
+     Fault.gp "loading non-writable descriptor into SS"
+   | (DS | ES | FS | GS), Some d when Descriptor.is_call_gate d ->
+     Fault.gp "loading call gate into a data segment register"
+   | _ -> ());
+  t.selector <- selector;
+  t.cache <- descriptor
+
+(* The per-access check (Figure 1's first stage): verify the offset against
+   the cached limit and translate to a linear address. [stack] selects #SS
+   instead of #GP on violation. *)
+let translate t ~name ~offset ~size ~write ~stack =
+  match t.cache with
+  | None ->
+    Fault.gp
+      (Printf.sprintf "memory access through null %s" (name_to_string name))
+  | Some d ->
+    if write && not (Descriptor.is_writable d) then
+      Fault.gp (Printf.sprintf "write through read-only %s"
+                  (name_to_string name));
+    if not (Descriptor.offset_ok d ~offset ~size) then begin
+      let msg =
+        Printf.sprintf
+          "segment limit violation: %s offset=0x%x size=%d limit=0x%x"
+          (name_to_string name) (offset land 0xFFFFFFFF) size
+          (Descriptor.effective_limit d)
+      in
+      if stack then Fault.ss msg else Fault.gp msg
+    end;
+    (d.Descriptor.base + (offset land 0xFFFFFFFF)) land 0xFFFFFFFF
+
+let pp ppf t =
+  match t.cache with
+  | None -> Fmt.pf ppf "%a -> null" Selector.pp t.selector
+  | Some d -> Fmt.pf ppf "%a -> %a" Selector.pp t.selector Descriptor.pp d

@@ -1,0 +1,37 @@
+(** Segment registers with their hidden descriptor caches.
+
+    Each register has a visible selector and a hidden copy of the
+    descriptor taken at load time (§3.1): translation uses only the
+    cache, so modifying the LDT does not affect already-loaded registers
+    — the property Cash's 3-entry segment-reuse cache relies on. *)
+
+type name = CS | SS | DS | ES | FS | GS
+
+val name_to_string : name -> string
+val all_names : name list
+
+type t
+
+val create : unit -> t
+val selector : t -> Selector.t
+val cached_descriptor : t -> Descriptor.t option
+
+(** Loaded with the null selector (or never loaded)? *)
+val is_null : t -> bool
+
+(** [load t ~name ~selector ~descriptor] performs a segment-register
+    load. Architectural rules enforced: CS/SS reject the null selector
+    with [#GP]; CS requires a code descriptor; SS requires a writable
+    one; data registers reject call gates. *)
+val load :
+  t -> name:name -> selector:Selector.t -> descriptor:Descriptor.t option ->
+  unit
+
+(** The per-access check of Figure 1's first stage: verify [offset]
+    against the cached limit and produce the linear address.
+    Raises [#SS] instead of [#GP] when [stack] is set, [#GP] on writes
+    through read-only segments, and [#GP] on use of a null register. *)
+val translate :
+  t -> name:name -> offset:int -> size:int -> write:bool -> stack:bool -> int
+
+val pp : Format.formatter -> t -> unit

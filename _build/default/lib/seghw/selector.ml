@@ -1,0 +1,44 @@
+(* 16-bit segment selectors.
+
+   Layout (Intel SDM Vol. 3, §3.4.2):
+     bits 15..3  index into the GDT or LDT (13 bits, 0..8191)
+     bit  2      TI: 0 = GDT, 1 = LDT
+     bits 1..0   RPL: requested privilege level
+
+   A selector with index 0 and TI = 0 is the null selector; it can be loaded
+   into ES/FS/GS but any memory access through it faults. *)
+
+type table = Gdt | Ldt
+
+type t = int (* the raw 16-bit value *)
+
+let make ~index ~table ~rpl =
+  if index < 0 || index > 8191 then
+    invalid_arg (Printf.sprintf "Selector.make: index %d out of range" index);
+  if rpl < 0 || rpl > 3 then
+    invalid_arg (Printf.sprintf "Selector.make: rpl %d out of range" rpl);
+  (index lsl 3) lor (match table with Gdt -> 0 | Ldt -> 4) lor rpl
+
+let of_int v =
+  if v < 0 || v > 0xFFFF then
+    invalid_arg (Printf.sprintf "Selector.of_int: 0x%x not a 16-bit value" v);
+  v
+
+let to_int t = t
+
+let index t = t lsr 3
+let table t = if t land 4 = 0 then Gdt else Ldt
+let rpl t = t land 3
+
+let null = 0
+
+(* Both null-selector encodings (RPL bits may vary); index 0 in the GDT is
+   reserved, so any GDT-index-0 selector is treated as null. *)
+let is_null t = t lsr 2 = 0 && t land 4 = 0
+
+let equal (a : t) (b : t) = a = b
+
+let pp ppf t =
+  Fmt.pf ppf "sel(0x%04x: idx=%d %s rpl=%d)" t (index t)
+    (match table t with Gdt -> "GDT" | Ldt -> "LDT")
+    (rpl t)

@@ -1,0 +1,34 @@
+(** 16-bit x86 segment selectors.
+
+    Layout (Intel SDM Vol. 3, §3.4.2): bits 15..3 index into the GDT or
+    LDT, bit 2 is the table indicator, bits 1..0 the requested privilege
+    level. A GDT selector with index 0 is the null selector. *)
+
+type table = Gdt | Ldt
+
+type t
+
+(** [make ~index ~table ~rpl] builds a selector.
+    @raise Invalid_argument if [index] is outside 0..8191 or [rpl]
+    outside 0..3. *)
+val make : index:int -> table:table -> rpl:int -> t
+
+(** [of_int v] views a raw 16-bit value as a selector.
+    @raise Invalid_argument if [v] is not a 16-bit value. *)
+val of_int : int -> t
+
+val to_int : t -> int
+val index : t -> int
+val table : t -> table
+val rpl : t -> int
+
+(** The null selector (GDT index 0, RPL 0). *)
+val null : t
+
+(** [is_null t] is true for any GDT-index-0 selector, regardless of RPL:
+    loading one into ES/FS/GS is legal, using it to access memory
+    faults. *)
+val is_null : t -> bool
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

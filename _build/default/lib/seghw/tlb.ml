@@ -1,0 +1,45 @@
+(* A small direct-mapped translation lookaside buffer.
+
+   Caches linear-page -> physical-frame translations to skip the two-level
+   walk on hits. The simulator tracks hit/miss counts so tests can verify
+   that invalidation works and benchmarks can report locality effects. *)
+
+type entry = { tag : int; frame : int; writable : bool }
+
+type t = {
+  slots : entry option array;
+  size : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(size = 64) () =
+  if size <= 0 || size land (size - 1) <> 0 then
+    invalid_arg "Tlb.create: size must be a positive power of two";
+  { slots = Array.make size None; size; hits = 0; misses = 0 }
+
+let slot t page = page land (t.size - 1)
+
+(* Look up the frame for [page] (a linear page number). *)
+let lookup t ~page ~write =
+  match t.slots.(slot t page) with
+  | Some e when e.tag = page && ((not write) || e.writable) ->
+    t.hits <- t.hits + 1;
+    Some e.frame
+  | _ ->
+    t.misses <- t.misses + 1;
+    None
+
+let insert t ~page ~frame ~writable =
+  t.slots.(slot t page) <- Some { tag = page; frame; writable }
+
+let invalidate_page t ~page =
+  match t.slots.(slot t page) with
+  | Some e when e.tag = page -> t.slots.(slot t page) <- None
+  | _ -> ()
+
+(* Full flush, as on a CR3 reload. *)
+let flush t = Array.fill t.slots 0 t.size None
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,21 @@
+(** A direct-mapped translation lookaside buffer over {!Paging}, with
+    hit/miss counters. *)
+
+type t
+
+(** [create ?size ()] builds a TLB with [size] slots (default 64).
+    @raise Invalid_argument unless [size] is a positive power of two. *)
+val create : ?size:int -> unit -> t
+
+(** [lookup t ~page ~write] returns the cached frame, or [None] on a miss
+    — including a write probing a read-only entry. Updates counters. *)
+val lookup : t -> page:int -> write:bool -> int option
+
+val insert : t -> page:int -> frame:int -> writable:bool -> unit
+val invalidate_page : t -> page:int -> unit
+
+(** Full flush, as on a CR3 reload. *)
+val flush : t -> unit
+
+val hits : t -> int
+val misses : t -> int

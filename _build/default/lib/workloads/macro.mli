@@ -1,0 +1,41 @@
+(** The six macro-benchmark applications of Tables 4-6: miniature but
+    structurally faithful mini-C versions of Toast, Cjpeg, Quat, RayLab,
+    Speex, and Gif2png — each implementing the application's actual core
+    algorithm with the loop/array texture that drives the paper's
+    measurements. *)
+
+(** GSM 06.10-flavoured audio compression: preemphasis, autocorrelation
+    LPC, reflection coefficients, long-term-prediction search per frame
+    — the local-array-per-call pattern behind §4.5's cache statistics. *)
+val toast : ?frames:int -> unit -> string
+
+(** JPEG compression core: 8x8 blocks through level shift, 2D DCT,
+    quantisation, zig-zag run-length accounting. *)
+val cjpeg : ?width:int -> ?height:int -> unit -> string
+
+(** Quaternion Julia set: per-pixel q <- q^2 + c iteration. *)
+val quat : ?res:int -> ?max_iter:int -> unit -> string
+
+(** Sphere raytracer with Lambertian shading and hard shadows; scene in
+    parallel arrays (the suite's spill-heavy member). *)
+val raylab : ?res:int -> ?spheres:int -> unit -> string
+
+(** Voice-coder analysis: QMF subband split, per-band energies, vector
+    quantisation against a codebook. *)
+val speex : ?frames:int -> unit -> string
+
+(** GIF-to-PNG conversion: dictionary-flavoured decode, palette
+    application, per-scanline PNG filter selection, Adler-style
+    checksum. *)
+val gif2png : ?width:int -> ?height:int -> unit -> string
+
+type app = {
+  name : string;
+  description : string;
+  source : string;
+  paper_loc : int;         (** Table 4 source line count *)
+  paper_cash_pct : float;  (** Table 5 *)
+  paper_bcc_pct : float;   (** Table 5 *)
+}
+
+val table5_suite : unit -> app list

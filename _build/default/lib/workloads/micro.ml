@@ -1,0 +1,344 @@
+(* The six micro-benchmark kernels of Table 1, §4.2: SVDPACKC (singular
+   value decomposition), volume rendering, 2D FFT, Gaussian elimination,
+   matrix multiplication, and image edge detection.
+
+   Each function returns mini-C source parameterised by problem size.
+   The sources are written the way hand-optimised C is written — pointer
+   walking, hoisted row bases — because that is what the paper's -O2
+   baseline effectively executes, and it is the style that exposes the
+   difference between hardware and software bound checking.
+
+   Sizes are scaled down from the paper's (which ran minutes of real
+   hardware); EXPERIMENTS.md records the mapping. Every kernel prints a
+   deterministic checksum so the differential tests can compare
+   backends. *)
+
+(* Singular value decomposition via one-sided Jacobi-flavoured power
+   iteration: repeatedly multiply by A^T A and normalise, extracting the
+   dominant singular value. Stands in for SVDPACKC's Lanczos core: the
+   hot loops are identical in shape (dense mat-vec products). *)
+let svd ?(rows = 48) ?(cols = 24) ?(iters = 30) () =
+  Printf.sprintf
+    {|
+double a[%d];      /* rows x cols */
+double v[%d];      /* current right singular vector estimate */
+double u[%d];      /* A v */
+double w[%d];      /* A^T u */
+
+int main() {
+  int rows = %d; int cols = %d;
+  int i; int j; int it;
+  /* deterministic synthetic matrix */
+  for (i = 0; i < rows; i++) {
+    double *ai = a + i * cols;
+    for (j = 0; j < cols; j++)
+      ai[j] = (double)((i * 7 + j * 13) %% 23) / 23.0 + 0.01;
+  }
+  for (j = 0; j < cols; j++) v[j] = 1.0;
+  double sigma = 0.0;
+  for (it = 0; it < %d; it++) {
+    /* u = A v */
+    for (i = 0; i < rows; i++) {
+      double *ai = a + i * cols;
+      double s = 0.0;
+      for (j = 0; j < cols; j++) s = s + ai[j] * v[j];
+      u[i] = s;
+    }
+    /* w = A^T u */
+    for (j = 0; j < cols; j++) w[j] = 0.0;
+    for (i = 0; i < rows; i++) {
+      double *ai = a + i * cols;
+      double ui = u[i];
+      for (j = 0; j < cols; j++) w[j] = w[j] + ai[j] * ui;
+    }
+    /* normalise w into v; sigma^2 is the dominant eigenvalue of A^T A */
+    double norm = 0.0;
+    for (j = 0; j < cols; j++) norm = norm + w[j] * w[j];
+    norm = sqrt(norm);
+    sigma = sqrt(norm);
+    for (j = 0; j < cols; j++) v[j] = w[j] / norm;
+  }
+  print_float(sigma);
+  return 0;
+}
+|}
+    (rows * cols) cols rows cols rows cols iters
+
+(* Volume rendering: orthographic ray casting through a synthetic density
+   volume with front-to-back alpha compositing — the inner structure of
+   the paper's 128^3 -> 256^2 renderer. *)
+let volrender ?(vol = 24) ?(image = 32) () =
+  Printf.sprintf
+    {|
+double volume[%d];   /* vol^3 densities */
+double image[%d];    /* image^2 intensities */
+
+int main() {
+  int n = %d; int res = %d;
+  int x; int y; int z;
+  /* synthetic volume: a soft sphere */
+  for (z = 0; z < n; z++) {
+    for (y = 0; y < n; y++) {
+      double *row = volume + (z * n + y) * n;
+      for (x = 0; x < n; x++) {
+        int dx = 2 * x - n; int dy = 2 * y - n; int dz = 2 * z - n;
+        int r2 = dx * dx + dy * dy + dz * dz;
+        row[x] = r2 < n * n ? 1.0 - (double)r2 / (double)(n * n) : 0.0;
+      }
+    }
+  }
+  /* cast one axis-aligned ray per pixel, front-to-back compositing */
+  int px; int py;
+  double checksum = 0.0;
+  for (py = 0; py < res; py++) {
+    double *irow = image + py * res;
+    for (px = 0; px < res; px++) {
+      int vy = py * n / res;
+      int vx = px * n / res;
+      double acc = 0.0;
+      double transp = 1.0;
+      double *ray = volume + vy * n + vx;   /* walk along z */
+      for (z = 0; z < n; z++) {
+        double d = ray[z * n * n] * 0.25;
+        acc = acc + transp * d;
+        transp = transp * (1.0 - d);
+        if (transp < 0.005) break;
+      }
+      irow[px] = acc;
+      checksum = checksum + acc;
+    }
+  }
+  print_float(checksum);
+  return 0;
+}
+|}
+    (vol * vol * vol) (image * image) vol image
+
+(* 2D FFT: iterative radix-2 Cooley-Tukey over rows then columns of an
+   n x n complex image (separate re/im planes). n must be a power of 2. *)
+let fft2d ?(n = 32) () =
+  Printf.sprintf
+    {|
+double re[%d];
+double im[%d];
+
+/* in-place radix-2 FFT of the n complex points at (re+off, im+off) with
+   stride 1; n a power of two */
+void fft1d(double *xr, double *xi, int n) {
+  /* bit reversal */
+  int i; int j; int k;
+  j = 0;
+  for (i = 0; i < n - 1; i++) {
+    if (i < j) {
+      double tr = xr[i]; xr[i] = xr[j]; xr[j] = tr;
+      double ti = xi[i]; xi[i] = xi[j]; xi[j] = ti;
+    }
+    k = n / 2;
+    while (k <= j) { j = j - k; k = k / 2; }
+    j = j + k;
+  }
+  /* butterflies */
+  int len = 2;
+  while (len <= n) {
+    double ang = -6.283185307179586 / (double)len;
+    double wr = cos(ang);
+    double wi = sin(ang);
+    for (i = 0; i < n; i += len) {
+      double cr = 1.0; double ci = 0.0;
+      for (j = 0; j < len / 2; j++) {
+        int p = i + j;
+        int q = i + j + len / 2;
+        double tr = cr * xr[q] - ci * xi[q];
+        double ti = cr * xi[q] + ci * xr[q];
+        xr[q] = xr[p] - tr;
+        xi[q] = xi[p] - ti;
+        xr[p] = xr[p] + tr;
+        xi[p] = xi[p] + ti;
+        double ncr = cr * wr - ci * wi;
+        ci = cr * wi + ci * wr;
+        cr = ncr;
+      }
+    }
+    len = len * 2;
+  }
+}
+
+double colr[%d];
+double coli[%d];
+
+int main() {
+  int n = %d;
+  int i; int j;
+  for (i = 0; i < n; i++) {
+    double *rr = re + i * n;
+    double *ri = im + i * n;
+    for (j = 0; j < n; j++) {
+      rr[j] = (double)((i * 31 + j * 17) %% 13) - 6.0;
+      ri[j] = 0.0;
+    }
+  }
+  /* rows */
+  for (i = 0; i < n; i++) fft1d(re + i * n, im + i * n, n);
+  /* columns, via gather/scatter through a strided copy */
+  for (j = 0; j < n; j++) {
+    for (i = 0; i < n; i++) { colr[i] = re[i * n + j]; coli[i] = im[i * n + j]; }
+    fft1d(colr, coli, n);
+    for (i = 0; i < n; i++) { re[i * n + j] = colr[i]; im[i * n + j] = coli[i]; }
+  }
+  /* spectral energy checksum */
+  double s = 0.0;
+  for (i = 0; i < n * n; i++) s = s + re[i] * re[i] + im[i] * im[i];
+  print_float(sqrt(s));
+  return 0;
+}
+|}
+    (n * n) (n * n) n n n
+
+(* Gaussian elimination with back substitution on a synthetic diagonally
+   dominant system. *)
+let gaussian ?(n = 48) () =
+  Printf.sprintf
+    {|
+double m[%d];      /* n x (n+1) augmented matrix */
+double x[%d];
+
+int main() {
+  int n = %d;
+  int i; int j; int k;
+  int w = n + 1;
+  for (i = 0; i < n; i++) {
+    double *row = m + i * w;
+    for (j = 0; j < n; j++)
+      row[j] = i == j ? (double)(n + 2) : 1.0 / (double)(1 + ((i + j) %% 7));
+    row[n] = (double)(i + 1);
+  }
+  /* forward elimination */
+  for (k = 0; k < n - 1; k++) {
+    double *pivot = m + k * w;
+    double pk = pivot[k];
+    for (i = k + 1; i < n; i++) {
+      double *row = m + i * w;
+      double f = row[k] / pk;
+      for (j = k; j < w; j++) row[j] = row[j] - f * pivot[j];
+    }
+  }
+  /* back substitution */
+  for (i = n - 1; i >= 0; i--) {
+    double *row = m + i * w;
+    double s = row[n];
+    for (j = i + 1; j < n; j++) s = s - row[j] * x[j];
+    x[i] = s / row[i];
+  }
+  double checksum = 0.0;
+  for (i = 0; i < n; i++) checksum = checksum + x[i];
+  print_float(checksum);
+  return 0;
+}
+|}
+    (n * (n + 1)) n n
+
+(* Matrix multiplication, cache-friendly ikj order with hoisted row
+   pointers — the canonical optimised inner loop. *)
+let matmul ?(n = 48) () =
+  Printf.sprintf
+    {|
+double a[%d];
+double b[%d];
+double c[%d];
+
+int main() {
+  int n = %d;
+  int i; int j; int k;
+  for (i = 0; i < n; i++) {
+    double *ai = a + i * n;
+    double *bi = b + i * n;
+    for (j = 0; j < n; j++) {
+      ai[j] = (double)((i + j) %% 9) - 4.0;
+      bi[j] = (double)((i * 3 + j) %% 7) - 3.0;
+    }
+  }
+  for (i = 0; i < n; i++) {
+    double *ci = c + i * n;
+    for (j = 0; j < n; j++) ci[j] = 0.0;
+  }
+  for (i = 0; i < n; i++) {
+    double *ai = a + i * n;
+    double *ci = c + i * n;
+    for (k = 0; k < n; k++) {
+      double aik = ai[k];
+      double *bk = b + k * n;
+      for (j = 0; j < n; j++) ci[j] = ci[j] + aik * bk[j];
+    }
+  }
+  double s = 0.0;
+  for (i = 0; i < n * n; i++) s = s + c[i];
+  print_float(s);
+  return 0;
+}
+|}
+    (n * n) (n * n) (n * n) n
+
+(* Sobel edge detection over a synthetic grayscale image. Integer kernel:
+   the one micro-benchmark whose inner loops are integer, like the
+   paper's. *)
+let edge_detect ?(width = 96) ?(height = 64) () =
+  Printf.sprintf
+    {|
+char image[%d];
+char edges[%d];
+
+int main() {
+  int w = %d; int h = %d;
+  int x; int y;
+  for (y = 0; y < h; y++) {
+    char *row = image + y * w;
+    for (x = 0; x < w; x++)
+      row[x] = (x * x + y * y + x * y) %% 251;
+  }
+  int checksum = 0;
+  for (y = 1; y < h - 1; y++) {
+    char *above = image + (y - 1) * w;
+    char *here  = image + y * w;
+    char *below = image + (y + 1) * w;
+    char *out   = edges + y * w;
+    for (x = 1; x < w - 1; x++) {
+      int gx = above[x+1] + 2*here[x+1] + below[x+1]
+             - above[x-1] - 2*here[x-1] - below[x-1];
+      int gy = below[x-1] + 2*below[x] + below[x+1]
+             - above[x-1] - 2*above[x] - above[x+1];
+      int mag = (gx < 0 ? -gx : gx) + (gy < 0 ? -gy : gy);
+      out[x] = mag > 255 ? 255 : mag;
+      checksum += out[x];
+    }
+  }
+  print_int(checksum);
+  return 0;
+}
+|}
+    (width * height) (width * height) width height
+
+type kernel = {
+  name : string;
+  description : string;
+  source : string;
+  (* the paper's Table 1 rows, for EXPERIMENTS.md comparison *)
+  paper_cash_pct : float;
+  paper_bcc_pct : float;
+}
+
+(* The Table 1 suite at default (scaled) sizes. *)
+let table1_suite () =
+  [
+    { name = "SVDPACKC"; description = "singular value decomposition";
+      source = svd (); paper_cash_pct = 1.8; paper_bcc_pct = 120.0 };
+    { name = "Vol. Render."; description = "volume renderer (ray casting)";
+      source = volrender (); paper_cash_pct = 3.3; paper_bcc_pct = 126.4 };
+    { name = "2D FFT"; description = "2D fast Fourier transform";
+      source = fft2d (); paper_cash_pct = 3.9; paper_bcc_pct = 72.2 };
+    { name = "Gaus. Elim."; description = "Gaussian elimination";
+      source = gaussian (); paper_cash_pct = 1.6; paper_bcc_pct = 92.4 };
+    { name = "Matrix Multi."; description = "matrix multiplication";
+      source = matmul (); paper_cash_pct = 1.5; paper_bcc_pct = 143.8 };
+    { name = "Edge Detect"; description = "Sobel edge detection";
+      source = edge_detect (); paper_cash_pct = 2.2; paper_bcc_pct = 83.8 };
+  ]

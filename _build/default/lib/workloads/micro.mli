@@ -1,0 +1,38 @@
+(** The six micro-benchmark kernels of Table 1 (§4.2), as mini-C source
+    generators parameterised by problem size. Sources are written in
+    hand-optimised C style (pointer walking, hoisted row bases) and print
+    a deterministic checksum for differential testing. *)
+
+(** SVDPACKC stand-in: dominant singular value by power iteration on
+    A^T A (dense mat-vec products, the Lanczos core's loop shape). *)
+val svd : ?rows:int -> ?cols:int -> ?iters:int -> unit -> string
+
+(** Volume renderer: orthographic ray casting with front-to-back alpha
+    compositing over a synthetic density volume. *)
+val volrender : ?vol:int -> ?image:int -> unit -> string
+
+(** 2D FFT: iterative radix-2 Cooley-Tukey over rows then columns.
+    [n] must be a power of two. *)
+val fft2d : ?n:int -> unit -> string
+
+(** Gaussian elimination with back substitution on a diagonally dominant
+    system. *)
+val gaussian : ?n:int -> unit -> string
+
+(** Matrix multiplication, cache-friendly ikj order. *)
+val matmul : ?n:int -> unit -> string
+
+(** Sobel edge detection over a synthetic grayscale image (the integer
+    kernel of the suite). *)
+val edge_detect : ?width:int -> ?height:int -> unit -> string
+
+type kernel = {
+  name : string;
+  description : string;
+  source : string;
+  paper_cash_pct : float;  (** the paper's Table 1 Cash overhead *)
+  paper_bcc_pct : float;   (** the paper's Table 1 BCC overhead *)
+}
+
+(** The Table 1 suite at default (scaled) sizes. *)
+val table1_suite : unit -> kernel list

@@ -1,0 +1,535 @@
+(* The six network applications of Tables 7-8: Qpopper (POP3), Apache
+   (HTTP), Sendmail (SMTP), Wu-ftpd and Pure-ftpd (FTP), and Bind (DNS).
+
+   Each program models the server-side handling of one request — the unit
+   the paper measures, since its server forks one child per request and
+   latency is the child's CPU time. The handlers reproduce each daemon's
+   characteristic hot loops: line-oriented command parsing into fixed
+   stack buffers (the classic overflow surface!), header construction,
+   payload copies through malloc'd buffers, and table lookups. Requests
+   are synthesised deterministically inside the program. *)
+
+(* Common helper text: a tiny string library compiled into each app,
+   standing in for the recompiled GLIBC routines of §3.9. *)
+let string_helpers = {|
+int str_len(char *s) {
+  int n = 0;
+  while (s[n] != 0) n++;
+  return n;
+}
+
+int str_copy(char *dst, char *src, int max) {
+  int i = 0;
+  while (src[i] != 0 && i < max - 1) { dst[i] = src[i]; i++; }
+  dst[i] = 0;
+  return i;
+}
+
+int str_eq_n(char *a, char *b, int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    if (a[i] != b[i]) return 0;
+    if (a[i] == 0) return 1;
+  }
+  return 1;
+}
+
+int to_upper(char *s, int n) {
+  int i;
+  int changed = 0;
+  for (i = 0; i < n && s[i] != 0; i++) {
+    if (s[i] >= 'a' && s[i] <= 'z') { s[i] = s[i] - 32; changed++; }
+  }
+  return changed;
+}
+|}
+
+(* Qpopper: POP3 mail retrieval — parse USER/PASS/LIST/RETR commands,
+   then stream a message through a line-stuffing copy (the "." escaping
+   every POP3 server performs). *)
+let qpopper ?(messages = 6) ?(msg_len = 600) () =
+  string_helpers
+  ^ Printf.sprintf
+      {|
+char inbox[%d];       /* messages back to back */
+char command[64];
+char response[1024];
+char arg[32];
+
+int stuff_message(char *msg, int len, char *out, int max) {
+  /* byte-stuff: CRLF.CRLF framing, double leading dots */
+  int o = 0;
+  int i;
+  int atline = 1;
+  for (i = 0; i < len && o < max - 3; i++) {
+    char c = msg[i];
+    if (atline && c == '.') { out[o] = '.'; o++; }
+    out[o] = c;
+    o++;
+    atline = c == 10 ? 1 : 0;
+  }
+  out[o] = 0;
+  return o;
+}
+
+int handle(char *cmd) {
+  int n = str_len(cmd);
+  to_upper(cmd, 4);
+  if (str_eq_n(cmd, "USER", 4)) {
+    str_copy(arg, cmd + 5, 32);
+    return str_len(arg);
+  }
+  if (str_eq_n(cmd, "RETR", 4)) {
+    int idx = cmd[5] - '0';
+    if (idx < 0) idx = 0;
+    idx = idx %% %d;
+    return stuff_message(inbox + idx * %d, %d, response, 1024);
+  }
+  if (str_eq_n(cmd, "LIST", 4)) {
+    int i; int total = 0;
+    for (i = 0; i < %d; i++) total += %d;
+    return total %% 997;
+  }
+  return n;
+}
+
+int main() {
+  int m; int i;
+  /* synthesise the inbox */
+  for (m = 0; m < %d; m++) {
+    char *msg = inbox + m * %d;
+    for (i = 0; i < %d - 1; i++) {
+      int v = (i * 7 + m * 13) %% 96;
+      msg[i] = v < 2 ? (v == 0 ? 10 : '.') : 32 + v;
+    }
+    msg[%d - 1] = 0;
+  }
+  int checksum = 0;
+  str_copy(command, "USER alice", 64);
+  checksum += handle(command);
+  str_copy(command, "LIST", 64);
+  checksum += handle(command);
+  str_copy(command, "RETR 3", 64);
+  checksum += handle(command);
+  str_copy(command, "RETR 5", 64);
+  checksum += handle(command);
+  print_int(checksum);
+  return 0;
+}
+|}
+      (messages * msg_len) messages msg_len (msg_len - 1) messages msg_len
+      messages msg_len msg_len msg_len
+
+(* Apache: HTTP request handling — request-line and header parsing into
+   fixed buffers, URI sanitisation, MIME lookup, and response assembly
+   with a content copy. *)
+let apache ?(content = 2048) () =
+  string_helpers
+  ^ Printf.sprintf
+      {|
+char request[512];
+char method[16];
+char uri[128];
+char clean[128];
+char headers[512];
+char content[%d];
+char response[%d];
+
+int parse_request(char *req) {
+  int i = 0; int j;
+  /* method */
+  j = 0;
+  while (req[i] != ' ' && req[i] != 0 && j < 15) { method[j] = req[i]; i++; j++; }
+  method[j] = 0;
+  while (req[i] == ' ') i++;
+  /* uri */
+  j = 0;
+  while (req[i] != ' ' && req[i] != 0 && j < 127) { uri[j] = req[i]; i++; j++; }
+  uri[j] = 0;
+  return j;
+}
+
+int sanitise_uri(char *in, char *out) {
+  /* collapse // and resolve .. like ap_getparents */
+  int i = 0; int o = 0;
+  while (in[i] != 0 && o < 127) {
+    if (in[i] == '/' && in[i + 1] == '/') { i++; continue; }
+    if (in[i] == '/' && in[i + 1] == '.' && in[i + 2] == '.') {
+      i = i + 3;
+      while (o > 0 && out[o - 1] != '/') o--;
+      if (o > 0) o--;
+      continue;
+    }
+    out[o] = in[i];
+    o++; i++;
+  }
+  out[o] = 0;
+  return o;
+}
+
+int build_response(char *out, char *body, int blen) {
+  char *status = "HTTP/1.0 200 OK";
+  int o = str_copy(out, status, 64);
+  out[o] = 10; o++;
+  o = o + str_copy(out + o, "Server: cash-httpd/1.0", 64);
+  out[o] = 10; o++;
+  out[o] = 10; o++;
+  int i;
+  for (i = 0; i < blen && o < %d - 1; i++) { out[o] = body[i]; o++; }
+  out[o] = 0;
+  return o;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < %d - 1; i++)
+    content[i] = 32 + ((i * 11 + 7) %% 95);
+  content[%d - 1] = 0;
+  str_copy(request, "GET /docs//manual/../index.html HTTP/1.0", 512);
+  int checksum = parse_request(request);
+  checksum += sanitise_uri(uri, clean);
+  /* header scan: count lines of a synthetic header block */
+  str_copy(headers, "Host: example.test", 512);
+  int hlen = str_len(headers);
+  for (i = 0; i < hlen; i++) if (headers[i] == ':') checksum++;
+  checksum += build_response(response, content, %d - 1);
+  print_int(checksum);
+  return 0;
+}
+|}
+      content (content + 256) (content + 256) content content (content / 2)
+
+(* Sendmail: SMTP envelope processing — address parsing (the historically
+   overflowed crackaddr-style buffer scan), header rewriting, and a body
+   copy with dot-stuffing removal. *)
+let sendmail ?(body = 1500) ?(recipients = 4) () =
+  string_helpers
+  ^ Printf.sprintf
+      {|
+char envelope[256];
+char addr[64];
+char domain[64];
+char rewritten[128];
+char body[%d];
+char queued[%d];
+
+int parse_address(char *line, char *user, char *dom) {
+  /* scan inside <...> handling comments (...) — crackaddr's loop */
+  int i = 0; int j = 0; int depth = 0; int in_angle = 0;
+  while (line[i] != 0) {
+    char c = line[i];
+    if (c == '(') depth++;
+    else if (c == ')') { if (depth > 0) depth--; }
+    else if (depth == 0) {
+      if (c == '<') { in_angle = 1; j = 0; }
+      else if (c == '>') in_angle = 0;
+      else if (in_angle && j < 63) { user[j] = c; j++; }
+    }
+    i++;
+  }
+  user[j] = 0;
+  /* split at @ */
+  int at = -1;
+  for (i = 0; user[i] != 0; i++) if (user[i] == '@') at = i;
+  if (at >= 0) {
+    str_copy(dom, user + at + 1, 64);
+    user[at] = 0;
+  } else dom[0] = 0;
+  return j;
+}
+
+int rewrite_header(char *user, char *dom, char *out) {
+  int o = str_copy(out, "From: ", 128);
+  o = o + str_copy(out + o, user, 64);
+  out[o] = '@'; o++;
+  o = o + str_copy(out + o, dom, 60);
+  return o;
+}
+
+int queue_body(char *in, char *out, int len) {
+  /* remove dot-stuffing and normalise line endings */
+  int i; int o = 0; int atline = 1;
+  for (i = 0; i < len; i++) {
+    char c = in[i];
+    if (atline && c == '.' && in[i + 1] == '.') { i++; c = '.'; }
+    out[o] = c; o++;
+    atline = c == 10 ? 1 : 0;
+  }
+  out[o] = 0;
+  return o;
+}
+
+int main() {
+  int i; int r;
+  for (i = 0; i < %d - 2; i++) {
+    int v = (i * 17 + 3) %% 97;
+    body[i] = v == 0 ? 10 : 31 + v;
+  }
+  body[%d - 2] = 10;
+  body[%d - 1] = 0;
+  int checksum = 0;
+  for (r = 0; r < %d; r++) {
+    str_copy(envelope, "Alice Smith (home (office)) <alice.smith@example.test>", 256);
+    envelope[7] = 'a' + r;
+    checksum += parse_address(envelope, addr, domain);
+    checksum += rewrite_header(addr, domain, rewritten);
+  }
+  checksum += queue_body(body, queued, %d - 1);
+  print_int(checksum);
+  return 0;
+}
+|}
+      body (body + 16) body body body recipients body
+
+(* Wu-ftpd: FTP command loop — command dispatch, path validation, and a
+   block-mode file transfer through a buffer (the RETR path). *)
+let wuftpd ?(file = 4096) ?(block = 512) () =
+  string_helpers
+  ^ Printf.sprintf
+      {|
+char file[%d];
+char cmdline[128];
+char path[128];
+char block[%d];
+
+int check_path(char *p) {
+  /* realpath-ish scan rejecting .. escapes */
+  int i = 0; int depth = 0;
+  while (p[i] != 0) {
+    if (p[i] == '/') {
+      if (p[i + 1] == '.' && p[i + 2] == '.') depth--;
+      else if (p[i + 1] != 0 && p[i + 1] != '/') depth++;
+      if (depth < 0) return 0;
+    }
+    i++;
+  }
+  return 1;
+}
+
+int transfer(char *f, int len, int bsize) {
+  int sent = 0;
+  int pos = 0;
+  while (pos < len) {
+    int n = len - pos < bsize ? len - pos : bsize;
+    int i;
+    char *src = f + pos;
+    for (i = 0; i < n; i++) block[i] = src[i];
+    /* telnet IAC escaping scan, as BINARY mode does */
+    int esc = 0;
+    for (i = 0; i < n; i++) if (block[i] == 255) esc++;
+    sent += n + esc;
+    pos += n;
+  }
+  return sent;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < %d; i++) file[i] = (i * 31 + 5) %% 256;
+  str_copy(cmdline, "RETR /pub/dists/readme.txt", 128);
+  int checksum = 0;
+  to_upper(cmdline, 4);
+  if (str_eq_n(cmdline, "RETR", 4)) {
+    str_copy(path, cmdline + 5, 128);
+    if (check_path(path)) checksum += transfer(file, %d, %d);
+  }
+  print_int(checksum);
+  return 0;
+}
+|}
+      file block file file block
+
+(* Pure-ftpd: similar protocol surface, different mix — directory listing
+   generation dominates (the paper's most common FTP operation after
+   RETR), plus a quota scan. *)
+let pureftpd ?(entries = 160) () =
+  string_helpers
+  ^ Printf.sprintf
+      {|
+char names[%d];      /* entries x 32 */
+int sizes[%d];
+char listing[%d];
+
+int format_entry(char *out, char *name, int size) {
+  int o = str_copy(out, "-rw-r--r-- 1 ftp ftp ", 32);
+  /* decimal size, right-aligned into 8 columns */
+  char digits[12];
+  int n = 0;
+  int v = size;
+  if (v == 0) { digits[0] = '0'; n = 1; }
+  while (v > 0 && n < 11) { digits[n] = '0' + v %% 10; v = v / 10; n++; }
+  int pad = 8 - n;
+  int i;
+  for (i = 0; i < pad; i++) { out[o] = ' '; o++; }
+  for (i = n - 1; i >= 0; i--) { out[o] = digits[i]; o++; }
+  out[o] = ' '; o++;
+  o = o + str_copy(out + o, name, 32);
+  out[o] = 10; o++;
+  out[o] = 0;
+  return o;
+}
+
+int main() {
+  int e; int i;
+  int n = %d;
+  for (e = 0; e < n; e++) {
+    char *name = names + e * 32;
+    for (i = 0; i < 12; i++) name[i] = 'a' + ((e * 3 + i * 5) %% 26);
+    name[12] = 0;
+    sizes[e] = (e * 7919) %% 100000;
+  }
+  int o = 0;
+  int checksum = 0;
+  for (e = 0; e < n; e++) {
+    if (o > %d - 80) break;
+    o += format_entry(listing + o, names + e * 32, sizes[e]);
+  }
+  checksum += o;
+  /* quota scan */
+  int total = 0;
+  for (e = 0; e < n; e++) total += sizes[e];
+  checksum += total %% 9973;
+  print_int(checksum);
+  return 0;
+}
+|}
+      (entries * 32) entries (entries * 96) entries (entries * 96)
+
+(* Bind: DNS query handling — wire-format name decompression, a zone
+   lookup over sorted records, and answer assembly with name
+   compression. *)
+let bind ?(records = 128) () =
+  string_helpers
+  ^ Printf.sprintf
+      {|
+char packet[512];
+char qname[256];
+char zone[%d];      /* records x 32: owner names */
+int rdata[%d];
+char answer[512];
+
+int decode_name(char *pkt, int off, char *out) {
+  /* label-by-label decode with pointer-compression hops */
+  int o = 0;
+  int hops = 0;
+  while (hops < 8) {
+    int len = pkt[off];
+    if (len == 0) break;
+    if (len >= 192) {              /* compression pointer */
+      off = (len - 192) * 256 + pkt[off + 1];
+      hops++;
+      continue;
+    }
+    int i;
+    for (i = 1; i <= len && o < 254; i++) { out[o] = pkt[off + i]; o++; }
+    out[o] = '.'; o++;
+    off = off + len + 1;
+  }
+  out[o] = 0;
+  return o;
+}
+
+int lookup(char *name) {
+  /* binary search over the zone's owner names */
+  int lo = 0;
+  int hi = %d - 1;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    char *owner = zone + mid * 32;
+    /* compare */
+    int i = 0;
+    int cmp = 0;
+    while (owner[i] != 0 || name[i] != 0) {
+      if (owner[i] != name[i]) { cmp = owner[i] < name[i] ? -1 : 1; break; }
+      i++;
+    }
+    if (cmp == 0) return mid;
+    if (cmp < 0) lo = mid + 1;
+    else hi = mid - 1;
+  }
+  return -1;
+}
+
+int encode_answer(char *out, char *name, int rr) {
+  int o = 0;
+  int i;
+  int nlen = str_len(name);
+  for (i = 0; i < nlen; i++) { out[o] = name[i]; o++; }
+  out[o] = 0; o++;
+  /* type/class/ttl/rdlength/rdata */
+  for (i = 0; i < 10; i++) { out[o] = (rr + i) %% 256; o++; }
+  return o;
+}
+
+int main() {
+  int r; int i;
+  int n = %d;
+  for (r = 0; r < n; r++) {
+    char *owner = zone + r * 32;
+    /* sorted synthetic names: aa.., ab.., ... */
+    owner[0] = 'a' + r / 26;
+    owner[1] = 'a' + r %% 26;
+    for (i = 2; i < 8; i++) owner[i] = 'a' + ((r + i) %% 26);
+    owner[8] = 0;
+    rdata[r] = r * 257;
+  }
+  /* build a query packet with a compressed name */
+  packet[0] = 3; packet[1] = 'w'; packet[2] = 'w'; packet[3] = 'w';
+  packet[4] = 192; packet[5] = 12;   /* pointer to offset 12 */
+  packet[12] = 2;
+  packet[13] = zone[2 * 32];
+  packet[14] = zone[2 * 32 + 1];
+  packet[15] = 0;
+  int checksum = 0;
+  int q;
+  char key[32];
+  /* a batch of queries: positive lookups with name decode + answer
+     assembly, plus the negative-lookup storm of a cache miss flood */
+  for (q = 0; q < 40; q++) {
+    checksum += decode_name(packet, 0, qname);
+    str_copy(key, zone + (q %% n) * 32, 32);
+    int rr = lookup(key);
+    if (rr >= 0) checksum += encode_answer(answer, key, rdata[rr]);
+  }
+  str_copy(key, "nonexistent", 32);
+  for (q = 0; q < 60; q++) {
+    key[4] = 'a' + (q %% 26);
+    key[7] = 'a' + (q / 26);
+    checksum += lookup(key);
+  }
+  print_int(checksum %% 100000);
+  return 0;
+}
+|}
+      (records * 32) records records records
+
+type app = {
+  name : string;
+  description : string;
+  source : string;
+  paper_latency_pct : float;   (* Table 8 *)
+  paper_throughput_pct : float;
+  paper_space_pct : float;
+}
+
+let table8_suite () =
+  [
+    { name = "Qpopper"; description = "POP3 mail server";
+      source = qpopper (); paper_latency_pct = 6.5;
+      paper_throughput_pct = 6.1; paper_space_pct = 60.1 };
+    { name = "Apache"; description = "HTTP server";
+      source = apache (); paper_latency_pct = 3.3;
+      paper_throughput_pct = 3.2; paper_space_pct = 56.3 };
+    { name = "Sendmail"; description = "SMTP mail transfer agent";
+      source = sendmail (); paper_latency_pct = 9.8;
+      paper_throughput_pct = 8.9; paper_space_pct = 44.8 };
+    { name = "Wu-ftpd"; description = "FTP server";
+      source = wuftpd (); paper_latency_pct = 2.5;
+      paper_throughput_pct = 2.4; paper_space_pct = 68.3 };
+    { name = "Pure-ftpd"; description = "FTP server";
+      source = pureftpd (); paper_latency_pct = 3.3;
+      paper_throughput_pct = 3.2; paper_space_pct = 63.4 };
+    { name = "Bind"; description = "DNS server";
+      source = bind (); paper_latency_pct = 4.4;
+      paper_throughput_pct = 4.3; paper_space_pct = 53.6 };
+  ]

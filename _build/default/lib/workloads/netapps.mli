@@ -1,0 +1,40 @@
+(** The six network applications of Tables 7-8, each modelling the
+    server-side handling of one request (the unit the paper's fork-per-
+    request setup measures): line-oriented command parsing into fixed
+    buffers, header construction, payload copies, table lookups. *)
+
+(** A tiny string library compiled into each application, standing in
+    for the recompiled GLIBC routines of §3.9. *)
+val string_helpers : string
+
+(** POP3: USER/LIST/RETR handling with dot-stuffed message streaming. *)
+val qpopper : ?messages:int -> ?msg_len:int -> unit -> string
+
+(** HTTP: request-line/header parsing, URI sanitisation, response
+    assembly with a content copy. *)
+val apache : ?content:int -> unit -> string
+
+(** SMTP: crackaddr-style address parsing, header rewriting, dot-stuffing
+    removal. *)
+val sendmail : ?body:int -> ?recipients:int -> unit -> string
+
+(** FTP: command dispatch, path validation, block-mode RETR transfer. *)
+val wuftpd : ?file:int -> ?block:int -> unit -> string
+
+(** FTP: directory-listing generation and quota scan. *)
+val pureftpd : ?entries:int -> unit -> string
+
+(** DNS: wire-format name decompression, binary-search zone lookup,
+    answer assembly; a batch of positive and negative queries. *)
+val bind : ?records:int -> unit -> string
+
+type app = {
+  name : string;
+  description : string;
+  source : string;
+  paper_latency_pct : float;     (** Table 8 *)
+  paper_throughput_pct : float;  (** Table 8 *)
+  paper_space_pct : float;       (** Table 8 *)
+}
+
+val table8_suite : unit -> app list

@@ -1,0 +1,1 @@
+test/test_cash_semantics.ml: Alcotest Cashrt Core String

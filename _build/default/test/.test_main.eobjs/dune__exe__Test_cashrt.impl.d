@@ -1,0 +1,1 @@
+test/test_cashrt.ml: Alcotest Cashrt Hashtbl List Machine Osim QCheck Seghw

@@ -1,0 +1,1 @@
+test/test_compilers.ml: Alcotest Buffer Core List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cashrt Compilers Core List Machine Osim Seghw String Workloads

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Cost_model Cpu Encode Insn List Machine Phys_mem Program QCheck QCheck_alcotest Registers Seghw

@@ -1,0 +1,1 @@
+test/test_osim.ml: Alcotest Char List Machine Osim Seghw

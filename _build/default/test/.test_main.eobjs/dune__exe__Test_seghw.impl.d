@@ -1,0 +1,1 @@
+test/test_seghw.ml: Alcotest Descriptor Descriptor_table Fault Mmu Paging QCheck QCheck_alcotest Seghw Segreg Selector Tlb

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Core List Minic Printf Str String Workloads

@@ -1,0 +1,411 @@
+(* Tests of the paper's bound-checking semantics: what each compiler
+   catches, how, and the documented limitations (§3.4, §3.5, §3.8, §3.9). *)
+
+let status b src = (Core.exec b src).Core.status
+
+let check_caught name st =
+  match st with
+  | Core.Bound_violation _ -> ()
+  | Core.Finished -> Alcotest.failf "%s: violation not caught" name
+  | Core.Crashed m -> Alcotest.failf "%s: crashed instead: %s" name m
+
+let check_finished name st =
+  match st with
+  | Core.Finished -> ()
+  | Core.Bound_violation m -> Alcotest.failf "%s: spurious violation: %s" name m
+  | Core.Crashed m -> Alcotest.failf "%s: crashed: %s" name m
+
+let check_hw_caught name st =
+  (* specifically by the segmentation hardware: #GP, or #SS when the
+     4-register configuration covers an array with SS *)
+  match st with
+  | Core.Bound_violation m
+    when String.length m >= 3
+         && (String.sub m 0 3 = "#GP" || String.sub m 0 3 = "#SS") ->
+    ()
+  | Core.Bound_violation m -> Alcotest.failf "%s: caught but not by hw: %s" name m
+  | _ -> Alcotest.failf "%s: not caught" name
+
+let check_sw_caught name st =
+  match st with
+  | Core.Bound_violation m when String.length m >= 3 && String.sub m 0 3 = "#BR"
+    -> ()
+  | Core.Bound_violation m -> Alcotest.failf "%s: caught but not by sw: %s" name m
+  | _ -> Alcotest.failf "%s: not caught" name
+
+(* --- upper-bound overflows --------------------------------------------- *)
+
+let global_overflow = {|
+int buf[8];
+int main() { int i; for (i = 0; i <= 8; i++) buf[i] = 7; return 0; }
+|}
+
+let test_global_overflow () =
+  check_finished "gcc misses" (status Core.gcc global_overflow);
+  check_sw_caught "bcc" (status Core.bcc global_overflow);
+  check_hw_caught "cash" (status Core.cash global_overflow)
+
+let local_overflow = {|
+int main() {
+  int buf[8];
+  int i;
+  for (i = 0; i <= 8; i++) buf[i] = 7;
+  return 0; }
+|}
+
+let test_local_overflow () =
+  check_sw_caught "bcc" (status Core.bcc local_overflow);
+  check_hw_caught "cash" (status Core.cash local_overflow)
+
+let heap_overflow = {|
+int main() {
+  int *p = (int*)malloc(4 * sizeof(int));
+  int i;
+  for (i = 0; i < 5; i++) p[i] = i;
+  free(p);
+  return 0; }
+|}
+
+let test_heap_overflow () =
+  check_finished "gcc misses" (status Core.gcc heap_overflow);
+  check_sw_caught "bcc" (status Core.bcc heap_overflow);
+  check_hw_caught "cash" (status Core.cash heap_overflow)
+
+let read_overflow = {|
+int buf[8];
+int main() {
+  int s = 0; int i;
+  for (i = 0; i <= 8; i++) s += buf[i];
+  print_int(s);
+  return 0; }
+|}
+
+let test_read_overflow () =
+  (* Cash checks reads as well as writes (§3.8) *)
+  check_hw_caught "cash read" (status Core.cash read_overflow);
+  check_sw_caught "bcc read" (status Core.bcc read_overflow)
+
+(* --- lower-bound violations --------------------------------------------- *)
+
+let underflow = {|
+int buf[8];
+int main() { int i; for (i = 7; i >= -1; i--) buf[i] = 1; return 0; }
+|}
+
+let test_underflow () =
+  (* Cash checks BOTH bounds via segment wrap-around; BCC only the upper
+     bound for direct array refs but the unsigned compare also nets the
+     negative index *)
+  check_hw_caught "cash lower" (status Core.cash underflow);
+  check_caught "bcc lower" (status Core.bcc underflow)
+
+let ptr_underflow = {|
+int main() {
+  int *p = (int*)malloc(8 * sizeof(int));
+  int i;
+  for (i = 7; i >= -1; i--) p[i] = 1;
+  free(p);
+  return 0; }
+|}
+
+let test_ptr_underflow () =
+  check_hw_caught "cash ptr lower" (status Core.cash ptr_underflow);
+  check_sw_caught "bcc ptr lower" (status Core.bcc ptr_underflow)
+
+(* --- the classic attack shape -------------------------------------------- *)
+
+let strcpy_attack = {|
+char dst[12];
+int main() {
+  char *src = "a much longer string that overflows the destination";
+  int i = 0;
+  while (src[i] != 0) { dst[i] = src[i]; i++; }
+  dst[i] = 0;
+  return 0; }
+|}
+
+let test_strcpy_attack () =
+  check_finished "gcc misses attack" (status Core.gcc strcpy_attack);
+  check_hw_caught "cash stops attack" (status Core.cash strcpy_attack)
+
+let off_by_one_terminator = {|
+char dst[5];
+int main() {
+  char *src = "12345"; /* exactly fills dst; the terminator overflows */
+  int i = 0;
+  while (src[i] != 0) { dst[i] = src[i]; i++; }
+  dst[i] = 0;   /* the overflowing store is OUTSIDE the loop */
+  return 0; }
+|}
+
+let test_off_by_one () =
+  (* the copy loop itself stays in bounds; the overflowing NUL store sits
+     outside any loop, so Cash — by design (§3.8) — does not check it,
+     while BCC does. A precise documentation of the two tools' scopes. *)
+  check_finished "cash skips the non-loop store"
+    (status Core.cash off_by_one_terminator);
+  check_sw_caught "bcc catches it" (status Core.bcc off_by_one_terminator);
+  (* moving the terminator store into the loop brings it under Cash *)
+  let inloop = {|
+char dst[5];
+int main() {
+  char *src = "12345";
+  int i = 0;
+  while (src[i] != 0) { dst[i] = src[i]; i++; dst[i] = 0; }
+  return 0; }
+|} in
+  check_hw_caught "cash catches in-loop variant" (status Core.cash inloop)
+
+(* --- spilled arrays still protected (software fallback, §3.7) ------------- *)
+
+let spill_overflow = {|
+int a[8]; int b[8]; int c[8]; int d[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) { a[i]=0; b[i]=0; c[i]=0; d[i]=0; }
+  /* overflow the FOURTH array: beyond the 3-register budget */
+  for (i = 0; i <= 8; i++) { a[i%8]=0; b[i%8]=0; c[i%8]=0; d[i]=1; }
+  return 0; }
+|}
+
+let test_spilled_array_protected () =
+  (* cash3: d is software-checked, still caught *)
+  check_sw_caught "cash3 spilled" (status Core.cash spill_overflow);
+  (* cash4: d gets the fourth register, caught in hardware *)
+  check_hw_caught "cash4 hw" (status (Core.cash_n 4) spill_overflow)
+
+(* --- documented limitations ------------------------------------------------ *)
+
+let outside_loop_overflow = {|
+int buf[4];
+int main() {
+  buf[5] = 1;   /* out of bounds but NOT inside a loop */
+  return 0; }
+|}
+
+let test_outside_loop_unchecked () =
+  (* §3.8: Cash only checks references inside loops; BCC catches it *)
+  check_finished "cash skips non-loop refs"
+    (status Core.cash outside_loop_overflow);
+  check_sw_caught "bcc catches" (status Core.bcc outside_loop_overflow)
+
+let cast_launders_checking = {|
+int x;           /* global scalar: its neighbourhood stays mapped */
+int filler[64];
+int main() {
+  int *p = &x;                 /* scalar: global segment (§3.9) */
+  char *q = (char*)p;          /* cast keeps the unchecked shadow */
+  int i; int s = 0;
+  for (i = 0; i < 100; i++) s += q[i];
+  print_int(s);
+  return 0; }
+|}
+
+let test_scalar_pointer_unchecked () =
+  (* §3.9: pointers to scalars are associated with the global segment;
+     bound checking is disabled for them (and for casts of them) *)
+  check_finished "global-segment pointer" (status Core.cash cast_launders_checking)
+
+let big_array_slack = {|
+char pad[8192];   /* occupies the address range below big, so Figure 2's
+                     slack region is mapped memory belonging to another
+                     object — exactly the paper's hazard scenario */
+char big[2000000];
+int main() {
+  pad[0] = 0;
+  /* 2000000 bytes -> segment of 489 pages = 2002944 bytes; the array end
+     is aligned with the segment end, so the slack of 2944 bytes sits
+     BELOW the array (Figure 2) */
+  char *p = big;
+  int i;
+  for (i = 0; i < 10; i++) p[i - 2000] = 1;  /* within slack: NOT caught */
+  return 0; }
+|}
+
+let test_big_array_lower_slack () =
+  check_finished "within-slack access passes (Fig 2)"
+    (status Core.cash big_array_slack)
+
+let big_array_below_slack = {|
+char big[2000000];
+int main() {
+  char *p = big;
+  int i;
+  for (i = 0; i < 10; i++) p[i - 6000] = 1;  /* beyond the 4 KiB slack */
+  return 0; }
+|}
+
+let test_big_array_below_slack_caught () =
+  check_hw_caught "below slack caught" (status Core.cash big_array_below_slack)
+
+let big_array_upper_exact = {|
+char big[2000000];
+int main() {
+  int i;
+  for (i = 1999995; i <= 2000000; i++) big[i] = 1; /* upper bound exact */
+  return 0; }
+|}
+
+let test_big_array_upper_exact () =
+  (* §3.5: the end of the array is aligned with the end of the segment, so
+     the upper bound stays byte-exact even with G=1 *)
+  check_hw_caught "upper exact" (status Core.cash big_array_upper_exact)
+
+(* --- segment register discipline -------------------------------------------- *)
+
+let callee_uses_segregs = {|
+int helper(int *p, int n) {
+  int s = 0; int i;
+  for (i = 0; i < n; i++) s += p[i];   /* helper loads ES for p */
+  return s; }
+int a[4]; int b[4];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 4; i++) { a[i] = i; b[i] = 2*i; }
+  for (i = 0; i < 4; i++) {
+    s += a[i];            /* ES covers a in this nest */
+    s += helper(b, 4);    /* helper saves/restores ES */
+    s += a[i];            /* must still be checked against a's segment */
+  }
+  print_int(s);
+  return 0; }
+|}
+
+let test_segreg_save_restore_across_calls () =
+  let r = Core.exec Core.cash callee_uses_segregs in
+  check_finished "nested segreg use" r.Core.status;
+  Alcotest.(check string) "value" "60\n" r.Core.output;
+  (* and the checking still works after the call *)
+  let broken = {|
+int helper(int *p, int n) {
+  int s = 0; int i;
+  for (i = 0; i < n; i++) s += p[i];
+  return s; }
+int a[4]; int b[4];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 5; i++) {
+    s += helper(b, 4);
+    s += a[i];           /* i = 4 overflows a AFTER the call */
+  }
+  print_int(s);
+  return 0; }
+|} in
+  check_hw_caught "overflow after call" (status Core.cash broken)
+
+let test_static_check_counts () =
+  (* Table 1 second column: with enough registers all checks are hardware *)
+  let src = {|
+double a[16]; double b[16]; double c[16];
+int main() {
+  int i;
+  for (i = 0; i < 16; i++) c[i] = a[i] + b[i];
+  return 0; }
+|} in
+  let info3 = Core.static_info (Core.compile Core.cash src) in
+  Alcotest.(check int) "no sw checks at budget 3" 0 info3.Core.sw_checks;
+  Alcotest.(check int) "3 hw checks" 3 info3.Core.hw_checks;
+  let info2 = Core.static_info (Core.compile (Core.cash_n 2) src) in
+  Alcotest.(check bool) "sw checks appear at budget 2" true
+    (info2.Core.sw_checks > 0)
+
+let test_bcc_checks_everywhere () =
+  let src = {|
+int buf[4];
+int main() {
+  buf[0] = 1;                       /* outside loop: BCC checks */
+  int i;
+  for (i = 0; i < 4; i++) buf[i] = i; /* inside loop */
+  return 0; }
+|} in
+  let info = Core.static_info (Core.compile Core.bcc src) in
+  Alcotest.(check int) "2 static check sites" 2 info.Core.bcc_checks;
+  let cinfo = Core.static_info (Core.compile Core.cash src) in
+  Alcotest.(check int) "cash checks only the loop site" 1 cinfo.Core.hw_checks
+
+let test_binary_size_ordering () =
+  (* Tables 2/6: gcc < cash < bcc in code size, on a pointer-heavy program
+     where BCC's 6-instruction checks and 3-word pointers dominate (tiny
+     programs are dominated by Cash's fixed prologue code instead) *)
+  let src = {|
+double a[64]; double b[64];
+double dot(double *x, double *y, int n) {
+  double s = 0.0; int i;
+  for (i = 0; i < n; i++) s = s + x[i] * y[i];
+  return s; }
+void scale(double *x, int n, double k) {
+  int i;
+  for (i = 0; i < n; i++) x[i] = x[i] * k; }
+void copy(double *x, double *y, int n) {
+  int i;
+  for (i = 0; i < n; i++) y[i] = x[i]; }
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) a[i] = (double)i;
+  copy(a, b, 64);
+  scale(b, 64, 2.0);
+  print_float(dot(a, b, 64));
+  return 0; }
+|} in
+  let size bk = (Core.static_info (Core.compile bk src)).Core.code_bytes in
+  let g = size Core.gcc and bc = size Core.bcc and ca = size Core.cash in
+  Alcotest.(check bool) "gcc smallest" true (g < ca);
+  Alcotest.(check bool) "bcc biggest" true (ca < bc)
+
+let test_runtime_stats_exposed () =
+  let src = {|
+int work() { int t[8]; int i; int s=0;
+  for (i=0;i<8;i++) t[i]=i;
+  for (i=0;i<8;i++) s+=t[i];
+  return s; }
+int main() { int i; int s=0; for (i=0;i<50;i++) s+=work(); print_int(s); return 0; }
+|} in
+  let r = Core.exec Core.cash src in
+  check_finished "runs" r.Core.status;
+  match r.Core.runtime with
+  | None -> Alcotest.fail "no runtime attached"
+  | Some rt ->
+    let cache = Cashrt.Runtime.cache rt in
+    Alcotest.(check bool) "3-entry cache soaks repeat calls" true
+      (Cashrt.Seg_cache.hits cache >= 49);
+    let st = (Cashrt.Runtime.stats rt) in
+    Alcotest.(check bool) "allocs counted" true
+      (st.Cashrt.Runtime.seg_allocs >= 50)
+
+let test_null_pointer_deref_faults () =
+  let src = {|
+int main() {
+  int *p = (int*)0;
+  int i; int s = 0;
+  for (i = 0; i < 4; i++) s += p[i];
+  print_int(s);
+  return 0; }
+|} in
+  (* not a bound violation, but must fault (page fault), not succeed *)
+  match status Core.gcc src with
+  | Core.Crashed _ -> ()
+  | _ -> Alcotest.fail "null deref should fault"
+
+let suite =
+  [
+    Alcotest.test_case "global overflow" `Quick test_global_overflow;
+    Alcotest.test_case "local overflow" `Quick test_local_overflow;
+    Alcotest.test_case "heap overflow" `Quick test_heap_overflow;
+    Alcotest.test_case "read overflow" `Quick test_read_overflow;
+    Alcotest.test_case "underflow" `Quick test_underflow;
+    Alcotest.test_case "pointer underflow" `Quick test_ptr_underflow;
+    Alcotest.test_case "strcpy attack" `Quick test_strcpy_attack;
+    Alcotest.test_case "off-by-one" `Quick test_off_by_one;
+    Alcotest.test_case "spilled arrays protected" `Quick test_spilled_array_protected;
+    Alcotest.test_case "outside-loop unchecked (§3.8)" `Quick test_outside_loop_unchecked;
+    Alcotest.test_case "scalar pointers unchecked (§3.9)" `Quick test_scalar_pointer_unchecked;
+    Alcotest.test_case "big array slack passes (Fig 2)" `Quick test_big_array_lower_slack;
+    Alcotest.test_case "below slack caught (Fig 2)" `Quick test_big_array_below_slack_caught;
+    Alcotest.test_case "big array upper exact (§3.5)" `Quick test_big_array_upper_exact;
+    Alcotest.test_case "segreg save/restore across calls" `Quick test_segreg_save_restore_across_calls;
+    Alcotest.test_case "static check counts (Table 1)" `Quick test_static_check_counts;
+    Alcotest.test_case "bcc checks everywhere" `Quick test_bcc_checks_everywhere;
+    Alcotest.test_case "binary size ordering (Tables 2/6)" `Quick test_binary_size_ordering;
+    Alcotest.test_case "runtime stats exposed" `Quick test_runtime_stats_exposed;
+    Alcotest.test_case "null deref faults" `Quick test_null_pointer_deref_faults;
+  ]

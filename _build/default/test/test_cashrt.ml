@@ -1,0 +1,199 @@
+(* Tests for the Cash runtime: segment pool, reuse cache, and the
+   info-structure/segment lifecycle. *)
+
+let test_pool_basics () =
+  let p = Cashrt.Segment_pool.create () in
+  Alcotest.(check int) "capacity" 8191 (Cashrt.Segment_pool.free_count p);
+  (match Cashrt.Segment_pool.allocate p with
+   | Some 1 -> ()
+   | Some n -> Alcotest.failf "expected entry 1, got %d" n
+   | None -> Alcotest.fail "empty pool?");
+  Alcotest.(check int) "live" 1 (Cashrt.Segment_pool.live p);
+  Cashrt.Segment_pool.release p 1;
+  Alcotest.(check int) "live back to 0" 0 (Cashrt.Segment_pool.live p)
+
+let test_pool_exhaustion () =
+  let p = Cashrt.Segment_pool.create () in
+  for _ = 1 to 8191 do
+    match Cashrt.Segment_pool.allocate p with
+    | Some _ -> ()
+    | None -> Alcotest.fail "premature exhaustion"
+  done;
+  Alcotest.(check bool) "now empty" true (Cashrt.Segment_pool.allocate p = None);
+  Alcotest.(check int) "counted" 1 (Cashrt.Segment_pool.exhausted_allocs p);
+  Alcotest.(check int) "peak" 8191 (Cashrt.Segment_pool.peak_live p)
+
+let test_pool_never_double_allocates () =
+  (* property: interleaved allocate/release never hands out an entry that
+     is currently live *)
+  let prop =
+    QCheck.Test.make ~count:200 ~name:"pool no double allocation"
+      QCheck.(list (int_bound 1))
+      (fun ops ->
+        let p = Cashrt.Segment_pool.create () in
+        let live = Hashtbl.create 16 in
+        List.for_all
+          (fun op ->
+            if op = 0 then
+              match Cashrt.Segment_pool.allocate p with
+              | Some idx ->
+                if Hashtbl.mem live idx then false
+                else (Hashtbl.add live idx (); true)
+              | None -> true
+            else
+              match Hashtbl.fold (fun k () _ -> Some k) live None with
+              | Some idx ->
+                Hashtbl.remove live idx;
+                Cashrt.Segment_pool.release p idx;
+                true
+              | None -> true)
+          ops)
+  in
+  QCheck.Test.check_exn prop
+
+let test_cache_hit_miss () =
+  let c = Cashrt.Seg_cache.create () in
+  Alcotest.(check bool) "cold miss" true
+    (Cashrt.Seg_cache.take_matching c ~base:0x1000 ~size:64 = None);
+  Alcotest.(check bool) "park fits" true
+    (Cashrt.Seg_cache.park c ~index:5 ~base:0x1000 ~size:64 = None);
+  Alcotest.(check bool) "hit" true
+    (Cashrt.Seg_cache.take_matching c ~base:0x1000 ~size:64 = Some 5);
+  (* taken: a second request misses *)
+  Alcotest.(check bool) "taken" true
+    (Cashrt.Seg_cache.take_matching c ~base:0x1000 ~size:64 = None);
+  Alcotest.(check int) "hits" 1 (Cashrt.Seg_cache.hits c);
+  Alcotest.(check int) "misses" 2 (Cashrt.Seg_cache.misses c)
+
+let test_cache_eviction () =
+  let c = Cashrt.Seg_cache.create () in
+  Alcotest.(check bool) "1" true (Cashrt.Seg_cache.park c ~index:1 ~base:0x100 ~size:16 = None);
+  Alcotest.(check bool) "2" true (Cashrt.Seg_cache.park c ~index:2 ~base:0x200 ~size:16 = None);
+  Alcotest.(check bool) "3" true (Cashrt.Seg_cache.park c ~index:3 ~base:0x300 ~size:16 = None);
+  (* fourth park evicts the OLDEST (index 1) *)
+  Alcotest.(check bool) "evicts oldest" true
+    (Cashrt.Seg_cache.park c ~index:4 ~base:0x400 ~size:16 = Some 1);
+  Alcotest.(check bool) "1 gone" true
+    (Cashrt.Seg_cache.take_matching c ~base:0x100 ~size:16 = None);
+  Alcotest.(check bool) "4 present" true
+    (Cashrt.Seg_cache.take_matching c ~base:0x400 ~size:16 = Some 4)
+
+let test_cache_size_mismatch () =
+  let c = Cashrt.Seg_cache.create () in
+  ignore (Cashrt.Seg_cache.park c ~index:1 ~base:0x100 ~size:16);
+  Alcotest.(check bool) "same base, different size misses" true
+    (Cashrt.Seg_cache.take_matching c ~base:0x100 ~size:32 = None)
+
+(* --- runtime end-to-end through a simulated process ----------------------- *)
+
+let cash_prog insns =
+  Machine.Program.link ~entry:"_start" (Machine.Insn.Label "_start" :: insns)
+
+let attach_runtime () =
+  let k = Osim.Kernel.create () in
+  let p = Osim.Process.load ~kernel:k
+      (cash_prog Machine.Insn.[ Callext "cash_startup"; Halt ]) in
+  let rt = Cashrt.Runtime.attach p in
+  (k, p, rt)
+
+let test_runtime_startup () =
+  let _, p, _ = attach_runtime () in
+  (match Osim.Process.run p with
+   | Machine.Cpu.Halted -> ()
+   | _ -> Alcotest.fail "startup failed");
+  (* the call gate is installed in LDT entry 0 *)
+  match Seghw.Descriptor_table.get (Osim.Process.ldt p) 0 with
+  | Some d -> Alcotest.(check bool) "gate" true (Seghw.Descriptor.is_call_gate d)
+  | None -> Alcotest.fail "no gate installed"
+
+let test_seg_init_before_startup_faults () =
+  let k = Osim.Kernel.create () in
+  let p = Osim.Process.load ~kernel:k
+      (cash_prog Machine.Insn.[
+         Push (Imm 64); Push (Imm 0x08100010); Push (Imm 0x08100000);
+         Callext "cash_seg_init"; Halt ]) in
+  let _ = Cashrt.Runtime.attach p in
+  match Osim.Process.run p with
+  | Machine.Cpu.Faulted (Seghw.Fault.General_protection _) -> ()
+  | _ -> Alcotest.fail "expected #GP before cash_startup"
+
+let test_runtime_geometry () =
+  Alcotest.(check (pair int int)) "small array exact" (0x1000, 100)
+    (Cashrt.Runtime.segment_geometry ~base:0x1000 ~size:100);
+  (* 2 MB array: end-aligned, page-granular (§3.5 / Figure 2) *)
+  let base = 0x100000 in
+  let size = 2_000_000 in
+  let seg_base, seg_size = Cashrt.Runtime.segment_geometry ~base ~size in
+  Alcotest.(check int) "multiple of 4K" 0 (seg_size mod 4096);
+  Alcotest.(check int) "end aligned" (base + size) (seg_base + seg_size);
+  Alcotest.(check bool) "slack < 4K" true (base - seg_base < 4096)
+
+let test_per_array_overhead_263 () =
+  (* §4.1: the measured per-array overhead is 263 cycles (253-cycle gate
+     plus user-space list work) on a cache miss *)
+  let _, p, rt = attach_runtime () in
+  ignore (Osim.Process.run p);
+  let cpu = Osim.Process.cpu p in
+  Seghw.Mmu.map_range (Osim.Process.mmu p) ~linear:0x08100000 ~size:4096
+    ~writable:true;
+  let before = Machine.Cpu.cycles cpu in
+  Cashrt.Runtime.seg_init rt cpu ~info:0x08100000 ~base:0x08100010 ~size:64;
+  Alcotest.(check int) "263 cycles" 263 (Machine.Cpu.cycles cpu - before)
+
+let test_seg_free_then_reuse_hits_cache () =
+  let _, p, rt = attach_runtime () in
+  ignore (Osim.Process.run p);
+  let cpu = Osim.Process.cpu p in
+  Seghw.Mmu.map_range (Osim.Process.mmu p) ~linear:0x08100000 ~size:4096
+    ~writable:true;
+  Cashrt.Runtime.seg_init rt cpu ~info:0x08100000 ~base:0x08100010 ~size:64;
+  Cashrt.Runtime.seg_free rt cpu ~info:0x08100000;
+  let kernel_calls_before =
+    (Osim.Kernel.stats (Osim.Process.kernel p)).Osim.Kernel.cash_modify_ldt_calls
+  in
+  (* same base/size: served from the 3-entry cache, no kernel entry *)
+  Cashrt.Runtime.seg_init rt cpu ~info:0x08100000 ~base:0x08100010 ~size:64;
+  Alcotest.(check int) "no new kernel call" kernel_calls_before
+    (Osim.Kernel.stats (Osim.Process.kernel p)).Osim.Kernel.cash_modify_ldt_calls;
+  Alcotest.(check int) "cache hit" 1 (Cashrt.Seg_cache.hits (Cashrt.Runtime.cache rt))
+
+let test_info_structure_layout () =
+  (* §3.3: info+0 selector, info+4 segment base, info+8 upper bound *)
+  let _, p, rt = attach_runtime () in
+  ignore (Osim.Process.run p);
+  let cpu = Osim.Process.cpu p in
+  let mmu = Osim.Process.mmu p in
+  let phys = Osim.Process.phys p in
+  Seghw.Mmu.map_range mmu ~linear:0x08100000 ~size:4096 ~writable:true;
+  Cashrt.Runtime.seg_init rt cpu ~info:0x08100000 ~base:0x08100010 ~size:64;
+  let read32 linear =
+    Machine.Phys_mem.read32 phys
+      (Seghw.Mmu.translate_linear mmu ~linear ~write:false)
+  in
+  let sel = Seghw.Selector.of_int (read32 0x08100000 land 0xFFFF) in
+  Alcotest.(check bool) "LDT selector" true
+    (Seghw.Selector.table sel = Seghw.Selector.Ldt);
+  Alcotest.(check int) "base" 0x08100010 (read32 0x08100004);
+  Alcotest.(check int) "upper" (0x08100010 + 64) (read32 0x08100008);
+  (* and the LDT descriptor matches *)
+  match Seghw.Descriptor_table.get (Osim.Process.ldt p) (Seghw.Selector.index sel) with
+  | Some d ->
+    Alcotest.(check int) "desc base" 0x08100010 d.Seghw.Descriptor.base;
+    Alcotest.(check int) "desc size" 64 (Seghw.Descriptor.byte_size d)
+  | None -> Alcotest.fail "no descriptor"
+
+let suite =
+  [
+    Alcotest.test_case "pool basics" `Quick test_pool_basics;
+    Alcotest.test_case "pool exhaustion" `Slow test_pool_exhaustion;
+    Alcotest.test_case "pool no double alloc (prop)" `Quick test_pool_never_double_allocates;
+    Alcotest.test_case "cache hit/miss" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "cache size mismatch" `Quick test_cache_size_mismatch;
+    Alcotest.test_case "runtime startup" `Quick test_runtime_startup;
+    Alcotest.test_case "seg_init before startup" `Quick test_seg_init_before_startup_faults;
+    Alcotest.test_case "segment geometry (§3.5)" `Quick test_runtime_geometry;
+    Alcotest.test_case "per-array 263 cycles (§4.1)" `Quick test_per_array_overhead_263;
+    Alcotest.test_case "free/reuse via cache" `Quick test_seg_free_then_reuse_hits_cache;
+    Alcotest.test_case "info layout (§3.3)" `Quick test_info_structure_layout;
+  ]

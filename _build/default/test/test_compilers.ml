@@ -1,0 +1,561 @@
+(* Code-generator correctness tests: every program is compiled with all
+   backends (GCC / BCC / Cash 2,3,4 registers), executed on the simulator,
+   and must (a) finish and (b) produce identical output everywhere — the
+   differential-testing discipline the three-backends-one-frontend design
+   makes possible. *)
+
+let backends =
+  [ ("gcc", Core.gcc); ("bcc", Core.bcc); ("cash2", Core.cash_n 2);
+    ("cash3", Core.cash); ("cash4", Core.cash_n 4) ]
+
+(* Run [src] under every backend; check all finish with output [expect]. *)
+let check_all ?(expect : string option) name src =
+  let outputs =
+    List.map
+      (fun (bname, b) ->
+        let r = Core.exec b src in
+        (match r.Core.status with
+         | Core.Finished -> ()
+         | Core.Bound_violation m ->
+           Alcotest.failf "%s/%s: unexpected bound violation: %s" name bname m
+         | Core.Crashed m -> Alcotest.failf "%s/%s: crashed: %s" name bname m);
+        (bname, r.Core.output))
+      backends
+  in
+  let _, reference = List.hd outputs in
+  List.iter
+    (fun (bname, out) ->
+      Alcotest.(check string) (name ^ "/" ^ bname) reference out)
+    outputs;
+  match expect with
+  | Some e -> Alcotest.(check string) (name ^ "/expected") e reference
+  | None -> ()
+
+let t name ?expect src () = check_all ?expect name src
+
+let case name ?expect src =
+  Alcotest.test_case name `Quick (t name ?expect src)
+
+let suite =
+  [
+    case "int arithmetic" ~expect:"13\n-4\n42\n2\n1\n"
+      {|int main() {
+          print_int(3 + 2 * 5);
+          print_int(3 - 7);
+          print_int(84 / 2);
+          print_int(17 % 5);
+          print_int(10 / 7);
+          return 0; }|};
+    case "signed division" ~expect:"-3\n-1\n3\n"
+      {|int main() {
+          print_int(-7 / 2);
+          print_int(-7 % 2);
+          print_int(-7 / -2);
+          return 0; }|};
+    case "bitwise and shifts" ~expect:"12\n61\n49\n-8\n2\n-2\n"
+      {|int main() {
+          print_int(60 & 13);
+          print_int(60 | 13);
+          print_int(60 ^ 13);
+          print_int(-1 << 3);
+          print_int(16 >> 3);
+          print_int(-16 >> 3);
+          return 0; }|};
+    case "comparisons" ~expect:"1\n0\n1\n1\n0\n1\n"
+      {|int main() {
+          print_int(1 < 2); print_int(2 < 1); print_int(2 <= 2);
+          print_int(3 > 2); print_int(2 != 2); print_int(-1 < 0);
+          return 0; }|};
+    case "logical short circuit" ~expect:"1\n0\n5\n"
+      {|int g = 5;
+        int bump() { g = g + 1; return 1; }
+        int main() {
+          print_int(1 || bump());   /* bump not called */
+          print_int(0 && bump());   /* bump not called */
+          print_int(g);
+          return 0; }|};
+    case "ternary and unary" ~expect:"7\n-7\n0\n1\n-8\n"
+      {|int main() {
+          int x = 7;
+          print_int(x > 0 ? x : -x);
+          print_int(-x);
+          print_int(!x);
+          print_int(!!x);
+          print_int(~x);
+          return 0; }|};
+    case "while break continue" ~expect:"0\n1\n3\n4\n"
+      {|int main() {
+          int i = -1;
+          while (1) {
+            i++;
+            if (i == 2) continue;
+            if (i >= 5) break;
+            print_int(i);
+          }
+          return 0; }|};
+    case "nested for" ~expect:"9\n"
+      {|int main() {
+          int s = 0; int i; int j;
+          for (i = 0; i < 3; i++)
+            for (j = 0; j < 3; j++)
+              s++;
+          print_int(s);
+          return 0; }|};
+    case "doubles" ~expect:"3.500000\n-1.500000\n0.785398\n2.000000\n"
+      {|int main() {
+          double a = 1.0; double b = 2.5;
+          print_float(a + b);
+          print_float(a - b);
+          print_float(atan(1.0));
+          print_float(sqrt(4.0));
+          return 0; }|};
+    case "double comparisons and casts" ~expect:"1\n0\n2\n2.000000\n"
+      {|int main() {
+          double a = 1.5;
+          print_int(a < 2.0);
+          print_int(a > 2.0);
+          print_int((int)(a + 0.5));
+          print_float((double)2);
+          return 0; }|};
+    case "fp expression depth" ~expect:"13.500000\n"
+      {|int main() {
+          double a = 1.0; double b = 2.0; double c = 3.0; double d = 4.0;
+          print_float((a + b) * (c + d) / 2.0 + (a * b - c / d) + 1.75);
+          return 0; }|};
+    case "math builtins" ~expect:"1.000000\n0.000000\n8.000000\n2.000000\n"
+      {|int main() {
+          print_float(cos(0.0));
+          print_float(fabs(sin(0.0)));
+          print_float(pow(2.0, 3.0));
+          print_float(floor(2.9));
+          return 0; }|};
+    case "global arrays" ~expect:"285\n"
+      {|int sq[10];
+        int main() {
+          int i; int s = 0;
+          for (i = 0; i < 10; i++) sq[i] = i * i;
+          for (i = 0; i < 10; i++) s += sq[i];
+          print_int(s);
+          return 0; }|};
+    case "local arrays" ~expect:"120\n"
+      {|int main() {
+          int f[6];
+          int i;
+          f[0] = 1;
+          for (i = 1; i < 6; i++) f[i] = f[i-1] * i;
+          print_int(f[5]);
+          return 0; }|};
+    case "char arrays and strings" ~expect:"104\n105\n0\n2\n"
+      {|int main() {
+          char *s = "hi";
+          char buf[4];
+          int i = 0;
+          while (s[i] != 0) { buf[i] = s[i]; i++; }
+          buf[i] = 0;
+          print_int(buf[0]);
+          print_int(buf[1]);
+          print_int(buf[2]);
+          print_int(i);
+          return 0; }|};
+    case "pointer arithmetic" ~expect:"10\n20\n30\n2\n"
+      {|int a[3];
+        int main() {
+          int *p = a;
+          *p = 10;
+          *(p + 1) = 20;
+          p = p + 2;
+          *p = 30;
+          print_int(a[0]); print_int(a[1]); print_int(a[2]);
+          print_int(p - a);
+          return 0; }|};
+    case "pointer walk (*p++)" ~expect:"6\n"
+      {|int a[3];
+        int main() {
+          int *p = a; int *q = a; int s = 0; int i;
+          for (i = 0; i < 3; i++) *p++ = i + 1;
+          for (i = 0; i < 3; i++) s += *q++;
+          print_int(s);
+          return 0; }|};
+    case "address-of" ~expect:"5\n7\n"
+      {|int main() {
+          int x = 5;
+          int *p = &x;
+          print_int(*p);
+          *p = 7;
+          print_int(x);
+          return 0; }|};
+    case "malloc/free" ~expect:"55\n"
+      {|int main() {
+          int *p = (int*)malloc(10 * sizeof(int));
+          int i; int s = 0;
+          for (i = 0; i < 10; i++) p[i] = i + 1;
+          for (i = 0; i < 10; i++) s += p[i];
+          free(p);
+          print_int(s);
+          return 0; }|};
+    case "malloc char buffer" ~expect:"97\n122\n"
+      {|int main() {
+          char *b = (char*)malloc(26);
+          int i;
+          for (i = 0; i < 26; i++) b[i] = 'a' + i;
+          print_int(b[0]);
+          print_int(b[25]);
+          free(b);
+          return 0; }|};
+    case "function calls" ~expect:"7\n12\n3.500000\n"
+      {|int add(int a, int b) { return a + b; }
+        int mul(int a, int b) { return a * b; }
+        double avg(double a, double b) { return (a + b) / 2.0; }
+        int main() {
+          print_int(add(3, 4));
+          print_int(mul(3, 4));
+          print_float(avg(3.0, 4.0));
+          return 0; }|};
+    case "recursion" ~expect:"55\n720\n"
+      {|int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+        int fact(int n) { return n <= 1 ? 1 : n * fact(n - 1); }
+        int main() {
+          print_int(fib(10));
+          print_int(fact(6));
+          return 0; }|};
+    case "pointer parameters" ~expect:"60\n"
+      {|int sum(int *p, int n) {
+          int s = 0; int i;
+          for (i = 0; i < n; i++) s += p[i];
+          return s; }
+        int a[3];
+        int main() {
+          a[0] = 10; a[1] = 20; a[2] = 30;
+          print_int(sum(a, 3));
+          return 0; }|};
+    case "pointer return values" ~expect:"42\n"
+      {|int *pick(int *a, int *b, int which) { return which ? a : b; }
+        int x; int y;
+        int main() {
+          x = 41; y = 42;
+          int *p = pick(&x, &y, 0);
+          print_int(*p);
+          return 0; }|};
+    case "global initialisers" ~expect:"3\n2.500000\n97\n"
+      {|int gi = 3;
+        double gd = 2.5;
+        char gc = 'a';
+        int main() {
+          print_int(gi); print_float(gd); print_int(gc);
+          return 0; }|};
+    case "char semantics" ~expect:"255\n0\n200\n"
+      {|int main() {
+          char c = 255;
+          print_int(c);       /* char is unsigned */
+          c = c + 1;          /* wraps at 256 */
+          print_int(c);
+          char d = 100;
+          print_int(d + d);   /* promoted to int before add */
+          return 0; }|};
+    case "sizeof per backend"
+      {|int main() {
+          /* pointer size differs per backend, so only check int/char/double;
+             malloc with sizeof must still work everywhere */
+          print_int(sizeof(int));
+          print_int(sizeof(char));
+          print_int(sizeof(double));
+          int *p = (int*)malloc(4 * sizeof(int*));
+          p[0] = 1;
+          free(p);
+          return 0; }|};
+    case "incdec matrix" ~expect:"1\n1\n3\n2\n5\n5\n"
+      {|int main() {
+          int i = 0;
+          print_int(++i);    /* 1 */
+          print_int(i++);    /* 1 */
+          print_int(++i);    /* 3 */
+          print_int(--i);    /* 2 */
+          int a[1];
+          a[0] = 4;
+          print_int(++a[0]); /* 5 */
+          print_int(a[0]);
+          return 0; }|};
+    case "array of doubles" ~expect:"36.000000\n"
+      {|double v[8];
+        int main() {
+          int i; double s = 0.0;
+          for (i = 0; i < 8; i++) v[i] = (double)i;
+          for (i = 0; i < 8; i++) s = s + v[i] + 1.0;
+          print_float(s);
+          return 0; }|};
+    case "2d via flat indexing" ~expect:"30\n"
+      {|int m[12];
+        int main() {
+          int i; int j;
+          for (i = 0; i < 3; i++)
+            for (j = 0; j < 4; j++)
+              m[i*4+j] = i + j;
+          int s = 0;
+          for (i = 0; i < 12; i++) s += m[i];
+          print_int(s);
+          return 0; }|};
+    case "rand determinism across backends"
+      {|int main() {
+          srand(7);
+          int i;
+          for (i = 0; i < 5; i++) print_int(rand());
+          return 0; }|};
+    case "many arrays in one loop (spill paths)" ~expect:"784\n"
+      {|int a[8]; int b[8]; int c[8]; int d[8]; int e[8]; int f[8]; int g[8];
+        int main() {
+          int i; int s = 0;
+          for (i = 0; i < 8; i++) {
+            a[i]=i; b[i]=i*2; c[i]=i*3; d[i]=i*4; e[i]=i*5; f[i]=i*6; g[i]=i*7;
+          }
+          for (i = 0; i < 8; i++) s += a[i]+b[i]+c[i]+d[i]+e[i]+f[i]+g[i];
+          print_int(s);
+          return 0; }|};
+    case "pointer into middle of array" ~expect:"5\n6\n"
+      {|int a[10];
+        int main() {
+          int i;
+          for (i = 0; i < 10; i++) a[i] = i;
+          int *mid = a + 5;
+          print_int(mid[0]);
+          print_int(*(mid + 1));
+          return 0; }|};
+    case "retargeted pointer in loop" ~expect:"15\n"
+      {|int x[4]; int y[4];
+        int main() {
+          int i; int s = 0;
+          for (i = 0; i < 4; i++) { x[i] = 1; y[i] = 2; }
+          int k;
+          for (k = 0; k < 10; k++) {
+            int *p = (k % 2) ? x : y;   /* object changes per iteration */
+            s += p[k % 4];
+          }
+          print_int(s);
+          return 0; }|};
+    case "local array per call in loop" ~expect:"4950\n"
+      {|int work(int n) {
+          int t[4];
+          int i; int s = 0;
+          for (i = 0; i < 4; i++) t[i] = n;
+          for (i = 0; i < 4; i++) s += t[i];
+          return s / 4; }
+        int main() {
+          int i; int s = 0;
+          for (i = 0; i < 100; i++) s += work(i);
+          print_int(s);
+          return 0; }|};
+    case "string literal in loop" ~expect:"11\n"
+      {|int main() {
+          char *msg = "hello world";
+          int n = 0;
+          while (msg[n]) n++;
+          print_int(n);
+          return 0; }|};
+    case "call-plus-call double expr (regression)"
+      ~expect:"3.500000\n0.000000\n"
+      {|double one() { return 1.0; }
+        double twofive() { return 2.5; }
+        int main() {
+          print_float(one() + twofive());
+          print_float(one() - one() * one() + twofive() - twofive());
+          return 0; }|};
+    case "chained calls with mixed args" ~expect:"11.500000\n"
+      {|double fma_like(double a, int b, double c) { return a * (double)b + c; }
+        int main() {
+          print_float(fma_like(2.5, 4, 1.5));
+          return 0; }|};
+    case "deep expression" ~expect:"-791\n"
+      {|int main() {
+          int a = 3; int b = 7; int c = 11;
+          print_int((a+b)*(b-c)*(c+a) - (a*b*c) + ((a-b)-(b-c))*((a+c)%b));
+          return 0; }|};
+    case "pointer difference scaling" ~expect:"3\n6\n"
+      {|double d[8]; char c[8];
+        int main() {
+          double *p1 = d + 3;
+          char *p2 = c + 6;
+          print_int(p1 - d);
+          print_int(p2 - c);
+          return 0; }|};
+  ]
+
+(* --- property: randomly generated integer expressions evaluate the same
+   under every backend, and match a host-side evaluator ----------------- *)
+
+type iexpr =
+  | L of int
+  | Add of iexpr * iexpr
+  | Sub of iexpr * iexpr
+  | Mul of iexpr * iexpr
+  | Cmp of iexpr * iexpr
+
+let rec iexpr_to_c = function
+  | L n -> string_of_int n
+  | Add (a, b) -> Printf.sprintf "(%s + %s)" (iexpr_to_c a) (iexpr_to_c b)
+  | Sub (a, b) -> Printf.sprintf "(%s - %s)" (iexpr_to_c a) (iexpr_to_c b)
+  | Mul (a, b) -> Printf.sprintf "(%s * %s)" (iexpr_to_c a) (iexpr_to_c b)
+  | Cmp (a, b) -> Printf.sprintf "(%s < %s)" (iexpr_to_c a) (iexpr_to_c b)
+
+let mask32 v = v land 0xFFFFFFFF
+let signed v = let v = mask32 v in if v >= 0x80000000 then v - 0x100000000 else v
+
+let rec eval_iexpr = function
+  | L n -> signed n
+  | Add (a, b) -> signed (eval_iexpr a + eval_iexpr b)
+  | Sub (a, b) -> signed (eval_iexpr a - eval_iexpr b)
+  | Mul (a, b) -> signed (eval_iexpr a * eval_iexpr b)
+  | Cmp (a, b) -> if eval_iexpr a < eval_iexpr b then 1 else 0
+
+let gen_iexpr =
+  QCheck.Gen.(
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then map (fun v -> L v) (int_range (-1000) 1000)
+           else
+             frequency
+               [
+                 (1, map (fun v -> L v) (int_range (-1000) 1000));
+                 (2, map2 (fun a b -> Add (a, b)) (self (n / 2)) (self (n / 2)));
+                 (2, map2 (fun a b -> Sub (a, b)) (self (n / 2)) (self (n / 2)));
+                 (2, map2 (fun a b -> Mul (a, b)) (self (n / 2)) (self (n / 2)));
+                 (1, map2 (fun a b -> Cmp (a, b)) (self (n / 2)) (self (n / 2)));
+               ]))
+
+let arb_iexpr = QCheck.make ~print:iexpr_to_c gen_iexpr
+
+let prop_differential =
+  QCheck.Test.make ~count:60 ~name:"generated expressions agree everywhere"
+    arb_iexpr (fun e ->
+      let src =
+        Printf.sprintf "int main() { print_int(%s); return 0; }" (iexpr_to_c e)
+      in
+      let expected = Printf.sprintf "%d\n" (eval_iexpr e) in
+      List.for_all
+        (fun (_, b) ->
+          let r = Core.exec b src in
+          r.Core.status = Core.Finished && r.Core.output = expected)
+        backends)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_differential ]
+
+(* --- property: randomly generated ARRAY programs agree across backends --
+   Programs are built from a small combinator set that only produces
+   in-bounds accesses (indices are taken modulo the array size, pointer
+   walks stop at the end), so every backend must finish with identical
+   output. This exercises loop analysis, segment-register assignment,
+   spilling, pointer walks, and the runtime together. *)
+
+type arr_spec = { aname : string; asize : int; global : bool }
+
+type op_spec =
+  | Fill of int * int * int      (* array idx, multiplier, offset *)
+  | Sum of int                   (* checksum += sum of elements *)
+  | Combine of int * int         (* a[i] += b[(i*3+1) % nb] *)
+  | PtrWalk of int               (* checksum += *p++ over the array *)
+  | CopyStride of int * int      (* a[i] = b[(i*5) % nb] *)
+
+let gen_program_spec =
+  QCheck.Gen.(
+    let* narrs = int_range 1 4 in
+    let* sizes = list_repeat narrs (int_range 4 32) in
+    let* globals = list_repeat narrs bool in
+    let arrs =
+      List.mapi
+        (fun i (s, g) -> { aname = Printf.sprintf "arr%d" i; asize = s;
+                           global = g })
+        (List.combine sizes globals)
+    in
+    let gen_op =
+      let* kind = int_range 0 4 in
+      let* x = int_range 0 (narrs - 1) in
+      let* y = int_range 0 (narrs - 1) in
+      let* m = int_range 1 7 in
+      let* o = int_range 0 13 in
+      return
+        (match kind with
+         | 0 -> Fill (x, m, o)
+         | 1 -> Sum x
+         | 2 -> Combine (x, y)
+         | 3 -> PtrWalk x
+         | _ -> CopyStride (x, y))
+    in
+    let* nops = int_range 2 7 in
+    let* ops = list_repeat nops gen_op in
+    return (arrs, ops))
+
+let program_of_spec (arrs, ops) =
+  let buf = Buffer.create 512 in
+  let arr i = List.nth arrs i in
+  List.iter
+    (fun a ->
+      if a.global then
+        Buffer.add_string buf (Printf.sprintf "int %s[%d];\n" a.aname a.asize))
+    arrs;
+  Buffer.add_string buf "int main() {\n";
+  List.iter
+    (fun a ->
+      if not a.global then
+        Buffer.add_string buf
+          (Printf.sprintf "  int %s[%d];\n" a.aname a.asize))
+    arrs;
+  Buffer.add_string buf "  int i; int checksum = 0;\n";
+  (* initialise everything deterministically first *)
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "  for (i = 0; i < %d; i++) %s[i] = i * 3 + 1;\n"
+           a.asize a.aname))
+    arrs;
+  List.iter
+    (fun op ->
+      match op with
+      | Fill (x, m, o) ->
+        let a = arr x in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  for (i = 0; i < %d; i++) %s[i] = (i * %d + %d) %% 101;\n"
+             a.asize a.aname m o)
+      | Sum x ->
+        let a = arr x in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  for (i = 0; i < %d; i++) checksum += %s[i];\n" a.asize
+             a.aname)
+      | Combine (x, y) ->
+        let a = arr x and b = arr y in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  for (i = 0; i < %d; i++) %s[i] += %s[(i * 3 + 1) %% %d];\n"
+             a.asize a.aname b.aname b.asize)
+      | PtrWalk x ->
+        let a = arr x in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  { int *p = %s; for (i = 0; i < %d; i++) checksum += *p++; }\n"
+             a.aname a.asize)
+      | CopyStride (x, y) ->
+        let a = arr x and b = arr y in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  for (i = 0; i < %d; i++) %s[i] = %s[(i * 5) %% %d];\n"
+             a.asize a.aname b.aname b.asize))
+    ops;
+  Buffer.add_string buf "  print_int(checksum);\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let arb_program =
+  QCheck.make ~print:program_of_spec gen_program_spec
+
+let prop_array_programs_agree =
+  QCheck.Test.make ~count:40 ~name:"generated array programs agree everywhere"
+    arb_program (fun spec ->
+      let src = program_of_spec spec in
+      let reference = Core.exec Core.gcc src in
+      reference.Core.status = Core.Finished
+      && List.for_all
+           (fun (_, b) ->
+             let r = Core.exec b src in
+             r.Core.status = Core.Finished
+             && r.Core.output = reference.Core.output)
+           backends)
+
+let suite = suite @ [ QCheck_alcotest.to_alcotest prop_array_programs_agree ]

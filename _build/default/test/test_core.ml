@@ -1,0 +1,106 @@
+(* Tests of the public Core facade: the API a downstream user programs
+   against. *)
+
+let test_backend_names () =
+  Alcotest.(check string) "gcc" "gcc" (Core.backend_name Core.gcc);
+  Alcotest.(check string) "bcc" "bcc" (Core.backend_name Core.bcc);
+  Alcotest.(check string) "cash" "cash3" (Core.backend_name Core.cash);
+  Alcotest.(check string) "cash4" "cash4" (Core.backend_name (Core.cash_n 4));
+  Alcotest.(check string) "bound" "bcc-bound" (Core.backend_name Core.bcc_bound)
+
+let test_cash_n_validation () =
+  Alcotest.check_raises "no cash5"
+    (Invalid_argument "cash_n: no 5-register configuration") (fun () ->
+      ignore (Core.cash_n 5))
+
+let test_compile_errors_propagate () =
+  (match Core.compile Core.cash "int main() { @ }" with
+   | exception Minic.Lexer.Lex_error _ -> ()
+   | _ -> Alcotest.fail "expected lex error");
+  (match Core.compile Core.cash "int main() { return 0 }" with
+   | exception Minic.Parser.Parse_error _ -> ()
+   | _ -> Alcotest.fail "expected parse error");
+  match Core.compile Core.cash "int main() { return x; }" with
+  | exception Minic.Typecheck.Type_error _ -> ()
+  | _ -> Alcotest.fail "expected type error"
+
+let test_exec_roundtrip () =
+  let r = Core.exec Core.cash "int main() { print_int(6 * 7); return 0; }" in
+  Alcotest.(check bool) "finished" true (r.Core.status = Core.Finished);
+  Alcotest.(check string) "output" "42\n" r.Core.output;
+  Alcotest.(check bool) "cycles counted" true (r.Core.cycles > 0);
+  Alcotest.(check bool) "insns counted" true (r.Core.insns > 0);
+  Alcotest.(check bool) "runtime attached for cash" true
+    (r.Core.runtime <> None)
+
+let test_gcc_has_no_runtime () =
+  let r = Core.exec Core.gcc "int main() { return 0; }" in
+  Alcotest.(check bool) "no cash runtime" true (r.Core.runtime = None)
+
+let test_shared_kernel_clock () =
+  let kernel = Osim.Kernel.create () in
+  let c = Core.compile Core.gcc "int main() { return 0; }" in
+  let r1 = Core.run ~kernel c in
+  let r2 = Core.run ~kernel c in
+  ignore r1;
+  ignore r2;
+  Alcotest.(check bool) "clock advanced across runs" true
+    (Osim.Kernel.clock kernel > 0);
+  Alcotest.(check bool) "second process later" true
+    (Osim.Process.created_at r2.Core.process
+     >= Osim.Process.terminated_at r1.Core.process)
+
+let test_fuel_limit () =
+  match
+    Core.exec ~fuel:1000 Core.gcc "int main() { while (1) { } return 0; }"
+  with
+  | exception Machine.Cpu.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_static_info () =
+  let src = {|
+int a[4];
+int main() { int i; for (i = 0; i < 4; i++) a[i] = i; return 0; }
+|} in
+  let i = Core.static_info (Core.compile Core.cash src) in
+  Alcotest.(check int) "1 hw check" 1 i.Core.hw_checks;
+  Alcotest.(check bool) "code measured" true (i.Core.code_bytes > 0);
+  Alcotest.(check bool) "data includes array + info" true
+    (i.Core.data_bytes >= 16 + 12);
+  Alcotest.(check int) "image = code + data" i.Core.image_bytes
+    (i.Core.code_bytes + i.Core.data_bytes);
+  Alcotest.(check int) "one array loop" 1
+    i.Core.loops.Minic.Loop_analysis.array_using_loops
+
+let test_stat_sum () =
+  let src = {|
+int a[4];
+int main() { int i; for (i = 0; i < 100; i++) a[i % 4] = i; return 0; }
+|} in
+  let r = Core.exec Core.cash src in
+  Alcotest.(check int) "100 loop iterations" 100
+    (Core.stat_sum r ~prefix:"__stat_iter_a_")
+
+let test_bound_violation_surfaces () =
+  let r = Core.exec Core.cash
+      "int a[2]; int main() { int i; for (i=0;i<9;i++) a[i]=i; return 0; }"
+  in
+  match r.Core.status with
+  | Core.Bound_violation msg ->
+    Alcotest.(check bool) "message names the segment" true
+      (String.length msg > 10)
+  | _ -> Alcotest.fail "expected violation"
+
+let suite =
+  [
+    Alcotest.test_case "backend names" `Quick test_backend_names;
+    Alcotest.test_case "cash_n validation" `Quick test_cash_n_validation;
+    Alcotest.test_case "compile errors" `Quick test_compile_errors_propagate;
+    Alcotest.test_case "exec roundtrip" `Quick test_exec_roundtrip;
+    Alcotest.test_case "gcc has no runtime" `Quick test_gcc_has_no_runtime;
+    Alcotest.test_case "shared kernel clock" `Quick test_shared_kernel_clock;
+    Alcotest.test_case "fuel limit" `Quick test_fuel_limit;
+    Alcotest.test_case "static info" `Quick test_static_info;
+    Alcotest.test_case "stat sum" `Quick test_stat_sum;
+    Alcotest.test_case "violation surfaces" `Quick test_bound_violation_surfaces;
+  ]

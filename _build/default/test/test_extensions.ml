@@ -1,0 +1,253 @@
+(* Tests for the paper's optional/extension features: security-only mode
+   (§3.8), the BOUND-instruction checker (§2), and segment-pool
+   exhaustion with the global-segment fallback (§3.4). *)
+
+let write_overflow = {|
+int buf[8];
+int main() { int i; for (i = 0; i <= 8; i++) buf[i] = i; return 0; }
+|}
+
+let read_overflow = {|
+int buf[8];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i <= 8; i++) s += buf[i];
+  print_int(s);
+  return 0; }
+|}
+
+let test_security_only_semantics () =
+  (* writes still caught *)
+  (match (Core.exec Core.cash_security write_overflow).Core.status with
+   | Core.Bound_violation _ -> ()
+   | _ -> Alcotest.fail "security-only must catch write overflows");
+  (* reads deliberately not checked *)
+  match (Core.exec Core.cash_security read_overflow).Core.status with
+  | Core.Finished -> ()
+  | _ -> Alcotest.fail "security-only must skip read checks"
+
+let test_security_only_cheaper () =
+  let src = Workloads.Micro.svd () in
+  let full = Core.exec Core.cash src in
+  let sec = Core.exec Core.cash_security src in
+  Alcotest.(check string) "same result" full.Core.output sec.Core.output;
+  Alcotest.(check bool) "fewer cycles" true (sec.Core.cycles <= full.Core.cycles)
+
+let test_security_only_frees_registers () =
+  (* an all-read loop consumes no segment registers in security mode *)
+  let src = {|
+int a[8]; int b[8]; int c[8]; int out[8];
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) out[i] = a[i] + b[i] + c[i];
+  print_int(out[0]);
+  return 0; }
+|} in
+  (* full mode: 4 bases, 1 spilled at budget 3 *)
+  let full = Core.static_info (Core.compile Core.cash src) in
+  Alcotest.(check bool) "full mode spills" true (full.Core.sw_checks > 0);
+  (* security mode: only [out] is written => only it takes a register,
+     reads are unchecked, nothing spills *)
+  let sec = Core.static_info (Core.compile Core.cash_security src) in
+  Alcotest.(check int) "one hw check" 1 sec.Core.hw_checks;
+  Alcotest.(check int) "no sw checks" 0 sec.Core.sw_checks
+
+let test_bound_backend_catches () =
+  (match (Core.exec Core.bcc_bound write_overflow).Core.status with
+   | Core.Bound_violation m ->
+     Alcotest.(check bool) "via #BR" true
+       (String.length m >= 3 && String.sub m 0 3 = "#BR")
+   | _ -> Alcotest.fail "bound backend must catch overflows");
+  match (Core.exec Core.bcc_bound read_overflow).Core.status with
+  | Core.Bound_violation _ -> ()
+  | _ -> Alcotest.fail "bound backend checks reads too"
+
+let test_bound_slower_than_sequence () =
+  (* §2: BOUND (7 cycles, memory-resident bounds) loses to the plain
+     6-instruction sequence on every kernel *)
+  List.iter
+    (fun (k : Workloads.Micro.kernel) ->
+      let src = k.Workloads.Micro.source in
+      let seq = Core.exec Core.bcc src in
+      let bnd = Core.exec Core.bcc_bound src in
+      Alcotest.(check string)
+        (k.Workloads.Micro.name ^ " same result")
+        seq.Core.output bnd.Core.output;
+      Alcotest.(check bool)
+        (k.Workloads.Micro.name ^ " bound slower")
+        true
+        (bnd.Core.cycles > seq.Core.cycles))
+    (Workloads.Micro.table1_suite ())
+
+(* §3.4: when more arrays co-exist than the LDT can hold, the extras get
+   the global segment — bound checking silently disabled for them, the
+   program keeps running. Exercised with a tiny pool. *)
+let test_pool_exhaustion_fallback () =
+  let src = {|
+int use(int *p) {
+  int i; int s = 0;
+  for (i = 0; i < 4; i++) { p[i] = i; s += p[i]; }
+  return s; }
+int main() {
+  /* six simultaneously-live heap arrays */
+  int *a = (int*)malloc(4 * sizeof(int));
+  int *b = (int*)malloc(4 * sizeof(int));
+  int *c = (int*)malloc(4 * sizeof(int));
+  int *d = (int*)malloc(4 * sizeof(int));
+  int *e = (int*)malloc(4 * sizeof(int));
+  int *f = (int*)malloc(4 * sizeof(int));
+  print_int(use(a) + use(b) + use(c) + use(d) + use(e) + use(f));
+  free(a); free(b); free(c); free(d); free(e); free(f);
+  return 0; }
+|} in
+  let compiled = Core.compile Core.cash src in
+  let kernel = Osim.Kernel.create () in
+  let process = Osim.Process.load ~kernel compiled.Compilers.Codegen.program in
+  (* pool of 3: the last allocations must fall back to the flat segment *)
+  let rt = Cashrt.Runtime.attach ~pool_capacity:3 process in
+  (match Osim.Process.run process with
+   | Machine.Cpu.Halted -> ()
+   | Machine.Cpu.Faulted f ->
+     Alcotest.failf "fallback should keep running: %s" (Seghw.Fault.to_string f)
+   | Machine.Cpu.Running -> Alcotest.fail "did not halt");
+  Alcotest.(check string) "result intact" "36\n" (Osim.Process.output process);
+  Alcotest.(check bool) "fallbacks counted" true
+    ((Cashrt.Runtime.stats rt).Cashrt.Runtime.global_fallbacks > 0)
+
+let test_pool_exhaustion_disables_checking () =
+  (* an overflow through a fallback array is NOT caught — the documented
+     degradation of §3.4 *)
+  let src = {|
+int main() {
+  int *a = (int*)malloc(4 * sizeof(int));
+  int *b = (int*)malloc(4 * sizeof(int));
+  int *victim = (int*)malloc(4 * sizeof(int));
+  int i;
+  for (i = 0; i < 8; i++) victim[i] = i;   /* overflows by 4 ints */
+  print_int(a[0] + b[0]);
+  free(a); free(b); free(victim);
+  return 0; }
+|} in
+  let run_with_capacity cap =
+    let compiled = Core.compile Core.cash src in
+    let kernel = Osim.Kernel.create () in
+    let process =
+      Osim.Process.load ~kernel compiled.Compilers.Codegen.program
+    in
+    ignore (Cashrt.Runtime.attach ~pool_capacity:cap process);
+    Osim.Process.run process
+  in
+  (* with room in the pool, the overflow is caught *)
+  (match run_with_capacity 10 with
+   | Machine.Cpu.Faulted f when Seghw.Fault.is_bound_violation f -> ()
+   | _ -> Alcotest.fail "expected catch with healthy pool");
+  (* with the pool exhausted before victim's allocation, it is not *)
+  match run_with_capacity 2 with
+  | Machine.Cpu.Halted -> ()
+  | Machine.Cpu.Faulted f ->
+    Alcotest.failf "expected silent miss, got %s" (Seghw.Fault.to_string f)
+  | Machine.Cpu.Running -> Alcotest.fail "did not halt"
+
+let suite =
+  [
+    Alcotest.test_case "security-only semantics" `Quick test_security_only_semantics;
+    Alcotest.test_case "security-only cheaper" `Quick test_security_only_cheaper;
+    Alcotest.test_case "security-only frees registers" `Quick
+      test_security_only_frees_registers;
+    Alcotest.test_case "bound backend catches" `Quick test_bound_backend_catches;
+    Alcotest.test_case "bound slower (§2)" `Slow test_bound_slower_than_sequence;
+    Alcotest.test_case "pool exhaustion fallback (§3.4)" `Quick
+      test_pool_exhaustion_fallback;
+    Alcotest.test_case "pool exhaustion disables checks" `Quick
+      test_pool_exhaustion_disables_checking;
+  ]
+
+(* --- Electric Fence guard-page malloc (§2 comparator) ------------------- *)
+
+let heap_overflow_src = {|
+int main() {
+  int *p = (int*)malloc(24 * sizeof(int));
+  int i;
+  for (i = 0; i < 25; i++) p[i] = i;
+  free(p);
+  return 0; }
+|}
+
+let test_efence_catches_heap_overrun () =
+  (* plain gcc misses it *)
+  (match (Core.exec Core.gcc heap_overflow_src).Core.status with
+   | Core.Finished -> ()
+   | _ -> Alcotest.fail "gcc should miss the heap overrun");
+  (* efence turns it into a page fault at the guard page *)
+  match (Core.exec ~guard_malloc:true Core.gcc heap_overflow_src).Core.status with
+  | Core.Crashed m when String.length m >= 3 && String.sub m 0 3 = "#PF" -> ()
+  | s ->
+    Alcotest.failf "expected guard-page #PF, got %s"
+      (match s with
+       | Core.Finished -> "finished"
+       | Core.Bound_violation m -> m
+       | Core.Crashed m -> m)
+
+let test_efence_catches_use_after_free () =
+  let src = {|
+int main() {
+  int *p = (int*)malloc(16 * sizeof(int));
+  p[0] = 1;
+  free(p);
+  p[0] = 2;   /* freed memory is unmapped under efence */
+  return 0; }
+|} in
+  (match (Core.exec Core.gcc src).Core.status with
+   | Core.Finished -> ()
+   | _ -> Alcotest.fail "gcc should miss use-after-free");
+  match (Core.exec ~guard_malloc:true Core.gcc src).Core.status with
+  | Core.Crashed m when String.length m >= 3 && String.sub m 0 3 = "#PF" -> ()
+  | _ -> Alcotest.fail "efence should catch use-after-free"
+
+let test_efence_correct_programs_unaffected () =
+  let src = {|
+int main() {
+  int r; int total = 0;
+  for (r = 0; r < 20; r++) {
+    int *buf = (int*)malloc(10 * sizeof(int));
+    int i;
+    for (i = 0; i < 10; i++) buf[i] = r + i;
+    for (i = 0; i < 10; i++) total += buf[i];
+    free(buf);
+  }
+  print_int(total);
+  return 0; }
+|} in
+  let plain = Core.exec Core.gcc src in
+  let fenced = Core.exec ~guard_malloc:true Core.gcc src in
+  Alcotest.(check bool) "both finish" true
+    (plain.Core.status = Core.Finished && fenced.Core.status = Core.Finished);
+  Alcotest.(check string) "same output" plain.Core.output fenced.Core.output;
+  Alcotest.(check int) "zero cycle overhead" plain.Core.cycles
+    fenced.Core.cycles;
+  (* ... but a page-granular memory bill *)
+  let heap r = Osim.Libc.peak_heap (Osim.Process.libc r.Core.process) in
+  Alcotest.(check bool) "memory blowup" true (heap fenced > 50 * heap plain)
+
+let test_efence_misses_static_arrays () =
+  (* the paper's point: a malloc debugger cannot see static arrays *)
+  let src = {|
+int buf[8];
+int main() { int i; for (i = 0; i <= 8; i++) buf[i] = i; return 0; }
+|} in
+  match (Core.exec ~guard_malloc:true Core.gcc src).Core.status with
+  | Core.Finished -> ()
+  | _ -> Alcotest.fail "efence has no view of static arrays"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "efence catches heap overrun" `Quick
+        test_efence_catches_heap_overrun;
+      Alcotest.test_case "efence catches use-after-free" `Quick
+        test_efence_catches_use_after_free;
+      Alcotest.test_case "efence zero overhead, big memory" `Quick
+        test_efence_correct_programs_unaffected;
+      Alcotest.test_case "efence misses static arrays" `Quick
+        test_efence_misses_static_arrays;
+    ]

@@ -1,0 +1,226 @@
+(* Integration tests: substantial multi-feature programs that stress the
+   whole stack at once — nested loop nests with calls, segment-register
+   churn across functions, recursion with local arrays, heap/stack/global
+   mixes — each run under every backend with a differential check and a
+   hand-verified expected output. *)
+
+let backends =
+  [ ("gcc", Core.gcc); ("bcc", Core.bcc); ("cash2", Core.cash_n 2);
+    ("cash3", Core.cash); ("cash4", Core.cash_n 4);
+    ("security", Core.cash_security); ("bound", Core.bcc_bound) ]
+
+let check_all name ~expect src () =
+  List.iter
+    (fun (bname, b) ->
+      let r = Core.exec b src in
+      (match r.Core.status with
+       | Core.Finished -> ()
+       | Core.Bound_violation m ->
+         Alcotest.failf "%s/%s: violation: %s" name bname m
+       | Core.Crashed m -> Alcotest.failf "%s/%s: crash: %s" name bname m);
+      Alcotest.(check string) (name ^ "/" ^ bname) expect r.Core.output)
+    backends
+
+let case name ~expect src =
+  Alcotest.test_case name `Slow (check_all name ~expect src)
+
+(* histogram + prefix sums + binary search: three phases over shared
+   arrays, each phase its own nest *)
+let pipeline = {|
+int data[128];
+int hist[16];
+int cum[16];
+
+int bsearch_bucket(int *c, int n, int v) {
+  int lo = 0; int hi = n - 1; int ans = n;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (c[mid] >= v) { ans = mid; hi = mid - 1; }
+    else lo = mid + 1;
+  }
+  return ans;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 128; i++) data[i] = (i * 37 + 11) % 160;
+  for (i = 0; i < 16; i++) hist[i] = 0;
+  for (i = 0; i < 128; i++) hist[data[i] / 10]++;
+  cum[0] = hist[0];
+  for (i = 1; i < 16; i++) cum[i] = cum[i-1] + hist[i];
+  int s = 0;
+  for (i = 0; i < 128; i += 16) s += bsearch_bucket(cum, 16, i);
+  print_int(cum[15]);
+  print_int(s);
+  return 0;
+}
+|}
+
+(* quicksort with explicit stack arrays: recursion + local arrays +
+   pointer parameters *)
+let sorting = {|
+int vals[64];
+
+void swap(int *v, int i, int j) {
+  int t = v[i]; v[i] = v[j]; v[j] = t;
+}
+
+void qsort_range(int *v, int lo, int hi) {
+  if (lo >= hi) return;
+  int pivot = v[hi];
+  int store = lo;
+  int i;
+  for (i = lo; i < hi; i++) {
+    if (v[i] < pivot) { swap(v, i, store); store++; }
+  }
+  swap(v, store, hi);
+  qsort_range(v, lo, store - 1);
+  qsort_range(v, store + 1, hi);
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) vals[i] = (i * 43 + 7) % 100;
+  qsort_range(vals, 0, 63);
+  int sorted = 1;
+  for (i = 1; i < 64; i++) if (vals[i-1] > vals[i]) sorted = 0;
+  print_int(sorted);
+  print_int(vals[0]);
+  print_int(vals[63]);
+  return 0;
+}
+|}
+
+(* heap-allocated matrix chain with function boundaries: malloc'd buffers
+   flowing through pointer parameters and returns *)
+let heap_chain = {|
+int *make_vec(int n, int seed) {
+  int *v = (int*)malloc(n * sizeof(int));
+  int i;
+  for (i = 0; i < n; i++) v[i] = (seed + i) % 23;
+  return v;
+}
+
+int dot(int *a, int *b, int n) {
+  int s = 0; int i;
+  for (i = 0; i < n; i++) s += a[i] * b[i];
+  return s;
+}
+
+int main() {
+  int total = 0;
+  int r;
+  for (r = 0; r < 8; r++) {
+    int *x = make_vec(20, r);
+    int *y = make_vec(20, r * 3 + 1);
+    total += dot(x, y, 20);
+    free(x);
+    free(y);
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+(* text processing: tokenise, uppercase, reverse words — char arrays and
+   string literals through helper functions *)
+let words = {|
+int wlen(char *s, int i) {
+  int n = 0;
+  while (s[i + n] != 0 && s[i + n] != ' ') n++;
+  return n;
+}
+
+int main() {
+  char *text = "the quick brown fox jumps over the lazy dog";
+  char out[64];
+  int i = 0; int o = 0;
+  while (text[i] != 0) {
+    if (text[i] == ' ') { out[o] = ' '; o++; i++; continue; }
+    int n = wlen(text, i);
+    int k;
+    for (k = 0; k < n; k++) out[o + k] = text[i + n - 1 - k];
+    o += n;
+    i += n;
+  }
+  out[o] = 0;
+  /* checksum the reversed text */
+  int sum = 0;
+  for (i = 0; i < o; i++) sum += out[i] * (i + 1);
+  print_int(o);
+  print_int(sum);
+  return 0;
+}
+|}
+
+(* fixed-point IIR filter bank: doubles + ints mixed, multiple filters in
+   one loop (register pressure) *)
+let filters = {|
+double b0[4]; double b1[4]; double state[4];
+int main() {
+  int f; int t;
+  for (f = 0; f < 4; f++) {
+    b0[f] = 0.1 + 0.2 * (double)f;
+    b1[f] = 0.9 - 0.2 * (double)f;
+    state[f] = 0.0;
+  }
+  double acc = 0.0;
+  for (t = 0; t < 500; t++) {
+    double x = sin(0.01 * (double)t);
+    for (f = 0; f < 4; f++) {
+      state[f] = b0[f] * x + b1[f] * state[f];
+      acc = acc + state[f];
+    }
+  }
+  print_float(acc);
+  return 0;
+}
+|}
+
+(* segment churn: many short-lived local arrays across a deep call chain,
+   hammering the pool and 3-entry cache *)
+let churn = {|
+int leaf(int seed) {
+  int tmp[8];
+  int i; int s = 0;
+  for (i = 0; i < 8; i++) tmp[i] = seed * i;
+  for (i = 0; i < 8; i++) s += tmp[i];
+  return s;
+}
+int middle(int seed) {
+  int buf[12];
+  int i; int s = 0;
+  for (i = 0; i < 12; i++) buf[i] = leaf(seed + i);
+  for (i = 0; i < 12; i++) s += buf[i] % 1000;
+  return s;
+}
+int main() {
+  int r; int total = 0;
+  for (r = 0; r < 30; r++) total += middle(r) % 10007;
+  print_int(total);
+  return 0;
+}
+|}
+
+let test_churn_cache_behaviour () =
+  let r = Core.exec Core.cash churn in
+  Alcotest.(check bool) "finished" true (r.Core.status = Core.Finished);
+  match r.Core.runtime with
+  | None -> Alcotest.fail "no runtime"
+  | Some rt ->
+    let misses = Cashrt.Seg_cache.misses (Cashrt.Runtime.cache rt) in
+    let allocs = (Cashrt.Runtime.stats rt).Cashrt.Runtime.seg_allocs in
+    (* hundreds of allocations, only a handful of kernel entries *)
+    Alcotest.(check bool) "many allocations" true (allocs > 300);
+    Alcotest.(check bool) "few kernel entries" true (misses < 10)
+
+let suite =
+  [
+    case "pipeline (hist+scan+bsearch)" ~expect:"128\n49\n" pipeline;
+    case "quicksort (recursion)" ~expect:"1\n0\n99\n" sorting;
+    case "heap chain (malloc flow)" ~expect:"19481\n" heap_chain;
+    case "word reversal (strings)" ~expect:"43\n89484\n" words;
+    case "filter bank (fp arrays)" ~expect:"300.887045\n" filters;
+    case "segment churn" ~expect:"186600\n" churn;
+    Alcotest.test_case "churn cache behaviour" `Quick test_churn_cache_behaviour;
+  ]

@@ -1,0 +1,333 @@
+(* Tests for the CPU, physical memory, cost model, and instruction
+   encoding. Programs are hand-assembled and run on a minimal flat
+   address space. *)
+
+open Machine
+
+let flat_env () =
+  let gdt = Seghw.Descriptor_table.create Seghw.Descriptor_table.Gdt_table in
+  let ldt = Seghw.Descriptor_table.create Seghw.Descriptor_table.Ldt_table in
+  let flat ty =
+    Seghw.Descriptor.make ~base:0 ~limit:0xFFFFF ~granularity:true ~dpl:3
+      ~present:true ~seg_type:ty
+  in
+  Seghw.Descriptor_table.set gdt 1
+    (flat (Seghw.Descriptor.Code { readable = true }));
+  Seghw.Descriptor_table.set gdt 2
+    (flat (Seghw.Descriptor.Data { writable = true }));
+  let mmu = Seghw.Mmu.create ~gdt ~ldt in
+  Seghw.Mmu.load_segreg mmu Seghw.Segreg.CS
+    (Seghw.Selector.make ~index:1 ~table:Seghw.Selector.Gdt ~rpl:3);
+  List.iter
+    (fun r ->
+      Seghw.Mmu.load_segreg mmu r
+        (Seghw.Selector.make ~index:2 ~table:Seghw.Selector.Gdt ~rpl:3))
+    [ Seghw.Segreg.SS; Seghw.Segreg.DS; Seghw.Segreg.ES ];
+  Seghw.Mmu.map_range mmu ~linear:0 ~size:0x10000 ~writable:true;
+  (mmu, ldt)
+
+let run_insns ?(setup = fun _ -> ()) insns =
+  let mmu, _ = flat_env () in
+  let phys = Phys_mem.create () in
+  let program = Program.link ~entry:"main" (Insn.Label "main" :: insns) in
+  let cpu = Cpu.create ~mmu ~phys ~costs:Cost_model.pentium3 ~program in
+  Registers.set (Cpu.regs cpu) Registers.ESP 0x8000;
+  setup cpu;
+  let status = Cpu.run ~fuel:1_000_000 cpu in
+  (cpu, status)
+
+let eax cpu = Registers.get (Cpu.regs cpu) Registers.EAX
+let reg = Insn.Reg Registers.EAX
+
+let check_halted status =
+  match status with
+  | Cpu.Halted -> ()
+  | Cpu.Faulted f -> Alcotest.failf "faulted: %s" (Seghw.Fault.to_string f)
+  | Cpu.Running -> Alcotest.fail "still running"
+
+(* --- registers ----------------------------------------------------------- *)
+
+let test_registers_mask () =
+  let r = Registers.create () in
+  Registers.set r Registers.EAX (-1);
+  Alcotest.(check int) "mask" 0xFFFFFFFF (Registers.get r Registers.EAX);
+  Alcotest.(check int) "signed" (-1)
+    (Registers.to_signed (Registers.get r Registers.EAX));
+  Alcotest.(check int) "of_signed" 0xFFFFFFFE (Registers.of_signed (-2))
+
+(* --- physical memory ------------------------------------------------------ *)
+
+let test_phys_mem () =
+  let m = Phys_mem.create ~initial:16 () in
+  Phys_mem.write32 m 0x100 0xDEADBEEF; (* forces growth *)
+  Alcotest.(check int) "read32" 0xDEADBEEF (Phys_mem.read32 m 0x100);
+  Alcotest.(check int) "read8" 0xEF (Phys_mem.read8 m 0x100);
+  Alcotest.(check int) "read16" 0xBEEF (Phys_mem.read16 m 0x100);
+  Phys_mem.write_float m 0x200 3.5;
+  Alcotest.(check (float 0.0)) "float" 3.5 (Phys_mem.read_float m 0x200);
+  Phys_mem.write64 m 0x300 0x123456789ABCDEFL;
+  Alcotest.(check int64) "i64" 0x123456789ABCDEFL (Phys_mem.read64 m 0x300);
+  Alcotest.(check bool) "high water" true (Phys_mem.high_water m >= 0x308)
+
+let test_phys_mem_unwritten_zero () =
+  let m = Phys_mem.create ~initial:16 () in
+  Alcotest.(check int) "zero" 0 (Phys_mem.read32 m 0x9999)
+
+(* --- cost model: the paper's anchor numbers ------------------------------- *)
+
+let test_cost_anchors () =
+  let c = Cost_model.pentium3 in
+  Alcotest.(check int) "seg load 4 cycles" 4
+    (Cost_model.cost c (Insn.Mov_to_seg (Seghw.Segreg.GS, reg)));
+  Alcotest.(check int) "bound 7 cycles" (7 + c.Cost_model.mem_access)
+    (Cost_model.cost c (Insn.Bound (Registers.EAX, Insn.mem ())));
+  Alcotest.(check int) "call gate 253" 253
+    (Cost_model.cost c
+       (Insn.Lcall_gate (Seghw.Selector.make ~index:0 ~table:Seghw.Selector.Ldt ~rpl:3)));
+  Alcotest.(check int) "modify_ldt 781" 781
+    (Cost_model.cost c (Insn.Int_syscall 0x80));
+  Alcotest.(check int) "alu 1 cycle" 1
+    (Cost_model.cost c (Insn.Alu (Insn.Add, reg, Insn.Imm 1)))
+
+let test_bound_vs_equivalent () =
+  (* §2: the bound instruction (7 cycles) is slower than the 6 equivalent
+     1-cycle instructions *)
+  let c = Cost_model.pentium3 in
+  let bound = Cost_model.cost c (Insn.Bound (Registers.EAX, Insn.mem ())) in
+  Alcotest.(check bool) "bound slower than 6 plain ops" true (bound > 6)
+
+(* --- encoding sizes -------------------------------------------------------- *)
+
+let test_encode_sizes () =
+  Alcotest.(check int) "ret" 1 (Encode.size Insn.Ret);
+  Alcotest.(check int) "push reg" 1 (Encode.size (Insn.Push reg));
+  Alcotest.(check int) "label free" 0 (Encode.size (Insn.Label "x"));
+  (* a segment override costs one prefix byte *)
+  let plain = Encode.size (Insn.Mov (Insn.Long, reg,
+    Insn.Mem (Insn.mem ~base:Registers.EDX ()))) in
+  let over = Encode.size (Insn.Mov (Insn.Long, reg,
+    Insn.Mem (Insn.mem ~seg:Seghw.Segreg.GS ~base:Registers.EDX ()))) in
+  Alcotest.(check int) "override +1" (plain + 1) over;
+  (* disp32 is 3 bytes bigger than disp8 *)
+  let d8 = Encode.size (Insn.Mov (Insn.Long, reg,
+    Insn.Mem (Insn.mem ~base:Registers.EDX ~disp:4 ()))) in
+  let d32 = Encode.size (Insn.Mov (Insn.Long, reg,
+    Insn.Mem (Insn.mem ~base:Registers.EDX ~disp:4096 ()))) in
+  Alcotest.(check int) "disp32 +3" (d8 + 3) d32
+
+(* --- CPU semantics ---------------------------------------------------------- *)
+
+let test_mov_alu () =
+  let cpu, st = run_insns Insn.[
+    Mov (Long, reg, Imm 40);
+    Alu (Add, reg, Imm 2);
+    Halt ] in
+  check_halted st;
+  Alcotest.(check int) "42" 42 (eax cpu)
+
+let test_memory_rw () =
+  let cpu, st = run_insns Insn.[
+    Mov (Long, Mem (Insn.mem ~disp:0x1000 ()), Imm 1234);
+    Mov (Long, reg, Mem (Insn.mem ~disp:0x1000 ()));
+    Halt ] in
+  check_halted st;
+  Alcotest.(check int) "roundtrip" 1234 (eax cpu)
+
+let test_widths () =
+  let cpu, st = run_insns Insn.[
+    Mov (Long, Mem (Insn.mem ~disp:0x1000 ()), Imm 0x11223344);
+    Mov (Byte, Mem (Insn.mem ~disp:0x1001 ()), Imm 0xFF);
+    Movzx (Registers.EAX, Mem (Insn.mem ~disp:0x1000 ()), Word);
+    Halt ] in
+  check_halted st;
+  Alcotest.(check int) "byte patch + word read" 0xFF44 (eax cpu)
+
+let test_movsx () =
+  let cpu, st = run_insns Insn.[
+    Mov (Byte, Mem (Insn.mem ~disp:0x1000 ()), Imm 0x80);
+    Movsx (Registers.EAX, Mem (Insn.mem ~disp:0x1000 ()), Byte);
+    Halt ] in
+  check_halted st;
+  Alcotest.(check int) "sign extend" 0xFFFFFF80 (eax cpu)
+
+let test_signed_division () =
+  let cpu, st = run_insns Insn.[
+    Mov (Long, reg, Imm (-7));
+    Mov (Long, Reg Registers.ECX, Imm 2);
+    Idiv (Reg Registers.ECX);
+    Halt ] in
+  check_halted st;
+  Alcotest.(check int) "-7/2 = -3 (truncating)" (-3)
+    (Registers.to_signed (eax cpu));
+  Alcotest.(check int) "rem -1" (-1)
+    (Registers.to_signed (Registers.get (Cpu.regs cpu) Registers.EDX))
+
+let test_div_by_zero_faults () =
+  let _, st = run_insns Insn.[
+    Mov (Long, reg, Imm 1);
+    Mov (Long, Reg Registers.ECX, Imm 0);
+    Idiv (Reg Registers.ECX);
+    Halt ] in
+  match st with
+  | Cpu.Faulted (Seghw.Fault.Invalid_opcode _) -> ()
+  | _ -> Alcotest.fail "expected #UD"
+
+let test_flags_and_jcc () =
+  (* signed comparison across the wrap boundary: -1 < 1 *)
+  let cpu, st = run_insns Insn.[
+    Mov (Long, reg, Imm (-1));
+    Cmp (reg, Imm 1);
+    Jcc (Lt, "less");
+    Mov (Long, reg, Imm 0);
+    Halt;
+    Label "less";
+    Mov (Long, reg, Imm 99);
+    Halt ] in
+  check_halted st;
+  Alcotest.(check int) "signed lt" 99 (eax cpu)
+
+let test_unsigned_jcc () =
+  (* unsigned: 0xFFFFFFFF is above 1 *)
+  let cpu, st = run_insns Insn.[
+    Mov (Long, reg, Imm (-1));
+    Cmp (reg, Imm 1);
+    Jcc (Above, "above");
+    Mov (Long, reg, Imm 0);
+    Halt;
+    Label "above";
+    Mov (Long, reg, Imm 1);
+    Halt ] in
+  check_halted st;
+  Alcotest.(check int) "unsigned above" 1 (eax cpu)
+
+let test_push_pop_call_ret () =
+  let cpu, st = run_insns Insn.[
+    Mov (Long, reg, Imm 5);
+    Push reg;
+    Call "double_it";
+    Alu (Add, Reg Registers.ESP, Imm 4);
+    Halt;
+    Label "double_it";
+    Mov (Long, reg, Mem (Insn.mem ~base:Registers.ESP ~disp:4 ()));
+    Alu (Add, reg, reg);
+    Ret ] in
+  check_halted st;
+  Alcotest.(check int) "call result" 10 (eax cpu)
+
+let test_fp () =
+  let cpu, st = run_insns Insn.[
+    Fload_const (Registers.XMM0, 1.5);
+    Fload_const (Registers.XMM1, 2.0);
+    Falu (Fmul, Registers.XMM0, Freg Registers.XMM1);
+    Cvtsd2si (Registers.EAX, Freg Registers.XMM0);
+    Halt ] in
+  check_halted st;
+  Alcotest.(check int) "3" 3 (eax cpu)
+
+let test_fp_compare () =
+  let cpu, st = run_insns Insn.[
+    Fload_const (Registers.XMM0, 1.0);
+    Fload_const (Registers.XMM1, 2.0);
+    Fcmp (Registers.XMM0, Freg Registers.XMM1);
+    Setcc (Below, Registers.EAX);
+    Halt ] in
+  check_halted st;
+  Alcotest.(check int) "1 < 2" 1 (eax cpu)
+
+let test_bound_instruction () =
+  (* in-range passes, out-of-range raises #BR *)
+  let _, st = run_insns Insn.[
+    Mov (Long, Mem (Insn.mem ~disp:0x1000 ()), Imm 0);
+    Mov (Long, Mem (Insn.mem ~disp:0x1004 ()), Imm 9);
+    Mov (Long, reg, Imm 5);
+    Bound (Registers.EAX, Insn.mem ~disp:0x1000 ());
+    Mov (Long, reg, Imm 10);
+    Bound (Registers.EAX, Insn.mem ~disp:0x1000 ());
+    Halt ] in
+  match st with
+  | Cpu.Faulted (Seghw.Fault.Bound_range _) -> ()
+  | _ -> Alcotest.fail "expected #BR"
+
+let test_stat_labels () =
+  let cpu, st = run_insns Insn.[
+    Mov (Long, Reg Registers.ECX, Imm 5);
+    Label "loop";
+    Label "__stat_iter_test";
+    Alu (Sub, Reg Registers.ECX, Imm 1);
+    Cmp (Reg Registers.ECX, Imm 0);
+    Jcc (Gt, "loop");
+    Halt ] in
+  check_halted st;
+  Alcotest.(check int) "counted" 5 (Cpu.stat cpu "__stat_iter_test")
+
+let test_stat_labels_free () =
+  let cpu, _ = run_insns Insn.[ Label "__stat_x"; Halt ] in
+  Alcotest.(check int) "0 cycles" 0 (Cpu.cycles cpu)
+
+let test_fuel () =
+  match run_insns Insn.[ Label "spin"; Jmp "spin" ] with
+  | exception Cpu.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_cycle_accounting () =
+  let cpu, st = run_insns Insn.[
+    Mov (Long, reg, Imm 1);       (* 1 *)
+    Alu (Add, reg, Imm 1);        (* 1 *)
+    Mov_to_seg (Seghw.Segreg.ES,
+      Insn.Reg Registers.EBX);    (* needs valid selector in EBX *)
+    Halt ]
+    ~setup:(fun cpu ->
+      Registers.set (Cpu.regs cpu) Registers.EBX
+        (Seghw.Selector.to_int
+           (Seghw.Selector.make ~index:2 ~table:Seghw.Selector.Gdt ~rpl:3)))
+  in
+  check_halted st;
+  Alcotest.(check int) "1+1+4" 6 (Cpu.cycles cpu)
+
+let test_program_link_errors () =
+  (match Program.link ~entry:"main" Insn.[ Label "main"; Jmp "nowhere" ] with
+   | exception Program.Link_error _ -> ()
+   | _ -> Alcotest.fail "expected link error");
+  match Program.link ~entry:"main" Insn.[ Label "main"; Label "main" ] with
+  | exception Program.Link_error _ -> ()
+  | _ -> Alcotest.fail "expected duplicate label error"
+
+(* property: 32-bit wrap-around arithmetic on the CPU agrees with masked
+   host arithmetic *)
+let prop_add_wraps =
+  QCheck.Test.make ~count:300 ~name:"cpu add is 32-bit modular"
+    QCheck.(pair (int_bound 0xFFFFFFFF) (int_bound 0xFFFFFFFF))
+    (fun (a, b) ->
+      let cpu, st = run_insns Insn.[
+        Mov (Long, Insn.Reg Registers.EAX, Imm a);
+        Alu (Add, Insn.Reg Registers.EAX, Imm b);
+        Halt ] in
+      st = Cpu.Halted && eax cpu = (a + b) land 0xFFFFFFFF)
+
+let suite =
+  [
+    Alcotest.test_case "registers mask" `Quick test_registers_mask;
+    Alcotest.test_case "phys mem" `Quick test_phys_mem;
+    Alcotest.test_case "phys mem zero" `Quick test_phys_mem_unwritten_zero;
+    Alcotest.test_case "cost anchors (paper)" `Quick test_cost_anchors;
+    Alcotest.test_case "bound vs 6 insns" `Quick test_bound_vs_equivalent;
+    Alcotest.test_case "encode sizes" `Quick test_encode_sizes;
+    Alcotest.test_case "mov/alu" `Quick test_mov_alu;
+    Alcotest.test_case "memory rw" `Quick test_memory_rw;
+    Alcotest.test_case "widths" `Quick test_widths;
+    Alcotest.test_case "movsx" `Quick test_movsx;
+    Alcotest.test_case "signed division" `Quick test_signed_division;
+    Alcotest.test_case "div by zero" `Quick test_div_by_zero_faults;
+    Alcotest.test_case "flags/jcc signed" `Quick test_flags_and_jcc;
+    Alcotest.test_case "jcc unsigned" `Quick test_unsigned_jcc;
+    Alcotest.test_case "push/pop/call/ret" `Quick test_push_pop_call_ret;
+    Alcotest.test_case "fp" `Quick test_fp;
+    Alcotest.test_case "fp compare" `Quick test_fp_compare;
+    Alcotest.test_case "bound instruction" `Quick test_bound_instruction;
+    Alcotest.test_case "stat labels" `Quick test_stat_labels;
+    Alcotest.test_case "stat labels free" `Quick test_stat_labels_free;
+    Alcotest.test_case "fuel" `Quick test_fuel;
+    Alcotest.test_case "cycle accounting" `Quick test_cycle_accounting;
+    Alcotest.test_case "link errors" `Quick test_program_link_errors;
+    QCheck_alcotest.to_alcotest prop_add_wraps;
+  ]

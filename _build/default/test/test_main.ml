@@ -1,0 +1,17 @@
+(* Aggregate test runner: one suite per library. *)
+let () =
+  Alcotest.run "cash"
+    [
+      ("seghw", Test_seghw.suite);
+      ("machine", Test_machine.suite);
+      ("osim", Test_osim.suite);
+      ("cashrt", Test_cashrt.suite);
+      ("minic", Test_minic.suite);
+      ("compilers", Test_compilers.suite);
+      ("cash-semantics", Test_cash_semantics.suite);
+      ("workloads", Test_workloads.suite);
+      ("extensions", Test_extensions.suite);
+      ("core-api", Test_core.suite);
+      ("harness", Test_harness.suite);
+      ("integration", Test_integration.suite);
+    ]

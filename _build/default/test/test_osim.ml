@@ -1,0 +1,224 @@
+(* Tests for the simulated kernel, libc, process loader, and scheduler. *)
+
+let trivial_program =
+  Machine.Program.link ~entry:"_start"
+    Machine.Insn.[ Label "_start"; Mov (Long, Reg Machine.Registers.EAX, Imm 7); Halt ]
+
+let test_kernel_gdt_layout () =
+  let k = Osim.Kernel.create () in
+  let gdt = Osim.Kernel.gdt k in
+  (match Seghw.Descriptor_table.get gdt Osim.Kernel.user_code_index with
+   | Some d ->
+     Alcotest.(check bool) "user code is code" true (Seghw.Descriptor.is_code d);
+     Alcotest.(check int) "dpl 3" 3 d.Seghw.Descriptor.dpl
+   | None -> Alcotest.fail "no user code descriptor");
+  match Seghw.Descriptor_table.get gdt Osim.Kernel.user_data_index with
+  | Some d ->
+    Alcotest.(check bool) "flat 4GiB" true
+      (Seghw.Descriptor.byte_size d = 1 lsl 32)
+  | None -> Alcotest.fail "no user data descriptor"
+
+let test_process_load_and_run () =
+  let k = Osim.Kernel.create () in
+  let p = Osim.Process.load ~kernel:k trivial_program in
+  (match Osim.Process.run p with
+   | Machine.Cpu.Halted -> ()
+   | _ -> Alcotest.fail "should halt");
+  Alcotest.(check int) "eax" 7
+    (Machine.Registers.get (Machine.Cpu.regs (Osim.Process.cpu p))
+       Machine.Registers.EAX);
+  Alcotest.(check bool) "clock advanced" true (Osim.Kernel.clock k > 0)
+
+let test_data_section_init () =
+  let data =
+    [ { Machine.Program.label = "hello"; addr = 0x08100000; size = 6;
+        init = Some "hello\000" } ]
+  in
+  let prog =
+    Machine.Program.link ~entry:"_start" ~data
+      Machine.Insn.[
+        Label "_start";
+        Movzx (Machine.Registers.EAX, Mem (Machine.Insn.mem ~disp:0x08100001 ()), Byte);
+        Halt ]
+  in
+  let k = Osim.Kernel.create () in
+  let p = Osim.Process.load ~kernel:k prog in
+  ignore (Osim.Process.run p);
+  Alcotest.(check int) "'e'" (Char.code 'e')
+    (Machine.Registers.get (Machine.Cpu.regs (Osim.Process.cpu p))
+       Machine.Registers.EAX)
+
+(* --- LDT syscall paths ---------------------------------------------------- *)
+
+let setup_proc () =
+  let k = Osim.Kernel.create () in
+  let p = Osim.Process.load ~kernel:k trivial_program in
+  (k, p)
+
+let test_modify_ldt_slow_path () =
+  let k, p = setup_proc () in
+  let cpu = Osim.Process.cpu p in
+  let ldt = Osim.Process.ldt p in
+  Osim.Kernel.invoke_modify_ldt k cpu ~ldt ~index:5 ~base:0x1000 ~size:256
+    ~writable:true;
+  Alcotest.(check int) "781 cycles" 781 (Machine.Cpu.cycles cpu);
+  Alcotest.(check int) "stat" 1 (Osim.Kernel.stats k).Osim.Kernel.modify_ldt_calls;
+  match Seghw.Descriptor_table.get ldt 5 with
+  | Some d ->
+    Alcotest.(check int) "base" 0x1000 d.Seghw.Descriptor.base;
+    Alcotest.(check int) "size" 256 (Seghw.Descriptor.byte_size d)
+  | None -> Alcotest.fail "descriptor not installed"
+
+let test_cash_modify_ldt_needs_gate () =
+  let k, p = setup_proc () in
+  let cpu = Osim.Process.cpu p in
+  let ldt = Osim.Process.ldt p in
+  match
+    Osim.Kernel.invoke_cash_modify_ldt k cpu ~ldt ~index:5 ~base:0 ~size:16
+      ~writable:true
+  with
+  | exception Seghw.Fault.Fault (Seghw.Fault.General_protection _) -> ()
+  | _ -> Alcotest.fail "expected #GP without installed gate"
+
+let test_cash_modify_ldt_fast_path () =
+  let k, p = setup_proc () in
+  let cpu = Osim.Process.cpu p in
+  let ldt = Osim.Process.ldt p in
+  Osim.Kernel.invoke_set_ldt_callgate k cpu ~ldt;
+  let before = Machine.Cpu.cycles cpu in
+  Osim.Kernel.invoke_cash_modify_ldt k cpu ~ldt ~index:9 ~base:0x2000 ~size:64
+    ~writable:true;
+  Alcotest.(check int) "253 cycles" 253 (Machine.Cpu.cycles cpu - before);
+  Alcotest.(check int) "stat" 1
+    (Osim.Kernel.stats k).Osim.Kernel.cash_modify_ldt_calls;
+  (* clearing an entry: size = 0 *)
+  Osim.Kernel.invoke_cash_modify_ldt k cpu ~ldt ~index:9 ~base:0 ~size:0
+    ~writable:false;
+  Alcotest.(check bool) "cleared" true (Seghw.Descriptor_table.get ldt 9 = None)
+
+let test_ldt_security () =
+  (* §3.8: the kernel path must refuse LDT entry 0 (the gate slot) and can
+     only ever create unprivileged data segments *)
+  let k, p = setup_proc () in
+  let cpu = Osim.Process.cpu p in
+  let ldt = Osim.Process.ldt p in
+  Osim.Kernel.invoke_set_ldt_callgate k cpu ~ldt;
+  (match
+     Osim.Kernel.invoke_cash_modify_ldt k cpu ~ldt ~index:0 ~base:0 ~size:16
+       ~writable:true
+   with
+   | exception Seghw.Fault.Fault _ -> ()
+   | _ -> Alcotest.fail "expected refusal of entry 0");
+  Osim.Kernel.invoke_cash_modify_ldt k cpu ~ldt ~index:1 ~base:0 ~size:16
+    ~writable:true;
+  match Seghw.Descriptor_table.get ldt 1 with
+  | Some d ->
+    Alcotest.(check int) "dpl 3 only" 3 d.Seghw.Descriptor.dpl;
+    Alcotest.(check bool) "data only" true (Seghw.Descriptor.is_data d)
+  | None -> Alcotest.fail "not installed"
+
+let test_int80_dispatch () =
+  (* drive modify_ldt through the actual int 0x80 instruction *)
+  let prog =
+    Machine.Program.link ~entry:"_start"
+      Machine.Insn.[
+        Label "_start";
+        Mov (Long, Reg Machine.Registers.EAX, Imm 123); (* sys_modify_ldt *)
+        Mov (Long, Reg Machine.Registers.EBX, Imm 4);   (* index *)
+        Mov (Long, Reg Machine.Registers.ECX, Imm 0x3000); (* base *)
+        Mov (Long, Reg Machine.Registers.EDX, Imm 128); (* size *)
+        Mov (Long, Reg Machine.Registers.ESI, Imm 1);   (* writable *)
+        Int_syscall 0x80;
+        Halt ]
+  in
+  let k = Osim.Kernel.create () in
+  let p = Osim.Process.load ~kernel:k prog in
+  (match Osim.Process.run p with
+   | Machine.Cpu.Halted -> ()
+   | s -> Alcotest.failf "bad status %s"
+            (match s with Machine.Cpu.Faulted f -> Seghw.Fault.to_string f | _ -> "?"));
+  match Seghw.Descriptor_table.get (Osim.Process.ldt p) 4 with
+  | Some d -> Alcotest.(check int) "base" 0x3000 d.Seghw.Descriptor.base
+  | None -> Alcotest.fail "descriptor missing"
+
+let test_unknown_syscall_faults () =
+  let prog =
+    Machine.Program.link ~entry:"_start"
+      Machine.Insn.[
+        Label "_start";
+        Mov (Long, Reg Machine.Registers.EAX, Imm 9999);
+        Int_syscall 0x80;
+        Halt ]
+  in
+  let k = Osim.Kernel.create () in
+  let p = Osim.Process.load ~kernel:k prog in
+  match Osim.Process.run p with
+  | Machine.Cpu.Faulted (Seghw.Fault.General_protection _) -> ()
+  | _ -> Alcotest.fail "expected #GP"
+
+(* --- libc ------------------------------------------------------------------ *)
+
+let test_libc_malloc_free () =
+  let k = Osim.Kernel.create () in
+  let p = Osim.Process.load ~kernel:k trivial_program in
+  let l = Osim.Process.libc p in
+  let a = Osim.Libc.alloc l 100 in
+  let b = Osim.Libc.alloc l 100 in
+  Alcotest.(check bool) "distinct" true (a <> b);
+  Osim.Libc.release l a;
+  let c = Osim.Libc.alloc l 100 in
+  Alcotest.(check int) "size-class reuse" a c;
+  Alcotest.(check bool) "peak tracked" true (Osim.Libc.peak_heap l > 0)
+
+let test_libc_double_free_faults () =
+  let k = Osim.Kernel.create () in
+  let p = Osim.Process.load ~kernel:k trivial_program in
+  let l = Osim.Process.libc p in
+  let a = Osim.Libc.alloc l 32 in
+  Osim.Libc.release l a;
+  match Osim.Libc.release l a with
+  | exception Seghw.Fault.Fault _ -> ()
+  | _ -> Alcotest.fail "expected fault on double free"
+
+let test_libc_rand_deterministic () =
+  let k = Osim.Kernel.create () in
+  let p1 = Osim.Process.load ~kernel:k trivial_program in
+  let p2 = Osim.Process.load ~kernel:k trivial_program in
+  let seq l = List.init 5 (fun _ -> Osim.Libc.next_rand l) in
+  Alcotest.(check (list int)) "same sequence"
+    (seq (Osim.Process.libc p1)) (seq (Osim.Process.libc p2))
+
+(* --- scheduler -------------------------------------------------------------- *)
+
+let test_scheduler () =
+  let k = Osim.Kernel.create () in
+  let records =
+    Osim.Scheduler.serve ~kernel:k ~requests:10 ~fork_overhead:1000 (fun _ ->
+        let p = Osim.Process.load ~kernel:k trivial_program in
+        ignore (Osim.Process.run p);
+        p)
+  in
+  Alcotest.(check int) "10 records" 10 (List.length records);
+  Alcotest.(check bool) "span >= total fork overhead" true
+    (Osim.Scheduler.span records >= 9 * 1000);
+  Alcotest.(check bool) "latency positive" true
+    (Osim.Scheduler.latency records > 0.0);
+  Alcotest.(check bool) "throughput positive" true
+    (Osim.Scheduler.throughput records > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "kernel gdt layout" `Quick test_kernel_gdt_layout;
+    Alcotest.test_case "process load/run" `Quick test_process_load_and_run;
+    Alcotest.test_case "data section init" `Quick test_data_section_init;
+    Alcotest.test_case "modify_ldt slow path" `Quick test_modify_ldt_slow_path;
+    Alcotest.test_case "gate required" `Quick test_cash_modify_ldt_needs_gate;
+    Alcotest.test_case "cash_modify_ldt fast path" `Quick test_cash_modify_ldt_fast_path;
+    Alcotest.test_case "ldt security (§3.8)" `Quick test_ldt_security;
+    Alcotest.test_case "int 0x80 dispatch" `Quick test_int80_dispatch;
+    Alcotest.test_case "unknown syscall" `Quick test_unknown_syscall_faults;
+    Alcotest.test_case "libc malloc/free" `Quick test_libc_malloc_free;
+    Alcotest.test_case "libc double free" `Quick test_libc_double_free_faults;
+    Alcotest.test_case "libc rand deterministic" `Quick test_libc_rand_deterministic;
+    Alcotest.test_case "scheduler" `Quick test_scheduler;
+  ]

@@ -1,0 +1,328 @@
+(* Unit and property tests for the segmentation/paging hardware. *)
+
+open Seghw
+
+let check_fault name f =
+  match f () with
+  | exception Fault.Fault _ -> ()
+  | _ -> Alcotest.failf "%s: expected a fault" name
+
+(* --- selectors --------------------------------------------------------- *)
+
+let test_selector_roundtrip () =
+  let s = Selector.make ~index:1234 ~table:Selector.Ldt ~rpl:3 in
+  Alcotest.(check int) "index" 1234 (Selector.index s);
+  Alcotest.(check bool) "table" true (Selector.table s = Selector.Ldt);
+  Alcotest.(check int) "rpl" 3 (Selector.rpl s);
+  Alcotest.(check bool) "not null" false (Selector.is_null s)
+
+let test_selector_null () =
+  Alcotest.(check bool) "null" true (Selector.is_null Selector.null);
+  (* RPL bits do not affect nullness; TI=1 does *)
+  Alcotest.(check bool) "null rpl3" true (Selector.is_null (Selector.of_int 3));
+  Alcotest.(check bool) "ldt idx0 not null" false
+    (Selector.is_null (Selector.make ~index:0 ~table:Selector.Ldt ~rpl:0))
+
+let test_selector_range () =
+  Alcotest.check_raises "index too big" (Invalid_argument
+    "Selector.make: index 8192 out of range")
+    (fun () -> ignore (Selector.make ~index:8192 ~table:Selector.Gdt ~rpl:0))
+
+let test_selector_paper_gate () =
+  (* the paper's `lcall $0x7, $0x0`: LDT entry 0, RPL 3 = 0x7 *)
+  let s = Selector.make ~index:0 ~table:Selector.Ldt ~rpl:3 in
+  Alcotest.(check int) "0x7" 0x7 (Selector.to_int s)
+
+(* --- descriptors ------------------------------------------------------- *)
+
+let desc_testable =
+  Alcotest.testable Descriptor.pp Descriptor.equal
+
+let test_descriptor_roundtrip () =
+  let d =
+    Descriptor.make ~base:0x12345678 ~limit:0xABCDE ~granularity:true ~dpl:3
+      ~present:true ~seg_type:(Descriptor.Data { writable = true })
+  in
+  Alcotest.check desc_testable "roundtrip" d
+    (Descriptor.decode (Descriptor.encode d))
+
+let test_descriptor_code_roundtrip () =
+  let d =
+    Descriptor.make ~base:0xFFFFFFFF ~limit:0 ~granularity:false ~dpl:0
+      ~present:false ~seg_type:(Descriptor.Code { readable = true })
+  in
+  Alcotest.check desc_testable "roundtrip" d
+    (Descriptor.decode (Descriptor.encode d))
+
+let test_callgate_roundtrip () =
+  let d =
+    Descriptor.make ~base:0 ~limit:0 ~granularity:false ~dpl:3 ~present:true
+      ~seg_type:(Descriptor.Call_gate { handler = 1; param_count = 2 })
+  in
+  Alcotest.check desc_testable "roundtrip" d
+    (Descriptor.decode (Descriptor.encode d))
+
+let test_effective_limit () =
+  let d size =
+    Descriptor.for_array ~base:0x1000 ~size_bytes:size ~writable:true
+  in
+  (* byte-granular up to 1 MiB: exact *)
+  Alcotest.(check int) "100B" 99 (Descriptor.effective_limit (d 100));
+  Alcotest.(check int) "1MiB" ((1 lsl 20) - 1)
+    (Descriptor.effective_limit (d (1 lsl 20)));
+  (* page-granular above: rounded up to 4 KiB multiples *)
+  let big = (1 lsl 20) + 1 in
+  let expected_pages = (big + 4095) / 4096 in
+  Alcotest.(check int) "1MiB+1" ((expected_pages * 4096) - 1)
+    (Descriptor.effective_limit (d big))
+
+let test_offset_ok () =
+  let d = Descriptor.for_array ~base:0 ~size_bytes:100 ~writable:true in
+  Alcotest.(check bool) "first byte" true (Descriptor.offset_ok d ~offset:0 ~size:1);
+  Alcotest.(check bool) "last byte" true (Descriptor.offset_ok d ~offset:99 ~size:1);
+  Alcotest.(check bool) "one past" false (Descriptor.offset_ok d ~offset:100 ~size:1);
+  Alcotest.(check bool) "4B straddling end" false
+    (Descriptor.offset_ok d ~offset:97 ~size:4);
+  (* wrapped negative offsets are huge unsigned values: the lower-bound
+     check of §3.3 *)
+  Alcotest.(check bool) "negative wraps" false
+    (Descriptor.offset_ok d ~offset:(-4) ~size:4)
+
+let test_granularity_bit_ignores_low_bits () =
+  (* Figure 2: with G=1 the limit has 0xFFF ORed in, so a segment sized
+     for a 2 MB array admits offsets into the rounding slack *)
+  let size = 2_000_000 in
+  let d = Descriptor.for_array ~base:0 ~size_bytes:size ~writable:true in
+  let seg_size = (size + 4095) / 4096 * 4096 in
+  Alcotest.(check bool) "G set" true d.Descriptor.granularity;
+  Alcotest.(check bool) "end of slack ok" true
+    (Descriptor.offset_ok d ~offset:(seg_size - 1) ~size:1);
+  Alcotest.(check bool) "past slack faults" false
+    (Descriptor.offset_ok d ~offset:seg_size ~size:1)
+
+let test_descriptor_invariants () =
+  Alcotest.check_raises "limit 21 bits"
+    (Invalid_argument "Descriptor: limit 0x100000 not 20-bit") (fun () ->
+      ignore
+        (Descriptor.make ~base:0 ~limit:(1 lsl 20) ~granularity:false ~dpl:0
+           ~present:true ~seg_type:(Descriptor.Data { writable = true })))
+
+(* property: encode/decode round-trips over random data descriptors *)
+let prop_descriptor_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"descriptor encode/decode roundtrip"
+    QCheck.(
+      quad (int_bound 0xFFFFFFF) (int_bound 0xFFFFF) bool (int_bound 3))
+    (fun (base, limit, g, dpl) ->
+      let d =
+        Descriptor.make ~base ~limit ~granularity:g ~dpl ~present:true
+          ~seg_type:(Descriptor.Data { writable = true })
+      in
+      Descriptor.equal d (Descriptor.decode (Descriptor.encode d)))
+
+(* property: offset_ok is exactly the interval [0, effective_limit] *)
+let prop_limit_check_sound =
+  QCheck.Test.make ~count:1000 ~name:"limit check matches interval"
+    QCheck.(pair (int_range 1 2_000_000) (int_range 0 3_000_000))
+    (fun (size, offset) ->
+      let d = Descriptor.for_array ~base:0 ~size_bytes:size ~writable:true in
+      let inside = offset <= Descriptor.effective_limit d in
+      Descriptor.offset_ok d ~offset ~size:1 = inside)
+
+(* --- descriptor tables -------------------------------------------------- *)
+
+let data_desc =
+  Descriptor.make ~base:0x1000 ~limit:0xFF ~granularity:false ~dpl:3
+    ~present:true ~seg_type:(Descriptor.Data { writable = true })
+
+let test_table_set_get () =
+  let t = Descriptor_table.create Descriptor_table.Ldt_table in
+  Descriptor_table.set t 5 data_desc;
+  Alcotest.(check bool) "get" true (Descriptor_table.get t 5 = Some data_desc);
+  Alcotest.(check int) "live" 1 (Descriptor_table.live_count t);
+  Descriptor_table.clear t 5;
+  Alcotest.(check bool) "cleared" true (Descriptor_table.get t 5 = None);
+  Alcotest.(check int) "live0" 0 (Descriptor_table.live_count t)
+
+let test_table_gdt_entry0 () =
+  let t = Descriptor_table.create Descriptor_table.Gdt_table in
+  check_fault "gdt entry 0" (fun () -> Descriptor_table.set t 0 data_desc)
+
+let test_table_lookup_empty () =
+  let t = Descriptor_table.create Descriptor_table.Ldt_table in
+  check_fault "empty entry" (fun () ->
+      ignore (Descriptor_table.lookup_exn t 7))
+
+let test_table_lookup_not_present () =
+  let t = Descriptor_table.create Descriptor_table.Ldt_table in
+  Descriptor_table.set t 3 { data_desc with Descriptor.present = false };
+  check_fault "not present" (fun () ->
+      ignore (Descriptor_table.lookup_exn t 3))
+
+(* --- segment registers --------------------------------------------------- *)
+
+let test_segreg_null_rules () =
+  let r = Segreg.create () in
+  (* null into a data register is fine *)
+  Segreg.load r ~name:Segreg.ES ~selector:Selector.null ~descriptor:None;
+  (* but using it faults *)
+  check_fault "use of null ES" (fun () ->
+      ignore
+        (Segreg.translate r ~name:Segreg.ES ~offset:0 ~size:4 ~write:false
+           ~stack:false));
+  (* null into SS faults at load time *)
+  check_fault "null into SS" (fun () ->
+      Segreg.load r ~name:Segreg.SS ~selector:Selector.null ~descriptor:None)
+
+let test_segreg_translate () =
+  let r = Segreg.create () in
+  Segreg.load r ~name:Segreg.GS
+    ~selector:(Selector.make ~index:1 ~table:Selector.Ldt ~rpl:3)
+    ~descriptor:(Some data_desc);
+  Alcotest.(check int) "base+offset" 0x1010
+    (Segreg.translate r ~name:Segreg.GS ~offset:0x10 ~size:4 ~write:true
+       ~stack:false);
+  check_fault "limit" (fun () ->
+      ignore
+        (Segreg.translate r ~name:Segreg.GS ~offset:0x100 ~size:1 ~write:false
+           ~stack:false))
+
+let test_segreg_write_protect () =
+  let r = Segreg.create () in
+  let ro =
+    Descriptor.make ~base:0 ~limit:0xFF ~granularity:false ~dpl:3
+      ~present:true ~seg_type:(Descriptor.Data { writable = false })
+  in
+  Segreg.load r ~name:Segreg.FS ~selector:(Selector.of_int 0xF)
+    ~descriptor:(Some ro);
+  check_fault "write ro" (fun () ->
+      ignore
+        (Segreg.translate r ~name:Segreg.FS ~offset:0 ~size:1 ~write:true
+           ~stack:false))
+
+let test_segreg_descriptor_cache () =
+  (* the hidden part: modifying the table does not affect a loaded
+     register (descriptor-cache semantics, §3.1) *)
+  let t = Descriptor_table.create Descriptor_table.Ldt_table in
+  Descriptor_table.set t 1 data_desc;
+  let mmu = Mmu.create ~gdt:(Descriptor_table.create Descriptor_table.Gdt_table) ~ldt:t in
+  let sel = Selector.make ~index:1 ~table:Selector.Ldt ~rpl:3 in
+  Mmu.load_segreg mmu Segreg.GS sel;
+  Descriptor_table.clear t 1;
+  (* the stale descriptor is still cached: translation succeeds *)
+  Mmu.map_range mmu ~linear:0x1000 ~size:0x100 ~writable:true;
+  let phys = Mmu.translate mmu ~seg_name:Segreg.GS ~offset:4 ~size:4 ~write:false in
+  ignore phys;
+  (* reloading now faults (empty entry) *)
+  check_fault "reload after clear" (fun () -> Mmu.load_segreg mmu Segreg.GS sel)
+
+(* --- paging / tlb -------------------------------------------------------- *)
+
+let test_paging_walk () =
+  let p = Paging.create () in
+  let frame = Paging.map_page p ~linear:0x12345000 ~writable:true in
+  Alcotest.(check int) "phys" ((frame lsl 12) lor 0x678)
+    (Paging.walk p ~linear:0x12345678 ~write:true);
+  check_fault "unmapped" (fun () ->
+      ignore (Paging.walk p ~linear:0xDEAD0000 ~write:false))
+
+let test_paging_unmap () =
+  let p = Paging.create () in
+  ignore (Paging.map_page p ~linear:0x1000 ~writable:true : int);
+  Alcotest.(check int) "mapped count" 1 (Paging.mapped_pages p);
+  Paging.unmap_page p ~linear:0x1000;
+  Alcotest.(check int) "unmapped count" 0 (Paging.mapped_pages p);
+  check_fault "after unmap" (fun () ->
+      ignore (Paging.walk p ~linear:0x1000 ~write:false))
+
+let test_paging_write_protect () =
+  let p = Paging.create () in
+  ignore (Paging.map_page p ~linear:0x2000 ~writable:false : int);
+  ignore (Paging.walk p ~linear:0x2000 ~write:false : int);
+  check_fault "write to ro page" (fun () ->
+      ignore (Paging.walk p ~linear:0x2000 ~write:true))
+
+let test_tlb () =
+  let t = Tlb.create ~size:4 () in
+  Alcotest.(check bool) "miss" true (Tlb.lookup t ~page:7 ~write:false = None);
+  Tlb.insert t ~page:7 ~frame:42 ~writable:true;
+  Alcotest.(check bool) "hit" true (Tlb.lookup t ~page:7 ~write:true = Some 42);
+  (* conflicting slot evicts *)
+  Tlb.insert t ~page:11 ~frame:9 ~writable:false;
+  Alcotest.(check bool) "evicted" true (Tlb.lookup t ~page:7 ~write:false = None);
+  Tlb.invalidate_page t ~page:11;
+  Alcotest.(check bool) "invalidated" true
+    (Tlb.lookup t ~page:11 ~write:false = None);
+  Alcotest.(check bool) "counters" true (Tlb.hits t = 1 && Tlb.misses t >= 3)
+
+let test_tlb_write_upgrade () =
+  let t = Tlb.create ~size:4 () in
+  Tlb.insert t ~page:3 ~frame:1 ~writable:false;
+  (* a write access must not hit a read-only TLB entry *)
+  Alcotest.(check bool) "write miss on ro entry" true
+    (Tlb.lookup t ~page:3 ~write:true = None)
+
+(* --- mmu ---------------------------------------------------------------- *)
+
+let make_mmu () =
+  let gdt = Descriptor_table.create Descriptor_table.Gdt_table in
+  let ldt = Descriptor_table.create Descriptor_table.Ldt_table in
+  Descriptor_table.set gdt 1
+    (Descriptor.make ~base:0 ~limit:0xFFFFF ~granularity:true ~dpl:3
+       ~present:true ~seg_type:(Descriptor.Data { writable = true }));
+  Descriptor_table.set ldt 1
+    (Descriptor.for_array ~base:0x5000 ~size_bytes:64 ~writable:true);
+  (gdt, ldt, Mmu.create ~gdt ~ldt)
+
+let test_mmu_end_to_end () =
+  let _, _, mmu = make_mmu () in
+  Mmu.load_segreg mmu Segreg.DS (Selector.make ~index:1 ~table:Selector.Gdt ~rpl:3);
+  Mmu.load_segreg mmu Segreg.GS (Selector.make ~index:1 ~table:Selector.Ldt ~rpl:3);
+  Mmu.map_range mmu ~linear:0x5000 ~size:64 ~writable:true;
+  (* GS offset 0 = linear 0x5000 = same physical as DS offset 0x5000 *)
+  let p1 = Mmu.translate mmu ~seg_name:Segreg.GS ~offset:0 ~size:4 ~write:true in
+  let p2 = Mmu.translate mmu ~seg_name:Segreg.DS ~offset:0x5000 ~size:4 ~write:true in
+  Alcotest.(check int) "aliases" p1 p2;
+  (* GS limit check *)
+  check_fault "GS limit" (fun () ->
+      ignore (Mmu.translate mmu ~seg_name:Segreg.GS ~offset:64 ~size:1 ~write:false))
+
+let test_mmu_limit_check_counter () =
+  let _, _, mmu = make_mmu () in
+  Mmu.load_segreg mmu Segreg.DS (Selector.make ~index:1 ~table:Selector.Gdt ~rpl:3);
+  Mmu.map_range mmu ~linear:0 ~size:4096 ~writable:true;
+  let before = Mmu.limit_checks mmu in
+  ignore (Mmu.translate mmu ~seg_name:Segreg.DS ~offset:0 ~size:4 ~write:false : int);
+  ignore (Mmu.translate mmu ~seg_name:Segreg.DS ~offset:8 ~size:4 ~write:false : int);
+  Alcotest.(check int) "2 checks" (before + 2) (Mmu.limit_checks mmu)
+
+let suite =
+  [
+    Alcotest.test_case "selector roundtrip" `Quick test_selector_roundtrip;
+    Alcotest.test_case "selector null" `Quick test_selector_null;
+    Alcotest.test_case "selector range" `Quick test_selector_range;
+    Alcotest.test_case "selector paper gate" `Quick test_selector_paper_gate;
+    Alcotest.test_case "descriptor roundtrip" `Quick test_descriptor_roundtrip;
+    Alcotest.test_case "descriptor code roundtrip" `Quick test_descriptor_code_roundtrip;
+    Alcotest.test_case "callgate roundtrip" `Quick test_callgate_roundtrip;
+    Alcotest.test_case "effective limit" `Quick test_effective_limit;
+    Alcotest.test_case "offset_ok" `Quick test_offset_ok;
+    Alcotest.test_case "granularity slack (Fig 2)" `Quick test_granularity_bit_ignores_low_bits;
+    Alcotest.test_case "descriptor invariants" `Quick test_descriptor_invariants;
+    QCheck_alcotest.to_alcotest prop_descriptor_roundtrip;
+    QCheck_alcotest.to_alcotest prop_limit_check_sound;
+    Alcotest.test_case "table set/get" `Quick test_table_set_get;
+    Alcotest.test_case "table gdt entry 0" `Quick test_table_gdt_entry0;
+    Alcotest.test_case "table lookup empty" `Quick test_table_lookup_empty;
+    Alcotest.test_case "table lookup !P" `Quick test_table_lookup_not_present;
+    Alcotest.test_case "segreg null rules" `Quick test_segreg_null_rules;
+    Alcotest.test_case "segreg translate" `Quick test_segreg_translate;
+    Alcotest.test_case "segreg write protect" `Quick test_segreg_write_protect;
+    Alcotest.test_case "descriptor cache" `Quick test_segreg_descriptor_cache;
+    Alcotest.test_case "paging walk" `Quick test_paging_walk;
+    Alcotest.test_case "paging unmap" `Quick test_paging_unmap;
+    Alcotest.test_case "paging write protect" `Quick test_paging_write_protect;
+    Alcotest.test_case "tlb" `Quick test_tlb;
+    Alcotest.test_case "tlb write upgrade" `Quick test_tlb_write_upgrade;
+    Alcotest.test_case "mmu end to end" `Quick test_mmu_end_to_end;
+    Alcotest.test_case "mmu limit counter" `Quick test_mmu_limit_check_counter;
+  ]

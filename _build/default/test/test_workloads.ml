@@ -1,0 +1,125 @@
+(* Workload tests: every one of the paper's 18 applications must compile
+   under every backend, run to completion, and produce identical output —
+   plus spot checks that the sources have the structural properties the
+   experiments rely on. *)
+
+let backends =
+  [ ("gcc", Core.gcc); ("bcc", Core.bcc); ("cash", Core.cash);
+    ("cash4", Core.cash_n 4); ("security", Core.cash_security);
+    ("bound", Core.bcc_bound) ]
+
+let check_workload name source () =
+  let runs =
+    List.map
+      (fun (bname, b) ->
+        let r = Core.exec b source in
+        (match r.Core.status with
+         | Core.Finished -> ()
+         | Core.Bound_violation m ->
+           Alcotest.failf "%s/%s: bound violation: %s" name bname m
+         | Core.Crashed m -> Alcotest.failf "%s/%s: crash: %s" name bname m);
+        (bname, r))
+      backends
+  in
+  let _, reference = List.hd runs in
+  List.iter
+    (fun (bname, r) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %s output" name bname)
+        reference.Core.output r.Core.output)
+    runs;
+  (* every workload must actually print a checksum *)
+  Alcotest.(check bool)
+    (name ^ " produces output")
+    true
+    (String.length reference.Core.output > 0);
+  (* and must run long enough to be a meaningful benchmark *)
+  Alcotest.(check bool)
+    (name ^ " does real work")
+    true
+    (reference.Core.cycles > 10_000)
+
+let micro_cases =
+  List.map
+    (fun (k : Workloads.Micro.kernel) ->
+      Alcotest.test_case ("micro: " ^ k.Workloads.Micro.name) `Slow
+        (check_workload k.Workloads.Micro.name k.Workloads.Micro.source))
+    (Workloads.Micro.table1_suite ())
+
+let macro_cases =
+  List.map
+    (fun (a : Workloads.Macro.app) ->
+      Alcotest.test_case ("macro: " ^ a.Workloads.Macro.name) `Slow
+        (check_workload a.Workloads.Macro.name a.Workloads.Macro.source))
+    (Workloads.Macro.table5_suite ())
+
+let net_cases =
+  List.map
+    (fun (a : Workloads.Netapps.app) ->
+      Alcotest.test_case ("net: " ^ a.Workloads.Netapps.name) `Slow
+        (check_workload a.Workloads.Netapps.name a.Workloads.Netapps.source))
+    (Workloads.Netapps.table8_suite ())
+
+(* deterministic outputs across repeated runs *)
+let test_determinism () =
+  let src = Workloads.Macro.toast ~frames:3 () in
+  let a = Core.exec Core.cash src in
+  let b = Core.exec Core.cash src in
+  Alcotest.(check string) "same output" a.Core.output b.Core.output;
+  Alcotest.(check int) "same cycles" a.Core.cycles b.Core.cycles
+
+(* parameterised sizes actually change the work done *)
+let test_scaling () =
+  let small = Core.exec Core.gcc (Workloads.Micro.matmul ~n:8 ()) in
+  let large = Core.exec Core.gcc (Workloads.Micro.matmul ~n:16 ()) in
+  Alcotest.(check bool) "8x work difference roughly" true
+    (large.Core.cycles > 4 * small.Core.cycles)
+
+(* the micro kernels must be loop-dominated, as Table 1 requires *)
+let test_micro_loop_density () =
+  List.iter
+    (fun (k : Workloads.Micro.kernel) ->
+      let c = Core.compile Core.cash k.Workloads.Micro.source in
+      let i = Core.static_info c in
+      Alcotest.(check bool)
+        (k.Workloads.Micro.name ^ " has array loops")
+        true
+        (i.Core.loops.Minic.Loop_analysis.array_using_loops >= 3))
+    (Workloads.Micro.table1_suite ())
+
+(* the network apps must contain the attack surface the paper cares
+   about: char-buffer copies inside loops *)
+let test_netapp_buffer_loops () =
+  List.iter
+    (fun (a : Workloads.Netapps.app) ->
+      let c = Core.compile Core.cash a.Workloads.Netapps.source in
+      let i = Core.static_info c in
+      Alcotest.(check bool)
+        (a.Workloads.Netapps.name ^ " hw checks")
+        true (i.Core.hw_checks > 0))
+    (Workloads.Netapps.table8_suite ())
+
+(* sabotage: shrinking a netapp destination buffer must turn the run into
+   a caught bound violation under Cash (the apps really do copy through
+   their buffers) *)
+let test_netapp_overflow_injection () =
+  (* qpopper with a response buffer far too small for a message *)
+  let src =
+    Str.global_replace (Str.regexp_string "char response[1024];")
+      "char response[64];"
+      (Workloads.Netapps.qpopper ())
+  in
+  match (Core.exec Core.cash src).Core.status with
+  | Core.Bound_violation _ -> ()
+  | Core.Finished -> Alcotest.fail "sabotaged qpopper not caught"
+  | Core.Crashed m -> Alcotest.failf "sabotaged qpopper crashed: %s" m
+
+let suite =
+  micro_cases @ macro_cases @ net_cases
+  @ [
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "size scaling" `Quick test_scaling;
+      Alcotest.test_case "micro loop density" `Quick test_micro_loop_density;
+      Alcotest.test_case "netapp buffer loops" `Quick test_netapp_buffer_loops;
+      Alcotest.test_case "overflow injection" `Quick test_netapp_overflow_injection;
+    ]
