@@ -5,7 +5,12 @@
 
      dune exec bench/main.exe                 # tables + bechamel
      dune exec bench/main.exe -- --no-bechamel  # reproduction output only
-*)
+
+   The reproduction pass also reports host throughput — simulated
+   instructions retired per host second — and writes it to BENCH_1.json
+   so subsequent PRs can track the interpreter's perf trajectory. The
+   table/figure output itself is unaffected: simulated cycle counts are
+   engine-independent. *)
 
 let experiments : (string * (unit -> Harness.Report.t)) list =
   [
@@ -35,6 +40,52 @@ let print_reproduction () =
   List.iter
     (fun (_, run) -> Harness.Report.print (run ()))
     experiments
+
+(* --- host throughput: simulated insns per host second ------------------- *)
+
+type throughput = {
+  wall_seconds : float;
+  insns : int;
+  insns_per_second : float;
+}
+
+(* Run [f] and measure the simulated instructions it retires per host
+   wall-clock second (the interpreter's end-to-end speed, including
+   compilation and harness overhead). *)
+let measure_throughput f =
+  let t0 = Unix.gettimeofday () in
+  let i0 = Machine.Cpu.total_retired () in
+  f ();
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let insns = Machine.Cpu.total_retired () - i0 in
+  let insns_per_second =
+    if wall_seconds > 0. then float_of_int insns /. wall_seconds else 0.
+  in
+  { wall_seconds; insns; insns_per_second }
+
+let print_throughput tp =
+  print_endline
+    "\n== host throughput: full reproduction run (simulated insns / host second) ==";
+  Printf.printf "wall-clock            %12.2f s\n" tp.wall_seconds;
+  Printf.printf "insns executed        %12d\n" tp.insns;
+  Printf.printf "insns per host second %12.0f\n" tp.insns_per_second
+
+(* Machine-readable perf record, one file per PR, for trajectory
+   tracking across the stacked sequence. *)
+let write_json ~path tp =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"full-reproduction\",\n\
+    \  \"pr\": 1,\n\
+    \  \"experiments\": %d,\n\
+    \  \"wall_seconds\": %.3f,\n\
+    \  \"insns_executed\": %d,\n\
+    \  \"insns_per_host_second\": %.0f\n\
+     }\n"
+    (List.length experiments) tp.wall_seconds tp.insns tp.insns_per_second;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
 
 (* --- bechamel: one Test.make per table ---------------------------------- *)
 
@@ -74,5 +125,7 @@ let () =
   let no_bechamel =
     Array.exists (fun a -> a = "--no-bechamel") Sys.argv
   in
-  print_reproduction ();
+  let tp = measure_throughput print_reproduction in
+  print_throughput tp;
+  write_json ~path:"BENCH_1.json" tp;
   if not no_bechamel then run_bechamel ()

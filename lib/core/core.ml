@@ -76,11 +76,13 @@ let is_cash (r : compiled) =
    completion. A fresh kernel is created unless one is supplied (supply
    one to share a global clock across processes, as the network
    experiments do). *)
-let run ?kernel ?fuel ?(guard_malloc = false) (compiled : compiled) =
+let run ?kernel ?engine ?fuel ?(guard_malloc = false) (compiled : compiled) =
   let kernel =
     match kernel with Some k -> k | None -> Osim.Kernel.create ()
   in
-  let process = Osim.Process.load ~kernel compiled.Compilers.Codegen.program in
+  let process =
+    Osim.Process.load ?engine ~kernel compiled.Compilers.Codegen.program
+  in
   if guard_malloc then
     Osim.Libc.set_guard_malloc (Osim.Process.libc process) true;
   let runtime =
@@ -107,8 +109,8 @@ let run ?kernel ?fuel ?(guard_malloc = false) (compiled : compiled) =
   }
 
 (* Compile and run in one step. *)
-let exec ?fuel ?guard_malloc backend source =
-  run ?fuel ?guard_malloc (compile backend source)
+let exec ?engine ?fuel ?guard_malloc backend source =
+  run ?engine ?fuel ?guard_malloc (compile backend source)
 
 (* Sum of the dynamic counters whose label starts with [prefix] —
    "__stat_iter_a" (array-loop iterations), "__stat_iter_s" (spilled-loop

@@ -58,15 +58,21 @@ type run = {
 
 (** Load into a fresh simulated process and run to completion. Supply
     [kernel] to share a global clock across processes (the network
-    experiments do); [guard_malloc] enables the Electric Fence comparator
-    (§2): page-fenced heap allocations that catch malloc-buffer overruns
-    under ANY backend, at page-granular virtual-memory cost.
+    experiments do); [engine] to pick the CPU interpreter (the
+    pre-decoded fast path by default, [Machine.Cpu.Reference] for the
+    equivalence oracle); [guard_malloc] enables the Electric Fence
+    comparator (§2): page-fenced heap allocations that catch
+    malloc-buffer overruns under ANY backend, at page-granular
+    virtual-memory cost.
     @raise Machine.Cpu.Out_of_fuel past [fuel] instructions. *)
 val run :
-  ?kernel:Osim.Kernel.t -> ?fuel:int -> ?guard_malloc:bool -> compiled -> run
+  ?kernel:Osim.Kernel.t -> ?engine:Machine.Cpu.engine -> ?fuel:int ->
+  ?guard_malloc:bool -> compiled -> run
 
 (** [compile] then [run]. *)
-val exec : ?fuel:int -> ?guard_malloc:bool -> backend -> string -> run
+val exec :
+  ?engine:Machine.Cpu.engine -> ?fuel:int -> ?guard_malloc:bool ->
+  backend -> string -> run
 
 (** Sum of the dynamic zero-cost counters with the given name prefix:
     ["__stat_iter_a_"] array-loop iterations, ["__stat_iter_s_"]

@@ -100,3 +100,9 @@ let cost t (i : Insn.t) =
   | Insn.Label _ -> 0
   | Insn.Callext _ -> t.call (* host routine adds its own cycles *)
   | Insn.Halt | Insn.Nop -> 0
+
+(* Pre-compute the cost of every instruction of a code array, so the
+   interpreter charges cycles with one array read instead of re-running
+   the match above per executed instruction. Conditional branches cost
+   [branch] taken or not, so one entry per site suffices. *)
+let precompute t code = Array.map (cost t) code

@@ -32,3 +32,8 @@ val pentium3 : t
 (** Cycle cost of one instruction under the model; memory operands add
     [mem_access] each. *)
 val cost : t -> Insn.t -> int
+
+(** [precompute t code] tabulates {!cost} for every instruction, one
+    entry per index of [code]. Valid for the program's lifetime: per-site
+    cost depends only on the instruction itself. *)
+val precompute : t -> Insn.t array -> int array

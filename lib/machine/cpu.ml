@@ -14,12 +14,29 @@
    - Labels whose name starts with "__stat_" are zero-cost dynamic counters:
      executing one bumps a named counter. The harness uses these to measure
      dynamic software-check and spilled-loop-iteration frequencies without
-     perturbing cycle counts. *)
+     perturbing cycle counts.
+
+   Two execution engines share this module:
+
+   - [Predecoded] (the default) runs over the link-time lowered form:
+     branch targets come from [Program.targets], per-site cycle costs from
+     a table built at CPU creation, stat counters from pre-interned refs,
+     and [exec] returns the next EIP instead of raising an exception on
+     control transfers. Nothing on this path hashes a string, matches an
+     option, or allocates.
+   - [Reference] is the pre-lowering interpreter kept verbatim: hashtable
+     label resolution per branch, a [Cost_model.cost] match per executed
+     instruction, string-keyed stat bumps, and an exception per control
+     transfer. It exists as the oracle for the equivalence suite — both
+     engines must produce bit-identical cycles, instruction counts, and
+     machine state on every program. *)
 
 type status =
   | Running
   | Halted
   | Faulted of Seghw.Fault.t
+
+type engine = Predecoded | Reference
 
 type t = {
   regs : Registers.t;
@@ -27,6 +44,14 @@ type t = {
   phys : Phys_mem.t;
   costs : Cost_model.t;
   program : Program.t;
+  engine : engine;
+  (* Lowered program, fixed at creation (parallel to [program.code]): *)
+  code : Insn.t array;         (* = program.code, fetched without bounds
+                                  rechecks after the explicit EIP test *)
+  targets : int array;         (* = program.targets *)
+  cost_tab : int array;        (* Cost_model.precompute of the code *)
+  stat_refs : int ref array;   (* pre-interned counter per stat-label site;
+                                  a shared sink ref everywhere else *)
   mutable eip : int;
   mutable zf : bool;
   mutable sf : bool;
@@ -42,14 +67,43 @@ type t = {
 
 exception Out_of_fuel
 
-let create ~mmu ~phys ~costs ~program =
+(* Host-side throughput accounting: instructions retired by [run] across
+   every CPU instance of this OCaml process. Purely a benchmarking aid —
+   no simulated semantics depend on it. *)
+let retired_total = ref 0
+let total_retired () = !retired_total
+
+let create ?(engine = Predecoded) ~mmu ~phys ~costs ~program () =
+  let code = program.Program.code in
+  let stat_counters = Hashtbl.create 31 in
+  (* Pre-intern one counter ref per stat label; every other site shares a
+     sink ref, so the Label case of the engine is an unconditional [incr]
+     with no prefix scan and no hashtable probe. *)
+  let sink = ref 0 in
+  let stat_refs = Array.make (Array.length code) sink in
+  Array.iteri
+    (fun i marked ->
+      if marked then begin
+        match code.(i) with
+        | Insn.Label l ->
+          let r = ref 0 in
+          Hashtbl.replace stat_counters l r;
+          stat_refs.(i) <- r
+        | _ -> ()
+      end)
+    program.Program.stat_labels;
   {
     regs = Registers.create ();
     mmu;
     phys;
     costs;
     program;
-    eip = Program.resolve program program.Program.entry;
+    engine;
+    code;
+    targets = program.Program.targets;
+    cost_tab = Cost_model.precompute costs code;
+    stat_refs;
+    eip = program.Program.entry_index;
     zf = false;
     sf = false;
     cf = false;
@@ -59,7 +113,7 @@ let create ~mmu ~phys ~costs ~program =
     status = Running;
     kernel = (fun _ ~gate:_ -> Seghw.Fault.gp "no kernel installed");
     externals = Hashtbl.create 31;
-    stat_counters = Hashtbl.create 31;
+    stat_counters;
   }
 
 let set_kernel t k = t.kernel <- k
@@ -72,23 +126,204 @@ let regs t = t.regs
 let mmu t = t.mmu
 let phys t = t.phys
 let program t = t.program
+let engine t = t.engine
 
 let stat t name =
   match Hashtbl.find_opt t.stat_counters name with
   | Some r -> !r
   | None -> 0
 
+(* Counters that fired at least once, sorted by name so harness output is
+   deterministic. Pre-interned counters that never executed are omitted,
+   matching the on-demand interning of the reference engine. *)
 let stats t =
-  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.stat_counters []
+  Hashtbl.fold
+    (fun k r acc -> if !r > 0 then (k, !r) :: acc else acc)
+    t.stat_counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let bump_stat t name =
   match Hashtbl.find_opt t.stat_counters name with
   | Some r -> incr r
   | None -> Hashtbl.add t.stat_counters name (ref 1)
 
+(* --- the flattened hot path -------------------------------------------- *)
+
+(* Under dune's dev profile every cross-module call compiles to an opaque
+   generic application (no .cmx is read), so the per-instruction path
+   keeps local copies of the few small register / memory / translation
+   steps taken on every simulated access. Each copy mirrors its owning
+   module bit for bit: the module stays authoritative, slow and cold
+   paths still call it, and the engine-equivalence suite pins the two
+   together. *)
+
+external unsafe_get_16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external unsafe_set_16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+external unsafe_get_32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external unsafe_set_32 : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external swap16 : int -> int = "%bswap16"
+external swap32 : int32 -> int32 = "%bswap_int32"
+external swap64 : int64 -> int64 = "%bswap_int64"
+
+(* [Registers.reg_index] / [freg_index] / [to_signed], in-unit. *)
+let[@inline] reg_index (r : Registers.reg) =
+  match r with
+  | Registers.EAX -> 0 | Registers.EBX -> 1 | Registers.ECX -> 2
+  | Registers.EDX -> 3 | Registers.ESI -> 4 | Registers.EDI -> 5
+  | Registers.EBP -> 6 | Registers.ESP -> 7
+
+let[@inline] freg_index (r : Registers.freg) =
+  match r with
+  | Registers.XMM0 -> 0 | Registers.XMM1 -> 1 | Registers.XMM2 -> 2
+  | Registers.XMM3 -> 3 | Registers.XMM4 -> 4 | Registers.XMM5 -> 5
+  | Registers.XMM6 -> 6 | Registers.XMM7 -> 7
+
+(* Indices are 0..7 into the 8-element files, so unchecked access is
+   safe; [rset] maintains the register file's 32-bit masking invariant. *)
+let[@inline] rget t r = Array.unsafe_get t.regs.Registers.gp (reg_index r)
+
+let[@inline] rset t r v =
+  Array.unsafe_set t.regs.Registers.gp (reg_index r) (v land 0xFFFFFFFF)
+
+let[@inline] fget t r = Array.unsafe_get t.regs.Registers.fp (freg_index r)
+let[@inline] fset t r v = Array.unsafe_set t.regs.Registers.fp (freg_index r) v
+
+let[@inline] to_signed v =
+  let v = v land 0xFFFFFFFF in
+  if v >= 0x80000000 then v - 0x100000000 else v
+
+let[@inline] width_bytes (w : Insn.width) =
+  match w with Insn.Byte -> 1 | Insn.Word -> 2 | Insn.Long -> 4
+
+(* [Phys_mem] accessors, in-unit: one unaligned load/store against the
+   current buffer; anything that misses the allocated capacity (growth,
+   straddling reads) leaves the unit for the module. [high_water] is
+   maintained exactly as [Phys_mem.ensure] would. *)
+let[@inline] p_read8 (p : Phys_mem.t) addr =
+  let data = p.Phys_mem.data in
+  if addr + 1 > Bytes.length data then 0
+  else Char.code (Bytes.unsafe_get data addr)
+
+let[@inline] p_write8 (p : Phys_mem.t) addr v =
+  let data = p.Phys_mem.data in
+  if addr + 1 <= Bytes.length data then begin
+    if addr + 1 > p.Phys_mem.high_water then p.Phys_mem.high_water <- addr + 1;
+    Bytes.unsafe_set data addr (Char.unsafe_chr (v land 0xFF))
+  end
+  else Phys_mem.write8 p addr v
+
+let[@inline] p_read16 (p : Phys_mem.t) addr =
+  let data = p.Phys_mem.data in
+  if addr + 2 <= Bytes.length data then
+    if Sys.big_endian then swap16 (unsafe_get_16 data addr)
+    else unsafe_get_16 data addr
+  else Phys_mem.read16 p addr
+
+let[@inline] p_write16 (p : Phys_mem.t) addr v =
+  let data = p.Phys_mem.data in
+  if addr + 2 <= Bytes.length data then begin
+    if addr + 2 > p.Phys_mem.high_water then p.Phys_mem.high_water <- addr + 2;
+    let x = v land 0xFFFF in
+    unsafe_set_16 data addr (if Sys.big_endian then swap16 x else x)
+  end
+  else Phys_mem.write16 p addr v
+
+let[@inline] p_read32 (p : Phys_mem.t) addr =
+  let data = p.Phys_mem.data in
+  if addr + 4 <= Bytes.length data then
+    Int32.to_int
+      (if Sys.big_endian then swap32 (unsafe_get_32 data addr)
+       else unsafe_get_32 data addr)
+    land 0xFFFFFFFF
+  else Phys_mem.read32 p addr
+
+let[@inline] p_write32 (p : Phys_mem.t) addr v =
+  let data = p.Phys_mem.data in
+  if addr + 4 <= Bytes.length data then begin
+    if addr + 4 > p.Phys_mem.high_water then p.Phys_mem.high_water <- addr + 4;
+    let x = Int32.of_int v in
+    unsafe_set_32 data addr (if Sys.big_endian then swap32 x else x)
+  end
+  else Phys_mem.write32 p addr v
+
+let[@inline] p_read_float (p : Phys_mem.t) addr =
+  let data = p.Phys_mem.data in
+  if addr + 8 <= Bytes.length data then
+    Int64.float_of_bits
+      (if Sys.big_endian then swap64 (unsafe_get_64 data addr)
+       else unsafe_get_64 data addr)
+  else Phys_mem.read_float p addr
+
+let[@inline] p_write_float (p : Phys_mem.t) addr v =
+  let data = p.Phys_mem.data in
+  if addr + 8 <= Bytes.length data then begin
+    if addr + 8 > p.Phys_mem.high_water then p.Phys_mem.high_water <- addr + 8;
+    let x = Int64.bits_of_float v in
+    unsafe_set_64 data addr (if Sys.big_endian then swap64 x else x)
+  end
+  else Phys_mem.write_float p addr v
+
+(* [Seghw.Mmu.translate], in-unit: bump the limit-check counter, run the
+   segment-limit compare chain over the flattened descriptor mirror,
+   probe the direct-mapped TLB. Segment faults and TLB misses leave the
+   unit, so diagnostics, counter discipline, and the page walk stay the
+   module's. *)
+let[@inline] translate t ~seg_name ~offset ~size ~write =
+  let mmu = t.mmu in
+  mmu.Seghw.Mmu.limit_checks <- mmu.Seghw.Mmu.limit_checks + 1;
+  let sr =
+    match (seg_name : Seghw.Segreg.name) with
+    | Seghw.Segreg.CS -> mmu.Seghw.Mmu.cs
+    | Seghw.Segreg.SS -> mmu.Seghw.Mmu.ss
+    | Seghw.Segreg.DS -> mmu.Seghw.Mmu.ds
+    | Seghw.Segreg.ES -> mmu.Seghw.Mmu.es
+    | Seghw.Segreg.FS -> mmu.Seghw.Mmu.fs
+    | Seghw.Segreg.GS -> mmu.Seghw.Mmu.gs
+  in
+  let off = offset land 0xFFFFFFFF in
+  if
+    sr.Seghw.Segreg.f_valid
+    && ((not write) || sr.Seghw.Segreg.f_writable)
+    && size > 0
+    && off + size - 1 <= sr.Seghw.Segreg.f_limit
+  then begin
+    let linear = (sr.Seghw.Segreg.f_base + off) land 0xFFFFFFFF in
+    let tlb = mmu.Seghw.Mmu.tlb in
+    let page = linear lsr Seghw.Paging.page_shift in
+    let slot = page land tlb.Seghw.Tlb.mask in
+    if
+      Array.unsafe_get tlb.Seghw.Tlb.tags slot = page
+      && ((not write) || Array.unsafe_get tlb.Seghw.Tlb.writable slot)
+    then begin
+      tlb.Seghw.Tlb.hits <- tlb.Seghw.Tlb.hits + 1;
+      (Array.unsafe_get tlb.Seghw.Tlb.frames slot lsl Seghw.Paging.page_shift)
+      lor (linear land 0xFFF)
+    end
+    else begin
+      tlb.Seghw.Tlb.misses <- tlb.Seghw.Tlb.misses + 1;
+      let phys = Seghw.Paging.walk mmu.Seghw.Mmu.paging ~linear ~write in
+      Seghw.Tlb.insert tlb ~page
+        ~frame:(phys lsr Seghw.Paging.page_shift)
+        ~writable:write;
+      phys
+    end
+  end
+  else begin
+    (* Some fast-path condition failed; [Segreg.translate] re-runs the
+       same test over the same mirror and raises the architectural
+       fault with the module's exact diagnostics. *)
+    let stack = match seg_name with Seghw.Segreg.SS -> true | _ -> false in
+    let linear =
+      Seghw.Segreg.translate sr ~name:seg_name ~offset ~size ~write ~stack
+    in
+    Seghw.Mmu.translate_linear mmu ~linear ~write
+  end
+
 (* --- memory access through segmentation ------------------------------- *)
 
-let default_seg (m : Insn.mem) =
+let[@inline] default_seg (m : Insn.mem) =
   match m.Insn.seg with
   | Some s -> s
   | None ->
@@ -96,61 +331,61 @@ let default_seg (m : Insn.mem) =
      | Some Registers.EBP | Some Registers.ESP -> Seghw.Segreg.SS
      | _ -> Seghw.Segreg.DS)
 
-let effective_offset t (m : Insn.mem) =
+let[@inline] effective_offset t (m : Insn.mem) =
   let base = match m.Insn.base with
-    | Some r -> Registers.get t.regs r
+    | Some r -> rget t r
     | None -> 0
   in
   let index = match m.Insn.index with
-    | Some (r, scale) -> Registers.get t.regs r * scale
+    | Some (r, scale) -> rget t r * scale
     | None -> 0
   in
   (base + index + m.Insn.disp) land 0xFFFFFFFF
 
-let load_mem t (m : Insn.mem) ~width =
-  let size = Insn.width_bytes width in
+let[@inline] load_mem t (m : Insn.mem) ~width =
+  let size = width_bytes width in
   let offset = effective_offset t m in
   let phys_addr =
-    Seghw.Mmu.translate t.mmu ~seg_name:(default_seg m) ~offset ~size
+    translate t ~seg_name:(default_seg m) ~offset ~size
       ~write:false
   in
   match width with
-  | Insn.Byte -> Phys_mem.read8 t.phys phys_addr
-  | Insn.Word -> Phys_mem.read16 t.phys phys_addr
-  | Insn.Long -> Phys_mem.read32 t.phys phys_addr
+  | Insn.Byte -> p_read8 t.phys phys_addr
+  | Insn.Word -> p_read16 t.phys phys_addr
+  | Insn.Long -> p_read32 t.phys phys_addr
 
-let store_mem t (m : Insn.mem) ~width v =
-  let size = Insn.width_bytes width in
+let[@inline] store_mem t (m : Insn.mem) ~width v =
+  let size = width_bytes width in
   let offset = effective_offset t m in
   let phys_addr =
-    Seghw.Mmu.translate t.mmu ~seg_name:(default_seg m) ~offset ~size
+    translate t ~seg_name:(default_seg m) ~offset ~size
       ~write:true
   in
   match width with
-  | Insn.Byte -> Phys_mem.write8 t.phys phys_addr v
-  | Insn.Word -> Phys_mem.write16 t.phys phys_addr v
-  | Insn.Long -> Phys_mem.write32 t.phys phys_addr v
+  | Insn.Byte -> p_write8 t.phys phys_addr v
+  | Insn.Word -> p_write16 t.phys phys_addr v
+  | Insn.Long -> p_write32 t.phys phys_addr v
 
-let load_f64 t (m : Insn.mem) =
+let[@inline] load_f64 t (m : Insn.mem) =
   let offset = effective_offset t m in
   let phys_addr =
-    Seghw.Mmu.translate t.mmu ~seg_name:(default_seg m) ~offset ~size:8
+    translate t ~seg_name:(default_seg m) ~offset ~size:8
       ~write:false
   in
-  Phys_mem.read_float t.phys phys_addr
+  p_read_float t.phys phys_addr
 
-let store_f64 t (m : Insn.mem) v =
+let[@inline] store_f64 t (m : Insn.mem) v =
   let offset = effective_offset t m in
   let phys_addr =
-    Seghw.Mmu.translate t.mmu ~seg_name:(default_seg m) ~offset ~size:8
+    translate t ~seg_name:(default_seg m) ~offset ~size:8
       ~write:true
   in
-  Phys_mem.write_float t.phys phys_addr v
+  p_write_float t.phys phys_addr v
 
-let read_operand t (o : Insn.operand) ~width =
+let[@inline] read_operand t (o : Insn.operand) ~width =
   match o with
   | Insn.Reg r ->
-    let v = Registers.get t.regs r in
+    let v = rget t r in
     (match width with
      | Insn.Long -> v
      | Insn.Word -> v land 0xFFFF
@@ -158,34 +393,34 @@ let read_operand t (o : Insn.operand) ~width =
   | Insn.Imm i -> i land 0xFFFFFFFF
   | Insn.Mem m -> load_mem t m ~width
 
-let write_operand t (o : Insn.operand) ~width v =
+let[@inline] write_operand t (o : Insn.operand) ~width v =
   match o with
   | Insn.Reg r ->
     (match width with
-     | Insn.Long -> Registers.set t.regs r v
+     | Insn.Long -> rset t r v
      | Insn.Word ->
-       let old = Registers.get t.regs r in
-       Registers.set t.regs r ((old land 0xFFFF0000) lor (v land 0xFFFF))
+       let old = rget t r in
+       rset t r ((old land 0xFFFF0000) lor (v land 0xFFFF))
      | Insn.Byte ->
-       let old = Registers.get t.regs r in
-       Registers.set t.regs r ((old land 0xFFFFFF00) lor (v land 0xFF)))
+       let old = rget t r in
+       rset t r ((old land 0xFFFFFF00) lor (v land 0xFF)))
   | Insn.Mem m -> store_mem t m ~width v
   | Insn.Imm _ -> Seghw.Fault.ud "write to immediate operand"
 
-let read_fsrc t = function
-  | Insn.Freg r -> Registers.getf t.regs r
+let[@inline] read_fsrc t = function
+  | Insn.Freg r -> fget t r
   | Insn.Fmem m -> load_f64 t m
 
 (* --- flags ------------------------------------------------------------ *)
 
-let sign32 v = v land 0x80000000 <> 0
+let[@inline] sign32 v = v land 0x80000000 <> 0
 
-let set_flags_result t r =
+let[@inline] set_flags_result t r =
   let r = r land 0xFFFFFFFF in
   t.zf <- r = 0;
   t.sf <- sign32 r
 
-let set_flags_sub t a b =
+let[@inline] set_flags_sub t a b =
   let a = a land 0xFFFFFFFF and b = b land 0xFFFFFFFF in
   let r = (a - b) land 0xFFFFFFFF in
   t.cf <- a < b;
@@ -193,7 +428,7 @@ let set_flags_sub t a b =
   t.sf <- sign32 r;
   t.ovf <- sign32 a <> sign32 b && sign32 r <> sign32 a
 
-let set_flags_add t a b =
+let[@inline] set_flags_add t a b =
   let a = a land 0xFFFFFFFF and b = b land 0xFFFFFFFF in
   let r = a + b in
   t.cf <- r > 0xFFFFFFFF;
@@ -202,12 +437,12 @@ let set_flags_add t a b =
   t.sf <- sign32 r;
   t.ovf <- sign32 a = sign32 b && sign32 r <> sign32 a
 
-let set_flags_logic t r =
+let[@inline] set_flags_logic t r =
   t.cf <- false;
   t.ovf <- false;
   set_flags_result t r
 
-let cond_holds t (c : Insn.cond) =
+let[@inline] cond_holds t (c : Insn.cond) =
   match c with
   | Insn.Eq -> t.zf
   | Insn.Ne -> not t.zf
@@ -222,69 +457,253 @@ let cond_holds t (c : Insn.cond) =
 
 (* --- stack helpers ----------------------------------------------------- *)
 
-let push32 t v ~seg =
-  let esp = (Registers.get t.regs Registers.ESP - 4) land 0xFFFFFFFF in
-  Registers.set t.regs Registers.ESP esp;
+let[@inline] push32 t v ~seg =
+  let esp = (rget t Registers.ESP - 4) land 0xFFFFFFFF in
+  rset t Registers.ESP esp;
   let phys_addr =
-    Seghw.Mmu.translate t.mmu ~seg_name:seg ~offset:esp ~size:4 ~write:true
+    translate t ~seg_name:seg ~offset:esp ~size:4 ~write:true
   in
-  Phys_mem.write32 t.phys phys_addr v
+  p_write32 t.phys phys_addr v
 
-let pop32 t ~seg =
-  let esp = Registers.get t.regs Registers.ESP in
+let[@inline] pop32 t ~seg =
+  let esp = rget t Registers.ESP in
   let phys_addr =
-    Seghw.Mmu.translate t.mmu ~seg_name:seg ~offset:esp ~size:4 ~write:false
+    translate t ~seg_name:seg ~offset:esp ~size:4 ~write:false
   in
-  let v = Phys_mem.read32 t.phys phys_addr in
-  Registers.set t.regs Registers.ESP ((esp + 4) land 0xFFFFFFFF);
+  let v = p_read32 t.phys phys_addr in
+  rset t Registers.ESP ((esp + 4) land 0xFFFFFFFF);
   v
 
 (* Read the [n]th 32-bit argument of a Callext host routine (0-based;
    arguments were pushed cdecl so arg 0 sits at [ESP]). *)
 let arg_int t n =
-  let esp = Registers.get t.regs Registers.ESP in
+  let esp = rget t Registers.ESP in
   let phys_addr =
-    Seghw.Mmu.translate t.mmu ~seg_name:Seghw.Segreg.DS
+    translate t ~seg_name:Seghw.Segreg.DS
       ~offset:((esp + (4 * n)) land 0xFFFFFFFF)
       ~size:4 ~write:false
   in
-  Phys_mem.read32 t.phys phys_addr
+  p_read32 t.phys phys_addr
 
 let arg_float t n =
-  let esp = Registers.get t.regs Registers.ESP in
+  let esp = rget t Registers.ESP in
   let phys_addr =
-    Seghw.Mmu.translate t.mmu ~seg_name:Seghw.Segreg.DS
+    translate t ~seg_name:Seghw.Segreg.DS
       ~offset:((esp + (4 * n)) land 0xFFFFFFFF)
       ~size:8 ~write:false
   in
-  Phys_mem.read_float t.phys phys_addr
+  p_read_float t.phys phys_addr
 
-let return_int t v = Registers.set t.regs Registers.EAX v
-let return_float t v = Registers.setf t.regs Registers.XMM0 v
+let return_int t v = rset t Registers.EAX v
+let return_float t v = fset t Registers.XMM0 v
 
-(* --- execution --------------------------------------------------------- *)
+(* --- the pre-decoded execution engine ---------------------------------- *)
 
-(* Allocation-free prefix test for "__stat_" (this runs on every executed
-   label, including hot loop heads). *)
-let is_stat_label l =
-  String.length l >= 7
-  && String.unsafe_get l 0 = '_'
-  && String.unsafe_get l 1 = '_'
-  && String.unsafe_get l 2 = 's'
-  && String.unsafe_get l 3 = 't'
-  && String.unsafe_get l 4 = 'a'
-  && String.unsafe_get l 5 = 't'
-  && String.unsafe_get l 6 = '_'
-
+(* Execute one instruction and return the next EIP. Control transfers read
+   their pre-resolved target from [t.targets] at the current EIP; every
+   other instruction falls through. The caller commits EIP and charges
+   the pre-tabulated cycle cost — so a faulting instruction (OCaml
+   exception) leaves EIP, the instruction count, and the cycle count
+   untouched, exactly like the reference engine. *)
 let exec t (i : Insn.t) =
+  let eip = t.eip in
+  let next = eip + 1 in
+  match i with
+  | Insn.Label _ ->
+    incr (Array.unsafe_get t.stat_refs eip);
+    next
+  | Insn.Nop -> next
+  | Insn.Halt -> t.status <- Halted; next
+  | Insn.Mov (w, dst, src) ->
+    write_operand t dst ~width:w (read_operand t src ~width:w);
+    next
+  | Insn.Lea (r, m) -> rset t r (effective_offset t m); next
+  | Insn.Movsx (r, src, w) ->
+    let v = read_operand t src ~width:w in
+    let v =
+      match w with
+      | Insn.Byte -> if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
+      | Insn.Word -> if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v
+      | Insn.Long -> v
+    in
+    rset t r v;
+    next
+  | Insn.Movzx (r, src, w) ->
+    rset t r (read_operand t src ~width:w);
+    next
+  | Insn.Alu (op, dst, src) ->
+    let a = read_operand t dst ~width:Insn.Long in
+    let b = read_operand t src ~width:Insn.Long in
+    let r =
+      match op with
+      | Insn.Add -> set_flags_add t a b; a + b
+      | Insn.Sub -> set_flags_sub t a b; a - b
+      | Insn.And -> let r = a land b in set_flags_logic t r; r
+      | Insn.Or -> let r = a lor b in set_flags_logic t r; r
+      | Insn.Xor -> let r = a lxor b in set_flags_logic t r; r
+      | Insn.Imul ->
+        let r = to_signed a * to_signed b in
+        set_flags_logic t r; r
+      | Insn.Shl -> let r = a lsl (b land 31) in set_flags_logic t r; r
+      | Insn.Shr -> let r = a lsr (b land 31) in set_flags_logic t r; r
+      | Insn.Sar ->
+        let r = to_signed a asr (b land 31) in
+        set_flags_logic t r; r
+    in
+    write_operand t dst ~width:Insn.Long r;
+    next
+  | Insn.Idiv src ->
+    let a = to_signed (rget t Registers.EAX) in
+    let b = to_signed (read_operand t src ~width:Insn.Long) in
+    if b = 0 then Seghw.Fault.ud "integer division by zero";
+    let q = a / b and r = a mod b in
+    rset t Registers.EAX q;
+    rset t Registers.EDX r;
+    next
+  | Insn.Neg o ->
+    let v = read_operand t o ~width:Insn.Long in
+    set_flags_sub t 0 v;
+    write_operand t o ~width:Insn.Long (-v);
+    next
+  | Insn.Inc o ->
+    let v = read_operand t o ~width:Insn.Long in
+    let r = v + 1 in
+    set_flags_result t r;
+    t.ovf <- v land 0xFFFFFFFF = 0x7FFFFFFF;
+    write_operand t o ~width:Insn.Long r;
+    next
+  | Insn.Dec o ->
+    let v = read_operand t o ~width:Insn.Long in
+    let r = v - 1 in
+    set_flags_result t r;
+    t.ovf <- v land 0xFFFFFFFF = 0x80000000;
+    write_operand t o ~width:Insn.Long r;
+    next
+  | Insn.Cmp (a, b) ->
+    set_flags_sub t
+      (read_operand t a ~width:Insn.Long)
+      (read_operand t b ~width:Insn.Long);
+    next
+  | Insn.Test (a, b) ->
+    set_flags_logic t
+      (read_operand t a ~width:Insn.Long
+       land read_operand t b ~width:Insn.Long);
+    next
+  | Insn.Setcc (c, r) ->
+    rset t r (if cond_holds t c then 1 else 0);
+    next
+  | Insn.Fmov (dst, src) ->
+    let v = read_fsrc t src in
+    (match dst with
+     | Insn.Freg r -> fset t r v
+     | Insn.Fmem m -> store_f64 t m v);
+    next
+  | Insn.Fload_const (r, f) -> fset t r f; next
+  | Insn.Falu (op, dst, src) ->
+    let a = fget t dst in
+    let b = read_fsrc t src in
+    let r =
+      match op with
+      | Insn.Fadd -> a +. b
+      | Insn.Fsub -> a -. b
+      | Insn.Fmul -> a *. b
+      | Insn.Fdiv -> a /. b
+    in
+    fset t dst r;
+    next
+  | Insn.Fcmp (a, src) ->
+    (* comisd: ZF/CF as for an unsigned compare; OF/SF cleared *)
+    let x = fget t a in
+    let y = read_fsrc t src in
+    t.ovf <- false;
+    t.sf <- false;
+    t.zf <- x = y;
+    t.cf <- x < y;
+    next
+  | Insn.Fneg r ->
+    fset t r (-.fget t r);
+    next
+  | Insn.Fsqrt (d, src) ->
+    fset t d (sqrt (read_fsrc t src));
+    next
+  | Insn.Cvtsi2sd (d, src) ->
+    fset t d
+      (float_of_int (to_signed (read_operand t src ~width:Insn.Long)));
+    next
+  | Insn.Cvtsd2si (d, src) ->
+    let f = read_fsrc t src in
+    rset t d (truncate f);
+    next
+  | Insn.Jmp _ -> Array.unsafe_get t.targets eip
+  | Insn.Jcc (c, _) ->
+    if cond_holds t c then Array.unsafe_get t.targets eip else next
+  | Insn.Call _ ->
+    push32 t next ~seg:Seghw.Segreg.DS;
+    Array.unsafe_get t.targets eip
+  | Insn.Ret -> pop32 t ~seg:Seghw.Segreg.DS
+  | Insn.Push o ->
+    push32 t (read_operand t o ~width:Insn.Long) ~seg:Seghw.Segreg.SS;
+    next
+  | Insn.Pop o ->
+    write_operand t o ~width:Insn.Long (pop32 t ~seg:Seghw.Segreg.SS);
+    next
+  | Insn.Mov_to_seg (name, o) ->
+    let sel = Seghw.Selector.of_int (read_operand t o ~width:Insn.Word) in
+    Seghw.Mmu.load_segreg t.mmu name sel;
+    next
+  | Insn.Mov_from_seg (o, name) ->
+    write_operand t o ~width:Insn.Word
+      (Seghw.Selector.to_int (Seghw.Mmu.read_segreg t.mmu name));
+    next
+  | Insn.Lcall_gate sel -> t.kernel t ~gate:(`Gate sel); next
+  | Insn.Int_syscall n -> t.kernel t ~gate:(`Int n); next
+  | Insn.Bound (r, m) ->
+    (* bound r32, m32&32: lower word at [m], upper at [m+4]; the checked
+       value must satisfy lower <= r <= upper, else #BR. *)
+    let v = to_signed (rget t r) in
+    let lower = to_signed (load_mem t m ~width:Insn.Long) in
+    let upper =
+      to_signed
+        (load_mem t { m with Insn.disp = m.Insn.disp + 4 } ~width:Insn.Long)
+    in
+    if v < lower || v > upper then
+      Seghw.Fault.br
+        (Printf.sprintf "bound: %d not in [%d, %d]" v lower upper);
+    next
+  | Insn.Callext name ->
+    (match Hashtbl.find_opt t.externals name with
+     | Some f -> f t
+     | None ->
+       Seghw.Fault.ud (Printf.sprintf "undefined external %S" name));
+    next
+
+(* One pre-decoded step: fetch, execute, commit EIP, charge the
+   tabulated cost. *)
+let step_predecoded t =
+  let eip = t.eip in
+  if eip < 0 || eip >= Array.length t.code then
+    Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" eip);
+  let next = exec t (Array.unsafe_get t.code eip) in
+  t.eip <- next;
+  t.insns_executed <- t.insns_executed + 1;
+  t.cycles <- t.cycles + Array.unsafe_get t.cost_tab eip
+
+(* --- the reference engine (the equivalence oracle) --------------------- *)
+
+(* The pre-lowering interpreter, preserved verbatim: label hashtable
+   lookups on the branch path, a cost-model match per executed
+   instruction, string-keyed stat bumps, and an [Exit] exception per
+   control transfer. Semantically authoritative; the pre-decoded engine
+   must match it bit for bit. *)
+let exec_reference t (i : Insn.t) =
   let next = t.eip + 1 in
   (match i with
-   | Insn.Label l -> if is_stat_label l then bump_stat t l
+   | Insn.Label l -> if Program.is_stat_label l then bump_stat t l
    | Insn.Nop -> ()
    | Insn.Halt -> t.status <- Halted
    | Insn.Mov (w, dst, src) ->
      write_operand t dst ~width:w (read_operand t src ~width:w)
-   | Insn.Lea (r, m) -> Registers.set t.regs r (effective_offset t m)
+   | Insn.Lea (r, m) -> rset t r (effective_offset t m)
    | Insn.Movsx (r, src, w) ->
      let v = read_operand t src ~width:w in
      let v =
@@ -293,9 +712,9 @@ let exec t (i : Insn.t) =
        | Insn.Word -> if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v
        | Insn.Long -> v
      in
-     Registers.set t.regs r v
+     rset t r v
    | Insn.Movzx (r, src, w) ->
-     Registers.set t.regs r (read_operand t src ~width:w)
+     rset t r (read_operand t src ~width:w)
    | Insn.Alu (op, dst, src) ->
      let a = read_operand t dst ~width:Insn.Long in
      let b = read_operand t src ~width:Insn.Long in
@@ -307,22 +726,22 @@ let exec t (i : Insn.t) =
        | Insn.Or -> let r = a lor b in set_flags_logic t r; r
        | Insn.Xor -> let r = a lxor b in set_flags_logic t r; r
        | Insn.Imul ->
-         let r = Registers.to_signed a * Registers.to_signed b in
+         let r = to_signed a * to_signed b in
          set_flags_logic t r; r
        | Insn.Shl -> let r = a lsl (b land 31) in set_flags_logic t r; r
        | Insn.Shr -> let r = a lsr (b land 31) in set_flags_logic t r; r
        | Insn.Sar ->
-         let r = Registers.to_signed a asr (b land 31) in
+         let r = to_signed a asr (b land 31) in
          set_flags_logic t r; r
      in
      write_operand t dst ~width:Insn.Long r
    | Insn.Idiv src ->
-     let a = Registers.to_signed (Registers.get t.regs Registers.EAX) in
-     let b = Registers.to_signed (read_operand t src ~width:Insn.Long) in
+     let a = to_signed (rget t Registers.EAX) in
+     let b = to_signed (read_operand t src ~width:Insn.Long) in
      if b = 0 then Seghw.Fault.ud "integer division by zero";
      let q = a / b and r = a mod b in
-     Registers.set t.regs Registers.EAX (Registers.of_signed q);
-     Registers.set t.regs Registers.EDX (Registers.of_signed r)
+     rset t Registers.EAX q;
+     rset t Registers.EDX r
    | Insn.Neg o ->
      let v = read_operand t o ~width:Insn.Long in
      set_flags_sub t 0 v;
@@ -348,15 +767,15 @@ let exec t (i : Insn.t) =
        (read_operand t a ~width:Insn.Long
         land read_operand t b ~width:Insn.Long)
    | Insn.Setcc (c, r) ->
-     Registers.set t.regs r (if cond_holds t c then 1 else 0)
+     rset t r (if cond_holds t c then 1 else 0)
    | Insn.Fmov (dst, src) ->
      let v = read_fsrc t src in
      (match dst with
-      | Insn.Freg r -> Registers.setf t.regs r v
+      | Insn.Freg r -> fset t r v
       | Insn.Fmem m -> store_f64 t m v)
-   | Insn.Fload_const (r, f) -> Registers.setf t.regs r f
+   | Insn.Fload_const (r, f) -> fset t r f
    | Insn.Falu (op, dst, src) ->
-     let a = Registers.getf t.regs dst in
+     let a = fget t dst in
      let b = read_fsrc t src in
      let r =
        match op with
@@ -365,23 +784,23 @@ let exec t (i : Insn.t) =
        | Insn.Fmul -> a *. b
        | Insn.Fdiv -> a /. b
      in
-     Registers.setf t.regs dst r
+     fset t dst r
    | Insn.Fcmp (a, src) ->
      (* comisd: ZF/CF as for an unsigned compare; OF/SF cleared *)
-     let x = Registers.getf t.regs a in
+     let x = fget t a in
      let y = read_fsrc t src in
      t.ovf <- false;
      t.sf <- false;
      t.zf <- x = y;
      t.cf <- x < y
-   | Insn.Fneg r -> Registers.setf t.regs r (-.Registers.getf t.regs r)
-   | Insn.Fsqrt (d, src) -> Registers.setf t.regs d (sqrt (read_fsrc t src))
+   | Insn.Fneg r -> fset t r (-.fget t r)
+   | Insn.Fsqrt (d, src) -> fset t d (sqrt (read_fsrc t src))
    | Insn.Cvtsi2sd (d, src) ->
-     Registers.setf t.regs d
-       (float_of_int (Registers.to_signed (read_operand t src ~width:Insn.Long)))
+     fset t d
+       (float_of_int (to_signed (read_operand t src ~width:Insn.Long)))
    | Insn.Cvtsd2si (d, src) ->
      let f = read_fsrc t src in
-     Registers.set t.regs d (Registers.of_signed (truncate f))
+     rset t d (truncate f)
    | Insn.Jmp l ->
      t.eip <- Program.resolve t.program l;
      t.insns_executed <- t.insns_executed + 1;
@@ -421,10 +840,10 @@ let exec t (i : Insn.t) =
    | Insn.Bound (r, m) ->
      (* bound r32, m32&32: lower word at [m], upper at [m+4]; the checked
         value must satisfy lower <= r <= upper, else #BR. *)
-     let v = Registers.to_signed (Registers.get t.regs r) in
-     let lower = Registers.to_signed (load_mem t m ~width:Insn.Long) in
+     let v = to_signed (rget t r) in
+     let lower = to_signed (load_mem t m ~width:Insn.Long) in
      let upper =
-       Registers.to_signed
+       to_signed
          (load_mem t { m with Insn.disp = m.Insn.disp + 4 } ~width:Insn.Long)
      in
      if v < lower || v > upper then
@@ -439,21 +858,54 @@ let exec t (i : Insn.t) =
   t.insns_executed <- t.insns_executed + 1;
   t.cycles <- t.cycles + Cost_model.cost t.costs i
 
-let step t =
-  if t.status = Running then begin
-    if t.eip < 0 || t.eip >= Array.length t.program.Program.code then
-      Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" t.eip);
-    let i = t.program.Program.code.(t.eip) in
-    try exec t i with
-    | Exit -> () (* control transfer already applied *)
-  end
+let step_reference t =
+  if t.eip < 0 || t.eip >= Array.length t.program.Program.code then
+    Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" t.eip);
+  let i = t.program.Program.code.(t.eip) in
+  try exec_reference t i with
+  | Exit -> () (* control transfer already applied *)
 
-(* Run until halt, fault, or fuel exhaustion. Returns the final status. *)
+(* --- stepping and the run loop ----------------------------------------- *)
+
+let step t =
+  match t.status with
+  | Running ->
+    (match t.engine with
+     | Predecoded -> step_predecoded t
+     | Reference -> step_reference t)
+  | Halted | Faulted _ -> ()
+
+(* Run until halt, fault, or fuel exhaustion. Returns the final status.
+   The fuel check is [>=]: at most [fuel] instructions execute. *)
 let run ?(fuel = 4_000_000_000) t =
-  (try
-     while t.status = Running do
-       if t.insns_executed > fuel then raise Out_of_fuel;
-       step t
-     done
-   with Seghw.Fault.Fault f -> t.status <- Faulted f);
+  let start_insns = t.insns_executed in
+  Fun.protect
+    ~finally:(fun () ->
+      retired_total := !retired_total + (t.insns_executed - start_insns))
+    (fun () ->
+      try
+        match t.engine with
+        | Predecoded ->
+          (* The hot loop. Hoist the lowered arrays out of the loop and
+             test [status] with a match — no polymorphic comparison per
+             step. *)
+          let code = t.code in
+          let cost_tab = t.cost_tab in
+          let limit = Array.length code in
+          while (match t.status with Running -> true | _ -> false) do
+            if t.insns_executed >= fuel then raise Out_of_fuel;
+            let eip = t.eip in
+            if eip < 0 || eip >= limit then
+              Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" eip);
+            let next = exec t (Array.unsafe_get code eip) in
+            t.eip <- next;
+            t.insns_executed <- t.insns_executed + 1;
+            t.cycles <- t.cycles + Array.unsafe_get cost_tab eip
+          done
+        | Reference ->
+          while (match t.status with Running -> true | _ -> false) do
+            if t.insns_executed >= fuel then raise Out_of_fuel;
+            step_reference t
+          done
+      with Seghw.Fault.Fault f -> t.status <- Faulted f);
   t.status

@@ -4,20 +4,33 @@
 
     Labels whose name starts with ["__stat_"] are zero-cost dynamic
     counters: executing one bumps a named counter without consuming
-    cycles — the harness's measurement channel. *)
+    cycles — the harness's measurement channel.
+
+    Two engines implement the same semantics. {!Predecoded} (the
+    default) executes the link-time lowered program: pre-resolved branch
+    targets, a per-site cycle-cost table, pre-interned stat counters,
+    and exception-free control flow. {!Reference} is the original
+    interpreter, kept as the oracle for the equivalence suite. Both
+    produce bit-identical cycles, instruction counts, and machine
+    state. *)
 
 type status =
   | Running
   | Halted                     (** reached HLT *)
   | Faulted of Seghw.Fault.t   (** processor fault, EIP at the fault *)
 
+(** Which interpreter executes the program. *)
+type engine =
+  | Predecoded  (** the lowered fast path (default) *)
+  | Reference   (** the pre-lowering interpreter — the equivalence oracle *)
+
 type t
 
 exception Out_of_fuel
 
 val create :
-  mmu:Seghw.Mmu.t -> phys:Phys_mem.t -> costs:Cost_model.t ->
-  program:Program.t -> t
+  ?engine:engine -> mmu:Seghw.Mmu.t -> phys:Phys_mem.t ->
+  costs:Cost_model.t -> program:Program.t -> unit -> t
 
 (** Install the kernel entry point dispatching `int n` and call-gate far
     calls. *)
@@ -37,11 +50,13 @@ val regs : t -> Registers.t
 val mmu : t -> Seghw.Mmu.t
 val phys : t -> Phys_mem.t
 val program : t -> Program.t
+val engine : t -> engine
 
 (** Value of one ["__stat_"] counter (0 if never executed). *)
 val stat : t -> string -> int
 
-(** All counters, unordered. *)
+(** Counters that fired at least once, sorted by name (deterministic for
+    harness output). *)
 val stats : t -> (string * int) list
 
 (** Read the [n]th 32-bit cdecl argument of a host routine (arg 0 at
@@ -58,5 +73,11 @@ val return_float : t -> float -> unit
 val step : t -> unit
 
 (** Run until halt, fault, or fuel exhaustion; returns the final status.
-    @raise Out_of_fuel past [fuel] instructions (default 4e9). *)
+    At most [fuel] instructions execute (default 4e9).
+    @raise Out_of_fuel once the budget is exhausted. *)
 val run : ?fuel:int -> t -> status
+
+(** Instructions retired by {!run} across every CPU of this OCaml
+    process — the host-throughput metric reported by the benchmark
+    harness. No simulated semantics depend on it. *)
+val total_retired : unit -> int

@@ -9,7 +9,7 @@
 
 type width = Byte | Word | Long
 
-let width_bytes = function Byte -> 1 | Word -> 2 | Long -> 4
+let[@inline] width_bytes = function Byte -> 1 | Word -> 2 | Long -> 4
 
 type mem = {
   seg : Seghw.Segreg.name option; (* segment override prefix *)

@@ -21,57 +21,84 @@ let ensure t addr_end =
   end;
   if addr_end > t.high_water then t.high_water <- addr_end
 
-let read8 t addr =
+(* Multi-byte accesses compile to a single unaligned load/store (plus a
+   byte-swap on big-endian hosts) instead of per-byte assembly. The
+   compiler primitives are declared here directly — the stdlib's
+   [Bytes.get_int32_le] wrappers are ordinary functions, which the dev
+   profile's [-opaque] turns into out-of-line generic calls. Bounds are
+   checked by the callers below ("u" = unchecked); reads fall back to
+   byte-wise zero-fill only when the access straddles the end of
+   allocated storage. *)
+external unsafe_get_16 : Bytes.t -> int -> int = "%caml_bytes_get16u"
+external unsafe_set_16 : Bytes.t -> int -> int -> unit = "%caml_bytes_set16u"
+external unsafe_get_32 : Bytes.t -> int -> int32 = "%caml_bytes_get32u"
+external unsafe_set_32 : Bytes.t -> int -> int32 -> unit = "%caml_bytes_set32u"
+external unsafe_get_64 : Bytes.t -> int -> int64 = "%caml_bytes_get64u"
+external unsafe_set_64 : Bytes.t -> int -> int64 -> unit = "%caml_bytes_set64u"
+external swap16 : int -> int = "%bswap16"
+external swap32 : int32 -> int32 = "%bswap_int32"
+external swap64 : int64 -> int64 = "%bswap_int64"
+
+let[@inline] get_16_le b i =
+  if Sys.big_endian then swap16 (unsafe_get_16 b i) else unsafe_get_16 b i
+
+let[@inline] set_16_le b i v =
+  unsafe_set_16 b i (if Sys.big_endian then swap16 v else v)
+
+let[@inline] get_32_le b i =
+  if Sys.big_endian then swap32 (unsafe_get_32 b i) else unsafe_get_32 b i
+
+let[@inline] set_32_le b i v =
+  unsafe_set_32 b i (if Sys.big_endian then swap32 v else v)
+
+let[@inline] get_64_le b i =
+  if Sys.big_endian then swap64 (unsafe_get_64 b i) else unsafe_get_64 b i
+
+let[@inline] set_64_le b i v =
+  unsafe_set_64 b i (if Sys.big_endian then swap64 v else v)
+
+let[@inline] read8 t addr =
   if addr + 1 > Bytes.length t.data then 0
   else Char.code (Bytes.unsafe_get t.data addr)
 
-let write8 t addr v =
+let[@inline] write8 t addr v =
   ensure t (addr + 1);
   Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
 
 let read16 t addr =
-  if addr + 2 <= Bytes.length t.data then
-    Char.code (Bytes.unsafe_get t.data addr)
-    lor (Char.code (Bytes.unsafe_get t.data (addr + 1)) lsl 8)
+  if addr + 2 <= Bytes.length t.data then get_16_le t.data addr
   else read8 t addr lor (read8 t (addr + 1) lsl 8)
 
-let write16 t addr v =
+let[@inline] write16 t addr v =
   ensure t (addr + 2);
-  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF));
-  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+  set_16_le t.data addr (v land 0xFFFF)
 
 let read32 t addr =
-  if addr + 4 <= Bytes.length t.data then begin
-    let b0 = Char.code (Bytes.unsafe_get t.data addr) in
-    let b1 = Char.code (Bytes.unsafe_get t.data (addr + 1)) in
-    let b2 = Char.code (Bytes.unsafe_get t.data (addr + 2)) in
-    let b3 = Char.code (Bytes.unsafe_get t.data (addr + 3)) in
-    b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
-  end
+  if addr + 4 <= Bytes.length t.data then
+    Int32.to_int (get_32_le t.data addr) land 0xFFFFFFFF
   else
     read8 t addr
     lor (read8 t (addr + 1) lsl 8)
     lor (read8 t (addr + 2) lsl 16)
     lor (read8 t (addr + 3) lsl 24)
 
-let write32 t addr v =
+let[@inline] write32 t addr v =
   ensure t (addr + 4);
-  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF));
-  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF));
-  Bytes.unsafe_set t.data (addr + 2) (Char.unsafe_chr ((v lsr 16) land 0xFF));
-  Bytes.unsafe_set t.data (addr + 3) (Char.unsafe_chr ((v lsr 24) land 0xFF))
+  set_32_le t.data addr (Int32.of_int v)
 
 let read64 t addr =
-  Int64.logor
-    (Int64.of_int (read32 t addr))
-    (Int64.shift_left (Int64.of_int (read32 t (addr + 4))) 32)
+  if addr + 8 <= Bytes.length t.data then get_64_le t.data addr
+  else
+    Int64.logor
+      (Int64.of_int (read32 t addr))
+      (Int64.shift_left (Int64.of_int (read32 t (addr + 4))) 32)
 
-let write64 t addr v =
-  write32 t addr (Int64.to_int (Int64.logand v 0xFFFFFFFFL));
-  write32 t (addr + 4) (Int64.to_int (Int64.shift_right_logical v 32))
+let[@inline] write64 t addr v =
+  ensure t (addr + 8);
+  set_64_le t.data addr v
 
-let read_float t addr = Int64.float_of_bits (read64 t addr)
-let write_float t addr v = write64 t addr (Int64.bits_of_float v)
+let[@inline] read_float t addr = Int64.float_of_bits (read64 t addr)
+let[@inline] write_float t addr v = write64 t addr (Int64.bits_of_float v)
 
 (* Highest physical address ever written + 1; a cheap memory-footprint
    statistic for the space-overhead tables. *)

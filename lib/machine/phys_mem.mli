@@ -2,7 +2,16 @@
     are handed out sequentially by the paging unit, so a doubling buffer
     from address 0 suffices. *)
 
-type t
+(** Exposed concretely so the execution engine's flattened memory fast
+    path can access the store with direct loads (cross-module calls are
+    opaque under dune's dev profile). Engine contract: an in-capacity
+    access may touch [data] directly, but must keep [high_water] exactly
+    as the accessors below would; anything that grows the buffer goes
+    through the module. *)
+type t = {
+  mutable data : Bytes.t;
+  mutable high_water : int;  (** highest address ever written + 1 *)
+}
 
 val create : ?initial:int -> unit -> t
 

@@ -4,7 +4,14 @@
    Code lives outside simulated memory (the CPU interprets the structured
    instruction array); only its encoded byte size is accounted, via
    [Encode]. Data ranges are mapped and initialised by the simulated OS at
-   load time. *)
+   load time.
+
+   Linking also pre-decodes everything the interpreter would otherwise
+   recompute per executed instruction: every Jmp/Jcc/Call target is
+   resolved to an instruction index in [targets] (parallel to [code]), the
+   entry label to [entry_index], and "__stat_" counter labels are marked in
+   [stat_labels] — so the execution engine never consults the label
+   hashtable or rescans a label's prefix. *)
 
 type datum = {
   label : string;      (* symbolic name, for debugging *)
@@ -19,37 +26,59 @@ type t = {
   entry : string;
   data : datum list;
   data_bytes : int;   (* total initialised + bss data size *)
+  (* pre-decoded at link time: *)
+  targets : int array;     (* branch-target index per insn; no_target else *)
+  entry_index : int;       (* index of the entry label *)
+  stat_labels : bool array;(* true where code.(i) is a "__stat_" label *)
 }
 
 exception Link_error of string
 
-(* Build a program from an instruction list: index every [Label] and check
-   that all jump/call targets resolve. *)
+let no_target = -1
+
+(* Allocation-free prefix test for "__stat_" counter labels. *)
+let is_stat_label l =
+  String.length l >= 7
+  && String.unsafe_get l 0 = '_'
+  && String.unsafe_get l 1 = '_'
+  && String.unsafe_get l 2 = 's'
+  && String.unsafe_get l 3 = 't'
+  && String.unsafe_get l 4 = 'a'
+  && String.unsafe_get l 5 = 't'
+  && String.unsafe_get l 6 = '_'
+
+(* Build a program from an instruction list: index every [Label], resolve
+   all jump/call targets to instruction indices, and locate the entry. *)
 let link ?(entry = "main") ?(data = []) insns =
   let code = Array.of_list insns in
   let labels = Hashtbl.create 97 in
+  let stat_labels = Array.make (Array.length code) false in
   Array.iteri
     (fun i insn ->
       match insn with
       | Insn.Label l ->
         if Hashtbl.mem labels l then
           raise (Link_error (Printf.sprintf "duplicate label %S" l));
-        Hashtbl.add labels l i
+        Hashtbl.add labels l i;
+        if is_stat_label l then stat_labels.(i) <- true
       | _ -> ())
     code;
-  let require l =
-    if not (Hashtbl.mem labels l) then
-      raise (Link_error (Printf.sprintf "undefined label %S" l))
+  let resolve_exn l =
+    match Hashtbl.find_opt labels l with
+    | Some i -> i
+    | None -> raise (Link_error (Printf.sprintf "undefined label %S" l))
   in
-  Array.iter
-    (fun insn ->
-      match insn with
-      | Insn.Jmp l | Insn.Jcc (_, l) | Insn.Call l -> require l
-      | _ -> ())
-    code;
-  require entry;
+  let targets =
+    Array.map
+      (fun insn ->
+        match insn with
+        | Insn.Jmp l | Insn.Jcc (_, l) | Insn.Call l -> resolve_exn l
+        | _ -> no_target)
+      code
+  in
+  let entry_index = resolve_exn entry in
   let data_bytes = List.fold_left (fun acc d -> acc + d.size) 0 data in
-  { code; labels; entry; data; data_bytes }
+  { code; labels; entry; data; data_bytes; targets; entry_index; stat_labels }
 
 let resolve t label =
   match Hashtbl.find_opt t.labels label with

@@ -1,7 +1,13 @@
 (** A linked program: instructions with resolved labels plus the
     data-section layout the loader must establish. Code is interpreted
     structurally (only its encoded size is accounted); data ranges are
-    mapped and initialised by the simulated OS at load time. *)
+    mapped and initialised by the simulated OS at load time.
+
+    Linking pre-decodes the control-flow structure: [targets] carries the
+    resolved instruction index of every [Jmp]/[Jcc]/[Call] (parallel to
+    [code]), [entry_index] the resolved entry label, and [stat_labels]
+    marks the ["__stat_"] counter labels — the execution engine reads
+    these arrays instead of probing the label hashtable per branch. *)
 
 type datum = {
   label : string;       (** symbolic name, for debugging *)
@@ -16,12 +22,24 @@ type t = {
   entry : string;
   data : datum list;
   data_bytes : int;
+  targets : int array;
+      (** per-instruction branch target index; {!no_target} elsewhere *)
+  entry_index : int;        (** index of the entry label *)
+  stat_labels : bool array; (** [true] where [code.(i)] is a stat label *)
 }
 
 exception Link_error of string
 
-(** [link ?entry ?data insns] indexes every [Label] and checks that all
-    jump/call targets and the entry point resolve.
+(** Sentinel in {!t.targets} for instructions that are not
+    [Jmp]/[Jcc]/[Call]. Negative, so [targets.(i) >= 0] tests validity. *)
+val no_target : int
+
+(** Does this label name a zero-cost ["__stat_"] dynamic counter? *)
+val is_stat_label : string -> bool
+
+(** [link ?entry ?data insns] indexes every [Label], resolves all
+    jump/call targets and the entry point to instruction indices, and
+    marks stat labels.
     @raise Link_error on duplicate labels or unresolved targets. *)
 val link : ?entry:string -> ?data:datum list -> Insn.t list -> t
 

@@ -14,11 +14,11 @@ type reg = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
 
 type freg = XMM0 | XMM1 | XMM2 | XMM3 | XMM4 | XMM5 | XMM6 | XMM7
 
-let reg_index = function
+let[@inline] reg_index = function
   | EAX -> 0 | EBX -> 1 | ECX -> 2 | EDX -> 3
   | ESI -> 4 | EDI -> 5 | EBP -> 6 | ESP -> 7
 
-let freg_index = function
+let[@inline] freg_index = function
   | XMM0 -> 0 | XMM1 -> 1 | XMM2 -> 2 | XMM3 -> 3
   | XMM4 -> 4 | XMM5 -> 5 | XMM6 -> 6 | XMM7 -> 7
 
@@ -38,22 +38,22 @@ type t = {
   fp : float array;   (* 8 scalar-double registers *)
 }
 
-let mask32 v = v land 0xFFFFFFFF
+let[@inline] mask32 v = v land 0xFFFFFFFF
 
 (* Interpret a 32-bit unsigned value as signed two's complement. *)
-let to_signed v =
+let[@inline] to_signed v =
   let v = mask32 v in
   if v >= 0x80000000 then v - 0x100000000 else v
 
-let of_signed v = mask32 v
+let[@inline] of_signed v = mask32 v
 
 let create () = { gp = Array.make 8 0; fp = Array.make 8 0.0 }
 
-let get t r = t.gp.(reg_index r)
-let set t r v = t.gp.(reg_index r) <- mask32 v
+let[@inline] get t r = t.gp.(reg_index r)
+let[@inline] set t r v = t.gp.(reg_index r) <- mask32 v
 
-let getf t r = t.fp.(freg_index r)
-let setf t r v = t.fp.(freg_index r) <- v
+let[@inline] getf t r = t.fp.(freg_index r)
+let[@inline] setf t r v = t.fp.(freg_index r) <- v
 
 let reset t =
   Array.fill t.gp 0 8 0;

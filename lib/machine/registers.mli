@@ -17,7 +17,15 @@ val freg_of_int : int -> freg
 val reg_name : reg -> string
 val freg_name : freg -> string
 
-type t
+(** The register file, exposed concretely so the execution engine's hot
+    path compiles register access to direct array loads (under dune's dev
+    profile, cross-module calls are opaque and cannot be inlined).
+    Invariant: every [gp] element is in [0, 2{^32}); writers must mask.
+    Use {!get}/{!set} everywhere speed does not matter. *)
+type t = {
+  gp : int array;     (** 8 general-purpose registers *)
+  fp : float array;   (** 8 scalar-double registers *)
+}
 
 (** Truncate to 32 bits. *)
 val mask32 : int -> int

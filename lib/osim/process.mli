@@ -20,7 +20,10 @@ val created_at : t -> int
 
 val terminated_at : t -> int
 
-val load : kernel:Kernel.t -> Machine.Program.t -> t
+(** [engine] selects the CPU interpreter ({!Machine.Cpu.Predecoded} by
+    default; {!Machine.Cpu.Reference} for the equivalence oracle). *)
+val load : ?engine:Machine.Cpu.engine -> kernel:Kernel.t ->
+  Machine.Program.t -> t
 
 (** Run to completion; advances the kernel's global clock by the cycles
     consumed and records the termination timestamp. *)

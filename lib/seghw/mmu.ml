@@ -39,7 +39,7 @@ let create ~gdt ~ldt =
     limit_checks = 0;
   }
 
-let seg t = function
+let[@inline] seg t = function
   | Segreg.CS -> t.cs
   | Segreg.SS -> t.ss
   | Segreg.DS -> t.ds
@@ -75,22 +75,27 @@ let load_segreg t name selector =
 (* Read back the visible selector, as MOV from a segment register does. *)
 let read_segreg t name = Segreg.selector (seg t name)
 
-(* Resolve linear -> physical through the TLB, falling back to the walk. *)
-let linear_to_physical t ~linear ~write =
+(* Resolve linear -> physical through the TLB, falling back to the walk.
+   A TLB hit is a sentinel-tested int, not an option: the common case
+   allocates nothing. A write missing over a read-only entry walks (the
+   page tables enforce write protection) and the insert upgrades the slot
+   in place. *)
+let[@inline] linear_to_physical t ~linear ~write =
   let page = linear lsr Paging.page_shift in
-  match Tlb.lookup t.tlb ~page ~write with
-  | Some frame -> (frame lsl Paging.page_shift) lor (linear land 0xFFF)
-  | None ->
+  let frame = Tlb.lookup t.tlb ~page ~write in
+  if frame >= 0 then (frame lsl Paging.page_shift) lor (linear land 0xFFF)
+  else begin
     let phys = Paging.walk t.paging ~linear ~write in
     Tlb.insert t.tlb ~page ~frame:(phys lsr Paging.page_shift)
       ~writable:write;
     phys
+  end
 
 (* Full logical -> physical translation for a [size]-byte access. This is
    the hot path: one segment-limit check plus a TLB lookup. *)
-let translate t ~seg_name ~offset ~size ~write =
+let[@inline] translate t ~seg_name ~offset ~size ~write =
   t.limit_checks <- t.limit_checks + 1;
-  let stack = seg_name = Segreg.SS in
+  let stack = match seg_name with Segreg.SS -> true | _ -> false in
   let linear =
     Segreg.translate (seg t seg_name) ~name:seg_name ~offset ~size ~write
       ~stack

@@ -8,7 +8,26 @@
     the segment-limit check Cash exploits runs on every reference, as on
     real hardware. *)
 
-type t
+(** Exposed concretely so the interpreter can flatten the hot
+    translation pipeline (segment-limit check + TLB probe) into its own
+    compilation unit — under dune's dev profile cross-module calls are
+    opaque generic applications, so the per-access path must not leave
+    the engine's unit. Mutate only [limit_checks] (and only as
+    {!translate} does: one increment per segment-limit check); every
+    other field is wired once by [create] / {!set_ldt}. *)
+type t = {
+  gdt : Descriptor_table.t;
+  mutable ldt : Descriptor_table.t;  (** the LDTR *)
+  cs : Segreg.t;
+  ss : Segreg.t;
+  ds : Segreg.t;
+  es : Segreg.t;
+  fs : Segreg.t;
+  gs : Segreg.t;
+  paging : Paging.t;
+  tlb : Tlb.t;
+  mutable limit_checks : int;  (** segment-limit checks performed *)
+}
 
 val create : gdt:Descriptor_table.t -> ldt:Descriptor_table.t -> t
 

@@ -6,7 +6,15 @@
    only the cached copy; modifying the descriptor table does *not* affect a
    register already loaded. The simulator preserves this property because
    Cash's 3-entry segment-reuse cache depends on it being safe to leave
-   stale selectors loaded. *)
+   stale selectors loaded.
+
+   The hidden cache is kept twice: [cache] holds the full descriptor (for
+   introspection and the fault-reporting slow path), and the [f_*] fields
+   mirror the base / effective limit / writability as unboxed mutable
+   scalars so the in-bounds common case of [translate] — the check run on
+   every simulated memory reference — touches no options and calls no
+   descriptor accessors. Both copies are written only by [load], so they
+   cannot diverge. *)
 
 type name = CS | SS | DS | ES | FS | GS
 
@@ -19,13 +27,41 @@ type t = {
   mutable selector : Selector.t;
   mutable cache : Descriptor.t option;
       (* None = loaded with the null selector (or never loaded). *)
+  (* Flattened mirror of [cache], for the translation fast path. *)
+  mutable f_valid : bool;
+  mutable f_base : int;
+  mutable f_limit : int; (* effective limit in bytes *)
+  mutable f_writable : bool;
 }
 
-let create () = { selector = Selector.null; cache = None }
+let create () =
+  {
+    selector = Selector.null;
+    cache = None;
+    f_valid = false;
+    f_base = 0;
+    f_limit = 0;
+    f_writable = false;
+  }
 
 let selector t = t.selector
 let cached_descriptor t = t.cache
 let is_null t = t.cache = None
+
+(* Refresh the flattened mirror from [cache]; the only other writer of the
+   [f_*] fields is [create]. *)
+let sync_flat t =
+  match t.cache with
+  | None ->
+    t.f_valid <- false;
+    t.f_base <- 0;
+    t.f_limit <- 0;
+    t.f_writable <- false
+  | Some d ->
+    t.f_valid <- true;
+    t.f_base <- d.Descriptor.base;
+    t.f_limit <- Descriptor.effective_limit d;
+    t.f_writable <- Descriptor.is_writable d
 
 (* Load a segment register: copies the descriptor into the hidden cache.
    [name] determines the architectural rules: CS and SS reject the null
@@ -45,12 +81,13 @@ let load t ~name ~selector ~descriptor =
      Fault.gp "loading call gate into a data segment register"
    | _ -> ());
   t.selector <- selector;
-  t.cache <- descriptor
+  t.cache <- descriptor;
+  sync_flat t
 
-(* The per-access check (Figure 1's first stage): verify the offset against
-   the cached limit and translate to a linear address. [stack] selects #SS
-   instead of #GP on violation. *)
-let translate t ~name ~offset ~size ~write ~stack =
+(* Fault path of [translate]: reached only when the fast-path test fails,
+   so one of the conditions below must hold; raises with the exact
+   diagnostics of the unflattened checker. *)
+let translate_fault t ~name ~offset ~size ~write ~stack =
   match t.cache with
   | None ->
     Fault.gp
@@ -59,16 +96,27 @@ let translate t ~name ~offset ~size ~write ~stack =
     if write && not (Descriptor.is_writable d) then
       Fault.gp (Printf.sprintf "write through read-only %s"
                   (name_to_string name));
-    if not (Descriptor.offset_ok d ~offset ~size) then begin
-      let msg =
-        Printf.sprintf
-          "segment limit violation: %s offset=0x%x size=%d limit=0x%x"
-          (name_to_string name) (offset land 0xFFFFFFFF) size
-          (Descriptor.effective_limit d)
-      in
-      if stack then Fault.ss msg else Fault.gp msg
-    end;
-    (d.Descriptor.base + (offset land 0xFFFFFFFF)) land 0xFFFFFFFF
+    let msg =
+      Printf.sprintf
+        "segment limit violation: %s offset=0x%x size=%d limit=0x%x"
+        (name_to_string name) (offset land 0xFFFFFFFF) size
+        (Descriptor.effective_limit d)
+    in
+    if stack then Fault.ss msg else Fault.gp msg
+
+(* The per-access check (Figure 1's first stage): verify the offset against
+   the cached limit and translate to a linear address. [stack] selects #SS
+   instead of #GP on violation. The in-bounds case — one compare chain over
+   the flattened cache — is the hot path of the whole simulator. *)
+let[@inline] translate t ~name ~offset ~size ~write ~stack =
+  let off = offset land 0xFFFFFFFF in
+  if
+    t.f_valid
+    && ((not write) || t.f_writable)
+    && size > 0
+    && off + size - 1 <= t.f_limit
+  then (t.f_base + off) land 0xFFFFFFFF
+  else translate_fault t ~name ~offset ~size ~write ~stack
 
 let pp ppf t =
   match t.cache with

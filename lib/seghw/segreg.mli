@@ -3,14 +3,32 @@
     Each register has a visible selector and a hidden copy of the
     descriptor taken at load time (§3.1): translation uses only the
     cache, so modifying the LDT does not affect already-loaded registers
-    — the property Cash's 3-entry segment-reuse cache relies on. *)
+    — the property Cash's 3-entry segment-reuse cache relies on.
+
+    Internally the hidden cache is mirrored into flat mutable scalars
+    (base / effective limit / writability), refreshed on every {!load},
+    so the in-bounds case of {!translate} performs a single compare
+    chain with no option match and no descriptor accessor calls. *)
 
 type name = CS | SS | DS | ES | FS | GS
 
 val name_to_string : name -> string
 val all_names : name list
 
-type t
+(** Exposed concretely so the interpreter's flattened translation fast
+    path can run the limit check over the [f_*] scalar mirror with
+    direct field loads (cross-module calls are opaque under dune's dev
+    profile). All fields are written only by {!load} (and [create]);
+    treat them as read-only everywhere else. *)
+type t = {
+  mutable selector : Selector.t;
+  mutable cache : Descriptor.t option;
+      (** [None] = loaded with the null selector (or never loaded) *)
+  mutable f_valid : bool;     (** flattened mirror of [cache]: *)
+  mutable f_base : int;
+  mutable f_limit : int;      (** effective limit in bytes *)
+  mutable f_writable : bool;
+}
 
 val create : unit -> t
 val selector : t -> Selector.t

@@ -2,44 +2,76 @@
 
    Caches linear-page -> physical-frame translations to skip the two-level
    walk on hits. The simulator tracks hit/miss counts so tests can verify
-   that invalidation works and benchmarks can report locality effects. *)
+   that invalidation works and benchmarks can report locality effects.
 
-type entry = { tag : int; frame : int; writable : bool }
+   Storage is three parallel unboxed arrays (tag / frame / writable)
+   rather than an [entry option] array: a lookup on the interpreter's hot
+   path touches only immediates and allocates nothing. An empty slot is
+   encoded by the [empty_tag] sentinel, which no real page number can
+   equal (linear addresses are 32-bit, so page numbers are at most
+   2^20 - 1). *)
 
 type t = {
-  slots : entry option array;
-  size : int;
+  tags : int array;        (* linear page number, or [empty_tag] *)
+  frames : int array;
+  writable : bool array;
+  mask : int;              (* size - 1; size is a power of two *)
   mutable hits : int;
   mutable misses : int;
 }
 
+let empty_tag = -1
+
+(* Sentinel returned by [lookup] on a miss. *)
+let miss = -1
+
 let create ?(size = 64) () =
   if size <= 0 || size land (size - 1) <> 0 then
     invalid_arg "Tlb.create: size must be a positive power of two";
-  { slots = Array.make size None; size; hits = 0; misses = 0 }
+  {
+    tags = Array.make size empty_tag;
+    frames = Array.make size 0;
+    writable = Array.make size false;
+    mask = size - 1;
+    hits = 0;
+    misses = 0;
+  }
 
-let slot t page = page land (t.size - 1)
-
-(* Look up the frame for [page] (a linear page number). *)
-let lookup t ~page ~write =
-  match t.slots.(slot t page) with
-  | Some e when e.tag = page && ((not write) || e.writable) ->
+(* Look up the frame for [page] (a linear page number). A write probing a
+   read-only entry is a miss: the caller must walk the page tables (which
+   enforce write protection) and re-[insert], upgrading the entry in
+   place. *)
+let[@inline] lookup t ~page ~write =
+  let s = page land t.mask in
+  if
+    Array.unsafe_get t.tags s = page
+    && ((not write) || Array.unsafe_get t.writable s)
+  then begin
     t.hits <- t.hits + 1;
-    Some e.frame
-  | _ ->
+    Array.unsafe_get t.frames s
+  end
+  else begin
     t.misses <- t.misses + 1;
-    None
+    miss
+  end
 
+(* Fill (or upgrade in place) the slot for [page]. Because the TLB is
+   direct-mapped, inserting over an existing same-page read-only entry
+   after a write walk mutates that slot directly — no aliased stale entry
+   survives, so the read-only-hit-as-write-miss penalty is paid exactly
+   once per upgrade. *)
 let insert t ~page ~frame ~writable =
-  t.slots.(slot t page) <- Some { tag = page; frame; writable }
+  let s = page land t.mask in
+  t.tags.(s) <- page;
+  t.frames.(s) <- frame;
+  t.writable.(s) <- writable
 
 let invalidate_page t ~page =
-  match t.slots.(slot t page) with
-  | Some e when e.tag = page -> t.slots.(slot t page) <- None
-  | _ -> ()
+  let s = page land t.mask in
+  if t.tags.(s) = page then t.tags.(s) <- empty_tag
 
 (* Full flush, as on a CR3 reload. *)
-let flush t = Array.fill t.slots 0 t.size None
+let flush t = Array.fill t.tags 0 (t.mask + 1) empty_tag
 
 let hits t = t.hits
 let misses t = t.misses

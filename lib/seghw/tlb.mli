@@ -1,17 +1,50 @@
 (** A direct-mapped translation lookaside buffer over {!Paging}, with
-    hit/miss counters. *)
+    hit/miss counters.
 
-type t
+    Entries live in unboxed parallel arrays; {!lookup} returns an [int]
+    with the {!miss} sentinel instead of an option so the interpreter's
+    hot path allocates nothing.
+
+    {2 Hit/miss accounting}
+
+    Every probe bumps exactly one counter. A write probing an entry that
+    was inserted by a read (and is therefore cached non-writable) counts
+    as {e one} miss; the caller then walks the page tables and
+    re-inserts, which upgrades the slot in place — the next write to the
+    same page hits. A read never misses on a writable entry. *)
+
+(** Exposed concretely so the interpreter's flattened translation fast
+    path can probe the arrays with direct loads (cross-module calls are
+    opaque under dune's dev profile). Treat every field as private to
+    {!Tlb} and the engine fast path: mutate only through {!insert} /
+    {!invalidate_page} / {!flush}, and keep the counter discipline of
+    the accounting note above. *)
+type t = {
+  tags : int array;        (** linear page number per slot, or [-1] = empty *)
+  frames : int array;
+  writable : bool array;
+  mask : int;              (** slot count - 1; always a power of two *)
+  mutable hits : int;
+  mutable misses : int;
+}
 
 (** [create ?size ()] builds a TLB with [size] slots (default 64).
     @raise Invalid_argument unless [size] is a positive power of two. *)
 val create : ?size:int -> unit -> t
 
-(** [lookup t ~page ~write] returns the cached frame, or [None] on a miss
-    — including a write probing a read-only entry. Updates counters. *)
-val lookup : t -> page:int -> write:bool -> int option
+(** Returned by {!lookup} when the translation is not cached. Negative,
+    so [lookup ... >= 0] tests for a hit. *)
+val miss : int
 
+(** [lookup t ~page ~write] returns the cached frame, or {!miss} —
+    including a write probing a read-only entry. Updates counters. *)
+val lookup : t -> page:int -> write:bool -> int
+
+(** [insert t ~page ~frame ~writable] fills the slot for [page],
+    replacing whatever occupied it — including upgrading a read-only
+    entry for the same page in place after a write walk. *)
 val insert : t -> page:int -> frame:int -> writable:bool -> unit
+
 val invalidate_page : t -> page:int -> unit
 
 (** Full flush, as on a CR3 reload. *)

@@ -30,7 +30,7 @@ let run_insns ?(setup = fun _ -> ()) insns =
   let mmu, _ = flat_env () in
   let phys = Phys_mem.create () in
   let program = Program.link ~entry:"main" (Insn.Label "main" :: insns) in
-  let cpu = Cpu.create ~mmu ~phys ~costs:Cost_model.pentium3 ~program in
+  let cpu = Cpu.create ~mmu ~phys ~costs:Cost_model.pentium3 ~program () in
   Registers.set (Cpu.regs cpu) Registers.ESP 0x8000;
   setup cpu;
   let status = Cpu.run ~fuel:1_000_000 cpu in

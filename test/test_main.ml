@@ -12,6 +12,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("extensions", Test_extensions.suite);
       ("core-api", Test_core.suite);
+      ("predecode", Test_predecode.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
     ]

@@ -243,23 +243,32 @@ let test_paging_write_protect () =
 
 let test_tlb () =
   let t = Tlb.create ~size:4 () in
-  Alcotest.(check bool) "miss" true (Tlb.lookup t ~page:7 ~write:false = None);
+  Alcotest.(check int) "miss" Tlb.miss (Tlb.lookup t ~page:7 ~write:false);
   Tlb.insert t ~page:7 ~frame:42 ~writable:true;
-  Alcotest.(check bool) "hit" true (Tlb.lookup t ~page:7 ~write:true = Some 42);
+  Alcotest.(check int) "hit" 42 (Tlb.lookup t ~page:7 ~write:true);
   (* conflicting slot evicts *)
   Tlb.insert t ~page:11 ~frame:9 ~writable:false;
-  Alcotest.(check bool) "evicted" true (Tlb.lookup t ~page:7 ~write:false = None);
+  Alcotest.(check int) "evicted" Tlb.miss (Tlb.lookup t ~page:7 ~write:false);
   Tlb.invalidate_page t ~page:11;
-  Alcotest.(check bool) "invalidated" true
-    (Tlb.lookup t ~page:11 ~write:false = None);
+  Alcotest.(check int) "invalidated" Tlb.miss
+    (Tlb.lookup t ~page:11 ~write:false);
   Alcotest.(check bool) "counters" true (Tlb.hits t = 1 && Tlb.misses t >= 3)
 
 let test_tlb_write_upgrade () =
   let t = Tlb.create ~size:4 () in
   Tlb.insert t ~page:3 ~frame:1 ~writable:false;
-  (* a write access must not hit a read-only TLB entry *)
-  Alcotest.(check bool) "write miss on ro entry" true
-    (Tlb.lookup t ~page:3 ~write:true = None)
+  (* a write access must not hit a read-only TLB entry... *)
+  Alcotest.(check int) "write miss on ro entry" Tlb.miss
+    (Tlb.lookup t ~page:3 ~write:true);
+  (* ...and after the walk, re-inserting upgrades the slot in place, so
+     the read-only-hit-as-write-miss penalty is paid exactly once: the
+     next write (and read) hit. *)
+  Tlb.insert t ~page:3 ~frame:1 ~writable:true;
+  Alcotest.(check int) "write hits after upgrade" 1
+    (Tlb.lookup t ~page:3 ~write:true);
+  Alcotest.(check int) "read hits after upgrade" 1
+    (Tlb.lookup t ~page:3 ~write:false);
+  Alcotest.(check int) "exactly one miss" 1 (Tlb.misses t)
 
 (* --- mmu ---------------------------------------------------------------- *)
 
