@@ -5,12 +5,17 @@
 
      dune exec bench/main.exe                 # tables + bechamel
      dune exec bench/main.exe -- --no-bechamel  # reproduction output only
+     dune exec bench/main.exe -- --trace        # + trace/profile JSON
 
    The reproduction pass also reports host throughput — simulated
-   instructions retired per host second — and writes it to BENCH_1.json
-   so subsequent PRs can track the interpreter's perf trajectory. The
-   table/figure output itself is unaffected: simulated cycle counts are
-   engine-independent. *)
+   instructions retired per host second — and writes it to the first
+   free BENCH_<n>.json (never overwriting a prior run, so the sequence
+   is a real time series), stamped with engine/version metadata. With
+   --trace, a Trace.sink is attached to every run of the reproduction
+   pass and dumped to the matching TRACE_<n>.json: per-function cycle
+   attribution plus segment/TLB/fault/LDT event counts. The
+   table/figure output itself is unaffected either way: simulated cycle
+   counts are engine- and tracing-independent. *)
 
 let experiments : (string * (unit -> Harness.Report.t)) list =
   [
@@ -70,20 +75,47 @@ let print_throughput tp =
   Printf.printf "insns executed        %12d\n" tp.insns;
   Printf.printf "insns per host second %12.0f\n" tp.insns_per_second
 
-(* Machine-readable perf record, one file per PR, for trajectory
-   tracking across the stacked sequence. *)
-let write_json ~path tp =
+(* Machine-readable perf record, one file per run, for trajectory
+   tracking across the stacked sequence. Never overwrites: each run
+   takes the first free index, so BENCH_1.json, BENCH_2.json, ... is a
+   real time series. *)
+let next_free_index () =
+  let rec go n =
+    if n > 10_000 then failwith "bench: no free BENCH_<n>.json index"
+    else if
+      Sys.file_exists (Printf.sprintf "BENCH_%d.json" n)
+      || Sys.file_exists (Printf.sprintf "TRACE_%d.json" n)
+    then go (n + 1)
+    else n
+  in
+  go 1
+
+let write_json ~path ~traced tp =
+  let json =
+    Trace.Json.(
+      Obj
+        [
+          ("schema", Int 2);
+          ("bench", Str "full-reproduction");
+          ("engine", Str "predecoded");
+          ("traced", Bool traced);
+          ("ocaml_version", Str Sys.ocaml_version);
+          ("experiments", Int (List.length experiments));
+          ("wall_seconds", Float tp.wall_seconds);
+          ("insns_executed", Int tp.insns);
+          ("insns_per_host_second", Float tp.insns_per_second);
+        ])
+  in
   let oc = open_out path in
-  Printf.fprintf oc
-    "{\n\
-    \  \"bench\": \"full-reproduction\",\n\
-    \  \"pr\": 1,\n\
-    \  \"experiments\": %d,\n\
-    \  \"wall_seconds\": %.3f,\n\
-    \  \"insns_executed\": %d,\n\
-    \  \"insns_per_host_second\": %.0f\n\
-     }\n"
-    (List.length experiments) tp.wall_seconds tp.insns tp.insns_per_second;
+  output_string oc (Trace.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let write_trace_json ~path sink =
+  let oc = open_out path in
+  output_string oc (Trace.Json.to_string (Trace.to_json sink));
+  output_char oc '\n';
   close_out oc;
   Printf.printf "wrote %s\n" path
 
@@ -125,7 +157,32 @@ let () =
   let no_bechamel =
     Array.exists (fun a -> a = "--no-bechamel") Sys.argv
   in
+  let traced = Array.exists (fun a -> a = "--trace") Sys.argv in
+  let sink =
+    if traced then begin
+      let s = Trace.create () in
+      Core.set_default_trace (Some s);
+      Some s
+    end
+    else None
+  in
   let tp = measure_throughput print_reproduction in
+  Core.set_default_trace None;
   print_throughput tp;
-  write_json ~path:"BENCH_1.json" tp;
+  let n = next_free_index () in
+  write_json ~path:(Printf.sprintf "BENCH_%d.json" n) ~traced tp;
+  (match sink with
+   | Some s ->
+     write_trace_json ~path:(Printf.sprintf "TRACE_%d.json" n) s;
+     print_endline "\n== trace: top functions by attributed cycles ==";
+     List.iteri
+       (fun i (sym, insns, cycles) ->
+         if i < 15 then
+           Printf.printf "%-28s %14d cycles %12d insns\n" sym cycles insns)
+       (Trace.attributions s);
+     print_endline "\n== trace: event counters ==";
+     List.iter
+       (fun (k, v) -> Printf.printf "%-28s %14d\n" k v)
+       (Trace.counters s)
+   | None -> ());
   if not no_bechamel then run_bechamel ()

@@ -4,6 +4,11 @@
      dune exec bin/cashc.exe -- --compiler gcc prog.c
      dune exec bin/cashc.exe -- --compiler bcc --stats prog.c
      dune exec bin/cashc.exe -- --dump-asm prog.c      # print generated code
+     dune exec bin/cashc.exe -- --profile prog.c       # traced run: flat
+                                                         per-function cycle
+                                                         profile + hardware
+                                                         event counters on
+                                                         stderr
 *)
 
 open Cmdliner
@@ -29,6 +34,13 @@ let stats =
 let dump_asm =
   Arg.(value & flag & info [ "dump-asm" ] ~doc:"Print the generated code and exit.")
 
+let profile =
+  Arg.(value & flag &
+       info [ "profile" ]
+         ~doc:"Run with a trace sink attached and print a flat per-function \
+               cycle profile plus hardware event counters to stderr. \
+               Simulated cycles are identical with and without this flag.")
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -36,7 +48,26 @@ let read_file path =
   close_in ic;
   s
 
-let run file backend stats dump_asm =
+let print_profile sink =
+  Printf.eprintf "-- flat profile (cycles by function) --\n";
+  Printf.eprintf "%-24s %12s %12s\n" "function" "cycles" "insns";
+  List.iter
+    (fun (sym, insns, cycles) ->
+      Printf.eprintf "%-24s %12d %12d\n" sym cycles insns)
+    (Trace.attributions sink);
+  Printf.eprintf "-- hardware events --\n";
+  List.iter
+    (fun (k, v) -> Printf.eprintf "%-24s %12d\n" k v)
+    (Trace.counters sink);
+  let violations = Trace.violations sink in
+  if violations <> [] then begin
+    Printf.eprintf "-- checker violations --\n";
+    List.iter
+      (fun (checker, msg) -> Printf.eprintf "%s: %s\n" checker msg)
+      violations
+  end
+
+let run file backend stats dump_asm profile =
   let source = read_file file in
   match Core.compile backend source with
   | exception Minic.Lexer.Lex_error (m, l) ->
@@ -51,8 +82,10 @@ let run file backend stats dump_asm =
       0
     end
     else begin
-      let r = Core.run compiled in
+      let trace = if profile then Some (Trace.create ()) else None in
+      let r = Core.run ?trace compiled in
       print_string r.Core.output;
+      (match trace with Some s -> print_profile s | None -> ());
       let exit_code =
         match r.Core.status with
         | Core.Finished -> 0
@@ -87,6 +120,6 @@ let run file backend stats dump_asm =
 let cmd =
   let doc = "compile and run mini-C on the simulated segmented x86" in
   Cmd.v (Cmd.info "cashc" ~doc)
-    Term.(const run $ file $ backend $ stats $ dump_asm)
+    Term.(const run $ file $ backend $ stats $ dump_asm $ profile)
 
 let () = exit (Cmd.eval' cmd)

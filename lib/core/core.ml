@@ -72,23 +72,35 @@ let is_cash (r : compiled) =
   | Compilers.Backend.Cash _ -> true
   | _ -> false
 
+(* Ambient sink for whole-harness tracing (bench --trace): applied to
+   every [run] that does not pass an explicit [?trace]. *)
+let default_trace = ref None
+let set_default_trace sink = default_trace := sink
+let current_trace () = !default_trace
+
 (* Load [compiled] into a fresh simulated process and run it to
    completion. A fresh kernel is created unless one is supplied (supply
    one to share a global clock across processes, as the network
-   experiments do). *)
-let run ?kernel ?engine ?fuel ?(guard_malloc = false) (compiled : compiled) =
+   experiments do). With a trace sink (explicit or ambient), the CPU and
+   MMU emit events into it and the per-function cycle attribution of the
+   run is folded into the sink afterwards. *)
+let run ?kernel ?engine ?fuel ?trace ?(guard_malloc = false)
+    (compiled : compiled) =
+  let trace = match trace with Some _ as s -> s | None -> !default_trace in
   let kernel =
     match kernel with Some k -> k | None -> Osim.Kernel.create ()
   in
   let process =
     Osim.Process.load ?engine ~kernel compiled.Compilers.Codegen.program
   in
+  Machine.Cpu.set_sink (Osim.Process.cpu process) trace;
   if guard_malloc then
     Osim.Libc.set_guard_malloc (Osim.Process.libc process) true;
   let runtime =
     if is_cash compiled then Some (Cashrt.Runtime.attach process) else None
   in
   let raw_status = Osim.Process.run ?fuel process in
+  Machine.Cpu.commit_profile (Osim.Process.cpu process);
   let status =
     match raw_status with
     | Machine.Cpu.Halted -> Finished
@@ -109,8 +121,8 @@ let run ?kernel ?engine ?fuel ?(guard_malloc = false) (compiled : compiled) =
   }
 
 (* Compile and run in one step. *)
-let exec ?engine ?fuel ?guard_malloc backend source =
-  run ?engine ?fuel ?guard_malloc (compile backend source)
+let exec ?engine ?fuel ?trace ?guard_malloc backend source =
+  run ?engine ?fuel ?trace ?guard_malloc (compile backend source)
 
 (* Sum of the dynamic counters whose label starts with [prefix] —
    "__stat_iter_a" (array-loop iterations), "__stat_iter_s" (spilled-loop

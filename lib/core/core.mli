@@ -60,19 +60,32 @@ type run = {
     [kernel] to share a global clock across processes (the network
     experiments do); [engine] to pick the CPU interpreter (the
     pre-decoded fast path by default, [Machine.Cpu.Reference] for the
-    equivalence oracle); [guard_malloc] enables the Electric Fence
+    equivalence oracle); [trace] to attach a {!Trace.sink} — the run
+    emits hardware/OS events into it and folds its per-function cycle
+    attribution in afterwards (tracing never changes simulated
+    semantics); [guard_malloc] enables the Electric Fence
     comparator (§2): page-fenced heap allocations that catch
     malloc-buffer overruns under ANY backend, at page-granular
     virtual-memory cost.
     @raise Machine.Cpu.Out_of_fuel past [fuel] instructions. *)
 val run :
   ?kernel:Osim.Kernel.t -> ?engine:Machine.Cpu.engine -> ?fuel:int ->
-  ?guard_malloc:bool -> compiled -> run
+  ?trace:Trace.sink -> ?guard_malloc:bool -> compiled -> run
 
 (** [compile] then [run]. *)
 val exec :
-  ?engine:Machine.Cpu.engine -> ?fuel:int -> ?guard_malloc:bool ->
-  backend -> string -> run
+  ?engine:Machine.Cpu.engine -> ?fuel:int -> ?trace:Trace.sink ->
+  ?guard_malloc:bool -> backend -> string -> run
+
+(** Ambient sink applied to every {!run} without an explicit [?trace] —
+    how [bench/main.exe --trace] traces whole-harness reproductions
+    whose [run] calls are buried inside the table modules. [None] (the
+    default) restores untraced runs. *)
+val set_default_trace : Trace.sink option -> unit
+
+(** The ambient sink currently in force, for harness code that emits
+    events itself (e.g. Table 8's scheduler). *)
+val current_trace : unit -> Trace.sink option
 
 (** Sum of the dynamic zero-cost counters with the given name prefix:
     ["__stat_iter_a_"] array-loop iterations, ["__stat_iter_s_"]

@@ -18,7 +18,8 @@ let serve backend source ~requests =
   let compiled = Core.compile backend source in
   let reference = ref None in
   let records =
-    Osim.Scheduler.serve ~kernel ~requests (fun _ ->
+    Osim.Scheduler.serve ~kernel ~requests ?trace:(Core.current_trace ())
+      (fun _ ->
         let run = Core.run ~kernel compiled in
         (match run.Core.status with
          | Core.Finished -> ()

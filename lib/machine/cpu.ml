@@ -63,6 +63,13 @@ type t = {
   mutable kernel : t -> gate:[ `Gate of Seghw.Selector.t | `Int of int ] -> unit;
   externals : (string, t -> unit) Hashtbl.t;
   stat_counters : (string, int ref) Hashtbl.t;
+  (* Tracing: [sink] mirrors [mmu.trace] (set together by [set_sink]).
+     With a sink attached the run loop takes a separate traced variant
+     that bumps [prof_hits] (per-site retire counts, the cycle
+     profiler's input, allocated lazily on attach); with it detached
+     the hot loop is byte-for-byte the untraced one. *)
+  mutable sink : Trace.sink option;
+  mutable prof_hits : int array;
 }
 
 exception Out_of_fuel
@@ -114,7 +121,23 @@ let create ?(engine = Predecoded) ~mmu ~phys ~costs ~program () =
     kernel = (fun _ ~gate:_ -> Seghw.Fault.gp "no kernel installed");
     externals = Hashtbl.create 31;
     stat_counters;
+    sink = None;
+    prof_hits = [||];
   }
+
+(* Attach (or detach) the trace sink: the CPU and its MMU share it, so
+   one call covers the limit-check/TLB emit sites of the flattened
+   translation path as well as the module ones. *)
+let set_sink t sink =
+  t.sink <- sink;
+  Seghw.Mmu.set_trace t.mmu sink;
+  match sink with
+  | Some _ ->
+    if Array.length t.prof_hits <> Array.length t.code then
+      t.prof_hits <- Array.make (Array.length t.code) 0
+  | None -> ()
+
+let sink t = t.sink
 
 let set_kernel t k = t.kernel <- k
 let register_external t name f = Hashtbl.replace t.externals name f
@@ -289,6 +312,14 @@ let[@inline] translate t ~seg_name ~offset ~size ~write =
     && size > 0
     && off + size - 1 <= sr.Seghw.Segreg.f_limit
   then begin
+    (match mmu.Seghw.Mmu.trace with
+     | None -> ()
+     | Some s ->
+       Trace.emit s
+         (Trace.Limit_check
+            { seg = Seghw.Segreg.name_to_string seg_name;
+              base = sr.Seghw.Segreg.f_base; offset = off; size; write;
+              ok = true }));
     let linear = (sr.Seghw.Segreg.f_base + off) land 0xFFFFFFFF in
     let tlb = mmu.Seghw.Mmu.tlb in
     let page = linear lsr Seghw.Paging.page_shift in
@@ -298,11 +329,20 @@ let[@inline] translate t ~seg_name ~offset ~size ~write =
       && ((not write) || Array.unsafe_get tlb.Seghw.Tlb.writable slot)
     then begin
       tlb.Seghw.Tlb.hits <- tlb.Seghw.Tlb.hits + 1;
+      (match mmu.Seghw.Mmu.trace with
+       | None -> ()
+       | Some s -> Trace.emit s Trace.Tlb_hit);
       (Array.unsafe_get tlb.Seghw.Tlb.frames slot lsl Seghw.Paging.page_shift)
       lor (linear land 0xFFF)
     end
     else begin
       tlb.Seghw.Tlb.misses <- tlb.Seghw.Tlb.misses + 1;
+      (match mmu.Seghw.Mmu.trace with
+       | None -> ()
+       | Some s ->
+         let old = Array.unsafe_get tlb.Seghw.Tlb.tags slot in
+         Trace.emit s
+           (Trace.Tlb_miss { page; evicted = old >= 0 && old <> page }));
       let phys = Seghw.Paging.walk mmu.Seghw.Mmu.paging ~linear ~write in
       Seghw.Tlb.insert tlb ~page
         ~frame:(phys lsr Seghw.Paging.page_shift)
@@ -314,6 +354,14 @@ let[@inline] translate t ~seg_name ~offset ~size ~write =
     (* Some fast-path condition failed; [Segreg.translate] re-runs the
        same test over the same mirror and raises the architectural
        fault with the module's exact diagnostics. *)
+    (match mmu.Seghw.Mmu.trace with
+     | None -> ()
+     | Some s ->
+       Trace.emit s
+         (Trace.Limit_check
+            { seg = Seghw.Segreg.name_to_string seg_name;
+              base = sr.Seghw.Segreg.f_base; offset = off; size; write;
+              ok = false }));
     let stack = match seg_name with Seghw.Segreg.SS -> true | _ -> false in
     let linear =
       Seghw.Segreg.translate sr ~name:seg_name ~offset ~size ~write ~stack
@@ -686,7 +734,11 @@ let step_predecoded t =
   let next = exec t (Array.unsafe_get t.code eip) in
   t.eip <- next;
   t.insns_executed <- t.insns_executed + 1;
-  t.cycles <- t.cycles + Array.unsafe_get t.cost_tab eip
+  t.cycles <- t.cycles + Array.unsafe_get t.cost_tab eip;
+  match t.sink with
+  | None -> ()
+  | Some _ ->
+    Array.unsafe_set t.prof_hits eip (Array.unsafe_get t.prof_hits eip + 1)
 
 (* --- the reference engine (the equivalence oracle) --------------------- *)
 
@@ -861,9 +913,15 @@ let exec_reference t (i : Insn.t) =
 let step_reference t =
   if t.eip < 0 || t.eip >= Array.length t.program.Program.code then
     Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" t.eip);
-  let i = t.program.Program.code.(t.eip) in
-  try exec_reference t i with
-  | Exit -> () (* control transfer already applied *)
+  let eip = t.eip in
+  let i = t.program.Program.code.(eip) in
+  (try exec_reference t i with
+   | Exit -> () (* control transfer already applied *));
+  (* A faulting instruction propagates past this point unretired, so it
+     is not attributed — matching the pre-decoded engine. *)
+  match t.sink with
+  | None -> ()
+  | Some _ -> t.prof_hits.(eip) <- t.prof_hits.(eip) + 1
 
 (* --- stepping and the run loop ----------------------------------------- *)
 
@@ -875,6 +933,26 @@ let step t =
      | Reference -> step_reference t)
   | Halted | Faulted _ -> ()
 
+(* Exactly one Fault event per architectural fault: raised faults
+   funnel through [run]'s single handler, which calls this before
+   recording the status. *)
+let emit_fault_event t (f : Seghw.Fault.t) =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    let cls, address, selector =
+      match f with
+      | Seghw.Fault.General_protection _ -> (`Gp, None, None)
+      | Seghw.Fault.Stack_fault _ -> (`Ss, None, None)
+      | Seghw.Fault.Page_fault { linear; _ } -> (`Pf, Some linear, None)
+      | Seghw.Fault.Not_present sel -> (`Np, None, Some sel)
+      | Seghw.Fault.Invalid_opcode _ -> (`Ud, None, None)
+      | Seghw.Fault.Bound_range _ -> (`Br, None, None)
+    in
+    Trace.emit s
+      (Trace.Fault
+         { cls; detail = Seghw.Fault.to_string f; address; selector })
+
 (* Run until halt, fault, or fuel exhaustion. Returns the final status.
    The fuel check is [>=]: at most [fuel] instructions execute. *)
 let run ?(fuel = 4_000_000_000) t =
@@ -884,11 +962,12 @@ let run ?(fuel = 4_000_000_000) t =
       retired_total := !retired_total + (t.insns_executed - start_insns))
     (fun () ->
       try
-        match t.engine with
-        | Predecoded ->
+        match t.engine, t.sink with
+        | Predecoded, None ->
           (* The hot loop. Hoist the lowered arrays out of the loop and
              test [status] with a match — no polymorphic comparison per
-             step. *)
+             step. Untraced: the sink is tested once, out here, so the
+             per-instruction path is exactly the pre-tracing one. *)
           let code = t.code in
           let cost_tab = t.cost_tab in
           let limit = Array.length code in
@@ -902,10 +981,87 @@ let run ?(fuel = 4_000_000_000) t =
             t.insns_executed <- t.insns_executed + 1;
             t.cycles <- t.cycles + Array.unsafe_get cost_tab eip
           done
-        | Reference ->
+        | Predecoded, Some _ ->
+          (* The traced variant: identical commits plus one per-site
+             retire count, the profiler's raw input. [prof_hits] is
+             sized to [code] by [set_sink]. *)
+          let code = t.code in
+          let cost_tab = t.cost_tab in
+          let prof = t.prof_hits in
+          let limit = Array.length code in
+          while (match t.status with Running -> true | _ -> false) do
+            if t.insns_executed >= fuel then raise Out_of_fuel;
+            let eip = t.eip in
+            if eip < 0 || eip >= limit then
+              Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" eip);
+            let next = exec t (Array.unsafe_get code eip) in
+            t.eip <- next;
+            t.insns_executed <- t.insns_executed + 1;
+            t.cycles <- t.cycles + Array.unsafe_get cost_tab eip;
+            Array.unsafe_set prof eip (Array.unsafe_get prof eip + 1)
+          done
+        | Reference, _ ->
           while (match t.status with Running -> true | _ -> false) do
             if t.insns_executed >= fuel then raise Out_of_fuel;
             step_reference t
           done
-      with Seghw.Fault.Fault f -> t.status <- Faulted f);
+      with Seghw.Fault.Fault f ->
+        emit_fault_event t f;
+        t.status <- Faulted f);
   t.status
+
+(* --- the cycle profiler ------------------------------------------------- *)
+
+(* Attribute per-site retire counts to function symbols: a symbol is any
+   label that is neither a ["__stat_"] counter nor a [".L"]-prefixed
+   local (codegen's loop/branch labels), i.e. function entries plus
+   "_start". Sites before the first symbol fall into "<prelude>".
+   Cycles per site are [hits * cost_tab] — the per-site cost is fixed,
+   so this is exact, not sampled. Returns [(symbol, insns, cycles)]
+   sorted by cycles descending; empty without a traced run. *)
+let profile t =
+  if Array.length t.prof_hits = 0 then []
+  else begin
+    let tbl = Hashtbl.create 31 in
+    let order = ref [] in
+    let current = ref "<prelude>" in
+    Array.iteri
+      (fun i insn ->
+        (match insn with
+         | Insn.Label l
+           when String.length l > 0 && l.[0] <> '.'
+                && not (Program.is_stat_label l) ->
+           current := l
+         | _ -> ());
+        let hits = t.prof_hits.(i) in
+        if hits > 0 then begin
+          let cycles = hits * t.cost_tab.(i) in
+          match Hashtbl.find_opt tbl !current with
+          | Some (hi, cy) ->
+            hi := !hi + hits;
+            cy := !cy + cycles
+          | None ->
+            Hashtbl.add tbl !current (ref hits, ref cycles);
+            order := !current :: !order
+        end)
+      t.code;
+    List.rev_map
+      (fun sym ->
+        let hi, cy = Hashtbl.find tbl sym in
+        (sym, !hi, !cy))
+      !order
+    |> List.sort (fun (na, _, ca) (nb, _, cb) ->
+           match compare cb ca with 0 -> String.compare na nb | n -> n)
+  end
+
+(* Fold a finished traced run's attribution into its sink (called once
+   per run by the facade; [prof_hits] is cumulative, so callers that
+   re-run a CPU must merge only once). *)
+let commit_profile t =
+  match t.sink with
+  | None -> ()
+  | Some s ->
+    List.iter
+      (fun (sym, insns, cycles) ->
+        Trace.add_attribution s sym ~insns ~cycles)
+      (profile t)

@@ -81,3 +81,31 @@ val run : ?fuel:int -> t -> status
     process — the host-throughput metric reported by the benchmark
     harness. No simulated semantics depend on it. *)
 val total_retired : unit -> int
+
+(** {2 Tracing and profiling}
+
+    Attaching a {!Trace.sink} makes the CPU (and its MMU — the sink is
+    forwarded to [Seghw.Mmu.set_trace]) emit typed events: segment
+    register loads, limit checks, TLB hits/misses/evictions, and
+    exactly one [Fault] event per architectural fault caught by {!run}.
+    It also switches {!run} to a traced loop that counts per-site
+    retires for the cycle profiler. Tracing never changes simulated
+    semantics: cycles, stat counters, registers, and memory are
+    bit-identical with and without a sink (pinned by the oracle suite
+    in [test/test_predecode.ml]). *)
+
+(** Attach or detach the event sink (detached by default). *)
+val set_sink : t -> Trace.sink option -> unit
+
+val sink : t -> Trace.sink option
+
+(** Per-function flat profile of a traced run: [(symbol, insns,
+    cycles)] sorted by cycles descending. Symbols are function labels
+    (anything but ["__stat_"] counters and [".L"] locals); cycles are
+    exact ([retires x tabulated site cost]), not sampled. Empty unless
+    a sink was attached before running. *)
+val profile : t -> (string * int * int) list
+
+(** Fold {!profile} into the attached sink's attribution table (once
+    per finished run — the underlying counts are cumulative). *)
+val commit_profile : t -> unit

@@ -140,6 +140,19 @@ let install_call_gate t ~ldt =
    model charges for the corresponding instructions, verify the same
    conditions, and bump the same statistics. *)
 
+(* LDT-update trace events ride the CPU's sink (one per successful
+   update, after the §3.8 checks pass). *)
+let emit_ldt_update cpu ~path ~index ~size =
+  match Machine.Cpu.sink cpu with
+  | None -> ()
+  | Some s ->
+    Trace.emit s (Trace.Ldt_update { path; index; cleared = size = 0 })
+
+let emit_gate_entry cpu ~selector =
+  match Machine.Cpu.sink cpu with
+  | None -> ()
+  | Some s -> Trace.emit s (Trace.Call_gate_entry { selector })
+
 let invoke_cash_modify_ldt t cpu ~ldt ~index ~base ~size ~writable =
   Machine.Cpu.add_cycles cpu t.costs.Machine.Cost_model.call_gate;
   (* The gate must actually be installed; calling before set_ldt_callgate
@@ -147,13 +160,16 @@ let invoke_cash_modify_ldt t cpu ~ldt ~index ~base ~size ~writable =
   (match Seghw.Descriptor_table.get ldt 0 with
    | Some d when Seghw.Descriptor.is_call_gate d -> ()
    | _ -> Seghw.Fault.gp "cash_modify_ldt: call gate not installed");
+  emit_gate_entry cpu ~selector:(Seghw.Selector.to_int cash_gate_selector);
   t.stats.cash_modify_ldt_calls <- t.stats.cash_modify_ldt_calls + 1;
-  do_modify_ldt t ~ldt ~index ~base ~size ~writable
+  do_modify_ldt t ~ldt ~index ~base ~size ~writable;
+  emit_ldt_update cpu ~path:Trace.Call_gate ~index ~size
 
 let invoke_modify_ldt t cpu ~ldt ~index ~base ~size ~writable =
   Machine.Cpu.add_cycles cpu t.costs.Machine.Cost_model.int_syscall;
   t.stats.modify_ldt_calls <- t.stats.modify_ldt_calls + 1;
-  do_modify_ldt t ~ldt ~index ~base ~size ~writable
+  do_modify_ldt t ~ldt ~index ~base ~size ~writable;
+  emit_ldt_update cpu ~path:Trace.Slow_syscall ~index ~size
 
 (* Cost of the set_ldt_callgate system call: a plain syscall without the
    register-restore burden of modify_ldt. Together with the runtime's
@@ -177,7 +193,10 @@ let handle_entry t ~ldt cpu ~gate =
        t.stats.modify_ldt_calls <- t.stats.modify_ldt_calls + 1;
        do_modify_ldt t ~ldt ~index:(reg Machine.Registers.EBX)
          ~base:(reg Machine.Registers.ECX) ~size:(reg Machine.Registers.EDX)
-         ~writable:(reg Machine.Registers.ESI <> 0)
+         ~writable:(reg Machine.Registers.ESI <> 0);
+       emit_ldt_update cpu ~path:Trace.Slow_syscall
+         ~index:(reg Machine.Registers.EBX)
+         ~size:(reg Machine.Registers.EDX)
      | n when n = sys_set_ldt_callgate -> install_call_gate t ~ldt
      | n when n = sys_exit -> Seghw.Fault.gp "sys_exit via int 0x80"
      | n -> Seghw.Fault.gp (Printf.sprintf "unknown syscall %d" n))
@@ -191,10 +210,14 @@ let handle_entry t ~ldt cpu ~gate =
     (match d.Seghw.Descriptor.seg_type with
      | Seghw.Descriptor.Call_gate { handler; _ }
        when handler = cash_gate_handler ->
+       emit_gate_entry cpu ~selector:(Seghw.Selector.to_int sel);
        t.stats.cash_modify_ldt_calls <- t.stats.cash_modify_ldt_calls + 1;
        do_modify_ldt t ~ldt ~index:(reg Machine.Registers.EBX)
          ~base:(reg Machine.Registers.ECX) ~size:(reg Machine.Registers.EDX)
-         ~writable:(reg Machine.Registers.ESI <> 0)
+         ~writable:(reg Machine.Registers.ESI <> 0);
+       emit_ldt_update cpu ~path:Trace.Call_gate
+         ~index:(reg Machine.Registers.EBX)
+         ~size:(reg Machine.Registers.EDX)
      | Seghw.Descriptor.Call_gate { handler; _ } ->
        Seghw.Fault.gp (Printf.sprintf "unknown call-gate handler %d" handler)
      | _ -> Seghw.Fault.gp "far call target is not a call gate")

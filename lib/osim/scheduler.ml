@@ -17,11 +17,17 @@ type record = { pid : int; created_at : int; terminated_at : int }
 let default_fork_overhead = 50_000
 
 (* Serve [requests] requests. [handle i] must create, run, and return the
-   process that served request [i]. *)
-let serve ~kernel ~requests ?(fork_overhead = default_fork_overhead) handle =
+   process that served request [i]. With [trace] attached, each request's
+   dispatch emits one Context_switch event (the fork-and-switch to the
+   serving child). *)
+let serve ~kernel ~requests ?(fork_overhead = default_fork_overhead) ?trace
+    handle =
   List.init requests (fun i ->
       Kernel.advance_clock kernel fork_overhead;
       let p = handle i in
+      (match trace with
+       | None -> ()
+       | Some s -> Trace.emit s (Trace.Context_switch { pid = Process.pid p }));
       {
         pid = Process.pid p;
         created_at = Process.created_at p;

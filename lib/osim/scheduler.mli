@@ -8,10 +8,12 @@ type record = { pid : int; created_at : int; terminated_at : int }
 val default_fork_overhead : int
 
 (** [serve ~kernel ~requests handle] runs [handle i] for each request;
-    the callback must create, run, and return the serving process. *)
+    the callback must create, run, and return the serving process.
+    With [trace] attached, each dispatch emits one [Context_switch]
+    event carrying the serving child's pid. *)
 val serve :
   kernel:Kernel.t -> requests:int -> ?fork_overhead:int ->
-  (int -> Process.t) -> record list
+  ?trace:Trace.sink -> (int -> Process.t) -> record list
 
 (** Cycles from first creation to last termination. *)
 val span : record list -> int

@@ -22,6 +22,10 @@ type t = {
   paging : Paging.t;
   tlb : Tlb.t;
   mutable limit_checks : int; (* # segment-limit checks performed *)
+  mutable trace : Trace.sink option;
+      (* event sink; None (the default) keeps every emit site to one
+         load-and-branch. Shared with the CPU's flattened translation
+         copy, which tests the same field. *)
 }
 
 let create ~gdt ~ldt =
@@ -37,7 +41,11 @@ let create ~gdt ~ldt =
     paging = Paging.create ();
     tlb = Tlb.create ();
     limit_checks = 0;
+    trace = None;
   }
+
+let set_trace t sink = t.trace <- sink
+let trace t = t.trace
 
 let[@inline] seg t = function
   | Segreg.CS -> t.cs
@@ -70,7 +78,14 @@ let load_segreg t name selector =
     else Some (Descriptor_table.lookup_exn (table_for t selector)
                  (Selector.index selector))
   in
-  Segreg.load (seg t name) ~name ~selector ~descriptor
+  Segreg.load (seg t name) ~name ~selector ~descriptor;
+  match t.trace with
+  | None -> ()
+  | Some s ->
+    Trace.emit s
+      (Trace.Segreg_load
+         { reg = Segreg.name_to_string name;
+           selector = Selector.to_int selector })
 
 (* Read back the visible selector, as MOV from a segment register does. *)
 let read_segreg t name = Segreg.selector (seg t name)
@@ -83,8 +98,21 @@ let read_segreg t name = Segreg.selector (seg t name)
 let[@inline] linear_to_physical t ~linear ~write =
   let page = linear lsr Paging.page_shift in
   let frame = Tlb.lookup t.tlb ~page ~write in
-  if frame >= 0 then (frame lsl Paging.page_shift) lor (linear land 0xFFF)
+  if frame >= 0 then begin
+    (match t.trace with
+     | None -> ()
+     | Some s -> Trace.emit s Trace.Tlb_hit);
+    (frame lsl Paging.page_shift) lor (linear land 0xFFF)
+  end
   else begin
+    (* The miss event precedes the walk so a faulting walk still counts
+       the miss, matching the Tlb.lookup counter discipline. *)
+    (match t.trace with
+     | None -> ()
+     | Some s ->
+       let old = t.tlb.Tlb.tags.(page land t.tlb.Tlb.mask) in
+       Trace.emit s
+         (Trace.Tlb_miss { page; evicted = old >= 0 && old <> page }));
     let phys = Paging.walk t.paging ~linear ~write in
     Tlb.insert t.tlb ~page ~frame:(phys lsr Paging.page_shift)
       ~writable:write;
@@ -96,10 +124,24 @@ let[@inline] linear_to_physical t ~linear ~write =
 let[@inline] translate t ~seg_name ~offset ~size ~write =
   t.limit_checks <- t.limit_checks + 1;
   let stack = match seg_name with Segreg.SS -> true | _ -> false in
-  let linear =
-    Segreg.translate (seg t seg_name) ~name:seg_name ~offset ~size ~write
-      ~stack
-  in
+  let sr = seg t seg_name in
+  (match t.trace with
+   | None -> ()
+   | Some s ->
+     (* Recompute the check's outcome over the flat mirror so the event
+        can be emitted before [Segreg.translate] raises on failure. *)
+     let off = offset land 0xFFFFFFFF in
+     let ok =
+       sr.Segreg.f_valid
+       && ((not write) || sr.Segreg.f_writable)
+       && size > 0
+       && off + size - 1 <= sr.Segreg.f_limit
+     in
+     Trace.emit s
+       (Trace.Limit_check
+          { seg = Segreg.name_to_string seg_name; base = sr.Segreg.f_base;
+            offset = off; size; write; ok }));
+  let linear = Segreg.translate sr ~name:seg_name ~offset ~size ~write ~stack in
   linear_to_physical t ~linear ~write
 
 (* Translate without a segment register: used by the simulated kernel when

@@ -27,9 +27,20 @@ type t = {
   paging : Paging.t;
   tlb : Tlb.t;
   mutable limit_checks : int;  (** segment-limit checks performed *)
+  mutable trace : Trace.sink option;
+      (** event sink; [None] (the default) keeps every emit site to one
+          load-and-branch. The CPU's flattened translation copy tests
+          this same field, so attach/detach through {!set_trace} (or
+          [Machine.Cpu.set_sink], which forwards here). *)
 }
 
 val create : gdt:Descriptor_table.t -> ldt:Descriptor_table.t -> t
+
+(** Attach or detach the event sink. Detached is the default; tracing
+    never changes translation results or counters. *)
+val set_trace : t -> Trace.sink option -> unit
+
+val trace : t -> Trace.sink option
 
 val seg : t -> Segreg.name -> Segreg.t
 val gdt : t -> Descriptor_table.t

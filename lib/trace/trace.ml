@@ -1,0 +1,417 @@
+(* Structured tracing and metrics for the simulator.
+
+   Checkbochs (Usenix '04) showed the value of a machine simulator that
+   exposes hardware-level events to pluggable checkers; this module is
+   that layer for the Cash simulator. The hardware (lib/seghw), the CPU
+   (lib/machine), and the OS (lib/osim) each hold a [sink option] and
+   emit typed events when one is attached; the sink maintains per-kind
+   counters, a bounded ring of recent events, inline invariant checkers,
+   and the per-function cycle attribution the profiler merges in after a
+   run.
+
+   Overhead policy: the traced-off cost is one load-and-branch per
+   would-be event at each emitting site (no event is even constructed),
+   so the hot path stays within noise of the untraced engine. The traced
+   cost is one allocation + counter bump + ring store per event. Tracing
+   never changes simulated semantics — cycles, stat counters, memory and
+   table output are bit-identical either way; test/test_predecode.ml
+   pins this. *)
+
+type ldt_path = Slow_syscall | Call_gate
+
+type event =
+  | Segreg_load of { reg : string; selector : int }
+  | Limit_check of {
+      seg : string;
+      base : int;
+      offset : int;
+      size : int;
+      write : bool;
+      ok : bool;
+    }
+  | Fault of {
+      cls : [ `Gp | `Ss | `Pf | `Np | `Ud | `Br ];
+      detail : string;
+      address : int option;
+      selector : int option;
+    }
+  | Tlb_hit
+  | Tlb_miss of { page : int; evicted : bool }
+  | Ldt_update of { path : ldt_path; index : int; cleared : bool }
+  | Call_gate_entry of { selector : int }
+  | Context_switch of { pid : int }
+
+type kind =
+  | K_segreg_load
+  | K_limit_check_pass
+  | K_limit_check_fail
+  | K_fault_gp
+  | K_fault_ss
+  | K_fault_pf
+  | K_fault_np
+  | K_fault_ud
+  | K_fault_br
+  | K_tlb_hit
+  | K_tlb_miss
+  | K_tlb_evict
+  | K_modify_ldt
+  | K_cash_modify_ldt
+  | K_call_gate_entry
+  | K_context_switch
+
+let kind_index = function
+  | K_segreg_load -> 0
+  | K_limit_check_pass -> 1
+  | K_limit_check_fail -> 2
+  | K_fault_gp -> 3
+  | K_fault_ss -> 4
+  | K_fault_pf -> 5
+  | K_fault_np -> 6
+  | K_fault_ud -> 7
+  | K_fault_br -> 8
+  | K_tlb_hit -> 9
+  | K_tlb_miss -> 10
+  | K_tlb_evict -> 11
+  | K_modify_ldt -> 12
+  | K_cash_modify_ldt -> 13
+  | K_call_gate_entry -> 14
+  | K_context_switch -> 15
+
+let num_kinds = 16
+
+let all_kinds =
+  [
+    K_segreg_load; K_limit_check_pass; K_limit_check_fail; K_fault_gp;
+    K_fault_ss; K_fault_pf; K_fault_np; K_fault_ud; K_fault_br; K_tlb_hit;
+    K_tlb_miss; K_tlb_evict; K_modify_ldt; K_cash_modify_ldt;
+    K_call_gate_entry; K_context_switch;
+  ]
+
+let kind_name = function
+  | K_segreg_load -> "segreg.load"
+  | K_limit_check_pass -> "limit_check.pass"
+  | K_limit_check_fail -> "limit_check.fail"
+  | K_fault_gp -> "fault.gp"
+  | K_fault_ss -> "fault.ss"
+  | K_fault_pf -> "fault.pf"
+  | K_fault_np -> "fault.np"
+  | K_fault_ud -> "fault.ud"
+  | K_fault_br -> "fault.br"
+  | K_tlb_hit -> "tlb.hit"
+  | K_tlb_miss -> "tlb.miss"
+  | K_tlb_evict -> "tlb.evict"
+  | K_modify_ldt -> "ldt.modify_ldt"
+  | K_cash_modify_ldt -> "ldt.cash_modify_ldt"
+  | K_call_gate_entry -> "ldt.call_gate_entry"
+  | K_context_switch -> "sched.context_switch"
+
+let kind_of_event = function
+  | Segreg_load _ -> K_segreg_load
+  | Limit_check { ok; _ } -> if ok then K_limit_check_pass else K_limit_check_fail
+  | Fault { cls; _ } ->
+    (match cls with
+     | `Gp -> K_fault_gp
+     | `Ss -> K_fault_ss
+     | `Pf -> K_fault_pf
+     | `Np -> K_fault_np
+     | `Ud -> K_fault_ud
+     | `Br -> K_fault_br)
+  | Tlb_hit -> K_tlb_hit
+  | Tlb_miss _ -> K_tlb_miss
+  | Ldt_update { path = Slow_syscall; _ } -> K_modify_ldt
+  | Ldt_update { path = Call_gate; _ } -> K_cash_modify_ldt
+  | Call_gate_entry _ -> K_call_gate_entry
+  | Context_switch _ -> K_context_switch
+
+(* --- histograms --------------------------------------------------------- *)
+
+module Histogram = struct
+  (* Power-of-two buckets: bucket 0 counts v <= 0, bucket i counts
+     2^(i-1) <= v < 2^i. 63 buckets cover the whole int range. *)
+  type t = { counts : int array; mutable total : int }
+
+  let nbuckets = 63
+
+  let create () = { counts = Array.make nbuckets 0; total = 0 }
+
+  let bucket_of v =
+    if v <= 0 then 0
+    else
+      let rec go i v = if v = 0 then i else go (i + 1) (v lsr 1) in
+      min (nbuckets - 1) (go 0 v)
+
+  let add t v =
+    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+    t.total <- t.total + 1
+
+  let total t = t.total
+
+  let lower_bound i = if i = 0 then 0 else 1 lsl (i - 1)
+
+  let buckets t =
+    let acc = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if t.counts.(i) > 0 then acc := (lower_bound i, t.counts.(i)) :: !acc
+    done;
+    !acc
+end
+
+(* --- the sink ----------------------------------------------------------- *)
+
+type sink = {
+  counters : int array;           (* indexed by kind_index *)
+  ring : event option array;      (* circular buffer of recent events *)
+  capacity : int;
+  mutable head : int;             (* next write position *)
+  mutable total : int;            (* events emitted, ever *)
+  mutable checkers : (string * (event -> unit)) list;
+  mutable violation_log : (string * string) list; (* newest first *)
+  reload_interval : Histogram.t;
+  mutable checks_at_last_reload : int;
+  (* (symbol -> insns, cycles), merged in by the profiler *)
+  attribution : (string, int ref * int ref) Hashtbl.t;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  {
+    counters = Array.make num_kinds 0;
+    ring = Array.make capacity None;
+    capacity;
+    head = 0;
+    total = 0;
+    checkers = [];
+    violation_log = [];
+    reload_interval = Histogram.create ();
+    checks_at_last_reload = 0;
+    attribution = Hashtbl.create 31;
+  }
+
+let count t kind = t.counters.(kind_index kind)
+
+let emit t ev =
+  let k = kind_of_event ev in
+  let ki = kind_index k in
+  t.counters.(ki) <- t.counters.(ki) + 1;
+  (match ev with
+   | Tlb_miss { evicted = true; _ } ->
+     let e = kind_index K_tlb_evict in
+     t.counters.(e) <- t.counters.(e) + 1
+   | Segreg_load _ ->
+     (* Reload-rate metric: how many limit checks ran since the previous
+        segment-register load. *)
+     let checks =
+       t.counters.(kind_index K_limit_check_pass)
+       + t.counters.(kind_index K_limit_check_fail)
+     in
+     Histogram.add t.reload_interval (checks - t.checks_at_last_reload);
+     t.checks_at_last_reload <- checks
+   | _ -> ());
+  t.ring.(t.head) <- Some ev;
+  t.head <- (t.head + 1) mod t.capacity;
+  t.total <- t.total + 1;
+  match t.checkers with
+  | [] -> ()
+  | cs -> List.iter (fun (_, f) -> f ev) cs
+
+let counters t =
+  List.filter_map
+    (fun k ->
+      let c = count t k in
+      if c > 0 then Some (kind_name k, c) else None)
+    all_kinds
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let events t =
+  (* Oldest-first: the ring wraps at [head]. *)
+  let acc = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    match t.ring.((t.head + i) mod t.capacity) with
+    | Some ev -> acc := ev :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let total_events t = t.total
+let dropped t = max 0 (t.total - t.capacity)
+let reload_interval t = t.reload_interval
+
+let add_checker t ~name f = t.checkers <- t.checkers @ [ (name, f) ]
+
+let violation t ~checker msg =
+  t.violation_log <- (checker, msg) :: t.violation_log
+
+let violations t = List.rev t.violation_log
+
+let add_attribution t sym ~insns ~cycles =
+  match Hashtbl.find_opt t.attribution sym with
+  | Some (i, c) ->
+    i := !i + insns;
+    c := !c + cycles
+  | None -> Hashtbl.add t.attribution sym (ref insns, ref cycles)
+
+let attributions t =
+  Hashtbl.fold (fun sym (i, c) acc -> (sym, !i, !c) :: acc) t.attribution []
+  |> List.sort (fun (na, _, ca) (nb, _, cb) ->
+         match compare cb ca with 0 -> String.compare na nb | n -> n)
+
+(* --- pretty-printing ---------------------------------------------------- *)
+
+let ldt_path_name = function
+  | Slow_syscall -> "modify_ldt"
+  | Call_gate -> "cash_modify_ldt"
+
+let pp_event ppf = function
+  | Segreg_load { reg; selector } ->
+    Fmt.pf ppf "segreg_load %s <- 0x%04x" reg selector
+  | Limit_check { seg; base; offset; size; write; ok } ->
+    Fmt.pf ppf "limit_check %s base=0x%x offset=0x%x size=%d %s %s" seg base
+      offset size
+      (if write then "write" else "read")
+      (if ok then "pass" else "FAIL")
+  | Fault { detail; _ } -> Fmt.pf ppf "fault %s" detail
+  | Tlb_hit -> Fmt.string ppf "tlb_hit"
+  | Tlb_miss { page; evicted } ->
+    Fmt.pf ppf "tlb_miss page=0x%x%s" page (if evicted then " (evict)" else "")
+  | Ldt_update { path; index; cleared } ->
+    Fmt.pf ppf "ldt_update via %s index=%d %s" (ldt_path_name path) index
+      (if cleared then "clear" else "set")
+  | Call_gate_entry { selector } ->
+    Fmt.pf ppf "call_gate_entry 0x%04x" selector
+  | Context_switch { pid } -> Fmt.pf ppf "context_switch pid=%d" pid
+
+(* --- JSON export -------------------------------------------------------- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let b = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let rec write b = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Buffer.add_string b (Printf.sprintf "%.1f" f)
+      else Buffer.add_string b (Printf.sprintf "%.6g" f)
+    | Str s ->
+      Buffer.add_char b '"';
+      Buffer.add_string b (escape s);
+      Buffer.add_char b '"'
+    | List vs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char b ',';
+          write b v)
+        vs;
+      Buffer.add_char b ']'
+    | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          write b (Str k);
+          Buffer.add_char b ':';
+          write b v)
+        kvs;
+      Buffer.add_char b '}'
+
+  let to_string v =
+    let b = Buffer.create 256 in
+    write b v;
+    Buffer.contents b
+end
+
+let json_of_event ev : Json.t =
+  match ev with
+  | Segreg_load { reg; selector } ->
+    Json.Obj
+      [ ("event", Json.Str "segreg_load"); ("reg", Json.Str reg);
+        ("selector", Json.Int selector) ]
+  | Limit_check { seg; base; offset; size; write; ok } ->
+    Json.Obj
+      [ ("event", Json.Str "limit_check"); ("seg", Json.Str seg);
+        ("base", Json.Int base); ("offset", Json.Int offset);
+        ("size", Json.Int size); ("write", Json.Bool write);
+        ("ok", Json.Bool ok) ]
+  | Fault { cls; detail; address; selector } ->
+    let cls_name =
+      match cls with
+      | `Gp -> "gp" | `Ss -> "ss" | `Pf -> "pf"
+      | `Np -> "np" | `Ud -> "ud" | `Br -> "br"
+    in
+    Json.Obj
+      [ ("event", Json.Str "fault"); ("class", Json.Str cls_name);
+        ("detail", Json.Str detail);
+        ("address",
+         match address with Some a -> Json.Int a | None -> Json.Null);
+        ("selector",
+         match selector with Some s -> Json.Int s | None -> Json.Null) ]
+  | Tlb_hit -> Json.Obj [ ("event", Json.Str "tlb_hit") ]
+  | Tlb_miss { page; evicted } ->
+    Json.Obj
+      [ ("event", Json.Str "tlb_miss"); ("page", Json.Int page);
+        ("evicted", Json.Bool evicted) ]
+  | Ldt_update { path; index; cleared } ->
+    Json.Obj
+      [ ("event", Json.Str "ldt_update");
+        ("path", Json.Str (ldt_path_name path)); ("index", Json.Int index);
+        ("cleared", Json.Bool cleared) ]
+  | Call_gate_entry { selector } ->
+    Json.Obj
+      [ ("event", Json.Str "call_gate_entry"); ("selector", Json.Int selector) ]
+  | Context_switch { pid } ->
+    Json.Obj [ ("event", Json.Str "context_switch"); ("pid", Json.Int pid) ]
+
+let to_json t : Json.t =
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters t)));
+      ( "attribution",
+        Json.List
+          (List.map
+             (fun (sym, insns, cycles) ->
+               Json.Obj
+                 [ ("symbol", Json.Str sym); ("insns", Json.Int insns);
+                   ("cycles", Json.Int cycles) ])
+             (attributions t)) );
+      ( "reload_interval",
+        Json.List
+          (List.map
+             (fun (lo, n) ->
+               Json.Obj [ ("ge", Json.Int lo); ("count", Json.Int n) ])
+             (Histogram.buckets t.reload_interval)) );
+      ( "violations",
+        Json.List
+          (List.map
+             (fun (checker, msg) ->
+               Json.Obj
+                 [ ("checker", Json.Str checker); ("message", Json.Str msg) ])
+             (violations t)) );
+      ("events_total", Json.Int t.total);
+      ("events_dropped", Json.Int (dropped t));
+      ("events", Json.List (List.map json_of_event (events t)));
+    ]

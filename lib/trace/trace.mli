@@ -1,0 +1,153 @@
+(** Structured tracing and metrics for the simulator.
+
+    A {!sink} receives typed {!event}s from the hardware and OS layers
+    (segment-register loads, limit checks, faults, TLB traffic, LDT
+    syscalls, context switches) and maintains three views of them:
+
+    - {e counters}: one integer per {!kind}, bumped on every emit —
+      always cheap, never dropped;
+    - a {e ring buffer} of the most recent events, for inspection and
+      JSON export (old events are overwritten, the drop count is kept);
+    - {e checkers}: inline invariant callbacks in the Checkbochs style,
+      run against every event as it is emitted; a checker records
+      violations on the sink instead of raising, so a checked run
+      completes and the violations can be asserted afterwards.
+
+    The emitting layers hold a [sink option] and test it before
+    constructing an event, so a detached run pays one load-and-branch
+    per would-be event and allocates nothing. Tracing never changes
+    simulated semantics: cycles, counters, memory, and table output are
+    bit-identical with and without a sink attached (asserted by the
+    oracle suite in [test/test_predecode.ml]). *)
+
+(** Which kernel path performed an LDT update. *)
+type ldt_path = Slow_syscall | Call_gate
+
+type event =
+  | Segreg_load of { reg : string; selector : int }
+      (** a MOV to a segment register (or a load by the loader) *)
+  | Limit_check of {
+      seg : string;
+      base : int;  (** segment base from the hidden cache, for per-array
+                       attribution — 0 for the flat segments *)
+      offset : int;
+      size : int;
+      write : bool;
+      ok : bool;
+    }  (** one segment-limit check; [ok = false] means a fault follows *)
+  | Fault of {
+      cls : [ `Gp | `Ss | `Pf | `Np | `Ud | `Br ];
+      detail : string;   (** [Seghw.Fault.to_string] of the fault *)
+      address : int option;  (** faulting linear address (#PF only) *)
+      selector : int option; (** faulting selector (#NP only) *)
+    }
+  | Tlb_hit
+  | Tlb_miss of { page : int; evicted : bool }
+  | Ldt_update of { path : ldt_path; index : int; cleared : bool }
+  | Call_gate_entry of { selector : int }
+  | Context_switch of { pid : int }
+
+(** Event classes, the counter index space. Every emitted event bumps
+    exactly one kind counter, except that a [Tlb_miss] with
+    [evicted = true] also bumps [K_tlb_evict]. *)
+type kind =
+  | K_segreg_load
+  | K_limit_check_pass
+  | K_limit_check_fail
+  | K_fault_gp
+  | K_fault_ss
+  | K_fault_pf
+  | K_fault_np
+  | K_fault_ud
+  | K_fault_br
+  | K_tlb_hit
+  | K_tlb_miss
+  | K_tlb_evict
+  | K_modify_ldt
+  | K_cash_modify_ldt
+  | K_call_gate_entry
+  | K_context_switch
+
+val kind_of_event : event -> kind
+val kind_name : kind -> string
+val all_kinds : kind list
+
+(** A power-of-two-bucketed histogram: bucket [i] counts samples [v]
+    with [2^(i-1) <= v < 2^i] (bucket 0 counts [v <= 0]). *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> int -> unit
+  val total : t -> int
+
+  (** [(lower_bound, count)] per non-empty bucket, ascending. *)
+  val buckets : t -> (int * int) list
+end
+
+type sink
+
+(** [create ()] makes a detached sink. [capacity] (default 4096) bounds
+    the event ring; older events are overwritten but still counted. *)
+val create : ?capacity:int -> unit -> sink
+
+(** Record an event: bump its kind counter, append it to the ring, feed
+    every registered checker. *)
+val emit : sink -> event -> unit
+
+val count : sink -> kind -> int
+
+(** All counters that fired, [(name, count)], sorted by name. *)
+val counters : sink -> (string * int) list
+
+(** Events still in the ring, oldest first. *)
+val events : sink -> event list
+
+(** Total events emitted, including overwritten ones. *)
+val total_events : sink -> int
+
+(** Events overwritten because the ring was full. *)
+val dropped : sink -> int
+
+(** Limit checks observed between consecutive segment-register reloads —
+    the paper's reload-rate metric as a distribution. *)
+val reload_interval : sink -> Histogram.t
+
+(** Register an inline invariant checker, run on every subsequent emit.
+    Checkers must not raise; record failures with {!violation}. *)
+val add_checker : sink -> name:string -> (event -> unit) -> unit
+
+(** Record an invariant violation against the named checker. *)
+val violation : sink -> checker:string -> string -> unit
+
+(** All recorded violations, [(checker, message)], in emission order. *)
+val violations : sink -> (string * string) list
+
+(** Per-function cycle attribution merged in by the execution engine
+    after a traced run (see [Machine.Cpu.profile]). *)
+val add_attribution : sink -> string -> insns:int -> cycles:int -> unit
+
+(** Accumulated attribution, [(symbol, insns, cycles)], sorted by cycles
+    descending then name. *)
+val attributions : sink -> (string * int * int) list
+
+val pp_event : Format.formatter -> event -> unit
+
+(** Minimal JSON values + serialiser, for the export paths (bench
+    [--trace], [cashc --profile]). Strings are escaped per RFC 8259. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+end
+
+(** Full sink state as JSON: counters, attribution, reload-interval
+    histogram, violations, ring contents, drop count. *)
+val to_json : sink -> Json.t

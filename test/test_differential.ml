@@ -1,0 +1,205 @@
+(* Property-based differential testing of the three compilers.
+
+   A seeded generator produces random mini-C programs — global arrays,
+   (nested) loops, pointer walks, offset-pointer reads, data-dependent
+   stores — that are in bounds *by construction*, then optionally injects
+   one loop that runs out of bounds (final index size..size+2, small
+   enough that the unchecked baseline stays on mapped pages and corrupts
+   silently instead of crashing).
+
+   Properties, over a fixed-seed fleet of 210 programs:
+
+   - in bounds: gcc, bcc, and cash all Finish with identical output —
+     neither checker may change observable semantics of a correct
+     program, and the checked compilers must agree with the baseline;
+   - out of bounds: bcc and cash BOTH report a bound violation (the
+     software checker and the segmentation hardware flag the same bug),
+     while gcc never does — it either finishes silently corrupted or
+     crashes on an unrelated fault, which is exactly the failure mode
+     the paper's mechanism exists to close.
+
+   Every case is deterministic (own PRNG state per seed), so a failure
+   message naming the seed reproduces the program exactly. *)
+
+type arr = { name : string; size : int }
+
+(* Generate one program. Returns the source; [oob] injects exactly one
+   overrunning loop (store, load, or pointer walk) at the end of main,
+   after the checksum has been folded, so the unchecked baseline's
+   behaviour up to the injection point is untouched. *)
+let gen_program st ~oob =
+  let n_arrays = 1 + Random.State.int st 3 in
+  let arrays =
+    List.init n_arrays (fun i ->
+        { name = Printf.sprintf "g%d" i; size = 4 + Random.State.int st 21 })
+  in
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter (fun a -> pr "int %s[%d];\n" a.name a.size) arrays;
+  (* Landing pad: keeps the baseline's small overruns inside the data
+     section (declaration order is layout order), so gcc corrupts
+     silently rather than faulting. *)
+  pr "int zpad[64];\n";
+  pr "int main() {\n  int i; int j; int acc = 0;\n";
+  List.iteri
+    (fun k a ->
+      pr "  for (i = 0; i < %d; i = i + 1) %s[i] = (i * %d + %d) %% 97;\n"
+        a.size a.name
+        (3 + (2 * k))
+        (1 + Random.State.int st 50))
+    arrays;
+  let pick () = List.nth arrays (Random.State.int st n_arrays) in
+  let n_ops = 1 + Random.State.int st 4 in
+  for _ = 1 to n_ops do
+    match Random.State.int st 5 with
+    | 0 ->
+      let a = pick () in
+      pr "  for (i = 0; i < %d; i = i + 1) acc = (acc + %s[i]) %% 9973;\n"
+        a.size a.name
+    | 1 ->
+      let a = pick () and b = pick () in
+      pr
+        "  for (i = 0; i < %d; i = i + 1)\n\
+        \    for (j = 0; j < %d; j = j + 1)\n\
+        \      acc = (acc + %s[i] * %s[j]) %% 9973;\n"
+        a.size b.size a.name b.name
+    | 2 ->
+      let a = pick () in
+      pr
+        "  {\n\
+        \    int *p = %s;\n\
+        \    for (i = 0; i < %d; i = i + 1) { acc = (acc + *p) %% 9973; p = \
+         p + 1; }\n\
+        \  }\n"
+        a.name a.size
+    | 3 ->
+      let a = pick () in
+      let k = Random.State.int st a.size in
+      let j = Random.State.int st (a.size - k) in
+      pr "  { int *p = %s + %d; acc = (acc + p[%d]) %% 9973; }\n" a.name k j
+    | _ ->
+      let a = pick () in
+      let i0 = Random.State.int st a.size in
+      let i1 = Random.State.int st a.size in
+      pr "  if (%s[%d] > 40) %s[%d] = acc %% 89; else %s[%d] = (acc + 7) %% 89;\n"
+        a.name i0 a.name i1 a.name i1
+  done;
+  (* Fold every array back into the checksum so the stores above are
+     observable in the printed output. *)
+  List.iter
+    (fun a ->
+      pr "  for (i = 0; i < %d; i = i + 1) acc = (acc * 31 + %s[i]) %% 99991;\n"
+        a.size a.name)
+    arrays;
+  (* The injected overrun is a loop running one-to-three elements past
+     the end: the Cash compiler checks references inside loops only
+     (§3.8 — straight-line references are left unchecked by policy), so
+     a straight-line overrun would not exercise the checker at all. *)
+  if oob then begin
+    let a = pick () in
+    let last = a.size + Random.State.int st 3 in
+    match Random.State.int st 3 with
+    | 0 -> pr "  for (i = 0; i <= %d; i = i + 1) %s[i] = i;\n" last a.name
+    | 1 ->
+      pr "  for (i = 0; i <= %d; i = i + 1) acc = (acc + %s[i]) %% 9973;\n"
+        last a.name
+    | _ ->
+      pr
+        "  {\n\
+        \    int *p = %s;\n\
+        \    for (i = 0; i <= %d; i = i + 1) { acc = acc + *p; p = p + 1; }\n\
+        \  }\n"
+        a.name last
+  end;
+  pr "  print_int(acc);\n  return 0;\n}\n";
+  Buffer.contents buf
+
+let gen ~seed ~oob =
+  gen_program (Random.State.make [| 0xC0DE; seed |]) ~oob
+
+let status_name = function
+  | Core.Finished -> "finished"
+  | Core.Bound_violation m -> "bound_violation: " ^ m
+  | Core.Crashed m -> "crashed: " ^ m
+
+let is_bound_violation = function Core.Bound_violation _ -> true | _ -> false
+
+let run_backend ~seed ~what backend src =
+  match Core.exec backend src with
+  | r -> r
+  | exception e ->
+    Alcotest.failf "seed %d: %s under %s raised %s\n%s" seed what
+      (Core.backend_name backend) (Printexc.to_string e) src
+
+(* Property 1: on an in-bounds program all three compilers finish and
+   print the same thing. *)
+let check_in_bounds seed =
+  let src = gen ~seed ~oob:false in
+  let g = run_backend ~seed ~what:"in-bounds" Core.gcc src in
+  let b = run_backend ~seed ~what:"in-bounds" Core.bcc src in
+  let c = run_backend ~seed ~what:"in-bounds" Core.cash src in
+  List.iter
+    (fun (name, r) ->
+      if r.Core.status <> Core.Finished then
+        Alcotest.failf "seed %d: %s did not finish: %s\n%s" seed name
+          (status_name r.Core.status) src)
+    [ ("gcc", g); ("bcc", b); ("cash", c) ];
+  if b.Core.output <> g.Core.output then
+    Alcotest.failf "seed %d: bcc output %S <> gcc output %S\n%s" seed
+      b.Core.output g.Core.output src;
+  if c.Core.output <> g.Core.output then
+    Alcotest.failf "seed %d: cash output %S <> gcc output %S\n%s" seed
+      c.Core.output g.Core.output src
+
+(* Property 2: on the same program with one injected overrun, both
+   checked compilers flag it and the unchecked baseline never calls it a
+   bound violation. *)
+let check_out_of_bounds seed =
+  let src = gen ~seed ~oob:true in
+  let g = run_backend ~seed ~what:"oob" Core.gcc src in
+  let b = run_backend ~seed ~what:"oob" Core.bcc src in
+  let c = run_backend ~seed ~what:"oob" Core.cash src in
+  if not (is_bound_violation b.Core.status) then
+    Alcotest.failf "seed %d: bcc missed the overrun (%s)\n%s" seed
+      (status_name b.Core.status) src;
+  if not (is_bound_violation c.Core.status) then
+    Alcotest.failf "seed %d: cash missed the overrun (%s)\n%s" seed
+      (status_name c.Core.status) src;
+  if is_bound_violation g.Core.status then
+    Alcotest.failf
+      "seed %d: gcc reported a bound violation it cannot detect (%s)\n%s" seed
+      (status_name g.Core.status) src
+
+let in_bounds_cases = 140
+let oob_cases = 70
+
+let test_in_bounds () =
+  for seed = 0 to in_bounds_cases - 1 do
+    check_in_bounds seed
+  done
+
+let test_out_of_bounds () =
+  for seed = 1000 to 1000 + oob_cases - 1 do
+    check_out_of_bounds seed
+  done
+
+(* The generator itself must be deterministic, or a reported seed would
+   not reproduce the failing program. *)
+let test_generator_deterministic () =
+  for seed = 0 to 9 do
+    Alcotest.(check string)
+      (Printf.sprintf "seed %d stable" seed)
+      (gen ~seed ~oob:true) (gen ~seed ~oob:true)
+  done
+
+let suite =
+  [
+    Alcotest.test_case
+      (Printf.sprintf "in-bounds agreement (%d programs)" in_bounds_cases)
+      `Slow test_in_bounds;
+    Alcotest.test_case
+      (Printf.sprintf "overrun detection (%d programs)" oob_cases)
+      `Slow test_out_of_bounds;
+    Alcotest.test_case "generator is deterministic" `Quick
+      test_generator_deterministic;
+  ]

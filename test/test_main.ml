@@ -13,6 +13,8 @@ let () =
       ("extensions", Test_extensions.suite);
       ("core-api", Test_core.suite);
       ("predecode", Test_predecode.suite);
+      ("trace", Test_trace.suite);
+      ("differential", Test_differential.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
     ]

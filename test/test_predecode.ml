@@ -123,6 +123,89 @@ let test_equiv_bcc_and_fault () =
   let overrun = "int main() { int a[4]; int i; for (i = 0; i <= 4; i = i + 1) a[i] = i; return a[0]; }" in
   check_equivalent_src "overrun/cash" Core.cash overrun
 
+(* --- tracing does not perturb execution ----------------------------------- *)
+
+(* The tentpole invariant of the tracing subsystem, from both sides:
+
+   - attaching a sink must not change ANY observable of a run (status,
+     cycles, insns, output, limit-check/TLB totals, stat counters) —
+     the traced run is bit-identical to the untraced one;
+   - the event stream itself is engine-independent: the pre-decoded
+     engine and the reference oracle, each run with its own sink, must
+     produce identical event counters and identical per-function cycle
+     attribution. *)
+
+let check_run_identical name (a : Core.run) (b : Core.run) =
+  Alcotest.(check string)
+    (name ^ ": status") (status_str a.Core.status) (status_str b.Core.status);
+  Alcotest.(check int) (name ^ ": cycles") a.Core.cycles b.Core.cycles;
+  Alcotest.(check int) (name ^ ": insns") a.Core.insns b.Core.insns;
+  Alcotest.(check string) (name ^ ": output") a.Core.output b.Core.output;
+  Alcotest.(check int)
+    (name ^ ": limit checks")
+    (Mmu.limit_checks (mmu_of a))
+    (Mmu.limit_checks (mmu_of b));
+  Alcotest.(check int)
+    (name ^ ": tlb hits")
+    (Tlb.hits (Mmu.tlb (mmu_of a)))
+    (Tlb.hits (Mmu.tlb (mmu_of b)));
+  Alcotest.(check int)
+    (name ^ ": tlb misses")
+    (Tlb.misses (Mmu.tlb (mmu_of a)))
+    (Tlb.misses (Mmu.tlb (mmu_of b)));
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": stat counters")
+    (Machine.Cpu.stats (Osim.Process.cpu a.Core.process))
+    (Machine.Cpu.stats (Osim.Process.cpu b.Core.process))
+
+let check_traced_equivalent name compiled =
+  let untraced = Core.run compiled in
+  let sink_fast = Trace.create () in
+  let fast = Core.run ~trace:sink_fast compiled in
+  check_run_identical (name ^ "/traced-vs-untraced") untraced fast;
+  let sink_ref = Trace.create () in
+  let slow = Core.run ~engine:Machine.Cpu.Reference ~trace:sink_ref compiled in
+  check_run_identical (name ^ "/traced-engines") fast slow;
+  Alcotest.(check (list (pair string int)))
+    (name ^ ": event counters across engines")
+    (Trace.counters sink_ref) (Trace.counters sink_fast);
+  Alcotest.(check int)
+    (name ^ ": total events across engines")
+    (Trace.total_events sink_ref)
+    (Trace.total_events sink_fast);
+  Alcotest.(check int)
+    (name ^ ": reload-interval samples")
+    (Trace.Histogram.total (Trace.reload_interval sink_ref))
+    (Trace.Histogram.total (Trace.reload_interval sink_fast));
+  let attr (sym, insns, cycles) =
+    Printf.sprintf "%s insns=%d cycles=%d" sym insns cycles
+  in
+  Alcotest.(check (list string))
+    (name ^ ": cycle attribution across engines")
+    (List.map attr (Trace.attributions sink_ref))
+    (List.map attr (Trace.attributions sink_fast))
+
+let test_traced_equiv () =
+  check_traced_equivalent "matmul/cash"
+    (Core.compile Core.cash (Workloads.Micro.matmul ~n:8 ()));
+  check_traced_equivalent "matmul/gcc"
+    (Core.compile Core.gcc (Workloads.Micro.matmul ~n:8 ()));
+  check_traced_equivalent "matmul/bcc"
+    (Core.compile Core.bcc (Workloads.Micro.matmul ~n:6 ()))
+
+let test_traced_equiv_faulting () =
+  (* The faulting path too: partial event streams must agree, and the
+     single fault event must appear under both engines. *)
+  let overrun =
+    "int main() { int a[4]; int i; for (i = 0; i <= 4; i = i + 1) a[i] = i; \
+     return a[0]; }"
+  in
+  check_traced_equivalent "overrun/cash" (Core.compile Core.cash overrun);
+  let sink = Trace.create () in
+  ignore (Core.run ~trace:sink (Core.compile Core.cash overrun));
+  Alcotest.(check int) "overrun: one #GP event" 1
+    (Trace.count sink Trace.K_fault_gp)
+
 (* --- link-time lowering -------------------------------------------------- *)
 
 let test_targets_resolved () =
@@ -259,6 +342,10 @@ let suite =
     Alcotest.test_case "equivalence: netapp (qpopper)" `Slow test_equiv_netapp;
     Alcotest.test_case "equivalence: bcc + faulting run" `Slow
       test_equiv_bcc_and_fault;
+    Alcotest.test_case "tracing: bit-identical + engine-independent" `Slow
+      test_traced_equiv;
+    Alcotest.test_case "tracing: faulting run" `Slow
+      test_traced_equiv_faulting;
     Alcotest.test_case "link: branch targets pre-resolved" `Quick
       test_targets_resolved;
     Alcotest.test_case "link: stat labels marked" `Quick test_stat_labels_marked;

@@ -1,0 +1,400 @@
+(* The tracing subsystem.
+
+   Three layers of coverage:
+
+   - sink mechanics: per-kind counters, the bounded ring (overwrite +
+     drop accounting), the reload-interval histogram, checkers and the
+     violation log, JSON export well-formedness;
+   - fault paths: hand-assembled programs that trigger each fault class
+     (#GP limit violation, #SS stack fault, #PF page fault, #BR bound
+     range, #NP not-present descriptor) and must emit EXACTLY ONE fault
+     event, carrying the right payload (faulting linear address for #PF,
+     faulting selector for #NP);
+   - the Checkbochs-style use case: an inline checker attached to a full
+     compiled run, asserting a whole-execution invariant ("under Cash,
+     a failed limit check is always the last check of the run"). *)
+
+open Machine
+
+(* --- sink mechanics ------------------------------------------------------ *)
+
+let test_counters () =
+  let s = Trace.create () in
+  Trace.emit s Trace.Tlb_hit;
+  Trace.emit s Trace.Tlb_hit;
+  Trace.emit s (Trace.Tlb_miss { page = 3; evicted = false });
+  Trace.emit s (Trace.Tlb_miss { page = 7; evicted = true });
+  Trace.emit s
+    (Trace.Limit_check
+       { seg = "GS"; base = 0; offset = 0; size = 4; write = false; ok = true });
+  Alcotest.(check int) "hits" 2 (Trace.count s Trace.K_tlb_hit);
+  Alcotest.(check int) "misses" 2 (Trace.count s Trace.K_tlb_miss);
+  (* an evicting miss bumps both the miss and the evict counter *)
+  Alcotest.(check int) "evicts" 1 (Trace.count s Trace.K_tlb_evict);
+  Alcotest.(check int) "checks" 1 (Trace.count s Trace.K_limit_check_pass);
+  Alcotest.(check int) "total" 5 (Trace.total_events s);
+  Alcotest.(check (list (pair string int)))
+    "counters list"
+    [ ("limit_check.pass", 1); ("tlb.evict", 1); ("tlb.hit", 2);
+      ("tlb.miss", 2) ]
+    (Trace.counters s)
+
+let test_ring () =
+  let s = Trace.create ~capacity:4 () in
+  for page = 1 to 6 do
+    Trace.emit s (Trace.Tlb_miss { page; evicted = false })
+  done;
+  Alcotest.(check int) "total" 6 (Trace.total_events s);
+  Alcotest.(check int) "dropped" 2 (Trace.dropped s);
+  let pages =
+    List.map
+      (function Trace.Tlb_miss { page; _ } -> page | _ -> -1)
+      (Trace.events s)
+  in
+  (* oldest two overwritten; survivors oldest-first *)
+  Alcotest.(check (list int)) "ring keeps newest, ordered" [ 3; 4; 5; 6 ] pages
+
+let test_histogram () =
+  let h = Trace.Histogram.create () in
+  List.iter (Trace.Histogram.add h) [ 0; 1; 2; 3; 4; 1000 ];
+  Alcotest.(check int) "total" 6 (Trace.Histogram.total h);
+  Alcotest.(check (list (pair int int)))
+    "power-of-two buckets"
+    [ (0, 1); (1, 1); (2, 2); (4, 1); (512, 1) ]
+    (Trace.Histogram.buckets h)
+
+let test_reload_interval () =
+  let s = Trace.create () in
+  let check () =
+    Trace.emit s
+      (Trace.Limit_check
+         { seg = "GS"; base = 0; offset = 0; size = 4; write = false;
+           ok = true })
+  in
+  let reload () =
+    Trace.emit s (Trace.Segreg_load { reg = "GS"; selector = 0xC })
+  in
+  reload ();
+  check (); check (); check ();
+  reload ();
+  (* histogram: one interval of 0 checks (first load), one of 3 *)
+  Alcotest.(check int) "samples" 2
+    (Trace.Histogram.total (Trace.reload_interval s));
+  Alcotest.(check (list (pair int int)))
+    "intervals" [ (0, 1); (2, 1) ]
+    (Trace.Histogram.buckets (Trace.reload_interval s))
+
+let test_checkers () =
+  let s = Trace.create () in
+  Trace.add_checker s ~name:"no-null-selector" (fun ev ->
+      match ev with
+      | Trace.Segreg_load { reg; selector = 0 } ->
+        Trace.violation s ~checker:"no-null-selector"
+          (Printf.sprintf "null selector loaded into %s" reg)
+      | _ -> ());
+  Trace.emit s (Trace.Segreg_load { reg = "GS"; selector = 0xC });
+  Alcotest.(check (list (pair string string))) "clean" [] (Trace.violations s);
+  Trace.emit s (Trace.Segreg_load { reg = "FS"; selector = 0 });
+  Trace.emit s (Trace.Segreg_load { reg = "GS"; selector = 0 });
+  Alcotest.(check (list (pair string string)))
+    "two violations, emission order"
+    [ ("no-null-selector", "null selector loaded into FS");
+      ("no-null-selector", "null selector loaded into GS") ]
+    (Trace.violations s)
+
+let test_json_export () =
+  let s = Trace.create ~capacity:8 () in
+  Trace.emit s (Trace.Segreg_load { reg = "GS"; selector = 0xC });
+  Trace.emit s
+    (Trace.Fault
+       { cls = `Pf; detail = "#PF(linear=0x20000, read)";
+         address = Some 0x20000; selector = None });
+  Trace.add_attribution s "main" ~insns:10 ~cycles:25;
+  Trace.violation s ~checker:"demo" "quote \" and backslash \\";
+  let js = Trace.Json.to_string (Trace.to_json s) in
+  (* structural smoke checks on the serialised form *)
+  let has sub =
+    try ignore (Str.search_forward (Str.regexp_string sub) js 0); true
+    with Not_found -> false
+  in
+  Alcotest.(check bool) "counters present" true (has "\"segreg.load\":1");
+  Alcotest.(check bool) "fault address" true (has "\"address\":131072");
+  Alcotest.(check bool) "attribution" true
+    (has "{\"symbol\":\"main\",\"insns\":10,\"cycles\":25}");
+  Alcotest.(check bool) "escaping" true
+    (has "\"quote \\\" and backslash \\\\\"");
+  Alcotest.(check bool) "totals" true (has "\"events_total\":2")
+
+(* --- fault paths: one event per architectural fault ---------------------- *)
+
+(* A minimal machine: flat code/data at base 0 (limit chosen per test),
+   64 KiB mapped. Returns (cpu, sink, status) after running [insns]. *)
+let run_traced ?(data_limit = 0xFFFFF) ?(data_granular = true)
+    ?(ss_limit = 0xFFFFF) ?(ss_granular = true) ?(gdt_extra = []) ?setup insns
+    =
+  let open Seghw in
+  let gdt = Descriptor_table.create Descriptor_table.Gdt_table in
+  let ldt = Descriptor_table.create Descriptor_table.Ldt_table in
+  let seg ~limit ~granularity ty =
+    Descriptor.make ~base:0 ~limit ~granularity ~dpl:3 ~present:true
+      ~seg_type:ty
+  in
+  Descriptor_table.set gdt 1
+    (seg ~limit:0xFFFFF ~granularity:true (Descriptor.Code { readable = true }));
+  Descriptor_table.set gdt 2
+    (seg ~limit:data_limit ~granularity:data_granular
+       (Descriptor.Data { writable = true }));
+  Descriptor_table.set gdt 3
+    (seg ~limit:ss_limit ~granularity:ss_granular
+       (Descriptor.Data { writable = true }));
+  List.iter (fun (i, d) -> Descriptor_table.set gdt i d) gdt_extra;
+  let mmu = Mmu.create ~gdt ~ldt in
+  Mmu.load_segreg mmu Segreg.CS (Selector.make ~index:1 ~table:Selector.Gdt ~rpl:3);
+  List.iter
+    (fun r ->
+      Mmu.load_segreg mmu r (Selector.make ~index:2 ~table:Selector.Gdt ~rpl:3))
+    [ Segreg.DS; Segreg.ES ];
+  Mmu.load_segreg mmu Segreg.SS
+    (Selector.make ~index:3 ~table:Selector.Gdt ~rpl:3);
+  Mmu.map_range mmu ~linear:0 ~size:0x10000 ~writable:true;
+  let phys = Phys_mem.create () in
+  let program = Program.link ~entry:"main" (Insn.Label "main" :: insns) in
+  let cpu = Cpu.create ~mmu ~phys ~costs:Cost_model.pentium3 ~program () in
+  Registers.set (Cpu.regs cpu) Registers.ESP 0x8000;
+  (match setup with Some f -> f cpu | None -> ());
+  let sink = Trace.create () in
+  Cpu.set_sink cpu (Some sink);
+  let status = Cpu.run ~fuel:100_000 cpu in
+  (cpu, sink, status)
+
+let fault_kinds =
+  Trace.
+    [ K_fault_gp; K_fault_ss; K_fault_pf; K_fault_np; K_fault_ud; K_fault_br ]
+
+let total_fault_events sink =
+  List.fold_left (fun acc k -> acc + Trace.count sink k) 0 fault_kinds
+
+(* Assert: faulted with [expect_kind] as the one and only fault event,
+   and return that event for payload inspection. *)
+let sole_fault_event name sink status expect_kind =
+  (match status with
+   | Cpu.Faulted _ -> ()
+   | Cpu.Halted -> Alcotest.failf "%s: halted instead of faulting" name
+   | Cpu.Running -> Alcotest.failf "%s: still running" name);
+  Alcotest.(check int) (name ^ ": exactly one fault event") 1
+    (total_fault_events sink);
+  Alcotest.(check int)
+    (name ^ ": of the right class")
+    1
+    (Trace.count sink expect_kind);
+  match
+    List.find_opt
+      (function Trace.Fault _ -> true | _ -> false)
+      (Trace.events sink)
+  with
+  | Some ev -> ev
+  | None -> Alcotest.failf "%s: fault event missing from the ring" name
+
+let test_fault_gp () =
+  (* Byte-granular 16-byte data segment; a dword read at 0x100 violates
+     the limit through DS -> #GP. *)
+  let open Insn in
+  let _, sink, status =
+    run_traced ~data_limit:0xF ~data_granular:false
+      [ Mov (Long, Reg Registers.EAX, Mem (mem ~disp:0x100 ())); Halt ]
+  in
+  let ev = sole_fault_event "#GP" sink status Trace.K_fault_gp in
+  (match ev with
+   | Trace.Fault { cls = `Gp; address = None; selector = None; _ } -> ()
+   | _ -> Alcotest.fail "#GP: wrong payload");
+  (* the check that failed is also on the record *)
+  Alcotest.(check int) "#GP: one failed limit check" 1
+    (Trace.count sink Trace.K_limit_check_fail)
+
+let test_fault_ss () =
+  (* 4 KiB stack segment, ESP forced to 4: the second push wraps the
+     offset below the base -> #SS (not #GP: stack-relative access). *)
+  let open Insn in
+  let _, sink, status =
+    run_traced ~ss_limit:0xFFF ~ss_granular:false
+      ~setup:(fun cpu -> Registers.set (Cpu.regs cpu) Registers.ESP 4)
+      [ Push (Imm 1); Push (Imm 2); Halt ]
+  in
+  let ev = sole_fault_event "#SS" sink status Trace.K_fault_ss in
+  (match ev with
+   | Trace.Fault { cls = `Ss; detail; _ } ->
+     Alcotest.(check bool)
+       (Printf.sprintf "#SS detail (%s)" detail)
+       true
+       (String.length detail >= 3 && String.sub detail 0 3 = "#SS")
+   | _ -> Alcotest.fail "#SS: wrong payload")
+
+let test_fault_pf () =
+  (* Linear 0x20000 is inside the flat segment but unmapped -> #PF with
+     the faulting linear address in the event. *)
+  let open Insn in
+  let _, sink, status =
+    run_traced [ Mov (Long, Reg Registers.EAX, Mem (mem ~disp:0x20000 ())); Halt ]
+  in
+  let ev = sole_fault_event "#PF" sink status Trace.K_fault_pf in
+  (match ev with
+   | Trace.Fault { cls = `Pf; address = Some a; _ } ->
+     Alcotest.(check int) "#PF: faulting linear address" 0x20000 a
+   | _ -> Alcotest.fail "#PF: event must carry the linear address");
+  (* the access got past segmentation: its limit check passed *)
+  Alcotest.(check int) "#PF: no failed limit check" 0
+    (Trace.count sink Trace.K_limit_check_fail)
+
+let test_fault_br () =
+  (* BOUND with EAX outside the [0, 10] pair at 0x100 -> #BR. *)
+  let open Insn in
+  let _, sink, status =
+    run_traced
+      [
+        Mov (Long, Mem (mem ~disp:0x100 ()), Imm 0);
+        Mov (Long, Mem (mem ~disp:0x104 ()), Imm 10);
+        Mov (Long, Reg Registers.EAX, Imm 50);
+        Bound (Registers.EAX, mem ~disp:0x100 ());
+        Halt;
+      ]
+  in
+  let ev = sole_fault_event "#BR" sink status Trace.K_fault_br in
+  match ev with
+  | Trace.Fault { cls = `Br; address = None; selector = None; _ } -> ()
+  | _ -> Alcotest.fail "#BR: wrong payload"
+
+let test_fault_np () =
+  (* Loading a selector whose descriptor has P=0 -> #NP carrying the
+     selector. *)
+  let open Seghw in
+  let open Insn in
+  let absent =
+    Descriptor.make ~base:0 ~limit:0xFF ~granularity:false ~dpl:3
+      ~present:false ~seg_type:(Descriptor.Data { writable = true })
+  in
+  let sel = Selector.make ~index:5 ~table:Selector.Gdt ~rpl:3 in
+  let _, sink, status =
+    run_traced
+      ~gdt_extra:[ (5, absent) ]
+      [ Mov_to_seg (Segreg.GS, Imm (Selector.to_int sel)); Halt ]
+  in
+  let ev = sole_fault_event "#NP" sink status Trace.K_fault_np in
+  match ev with
+  | Trace.Fault { cls = `Np; selector = Some s; _ } ->
+    (* the table lookup reconstructs the selector with RPL 0: compare
+       the index/table bits, which identify the faulting descriptor *)
+    Alcotest.(check int) "#NP: faulting selector (index bits)"
+      (Selector.to_int sel lsr 2)
+      (s lsr 2)
+  | _ -> Alcotest.fail "#NP: event must carry the selector"
+
+(* The same invariant end-to-end: a compiled Cash program that overruns
+   emits exactly one fault event (#GP from the segment limit), and a
+   clean run emits none. *)
+let overrun_src =
+  "int main() { int a[8]; int i; for (i = 0; i <= 8; i = i + 1) a[i] = i; \
+   return a[0]; }"
+
+let clean_src =
+  "int main() { int a[8]; int i; for (i = 0; i < 8; i = i + 1) a[i] = i; \
+   return a[0]; }"
+
+let test_fault_event_compiled () =
+  let sink = Trace.create () in
+  let r = Core.exec ~trace:sink Core.cash overrun_src in
+  (match r.Core.status with
+   | Core.Bound_violation _ -> ()
+   | s ->
+     Alcotest.failf "overrun not flagged: %s"
+       (match s with
+        | Core.Finished -> "finished"
+        | Core.Crashed m -> "crashed: " ^ m
+        | _ -> assert false));
+  Alcotest.(check int) "one fault event" 1 (total_fault_events sink);
+  Alcotest.(check int) "it is #GP" 1 (Trace.count sink Trace.K_fault_gp);
+  Alcotest.(check int) "one failed check" 1
+    (Trace.count sink Trace.K_limit_check_fail);
+  let sink2 = Trace.create () in
+  let r2 = Core.exec ~trace:sink2 Core.cash clean_src in
+  Alcotest.(check bool) "clean run finishes" true
+    (r2.Core.status = Core.Finished);
+  Alcotest.(check int) "clean run: no fault events" 0
+    (total_fault_events sink2);
+  Alcotest.(check int) "clean run: no failed checks" 0
+    (Trace.count sink2 Trace.K_limit_check_fail)
+
+(* The scheduler emits one Context_switch per dispatched request, with
+   the served process's pid. *)
+let test_context_switch_events () =
+  let kernel = Osim.Kernel.create () in
+  let sink = Trace.create () in
+  let compiled =
+    Core.compile Core.gcc "int main() { print_int(7); return 0; }"
+  in
+  let records =
+    Osim.Scheduler.serve ~kernel ~requests:3 ~trace:sink (fun _ ->
+        (Core.run ~kernel compiled).Core.process)
+  in
+  Alcotest.(check int) "three requests served" 3 (List.length records);
+  Alcotest.(check int) "three context switches" 3
+    (Trace.count sink Trace.K_context_switch);
+  let pids =
+    List.filter_map
+      (function Trace.Context_switch { pid } -> Some pid | _ -> None)
+      (Trace.events sink)
+  in
+  Alcotest.(check (list int))
+    "pids in dispatch order"
+    (List.map (fun r -> r.Osim.Scheduler.pid) records)
+    pids
+
+(* --- the Checkbochs-style use case --------------------------------------- *)
+
+(* Attach an invariant checker to a whole compiled run: once a limit
+   check fails, the machine must fault — no further limit checks may
+   execute. Runs traced over both a clean and an overrunning program. *)
+let test_checker_on_run () =
+  let make_sink () =
+    let s = Trace.create () in
+    let failed = ref false in
+    Trace.add_checker s ~name:"fail-is-final" (fun ev ->
+        match ev with
+        | Trace.Limit_check { ok = false; _ } -> failed := true
+        | Trace.Limit_check { ok = true; seg; _ } when !failed ->
+          Trace.violation s ~checker:"fail-is-final"
+            (Printf.sprintf "limit check through %s after a failed check" seg)
+        | _ -> ());
+    s
+  in
+  let s1 = make_sink () in
+  ignore (Core.exec ~trace:s1 Core.cash clean_src);
+  Alcotest.(check (list (pair string string)))
+    "clean run: no violations" [] (Trace.violations s1);
+  let s2 = make_sink () in
+  ignore (Core.exec ~trace:s2 Core.cash overrun_src);
+  Alcotest.(check (list (pair string string)))
+    "overrun: the failed check is the last" [] (Trace.violations s2);
+  Alcotest.(check bool) "overrun: sink saw the failure" true
+    (Trace.count s2 Trace.K_limit_check_fail = 1)
+
+let suite =
+  [
+    Alcotest.test_case "sink: counters" `Quick test_counters;
+    Alcotest.test_case "sink: ring overwrite + drop count" `Quick test_ring;
+    Alcotest.test_case "sink: histogram buckets" `Quick test_histogram;
+    Alcotest.test_case "sink: reload-interval metric" `Quick
+      test_reload_interval;
+    Alcotest.test_case "sink: checkers + violations" `Quick test_checkers;
+    Alcotest.test_case "sink: JSON export" `Quick test_json_export;
+    Alcotest.test_case "fault: #GP limit violation" `Quick test_fault_gp;
+    Alcotest.test_case "fault: #SS stack fault" `Quick test_fault_ss;
+    Alcotest.test_case "fault: #PF page fault" `Quick test_fault_pf;
+    Alcotest.test_case "fault: #BR bound range" `Quick test_fault_br;
+    Alcotest.test_case "fault: #NP not present" `Quick test_fault_np;
+    Alcotest.test_case "fault: compiled overrun emits one event" `Quick
+      test_fault_event_compiled;
+    Alcotest.test_case "scheduler: context-switch events" `Quick
+      test_context_switch_events;
+    Alcotest.test_case "checker: fail-is-final invariant" `Quick
+      test_checker_on_run;
+  ]
