@@ -6,45 +6,37 @@
      dune exec bench/main.exe                 # tables + bechamel
      dune exec bench/main.exe -- --no-bechamel  # reproduction output only
      dune exec bench/main.exe -- --trace        # + trace/profile JSON
+     dune exec bench/main.exe -- -j 4           # reproduction across 4 domains
 
-   The reproduction pass also reports host throughput — simulated
-   instructions retired per host second — and writes it to the first
-   free BENCH_<n>.json (never overwriting a prior run, so the sequence
-   is a real time series), stamped with engine/version metadata. With
-   --trace, a Trace.sink is attached to every run of the reproduction
-   pass and dumped to the matching TRACE_<n>.json: per-function cycle
-   attribution plus segment/TLB/fault/LDT event counts. The
-   table/figure output itself is unaffected either way: simulated cycle
-   counts are engine- and tracing-independent. *)
+   The reproduction pass runs its 14 experiments as independent jobs on
+   a Domain pool (lib/parallel): -j N picks the worker count, defaulting
+   to the CASH_JOBS environment variable or
+   Domain.recommended_domain_count. Reports are collected by job index
+   and printed in experiment order, so the table/figure output is
+   byte-identical at any -j; simulated cycle counts are engine-, trace-
+   and parallelism-independent.
 
-let experiments : (string * (unit -> Harness.Report.t)) list =
-  [
-    ("table1", Harness.Table1.run);
-    ("table2", Harness.Table2.run);
-    ("table3", Harness.Table3.run);
-    ("table4", Harness.Table4.run);
-    ("table5", Harness.Table5.run);
-    ("table6", Harness.Table6.run);
-    ("table7", Harness.Table7.run);
-    ("table8", fun () -> Harness.Table8.run ~requests:25 ());
-    ("figure2", Harness.Figure2.run);
-    ("microcosts", Harness.Microcosts.run);
-    ("ablation", Harness.Ablation.run);
-    ("ablation-security", Harness.Ablation.security_only);
-    ("ablation-bound", Harness.Ablation.bound_instruction);
-    ("ablation-efence", Harness.Ablation.efence);
-  ]
+   The pass also reports host throughput — simulated instructions
+   retired per host second, summed across domains — and writes it to
+   BENCH_<n>.json, claiming the first free index atomically (O_EXCL, so
+   two concurrent runs can never take the same file) to keep the
+   sequence a real time series, stamped with engine/version/jobs
+   metadata. With --trace, every job runs under its own Trace.sink (the
+   ambient sink is domain-local); the per-job sinks are merged in job
+   order after the barrier and dumped to the matching TRACE_<n>.json:
+   per-function cycle attribution plus segment/TLB/fault/LDT event
+   counts, all summing exactly to a serial run's. *)
 
-let print_reproduction () =
+let experiments = Harness.Suite.all ()
+
+let print_reports reports =
   print_endline
     "=====================================================================";
   print_endline
     " Cash reproduction: every table and figure of the DSN 2005 paper";
   print_endline
     "=====================================================================";
-  List.iter
-    (fun (_, run) -> Harness.Report.print (run ()))
-    experiments
+  List.iter Harness.Report.print reports
 
 (* --- host throughput: simulated insns per host second ------------------- *)
 
@@ -56,49 +48,58 @@ type throughput = {
 
 (* Run [f] and measure the simulated instructions it retires per host
    wall-clock second (the interpreter's end-to-end speed, including
-   compilation and harness overhead). *)
+   compilation and harness overhead; with several domains the retire
+   counts sum across workers while the wall clock stays one clock). *)
 let measure_throughput f =
   let t0 = Unix.gettimeofday () in
   let i0 = Machine.Cpu.total_retired () in
-  f ();
+  let result = f () in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   let insns = Machine.Cpu.total_retired () - i0 in
   let insns_per_second =
     if wall_seconds > 0. then float_of_int insns /. wall_seconds else 0.
   in
-  { wall_seconds; insns; insns_per_second }
+  (result, { wall_seconds; insns; insns_per_second })
 
-let print_throughput tp =
+let print_throughput ~jobs tp =
   print_endline
     "\n== host throughput: full reproduction run (simulated insns / host second) ==";
+  Printf.printf "jobs                  %12d\n" jobs;
   Printf.printf "wall-clock            %12.2f s\n" tp.wall_seconds;
   Printf.printf "insns executed        %12d\n" tp.insns;
   Printf.printf "insns per host second %12.0f\n" tp.insns_per_second
 
 (* Machine-readable perf record, one file per run, for trajectory
    tracking across the stacked sequence. Never overwrites: each run
-   takes the first free index, so BENCH_1.json, BENCH_2.json, ... is a
-   real time series. *)
-let next_free_index () =
+   claims the first free index with O_CREAT|O_EXCL — an atomic
+   test-and-create, so two runs racing for BENCH_<n>.json cannot both
+   win it (the old Sys.file_exists-then-open_out scan could hand the
+   same index to both) — and BENCH_1.json, BENCH_2.json, ... is a real
+   time series. Claiming BENCH_<n> also reserves TRACE_<n>. *)
+let claim_output_channel () =
   let rec go n =
     if n > 10_000 then failwith "bench: no free BENCH_<n>.json index"
-    else if
-      Sys.file_exists (Printf.sprintf "BENCH_%d.json" n)
-      || Sys.file_exists (Printf.sprintf "TRACE_%d.json" n)
-    then go (n + 1)
-    else n
+    else if Sys.file_exists (Printf.sprintf "TRACE_%d.json" n) then go (n + 1)
+    else
+      let path = Printf.sprintf "BENCH_%d.json" n in
+      match
+        Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_EXCL ] 0o644
+      with
+      | fd -> (n, path, Unix.out_channel_of_descr fd)
+      | exception Unix.Unix_error (Unix.EEXIST, _, _) -> go (n + 1)
   in
   go 1
 
-let write_json ~path ~traced tp =
+let write_json ~path ~oc ~traced ~jobs tp =
   let json =
     Trace.Json.(
       Obj
         [
-          ("schema", Int 2);
+          ("schema", Int 3);
           ("bench", Str "full-reproduction");
           ("engine", Str "predecoded");
           ("traced", Bool traced);
+          ("jobs", Int jobs);
           ("ocaml_version", Str Sys.ocaml_version);
           ("experiments", Int (List.length experiments));
           ("wall_seconds", Float tp.wall_seconds);
@@ -106,7 +107,6 @@ let write_json ~path ~traced tp =
           ("insns_per_host_second", Float tp.insns_per_second);
         ])
   in
-  let oc = open_out path in
   output_string oc (Trace.Json.to_string json);
   output_char oc '\n';
   close_out oc;
@@ -158,20 +158,21 @@ let () =
     Array.exists (fun a -> a = "--no-bechamel") Sys.argv
   in
   let traced = Array.exists (fun a -> a = "--trace") Sys.argv in
-  let sink =
-    if traced then begin
-      let s = Trace.create () in
-      Core.set_default_trace (Some s);
-      Some s
-    end
-    else None
+  let jobs =
+    match Parallel.jobs_of_argv Sys.argv with
+    | Some j -> j
+    | None -> Parallel.default_jobs ()
   in
-  let tp = measure_throughput print_reproduction in
-  Core.set_default_trace None;
-  print_throughput tp;
-  let n = next_free_index () in
-  write_json ~path:(Printf.sprintf "BENCH_%d.json" n) ~traced tp;
-  (match sink with
+  let aggregate = if traced then Some (Trace.create ()) else None in
+  let reports, tp =
+    measure_throughput (fun () ->
+        Harness.Suite.run_all ~jobs ?trace_into:aggregate experiments)
+  in
+  print_reports reports;
+  print_throughput ~jobs tp;
+  let n, path, oc = claim_output_channel () in
+  write_json ~path ~oc ~traced ~jobs tp;
+  (match aggregate with
    | Some s ->
      write_trace_json ~path:(Printf.sprintf "TRACE_%d.json" n) s;
      print_endline "\n== trace: top functions by attributed cycles ==";

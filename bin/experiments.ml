@@ -3,32 +3,31 @@
      dune exec bin/experiments.exe            # everything
      dune exec bin/experiments.exe -- table1 figure2
      dune exec bin/experiments.exe -- --requests 100 table8
-*)
+     dune exec bin/experiments.exe -- -j 4    # fan out over 4 domains
 
-let experiments =
+   Each experiment builds its own simulated machine, so the selected
+   experiments run as independent jobs on a Domain pool (lib/parallel).
+   Reports are collected by job index and printed in selection order:
+   the output is byte-identical at any -j. *)
+
+let experiments : (string * (requests:int -> Harness.Report.t list)) list =
   [
-    ("table1", fun _ -> Harness.Report.print (Harness.Table1.run ()));
-    ("table2", fun _ -> Harness.Report.print (Harness.Table2.run ()));
-    ("table3", fun _ -> Harness.Report.print (Harness.Table3.run ()));
-    ("table4", fun _ -> Harness.Report.print (Harness.Table4.run ()));
-    ("table5", fun _ -> Harness.Report.print (Harness.Table5.run ()));
-    ("table6", fun _ -> Harness.Report.print (Harness.Table6.run ()));
-    ("table7", fun _ -> Harness.Report.print (Harness.Table7.run ()));
-    ( "table8",
-      fun requests ->
-        Harness.Report.print (Harness.Table8.run ~requests ()) );
-    ("figure2", fun _ -> Harness.Report.print (Harness.Figure2.run ()));
-    ("microcosts", fun _ -> Harness.Report.print (Harness.Microcosts.run ()));
+    ("table1", fun ~requests:_ -> [ Harness.Table1.run () ]);
+    ("table2", fun ~requests:_ -> [ Harness.Table2.run () ]);
+    ("table3", fun ~requests:_ -> [ Harness.Table3.run () ]);
+    ("table4", fun ~requests:_ -> [ Harness.Table4.run () ]);
+    ("table5", fun ~requests:_ -> [ Harness.Table5.run () ]);
+    ("table6", fun ~requests:_ -> [ Harness.Table6.run () ]);
+    ("table7", fun ~requests:_ -> [ Harness.Table7.run () ]);
+    ("table8", fun ~requests -> [ Harness.Table8.run ~requests () ]);
+    ("figure2", fun ~requests:_ -> [ Harness.Figure2.run () ]);
+    ("microcosts", fun ~requests:_ -> [ Harness.Microcosts.run () ]);
     ( "ablation",
-      fun _ ->
-        Harness.Report.print (Harness.Ablation.run ());
-        Harness.Report.print (Harness.Ablation.sw_check_dynamics ()) );
-    ( "security",
-      fun _ -> Harness.Report.print (Harness.Ablation.security_only ()) );
-    ( "bound",
-      fun _ -> Harness.Report.print (Harness.Ablation.bound_instruction ()) );
-    ( "efence",
-      fun _ -> Harness.Report.print (Harness.Ablation.efence ()) );
+      fun ~requests:_ ->
+        [ Harness.Ablation.run (); Harness.Ablation.sw_check_dynamics () ] );
+    ("security", fun ~requests:_ -> [ Harness.Ablation.security_only () ]);
+    ("bound", fun ~requests:_ -> [ Harness.Ablation.bound_instruction () ]);
+    ("efence", fun ~requests:_ -> [ Harness.Ablation.efence () ]);
   ]
 
 let names = List.map fst experiments
@@ -48,15 +47,28 @@ let requests =
   Arg.(value & opt int Harness.Table8.default_requests &
        info [ "requests" ] ~doc)
 
-let run selected requests =
+let jobs =
+  let doc =
+    "Worker domains for the experiment fan-out (default: $(b,CASH_JOBS) or \
+     the recommended domain count). Output is byte-identical at any value."
+  in
+  Arg.(value & opt int (Parallel.default_jobs ()) &
+       info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let run selected requests jobs =
   let to_run = if selected = [] then names else selected in
-  List.iter
-    (fun name -> (List.assoc name experiments) requests)
-    to_run
+  let tasks =
+    Array.of_list
+      (List.map
+         (fun name () -> (List.assoc name experiments) ~requests)
+         to_run)
+  in
+  List.iter (List.iter Harness.Report.print)
+    (Array.to_list (Parallel.run_jobs ~jobs tasks))
 
 let cmd =
   let doc = "reproduce the tables and figures of the Cash paper (DSN 2005)" in
   Cmd.v (Cmd.info "experiments" ~doc)
-    Term.(const run $ selected $ requests)
+    Term.(const run $ selected $ requests $ jobs)
 
 let () = exit (Cmd.eval cmd)

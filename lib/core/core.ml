@@ -73,10 +73,17 @@ let is_cash (r : compiled) =
   | _ -> false
 
 (* Ambient sink for whole-harness tracing (bench --trace): applied to
-   every [run] that does not pass an explicit [?trace]. *)
-let default_trace = ref None
-let set_default_trace sink = default_trace := sink
-let current_trace () = !default_trace
+   every [run] that does not pass an explicit [?trace]. Domain-local
+   (DLS), not a plain global: a [ref] here would be a data race the
+   moment the parallel harness runs jobs on several domains, and a
+   single shared sink would corrupt its own ring/counters. Each worker
+   attaches its own sink and the harness merges them after the barrier
+   ([Trace.merge_into]); a freshly spawned domain starts untraced. *)
+let default_trace : Trace.sink option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let set_default_trace sink = Domain.DLS.set default_trace sink
+let current_trace () = Domain.DLS.get default_trace
 
 (* Load [compiled] into a fresh simulated process and run it to
    completion. A fresh kernel is created unless one is supplied (supply
@@ -86,7 +93,9 @@ let current_trace () = !default_trace
    run is folded into the sink afterwards. *)
 let run ?kernel ?engine ?fuel ?trace ?(guard_malloc = false)
     (compiled : compiled) =
-  let trace = match trace with Some _ as s -> s | None -> !default_trace in
+  let trace =
+    match trace with Some _ as s -> s | None -> current_trace ()
+  in
   let kernel =
     match kernel with Some k -> k | None -> Osim.Kernel.create ()
   in

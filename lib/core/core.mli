@@ -80,11 +80,18 @@ val exec :
 (** Ambient sink applied to every {!run} without an explicit [?trace] —
     how [bench/main.exe --trace] traces whole-harness reproductions
     whose [run] calls are buried inside the table modules. [None] (the
-    default) restores untraced runs. *)
+    default) restores untraced runs.
+
+    The ambient sink is {e domain-local}: setting it affects only the
+    calling domain, and a freshly spawned domain starts untraced. A
+    [Trace.sink] is a single-domain structure, so parallel harness
+    workers ([Parallel.run_jobs]) each attach their own sink and merge
+    them after the barrier with [Trace.merge_into] rather than sharing
+    one ambient sink across domains. *)
 val set_default_trace : Trace.sink option -> unit
 
-(** The ambient sink currently in force, for harness code that emits
-    events itself (e.g. Table 8's scheduler). *)
+(** The ambient sink currently in force {e on this domain}, for harness
+    code that emits events itself (e.g. Table 8's scheduler). *)
 val current_trace : unit -> Trace.sink option
 
 (** Sum of the dynamic zero-cost counters with the given name prefix:

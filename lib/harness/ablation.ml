@@ -6,9 +6,18 @@
 
 let budgets = [ 2; 3; 4 ]
 
+(* The grid cells are independent simulations (one kernel × one
+   register budget, each on its own machine), so the per-kernel rows
+   fan out across domains; [Parallel.map] returns them in suite order,
+   keeping the table byte-identical to a serial run. Nested under the
+   bench fan-out the map degrades to serial automatically; with an
+   ambient trace sink attached the rows are pinned to the tracing
+   domain (the sink is domain-local — spawned rows would go untraced). *)
+let grid_jobs () = if Core.current_trace () <> None then Some 1 else None
+
 let run () =
   let rows =
-    List.map
+    Parallel.map ?jobs:(grid_jobs ())
       (fun (k : Workloads.Micro.kernel) ->
         let cells =
           List.concat_map
@@ -64,7 +73,7 @@ let sw_check_dynamics () =
    software checks; this quantifies it on the micro suite. *)
 let security_only () =
   let rows =
-    List.map
+    Parallel.map ?jobs:(grid_jobs ())
       (fun (k : Workloads.Micro.kernel) ->
         let full = Runner.compare_backends k.Workloads.Micro.source in
         let sec =
@@ -97,7 +106,7 @@ let security_only () =
    versus the 6-instruction plain sequence it lost to. *)
 let bound_instruction () =
   let rows =
-    List.map
+    Parallel.map ?jobs:(grid_jobs ())
       (fun (k : Workloads.Micro.kernel) ->
         let c = Runner.compare_backends k.Workloads.Micro.source in
         let bb = Runner.measure Core.bcc_bound k.Workloads.Micro.source in

@@ -1,0 +1,68 @@
+(* The canonical experiment list — every table and figure of the paper —
+   and the parallel driver that regenerates them.
+
+   One list shared by bench/main.exe, bin/experiments.exe, and the
+   serial-vs-parallel oracle test, so "the full reproduction" means the
+   same 14 jobs everywhere. Each experiment builds its own kernel,
+   machine, and MMU, making the jobs independent and deterministic;
+   [run_all] fans them out over [Parallel.run_jobs] and returns the
+   reports in list order, so the printed output is byte-identical to a
+   serial run at any [-j]. *)
+
+let default_table8_requests = 25
+
+let all ?(table8_requests = default_table8_requests) () :
+    (string * (unit -> Report.t)) list =
+  [
+    ("table1", Table1.run);
+    ("table2", Table2.run);
+    ("table3", Table3.run);
+    ("table4", Table4.run);
+    ("table5", Table5.run);
+    ("table6", Table6.run);
+    ("table7", Table7.run);
+    ("table8", fun () -> Table8.run ~requests:table8_requests ());
+    ("figure2", Figure2.run);
+    ("microcosts", Microcosts.run);
+    ("ablation", Ablation.run);
+    ("ablation-security", Ablation.security_only);
+    ("ablation-bound", Ablation.bound_instruction);
+    ("ablation-efence", Ablation.efence);
+  ]
+
+(* Regenerate every experiment across [jobs] domains. Results are
+   collected by job index, so the returned reports are in experiment
+   order regardless of completion order.
+
+   With [?trace_into], every job runs under its own ambient
+   [Trace.sink] (the ambient sink is domain-local, and a sink must not
+   be shared across running domains); after the barrier the per-job
+   sinks are merged into [trace_into] in job order, so counters,
+   histograms, and attribution sum exactly and the aggregate is
+   deterministic at any [-j] — only against a run traced through one
+   sink for the whole pass does the event-ring interleaving (and the
+   reload-interval samples that straddle experiment boundaries)
+   differ. *)
+let run_all ?jobs ?trace_into (experiments : (string * (unit -> Report.t)) list)
+    : Report.t list =
+  let task (_name, run) () =
+    match trace_into with
+    | None -> (run (), None)
+    | Some _ ->
+      let sink = Trace.create () in
+      Core.set_default_trace (Some sink);
+      Fun.protect
+        ~finally:(fun () -> Core.set_default_trace None)
+        (fun () -> (run (), Some sink))
+  in
+  let results =
+    Parallel.run_jobs ?jobs (Array.of_list (List.map task experiments))
+  in
+  (match trace_into with
+   | None -> ()
+   | Some aggregate ->
+     Array.iter
+       (fun (_, sink) ->
+         Option.iter (fun s -> Trace.merge_into ~into:aggregate s) sink)
+       results);
+  Array.to_list (Array.map fst results)

@@ -75,10 +75,13 @@ type t = {
 exception Out_of_fuel
 
 (* Host-side throughput accounting: instructions retired by [run] across
-   every CPU instance of this OCaml process. Purely a benchmarking aid —
-   no simulated semantics depend on it. *)
-let retired_total = ref 0
-let total_retired () = !retired_total
+   every CPU instance of this OCaml process, on every domain. Purely a
+   benchmarking aid — no simulated semantics depend on it. Atomic
+   because the parallel harness retires instructions on several domains
+   at once; the counter is touched once per [run] call (not per
+   instruction), so contention is nil. *)
+let retired_total = Atomic.make 0
+let total_retired () = Atomic.get retired_total
 
 let create ?(engine = Predecoded) ~mmu ~phys ~costs ~program () =
   let code = program.Program.code in
@@ -959,7 +962,9 @@ let run ?(fuel = 4_000_000_000) t =
   let start_insns = t.insns_executed in
   Fun.protect
     ~finally:(fun () ->
-      retired_total := !retired_total + (t.insns_executed - start_insns))
+      ignore
+        (Atomic.fetch_and_add retired_total (t.insns_executed - start_insns)
+          : int))
     (fun () ->
       try
         match t.engine, t.sink with

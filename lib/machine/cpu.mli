@@ -78,8 +78,10 @@ val step : t -> unit
 val run : ?fuel:int -> t -> status
 
 (** Instructions retired by {!run} across every CPU of this OCaml
-    process — the host-throughput metric reported by the benchmark
-    harness. No simulated semantics depend on it. *)
+    process, summed over all domains (the counter is atomic; each [run]
+    adds its retire count once, on completion) — the host-throughput
+    metric reported by the benchmark harness. No simulated semantics
+    depend on it. *)
 val total_retired : unit -> int
 
 (** {2 Tracing and profiling}

@@ -1,0 +1,119 @@
+(* Domain-based fan-out for independent simulator jobs.
+
+   The pool is deliberately minimal: one atomic next-job index shared by
+   all workers (Checkbochs-style "many independent guest instances", not
+   a general task graph). Each simulated run costs milliseconds to
+   seconds, so one fetch-and-add per job is noise, and handing out jobs
+   one at a time load-balances experiments whose costs differ by an
+   order of magnitude (table8 vs microcosts) better than static
+   chunking would.
+
+   Determinism contract: results are stored by job index and returned
+   in job order; an exception re-raised on behalf of a failed job is
+   the lowest-indexed one. Callers therefore see output byte-identical
+   to a serial run no matter how the domains interleave. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "CASH_JOBS" with
+  | None -> Domain.recommended_domain_count ()
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ ->
+       failwith
+         (Printf.sprintf "CASH_JOBS must be a positive integer, got %S" s))
+
+let jobs_of_argv argv =
+  let bad v =
+    failwith (Printf.sprintf "-j: expected a positive integer, got %S" v)
+  in
+  let parse v =
+    match int_of_string_opt v with Some n when n >= 1 -> n | _ -> bad v
+  in
+  let n = Array.length argv in
+  let rec scan i acc =
+    if i >= n then acc
+    else
+      let arg = argv.(i) in
+      if arg = "-j" then
+        if i + 1 < n then scan (i + 2) (Some (parse argv.(i + 1)))
+        else failwith "-j: missing worker count"
+      else if String.length arg > 2 && String.sub arg 0 2 = "-j" then
+        scan (i + 1) (Some (parse (String.sub arg 2 (String.length arg - 2))))
+      else if String.length arg > 7 && String.sub arg 0 7 = "--jobs=" then
+        scan (i + 1) (Some (parse (String.sub arg 7 (String.length arg - 7))))
+      else scan (i + 1) acc
+  in
+  scan 0 None
+
+(* True while the current domain is executing jobs for an enclosing
+   [run_jobs]: a nested call then runs serially instead of spawning
+   domains underneath every worker (the ablation grid is parallel in
+   its own right AND runs as one job of the bench fan-out). *)
+let inside_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Serial execution also sets the worker flag: a [~jobs:1] run means
+   "this subtree is serial", so a nested [run_jobs] underneath it must
+   not fan out either — otherwise [-j 1] would not actually be a serial
+   run (and a traced jobs-on-one-domain pass could leak work onto
+   untraced domains). *)
+let run_serial tasks =
+  let was_inside = Domain.DLS.get inside_worker in
+  Domain.DLS.set inside_worker true;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set inside_worker was_inside)
+    (fun () -> Array.map (fun task -> task ()) tasks)
+
+let run_jobs ?jobs (tasks : (unit -> 'a) array) : 'a array =
+  let n = Array.length tasks in
+  let jobs =
+    max 1 (min n (match jobs with Some j -> j | None -> default_jobs ()))
+  in
+  if n = 0 || jobs = 1 || Domain.DLS.get inside_worker then run_serial tasks
+  else begin
+    (* One slot per job; every slot is written by exactly one worker, so
+       the only cross-domain handoff is the join (a full barrier). *)
+    let results :
+        ('a, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    let next = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set inside_worker true;
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r =
+            match tasks.(i) () with
+            | v -> Ok v
+            | exception e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is worker number [jobs]; restore its
+       nested-call flag afterwards (it may itself be the main domain). *)
+    let was_inside = Domain.DLS.get inside_worker in
+    Fun.protect
+      ~finally:(fun () ->
+        Domain.DLS.set inside_worker was_inside;
+        Array.iter Domain.join spawned)
+      worker;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None ->
+          (* Unreachable: the joins above guarantee every index was
+             claimed and completed. *)
+          assert false)
+      results
+  end
+
+let map ?jobs f xs =
+  Array.to_list
+    (run_jobs ?jobs (Array.of_list (List.map (fun x () -> f x) xs)))

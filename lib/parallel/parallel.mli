@@ -1,0 +1,46 @@
+(** A Domain-based work pool for independent simulator jobs.
+
+    Every experiment, ablation cell, and differential-fleet case is an
+    independent deterministic simulation: it builds its own
+    [Machine]/[Mmu]/kernel, so runs share no simulated state. This
+    module fans such jobs out across OCaml 5 domains while keeping the
+    observable results {e byte-identical} to a serial run:
+
+    - jobs are handed to workers through one atomic index — no locks,
+      no deque — and each worker loops until the index passes the end;
+    - results land in a per-job slot, so collection order is the job
+      order regardless of which domain ran what or when it finished;
+    - an exception raised by a job is captured with its backtrace and
+      re-raised in the caller {e for the lowest-numbered failing job},
+      so failure reports are as deterministic as success output.
+
+    Jobs must not share mutable state; ambient per-run state
+    ([Core.set_default_trace]) is domain-local, so each job attaches
+    its own. Nested calls run serially on the calling worker (no domain
+    explosion when a parallelised experiment is itself run by a
+    parallel harness). *)
+
+(** Worker count used when [?jobs] is not given: the [CASH_JOBS]
+    environment variable if set (CI pins it), otherwise
+    [Domain.recommended_domain_count ()].
+    @raise Failure if [CASH_JOBS] is set but not a positive integer. *)
+val default_jobs : unit -> int
+
+(** [jobs_of_argv argv] extracts a [-j N] / [-jN] / [--jobs=N] worker
+    count from an argv-style array, for harnesses with hand-rolled flag
+    parsing (cmdliner users declare their own option and pass it to
+    [run_jobs] directly). [None] when no such flag is present.
+    @raise Failure on a malformed or non-positive count. *)
+val jobs_of_argv : string array -> int option
+
+(** [run_jobs ?jobs tasks] runs every task and returns their results in
+    task order. At most [jobs] (default {!default_jobs}) domains run at
+    once, the calling domain included; [jobs] is clamped to the number
+    of tasks. With an effective job count of 1 — or when called from
+    inside another [run_jobs] worker — the tasks run serially in the
+    calling domain, spawning nothing. *)
+val run_jobs : ?jobs:int -> (unit -> 'a) array -> 'a array
+
+(** [map ?jobs f xs] = [run_jobs ?jobs] over [fun () -> f x], keeping
+    list order. *)
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list

@@ -78,7 +78,11 @@ let is_writable d =
    an access of [size] bytes at [offset] must lie entirely within
    [0, effective_limit]. Offsets are 32-bit unsigned, so a "negative" offset
    computed by wrapped arithmetic appears as a huge value and fails the
-   check — this is how segmentation gives Cash its lower-bound check. *)
+   check — this is how segmentation gives Cash its lower-bound check.
+   [offset + size - 1] deliberately does not wrap at 2^32 (OCaml ints are
+   63-bit): an access straddling the 4 GiB boundary fails even against a
+   flat 4 GiB segment — the always-fault choice the SDM leaves
+   implementation-specific; see Segreg.translate for the full audit. *)
 let offset_ok d ~offset ~size =
   let offset = offset land 0xFFFFFFFF in
   size > 0 && offset + size - 1 <= effective_limit d

@@ -129,7 +129,10 @@ let[@inline] translate t ~seg_name ~offset ~size ~write =
    | None -> ()
    | Some s ->
      (* Recompute the check's outcome over the flat mirror so the event
-        can be emitted before [Segreg.translate] raises on failure. *)
+        can be emitted before [Segreg.translate] raises on failure.
+        Must mirror Segreg.translate bit for bit — including the 63-bit
+        no-wrap [off + size - 1] evaluation at the 4 GiB boundary (see
+        the audit note there); test_seghw.ml pins the two together. *)
      let off = offset land 0xFFFFFFFF in
      let ok =
        sr.Segreg.f_valid

@@ -107,7 +107,25 @@ let translate_fault t ~name ~offset ~size ~write ~stack =
 (* The per-access check (Figure 1's first stage): verify the offset against
    the cached limit and translate to a linear address. [stack] selects #SS
    instead of #GP on violation. The in-bounds case — one compare chain over
-   the flattened cache — is the hot path of the whole simulator. *)
+   the flattened cache — is the hot path of the whole simulator.
+
+   4 GiB boundary semantics (audited against Intel SDM Vol. 3A §6.3):
+   [off + size - 1] is evaluated in OCaml's 63-bit integers and does NOT
+   wrap at 2^32, so an access straddling the 4 GiB boundary (e.g. offset
+   0xFFFF_FFFC, size 8) fails the limit check even against a flat
+   segment whose effective limit is 0xFFFF_FFFF. The SDM makes exactly
+   this case implementation-specific ("when the effective limit is
+   FFFFFFFFH, accesses that wrap the 4-GByte boundary may or may not
+   signal #GP/#SS"); the simulator pins the always-fault implementation,
+   which is also the only safe choice for Cash — a wrapped access is
+   never a legitimate array reference. For limits below 0xFFFF_FFFF the
+   no-wrap evaluation matches the architected behaviour exactly: a huge
+   (wrapped-negative) offset exceeds the limit and faults, which is how
+   segmentation gives Cash its lower-bound check. The LINEAR address, by
+   contrast, is architecturally defined to wrap at 2^32, and does
+   ([land 0xFFFFFFFF] below) — Figure 2's end-aligned large segments
+   rely on base + offset wrapping while the limit check does not.
+   Regression-pinned in test/test_seghw.ml. *)
 let[@inline] translate t ~name ~offset ~size ~write ~stack =
   let off = offset land 0xFFFFFFFF in
   if

@@ -146,6 +146,14 @@ module Histogram = struct
 
   let total t = t.total
 
+  (* Pointwise sum, for aggregating per-job sinks after a parallel run:
+     bucket boundaries are fixed, so merging histograms is exact. *)
+  let merge_into ~into src =
+    for i = 0 to nbuckets - 1 do
+      into.counts.(i) <- into.counts.(i) + src.counts.(i)
+    done;
+    into.total <- into.total + src.total
+
   let lower_bound i = if i = 0 then 0 else 1 lsl (i - 1)
 
   let buckets t =
@@ -254,6 +262,34 @@ let attributions t =
   Hashtbl.fold (fun sym (i, c) acc -> (sym, !i, !c) :: acc) t.attribution []
   |> List.sort (fun (na, _, ca) (nb, _, cb) ->
          match compare cb ca with 0 -> String.compare na nb | n -> n)
+
+(* Fold one finished sink into another, for aggregating the per-job
+   sinks of a parallel run after the barrier. Counters, the
+   reload-interval histogram, attribution, and the emitted-event totals
+   sum exactly; [src]'s surviving ring events and violations are
+   appended after [into]'s in [src]-emission order, so merging per-job
+   sinks in job order is deterministic. [into]'s checkers are NOT run
+   on the merged events: merging is aggregation, not emission. Both
+   sinks are expected to be quiescent (their runs finished) — the
+   reload-interval boundary state is not carried over, so a sink that
+   keeps emitting after being merged into would start a fresh interval. *)
+let merge_into ~into src =
+  Array.iteri
+    (fun i c -> into.counters.(i) <- into.counters.(i) + c)
+    src.counters;
+  List.iter
+    (fun ev ->
+      into.ring.(into.head) <- Some ev;
+      into.head <- (into.head + 1) mod into.capacity)
+    (events src);
+  into.total <- into.total + src.total;
+  Histogram.merge_into ~into:into.reload_interval src.reload_interval;
+  (* [violation_log] is newest-first; prepending the reversed oldest-first
+     view keeps "into's violations, then src's" once re-reversed. *)
+  into.violation_log <- List.rev_append (violations src) into.violation_log;
+  Hashtbl.iter
+    (fun sym (i, c) -> add_attribution into sym ~insns:!i ~cycles:!c)
+    src.attribution
 
 (* --- pretty-printing ---------------------------------------------------- *)
 

@@ -83,6 +83,10 @@ module Histogram : sig
 
   (** [(lower_bound, count)] per non-empty bucket, ascending. *)
   val buckets : t -> (int * int) list
+
+  (** Pointwise sum of [src] into [into]; exact, since the bucket
+      boundaries are fixed. *)
+  val merge_into : into:t -> t -> unit
 end
 
 type sink
@@ -130,6 +134,19 @@ val add_attribution : sink -> string -> insns:int -> cycles:int -> unit
 (** Accumulated attribution, [(symbol, insns, cycles)], sorted by cycles
     descending then name. *)
 val attributions : sink -> (string * int * int) list
+
+(** [merge_into ~into src] folds one finished sink into another — how
+    the per-job sinks of a parallel run ([Parallel.run_jobs]) become
+    one aggregate after the barrier. Counters, the reload-interval
+    histogram, attribution, and emitted-event totals sum exactly;
+    [src]'s surviving ring events and violations are appended after
+    [into]'s in emission order, so merging per-job sinks in job order
+    is deterministic. [into]'s checkers are not run on merged events
+    (aggregation, not emission), and both sinks should be quiescent:
+    reload-interval boundary state is not carried across the merge.
+    A sink is single-domain — emit into per-job sinks and merge after
+    joining, never share one sink across running domains. *)
+val merge_into : into:sink -> sink -> unit
 
 val pp_event : Format.formatter -> event -> unit
 

@@ -173,15 +173,21 @@ let check_out_of_bounds seed =
 let in_bounds_cases = 140
 let oob_cases = 70
 
-let test_in_bounds () =
-  for seed = 0 to in_bounds_cases - 1 do
-    check_in_bounds seed
-  done
+(* Every case is an independent deterministic simulation (fresh kernel,
+   machine, and MMU per run), so the fleet fans out across domains —
+   CASH_JOBS (or the recommended domain count) workers via
+   lib/parallel. Failures stay deterministic: Parallel.run_jobs
+   re-raises the lowest-seed failure, so a red run names the same seed
+   a serial run would. *)
+let run_fleet ~first n check =
+  ignore
+    (Parallel.run_jobs (Array.init n (fun i () -> check (first + i)))
+      : unit array)
+
+let test_in_bounds () = run_fleet ~first:0 in_bounds_cases check_in_bounds
 
 let test_out_of_bounds () =
-  for seed = 1000 to 1000 + oob_cases - 1 do
-    check_out_of_bounds seed
-  done
+  run_fleet ~first:1000 oob_cases check_out_of_bounds
 
 (* The generator itself must be deterministic, or a reported seed would
    not reproduce the failing program. *)

@@ -15,6 +15,7 @@ let () =
       ("predecode", Test_predecode.suite);
       ("trace", Test_trace.suite);
       ("differential", Test_differential.suite);
+      ("parallel", Test_parallel.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
     ]

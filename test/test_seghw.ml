@@ -215,6 +215,108 @@ let test_segreg_descriptor_cache () =
   (* reloading now faults (empty entry) *)
   check_fault "reload after clear" (fun () -> Mmu.load_segreg mmu Segreg.GS sel)
 
+(* --- 4 GiB boundary audit (Intel SDM Vol. 3A §6.3) ----------------------
+   The limit check computes [offset + size - 1] in 63-bit host ints and
+   never wraps at 2^32; the linear address does wrap. These tests pin
+   both halves of that contract (see the audit note in Segreg.translate):
+   the SDM leaves boundary-straddling accesses against a flat 4 GiB
+   segment implementation-specific, and the simulator implements the
+   always-fault variant. *)
+
+let flat_4gib =
+  (* base 0, limit 0xFFFFF, G=1: effective limit 0xFFFFFFFF — the flat
+     segments the simulated kernel hands every process. *)
+  Descriptor.make ~base:0 ~limit:0xFFFFF ~granularity:true ~dpl:3
+    ~present:true ~seg_type:(Descriptor.Data { writable = true })
+
+let test_limit_4gib_boundary () =
+  Alcotest.(check int) "flat effective limit" 0xFFFFFFFF
+    (Descriptor.effective_limit flat_4gib);
+  let r = Segreg.create () in
+  Segreg.load r ~name:Segreg.GS ~selector:(Selector.of_int 0xB)
+    ~descriptor:(Some flat_4gib);
+  (* Last 4 bytes of the 4 GiB space: in bounds, offset = linear. *)
+  Alcotest.(check int) "last dword" 0xFFFFFFFC
+    (Segreg.translate r ~name:Segreg.GS ~offset:0xFFFFFFFC ~size:4
+       ~write:true ~stack:false);
+  (* 8-byte access straddling the boundary: 0xFFFF_FFFC + 8 - 1 does not
+     wrap, exceeds the limit, faults — the pinned SDM-allowed behaviour. *)
+  check_fault "straddles 4 GiB" (fun () ->
+      ignore
+        (Segreg.translate r ~name:Segreg.GS ~offset:0xFFFFFFFC ~size:8
+           ~write:true ~stack:false));
+  Alcotest.(check bool) "offset_ok agrees (pass)" true
+    (Descriptor.offset_ok flat_4gib ~offset:0xFFFFFFFC ~size:4);
+  Alcotest.(check bool) "offset_ok agrees (fail)" false
+    (Descriptor.offset_ok flat_4gib ~offset:0xFFFFFFFC ~size:8)
+
+let test_limit_wrapped_negative_offset () =
+  (* A "negative" offset from wrapped pointer arithmetic is a huge
+     32-bit value; the no-wrap sum keeps it above any limit, which is
+     Cash's lower-bound check. *)
+  let r = Segreg.create () in
+  Segreg.load r ~name:Segreg.FS ~selector:(Selector.of_int 0xF)
+    ~descriptor:(Some (Descriptor.for_array ~base:0x5000 ~size_bytes:24
+                         ~writable:true));
+  check_fault "offset -4" (fun () ->
+      ignore
+        (Segreg.translate r ~name:Segreg.FS ~offset:(-4) ~size:4 ~write:false
+           ~stack:false));
+  (* ...even though -4 + base would land on mapped memory below the
+     array — the check runs on the 32-bit offset, not the address. *)
+  check_fault "offset -4 straddling zero" (fun () ->
+      ignore
+        (Segreg.translate r ~name:Segreg.FS ~offset:(-4) ~size:8 ~write:false
+           ~stack:false))
+
+let test_linear_wrap_end_aligned () =
+  (* Figure 2's geometry pushed to the top of the address space: an
+     end-aligned segment whose base + offset crosses 2^32. The LINEAR
+     address is architecturally defined to wrap (and does); only the
+     limit comparison is no-wrap. *)
+  let r = Segreg.create () in
+  let d =
+    Descriptor.make ~base:0xFFFFF000 ~limit:0x1FFF ~granularity:false ~dpl:3
+      ~present:true ~seg_type:(Descriptor.Data { writable = true })
+  in
+  Segreg.load r ~name:Segreg.GS ~selector:(Selector.of_int 0xB)
+    ~descriptor:(Some d);
+  (* offset 0x1000: base + offset = 0x1_0000_0000 wraps to linear 0. *)
+  Alcotest.(check int) "linear wraps to 0" 0
+    (Segreg.translate r ~name:Segreg.GS ~offset:0x1000 ~size:4 ~write:true
+       ~stack:false);
+  (* The upper bound stays byte-exact at the wrapped position. *)
+  Alcotest.(check int) "last byte" 0xFFF
+    (Segreg.translate r ~name:Segreg.GS ~offset:0x1FFF ~size:1 ~write:true
+       ~stack:false);
+  check_fault "one past end" (fun () ->
+      ignore
+        (Segreg.translate r ~name:Segreg.GS ~offset:0x1FFD ~size:4
+           ~write:true ~stack:false))
+
+let test_mmu_limit_event_4gib () =
+  (* The traced mirror in Mmu.translate must agree with Segreg.translate
+     at the boundary: the emitted Limit_check's [ok] matches the fault. *)
+  let gdt = Descriptor_table.create Descriptor_table.Gdt_table in
+  let ldt = Descriptor_table.create Descriptor_table.Ldt_table in
+  Descriptor_table.set gdt 1 flat_4gib;
+  let mmu = Mmu.create ~gdt ~ldt in
+  let sink = Trace.create () in
+  Mmu.set_trace mmu (Some sink);
+  Mmu.load_segreg mmu Segreg.DS
+    (Selector.make ~index:1 ~table:Selector.Gdt ~rpl:3);
+  Mmu.map_range mmu ~linear:0xFFFFF000 ~size:0x1000 ~writable:true;
+  ignore
+    (Mmu.translate mmu ~seg_name:Segreg.DS ~offset:0xFFFFFFFC ~size:4
+       ~write:true : int);
+  Alcotest.(check int) "pass event" 1 (Trace.count sink Trace.K_limit_check_pass);
+  check_fault "straddle faults" (fun () ->
+      ignore
+        (Mmu.translate mmu ~seg_name:Segreg.DS ~offset:0xFFFFFFFC ~size:8
+           ~write:true));
+  Alcotest.(check int) "fail event mirrors fault" 1
+    (Trace.count sink Trace.K_limit_check_fail)
+
 (* --- paging / tlb -------------------------------------------------------- *)
 
 let test_paging_walk () =
@@ -327,6 +429,14 @@ let suite =
     Alcotest.test_case "segreg translate" `Quick test_segreg_translate;
     Alcotest.test_case "segreg write protect" `Quick test_segreg_write_protect;
     Alcotest.test_case "descriptor cache" `Quick test_segreg_descriptor_cache;
+    Alcotest.test_case "4GiB boundary limit check" `Quick
+      test_limit_4gib_boundary;
+    Alcotest.test_case "wrapped negative offset" `Quick
+      test_limit_wrapped_negative_offset;
+    Alcotest.test_case "linear wrap, end-aligned seg" `Quick
+      test_linear_wrap_end_aligned;
+    Alcotest.test_case "4GiB limit event mirror" `Quick
+      test_mmu_limit_event_4gib;
     Alcotest.test_case "paging walk" `Quick test_paging_walk;
     Alcotest.test_case "paging unmap" `Quick test_paging_unmap;
     Alcotest.test_case "paging write protect" `Quick test_paging_write_protect;
