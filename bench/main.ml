@@ -7,6 +7,8 @@
      dune exec bench/main.exe -- --no-bechamel  # reproduction output only
      dune exec bench/main.exe -- --trace        # + trace/profile JSON
      dune exec bench/main.exe -- -j 4           # reproduction across 4 domains
+     dune exec bench/main.exe -- --engine=block # pick the CPU engine
+     dune exec bench/main.exe -- --quick --ab   # fast block-vs-predecode gate
 
    The reproduction pass runs its 14 experiments as independent jobs on
    a Domain pool (lib/parallel): -j N picks the worker count, defaulting
@@ -27,7 +29,13 @@
    per-function cycle attribution plus segment/TLB/fault/LDT event
    counts, all summing exactly to a serial run's. *)
 
-let experiments = Harness.Suite.all ()
+(* --quick scales the experiment that dominates wall time (Table 8's
+   request count) down so a two-engine A/B gate fits in a CI minute;
+   every table still regenerates, so engine regressions anywhere in the
+   suite are caught, just on smaller workloads. *)
+let experiments ~quick =
+  if quick then Harness.Suite.all ~table8_requests:5 ()
+  else Harness.Suite.all ()
 
 let print_reports reports =
   print_endline
@@ -90,21 +98,30 @@ let claim_output_channel () =
   in
   go 1
 
-let write_json ~path ~oc ~traced ~jobs tp =
+(* Schema 4: adds "engine" (the engine that actually ran), and the
+   block-compilation shape of the run — "blocks_built" superblocks
+   covering "avg_block_len" instructions each (0 / 0.0 for the
+   per-instruction engines). *)
+let write_json ~path ~oc ~engine ~traced ~quick ~jobs ~n_experiments
+    ~blocks_built ~avg_block_len tp =
   let json =
     Trace.Json.(
       Obj
         [
-          ("schema", Int 3);
-          ("bench", Str "full-reproduction");
-          ("engine", Str "predecoded");
+          ("schema", Int 4);
+          ( "bench",
+            Str (if quick then "quick-reproduction" else "full-reproduction")
+          );
+          ("engine", Str (Core.engine_name engine));
           ("traced", Bool traced);
           ("jobs", Int jobs);
           ("ocaml_version", Str Sys.ocaml_version);
-          ("experiments", Int (List.length experiments));
+          ("experiments", Int n_experiments);
           ("wall_seconds", Float tp.wall_seconds);
           ("insns_executed", Int tp.insns);
           ("insns_per_host_second", Float tp.insns_per_second);
+          ("blocks_built", Int blocks_built);
+          ("avg_block_len", Float avg_block_len);
         ])
   in
   output_string oc (Trace.Json.to_string json);
@@ -124,14 +141,14 @@ let write_trace_json ~path sink =
 open Bechamel
 open Toolkit
 
-let tests =
+let tests experiments =
   Test.make_grouped ~name:"experiments" ~fmt:"%s/%s"
     (List.map
        (fun (name, run) ->
          Test.make ~name (Staged.stage (fun () -> ignore (run ()))))
        experiments)
 
-let run_bechamel () =
+let run_bechamel experiments =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
@@ -140,7 +157,7 @@ let run_bechamel () =
     Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false
       ~kde:None ()
   in
-  let raw = Benchmark.all cfg instances tests in
+  let raw = Benchmark.all cfg instances (tests experiments) in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   print_endline "\n== bechamel: wall-clock per experiment regeneration ==";
   Printf.printf "%-28s %16s\n" "experiment" "time per run";
@@ -153,25 +170,37 @@ let run_bechamel () =
       | _ -> Printf.printf "%-28s %16s\n" name "n/a")
     results
 
-let () =
-  let no_bechamel =
-    Array.exists (fun a -> a = "--no-bechamel") Sys.argv
-  in
-  let traced = Array.exists (fun a -> a = "--trace") Sys.argv in
-  let jobs =
-    match Parallel.jobs_of_argv Sys.argv with
-    | Some j -> j
-    | None -> Parallel.default_jobs ()
-  in
+(* One measured reproduction pass under [engine]: run every experiment
+   over the domain pool, report throughput, claim and write the
+   BENCH/TRACE json pair. Returns the reports (for printing/comparison)
+   and the throughput record (for the --ab gate). *)
+let run_reproduction ~experiments ~engine ~jobs ~traced ~quick
+    ~print_tables =
+  Core.set_default_engine engine;
   let aggregate = if traced then Some (Trace.create ()) else None in
+  let blocks0 = Machine.Cpu.blocks_built () in
+  let binsns0 = Machine.Cpu.block_insns_compiled () in
   let reports, tp =
     measure_throughput (fun () ->
         Harness.Suite.run_all ~jobs ?trace_into:aggregate experiments)
   in
-  print_reports reports;
+  let blocks_built = Machine.Cpu.blocks_built () - blocks0 in
+  let avg_block_len =
+    if blocks_built = 0 then 0.
+    else
+      float_of_int (Machine.Cpu.block_insns_compiled () - binsns0)
+      /. float_of_int blocks_built
+  in
+  if print_tables then print_reports reports;
+  Printf.printf "\n== engine %s ==\n" (Core.engine_name engine);
   print_throughput ~jobs tp;
+  if blocks_built > 0 then
+    Printf.printf "blocks built          %12d (avg %.1f insns)\n"
+      blocks_built avg_block_len;
   let n, path, oc = claim_output_channel () in
-  write_json ~path ~oc ~traced ~jobs tp;
+  write_json ~path ~oc ~engine ~traced ~quick ~jobs
+    ~n_experiments:(List.length experiments) ~blocks_built ~avg_block_len
+    tp;
   (match aggregate with
    | Some s ->
      write_trace_json ~path:(Printf.sprintf "TRACE_%d.json" n) s;
@@ -186,4 +215,71 @@ let () =
        (fun (k, v) -> Printf.printf "%-28s %14d\n" k v)
        (Trace.counters s)
    | None -> ());
-  if not no_bechamel then run_bechamel ()
+  (reports, tp)
+
+let () =
+  let no_bechamel =
+    Array.exists (fun a -> a = "--no-bechamel") Sys.argv
+  in
+  let traced = Array.exists (fun a -> a = "--trace") Sys.argv in
+  let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let ab = Array.exists (fun a -> a = "--ab") Sys.argv in
+  let engine =
+    Array.fold_left
+      (fun acc a ->
+        if String.length a >= 9 && String.sub a 0 9 = "--engine=" then
+          let name = String.sub a 9 (String.length a - 9) in
+          match Core.engine_of_string name with
+          | Some e -> e
+          | None ->
+            Printf.eprintf
+              "bench: unknown engine %S (expected block|predecode|reference)\n"
+              name;
+            exit 2
+        else acc)
+      (Core.default_engine ()) Sys.argv
+  in
+  let jobs =
+    match Parallel.jobs_of_argv Sys.argv with
+    | Some j -> j
+    | None -> Parallel.default_jobs ()
+  in
+  let experiments = experiments ~quick in
+  if ab then begin
+    (* A/B gate: the same reproduction under the per-instruction
+       pre-decoded engine and then the superblock engine. Tables must
+       match byte for byte (simulated semantics are engine-independent)
+       and the block engine must not be slower — a direct regression
+       tripwire for the block dispatch and fast-path layers. *)
+    let reports_pre, tp_pre =
+      run_reproduction ~experiments ~engine:Machine.Cpu.Predecoded ~jobs
+        ~traced ~quick ~print_tables:false
+    in
+    let reports_blk, tp_blk =
+      run_reproduction ~experiments ~engine:Machine.Cpu.Block ~jobs ~traced
+        ~quick ~print_tables:false
+    in
+    let render reports =
+      String.concat "\n"
+        (List.map (Format.asprintf "%a" Harness.Report.pp) reports)
+    in
+    if render reports_pre <> render reports_blk then begin
+      prerr_endline "bench --ab: block-engine tables differ from predecode";
+      exit 1
+    end;
+    Printf.printf
+      "\n== A/B gate: block %.0f insns/s vs predecode %.0f insns/s (%.2fx) ==\n"
+      tp_blk.insns_per_second tp_pre.insns_per_second
+      (tp_blk.insns_per_second /. tp_pre.insns_per_second);
+    if tp_blk.insns_per_second < tp_pre.insns_per_second then begin
+      prerr_endline "bench --ab: block engine slower than predecode";
+      exit 1
+    end
+  end
+  else begin
+    let _reports, _tp =
+      run_reproduction ~experiments ~engine ~jobs ~traced ~quick
+        ~print_tables:true
+    in
+    if not no_bechamel then run_bechamel experiments
+  end

@@ -41,6 +41,19 @@ let profile =
                cycle profile plus hardware event counters to stderr. \
                Simulated cycles are identical with and without this flag.")
 
+let engine_conv =
+  Arg.enum
+    [ ("block", Machine.Cpu.Block); ("predecode", Machine.Cpu.Predecoded);
+      ("predecoded", Machine.Cpu.Predecoded);
+      ("reference", Machine.Cpu.Reference) ]
+
+let engine =
+  Arg.(value & opt engine_conv Machine.Cpu.Block &
+       info [ "engine" ]
+         ~doc:"CPU interpreter: block (superblock dispatch, the default \
+               here), predecode, or reference. Simulated cycles and output \
+               are engine-independent.")
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -67,7 +80,7 @@ let print_profile sink =
       violations
   end
 
-let run file backend stats dump_asm profile =
+let run file backend stats dump_asm profile engine =
   let source = read_file file in
   match Core.compile backend source with
   | exception Minic.Lexer.Lex_error (m, l) ->
@@ -83,7 +96,7 @@ let run file backend stats dump_asm profile =
     end
     else begin
       let trace = if profile then Some (Trace.create ()) else None in
-      let r = Core.run ?trace compiled in
+      let r = Core.run ~engine ?trace compiled in
       print_string r.Core.output;
       (match trace with Some s -> print_profile s | None -> ());
       let exit_code =
@@ -120,6 +133,6 @@ let run file backend stats dump_asm profile =
 let cmd =
   let doc = "compile and run mini-C on the simulated segmented x86" in
   Cmd.v (Cmd.info "cashc" ~doc)
-    Term.(const run $ file $ backend $ stats $ dump_asm $ profile)
+    Term.(const run $ file $ backend $ stats $ dump_asm $ profile $ engine)
 
 let () = exit (Cmd.eval' cmd)

@@ -55,7 +55,22 @@ let jobs =
   Arg.(value & opt int (Parallel.default_jobs ()) &
        info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
-let run selected requests jobs =
+let engine =
+  let doc =
+    "CPU interpreter for every run: block, predecode, or reference. \
+     Output is byte-identical across engines."
+  in
+  Arg.(value & opt (enum [ ("block", Machine.Cpu.Block);
+                           ("predecode", Machine.Cpu.Predecoded);
+                           ("predecoded", Machine.Cpu.Predecoded);
+                           ("reference", Machine.Cpu.Reference) ])
+         (Core.default_engine ())
+       & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let run selected requests jobs engine =
+  (* Ambient (process-wide atomic): set before the domain fan-out so
+     every worker's [Core.run] calls pick it up. *)
+  Core.set_default_engine engine;
   let to_run = if selected = [] then names else selected in
   let tasks =
     Array.of_list
@@ -69,6 +84,6 @@ let run selected requests jobs =
 let cmd =
   let doc = "reproduce the tables and figures of the Cash paper (DSN 2005)" in
   Cmd.v (Cmd.info "experiments" ~doc)
-    Term.(const run $ selected $ requests $ jobs)
+    Term.(const run $ selected $ requests $ jobs $ engine)
 
 let () = exit (Cmd.eval cmd)

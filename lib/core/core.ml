@@ -85,6 +85,29 @@ let default_trace : Trace.sink option Domain.DLS.key =
 let set_default_trace sink = Domain.DLS.set default_trace sink
 let current_trace () = Domain.DLS.get default_trace
 
+(* Ambient engine for whole-harness selection (bench/experiments
+   --engine=...): applied to every [run] that does not pass an explicit
+   [?engine]. Unlike the trace sink this is an [Atomic], not DLS: an
+   engine value is immutable data, every domain must observe the CLI's
+   choice (the parallel harness spawns fresh domains, which would reset
+   a DLS key to its default), and it is set once before any fan-out. *)
+let default_engine_cell : Machine.Cpu.engine Atomic.t =
+  Atomic.make Machine.Cpu.Predecoded
+
+let set_default_engine e = Atomic.set default_engine_cell e
+let default_engine () = Atomic.get default_engine_cell
+
+let engine_of_string = function
+  | "block" -> Some Machine.Cpu.Block
+  | "predecode" | "predecoded" -> Some Machine.Cpu.Predecoded
+  | "reference" -> Some Machine.Cpu.Reference
+  | _ -> None
+
+let engine_name = function
+  | Machine.Cpu.Block -> "block"
+  | Machine.Cpu.Predecoded -> "predecoded"
+  | Machine.Cpu.Reference -> "reference"
+
 (* Load [compiled] into a fresh simulated process and run it to
    completion. A fresh kernel is created unless one is supplied (supply
    one to share a global clock across processes, as the network
@@ -96,11 +119,14 @@ let run ?kernel ?engine ?fuel ?trace ?(guard_malloc = false)
   let trace =
     match trace with Some _ as s -> s | None -> current_trace ()
   in
+  let engine =
+    match engine with Some e -> e | None -> default_engine ()
+  in
   let kernel =
     match kernel with Some k -> k | None -> Osim.Kernel.create ()
   in
   let process =
-    Osim.Process.load ?engine ~kernel compiled.Compilers.Codegen.program
+    Osim.Process.load ~engine ~kernel compiled.Compilers.Codegen.program
   in
   Machine.Cpu.set_sink (Osim.Process.cpu process) trace;
   if guard_malloc then

@@ -94,6 +94,24 @@ val set_default_trace : Trace.sink option -> unit
     code that emits events itself (e.g. Table 8's scheduler). *)
 val current_trace : unit -> Trace.sink option
 
+(** Ambient CPU engine applied to every {!run} without an explicit
+    [?engine] — how [--engine=block|predecode|reference] on the bench
+    and experiment CLIs reaches the [run] calls buried inside the table
+    modules. Process-wide (atomic, visible to every harness worker
+    domain); set it once, before fanning out. Default
+    {!Machine.Cpu.Predecoded}. *)
+val set_default_engine : Machine.Cpu.engine -> unit
+
+val default_engine : unit -> Machine.Cpu.engine
+
+(** Parse an engine name: ["block"], ["predecode"] (or ["predecoded"]),
+    ["reference"]. [None] for anything else. *)
+val engine_of_string : string -> Machine.Cpu.engine option
+
+(** The BENCH-json name of an engine: ["block"] / ["predecoded"] /
+    ["reference"]. *)
+val engine_name : Machine.Cpu.engine -> string
+
 (** Sum of the dynamic zero-cost counters with the given name prefix:
     ["__stat_iter_a_"] array-loop iterations, ["__stat_iter_s_"]
     spilled-loop iterations, ["__stat_swc_"] software checks executed. *)

@@ -16,7 +16,7 @@
      dynamic software-check and spilled-loop-iteration frequencies without
      perturbing cycle counts.
 
-   Two execution engines share this module:
+   Three execution engines share this module:
 
    - [Predecoded] (the default) runs over the link-time lowered form:
      branch targets come from [Program.targets], per-site cycle costs from
@@ -24,10 +24,22 @@
      and [exec] returns the next EIP instead of raising an exception on
      control transfers. Nothing on this path hashes a string, matches an
      option, or allocates.
+   - [Block] executes the linker's superblock partition: each maximal
+     single-entry straight-line region is compiled (once, at first run)
+     into an array of operand-resolved closures, dispatched as a unit
+     with one EIP/instruction/cycle commit per block instead of per
+     instruction. Memory operands still go through the real
+     segment-limit + TLB [translate] below, augmented by a per-segment
+     (linear page -> phys delta) fast path validated by the TLB's
+     generation counter. Fault-precise: a mid-block fault unwinds to the
+     exact faulting instruction with registers, counters, and EIP
+     identical to the per-instruction engines (the closures share the
+     single set of [eff_*] operand-effect helpers, so there is nothing
+     to diverge).
    - [Reference] is the pre-lowering interpreter kept verbatim: hashtable
      label resolution per branch, a [Cost_model.cost] match per executed
      instruction, string-keyed stat bumps, and an exception per control
-     transfer. It exists as the oracle for the equivalence suite — both
+     transfer. It exists as the oracle for the equivalence suite — all
      engines must produce bit-identical cycles, instruction counts, and
      machine state on every program. *)
 
@@ -36,7 +48,7 @@ type status =
   | Halted
   | Faulted of Seghw.Fault.t
 
-type engine = Predecoded | Reference
+type engine = Predecoded | Block | Reference
 
 type t = {
   regs : Registers.t;
@@ -70,6 +82,30 @@ type t = {
      the hot loop is byte-for-byte the untraced one. *)
   mutable sink : Trace.sink option;
   mutable prof_hits : int array;
+  (* Superblock engine state (all engines carry the fields; only
+     [Block] uses them): *)
+  block_starts : int array;    (* = program.block_starts *)
+  block_lens : int array;      (* = program.block_lens *)
+  block_at : int array;        (* = program.block_at *)
+  block_cost : int array;      (* per block: summed cost_tab over its range *)
+  mutable ublocks : (t -> int) array array;
+      (* per block: one operand-resolved closure per instruction,
+         compiled lazily by the first [Block] run. The last closure
+         returns the block's next EIP (terminators have their dispatch
+         pre-resolved; a fall-through last instruction bakes in
+         [idx + 1]); body closures return a dummy 0. *)
+  mutable ublocks_ready : bool;
+  (* Per-segment memory fast path: for segreg slot [k] (CS..GS), if
+     [fm_gen.(k)] still equals the TLB's generation counter and
+     [fm_page.(k)] is the accessed linear page (and [fm_writable.(k)]
+     for writes), then the TLB provably still caches that entry and the
+     physical address is [linear + fm_delta.(k)] without probing the
+     hash. Enabled only under the [Block] engine. *)
+  fm_enabled : bool;
+  fm_page : int array;         (* cached linear page, or -1 *)
+  fm_delta : int array;        (* phys - linear for that page *)
+  fm_writable : bool array;
+  fm_gen : int array;          (* Tlb.gen at fill time, or -1 *)
 }
 
 exception Out_of_fuel
@@ -82,6 +118,15 @@ exception Out_of_fuel
    instruction), so contention is nil. *)
 let retired_total = Atomic.make 0
 let total_retired () = Atomic.get retired_total
+
+(* Block-compilation accounting for the benchmark report (BENCH schema 4:
+   "blocks_built" / "avg_block_len"): bumped once per lazy superblock
+   compilation, across all CPUs and domains. No simulated semantics
+   depend on these. *)
+let blocks_built_total = Atomic.make 0
+let block_insns_total = Atomic.make 0
+let blocks_built () = Atomic.get blocks_built_total
+let block_insns_compiled () = Atomic.get block_insns_total
 
 let create ?(engine = Predecoded) ~mmu ~phys ~costs ~program () =
   let code = program.Program.code in
@@ -102,6 +147,22 @@ let create ?(engine = Predecoded) ~mmu ~phys ~costs ~program () =
         | _ -> ()
       end)
     program.Program.stat_labels;
+  let cost_tab = Cost_model.precompute costs code in
+  (* Per-block cycle sums: Jcc's tabulated cost is branch-direction
+     independent (the model charges taken and fall-through alike), so a
+     straight sum over the block's range is the exact per-instruction
+     total. *)
+  let block_starts = program.Program.block_starts in
+  let block_lens = program.Program.block_lens in
+  let block_cost =
+    Array.init (Array.length block_starts) (fun b ->
+        let s = block_starts.(b) in
+        let acc = ref 0 in
+        for i = s to s + block_lens.(b) - 1 do
+          acc := !acc + cost_tab.(i)
+        done;
+        !acc)
+  in
   {
     regs = Registers.create ();
     mmu;
@@ -111,7 +172,7 @@ let create ?(engine = Predecoded) ~mmu ~phys ~costs ~program () =
     engine;
     code;
     targets = program.Program.targets;
-    cost_tab = Cost_model.precompute costs code;
+    cost_tab;
     stat_refs;
     eip = program.Program.entry_index;
     zf = false;
@@ -126,6 +187,17 @@ let create ?(engine = Predecoded) ~mmu ~phys ~costs ~program () =
     stat_counters;
     sink = None;
     prof_hits = [||];
+    block_starts;
+    block_lens;
+    block_at = program.Program.block_at;
+    block_cost;
+    ublocks = [||];
+    ublocks_ready = false;
+    fm_enabled = (match engine with Block -> true | _ -> false);
+    fm_page = Array.make 6 (-1);
+    fm_delta = Array.make 6 0;
+    fm_writable = Array.make 6 false;
+    fm_gen = Array.make 6 (-1);
   }
 
 (* Attach (or detach) the trace sink: the CPU and its MMU share it, so
@@ -220,6 +292,12 @@ let[@inline] to_signed v =
   let v = v land 0xFFFFFFFF in
   if v >= 0x80000000 then v - 0x100000000 else v
 
+(* Sign-extend an 8-/16-bit value into the low 32 bits — the one
+   definition of Movsx's widening, shared by [eff_movsx] and the
+   superblock closure compiler's byte-load specialisations. *)
+let[@inline] sx8 v = if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
+let[@inline] sx16 v = if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v
+
 let[@inline] width_bytes (w : Insn.width) =
   match w with Insn.Byte -> 1 | Insn.Word -> 2 | Insn.Long -> 4
 
@@ -291,23 +369,47 @@ let[@inline] p_write_float (p : Phys_mem.t) addr v =
   end
   else Phys_mem.write_float p addr v
 
+(* Segreg slot index for the per-segment fast-path arrays. *)
+let[@inline] seg_slot (s : Seghw.Segreg.name) =
+  match s with
+  | Seghw.Segreg.CS -> 0 | Seghw.Segreg.SS -> 1 | Seghw.Segreg.DS -> 2
+  | Seghw.Segreg.ES -> 3 | Seghw.Segreg.FS -> 4 | Seghw.Segreg.GS -> 5
+
 (* [Seghw.Mmu.translate], in-unit: bump the limit-check counter, run the
    segment-limit compare chain over the flattened descriptor mirror,
    probe the direct-mapped TLB. Segment faults and TLB misses leave the
    unit, so diagnostics, counter discipline, and the page walk stay the
-   module's. *)
-let[@inline] translate t ~seg_name ~offset ~size ~write =
-  let mmu = t.mmu in
+   module's.
+
+   Under the block engine ([t.fm_enabled]) a per-segment one-entry cache
+   short-circuits the TLB probe: if the last page accessed through this
+   segreg is accessed again and the TLB generation counter has not moved
+   since the cache was filled, the TLB provably still holds that exact
+   entry (every insert/invalidate/flush bumps the generation), so the
+   access is accounted as a TLB hit — same counters, same trace events —
+   without touching the hash arrays. Any generation movement, page
+   change, or write-over-read-only falls back to the real probe, which
+   refills the cache. Segreg reloads need no special handling: the cache
+   is keyed by linear page, and a reload changes [f_base] upstream of
+   the key.
+
+   [translate_via] is that one definition, parameterized over the
+   pre-resolved segment-register mirror [sr] and fast-path slot [k]:
+   the stepping engines resolve both per access (through [translate]
+   below); the superblock closure compiler resolves them once at
+   closure-compile time — legal because [Mmu.t]'s segreg fields are
+   immutable references to in-place-mutated records — and calls
+   [translate_via] directly. One code path either way, so the engines
+   cannot diverge on translation semantics.
+
+   [tr] is the event sink consulted by the emit sites. The stepping
+   engines pass [mmu.trace]; compiled block closures pass a literal
+   [None], which is exact, not an approximation: closures only ever
+   execute in [run]'s untraced [Block] arm ([t.sink = None]), and
+   [set_sink] sets [t.sink] and [mmu.trace] together, so [mmu.trace]
+   is provably [None] whenever a closure runs. *)
+let[@inline] translate_via t mmu sr k ~tr ~seg_name ~offset ~size ~write =
   mmu.Seghw.Mmu.limit_checks <- mmu.Seghw.Mmu.limit_checks + 1;
-  let sr =
-    match (seg_name : Seghw.Segreg.name) with
-    | Seghw.Segreg.CS -> mmu.Seghw.Mmu.cs
-    | Seghw.Segreg.SS -> mmu.Seghw.Mmu.ss
-    | Seghw.Segreg.DS -> mmu.Seghw.Mmu.ds
-    | Seghw.Segreg.ES -> mmu.Seghw.Mmu.es
-    | Seghw.Segreg.FS -> mmu.Seghw.Mmu.fs
-    | Seghw.Segreg.GS -> mmu.Seghw.Mmu.gs
-  in
   let off = offset land 0xFFFFFFFF in
   if
     sr.Seghw.Segreg.f_valid
@@ -315,7 +417,7 @@ let[@inline] translate t ~seg_name ~offset ~size ~write =
     && size > 0
     && off + size - 1 <= sr.Seghw.Segreg.f_limit
   then begin
-    (match mmu.Seghw.Mmu.trace with
+    (match tr with
      | None -> ()
      | Some s ->
        Trace.emit s
@@ -326,30 +428,62 @@ let[@inline] translate t ~seg_name ~offset ~size ~write =
     let linear = (sr.Seghw.Segreg.f_base + off) land 0xFFFFFFFF in
     let tlb = mmu.Seghw.Mmu.tlb in
     let page = linear lsr Seghw.Paging.page_shift in
-    let slot = page land tlb.Seghw.Tlb.mask in
     if
-      Array.unsafe_get tlb.Seghw.Tlb.tags slot = page
-      && ((not write) || Array.unsafe_get tlb.Seghw.Tlb.writable slot)
+      t.fm_enabled
+      && Array.unsafe_get t.fm_page k = page
+      && Array.unsafe_get t.fm_gen k = tlb.Seghw.Tlb.gen
+      && ((not write) || Array.unsafe_get t.fm_writable k)
     then begin
+      (* The generation check proves the TLB still caches this entry, so
+         the accounting of the skipped probe is exact: one hit. *)
       tlb.Seghw.Tlb.hits <- tlb.Seghw.Tlb.hits + 1;
-      (match mmu.Seghw.Mmu.trace with
+      (match tr with
        | None -> ()
        | Some s -> Trace.emit s Trace.Tlb_hit);
-      (Array.unsafe_get tlb.Seghw.Tlb.frames slot lsl Seghw.Paging.page_shift)
-      lor (linear land 0xFFF)
+      linear + Array.unsafe_get t.fm_delta k
     end
     else begin
-      tlb.Seghw.Tlb.misses <- tlb.Seghw.Tlb.misses + 1;
-      (match mmu.Seghw.Mmu.trace with
-       | None -> ()
-       | Some s ->
-         let old = Array.unsafe_get tlb.Seghw.Tlb.tags slot in
-         Trace.emit s
-           (Trace.Tlb_miss { page; evicted = old >= 0 && old <> page }));
-      let phys = Seghw.Paging.walk mmu.Seghw.Mmu.paging ~linear ~write in
-      Seghw.Tlb.insert tlb ~page
-        ~frame:(phys lsr Seghw.Paging.page_shift)
-        ~writable:write;
+      let slot = page land tlb.Seghw.Tlb.mask in
+      let phys =
+        if
+          Array.unsafe_get tlb.Seghw.Tlb.tags slot = page
+          && ((not write) || Array.unsafe_get tlb.Seghw.Tlb.writable slot)
+        then begin
+          tlb.Seghw.Tlb.hits <- tlb.Seghw.Tlb.hits + 1;
+          (match tr with
+           | None -> ()
+           | Some s -> Trace.emit s Trace.Tlb_hit);
+          (Array.unsafe_get tlb.Seghw.Tlb.frames slot
+           lsl Seghw.Paging.page_shift)
+          lor (linear land 0xFFF)
+        end
+        else begin
+          tlb.Seghw.Tlb.misses <- tlb.Seghw.Tlb.misses + 1;
+          (match tr with
+           | None -> ()
+           | Some s ->
+             let old = Array.unsafe_get tlb.Seghw.Tlb.tags slot in
+             Trace.emit s
+               (Trace.Tlb_miss { page; evicted = old >= 0 && old <> page }));
+          let phys = Seghw.Paging.walk mmu.Seghw.Mmu.paging ~linear ~write in
+          Seghw.Tlb.insert tlb ~page
+            ~frame:(phys lsr Seghw.Paging.page_shift)
+            ~writable:write;
+          phys
+        end
+      in
+      if t.fm_enabled then begin
+        (* Refill from the slot the probe (or the walk's insert) just
+           left for this page: recording the slot's writability — not
+           [write] — lets a later write hit after a write walk while a
+           read-filled entry stays read-only, exactly the TLB's own
+           upgrade-in-place discipline. *)
+        Array.unsafe_set t.fm_page k page;
+        Array.unsafe_set t.fm_delta k (phys - linear);
+        Array.unsafe_set t.fm_writable k
+          (Array.unsafe_get tlb.Seghw.Tlb.writable slot);
+        Array.unsafe_set t.fm_gen k tlb.Seghw.Tlb.gen
+      end;
       phys
     end
   end
@@ -357,7 +491,7 @@ let[@inline] translate t ~seg_name ~offset ~size ~write =
     (* Some fast-path condition failed; [Segreg.translate] re-runs the
        same test over the same mirror and raises the architectural
        fault with the module's exact diagnostics. *)
-    (match mmu.Seghw.Mmu.trace with
+    (match tr with
      | None -> ()
      | Some s ->
        Trace.emit s
@@ -371,6 +505,20 @@ let[@inline] translate t ~seg_name ~offset ~size ~write =
     in
     Seghw.Mmu.translate_linear mmu ~linear ~write
   end
+
+let[@inline] seg_field (mmu : Seghw.Mmu.t) (s : Seghw.Segreg.name) =
+  match s with
+  | Seghw.Segreg.CS -> mmu.Seghw.Mmu.cs
+  | Seghw.Segreg.SS -> mmu.Seghw.Mmu.ss
+  | Seghw.Segreg.DS -> mmu.Seghw.Mmu.ds
+  | Seghw.Segreg.ES -> mmu.Seghw.Mmu.es
+  | Seghw.Segreg.FS -> mmu.Seghw.Mmu.fs
+  | Seghw.Segreg.GS -> mmu.Seghw.Mmu.gs
+
+let[@inline] translate t ~seg_name ~offset ~size ~write =
+  let mmu = t.mmu in
+  translate_via t mmu (seg_field mmu seg_name) (seg_slot seg_name)
+    ~tr:mmu.Seghw.Mmu.trace ~seg_name ~offset ~size ~write
 
 (* --- memory access through segmentation ------------------------------- *)
 
@@ -508,22 +656,36 @@ let[@inline] cond_holds t (c : Insn.cond) =
 
 (* --- stack helpers ----------------------------------------------------- *)
 
-let[@inline] push32 t v ~seg =
+(* Like [translate]/[translate_via]: the [_via] forms are the single
+   definitions, with the segment mirror pre-resolved by the caller —
+   per access here, once at closure-compile time in the superblock
+   compiler. *)
+let[@inline] push32_via t mmu sr k ~tr seg v =
   let esp = (rget t Registers.ESP - 4) land 0xFFFFFFFF in
   rset t Registers.ESP esp;
   let phys_addr =
-    translate t ~seg_name:seg ~offset:esp ~size:4 ~write:true
+    translate_via t mmu sr k ~tr ~seg_name:seg ~offset:esp ~size:4 ~write:true
   in
   p_write32 t.phys phys_addr v
 
-let[@inline] pop32 t ~seg =
+let[@inline] push32 t v ~seg =
+  let mmu = t.mmu in
+  push32_via t mmu (seg_field mmu seg) (seg_slot seg) ~tr:mmu.Seghw.Mmu.trace
+    seg v
+
+let[@inline] pop32_via t mmu sr k ~tr seg =
   let esp = rget t Registers.ESP in
   let phys_addr =
-    translate t ~seg_name:seg ~offset:esp ~size:4 ~write:false
+    translate_via t mmu sr k ~tr ~seg_name:seg ~offset:esp ~size:4 ~write:false
   in
   let v = p_read32 t.phys phys_addr in
   rset t Registers.ESP ((esp + 4) land 0xFFFFFFFF);
   v
+
+let[@inline] pop32 t ~seg =
+  let mmu = t.mmu in
+  pop32_via t mmu (seg_field mmu seg) (seg_slot seg) ~tr:mmu.Seghw.Mmu.trace
+    seg
 
 (* Read the [n]th 32-bit argument of a Callext host routine (0-based;
    arguments were pushed cdecl so arg 0 sits at [ESP]). *)
@@ -548,16 +710,178 @@ let arg_float t n =
 let return_int t v = rset t Registers.EAX v
 let return_float t v = fset t Registers.XMM0 v
 
+(* --- shared operand effects -------------------------------------------- *)
+
+(* One definition of every straight-line instruction effect, shared by
+   all three engines: [exec] (pre-decoded), [exec_reference], and the
+   superblock closure compiler each dispatch into these, so an engine
+   cannot silently diverge on an ALU or memory semantics detail. Control
+   transfers and cycle/EIP commits stay engine-specific by design —
+   that is exactly what distinguishes the engines. *)
+
+let[@inline] eff_mov t w dst src =
+  write_operand t dst ~width:w (read_operand t src ~width:w)
+
+let[@inline] eff_lea t r m = rset t r (effective_offset t m)
+
+let[@inline] eff_movsx t r src w =
+  let v = read_operand t src ~width:w in
+  let v =
+    match w with
+    | Insn.Byte -> sx8 v
+    | Insn.Word -> sx16 v
+    | Insn.Long -> v
+  in
+  rset t r v
+
+let[@inline] eff_movzx t r src w = rset t r (read_operand t src ~width:w)
+
+(* Flags and 32-bit result of one ALU operation (the caller writes the
+   destination). *)
+let[@inline] alu_result t (op : Insn.alu) a b =
+  match op with
+  | Insn.Add -> set_flags_add t a b; a + b
+  | Insn.Sub -> set_flags_sub t a b; a - b
+  | Insn.And -> let r = a land b in set_flags_logic t r; r
+  | Insn.Or -> let r = a lor b in set_flags_logic t r; r
+  | Insn.Xor -> let r = a lxor b in set_flags_logic t r; r
+  | Insn.Imul ->
+    let r = to_signed a * to_signed b in
+    set_flags_logic t r; r
+  | Insn.Shl -> let r = a lsl (b land 31) in set_flags_logic t r; r
+  | Insn.Shr -> let r = a lsr (b land 31) in set_flags_logic t r; r
+  | Insn.Sar ->
+    let r = to_signed a asr (b land 31) in
+    set_flags_logic t r; r
+
+let[@inline] eff_alu t op dst src =
+  let a = read_operand t dst ~width:Insn.Long in
+  let b = read_operand t src ~width:Insn.Long in
+  write_operand t dst ~width:Insn.Long (alu_result t op a b)
+
+let[@inline] eff_idiv t src =
+  let a = to_signed (rget t Registers.EAX) in
+  let b = to_signed (read_operand t src ~width:Insn.Long) in
+  if b = 0 then Seghw.Fault.ud "integer division by zero";
+  let q = a / b and r = a mod b in
+  rset t Registers.EAX q;
+  rset t Registers.EDX r
+
+let[@inline] eff_neg t o =
+  let v = read_operand t o ~width:Insn.Long in
+  set_flags_sub t 0 v;
+  write_operand t o ~width:Insn.Long (-v)
+
+let[@inline] inc_result t v =
+  let r = v + 1 in
+  set_flags_result t r;
+  t.ovf <- v land 0xFFFFFFFF = 0x7FFFFFFF;
+  r
+
+let[@inline] dec_result t v =
+  let r = v - 1 in
+  set_flags_result t r;
+  t.ovf <- v land 0xFFFFFFFF = 0x80000000;
+  r
+
+let[@inline] eff_inc t o =
+  let v = read_operand t o ~width:Insn.Long in
+  write_operand t o ~width:Insn.Long (inc_result t v)
+
+let[@inline] eff_dec t o =
+  let v = read_operand t o ~width:Insn.Long in
+  write_operand t o ~width:Insn.Long (dec_result t v)
+
+let[@inline] eff_cmp t a b =
+  set_flags_sub t
+    (read_operand t a ~width:Insn.Long)
+    (read_operand t b ~width:Insn.Long)
+
+let[@inline] eff_test t a b =
+  set_flags_logic t
+    (read_operand t a ~width:Insn.Long land read_operand t b ~width:Insn.Long)
+
+let[@inline] eff_setcc t c r = rset t r (if cond_holds t c then 1 else 0)
+
+let[@inline] eff_fmov t dst src =
+  let v = read_fsrc t src in
+  match (dst : Insn.fsrc) with
+  | Insn.Freg r -> fset t r v
+  | Insn.Fmem m -> store_f64 t m v
+
+let[@inline] eff_falu t (op : Insn.falu) dst src =
+  let a = fget t dst in
+  let b = read_fsrc t src in
+  let r =
+    match op with
+    | Insn.Fadd -> a +. b
+    | Insn.Fsub -> a -. b
+    | Insn.Fmul -> a *. b
+    | Insn.Fdiv -> a /. b
+  in
+  fset t dst r
+
+let[@inline] eff_fcmp t a src =
+  (* comisd: ZF/CF as for an unsigned compare; OF/SF cleared *)
+  let x = fget t a in
+  let y = read_fsrc t src in
+  t.ovf <- false;
+  t.sf <- false;
+  t.zf <- x = y;
+  t.cf <- x < y
+
+let[@inline] eff_fsqrt t d src = fset t d (sqrt (read_fsrc t src))
+
+let[@inline] eff_cvtsi2sd t d src =
+  fset t d (float_of_int (to_signed (read_operand t src ~width:Insn.Long)))
+
+let[@inline] eff_cvtsd2si t d src =
+  let f = read_fsrc t src in
+  rset t d (truncate f)
+
+let[@inline] eff_push t o =
+  push32 t (read_operand t o ~width:Insn.Long) ~seg:Seghw.Segreg.SS
+
+let[@inline] eff_pop t o =
+  write_operand t o ~width:Insn.Long (pop32 t ~seg:Seghw.Segreg.SS)
+
+let[@inline] eff_mov_to_seg t name o =
+  let sel = Seghw.Selector.of_int (read_operand t o ~width:Insn.Word) in
+  Seghw.Mmu.load_segreg t.mmu name sel
+
+let[@inline] eff_mov_from_seg t o name =
+  write_operand t o ~width:Insn.Word
+    (Seghw.Selector.to_int (Seghw.Mmu.read_segreg t.mmu name))
+
+let[@inline] eff_bound t r m =
+  (* bound r32, m32&32: lower word at [m], upper at [m+4]; the checked
+     value must satisfy lower <= r <= upper, else #BR. *)
+  let v = to_signed (rget t r) in
+  let lower = to_signed (load_mem t m ~width:Insn.Long) in
+  let upper =
+    to_signed
+      (load_mem t { m with Insn.disp = m.Insn.disp + 4 } ~width:Insn.Long)
+  in
+  if v < lower || v > upper then
+    Seghw.Fault.br (Printf.sprintf "bound: %d not in [%d, %d]" v lower upper)
+
+let[@inline] eff_callext t name =
+  match Hashtbl.find_opt t.externals name with
+  | Some f -> f t
+  | None -> Seghw.Fault.ud (Printf.sprintf "undefined external %S" name)
+
 (* --- the pre-decoded execution engine ---------------------------------- *)
 
-(* Execute one instruction and return the next EIP. Control transfers read
-   their pre-resolved target from [t.targets] at the current EIP; every
-   other instruction falls through. The caller commits EIP and charges
-   the pre-tabulated cycle cost — so a faulting instruction (OCaml
-   exception) leaves EIP, the instruction count, and the cycle count
-   untouched, exactly like the reference engine. *)
-let exec t (i : Insn.t) =
-  let eip = t.eip in
+(* Execute the instruction at index [eip] and return the next EIP.
+   Control transfers read their pre-resolved target from [t.targets];
+   every other instruction falls through. The caller commits EIP and
+   charges the pre-tabulated cycle cost — so a faulting instruction
+   (OCaml exception) leaves EIP, the instruction count, and the cycle
+   count untouched, exactly like the reference engine. Taking [eip] as
+   a parameter (rather than reading [t.eip]) lets the block engine
+   execute mid-block instructions without maintaining [t.eip] per
+   step. *)
+let exec t eip (i : Insn.t) =
   let next = eip + 1 in
   match i with
   | Insn.Label _ ->
@@ -565,126 +889,26 @@ let exec t (i : Insn.t) =
     next
   | Insn.Nop -> next
   | Insn.Halt -> t.status <- Halted; next
-  | Insn.Mov (w, dst, src) ->
-    write_operand t dst ~width:w (read_operand t src ~width:w);
-    next
-  | Insn.Lea (r, m) -> rset t r (effective_offset t m); next
-  | Insn.Movsx (r, src, w) ->
-    let v = read_operand t src ~width:w in
-    let v =
-      match w with
-      | Insn.Byte -> if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
-      | Insn.Word -> if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v
-      | Insn.Long -> v
-    in
-    rset t r v;
-    next
-  | Insn.Movzx (r, src, w) ->
-    rset t r (read_operand t src ~width:w);
-    next
-  | Insn.Alu (op, dst, src) ->
-    let a = read_operand t dst ~width:Insn.Long in
-    let b = read_operand t src ~width:Insn.Long in
-    let r =
-      match op with
-      | Insn.Add -> set_flags_add t a b; a + b
-      | Insn.Sub -> set_flags_sub t a b; a - b
-      | Insn.And -> let r = a land b in set_flags_logic t r; r
-      | Insn.Or -> let r = a lor b in set_flags_logic t r; r
-      | Insn.Xor -> let r = a lxor b in set_flags_logic t r; r
-      | Insn.Imul ->
-        let r = to_signed a * to_signed b in
-        set_flags_logic t r; r
-      | Insn.Shl -> let r = a lsl (b land 31) in set_flags_logic t r; r
-      | Insn.Shr -> let r = a lsr (b land 31) in set_flags_logic t r; r
-      | Insn.Sar ->
-        let r = to_signed a asr (b land 31) in
-        set_flags_logic t r; r
-    in
-    write_operand t dst ~width:Insn.Long r;
-    next
-  | Insn.Idiv src ->
-    let a = to_signed (rget t Registers.EAX) in
-    let b = to_signed (read_operand t src ~width:Insn.Long) in
-    if b = 0 then Seghw.Fault.ud "integer division by zero";
-    let q = a / b and r = a mod b in
-    rset t Registers.EAX q;
-    rset t Registers.EDX r;
-    next
-  | Insn.Neg o ->
-    let v = read_operand t o ~width:Insn.Long in
-    set_flags_sub t 0 v;
-    write_operand t o ~width:Insn.Long (-v);
-    next
-  | Insn.Inc o ->
-    let v = read_operand t o ~width:Insn.Long in
-    let r = v + 1 in
-    set_flags_result t r;
-    t.ovf <- v land 0xFFFFFFFF = 0x7FFFFFFF;
-    write_operand t o ~width:Insn.Long r;
-    next
-  | Insn.Dec o ->
-    let v = read_operand t o ~width:Insn.Long in
-    let r = v - 1 in
-    set_flags_result t r;
-    t.ovf <- v land 0xFFFFFFFF = 0x80000000;
-    write_operand t o ~width:Insn.Long r;
-    next
-  | Insn.Cmp (a, b) ->
-    set_flags_sub t
-      (read_operand t a ~width:Insn.Long)
-      (read_operand t b ~width:Insn.Long);
-    next
-  | Insn.Test (a, b) ->
-    set_flags_logic t
-      (read_operand t a ~width:Insn.Long
-       land read_operand t b ~width:Insn.Long);
-    next
-  | Insn.Setcc (c, r) ->
-    rset t r (if cond_holds t c then 1 else 0);
-    next
-  | Insn.Fmov (dst, src) ->
-    let v = read_fsrc t src in
-    (match dst with
-     | Insn.Freg r -> fset t r v
-     | Insn.Fmem m -> store_f64 t m v);
-    next
+  | Insn.Mov (w, dst, src) -> eff_mov t w dst src; next
+  | Insn.Lea (r, m) -> eff_lea t r m; next
+  | Insn.Movsx (r, src, w) -> eff_movsx t r src w; next
+  | Insn.Movzx (r, src, w) -> eff_movzx t r src w; next
+  | Insn.Alu (op, dst, src) -> eff_alu t op dst src; next
+  | Insn.Idiv src -> eff_idiv t src; next
+  | Insn.Neg o -> eff_neg t o; next
+  | Insn.Inc o -> eff_inc t o; next
+  | Insn.Dec o -> eff_dec t o; next
+  | Insn.Cmp (a, b) -> eff_cmp t a b; next
+  | Insn.Test (a, b) -> eff_test t a b; next
+  | Insn.Setcc (c, r) -> eff_setcc t c r; next
+  | Insn.Fmov (dst, src) -> eff_fmov t dst src; next
   | Insn.Fload_const (r, f) -> fset t r f; next
-  | Insn.Falu (op, dst, src) ->
-    let a = fget t dst in
-    let b = read_fsrc t src in
-    let r =
-      match op with
-      | Insn.Fadd -> a +. b
-      | Insn.Fsub -> a -. b
-      | Insn.Fmul -> a *. b
-      | Insn.Fdiv -> a /. b
-    in
-    fset t dst r;
-    next
-  | Insn.Fcmp (a, src) ->
-    (* comisd: ZF/CF as for an unsigned compare; OF/SF cleared *)
-    let x = fget t a in
-    let y = read_fsrc t src in
-    t.ovf <- false;
-    t.sf <- false;
-    t.zf <- x = y;
-    t.cf <- x < y;
-    next
-  | Insn.Fneg r ->
-    fset t r (-.fget t r);
-    next
-  | Insn.Fsqrt (d, src) ->
-    fset t d (sqrt (read_fsrc t src));
-    next
-  | Insn.Cvtsi2sd (d, src) ->
-    fset t d
-      (float_of_int (to_signed (read_operand t src ~width:Insn.Long)));
-    next
-  | Insn.Cvtsd2si (d, src) ->
-    let f = read_fsrc t src in
-    rset t d (truncate f);
-    next
+  | Insn.Falu (op, dst, src) -> eff_falu t op dst src; next
+  | Insn.Fcmp (a, src) -> eff_fcmp t a src; next
+  | Insn.Fneg r -> fset t r (-.fget t r); next
+  | Insn.Fsqrt (d, src) -> eff_fsqrt t d src; next
+  | Insn.Cvtsi2sd (d, src) -> eff_cvtsi2sd t d src; next
+  | Insn.Cvtsd2si (d, src) -> eff_cvtsd2si t d src; next
   | Insn.Jmp _ -> Array.unsafe_get t.targets eip
   | Insn.Jcc (c, _) ->
     if cond_holds t c then Array.unsafe_get t.targets eip else next
@@ -692,41 +916,14 @@ let exec t (i : Insn.t) =
     push32 t next ~seg:Seghw.Segreg.DS;
     Array.unsafe_get t.targets eip
   | Insn.Ret -> pop32 t ~seg:Seghw.Segreg.DS
-  | Insn.Push o ->
-    push32 t (read_operand t o ~width:Insn.Long) ~seg:Seghw.Segreg.SS;
-    next
-  | Insn.Pop o ->
-    write_operand t o ~width:Insn.Long (pop32 t ~seg:Seghw.Segreg.SS);
-    next
-  | Insn.Mov_to_seg (name, o) ->
-    let sel = Seghw.Selector.of_int (read_operand t o ~width:Insn.Word) in
-    Seghw.Mmu.load_segreg t.mmu name sel;
-    next
-  | Insn.Mov_from_seg (o, name) ->
-    write_operand t o ~width:Insn.Word
-      (Seghw.Selector.to_int (Seghw.Mmu.read_segreg t.mmu name));
-    next
+  | Insn.Push o -> eff_push t o; next
+  | Insn.Pop o -> eff_pop t o; next
+  | Insn.Mov_to_seg (name, o) -> eff_mov_to_seg t name o; next
+  | Insn.Mov_from_seg (o, name) -> eff_mov_from_seg t o name; next
   | Insn.Lcall_gate sel -> t.kernel t ~gate:(`Gate sel); next
   | Insn.Int_syscall n -> t.kernel t ~gate:(`Int n); next
-  | Insn.Bound (r, m) ->
-    (* bound r32, m32&32: lower word at [m], upper at [m+4]; the checked
-       value must satisfy lower <= r <= upper, else #BR. *)
-    let v = to_signed (rget t r) in
-    let lower = to_signed (load_mem t m ~width:Insn.Long) in
-    let upper =
-      to_signed
-        (load_mem t { m with Insn.disp = m.Insn.disp + 4 } ~width:Insn.Long)
-    in
-    if v < lower || v > upper then
-      Seghw.Fault.br
-        (Printf.sprintf "bound: %d not in [%d, %d]" v lower upper);
-    next
-  | Insn.Callext name ->
-    (match Hashtbl.find_opt t.externals name with
-     | Some f -> f t
-     | None ->
-       Seghw.Fault.ud (Printf.sprintf "undefined external %S" name));
-    next
+  | Insn.Bound (r, m) -> eff_bound t r m; next
+  | Insn.Callext name -> eff_callext t name; next
 
 (* One pre-decoded step: fetch, execute, commit EIP, charge the
    tabulated cost. *)
@@ -734,7 +931,7 @@ let step_predecoded t =
   let eip = t.eip in
   if eip < 0 || eip >= Array.length t.code then
     Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" eip);
-  let next = exec t (Array.unsafe_get t.code eip) in
+  let next = exec t eip (Array.unsafe_get t.code eip) in
   t.eip <- next;
   t.insns_executed <- t.insns_executed + 1;
   t.cycles <- t.cycles + Array.unsafe_get t.cost_tab eip;
@@ -742,6 +939,445 @@ let step_predecoded t =
   | None -> ()
   | Some _ ->
     Array.unsafe_set t.prof_hits eip (Array.unsafe_get t.prof_hits eip + 1)
+
+(* --- the superblock engine --------------------------------------------- *)
+
+(* The closure compiler: every instruction of a block is lowered, once
+   per CPU, into an operand-resolved [t -> int] closure. Work the
+   stepping engines redo per execution happens here once, at compile
+   time:
+
+   - the instruction-constructor match and every operand-shape match;
+   - register names resolved to file indices (closures index the
+     captured [gp] array directly);
+   - the segment override / EBP-ESP default-segment rule;
+   - the segment-register mirror [sr] and fast-path slot [k] of the
+     access — legal because [Mmu.t]'s segreg fields are immutable
+     references to records that a segreg reload mutates in place, so a
+     captured [sr] always sees current descriptor state;
+   - the addressing-mode shape (base/index/scale/displacement);
+   - a terminator's branch target and fall-through EIP.
+
+   Everything semantic still funnels into single shared definitions —
+   [translate_via] (limit check, TLB probe, per-segment fast path),
+   the [p_read*]/[p_write*] accessors, the flag setters and
+   [inc_result]/[alu_result]/[sx8]-style combinators, [push32_via]/
+   [pop32_via], [cond_holds], and the generic [eff_*] effects for
+   every shape without a bespoke lowering — so the compiled form
+   cannot diverge from the stepping engines; the engine-equivalence
+   suites pin the specialised shapes.
+
+   Closures are compiled against one specific CPU ([compile_insn]
+   takes [t] and captures its register file, MMU, and physical
+   memory); [build_ublocks] stores them on that same CPU and nothing
+   else runs them. *)
+
+(* Physical-address closure for one memory operand: addressing shape,
+   default segment, mirror and slot resolved now; the returned closure
+   does the adds and one [translate_via]. *)
+let compile_addr t (m : Insn.mem) ~size ~write : t -> int =
+  let mmu = t.mmu in
+  let seg = default_seg m in
+  let sr = seg_field mmu seg in
+  let k = seg_slot seg in
+  let gp = t.regs.Registers.gp in
+  let disp = m.Insn.disp in
+  match (m.Insn.base, m.Insn.index) with
+  | Some b, None ->
+    let bi = reg_index b in
+    fun cpu ->
+      let off = (Array.unsafe_get gp bi + disp) land 0xFFFFFFFF in
+      translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size ~write
+  | Some b, Some (x, scale) ->
+    let bi = reg_index b and xi = reg_index x in
+    fun cpu ->
+      let off =
+        (Array.unsafe_get gp bi + (Array.unsafe_get gp xi * scale) + disp)
+        land 0xFFFFFFFF
+      in
+      translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size ~write
+  | None, Some (x, scale) ->
+    let xi = reg_index x in
+    fun cpu ->
+      let off = ((Array.unsafe_get gp xi * scale) + disp) land 0xFFFFFFFF in
+      translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size ~write
+  | None, None ->
+    let off = disp land 0xFFFFFFFF in
+    fun cpu ->
+      translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size ~write
+
+(* Compile one non-terminator instruction. [ret] is the closure's
+   return value — 0 for body instructions, the fall-through EIP when an
+   ordinary instruction ends a block because the next one is a branch
+   target. *)
+let compile_insn t idx ~ret : t -> int =
+  let gp = t.regs.Registers.gp in
+  let fp = t.regs.Registers.fp in
+  let ph = t.phys in
+  let mmu = t.mmu in
+  let kss = seg_slot Seghw.Segreg.SS in
+  match (Array.get t.code idx : Insn.t) with
+  | Insn.Label _ ->
+    let r = Array.get t.stat_refs idx in
+    fun _ -> incr r; ret
+  | Insn.Nop -> fun _ -> ret
+  | Insn.Mov (Insn.Long, Insn.Reg d, Insn.Reg s) ->
+    let di = reg_index d and si = reg_index s in
+    fun _ -> Array.unsafe_set gp di (Array.unsafe_get gp si); ret
+  | Insn.Mov (Insn.Long, Insn.Reg d, Insn.Imm i) ->
+    let di = reg_index d and v = i land 0xFFFFFFFF in
+    fun _ -> Array.unsafe_set gp di v; ret
+  (* The two hottest shapes — 32-bit loads and stores through a
+     register-addressed operand — get the address computation fused
+     into the instruction closure itself (no separate [compile_addr]
+     closure call); everything still goes through the one
+     [translate_via]. *)
+  | Insn.Mov
+      ( Insn.Long,
+        Insn.Reg d,
+        Insn.Mem ({ Insn.base = Some b; Insn.index = None; _ } as m) ) ->
+    let seg = default_seg m in
+    let sr = seg_field mmu seg and k = seg_slot seg in
+    let bi = reg_index b and di = reg_index d and disp = m.Insn.disp in
+    fun cpu ->
+      let off = (Array.unsafe_get gp bi + disp) land 0xFFFFFFFF in
+      let phys =
+        translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size:4
+          ~write:false
+      in
+      Array.unsafe_set gp di (p_read32 ph phys);
+      ret
+  | Insn.Mov
+      ( Insn.Long,
+        Insn.Reg d,
+        Insn.Mem ({ Insn.base = Some b; Insn.index = Some (x, sc); _ } as m) )
+    ->
+    let seg = default_seg m in
+    let sr = seg_field mmu seg and k = seg_slot seg in
+    let bi = reg_index b
+    and xi = reg_index x
+    and di = reg_index d
+    and disp = m.Insn.disp in
+    fun cpu ->
+      let off =
+        (Array.unsafe_get gp bi + (Array.unsafe_get gp xi * sc) + disp)
+        land 0xFFFFFFFF
+      in
+      let phys =
+        translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size:4
+          ~write:false
+      in
+      Array.unsafe_set gp di (p_read32 ph phys);
+      ret
+  | Insn.Mov (Insn.Long, Insn.Reg d, Insn.Mem m) ->
+    let pa = compile_addr t m ~size:4 ~write:false in
+    let di = reg_index d in
+    fun cpu -> Array.unsafe_set gp di (p_read32 ph (pa cpu)); ret
+  | Insn.Mov
+      ( Insn.Long,
+        Insn.Mem ({ Insn.base = Some b; Insn.index = None; _ } as m),
+        Insn.Reg s ) ->
+    let seg = default_seg m in
+    let sr = seg_field mmu seg and k = seg_slot seg in
+    let bi = reg_index b and si = reg_index s and disp = m.Insn.disp in
+    fun cpu ->
+      let off = (Array.unsafe_get gp bi + disp) land 0xFFFFFFFF in
+      let phys =
+        translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size:4
+          ~write:true
+      in
+      p_write32 ph phys (Array.unsafe_get gp si);
+      ret
+  | Insn.Mov
+      ( Insn.Long,
+        Insn.Mem ({ Insn.base = Some b; Insn.index = Some (x, sc); _ } as m),
+        Insn.Reg s ) ->
+    let seg = default_seg m in
+    let sr = seg_field mmu seg and k = seg_slot seg in
+    let bi = reg_index b
+    and xi = reg_index x
+    and si = reg_index s
+    and disp = m.Insn.disp in
+    fun cpu ->
+      let off =
+        (Array.unsafe_get gp bi + (Array.unsafe_get gp xi * sc) + disp)
+        land 0xFFFFFFFF
+      in
+      let phys =
+        translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size:4
+          ~write:true
+      in
+      p_write32 ph phys (Array.unsafe_get gp si);
+      ret
+  | Insn.Mov (Insn.Long, Insn.Mem m, Insn.Reg s) ->
+    let pa = compile_addr t m ~size:4 ~write:true in
+    let si = reg_index s in
+    fun cpu -> p_write32 ph (pa cpu) (Array.unsafe_get gp si); ret
+  | Insn.Mov (Insn.Long, Insn.Mem m, Insn.Imm i) ->
+    let pa = compile_addr t m ~size:4 ~write:true in
+    let v = i land 0xFFFFFFFF in
+    fun cpu -> p_write32 ph (pa cpu) v; ret
+  | Insn.Mov (Insn.Byte, Insn.Reg d, Insn.Mem m) ->
+    (* Byte loads merge into the destination's low byte, exactly
+       [write_operand]'s Byte case. *)
+    let pa = compile_addr t m ~size:1 ~write:false in
+    let di = reg_index d in
+    fun cpu ->
+      let v = p_read8 ph (pa cpu) land 0xFF in
+      Array.unsafe_set gp di ((Array.unsafe_get gp di land 0xFFFFFF00) lor v);
+      ret
+  | Insn.Mov (Insn.Byte, Insn.Mem m, Insn.Reg s) ->
+    let pa = compile_addr t m ~size:1 ~write:true in
+    let si = reg_index s in
+    fun cpu -> p_write8 ph (pa cpu) (Array.unsafe_get gp si land 0xFF); ret
+  | Insn.Mov (Insn.Byte, Insn.Mem m, Insn.Imm i) ->
+    let pa = compile_addr t m ~size:1 ~write:true in
+    let v = i land 0xFF in
+    fun cpu -> p_write8 ph (pa cpu) v; ret
+  | Insn.Mov (w, dst, src) -> fun cpu -> eff_mov cpu w dst src; ret
+  | Insn.Lea (r, m) ->
+    (* The four addressing shapes of [effective_offset], resolved here;
+       [compile_addr] resolves the same shapes for real accesses. *)
+    let di = reg_index r in
+    let disp = m.Insn.disp in
+    (match (m.Insn.base, m.Insn.index) with
+     | Some b, None ->
+       let bi = reg_index b in
+       fun _ ->
+         Array.unsafe_set gp di ((Array.unsafe_get gp bi + disp) land 0xFFFFFFFF);
+         ret
+     | Some b, Some (x, sc) ->
+       let bi = reg_index b and xi = reg_index x in
+       fun _ ->
+         Array.unsafe_set gp di
+           ((Array.unsafe_get gp bi + (Array.unsafe_get gp xi * sc) + disp)
+            land 0xFFFFFFFF);
+         ret
+     | None, Some (x, sc) ->
+       let xi = reg_index x in
+       fun _ ->
+         Array.unsafe_set gp di
+           (((Array.unsafe_get gp xi * sc) + disp) land 0xFFFFFFFF);
+         ret
+     | None, None ->
+       let v = disp land 0xFFFFFFFF in
+       fun _ -> Array.unsafe_set gp di v; ret)
+  | Insn.Movsx (r, Insn.Mem m, Insn.Byte) ->
+    let pa = compile_addr t m ~size:1 ~write:false in
+    let di = reg_index r in
+    fun cpu ->
+      Array.unsafe_set gp di (sx8 (p_read8 ph (pa cpu)) land 0xFFFFFFFF);
+      ret
+  | Insn.Movsx (r, src, w) -> fun cpu -> eff_movsx cpu r src w; ret
+  | Insn.Movzx (r, Insn.Mem m, Insn.Byte) ->
+    let pa = compile_addr t m ~size:1 ~write:false in
+    let di = reg_index r in
+    fun cpu -> Array.unsafe_set gp di (p_read8 ph (pa cpu) land 0xFF); ret
+  | Insn.Movzx (r, src, w) -> fun cpu -> eff_movzx cpu r src w; ret
+  | Insn.Alu (Insn.Add, Insn.Reg d, Insn.Reg s) ->
+    let di = reg_index d and si = reg_index s in
+    fun cpu ->
+      let a = Array.unsafe_get gp di and b = Array.unsafe_get gp si in
+      set_flags_add cpu a b;
+      Array.unsafe_set gp di ((a + b) land 0xFFFFFFFF);
+      ret
+  | Insn.Alu (Insn.Add, Insn.Reg d, Insn.Imm i) ->
+    let di = reg_index d and b = i land 0xFFFFFFFF in
+    fun cpu ->
+      let a = Array.unsafe_get gp di in
+      set_flags_add cpu a b;
+      Array.unsafe_set gp di ((a + b) land 0xFFFFFFFF);
+      ret
+  | Insn.Alu (Insn.Sub, Insn.Reg d, Insn.Reg s) ->
+    let di = reg_index d and si = reg_index s in
+    fun cpu ->
+      let a = Array.unsafe_get gp di and b = Array.unsafe_get gp si in
+      set_flags_sub cpu a b;
+      Array.unsafe_set gp di ((a - b) land 0xFFFFFFFF);
+      ret
+  | Insn.Alu (Insn.Sub, Insn.Reg d, Insn.Imm i) ->
+    let di = reg_index d and b = i land 0xFFFFFFFF in
+    fun cpu ->
+      let a = Array.unsafe_get gp di in
+      set_flags_sub cpu a b;
+      Array.unsafe_set gp di ((a - b) land 0xFFFFFFFF);
+      ret
+  | Insn.Alu (op, Insn.Reg d, Insn.Reg s) ->
+    let di = reg_index d and si = reg_index s in
+    fun cpu ->
+      Array.unsafe_set gp di
+        (alu_result cpu op (Array.unsafe_get gp di) (Array.unsafe_get gp si)
+         land 0xFFFFFFFF);
+      ret
+  | Insn.Alu (op, Insn.Reg d, Insn.Imm i) ->
+    let di = reg_index d and b = i land 0xFFFFFFFF in
+    fun cpu ->
+      Array.unsafe_set gp di
+        (alu_result cpu op (Array.unsafe_get gp di) b land 0xFFFFFFFF);
+      ret
+  | Insn.Alu (op, Insn.Reg d, Insn.Mem m) ->
+    let pa = compile_addr t m ~size:4 ~write:false in
+    let di = reg_index d in
+    fun cpu ->
+      let b = p_read32 ph (pa cpu) in
+      Array.unsafe_set gp di
+        (alu_result cpu op (Array.unsafe_get gp di) b land 0xFFFFFFFF);
+      ret
+  | Insn.Alu (op, dst, src) -> fun cpu -> eff_alu cpu op dst src; ret
+  | Insn.Idiv src -> fun cpu -> eff_idiv cpu src; ret
+  | Insn.Neg o -> fun cpu -> eff_neg cpu o; ret
+  | Insn.Inc (Insn.Reg r) ->
+    let ri = reg_index r in
+    fun cpu ->
+      Array.unsafe_set gp ri
+        (inc_result cpu (Array.unsafe_get gp ri) land 0xFFFFFFFF);
+      ret
+  | Insn.Inc o -> fun cpu -> eff_inc cpu o; ret
+  | Insn.Dec (Insn.Reg r) ->
+    let ri = reg_index r in
+    fun cpu ->
+      Array.unsafe_set gp ri
+        (dec_result cpu (Array.unsafe_get gp ri) land 0xFFFFFFFF);
+      ret
+  | Insn.Dec o -> fun cpu -> eff_dec cpu o; ret
+  | Insn.Cmp (Insn.Reg a, Insn.Reg b) ->
+    let ai = reg_index a and bi = reg_index b in
+    fun cpu ->
+      set_flags_sub cpu (Array.unsafe_get gp ai) (Array.unsafe_get gp bi);
+      ret
+  | Insn.Cmp (Insn.Reg a, Insn.Imm i) ->
+    let ai = reg_index a and b = i land 0xFFFFFFFF in
+    fun cpu -> set_flags_sub cpu (Array.unsafe_get gp ai) b; ret
+  | Insn.Cmp (Insn.Mem m, Insn.Imm i) ->
+    let pa = compile_addr t m ~size:4 ~write:false in
+    let b = i land 0xFFFFFFFF in
+    fun cpu -> set_flags_sub cpu (p_read32 ph (pa cpu)) b; ret
+  | Insn.Cmp (Insn.Mem m, Insn.Reg b) ->
+    let pa = compile_addr t m ~size:4 ~write:false in
+    let bi = reg_index b in
+    fun cpu ->
+      set_flags_sub cpu (p_read32 ph (pa cpu)) (Array.unsafe_get gp bi);
+      ret
+  | Insn.Cmp (Insn.Reg a, Insn.Mem m) ->
+    let pa = compile_addr t m ~size:4 ~write:false in
+    let ai = reg_index a in
+    fun cpu ->
+      let av = Array.unsafe_get gp ai in
+      set_flags_sub cpu av (p_read32 ph (pa cpu));
+      ret
+  | Insn.Cmp (a, b) -> fun cpu -> eff_cmp cpu a b; ret
+  | Insn.Test (Insn.Reg a, Insn.Reg b) ->
+    let ai = reg_index a and bi = reg_index b in
+    fun cpu ->
+      set_flags_logic cpu (Array.unsafe_get gp ai land Array.unsafe_get gp bi);
+      ret
+  | Insn.Test (a, b) -> fun cpu -> eff_test cpu a b; ret
+  | Insn.Setcc (c, r) ->
+    let ri = reg_index r in
+    fun cpu -> Array.unsafe_set gp ri (if cond_holds cpu c then 1 else 0); ret
+  | Insn.Fmov (Insn.Freg d, Insn.Freg s) ->
+    let di = freg_index d and si = freg_index s in
+    fun _ -> Array.unsafe_set fp di (Array.unsafe_get fp si); ret
+  | Insn.Fmov (Insn.Freg d, Insn.Fmem m) ->
+    let pa = compile_addr t m ~size:8 ~write:false in
+    let di = freg_index d in
+    fun cpu -> Array.unsafe_set fp di (p_read_float ph (pa cpu)); ret
+  | Insn.Fmov (Insn.Fmem m, Insn.Freg s) ->
+    let pa = compile_addr t m ~size:8 ~write:true in
+    let si = freg_index s in
+    fun cpu -> p_write_float ph (pa cpu) (Array.unsafe_get fp si); ret
+  | Insn.Fmov (dst, src) -> fun cpu -> eff_fmov cpu dst src; ret
+  | Insn.Fload_const (r, f) ->
+    let ri = freg_index r in
+    fun _ -> Array.unsafe_set fp ri f; ret
+  | Insn.Falu (op, dst, src) -> fun cpu -> eff_falu cpu op dst src; ret
+  | Insn.Fcmp (a, src) -> fun cpu -> eff_fcmp cpu a src; ret
+  | Insn.Fneg r -> fun cpu -> fset cpu r (-.fget cpu r); ret
+  | Insn.Fsqrt (d, src) -> fun cpu -> eff_fsqrt cpu d src; ret
+  | Insn.Cvtsi2sd (d, src) -> fun cpu -> eff_cvtsi2sd cpu d src; ret
+  | Insn.Cvtsd2si (d, src) -> fun cpu -> eff_cvtsd2si cpu d src; ret
+  | Insn.Push (Insn.Reg s) ->
+    let sr = mmu.Seghw.Mmu.ss and si = reg_index s in
+    fun cpu ->
+      push32_via cpu mmu sr kss ~tr:None Seghw.Segreg.SS (Array.unsafe_get gp si);
+      ret
+  | Insn.Push (Insn.Imm i) ->
+    let sr = mmu.Seghw.Mmu.ss and v = i land 0xFFFFFFFF in
+    fun cpu -> push32_via cpu mmu sr kss ~tr:None Seghw.Segreg.SS v; ret
+  | Insn.Push o -> fun cpu -> eff_push cpu o; ret
+  | Insn.Pop (Insn.Reg d) ->
+    let sr = mmu.Seghw.Mmu.ss and di = reg_index d in
+    fun cpu ->
+      Array.unsafe_set gp di
+        (pop32_via cpu mmu sr kss ~tr:None Seghw.Segreg.SS land 0xFFFFFFFF);
+      ret
+  | Insn.Pop o -> fun cpu -> eff_pop cpu o; ret
+  | Insn.Mov_from_seg (o, name) -> fun cpu -> eff_mov_from_seg cpu o name; ret
+  | Insn.Bound (r, m) -> fun cpu -> eff_bound cpu r m; ret
+  | (Insn.Jmp _ | Insn.Jcc _ | Insn.Call _ | Insn.Ret | Insn.Halt
+    | Insn.Mov_to_seg _ | Insn.Lcall_gate _ | Insn.Int_syscall _
+    | Insn.Callext _) as i ->
+    (* Terminators are compiled by [compile_term] ([Program.partition]
+       puts them last); keep a correct fallback anyway. *)
+    fun cpu -> exec cpu idx i
+
+(* Compile a block's last instruction into the closure producing the
+   next EIP. Real terminators get their dispatch pre-resolved — the
+   [targets] entry is read once, here. A block can also end on an
+   ordinary instruction (the next one is a branch target), in which
+   case the fall-through EIP is baked into the ordinary closure. *)
+let compile_term t idx : t -> int =
+  let next = idx + 1 in
+  match (Array.get t.code idx : Insn.t) with
+  | Insn.Jmp _ ->
+    let tgt = Array.get t.targets idx in
+    fun _ -> tgt
+  | Insn.Jcc (c, _) ->
+    let tgt = Array.get t.targets idx in
+    (* The hot conditions are resolved to direct flag reads — each
+       formula is [cond_holds]'s own line for that constructor, and the
+       branch-direction equivalence suites pin them to it. *)
+    (match c with
+     | Insn.Eq -> fun cpu -> if cpu.zf then tgt else next
+     | Insn.Ne -> fun cpu -> if cpu.zf then next else tgt
+     | Insn.Lt -> fun cpu -> if cpu.sf <> cpu.ovf then tgt else next
+     | Insn.Le -> fun cpu -> if cpu.zf || cpu.sf <> cpu.ovf then tgt else next
+     | Insn.Gt ->
+       fun cpu -> if (not cpu.zf) && cpu.sf = cpu.ovf then tgt else next
+     | Insn.Ge -> fun cpu -> if cpu.sf = cpu.ovf then tgt else next
+     | _ -> fun cpu -> if cond_holds cpu c then tgt else next)
+  | Insn.Call _ ->
+    let tgt = Array.get t.targets idx in
+    let mmu = t.mmu in
+    let sr = mmu.Seghw.Mmu.ds and kds = seg_slot Seghw.Segreg.DS in
+    fun cpu ->
+      push32_via cpu mmu sr kds ~tr:None Seghw.Segreg.DS next;
+      tgt
+  | Insn.Ret ->
+    let mmu = t.mmu in
+    let sr = mmu.Seghw.Mmu.ds and kds = seg_slot Seghw.Segreg.DS in
+    fun cpu -> pop32_via cpu mmu sr kds ~tr:None Seghw.Segreg.DS
+  | Insn.Halt ->
+    fun cpu ->
+      cpu.status <- Halted;
+      next
+  | i ->
+    if Program.block_terminator i then fun cpu -> exec cpu idx i
+    else compile_insn t idx ~ret:next
+
+(* Compile every block, once per CPU, on the first [Block] run. *)
+let build_ublocks t =
+  let nb = Array.length t.block_starts in
+  t.ublocks <-
+    Array.init nb (fun b ->
+        let start = t.block_starts.(b) in
+        let len = t.block_lens.(b) in
+        Array.init len (fun j ->
+            if j = len - 1 then compile_term t (start + j)
+            else compile_insn t (start + j) ~ret:0));
+  t.ublocks_ready <- true;
+  ignore (Atomic.fetch_and_add blocks_built_total nb : int);
+  ignore (Atomic.fetch_and_add block_insns_total (Array.length t.code) : int)
 
 (* --- the reference engine (the equivalence oracle) --------------------- *)
 
@@ -756,106 +1392,26 @@ let exec_reference t (i : Insn.t) =
    | Insn.Label l -> if Program.is_stat_label l then bump_stat t l
    | Insn.Nop -> ()
    | Insn.Halt -> t.status <- Halted
-   | Insn.Mov (w, dst, src) ->
-     write_operand t dst ~width:w (read_operand t src ~width:w)
-   | Insn.Lea (r, m) -> rset t r (effective_offset t m)
-   | Insn.Movsx (r, src, w) ->
-     let v = read_operand t src ~width:w in
-     let v =
-       match w with
-       | Insn.Byte -> if v land 0x80 <> 0 then v lor 0xFFFFFF00 else v
-       | Insn.Word -> if v land 0x8000 <> 0 then v lor 0xFFFF0000 else v
-       | Insn.Long -> v
-     in
-     rset t r v
-   | Insn.Movzx (r, src, w) ->
-     rset t r (read_operand t src ~width:w)
-   | Insn.Alu (op, dst, src) ->
-     let a = read_operand t dst ~width:Insn.Long in
-     let b = read_operand t src ~width:Insn.Long in
-     let r =
-       match op with
-       | Insn.Add -> set_flags_add t a b; a + b
-       | Insn.Sub -> set_flags_sub t a b; a - b
-       | Insn.And -> let r = a land b in set_flags_logic t r; r
-       | Insn.Or -> let r = a lor b in set_flags_logic t r; r
-       | Insn.Xor -> let r = a lxor b in set_flags_logic t r; r
-       | Insn.Imul ->
-         let r = to_signed a * to_signed b in
-         set_flags_logic t r; r
-       | Insn.Shl -> let r = a lsl (b land 31) in set_flags_logic t r; r
-       | Insn.Shr -> let r = a lsr (b land 31) in set_flags_logic t r; r
-       | Insn.Sar ->
-         let r = to_signed a asr (b land 31) in
-         set_flags_logic t r; r
-     in
-     write_operand t dst ~width:Insn.Long r
-   | Insn.Idiv src ->
-     let a = to_signed (rget t Registers.EAX) in
-     let b = to_signed (read_operand t src ~width:Insn.Long) in
-     if b = 0 then Seghw.Fault.ud "integer division by zero";
-     let q = a / b and r = a mod b in
-     rset t Registers.EAX q;
-     rset t Registers.EDX r
-   | Insn.Neg o ->
-     let v = read_operand t o ~width:Insn.Long in
-     set_flags_sub t 0 v;
-     write_operand t o ~width:Insn.Long (-v)
-   | Insn.Inc o ->
-     let v = read_operand t o ~width:Insn.Long in
-     let r = v + 1 in
-     set_flags_result t r;
-     t.ovf <- v land 0xFFFFFFFF = 0x7FFFFFFF;
-     write_operand t o ~width:Insn.Long r
-   | Insn.Dec o ->
-     let v = read_operand t o ~width:Insn.Long in
-     let r = v - 1 in
-     set_flags_result t r;
-     t.ovf <- v land 0xFFFFFFFF = 0x80000000;
-     write_operand t o ~width:Insn.Long r
-   | Insn.Cmp (a, b) ->
-     set_flags_sub t
-       (read_operand t a ~width:Insn.Long)
-       (read_operand t b ~width:Insn.Long)
-   | Insn.Test (a, b) ->
-     set_flags_logic t
-       (read_operand t a ~width:Insn.Long
-        land read_operand t b ~width:Insn.Long)
-   | Insn.Setcc (c, r) ->
-     rset t r (if cond_holds t c then 1 else 0)
-   | Insn.Fmov (dst, src) ->
-     let v = read_fsrc t src in
-     (match dst with
-      | Insn.Freg r -> fset t r v
-      | Insn.Fmem m -> store_f64 t m v)
+   | Insn.Mov (w, dst, src) -> eff_mov t w dst src
+   | Insn.Lea (r, m) -> eff_lea t r m
+   | Insn.Movsx (r, src, w) -> eff_movsx t r src w
+   | Insn.Movzx (r, src, w) -> eff_movzx t r src w
+   | Insn.Alu (op, dst, src) -> eff_alu t op dst src
+   | Insn.Idiv src -> eff_idiv t src
+   | Insn.Neg o -> eff_neg t o
+   | Insn.Inc o -> eff_inc t o
+   | Insn.Dec o -> eff_dec t o
+   | Insn.Cmp (a, b) -> eff_cmp t a b
+   | Insn.Test (a, b) -> eff_test t a b
+   | Insn.Setcc (c, r) -> eff_setcc t c r
+   | Insn.Fmov (dst, src) -> eff_fmov t dst src
    | Insn.Fload_const (r, f) -> fset t r f
-   | Insn.Falu (op, dst, src) ->
-     let a = fget t dst in
-     let b = read_fsrc t src in
-     let r =
-       match op with
-       | Insn.Fadd -> a +. b
-       | Insn.Fsub -> a -. b
-       | Insn.Fmul -> a *. b
-       | Insn.Fdiv -> a /. b
-     in
-     fset t dst r
-   | Insn.Fcmp (a, src) ->
-     (* comisd: ZF/CF as for an unsigned compare; OF/SF cleared *)
-     let x = fget t a in
-     let y = read_fsrc t src in
-     t.ovf <- false;
-     t.sf <- false;
-     t.zf <- x = y;
-     t.cf <- x < y
+   | Insn.Falu (op, dst, src) -> eff_falu t op dst src
+   | Insn.Fcmp (a, src) -> eff_fcmp t a src
    | Insn.Fneg r -> fset t r (-.fget t r)
-   | Insn.Fsqrt (d, src) -> fset t d (sqrt (read_fsrc t src))
-   | Insn.Cvtsi2sd (d, src) ->
-     fset t d
-       (float_of_int (to_signed (read_operand t src ~width:Insn.Long)))
-   | Insn.Cvtsd2si (d, src) ->
-     let f = read_fsrc t src in
-     rset t d (truncate f)
+   | Insn.Fsqrt (d, src) -> eff_fsqrt t d src
+   | Insn.Cvtsi2sd (d, src) -> eff_cvtsi2sd t d src
+   | Insn.Cvtsd2si (d, src) -> eff_cvtsd2si t d src
    | Insn.Jmp l ->
      t.eip <- Program.resolve t.program l;
      t.insns_executed <- t.insns_executed + 1;
@@ -880,35 +1436,14 @@ let exec_reference t (i : Insn.t) =
      t.insns_executed <- t.insns_executed + 1;
      t.cycles <- t.cycles + Cost_model.cost t.costs i;
      raise Exit
-   | Insn.Push o ->
-     push32 t (read_operand t o ~width:Insn.Long) ~seg:Seghw.Segreg.SS
-   | Insn.Pop o ->
-     write_operand t o ~width:Insn.Long (pop32 t ~seg:Seghw.Segreg.SS)
-   | Insn.Mov_to_seg (name, o) ->
-     let sel = Seghw.Selector.of_int (read_operand t o ~width:Insn.Word) in
-     Seghw.Mmu.load_segreg t.mmu name sel
-   | Insn.Mov_from_seg (o, name) ->
-     write_operand t o ~width:Insn.Word
-       (Seghw.Selector.to_int (Seghw.Mmu.read_segreg t.mmu name))
+   | Insn.Push o -> eff_push t o
+   | Insn.Pop o -> eff_pop t o
+   | Insn.Mov_to_seg (name, o) -> eff_mov_to_seg t name o
+   | Insn.Mov_from_seg (o, name) -> eff_mov_from_seg t o name
    | Insn.Lcall_gate sel -> t.kernel t ~gate:(`Gate sel)
    | Insn.Int_syscall n -> t.kernel t ~gate:(`Int n)
-   | Insn.Bound (r, m) ->
-     (* bound r32, m32&32: lower word at [m], upper at [m+4]; the checked
-        value must satisfy lower <= r <= upper, else #BR. *)
-     let v = to_signed (rget t r) in
-     let lower = to_signed (load_mem t m ~width:Insn.Long) in
-     let upper =
-       to_signed
-         (load_mem t { m with Insn.disp = m.Insn.disp + 4 } ~width:Insn.Long)
-     in
-     if v < lower || v > upper then
-       Seghw.Fault.br
-         (Printf.sprintf "bound: %d not in [%d, %d]" v lower upper)
-   | Insn.Callext name ->
-     (match Hashtbl.find_opt t.externals name with
-      | Some f -> f t
-      | None ->
-        Seghw.Fault.ud (Printf.sprintf "undefined external %S" name)));
+   | Insn.Bound (r, m) -> eff_bound t r m
+   | Insn.Callext name -> eff_callext t name);
   t.eip <- next;
   t.insns_executed <- t.insns_executed + 1;
   t.cycles <- t.cycles + Cost_model.cost t.costs i
@@ -932,9 +1467,28 @@ let step t =
   match t.status with
   | Running ->
     (match t.engine with
-     | Predecoded -> step_predecoded t
+     (* Single-stepping a [Block] CPU steps per instruction (block
+        dispatch only pays off across a whole [run]); the per-segment
+        fast path stays active via [t.fm_enabled]. *)
+     | Predecoded | Block -> step_predecoded t
      | Reference -> step_reference t)
   | Halted | Faulted _ -> ()
+
+(* Commit a partially executed block after an exception: [k] body
+   instructions starting at [start] retired, EIP resting on the
+   faulting instruction — byte-identical to where the per-instruction
+   engines would stop. Cold path: per-site costs are summed on
+   demand. *)
+let commit_partial t start k =
+  if k > 0 then begin
+    t.insns_executed <- t.insns_executed + k;
+    let acc = ref 0 in
+    for i = start to start + k - 1 do
+      acc := !acc + Array.unsafe_get t.cost_tab i
+    done;
+    t.cycles <- t.cycles + !acc
+  end;
+  t.eip <- start + k
 
 (* Exactly one Fault event per architectural fault: raised faults
    funnel through [run]'s single handler, which calls this before
@@ -981,15 +1535,85 @@ let run ?(fuel = 4_000_000_000) t =
             let eip = t.eip in
             if eip < 0 || eip >= limit then
               Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" eip);
-            let next = exec t (Array.unsafe_get code eip) in
+            let next = exec t eip (Array.unsafe_get code eip) in
             t.eip <- next;
             t.insns_executed <- t.insns_executed + 1;
             t.cycles <- t.cycles + Array.unsafe_get cost_tab eip
           done
-        | Predecoded, Some _ ->
+        | Block, None ->
+          (* The superblock loop: one dispatch, one EIP store, and one
+             instruction/cycle commit per straight-line region. The
+             body closures run with [t.eip] parked at the block start;
+             any exception (#GP/#SS/#PF/#BR from a closure, or anything
+             a terminator's kernel/external raises) unwinds through
+             [commit_partial], which retires exactly the completed
+             prefix and leaves EIP on the faulting instruction — after
+             which the per-instruction fault semantics below apply
+             unchanged. Entry at a non-block-start EIP (a RET to a
+             computed address) and blocks straddling the fuel budget
+             fall back to exact per-instruction stepping until the loop
+             re-synchronises on a block start. *)
+          if not t.ublocks_ready then build_ublocks t;
+          let code = t.code in
+          let cost_tab = t.cost_tab in
+          let limit = Array.length code in
+          let block_at = t.block_at in
+          let lens = t.block_lens in
+          let bcost = t.block_cost in
+          let ublocks = t.ublocks in
+          (* [j] counts completed closures of the block in flight, -1
+             whenever execution is not inside a block (the
+             per-instruction fallback keeps exact per-step commits on
+             its own), so the single unwind handler below knows whether
+             a partial prefix needs committing. Hoisted: the hot loop
+             allocates nothing. *)
+          let j = ref (-1) in
+          (try
+             while (match t.status with Running -> true | _ -> false) do
+               j := -1;
+               let eip = t.eip in
+               if eip < 0 || eip >= limit then
+                 Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" eip);
+               let bid = Array.unsafe_get block_at eip in
+               if
+                 bid >= 0
+                 && t.insns_executed + Array.unsafe_get lens bid <= fuel
+               then begin
+                 let blk = Array.unsafe_get ublocks bid in
+                 let n1 = Array.length blk - 1 in
+                 j := 0;
+                 while !j < n1 do
+                   ignore ((Array.unsafe_get blk !j) t : int);
+                   incr j
+                 done;
+                 let next = (Array.unsafe_get blk n1) t in
+                 t.eip <- next;
+                 t.insns_executed <- t.insns_executed + n1 + 1;
+                 t.cycles <- t.cycles + Array.unsafe_get bcost bid
+               end
+               else begin
+                 if t.insns_executed >= fuel then raise Out_of_fuel;
+                 let next = exec t eip (Array.unsafe_get code eip) in
+                 t.eip <- next;
+                 t.insns_executed <- t.insns_executed + 1;
+                 t.cycles <- t.cycles + Array.unsafe_get cost_tab eip
+               end
+             done
+           with e ->
+             (* Unwinding out of a block: [!j] instructions of it
+                completed; the one at [t.eip + !j] (body or terminator)
+                faulted unretired, and EIP comes to rest on it. *)
+             (if !j >= 0 then commit_partial t t.eip !j);
+             raise e)
+        | (Predecoded | Block), Some _ ->
           (* The traced variant: identical commits plus one per-site
              retire count, the profiler's raw input. [prof_hits] is
-             sized to [code] by [set_sink]. *)
+             sized to [code] by [set_sink]. Traced [Block] runs step
+             per instruction too — attribution wants per-site retires,
+             and block dispatch would only re-derive them — but keep
+             the per-segment fast path active ([t.fm_enabled]), so its
+             counter accounting and Limit_check/Tlb_hit emissions are
+             exercised under trace and pinned by the traced oracles. *)
           let code = t.code in
           let cost_tab = t.cost_tab in
           let prof = t.prof_hits in
@@ -999,7 +1623,7 @@ let run ?(fuel = 4_000_000_000) t =
             let eip = t.eip in
             if eip < 0 || eip >= limit then
               Seghw.Fault.gp (Printf.sprintf "EIP %d outside code" eip);
-            let next = exec t (Array.unsafe_get code eip) in
+            let next = exec t eip (Array.unsafe_get code eip) in
             t.eip <- next;
             t.insns_executed <- t.insns_executed + 1;
             t.cycles <- t.cycles + Array.unsafe_get cost_tab eip;

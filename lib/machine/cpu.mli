@@ -6,13 +6,18 @@
     counters: executing one bumps a named counter without consuming
     cycles — the harness's measurement channel.
 
-    Two engines implement the same semantics. {!Predecoded} (the
+    Three engines implement the same semantics. {!Predecoded} (the
     default) executes the link-time lowered program: pre-resolved branch
     targets, a per-site cycle-cost table, pre-interned stat counters,
-    and exception-free control flow. {!Reference} is the original
-    interpreter, kept as the oracle for the equivalence suite. Both
-    produce bit-identical cycles, instruction counts, and machine
-    state. *)
+    and exception-free control flow. {!Block} additionally executes the
+    linker's superblock partition — each maximal straight-line region is
+    compiled once into operand-resolved closures and dispatched as a
+    unit, with a per-segment TLB fast path — while staying
+    fault-precise: a mid-block fault leaves EIP, counters, registers,
+    and trace events identical to per-instruction execution.
+    {!Reference} is the original interpreter, kept as the oracle for the
+    equivalence suite. All three produce bit-identical cycles,
+    instruction counts, and machine state. *)
 
 type status =
   | Running
@@ -22,6 +27,7 @@ type status =
 (** Which interpreter executes the program. *)
 type engine =
   | Predecoded  (** the lowered fast path (default) *)
+  | Block       (** superblock dispatch over the lowered fast path *)
   | Reference   (** the pre-lowering interpreter — the equivalence oracle *)
 
 type t
@@ -83,6 +89,15 @@ val run : ?fuel:int -> t -> status
     metric reported by the benchmark harness. No simulated semantics
     depend on it. *)
 val total_retired : unit -> int
+
+(** Superblocks compiled by {!Block}-engine CPUs of this process (summed
+    over all domains; each CPU compiles its program once, lazily, on its
+    first run). Reported as BENCH schema 4's ["blocks_built"]. *)
+val blocks_built : unit -> int
+
+(** Instructions covered by those compiled superblocks; divided by
+    {!blocks_built} this gives BENCH schema 4's ["avg_block_len"]. *)
+val block_insns_compiled : unit -> int
 
 (** {2 Tracing and profiling}
 

@@ -30,11 +30,68 @@ type t = {
   targets : int array;     (* branch-target index per insn; no_target else *)
   entry_index : int;       (* index of the entry label *)
   stat_labels : bool array;(* true where code.(i) is a "__stat_" label *)
+  (* superblock partition (see [block_terminator] below): *)
+  block_starts : int array;(* per block: index of its first instruction *)
+  block_lens : int array;  (* per block: instruction count, >= 1 *)
+  block_at : int array;    (* insn index -> block id if a block starts
+                              there, [no_block] otherwise *)
 }
 
 exception Link_error of string
 
 let no_target = -1
+let no_block = -1
+
+(* Instructions that must end a superblock. Control transfers and [Halt]
+   decide the next EIP (or stop the machine); the segment-state group
+   (segreg loads, call gates, kernel entries) can rewrite descriptor
+   caches or switch address spaces; [Callext] runs a host routine that
+   may charge cycles, map/unmap pages, or invalidate TLB entries. The
+   block engine executes everything before the terminator as known
+   straight-line code and puts the terminator itself through the generic
+   per-instruction path. *)
+let block_terminator (i : Insn.t) =
+  match i with
+  | Insn.Jmp _ | Insn.Jcc _ | Insn.Call _ | Insn.Ret | Insn.Halt
+  | Insn.Mov_to_seg _ | Insn.Lcall_gate _ | Insn.Int_syscall _
+  | Insn.Callext _ ->
+    true
+  | _ -> false
+
+(* Partition [code] into maximal single-entry straight-line regions: a
+   block starts at index 0, at the entry, at every branch target, and
+   right after every terminator; it runs until the next start. Every
+   instruction belongs to exactly one block, and no control flow enters
+   a block except at its first instruction — a [Ret] to a computed
+   address is the one dynamic exception, which the execution engine
+   handles by stepping per-instruction until it re-synchronises on a
+   block start ([block_at] gives the test). *)
+let partition code targets entry_index =
+  let n = Array.length code in
+  let starts = Array.make n false in
+  if n > 0 then begin
+    starts.(0) <- true;
+    starts.(entry_index) <- true;
+    for i = 0 to n - 1 do
+      if block_terminator code.(i) && i + 1 < n then starts.(i + 1) <- true;
+      let t = targets.(i) in
+      if t >= 0 then starts.(t) <- true
+    done
+  end;
+  let nblocks = Array.fold_left (fun a s -> if s then a + 1 else a) 0 starts in
+  let block_starts = Array.make nblocks 0 in
+  let block_lens = Array.make nblocks 0 in
+  let block_at = Array.make n no_block in
+  let b = ref (-1) in
+  for i = 0 to n - 1 do
+    if starts.(i) then begin
+      incr b;
+      block_starts.(!b) <- i;
+      block_at.(i) <- !b
+    end;
+    block_lens.(!b) <- block_lens.(!b) + 1
+  done;
+  (block_starts, block_lens, block_at)
 
 (* Allocation-free prefix test for "__stat_" counter labels. *)
 let is_stat_label l =
@@ -78,7 +135,20 @@ let link ?(entry = "main") ?(data = []) insns =
   in
   let entry_index = resolve_exn entry in
   let data_bytes = List.fold_left (fun acc d -> acc + d.size) 0 data in
-  { code; labels; entry; data; data_bytes; targets; entry_index; stat_labels }
+  let block_starts, block_lens, block_at = partition code targets entry_index in
+  {
+    code;
+    labels;
+    entry;
+    data;
+    data_bytes;
+    targets;
+    entry_index;
+    stat_labels;
+    block_starts;
+    block_lens;
+    block_at;
+  }
 
 let resolve t label =
   match Hashtbl.find_opt t.labels label with

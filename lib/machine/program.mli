@@ -26,6 +26,11 @@ type t = {
       (** per-instruction branch target index; {!no_target} elsewhere *)
   entry_index : int;        (** index of the entry label *)
   stat_labels : bool array; (** [true] where [code.(i)] is a stat label *)
+  block_starts : int array; (** per block: index of its first instruction *)
+  block_lens : int array;   (** per block: instruction count, [>= 1] *)
+  block_at : int array;
+      (** insn index -> block id where a block starts; {!no_block}
+          elsewhere. Parallel to [code]. *)
 }
 
 exception Link_error of string
@@ -33,6 +38,19 @@ exception Link_error of string
 (** Sentinel in {!t.targets} for instructions that are not
     [Jmp]/[Jcc]/[Call]. Negative, so [targets.(i) >= 0] tests validity. *)
 val no_target : int
+
+(** Sentinel in {!t.block_at} for instructions that do not start a
+    block. Negative, so [block_at.(i) >= 0] tests validity. *)
+val no_block : int
+
+(** Must this instruction end a superblock? True for control transfers
+    ([Jmp]/[Jcc]/[Call]/[Ret]), [Halt], the segment-state group
+    ([Mov_to_seg]/[Lcall_gate]/[Int_syscall]), and [Callext] (host
+    routines may charge cycles or invalidate translations). The linker
+    partitions code into maximal single-entry straight-line regions:
+    blocks start at index 0, the entry, every static branch target, and
+    after every terminator. *)
+val block_terminator : Insn.t -> bool
 
 (** Does this label name a zero-cost ["__stat_"] dynamic counter? *)
 val is_stat_label : string -> bool

@@ -18,6 +18,7 @@ type t = {
   mask : int;              (* size - 1; size is a power of two *)
   mutable hits : int;
   mutable misses : int;
+  mutable gen : int;       (* bumped whenever any entry changes *)
 }
 
 let empty_tag = -1
@@ -35,6 +36,7 @@ let create ?(size = 64) () =
     mask = size - 1;
     hits = 0;
     misses = 0;
+    gen = 0;
   }
 
 (* Look up the frame for [page] (a linear page number). A write probing a
@@ -59,19 +61,32 @@ let[@inline] lookup t ~page ~write =
    direct-mapped, inserting over an existing same-page read-only entry
    after a write walk mutates that slot directly — no aliased stale entry
    survives, so the read-only-hit-as-write-miss penalty is paid exactly
-   once per upgrade. *)
+   once per upgrade.
+
+   Every mutation (insert, page invalidation, full flush) bumps [gen]:
+   derived caches keyed on a TLB entry — the CPU's per-segment memory
+   fast path — compare their recorded generation and fall back to a real
+   probe when it moved. Conservative (an insert into slot 3 also kills a
+   derived entry for slot 5) but exact invalidation would cost a
+   per-probe slot comparison on the hot path for no measured benefit. *)
 let insert t ~page ~frame ~writable =
   let s = page land t.mask in
   t.tags.(s) <- page;
   t.frames.(s) <- frame;
-  t.writable.(s) <- writable
+  t.writable.(s) <- writable;
+  t.gen <- t.gen + 1
 
 let invalidate_page t ~page =
   let s = page land t.mask in
-  if t.tags.(s) = page then t.tags.(s) <- empty_tag
+  if t.tags.(s) = page then begin
+    t.tags.(s) <- empty_tag;
+    t.gen <- t.gen + 1
+  end
 
 (* Full flush, as on a CR3 reload. *)
-let flush t = Array.fill t.tags 0 (t.mask + 1) empty_tag
+let flush t =
+  Array.fill t.tags 0 (t.mask + 1) empty_tag;
+  t.gen <- t.gen + 1
 
 let hits t = t.hits
 let misses t = t.misses

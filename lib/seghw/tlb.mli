@@ -26,6 +26,11 @@ type t = {
   mask : int;              (** slot count - 1; always a power of two *)
   mutable hits : int;
   mutable misses : int;
+  mutable gen : int;
+      (** generation counter: bumped by every {!insert},
+          {!invalidate_page} that hits, and {!flush}. Caches derived
+          from a TLB entry (the CPU's per-segment fast path) record the
+          generation at fill time and re-probe when it has moved. *)
 }
 
 (** [create ?size ()] builds a TLB with [size] slots (default 64).

@@ -18,6 +18,13 @@
      crashes on an unrelated fault, which is exactly the failure mode
      the paper's mechanism exists to close.
 
+   Both properties run under the predecoded AND the superblock
+   execution engine for every seed — the random fleet doubles as a
+   differential test of the engines themselves — with the reference
+   oracle joining on every 7th seed as a spot check (it is an order of
+   magnitude slower, and the dedicated oracle suite already covers it
+   densely). Within a seed, outputs must also agree across engines.
+
    Every case is deterministic (own PRNG state per seed), so a failure
    message naming the seed reproduces the program exactly. *)
 
@@ -124,51 +131,73 @@ let status_name = function
 
 let is_bound_violation = function Core.Bound_violation _ -> true | _ -> false
 
-let run_backend ~seed ~what backend src =
-  match Core.exec backend src with
+let run_backend ~seed ~what ~engine backend src =
+  match Core.exec ~engine backend src with
   | r -> r
   | exception e ->
     Alcotest.failf "seed %d: %s under %s raised %s\n%s" seed what
       (Core.backend_name backend) (Printexc.to_string e) src
 
+(* Both fast engines on every seed; the reference oracle on every 7th. *)
+let engines ~seed =
+  [ ("predecode", Machine.Cpu.Predecoded); ("block", Machine.Cpu.Block) ]
+  @ (if seed mod 7 = 0 then [ ("reference", Machine.Cpu.Reference) ] else [])
+
 (* Property 1: on an in-bounds program all three compilers finish and
-   print the same thing. *)
+   print the same thing — under every engine, with identical output
+   across engines. *)
 let check_in_bounds seed =
   let src = gen ~seed ~oob:false in
-  let g = run_backend ~seed ~what:"in-bounds" Core.gcc src in
-  let b = run_backend ~seed ~what:"in-bounds" Core.bcc src in
-  let c = run_backend ~seed ~what:"in-bounds" Core.cash src in
+  let first_output = ref None in
   List.iter
-    (fun (name, r) ->
-      if r.Core.status <> Core.Finished then
-        Alcotest.failf "seed %d: %s did not finish: %s\n%s" seed name
-          (status_name r.Core.status) src)
-    [ ("gcc", g); ("bcc", b); ("cash", c) ];
-  if b.Core.output <> g.Core.output then
-    Alcotest.failf "seed %d: bcc output %S <> gcc output %S\n%s" seed
-      b.Core.output g.Core.output src;
-  if c.Core.output <> g.Core.output then
-    Alcotest.failf "seed %d: cash output %S <> gcc output %S\n%s" seed
-      c.Core.output g.Core.output src
+    (fun (ename, engine) ->
+      let what = "in-bounds/" ^ ename in
+      let g = run_backend ~seed ~what ~engine Core.gcc src in
+      let b = run_backend ~seed ~what ~engine Core.bcc src in
+      let c = run_backend ~seed ~what ~engine Core.cash src in
+      List.iter
+        (fun (name, r) ->
+          if r.Core.status <> Core.Finished then
+            Alcotest.failf "seed %d: %s did not finish under %s: %s\n%s" seed
+              name ename (status_name r.Core.status) src)
+        [ ("gcc", g); ("bcc", b); ("cash", c) ];
+      if b.Core.output <> g.Core.output then
+        Alcotest.failf "seed %d: bcc output %S <> gcc output %S (%s)\n%s" seed
+          b.Core.output g.Core.output ename src;
+      if c.Core.output <> g.Core.output then
+        Alcotest.failf "seed %d: cash output %S <> gcc output %S (%s)\n%s"
+          seed c.Core.output g.Core.output ename src;
+      match !first_output with
+      | None -> first_output := Some g.Core.output
+      | Some out ->
+        if g.Core.output <> out then
+          Alcotest.failf "seed %d: output differs across engines at %s\n%s"
+            seed ename src)
+    (engines ~seed)
 
 (* Property 2: on the same program with one injected overrun, both
    checked compilers flag it and the unchecked baseline never calls it a
-   bound violation. *)
+   bound violation — under every engine. *)
 let check_out_of_bounds seed =
   let src = gen ~seed ~oob:true in
-  let g = run_backend ~seed ~what:"oob" Core.gcc src in
-  let b = run_backend ~seed ~what:"oob" Core.bcc src in
-  let c = run_backend ~seed ~what:"oob" Core.cash src in
-  if not (is_bound_violation b.Core.status) then
-    Alcotest.failf "seed %d: bcc missed the overrun (%s)\n%s" seed
-      (status_name b.Core.status) src;
-  if not (is_bound_violation c.Core.status) then
-    Alcotest.failf "seed %d: cash missed the overrun (%s)\n%s" seed
-      (status_name c.Core.status) src;
-  if is_bound_violation g.Core.status then
-    Alcotest.failf
-      "seed %d: gcc reported a bound violation it cannot detect (%s)\n%s" seed
-      (status_name g.Core.status) src
+  List.iter
+    (fun (ename, engine) ->
+      let what = "oob/" ^ ename in
+      let g = run_backend ~seed ~what ~engine Core.gcc src in
+      let b = run_backend ~seed ~what ~engine Core.bcc src in
+      let c = run_backend ~seed ~what ~engine Core.cash src in
+      if not (is_bound_violation b.Core.status) then
+        Alcotest.failf "seed %d: bcc missed the overrun under %s (%s)\n%s"
+          seed ename (status_name b.Core.status) src;
+      if not (is_bound_violation c.Core.status) then
+        Alcotest.failf "seed %d: cash missed the overrun under %s (%s)\n%s"
+          seed ename (status_name c.Core.status) src;
+      if is_bound_violation g.Core.status then
+        Alcotest.failf
+          "seed %d: gcc reported a bound violation it cannot detect under %s \
+           (%s)\n%s"
+          seed ename (status_name g.Core.status) src)
+    (engines ~seed)
 
 let in_bounds_cases = 140
 let oob_cases = 70

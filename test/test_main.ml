@@ -13,6 +13,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("core-api", Test_core.suite);
       ("predecode", Test_predecode.suite);
+      ("blocks", Test_blocks.suite);
       ("trace", Test_trace.suite);
       ("differential", Test_differential.suite);
       ("parallel", Test_parallel.suite);

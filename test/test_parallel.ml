@@ -156,6 +156,22 @@ let test_full_reproduction_oracle () =
   Alcotest.(check (list (pair string (pair int int))))
     "cycle attribution sums exactly" (attr agg1) (attr agg4)
 
+(* The superblock engine must reproduce the same tables as the
+   predecoded engine, serial and fanned out — the engine identity and
+   the -j identity in one comparison. Scaled like the oracle above. *)
+let test_block_engine_oracle () =
+  let exps () = Harness.Suite.all ~table8_requests:10 () in
+  let base = render (Harness.Suite.run_all ~jobs:1 (exps ())) in
+  let under_block jobs =
+    let saved = Core.default_engine () in
+    Core.set_default_engine Machine.Cpu.Block;
+    Fun.protect
+      ~finally:(fun () -> Core.set_default_engine saved)
+      (fun () -> render (Harness.Suite.run_all ~jobs (exps ())))
+  in
+  Alcotest.(check string) "block -j1 = predecode -j1" base (under_block 1);
+  Alcotest.(check string) "block -j4 = predecode -j1" base (under_block 4)
+
 (* Against a single ambient sink shared by a strictly serial pass (the
    pre-parallel bench's tracing mode): the pure sums — counters,
    attribution — must match the merged per-job aggregate exactly. Ring
@@ -196,6 +212,8 @@ let suite =
     Alcotest.test_case "sink merge sums exactly" `Quick test_merge_sums_exactly;
     Alcotest.test_case "full reproduction: -j1 = -j4 (oracle)" `Slow
       test_full_reproduction_oracle;
+    Alcotest.test_case "block engine: -j1 and -j4 = predecode (oracle)" `Slow
+      test_block_engine_oracle;
     Alcotest.test_case "merged sinks = single-sink sums" `Slow
       test_merged_matches_single_sink;
   ]

@@ -1,12 +1,14 @@
-(* The pre-decoded execution engine against its oracle.
+(* The fast execution engines against their oracle.
 
-   The lowered interpreter (pre-resolved branch targets, tabulated cycle
-   costs, pre-interned stat counters, exception-free control flow) must be
-   observationally indistinguishable from the reference interpreter it
-   replaced on the hot path: identical simulated cycles, instruction
-   counts, limit-check counts, program output, stat counters, and final
-   register/memory state — the bit-identical-reproduction invariant the
-   benchmark tables depend on.
+   Both fast interpreters — the pre-decoded engine (pre-resolved branch
+   targets, tabulated cycle costs, pre-interned stat counters,
+   exception-free control flow) and the superblock engine layered on top
+   of it (closure-compiled straight-line regions, per-segment TLB fast
+   path) — must be observationally indistinguishable from the reference
+   interpreter they replaced on the hot path: identical simulated
+   cycles, instruction counts, limit-check counts, program output, stat
+   counters, and final register/memory state — the
+   bit-identical-reproduction invariant the benchmark tables depend on.
 
    Plus unit tests for the link-time lowering itself (branch-target
    pre-resolution, stat-label marking, link errors) and for the flattened
@@ -34,12 +36,17 @@ let phys_of (r : Core.run) = Osim.Process.phys r.Core.process
 let all_gp =
   Machine.Registers.[ EAX; EBX; ECX; EDX; ESI; EDI; EBP; ESP ]
 
-(* Run [compiled] under both engines and assert every observable equal.
-   [Core.run] loads a fresh process each time, so the two runs share
-   nothing but the linked program. *)
+(* Run [compiled] under every fast engine and assert each observable
+   equal to the reference oracle's. [Core.run] loads a fresh process
+   each time, so the runs share nothing but the linked program. *)
+let fast_engines =
+  [ ("predecode", Machine.Cpu.Predecoded); ("block", Machine.Cpu.Block) ]
+
 let check_equivalent name compiled =
-  let fast = Core.run compiled in
   let slow = Core.run ~engine:Machine.Cpu.Reference compiled in
+  List.iter (fun (ename, engine) ->
+  let name = name ^ "[" ^ ename ^ "]" in
+  let fast = Core.run ~engine compiled in
   Alcotest.(check string)
     (name ^ ": status")
     (status_str slow.Core.status)
@@ -87,7 +94,8 @@ let check_equivalent name compiled =
         addr
         (Machine.Phys_mem.read8 pf addr)
         (Machine.Phys_mem.read8 ps addr)
-  done
+  done)
+    fast_engines
 
 let check_equivalent_src name backend source =
   check_equivalent name (Core.compile backend source)
@@ -163,27 +171,33 @@ let check_traced_equivalent name compiled =
   let sink_fast = Trace.create () in
   let fast = Core.run ~trace:sink_fast compiled in
   check_run_identical (name ^ "/traced-vs-untraced") untraced fast;
+  let sink_blk = Trace.create () in
+  let blk = Core.run ~engine:Machine.Cpu.Block ~trace:sink_blk compiled in
+  check_run_identical (name ^ "/traced-block") fast blk;
   let sink_ref = Trace.create () in
   let slow = Core.run ~engine:Machine.Cpu.Reference ~trace:sink_ref compiled in
   check_run_identical (name ^ "/traced-engines") fast slow;
-  Alcotest.(check (list (pair string int)))
-    (name ^ ": event counters across engines")
-    (Trace.counters sink_ref) (Trace.counters sink_fast);
-  Alcotest.(check int)
-    (name ^ ": total events across engines")
-    (Trace.total_events sink_ref)
-    (Trace.total_events sink_fast);
-  Alcotest.(check int)
-    (name ^ ": reload-interval samples")
-    (Trace.Histogram.total (Trace.reload_interval sink_ref))
-    (Trace.Histogram.total (Trace.reload_interval sink_fast));
   let attr (sym, insns, cycles) =
     Printf.sprintf "%s insns=%d cycles=%d" sym insns cycles
   in
-  Alcotest.(check (list string))
-    (name ^ ": cycle attribution across engines")
-    (List.map attr (Trace.attributions sink_ref))
-    (List.map attr (Trace.attributions sink_fast))
+  List.iter (fun (ename, sink) ->
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "%s: event counters, %s vs reference" name ename)
+        (Trace.counters sink_ref) (Trace.counters sink);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: total events, %s vs reference" name ename)
+        (Trace.total_events sink_ref)
+        (Trace.total_events sink);
+      Alcotest.(check int)
+        (Printf.sprintf "%s: reload-interval samples, %s vs reference" name
+           ename)
+        (Trace.Histogram.total (Trace.reload_interval sink_ref))
+        (Trace.Histogram.total (Trace.reload_interval sink));
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s: cycle attribution, %s vs reference" name ename)
+        (List.map attr (Trace.attributions sink_ref))
+        (List.map attr (Trace.attributions sink)))
+    [ ("predecode", sink_fast); ("block", sink_blk) ]
 
 let test_traced_equiv () =
   check_traced_equivalent "matmul/cash"
