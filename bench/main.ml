@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- -j 4           # reproduction across 4 domains
      dune exec bench/main.exe -- --engine=block # pick the CPU engine
      dune exec bench/main.exe -- --quick --ab   # fast block-vs-predecode gate
+     dune exec bench/main.exe -- --compare BENCH_3.json
+                                              # + ratios vs a prior record
 
    The reproduction pass runs its 14 experiments as independent jobs on
    a Domain pool (lib/parallel): -j N picks the worker count, defaulting
@@ -136,6 +138,122 @@ let write_trace_json ~path sink =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* Per-job wall-clock: the suite's critical path is its slowest job.
+   With Table 8 split into warm-started per-request jobs, the largest
+   request job — not a monolithic table8 — should top this list. *)
+let print_job_timings (timings : Harness.Suite.timing list) =
+  let sorted =
+    List.sort
+      (fun (a : Harness.Suite.timing) b -> compare b.seconds a.seconds)
+      timings
+  in
+  print_endline "\n== slowest jobs (wall-clock) ==";
+  List.iteri
+    (fun i (t : Harness.Suite.timing) ->
+      if i < 8 then
+        Printf.printf "%-44s %8.2f s\n" t.Harness.Suite.job t.seconds)
+    sorted;
+  let max_with prefix =
+    List.fold_left
+      (fun acc (t : Harness.Suite.timing) ->
+        if String.length t.job >= String.length prefix
+           && String.sub t.job 0 (String.length prefix) = prefix
+        then max acc t.seconds
+        else acc)
+      0. timings
+  in
+  let warm = max_with "table8:warm:" in
+  let req = max_with "table8:request:" in
+  if warm > 0. || req > 0. then
+    Printf.printf "table8 split: max warm job %.2f s, max request job %.2f s\n"
+      warm req
+
+(* --- --compare: ratios against a prior BENCH_<n>.json ------------------- *)
+
+(* [--compare BENCH_3.json] (or [--compare=...]): read a prior run's
+   perf record back ([Trace.Json.parse]) and print this run's numbers
+   as ratios against it. Drift warns, never fails: the shared host's
+   baseline wanders (±15% observed across the PR sequence — see
+   ROADMAP), so a cross-run ratio is advice for a human reading a
+   trajectory, not a CI gate. Within-run comparisons (the --ab gate)
+   stay the only fatal ones. *)
+let compare_of_argv argv =
+  let n = Array.length argv in
+  let found = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--compare" && i + 1 < n then found := Some argv.(i + 1)
+      else if String.length a > 10 && String.sub a 0 10 = "--compare=" then
+        found := Some (String.sub a 10 (String.length a - 10)))
+    argv;
+  !found
+
+let compare_against ~path ~engine ~quick ~jobs tp =
+  match
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Trace.Json.parse s
+  with
+  | exception Sys_error msg ->
+    Printf.eprintf "bench --compare: cannot read %s: %s\n" path msg
+  | exception Trace.Json.Parse_error msg ->
+    Printf.eprintf "bench --compare: %s: %s\n" path msg
+  | old -> (
+    let fld k conv = Option.bind (Trace.Json.member k old) conv in
+    match fld "insns_per_host_second" Trace.Json.to_float_opt with
+    | None ->
+      Printf.eprintf
+        "bench --compare: %s has no insns_per_host_second field\n" path
+    | Some old_ips ->
+      let old_str k = fld k Trace.Json.to_string_opt in
+      let old_engine = Option.value ~default:"?" (old_str "engine") in
+      let old_bench = Option.value ~default:"?" (old_str "bench") in
+      let old_jobs = fld "jobs" Trace.Json.to_int_opt in
+      Printf.printf "\n== compare vs %s (%s, engine %s, jobs %s) ==\n" path
+        old_bench old_engine
+        (match old_jobs with Some j -> string_of_int j | None -> "?");
+      (match fld "wall_seconds" Trace.Json.to_float_opt with
+       | Some old_wall when old_wall > 0. ->
+         Printf.printf "wall-clock            %12.2f s   then %8.2f s  (%.2fx)\n"
+           tp.wall_seconds old_wall (tp.wall_seconds /. old_wall)
+       | _ -> ());
+      (match fld "insns_executed" Trace.Json.to_int_opt with
+       | Some old_insns when old_insns > 0 ->
+         Printf.printf "insns executed        %12d   then %8d  (%.2fx)\n"
+           tp.insns old_insns
+           (float_of_int tp.insns /. float_of_int old_insns)
+       | _ -> ());
+      let ratio = tp.insns_per_second /. old_ips in
+      Printf.printf "insns per host second %12.0f   then %8.0f  (%.2fx)\n"
+        tp.insns_per_second old_ips ratio;
+      let this_bench =
+        if quick then "quick-reproduction" else "full-reproduction"
+      in
+      if old_bench <> "?" && old_bench <> this_bench then
+        Printf.printf
+          "note: workload scale differs (%s vs %s); the ratio is not a \
+           perf signal\n"
+          this_bench old_bench;
+      if old_engine <> "?" && old_engine <> Core.engine_name engine then
+        Printf.printf
+          "note: engine differs (%s vs %s); the ratio mixes engine and \
+           host effects\n"
+          (Core.engine_name engine) old_engine;
+      (match old_jobs with
+       | Some j when j <> jobs ->
+         Printf.printf
+           "note: job count differs (-j %d vs -j %d); throughput sums \
+            across domains\n"
+           jobs j
+       | _ -> ());
+      if ratio > 1.15 || ratio < 1. /. 1.15 then
+        Printf.printf
+          "warning: host throughput drifted %+.0f%% against %s — likely \
+           host noise; re-measure the old commit on this host before \
+           reading this as a regression\n"
+          ((ratio -. 1.) *. 100.) path)
+
 (* --- bechamel: one Test.make per table ---------------------------------- *)
 
 open Bechamel
@@ -144,8 +262,9 @@ open Toolkit
 let tests experiments =
   Test.make_grouped ~name:"experiments" ~fmt:"%s/%s"
     (List.map
-       (fun (name, run) ->
-         Test.make ~name (Staged.stage (fun () -> ignore (run ()))))
+       (fun (ex : Harness.Suite.experiment) ->
+         Test.make ~name:ex.Harness.Suite.name
+           (Staged.stage (fun () -> ignore (ex.Harness.Suite.run ()))))
        experiments)
 
 let run_bechamel experiments =
@@ -180,9 +299,9 @@ let run_reproduction ~experiments ~engine ~jobs ~traced ~quick
   let aggregate = if traced then Some (Trace.create ()) else None in
   let blocks0 = Machine.Cpu.blocks_built () in
   let binsns0 = Machine.Cpu.block_insns_compiled () in
-  let reports, tp =
+  let (reports, timings), tp =
     measure_throughput (fun () ->
-        Harness.Suite.run_all ~jobs ?trace_into:aggregate experiments)
+        Harness.Suite.run_all_timed ~jobs ?trace_into:aggregate experiments)
   in
   let blocks_built = Machine.Cpu.blocks_built () - blocks0 in
   let avg_block_len =
@@ -194,6 +313,7 @@ let run_reproduction ~experiments ~engine ~jobs ~traced ~quick
   if print_tables then print_reports reports;
   Printf.printf "\n== engine %s ==\n" (Core.engine_name engine);
   print_throughput ~jobs tp;
+  print_job_timings timings;
   if blocks_built > 0 then
     Printf.printf "blocks built          %12d (avg %.1f insns)\n"
       blocks_built avg_block_len;
@@ -277,9 +397,12 @@ let () =
     end
   end
   else begin
-    let _reports, _tp =
+    let _reports, tp =
       run_reproduction ~experiments ~engine ~jobs ~traced ~quick
         ~print_tables:true
     in
+    (match compare_of_argv Sys.argv with
+     | Some path -> compare_against ~path ~engine ~quick ~jobs tp
+     | None -> ());
     if not no_bechamel then run_bechamel experiments
   end

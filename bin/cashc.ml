@@ -9,6 +9,11 @@
                                                          profile + hardware
                                                          event counters on
                                                          stderr
+     dune exec bin/cashc.exe -- --replay s.snap prog.c # restore a machine
+                                                         checkpoint of prog.c
+                                                         (e.g. a differential
+                                                         crash dump) and
+                                                         resume from it
 *)
 
 open Cmdliner
@@ -16,7 +21,9 @@ open Cmdliner
 let backend_conv =
   let all =
     [ ("gcc", Core.gcc); ("bcc", Core.bcc); ("cash", Core.cash);
-      ("cash2", Core.cash_n 2); ("cash4", Core.cash_n 4) ]
+      (* "cash3" = "cash": [Core.backend_name] prints the register count,
+         and crash-dump replay lines quote that name verbatim. *)
+      ("cash2", Core.cash_n 2); ("cash3", Core.cash); ("cash4", Core.cash_n 4) ]
   in
   Arg.enum all
 
@@ -54,6 +61,17 @@ let engine =
                here), predecode, or reference. Simulated cycles and output \
                are engine-independent.")
 
+let replay =
+  Arg.(value & opt (some file) None &
+       info [ "replay" ] ~docv:"SNAPSHOT"
+         ~doc:"Restore a lib/snapshot checkpoint taken of $(i,FILE)'s \
+               compiled program (for example a differential-fleet crash \
+               dump) and resume execution from it instead of starting \
+               fresh. The compiler must match the one that took the \
+               snapshot; the engine need not. A snapshot of an \
+               already-terminated machine replays its final status and \
+               output.")
+
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -80,7 +98,7 @@ let print_profile sink =
       violations
   end
 
-let run file backend stats dump_asm profile engine =
+let run file backend stats dump_asm profile engine replay =
   let source = read_file file in
   match Core.compile backend source with
   | exception Minic.Lexer.Lex_error (m, l) ->
@@ -96,7 +114,20 @@ let run file backend stats dump_asm profile engine =
     end
     else begin
       let trace = if profile then Some (Trace.create ()) else None in
-      let r = Core.run ~engine ?trace compiled in
+      match
+        match replay with
+        | None -> Ok (Core.run ~engine ?trace compiled)
+        | Some snap -> (
+          let bytes = Bytes.of_string (read_file snap) in
+          match Core.restore ~engine ?trace compiled bytes with
+          | state -> Ok (Core.finish state)
+          | exception Snapshot.Error e -> Error (snap, e))
+      with
+      | Error (snap, e) ->
+        Printf.eprintf "%s: cannot replay: %s\n" snap
+          (Snapshot.error_to_string e);
+        4
+      | Ok r ->
       print_string r.Core.output;
       (match trace with Some s -> print_profile s | None -> ());
       let exit_code =
@@ -133,6 +164,7 @@ let run file backend stats dump_asm profile engine =
 let cmd =
   let doc = "compile and run mini-C on the simulated segmented x86" in
   Cmd.v (Cmd.info "cashc" ~doc)
-    Term.(const run $ file $ backend $ stats $ dump_asm $ profile $ engine)
+    Term.(const run $ file $ backend $ stats $ dump_asm $ profile $ engine
+          $ replay)
 
 let () = exit (Cmd.eval' cmd)

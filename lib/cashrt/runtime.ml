@@ -72,6 +72,33 @@ let pool t = t.pool
 let cache t = t.cache
 let stats t = t.stats
 
+(* Snapshot support: everything mutable — pool, reuse cache, counters,
+   and the started flag. The kernel/process wiring and the externals are
+   reconstructed by [attach] on restore. *)
+type persisted = {
+  p_pool : Segment_pool.persisted;
+  p_cache : Seg_cache.persisted;
+  p_seg_allocs : int;
+  p_global_fallbacks : int;
+  p_started : bool;
+}
+
+let export_state t =
+  {
+    p_pool = Segment_pool.export_state t.pool;
+    p_cache = Seg_cache.export_state t.cache;
+    p_seg_allocs = t.stats.seg_allocs;
+    p_global_fallbacks = t.stats.global_fallbacks;
+    p_started = t.started;
+  }
+
+let import_state t (p : persisted) =
+  Segment_pool.import_state t.pool p.p_pool;
+  Seg_cache.import_state t.cache p.p_cache;
+  t.stats.seg_allocs <- p.p_seg_allocs;
+  t.stats.global_fallbacks <- p.p_global_fallbacks;
+  t.started <- p.p_started
+
 let read32 t linear =
   let phys =
     Seghw.Mmu.translate_linear (Osim.Process.mmu t.process) ~linear

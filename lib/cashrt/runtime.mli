@@ -32,6 +32,20 @@ val pool : t -> Segment_pool.t
 val cache : t -> Seg_cache.t
 val stats : t -> stats
 
+(** Snapshot support: everything mutable — pool, reuse cache, counters,
+    and the started flag. The kernel/process wiring and the externals
+    are reconstructed by {!attach} on restore. *)
+type persisted = {
+  p_pool : Segment_pool.persisted;
+  p_cache : Seg_cache.persisted;
+  p_seg_allocs : int;
+  p_global_fallbacks : int;
+  p_started : bool;
+}
+
+val export_state : t -> persisted
+val import_state : t -> persisted -> unit
+
 (** Segment geometry for an array (§3.5): byte-exact for sizes up to
     1 MiB; above, the minimal multiple of 4 KiB with the array's end
     aligned to the segment's end. Returns (segment base, segment size). *)

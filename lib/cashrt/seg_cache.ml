@@ -66,3 +66,23 @@ let park t ~index ~base ~size =
 let hits t = t.hits
 let misses t = t.misses
 let size t = List.length t.entries
+
+(* Snapshot support: entries are serialized MRU-first, exactly as kept. *)
+type persisted = {
+  p_entries : (int * int * int) list; (* (index, base, size), MRU first *)
+  p_hits : int;
+  p_misses : int;
+}
+
+let export_state t =
+  {
+    p_entries = List.map (fun e -> (e.index, e.base, e.size)) t.entries;
+    p_hits = t.hits;
+    p_misses = t.misses;
+  }
+
+let import_state t (p : persisted) =
+  t.entries <- List.map (fun (index, base, size) -> { index; base; size })
+      p.p_entries;
+  t.hits <- p.p_hits;
+  t.misses <- p.p_misses

@@ -18,3 +18,15 @@ val park : t -> index:int -> base:int -> size:int -> int option
 val hits : t -> int
 val misses : t -> int
 val size : t -> int
+
+(** Snapshot support. Entries are serialized MRU-first, exactly as
+    kept, so reuse behaviour after a restore matches the uninterrupted
+    run. *)
+type persisted = {
+  p_entries : (int * int * int) list;  (** (index, base, size) *)
+  p_hits : int;
+  p_misses : int;
+}
+
+val export_state : t -> persisted
+val import_state : t -> persisted -> unit

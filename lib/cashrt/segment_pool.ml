@@ -51,3 +51,34 @@ let live t = t.live
 let peak_live t = t.peak_live
 let exhausted_allocs t = t.exhausted_allocs
 let free_count t = List.length t.free
+let capacity t = t.capacity
+
+(* Snapshot support: free-list order is preserved verbatim — it is a
+   LIFO stack, and allocations replayed after a restore must pop the
+   same LDT indices the uninterrupted run would. *)
+type persisted = {
+  p_capacity : int;
+  p_free : int list;
+  p_live : int;
+  p_peak_live : int;
+  p_exhausted_allocs : int;
+}
+
+let export_state t =
+  {
+    p_capacity = t.capacity;
+    p_free = t.free;
+    p_live = t.live;
+    p_peak_live = t.peak_live;
+    p_exhausted_allocs = t.exhausted_allocs;
+  }
+
+let import_state t (p : persisted) =
+  if p.p_capacity <> t.capacity then
+    invalid_arg
+      (Printf.sprintf "Segment_pool.import_state: capacity %d <> %d"
+         p.p_capacity t.capacity);
+  t.free <- p.p_free;
+  t.live <- p.p_live;
+  t.peak_live <- p.p_peak_live;
+  t.exhausted_allocs <- p.p_exhausted_allocs

@@ -23,3 +23,19 @@ val live : t -> int
 val peak_live : t -> int
 val exhausted_allocs : t -> int
 val free_count : t -> int
+val capacity : t -> int
+
+(** Snapshot support. The free list is serialized in order (it is a
+    LIFO stack; replayed allocations must pop the same indices). *)
+type persisted = {
+  p_capacity : int;
+  p_free : int list;
+  p_live : int;
+  p_peak_live : int;
+  p_exhausted_allocs : int;
+}
+
+val export_state : t -> persisted
+
+(** @raise Invalid_argument when the capacities disagree. *)
+val import_state : t -> persisted -> unit

@@ -1664,6 +1664,7 @@ and gen_builtin env (b : Ir.builtin) args =
     emit env (Insn.Callext "print_float");
     pop 8
   | Ir.Brand, [] -> emit env (Insn.Callext "rand")
+  | Ir.Bserver_ready, [] -> emit env (Insn.Callext "server_ready")
   | Ir.Bsqrt, [ x ] ->
     (* inlined SSE square root, as an optimising compiler emits *)
     gen_expr env x;

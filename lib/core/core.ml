@@ -108,13 +108,24 @@ let engine_name = function
   | Machine.Cpu.Predecoded -> "predecoded"
   | Machine.Cpu.Reference -> "reference"
 
-(* Load [compiled] into a fresh simulated process and run it to
-   completion. A fresh kernel is created unless one is supplied (supply
+(* A loaded-but-not-finished machine: what [start] returns, [finish]
+   consumes, and the snapshot layer checkpoints. *)
+type state = {
+  s_compiled : compiled;
+  s_process : Osim.Process.t;
+  s_runtime : Cashrt.Runtime.t option;
+  s_kernel : Osim.Kernel.t;
+}
+
+let state_compiled state = state.s_compiled
+let state_process state = state.s_process
+
+(* Load [compiled] into a fresh simulated process, wire the trace sink
+   and (for Cash programs) the runtime, and stop just before the first
+   instruction. A fresh kernel is created unless one is supplied (supply
    one to share a global clock across processes, as the network
-   experiments do). With a trace sink (explicit or ambient), the CPU and
-   MMU emit events into it and the per-function cycle attribution of the
-   run is folded into the sink afterwards. *)
-let run ?kernel ?engine ?fuel ?trace ?(guard_malloc = false)
+   experiments do). *)
+let start ?kernel ?engine ?trace ?(guard_malloc = false)
     (compiled : compiled) =
   let trace =
     match trace with Some _ as s -> s | None -> current_trace ()
@@ -134,6 +145,13 @@ let run ?kernel ?engine ?fuel ?trace ?(guard_malloc = false)
   let runtime =
     if is_cash compiled then Some (Cashrt.Runtime.attach process) else None
   in
+  { s_compiled = compiled; s_process = process; s_runtime = runtime;
+    s_kernel = kernel }
+
+(* Run (or resume) a started machine to completion and fold the run's
+   per-function cycle attribution into its sink. *)
+let finish ?fuel state =
+  let process = state.s_process in
   let raw_status = Osim.Process.run ?fuel process in
   Machine.Cpu.commit_profile (Osim.Process.cpu process);
   let status =
@@ -151,8 +169,50 @@ let run ?kernel ?engine ?fuel ?trace ?(guard_malloc = false)
     insns = Machine.Cpu.insns_executed (Osim.Process.cpu process);
     output = Osim.Process.output process;
     process;
-    runtime;
-    kernel;
+    runtime = state.s_runtime;
+    kernel = state.s_kernel;
+  }
+
+(* Load [compiled] into a fresh simulated process and run it to
+   completion. With a trace sink (explicit or ambient), the CPU and MMU
+   emit events into it. *)
+let run ?kernel ?engine ?fuel ?trace ?guard_malloc (compiled : compiled) =
+  finish ?fuel (start ?kernel ?engine ?trace ?guard_malloc compiled)
+
+(* --- checkpoint/restore (lib/snapshot) --- *)
+
+let save state = Snapshot.save ?runtime:state.s_runtime state.s_process
+
+let restore ?engine ?trace (compiled : compiled) bytes =
+  let engine =
+    match engine with Some e -> e | None -> default_engine ()
+  in
+  let trace =
+    match trace with Some _ as s -> s | None -> current_trace ()
+  in
+  let process, runtime =
+    Snapshot.restore ~engine ~program:compiled.Compilers.Codegen.program
+      bytes
+  in
+  Machine.Cpu.set_sink (Osim.Process.cpu process) trace;
+  {
+    s_compiled = compiled;
+    s_process = process;
+    s_runtime = runtime;
+    s_kernel = Osim.Process.kernel process;
+  }
+
+let state_digest state =
+  Snapshot.digest (Buffer.to_bytes (save state))
+
+(* Re-wrap a finished run as a state, so the differential fleet can dump
+   a crash snapshot of whatever machine a failing run left behind. *)
+let state_of_run (compiled : compiled) (r : run) =
+  {
+    s_compiled = compiled;
+    s_process = r.process;
+    s_runtime = r.runtime;
+    s_kernel = r.kernel;
   }
 
 (* Compile and run in one step. *)

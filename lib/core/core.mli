@@ -56,6 +56,48 @@ type run = {
   kernel : Osim.Kernel.t;
 }
 
+(** A machine that has been loaded (and possibly partially executed or
+    restored from a snapshot) but not yet run to completion. *)
+type state
+
+(** The compiled program a state is executing. *)
+val state_compiled : state -> compiled
+
+(** The underlying simulated process, for checkpoint-placement helpers
+    ({!Snapshot.run_to_marker}, {!Snapshot.align_to_block}). *)
+val state_process : state -> Osim.Process.t
+
+(** Load into a fresh simulated process, wire the trace sink and (for
+    Cash programs) the runtime, and stop before the first instruction.
+    Same optional arguments as {!run}. *)
+val start :
+  ?kernel:Osim.Kernel.t -> ?engine:Machine.Cpu.engine ->
+  ?trace:Trace.sink -> ?guard_malloc:bool -> compiled -> state
+
+(** Run (or resume) a started machine to completion.
+    [run c = finish (start c)].
+    @raise Machine.Cpu.Out_of_fuel past [fuel] instructions. *)
+val finish : ?fuel:int -> state -> run
+
+(** Serialize a started machine's complete state ({!Snapshot.save}). *)
+val save : state -> Buffer.t
+
+(** Rebuild a machine from snapshot bytes taken of [compiled]
+    ({!Snapshot.restore}). [engine] defaults to the ambient engine and
+    need not match the saving engine; [trace] defaults to the ambient
+    sink.
+    @raise Snapshot.Error on truncated/corrupt/mismatched images. *)
+val restore :
+  ?engine:Machine.Cpu.engine -> ?trace:Trace.sink -> compiled -> bytes ->
+  state
+
+(** [save] digested — the byte-stable state-equality oracle. *)
+val state_digest : state -> string
+
+(** Re-wrap a finished run as a state, so a crash snapshot can be taken
+    of whatever machine a failing run left behind. *)
+val state_of_run : compiled -> run -> state
+
 (** Load into a fresh simulated process and run to completion. Supply
     [kernel] to share a global clock across processes (the network
     experiments do); [engine] to pick the CPU interpreter (the

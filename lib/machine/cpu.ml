@@ -193,6 +193,12 @@ let create ?(engine = Predecoded) ~mmu ~phys ~costs ~program () =
     block_cost;
     ublocks = [||];
     ublocks_ready = false;
+    (* Block engine only, by measurement: lifting this to Predecoded was
+       a wash (within ±3% noise on bench --quick --ab — see
+       EXPERIMENTS.md). The stepping engines re-resolve the segreg
+       mirror and fast-path slot on every access, so the extra probe
+       costs about what the skipped TLB hash probe saves; only the block
+       closures, which resolve both once per compiled block, profit. *)
     fm_enabled = (match engine with Block -> true | _ -> false);
     fm_page = Array.make 6 (-1);
     fm_delta = Array.make 6 0;
@@ -226,6 +232,8 @@ let phys t = t.phys
 let program t = t.program
 let engine t = t.engine
 
+let eip t = t.eip
+
 let stat t name =
   match Hashtbl.find_opt t.stat_counters name with
   | Some r -> !r
@@ -244,6 +252,82 @@ let bump_stat t name =
   match Hashtbl.find_opt t.stat_counters name with
   | Some r -> incr r
   | None -> Hashtbl.add t.stat_counters name (ref 1)
+
+(* --- snapshot support --------------------------------------------------- *)
+
+(* The CPU state a snapshot must carry: everything mutable that is not
+   rederivable from the (immutable) program. Registers, the MMU, and
+   physical memory are serialized by their own modules; the superblock
+   closure cache and the per-segment fast-path arrays are derived state
+   — closures capture this same record and stay valid across an
+   [import_state], and the fast path revalidates against [Tlb.gen]
+   (cleared below anyway, since a restored generation counter could
+   coincide with a stale fill). *)
+type persisted = {
+  p_eip : int;
+  p_zf : bool;
+  p_sf : bool;
+  p_cf : bool;
+  p_ovf : bool;
+  p_cycles : int;
+  p_insns_executed : int;
+  p_status : status;
+  p_stats : (string * int) list;
+      (* every counter that fired, sorted by name *)
+  p_prof_hits : (int * int) list;
+      (* (site, retires) for nonzero sites, ascending — empty unless the
+         run was traced *)
+}
+
+let export_state t =
+  let prof =
+    if Array.length t.prof_hits = 0 then []
+    else begin
+      let acc = ref [] in
+      for i = Array.length t.prof_hits - 1 downto 0 do
+        if t.prof_hits.(i) > 0 then acc := (i, t.prof_hits.(i)) :: !acc
+      done;
+      !acc
+    end
+  in
+  {
+    p_eip = t.eip;
+    p_zf = t.zf;
+    p_sf = t.sf;
+    p_cf = t.cf;
+    p_ovf = t.ovf;
+    p_cycles = t.cycles;
+    p_insns_executed = t.insns_executed;
+    p_status = t.status;
+    p_stats = stats t;
+    p_prof_hits = prof;
+  }
+
+let import_state t (p : persisted) =
+  t.eip <- p.p_eip;
+  t.zf <- p.p_zf;
+  t.sf <- p.p_sf;
+  t.cf <- p.p_cf;
+  t.ovf <- p.p_ovf;
+  t.cycles <- p.p_cycles;
+  t.insns_executed <- p.p_insns_executed;
+  t.status <- p.p_status;
+  Hashtbl.iter (fun _ r -> r := 0) t.stat_counters;
+  List.iter
+    (fun (name, v) ->
+      match Hashtbl.find_opt t.stat_counters name with
+      | Some r -> r := v
+      | None -> Hashtbl.add t.stat_counters name (ref v))
+    p.p_stats;
+  if Array.length t.prof_hits > 0 then Array.fill t.prof_hits 0 (Array.length t.prof_hits) 0;
+  (match p.p_prof_hits with
+   | [] -> ()
+   | sites ->
+     if Array.length t.prof_hits <> Array.length t.code then
+       t.prof_hits <- Array.make (Array.length t.code) 0;
+     List.iter (fun (i, h) -> t.prof_hits.(i) <- h) sites);
+  Array.fill t.fm_page 0 6 (-1);
+  Array.fill t.fm_gen 0 6 (-1)
 
 (* --- the flattened hot path -------------------------------------------- *)
 
@@ -1223,7 +1307,42 @@ let compile_insn t idx ~ret : t -> int =
       Array.unsafe_set gp di
         (alu_result cpu op (Array.unsafe_get gp di) b land 0xFFFFFFFF);
       ret
+  | Insn.Alu (op, Insn.Mem m, Insn.Reg s) ->
+    (* Mem-destination ALU measured at ~2.6% of grown-workload
+       retirements (EXPERIMENTS.md PR 5), so it gets a bespoke
+       lowering. Two pre-resolved translations in the generic effect's
+       order — dst read, flags, dst write — so a write fault still
+       lands after the flags commit, exactly like [eff_alu]. *)
+    let ra = compile_addr t m ~size:4 ~write:false in
+    let wa = compile_addr t m ~size:4 ~write:true in
+    let si = reg_index s in
+    fun cpu ->
+      let a = p_read32 ph (ra cpu) in
+      let r = alu_result cpu op a (Array.unsafe_get gp si) in
+      p_write32 ph (wa cpu) r;
+      ret
+  | Insn.Alu (op, Insn.Mem m, Insn.Imm i) ->
+    let ra = compile_addr t m ~size:4 ~write:false in
+    let wa = compile_addr t m ~size:4 ~write:true in
+    let b = i land 0xFFFFFFFF in
+    fun cpu ->
+      let a = p_read32 ph (ra cpu) in
+      let r = alu_result cpu op a b in
+      p_write32 ph (wa cpu) r;
+      ret
   | Insn.Alu (op, dst, src) -> fun cpu -> eff_alu cpu op dst src; ret
+  | Insn.Idiv (Insn.Reg s) ->
+    (* ~2.3% of grown-workload retirements (EXPERIMENTS.md PR 5). *)
+    let si = reg_index s
+    and ax = reg_index Registers.EAX
+    and dx = reg_index Registers.EDX in
+    fun _ ->
+      let a = to_signed (Array.unsafe_get gp ax) in
+      let b = to_signed (Array.unsafe_get gp si) in
+      if b = 0 then Seghw.Fault.ud "integer division by zero";
+      Array.unsafe_set gp ax (a / b land 0xFFFFFFFF);
+      Array.unsafe_set gp dx (a mod b land 0xFFFFFFFF);
+      ret
   | Insn.Idiv src -> fun cpu -> eff_idiv cpu src; ret
   | Insn.Neg o -> fun cpu -> eff_neg cpu o; ret
   | Insn.Inc (Insn.Reg r) ->
@@ -1290,7 +1409,56 @@ let compile_insn t idx ~ret : t -> int =
   | Insn.Fload_const (r, f) ->
     let ri = freg_index r in
     fun _ -> Array.unsafe_set fp ri f; ret
-  | Insn.Falu (op, dst, src) -> fun cpu -> eff_falu cpu op dst src; ret
+  | Insn.Falu (op, d, Insn.Freg s) ->
+    (* Fmul/Fadd measured at 2.6%/1.6% of grown-workload retirements
+       (EXPERIMENTS.md PR 5): resolve the register slots and the
+       operation once, at closure-compile time. *)
+    let di = freg_index d and si = freg_index s in
+    (match op with
+     | Insn.Fadd ->
+       fun _ ->
+         Array.unsafe_set fp di
+           (Array.unsafe_get fp di +. Array.unsafe_get fp si);
+         ret
+     | Insn.Fsub ->
+       fun _ ->
+         Array.unsafe_set fp di
+           (Array.unsafe_get fp di -. Array.unsafe_get fp si);
+         ret
+     | Insn.Fmul ->
+       fun _ ->
+         Array.unsafe_set fp di
+           (Array.unsafe_get fp di *. Array.unsafe_get fp si);
+         ret
+     | Insn.Fdiv ->
+       fun _ ->
+         Array.unsafe_set fp di
+           (Array.unsafe_get fp di /. Array.unsafe_get fp si);
+         ret)
+  | Insn.Falu (op, d, Insn.Fmem m) ->
+    let pa = compile_addr t m ~size:8 ~write:false in
+    let di = freg_index d in
+    (match op with
+     | Insn.Fadd ->
+       fun cpu ->
+         Array.unsafe_set fp di
+           (Array.unsafe_get fp di +. p_read_float ph (pa cpu));
+         ret
+     | Insn.Fsub ->
+       fun cpu ->
+         Array.unsafe_set fp di
+           (Array.unsafe_get fp di -. p_read_float ph (pa cpu));
+         ret
+     | Insn.Fmul ->
+       fun cpu ->
+         Array.unsafe_set fp di
+           (Array.unsafe_get fp di *. p_read_float ph (pa cpu));
+         ret
+     | Insn.Fdiv ->
+       fun cpu ->
+         Array.unsafe_set fp di
+           (Array.unsafe_get fp di /. p_read_float ph (pa cpu));
+         ret)
   | Insn.Fcmp (a, src) -> fun cpu -> eff_fcmp cpu a src; ret
   | Insn.Fneg r -> fun cpu -> fset cpu r (-.fget cpu r); ret
   | Insn.Fsqrt (d, src) -> fun cpu -> eff_fsqrt cpu d src; ret

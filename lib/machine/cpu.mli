@@ -52,6 +52,7 @@ val add_cycles : t -> int -> unit
 val cycles : t -> int
 val insns_executed : t -> int
 val status : t -> status
+val eip : t -> int
 val regs : t -> Registers.t
 val mmu : t -> Seghw.Mmu.t
 val phys : t -> Phys_mem.t
@@ -126,3 +127,34 @@ val profile : t -> (string * int * int) list
 (** Fold {!profile} into the attached sink's attribution table (once
     per finished run — the underlying counts are cumulative). *)
 val commit_profile : t -> unit
+
+(** {2 Snapshot support}
+
+    The CPU state a checkpoint must carry: everything mutable that is
+    not rederivable from the (immutable) program. Registers, the MMU,
+    and physical memory are serialized by their own modules; the
+    superblock closure cache and the per-segment fast-path arrays are
+    derived state, reset/revalidated after an {!import_state}. *)
+type persisted = {
+  p_eip : int;
+  p_zf : bool;
+  p_sf : bool;
+  p_cf : bool;
+  p_ovf : bool;
+  p_cycles : int;
+  p_insns_executed : int;
+  p_status : status;
+  p_stats : (string * int) list;
+      (** every ["__stat_"] counter that fired, sorted by name *)
+  p_prof_hits : (int * int) list;
+      (** (site, retires) for nonzero sites, ascending — empty unless
+          the run was traced *)
+}
+
+val export_state : t -> persisted
+
+(** Overwrite this CPU's mutable execution state with [persisted].
+    Counters not named in [p_stats] are zeroed; the per-segment memory
+    fast path is invalidated. The CPU must have been created over the
+    same program the state was exported from. *)
+val import_state : t -> persisted -> unit

@@ -25,6 +25,10 @@ type builtin =
   | Bprint_float
   | Brand
   | Bsrand
+  | Bserver_ready
+      (* marks the boundary between server init and request handling
+         (the simulated accept(2)); the snapshot harness warm-starts
+         request jobs from a checkpoint taken here *)
   | Bsqrt
   | Bmath1 of string (* sin, cos, exp, log, atan, fabs, floor *)
   | Bmath2 of string (* pow *)

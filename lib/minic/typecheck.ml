@@ -25,6 +25,7 @@ let builtins : (string * (Ir.builtin * Ast.ty * Ast.ty list)) list =
     ("print_float", (Ir.Bprint_float, Ast.Tvoid, [ Ast.Tdouble ]));
     ("rand", (Ir.Brand, Ast.Tint, []));
     ("srand", (Ir.Bsrand, Ast.Tvoid, [ Ast.Tint ]));
+    ("server_ready", (Ir.Bserver_ready, Ast.Tvoid, []));
     ("sqrt", (Ir.Bsqrt, Ast.Tdouble, [ Ast.Tdouble ]));
     ("sin", (Ir.Bmath1 "sin", Ast.Tdouble, [ Ast.Tdouble ]));
     ("cos", (Ir.Bmath1 "cos", Ast.Tdouble, [ Ast.Tdouble ]));

@@ -86,6 +86,36 @@ let fresh_pid t =
   t.next_pid <- t.next_pid + 1;
   pid
 
+(* Snapshot support: the kernel's mutable state, minus the GDT (its
+   fixed flat layout is recreated by [create] and any further entries
+   travel in the snapshot's descriptor-table section). *)
+type persisted = {
+  p_next_pid : int;
+  p_clock : int;
+  p_modify_ldt_calls : int;
+  p_cash_modify_ldt_calls : int;
+  p_descriptors_written : int;
+  p_descriptors_cleared : int;
+}
+
+let export_state t =
+  {
+    p_next_pid = t.next_pid;
+    p_clock = t.clock;
+    p_modify_ldt_calls = t.stats.modify_ldt_calls;
+    p_cash_modify_ldt_calls = t.stats.cash_modify_ldt_calls;
+    p_descriptors_written = t.stats.descriptors_written;
+    p_descriptors_cleared = t.stats.descriptors_cleared;
+  }
+
+let import_state t (p : persisted) =
+  t.next_pid <- p.p_next_pid;
+  t.clock <- p.p_clock;
+  t.stats.modify_ldt_calls <- p.p_modify_ldt_calls;
+  t.stats.cash_modify_ldt_calls <- p.p_cash_modify_ldt_calls;
+  t.stats.descriptors_written <- p.p_descriptors_written;
+  t.stats.descriptors_cleared <- p.p_descriptors_cleared
+
 (* Selectors handed to user processes. *)
 let user_code_selector =
   Seghw.Selector.make ~index:user_code_index ~table:Seghw.Selector.Gdt ~rpl:3

@@ -33,6 +33,22 @@ val clock : t -> int
 val advance_clock : t -> int -> unit
 val fresh_pid : t -> int
 
+(** Snapshot support: the kernel's mutable state (pid counter, clock,
+    and the four LDT-path statistics), minus the GDT — its fixed flat
+    layout is recreated by {!create}, and any further entries travel in
+    the snapshot's descriptor-table section. *)
+type persisted = {
+  p_next_pid : int;
+  p_clock : int;
+  p_modify_ldt_calls : int;
+  p_cash_modify_ldt_calls : int;
+  p_descriptors_written : int;
+  p_descriptors_cleared : int;
+}
+
+val export_state : t -> persisted
+val import_state : t -> persisted -> unit
+
 val user_code_selector : Seghw.Selector.t
 val user_data_selector : Seghw.Selector.t
 

@@ -130,6 +130,58 @@ let next_rand t =
   t.rand_state <- ((t.rand_state * 1103515245) + 12345) land 0x3FFFFFFF;
   t.rand_state
 
+(* --- snapshot support --------------------------------------------------- *)
+
+(* The allocator and I/O state a checkpoint must carry. Hashtable
+   contents are listed in sorted key order so the snapshot encoding is
+   byte-stable; free-list order *within* a size class is preserved
+   verbatim (the lists are LIFO stacks, and replaying allocations after
+   a restore must pop the same addresses the uninterrupted run would). *)
+type persisted = {
+  p_brk : int;
+  p_rand_state : int;
+  p_bytes_allocated : int;
+  p_peak_heap : int;
+  p_guard_malloc : bool;
+  p_guard_vm_bytes : int;
+  p_output : string;
+  p_free_lists : (int * int list) list; (* sorted by rounded size *)
+  p_alloc_sizes : (int * int) list;     (* sorted by address *)
+}
+
+let export_state t =
+  {
+    p_brk = t.brk;
+    p_rand_state = t.rand_state;
+    p_bytes_allocated = t.bytes_allocated;
+    p_peak_heap = t.peak_heap;
+    p_guard_malloc = t.guard_malloc;
+    p_guard_vm_bytes = t.guard_vm_bytes;
+    p_output = Buffer.contents t.output;
+    p_free_lists =
+      Hashtbl.fold (fun size l acc -> (size, !l) :: acc) t.free_lists []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    p_alloc_sizes =
+      Hashtbl.fold (fun addr size acc -> (addr, size) :: acc) t.alloc_sizes []
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+  }
+
+let import_state t (p : persisted) =
+  t.brk <- p.p_brk;
+  t.rand_state <- p.p_rand_state;
+  t.bytes_allocated <- p.p_bytes_allocated;
+  t.peak_heap <- p.p_peak_heap;
+  t.guard_malloc <- p.p_guard_malloc;
+  t.guard_vm_bytes <- p.p_guard_vm_bytes;
+  Buffer.clear t.output;
+  Buffer.add_string t.output p.p_output;
+  Hashtbl.reset t.free_lists;
+  List.iter (fun (size, l) -> Hashtbl.add t.free_lists size (ref l))
+    p.p_free_lists;
+  Hashtbl.reset t.alloc_sizes;
+  List.iter (fun (addr, size) -> Hashtbl.add t.alloc_sizes addr size)
+    p.p_alloc_sizes
+
 let externals t =
   let open Machine in
   let charge cpu n = Cpu.add_cycles cpu n in
@@ -169,6 +221,15 @@ let externals t =
       fun cpu ->
         charge cpu print_cycles;
         Buffer.add_char t.output (Char.chr (Cpu.arg_int cpu 0 land 0xFF)) );
+    ( "server_ready",
+      fun _cpu ->
+        (* Marker the network servers call between initialisation and the
+           request-handling section — the simulated accept(2) boundary.
+           A no-op in a normal run (the Callext instruction itself is
+           charged by the cost model, identically across backends, so it
+           cancels out of every relative penalty); the snapshot harness
+           overrides this external to detect the warm-start point. *)
+        () );
     ( "rand",
       fun cpu ->
         charge cpu rand_cycles;

@@ -42,5 +42,29 @@ val release : t -> int -> unit
 val next_rand : t -> int
 
 (** All externals to register on a CPU, including the
-    ["bounds_violation"] target of software checks (raises [#BR]). *)
+    ["bounds_violation"] target of software checks (raises [#BR]) and
+    the ["server_ready"] accept-loop marker (a no-op by default; the
+    snapshot harness overrides it to find the warm-start point). *)
 val externals : t -> (string * (Machine.Cpu.t -> unit)) list
+
+(** {2 Snapshot support}
+
+    The allocator and I/O state a checkpoint must carry. Hashtable
+    contents are listed in sorted key order (byte-stable encodings);
+    free-list order within a size class is preserved verbatim — the
+    lists are LIFO stacks, and allocations replayed after a restore
+    must pop the same addresses the uninterrupted run would. *)
+type persisted = {
+  p_brk : int;
+  p_rand_state : int;
+  p_bytes_allocated : int;
+  p_peak_heap : int;
+  p_guard_malloc : bool;
+  p_guard_vm_bytes : int;
+  p_output : string;
+  p_free_lists : (int * int list) list;  (** sorted by rounded size *)
+  p_alloc_sizes : (int * int) list;      (** sorted by address *)
+}
+
+val export_state : t -> persisted
+val import_state : t -> persisted -> unit

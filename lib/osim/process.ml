@@ -8,7 +8,7 @@
    can be registered on [cpu] before [run]. *)
 
 type t = {
-  pid : int;
+  mutable pid : int; (* mutable only for snapshot restore *)
   kernel : Kernel.t;
   ldt : Seghw.Descriptor_table.t;
   mmu : Seghw.Mmu.t;
@@ -100,3 +100,12 @@ let run ?fuel t =
 
 let output t = Libc.output t.libc
 let cycles t = Machine.Cpu.cycles t.cpu
+
+(* Snapshot support: overwrite the identity fields of a freshly-loaded
+   process with the serialized ones. [load] consumed a pid from its
+   kernel; the snapshot's kernel state (restored separately) carries the
+   original pid counter, so no pid is leaked or duplicated. *)
+let restore_identity t ~pid ~created_at ~terminated_at =
+  t.pid <- pid;
+  t.created_at <- created_at;
+  t.terminated_at <- terminated_at

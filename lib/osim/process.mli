@@ -33,3 +33,11 @@ val run : ?fuel:int -> t -> Machine.Cpu.status
 val output : t -> string
 
 val cycles : t -> int
+
+(** Snapshot support: overwrite the identity fields of a freshly-loaded
+    process with serialized ones ({!load} consumed a pid from its
+    kernel; the snapshot's kernel state carries the original counter, so
+    nothing is leaked or duplicated). Only the snapshot subsystem should
+    call this. *)
+val restore_identity :
+  t -> pid:int -> created_at:int -> terminated_at:int -> unit

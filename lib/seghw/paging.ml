@@ -87,3 +87,49 @@ let is_mapped t ~linear =
 
 let mapped_pages t = t.mapped_pages
 let frames_allocated t = t.next_frame
+
+(* --- snapshot support --------------------------------------------------- *)
+
+(* Every live PTE as (linear page number, frame, present, writable), in
+   increasing page order — the directory is walked index-ascending, so
+   the listing is deterministic for the snapshot's byte-stable format. *)
+let entries t =
+  let acc = ref [] in
+  for dir_idx = 1023 downto 0 do
+    match t.directory.(dir_idx) with
+    | None -> ()
+    | Some tbl ->
+      for tbl_idx = 1023 downto 0 do
+        match tbl.(tbl_idx) with
+        | None -> ()
+        | Some pte ->
+          acc :=
+            ((dir_idx lsl 10) lor tbl_idx, pte.frame, pte.present, pte.writable)
+            :: !acc
+      done
+  done;
+  !acc
+
+(* Drop every mapping and reset the frame allocator; [restore_entry]
+   rebuilds the structure from a snapshot's listing. *)
+let reset t =
+  Array.fill t.directory 0 1024 None;
+  t.next_frame <- 0;
+  t.mapped_pages <- 0
+
+let restore_entry t ~page ~frame ~present ~writable =
+  let dir_idx = (page lsr 10) land 0x3FF and tbl_idx = page land 0x3FF in
+  let table =
+    match t.directory.(dir_idx) with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Array.make 1024 None in
+      t.directory.(dir_idx) <- Some tbl;
+      tbl
+  in
+  (match table.(tbl_idx) with
+   | Some _ -> ()
+   | None -> t.mapped_pages <- t.mapped_pages + 1);
+  table.(tbl_idx) <- Some { frame; present; writable }
+
+let set_next_frame t n = t.next_frame <- n

@@ -26,3 +26,23 @@ val walk : t -> linear:int -> write:bool -> int
 val is_mapped : t -> linear:int -> bool
 val mapped_pages : t -> int
 val frames_allocated : t -> int
+
+(** {2 Snapshot support}
+
+    The page-table walk is a function of the full PTE set and the frame
+    allocator's cursor, so these four entry points are sufficient to
+    serialize and rebuild a paging unit exactly. *)
+
+(** Every live PTE as [(linear page number, frame, present, writable)],
+    in increasing page order (deterministic for byte-stable snapshots). *)
+val entries : t -> (int * int * bool * bool) list
+
+(** Drop every mapping and reset the frame allocator to 0. *)
+val reset : t -> unit
+
+(** Reinstall one PTE by linear page number. *)
+val restore_entry :
+  t -> page:int -> frame:int -> present:bool -> writable:bool -> unit
+
+(** Restore the sequential frame allocator's cursor. *)
+val set_next_frame : t -> int -> unit

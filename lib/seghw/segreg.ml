@@ -84,6 +84,18 @@ let load t ~name ~selector ~descriptor =
   t.cache <- descriptor;
   sync_flat t
 
+(* Restore a serialized register verbatim: selector and hidden cache are
+   written independently, bypassing [load]'s architectural checks. The
+   checks ran when the snapshotted machine performed the original load;
+   re-running them here against the *current* LDT would be wrong — the
+   hidden cache may legitimately disagree with the table (that
+   stale-selector property is exactly what Cash's 3-entry reuse cache
+   depends on, and what a snapshot must preserve bit for bit). *)
+let restore_raw t ~selector ~cache =
+  t.selector <- selector;
+  t.cache <- cache;
+  sync_flat t
+
 (* Fault path of [translate]: reached only when the fast-path test fails,
    so one of the conditions below must hold; raises with the exact
    diagnostics of the unflattened checker. *)

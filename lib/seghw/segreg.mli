@@ -45,6 +45,15 @@ val load :
   t -> name:name -> selector:Selector.t -> descriptor:Descriptor.t option ->
   unit
 
+(** Restore a serialized register verbatim (selector plus hidden cache),
+    bypassing {!load}'s architectural checks — they ran when the
+    snapshotted machine performed the original load, and the hidden
+    cache may legitimately disagree with the current LDT (the
+    stale-selector property Cash's segment-reuse cache relies on).
+    Only the snapshot subsystem should call this. *)
+val restore_raw :
+  t -> selector:Selector.t -> cache:Descriptor.t option -> unit
+
 (** The per-access check of Figure 1's first stage: verify [offset]
     against the cached limit and produce the linear address.
     Raises [#SS] instead of [#GP] when [stack] is set, [#GP] on writes

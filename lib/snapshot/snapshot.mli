@@ -1,0 +1,85 @@
+(** Deterministic whole-machine checkpoint/restore.
+
+    A snapshot is a versioned binary image of the complete simulator
+    state of one process: CPU registers, EIP, flags, cycle and retired
+    counters, the six segment registers {e including their hidden
+    descriptor caches}, the GDT and the per-process LDT, the page
+    tables and frame allocator, the TLB (entries plus its [gen]
+    counter), sparse page-granular physical memory, the kernel's clock
+    and statistics, the libc allocator/output state, and — for Cash
+    programs — the runtime's segment pool and reuse cache.
+
+    Encoding is byte-stable: saving the same machine state twice
+    yields identical bytes (hashtable-backed structures are serialized
+    in sorted key order), so {!digest} is an equality oracle — two
+    machines are in the same state iff their snapshots digest equally.
+    The engine is deliberately {e not} part of the image: all three
+    engines produce bit-identical machine state, so a snapshot taken
+    under one engine restores under any other (the cross-engine resume
+    oracle in the test suite pins this).
+
+    The image does not embed the program (programs are immutable and
+    compiled deterministically from source); it embeds a digest of the
+    program so {!restore} can reject a mismatched one. *)
+
+type error =
+  | Truncated of string   (** ran off the end of the image *)
+  | Bad_magic             (** not a snapshot *)
+  | Bad_version of int    (** produced by an incompatible format *)
+  | Program_mismatch      (** restored against a different program *)
+  | Corrupt of string     (** structurally invalid contents *)
+
+exception Error of error
+
+val error_to_string : error -> string
+
+(** Format version written by {!save}. *)
+val version : int
+
+(** Digest of the program identity embedded in every snapshot (code,
+    data layout, and entry point). *)
+val program_digest : Machine.Program.t -> string
+
+(** Serialize the complete state of [process] (plus its Cash runtime,
+    when given). The process must not be mid-instruction: call between
+    {!Machine.Cpu.step}s or after {!Machine.Cpu.run} returns. *)
+val save : ?runtime:Cashrt.Runtime.t -> Osim.Process.t -> Buffer.t
+
+(** Rebuild a process (fresh kernel, LDT, MMU, physical memory, CPU,
+    libc — and the Cash runtime iff the image carries its section)
+    and overwrite its state with the image. The kernel uses the
+    default cost model, as every harness experiment does.
+    [engine] picks the CPU interpreter; it defaults to
+    [Machine.Cpu.Predecoded] and need not match the saving engine.
+    @raise Error on truncated, corrupt, or mismatched images. *)
+val restore :
+  ?engine:Machine.Cpu.engine -> program:Machine.Program.t -> bytes ->
+  Osim.Process.t * Cashrt.Runtime.t option
+
+(** MD5 hex of an image — the byte-stable state-equality oracle. *)
+val digest : bytes -> string
+
+(** [save] then [digest], for assertions. *)
+val state_digest : ?runtime:Cashrt.Runtime.t -> Osim.Process.t -> string
+
+(** {2 Checkpoint placement helpers} *)
+
+(** Step the process until the external named [marker] (default
+    ["server_ready"]) fires, at most [max_insns] instructions
+    (default 200 million). Because [Callext] terminates a superblock,
+    the instruction after the marker is a block start — so a snapshot
+    taken here is block-aligned by construction, and a [Block]-engine
+    restore re-enters at full speed. The marker external is left
+    registered as a no-op (byte-identical behaviour to libc's
+    default). Returns [true] if the marker fired, [false] if the
+    process halted, faulted, or ran out of the instruction budget
+    first. *)
+val run_to_marker :
+  ?marker:string -> ?max_insns:int -> Osim.Process.t -> bool
+
+(** Step the process forward until EIP rests on a superblock boundary
+    (deterministic: the block partition is a property of the linked
+    program, not of the engine). Returns the number of instructions
+    stepped — 0 when already aligned. Stops early if the process
+    leaves the [Running] state. *)
+val align_to_block : Osim.Process.t -> int

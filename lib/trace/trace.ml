@@ -379,6 +379,184 @@ module Json = struct
     let b = Buffer.create 256 in
     write b v;
     Buffer.contents b
+
+  (* --- parsing: the inverse, for reading records back ------------------ *)
+
+  exception Parse_error of string
+
+  (* Recursive-descent RFC 8259 parser, sufficient for everything
+     [write] emits (and standard JSON generally): the BENCH_<n>.json
+     perf records that `bench --compare` reads back. Numbers parse to
+     [Int] when they are integral int-syntax literals and [Float]
+     otherwise. *)
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n
+         && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let hex4 () =
+      if !pos + 4 > n then fail "truncated \\u escape";
+      let v = int_of_string_opt ("0x" ^ String.sub s !pos 4) in
+      pos := !pos + 4;
+      match v with Some v -> v | None -> fail "bad \\u escape"
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' -> advance (); Buffer.contents b
+          | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'; advance ()
+               | '\\' -> Buffer.add_char b '\\'; advance ()
+               | '/' -> Buffer.add_char b '/'; advance ()
+               | 'b' -> Buffer.add_char b '\b'; advance ()
+               | 'f' -> Buffer.add_char b '\012'; advance ()
+               | 'n' -> Buffer.add_char b '\n'; advance ()
+               | 'r' -> Buffer.add_char b '\r'; advance ()
+               | 't' -> Buffer.add_char b '\t'; advance ()
+               | 'u' ->
+                 advance ();
+                 let cp = hex4 () in
+                 (* UTF-8 encode; [escape] only ever emits control
+                    characters this way, but accept the full BMP. *)
+                 if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+                 else if cp < 0x800 then begin
+                   Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+                   Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                 end
+                 else begin
+                   Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+                   Buffer.add_char b
+                     (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+                   Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+                 end
+               | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            go ()
+          | c when Char.code c < 0x20 -> fail "raw control character in string"
+          | c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      if peek () = Some '-' then advance ();
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' -> true
+        | '.' | 'e' | 'E' | '+' | '-' -> is_float := true; true
+        | _ -> false
+      do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail (Printf.sprintf "bad number %S" text)
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+          (* out of int range: fall back to float *)
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> fail (Printf.sprintf "bad number %S" text))
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); List [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); List (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing content";
+    v
+
+  (* Typed accessors over parsed records; [None] on shape mismatch. *)
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+
+  let to_float_opt = function
+    | Float f -> Some f
+    | Int i -> Some (float_of_int i)
+    | _ -> None
+
+  let to_int_opt = function Int i -> Some i | _ -> None
+  let to_string_opt = function Str s -> Some s | _ -> None
 end
 
 let json_of_event ev : Json.t =

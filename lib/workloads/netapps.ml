@@ -104,6 +104,7 @@ int main() {
     }
     msg[%d - 1] = 0;
   }
+  server_ready();
   int checksum = 0;
   str_copy(command, "USER alice", 64);
   checksum += handle(command);
@@ -185,6 +186,7 @@ int main() {
   for (i = 0; i < %d - 1; i++)
     content[i] = 32 + ((i * 11 + 7) %% 95);
   content[%d - 1] = 0;
+  server_ready();
   str_copy(request, "GET /docs//manual/../index.html HTTP/1.0", 512);
   int checksum = parse_request(request);
   checksum += sanitise_uri(uri, clean);
@@ -267,6 +269,7 @@ int main() {
   }
   body[%d - 2] = 10;
   body[%d - 1] = 0;
+  server_ready();
   int checksum = 0;
   for (r = 0; r < %d; r++) {
     str_copy(envelope, "Alice Smith (home (office)) <alice.smith@example.test>", 256);
@@ -326,6 +329,7 @@ int transfer(char *f, int len, int bsize) {
 int main() {
   int i;
   for (i = 0; i < %d; i++) file[i] = (i * 31 + 5) %% 256;
+  server_ready();
   str_copy(cmdline, "RETR /pub/dists/readme.txt", 128);
   int checksum = 0;
   to_upper(cmdline, 4);
@@ -378,6 +382,7 @@ int main() {
     name[12] = 0;
     sizes[e] = (e * 7919) %% 100000;
   }
+  server_ready();
   int o = 0;
   int checksum = 0;
   for (e = 0; e < n; e++) {
@@ -473,6 +478,7 @@ int main() {
     owner[8] = 0;
     rdata[r] = r * 257;
   }
+  server_ready();
   /* build a query packet with a compressed name */
   packet[0] = 3; packet[1] = 'w'; packet[2] = 'w'; packet[3] = 'w';
   packet[4] = 192; packet[5] = 12;   /* pointer to offset 12 */

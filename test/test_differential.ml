@@ -26,7 +26,14 @@
    densely). Within a seed, outputs must also agree across engines.
 
    Every case is deterministic (own PRNG state per seed), so a failure
-   message naming the seed reproduces the program exactly. *)
+   message naming the seed reproduces the program exactly. On top of
+   that, a failing property dumps crash artifacts — the generated
+   source, a lib/snapshot checkpoint of the machine the offending run
+   left behind, and a replay command line — under $CASH_DIFF_DUMP
+   (default "diff-failures"), so the terminal state can be re-examined
+   offline with `cashc --replay`. CASH_DIFF_FORCE_FAIL=<seed> forces
+   that in-bounds seed to fail, which is how CI exercises the
+   dump-and-replay path on demand. *)
 
 type arr = { name : string; size : int }
 
@@ -131,12 +138,65 @@ let status_name = function
 
 let is_bound_violation = function Core.Bound_violation _ -> true | _ -> false
 
+(* --- crash artifacts ---------------------------------------------------- *)
+
+let dump_dir () =
+  match Sys.getenv_opt "CASH_DIFF_DUMP" with
+  | Some d when d <> "" -> d
+  | _ -> "diff-failures"
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Dump the failing seed's artifacts before the failure unwinds: the
+   source, a snapshot of the machine the offending run left behind
+   (when one exists — a compile-time failure has no machine), and a
+   metadata file with the replay command. Dumping must never mask the
+   test failure, so filesystem errors only warn. *)
+let dump_failure ~seed ~what ~backend ~src run =
+  let dir = dump_dir () in
+  try
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let base = Filename.concat dir (Printf.sprintf "seed_%d" seed) in
+    write_file (base ^ ".c") src;
+    let snapped =
+      match run with
+      | None -> false
+      | Some (r : Core.run) ->
+        let state = Core.state_of_run (Core.compile backend src) r in
+        write_file (base ^ ".snap") (Buffer.contents (Core.save state));
+        true
+    in
+    write_file (base ^ ".txt")
+      (Printf.sprintf
+         "seed: %d\nproperty: %s\nbackend: %s\nreplay: cashc --compiler %s%s \
+          %s.c\n"
+         seed what
+         (Core.backend_name backend)
+         (Core.backend_name backend)
+         (if snapped then Printf.sprintf " --replay %s.snap" base else "")
+         base)
+  with Sys_error msg ->
+    Printf.eprintf "diff dump failed for seed %d: %s\n%!" seed msg
+
+(* [Alcotest.failf], with the artifact dump riding on the front. *)
+let faild ~seed ~what ~backend ~src ?run fmt =
+  Printf.ksprintf
+    (fun msg ->
+      dump_failure ~seed ~what ~backend ~src run;
+      Alcotest.fail msg)
+    fmt
+
 let run_backend ~seed ~what ~engine backend src =
   match Core.exec ~engine backend src with
   | r -> r
   | exception e ->
-    Alcotest.failf "seed %d: %s under %s raised %s\n%s" seed what
-      (Core.backend_name backend) (Printexc.to_string e) src
+    faild ~seed ~what ~backend ~src "seed %d: %s under %s raised %s\n%s" seed
+      what
+      (Core.backend_name backend)
+      (Printexc.to_string e) src
 
 (* Both fast engines on every seed; the reference oracle on every 7th. *)
 let engines ~seed =
@@ -148,6 +208,15 @@ let engines ~seed =
    across engines. *)
 let check_in_bounds seed =
   let src = gen ~seed ~oob:false in
+  (match Sys.getenv_opt "CASH_DIFF_FORCE_FAIL" with
+   | Some s when int_of_string_opt s = Some seed ->
+     let what = "in-bounds/forced" in
+     let r =
+       run_backend ~seed ~what ~engine:Machine.Cpu.Predecoded Core.cash src
+     in
+     faild ~seed ~what ~backend:Core.cash ~src ~run:r
+       "seed %d: forced failure (CASH_DIFF_FORCE_FAIL)" seed
+   | _ -> ());
   let first_output = ref None in
   List.iter
     (fun (ename, engine) ->
@@ -156,23 +225,26 @@ let check_in_bounds seed =
       let b = run_backend ~seed ~what ~engine Core.bcc src in
       let c = run_backend ~seed ~what ~engine Core.cash src in
       List.iter
-        (fun (name, r) ->
+        (fun (name, backend, r) ->
           if r.Core.status <> Core.Finished then
-            Alcotest.failf "seed %d: %s did not finish under %s: %s\n%s" seed
-              name ename (status_name r.Core.status) src)
-        [ ("gcc", g); ("bcc", b); ("cash", c) ];
+            faild ~seed ~what ~backend ~src ~run:r
+              "seed %d: %s did not finish under %s: %s\n%s" seed name ename
+              (status_name r.Core.status) src)
+        [ ("gcc", Core.gcc, g); ("bcc", Core.bcc, b); ("cash", Core.cash, c) ];
       if b.Core.output <> g.Core.output then
-        Alcotest.failf "seed %d: bcc output %S <> gcc output %S (%s)\n%s" seed
+        faild ~seed ~what ~backend:Core.bcc ~src ~run:b
+          "seed %d: bcc output %S <> gcc output %S (%s)\n%s" seed
           b.Core.output g.Core.output ename src;
       if c.Core.output <> g.Core.output then
-        Alcotest.failf "seed %d: cash output %S <> gcc output %S (%s)\n%s"
-          seed c.Core.output g.Core.output ename src;
+        faild ~seed ~what ~backend:Core.cash ~src ~run:c
+          "seed %d: cash output %S <> gcc output %S (%s)\n%s" seed
+          c.Core.output g.Core.output ename src;
       match !first_output with
       | None -> first_output := Some g.Core.output
       | Some out ->
         if g.Core.output <> out then
-          Alcotest.failf "seed %d: output differs across engines at %s\n%s"
-            seed ename src)
+          faild ~seed ~what ~backend:Core.gcc ~src ~run:g
+            "seed %d: output differs across engines at %s\n%s" seed ename src)
     (engines ~seed)
 
 (* Property 2: on the same program with one injected overrun, both
@@ -187,13 +259,15 @@ let check_out_of_bounds seed =
       let b = run_backend ~seed ~what ~engine Core.bcc src in
       let c = run_backend ~seed ~what ~engine Core.cash src in
       if not (is_bound_violation b.Core.status) then
-        Alcotest.failf "seed %d: bcc missed the overrun under %s (%s)\n%s"
-          seed ename (status_name b.Core.status) src;
+        faild ~seed ~what ~backend:Core.bcc ~src ~run:b
+          "seed %d: bcc missed the overrun under %s (%s)\n%s" seed ename
+          (status_name b.Core.status) src;
       if not (is_bound_violation c.Core.status) then
-        Alcotest.failf "seed %d: cash missed the overrun under %s (%s)\n%s"
-          seed ename (status_name c.Core.status) src;
+        faild ~seed ~what ~backend:Core.cash ~src ~run:c
+          "seed %d: cash missed the overrun under %s (%s)\n%s" seed ename
+          (status_name c.Core.status) src;
       if is_bound_violation g.Core.status then
-        Alcotest.failf
+        faild ~seed ~what ~backend:Core.gcc ~src ~run:g
           "seed %d: gcc reported a bound violation it cannot detect under %s \
            (%s)\n%s"
           seed ename (status_name g.Core.status) src)

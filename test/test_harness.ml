@@ -83,6 +83,21 @@ let test_table8_shape () =
       | _ -> Alcotest.fail "bad row shape")
     t.Harness.Report.rows
 
+(* The warm-started snapshot split must reproduce the serial Table 8
+   byte for byte, at several job counts — the whole point of the split
+   is that nobody can tell from the table that the requests were
+   warm-started from a checkpoint instead of run back-to-back. *)
+let test_table8_split_equals_serial () =
+  let render t = Format.asprintf "%a" Harness.Report.pp t in
+  let serial = render (Harness.Table8.run ~requests:4 ()) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "split -j%d" jobs)
+        serial
+        (render (Harness.Table8.run_split ~jobs ~requests:4 ())))
+    [ 1; 2; 4 ]
+
 let test_figure2_expectations_met () =
   let t = Harness.Figure2.run () in
   List.iter
@@ -138,6 +153,8 @@ let suite =
     Alcotest.test_case "table1 shape+invariants" `Slow test_table1_shape;
     Alcotest.test_case "table3 trend" `Slow test_table3_trend;
     Alcotest.test_case "table8 shape" `Slow test_table8_shape;
+    Alcotest.test_case "table8 split = serial" `Slow
+      test_table8_split_equals_serial;
     Alcotest.test_case "figure2 expectations" `Slow test_figure2_expectations_met;
     Alcotest.test_case "microcost anchors" `Slow test_microcosts_anchors;
     Alcotest.test_case "ablation monotone" `Slow test_ablation_monotone;

@@ -15,6 +15,7 @@ let () =
       ("predecode", Test_predecode.suite);
       ("blocks", Test_blocks.suite);
       ("trace", Test_trace.suite);
+      ("snapshot", Test_snapshot.suite);
       ("differential", Test_differential.suite);
       ("parallel", Test_parallel.suite);
       ("harness", Test_harness.suite);

@@ -180,8 +180,11 @@ let test_block_engine_oracle () =
    A fast three-experiment subset keeps this case cheap; the full-list
    identity is covered above. *)
 let test_merged_matches_single_sink () =
-  let subset all = List.filter (fun (n, _) ->
-      List.mem n [ "table2"; "figure2"; "microcosts" ]) all
+  let subset all =
+    List.filter
+      (fun (ex : Harness.Suite.experiment) ->
+        List.mem ex.Harness.Suite.name [ "table2"; "figure2"; "microcosts" ])
+      all
   in
   let single = Trace.create () in
   Core.set_default_trace (Some single);
@@ -189,7 +192,8 @@ let test_merged_matches_single_sink () =
     ~finally:(fun () -> Core.set_default_trace None)
     (fun () ->
       List.iter
-        (fun (_, run) -> ignore (run () : Harness.Report.t))
+        (fun (ex : Harness.Suite.experiment) ->
+          ignore (ex.Harness.Suite.run () : Harness.Report.t))
         (subset (Harness.Suite.all ())));
   let merged = Trace.create () in
   ignore

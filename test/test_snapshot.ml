@@ -1,0 +1,321 @@
+(* lib/snapshot: deterministic machine checkpoint/restore.
+
+   The contract under test: a snapshot is byte-stable (same machine
+   state → same bytes, so the digest is an equality oracle), restoring
+   one rebuilds the complete machine — including the hidden segment
+   register caches and the TLB generation counter — and a restored
+   machine continued to completion is indistinguishable from one that
+   was never interrupted, on any engine, including across engines. *)
+
+let engines =
+  [ ("predecoded", Machine.Cpu.Predecoded);
+    ("block", Machine.Cpu.Block);
+    ("reference", Machine.Cpu.Reference) ]
+
+let matmul () = Core.compile Core.gcc (Workloads.Micro.matmul ~n:6 ())
+let cash_matmul () = Core.compile Core.cash (Workloads.Micro.matmul ~n:6 ())
+
+(* Step a freshly started machine [n] instructions, then to the next
+   superblock boundary. *)
+let warm_state ?engine compiled n =
+  let state = Core.start ?engine compiled in
+  let process = Core.state_process state in
+  let cpu = Osim.Process.cpu process in
+  let target = Machine.Cpu.insns_executed cpu + n in
+  while
+    (match Machine.Cpu.status cpu with
+     | Machine.Cpu.Running -> true
+     | _ -> false)
+    && Machine.Cpu.insns_executed cpu < target
+  do
+    Machine.Cpu.step cpu
+  done;
+  ignore (Snapshot.align_to_block process);
+  state
+
+let test_save_is_byte_stable () =
+  let state = warm_state (matmul ()) 2000 in
+  let b1 = Buffer.contents (Core.save state) in
+  let b2 = Buffer.contents (Core.save state) in
+  Alcotest.(check bool) "same bytes" true (String.equal b1 b2)
+
+let test_round_trip_every_engine () =
+  List.iter
+    (fun (name, engine) ->
+      List.iter
+        (fun compiled ->
+          let state = warm_state ~engine compiled 2000 in
+          let d1 = Core.state_digest state in
+          let bytes = Buffer.to_bytes (Core.save state) in
+          let restored = Core.restore ~engine compiled bytes in
+          let d2 = Core.state_digest restored in
+          Alcotest.(check string)
+            (Printf.sprintf "round-trip digest (%s)" name)
+            d1 d2)
+        [ matmul (); cash_matmul () ])
+    engines
+
+let test_resume_equals_uninterrupted () =
+  List.iter
+    (fun (name, engine) ->
+      List.iter
+        (fun compiled ->
+          let baseline = Core.run ~engine compiled in
+          let state = warm_state ~engine compiled 2000 in
+          let bytes = Buffer.to_bytes (Core.save state) in
+          let resumed = Core.finish (Core.restore ~engine compiled bytes) in
+          Alcotest.(check bool)
+            (Printf.sprintf "status (%s)" name)
+            true
+            (baseline.Core.status = resumed.Core.status);
+          Alcotest.(check int)
+            (Printf.sprintf "cycles (%s)" name)
+            baseline.Core.cycles resumed.Core.cycles;
+          Alcotest.(check int)
+            (Printf.sprintf "insns (%s)" name)
+            baseline.Core.insns resumed.Core.insns;
+          Alcotest.(check string)
+            (Printf.sprintf "output (%s)" name)
+            baseline.Core.output resumed.Core.output;
+          Alcotest.(check string)
+            (Printf.sprintf "final digest (%s)" name)
+            (Core.state_digest (Core.state_of_run compiled baseline))
+            (Core.state_digest (Core.state_of_run compiled resumed)))
+        [ matmul (); cash_matmul () ])
+    engines
+
+(* The cross-engine resume oracle: snapshot under one engine, restore
+   under another, continue — the result must equal an uninterrupted run
+   on either engine. *)
+let test_cross_engine_resume () =
+  let compiled = cash_matmul () in
+  let baseline = Core.run ~engine:Machine.Cpu.Reference compiled in
+  List.iter
+    (fun ((from_name, from_engine), (to_name, to_engine)) ->
+      let state = warm_state ~engine:from_engine compiled 2000 in
+      let bytes = Buffer.to_bytes (Core.save state) in
+      let resumed =
+        Core.finish (Core.restore ~engine:to_engine compiled bytes)
+      in
+      let label what =
+        Printf.sprintf "%s (%s -> %s)" what from_name to_name
+      in
+      Alcotest.(check bool)
+        (label "status") true
+        (baseline.Core.status = resumed.Core.status);
+      Alcotest.(check int) (label "cycles") baseline.Core.cycles
+        resumed.Core.cycles;
+      Alcotest.(check string) (label "output") baseline.Core.output
+        resumed.Core.output)
+    [
+      (("block", Machine.Cpu.Block), ("reference", Machine.Cpu.Reference));
+      (("reference", Machine.Cpu.Reference), ("block", Machine.Cpu.Block));
+      (("predecoded", Machine.Cpu.Predecoded), ("block", Machine.Cpu.Block));
+    ]
+
+(* A mid-block checkpoint request steps forward to the next superblock
+   boundary, by the same number of instructions on every attempt. *)
+let test_mid_block_alignment_deterministic () =
+  let compiled = matmul () in
+  let mid_state () =
+    let state = Core.start ~engine:Machine.Cpu.Block compiled in
+    let cpu = Osim.Process.cpu (Core.state_process state) in
+    (* An odd step count strands EIP mid-block more often than not. *)
+    for _ = 1 to 1237 do
+      if Machine.Cpu.status cpu = Machine.Cpu.Running then
+        Machine.Cpu.step cpu
+    done;
+    state
+  in
+  let s1 = mid_state () and s2 = mid_state () in
+  let steps1 = Snapshot.align_to_block (Core.state_process s1) in
+  let steps2 = Snapshot.align_to_block (Core.state_process s2) in
+  Alcotest.(check int) "same alignment distance" steps1 steps2;
+  Alcotest.(check string) "same aligned state" (Core.state_digest s1)
+    (Core.state_digest s2);
+  (* And the post-alignment EIP really is a block boundary. *)
+  let cpu = Osim.Process.cpu (Core.state_process s1) in
+  let prog = Machine.Cpu.program cpu in
+  Alcotest.(check bool) "EIP on block start" true
+    (prog.Machine.Program.block_at.(Machine.Cpu.eip cpu) >= 0);
+  Alcotest.(check int) "already aligned = 0 steps" 0
+    (Snapshot.align_to_block (Core.state_process s1))
+
+(* The TLB generation counter and the hidden segment-register caches —
+   including a cache that disagrees with the current LDT, the stale-
+   selector property Cash's segment reuse relies on — must survive a
+   round trip bit-exactly. *)
+let test_tlb_gen_and_hidden_caches_survive () =
+  let compiled = cash_matmul () in
+  let state = warm_state compiled 4000 in
+  let process = Core.state_process state in
+  let mmu = Osim.Process.mmu process in
+  (* Desync GS from the LDT: point it at a live descriptor, then
+     rewrite that LDT slot. The hidden cache must keep the old view. *)
+  let stale = Seghw.Descriptor.for_array ~base:0x5000 ~size_bytes:256
+                ~writable:true in
+  let fresh = Seghw.Descriptor.for_array ~base:0x9000 ~size_bytes:64
+                ~writable:false in
+  let index = 40 in
+  Seghw.Descriptor_table.set (Seghw.Mmu.ldt mmu) index stale;
+  let sel =
+    Seghw.Selector.make ~index ~table:Seghw.Selector.Ldt ~rpl:3
+  in
+  Seghw.Mmu.load_segreg mmu Seghw.Segreg.GS sel;
+  Seghw.Descriptor_table.set (Seghw.Mmu.ldt mmu) index fresh;
+  let tlb = Seghw.Mmu.tlb mmu in
+  Alcotest.(check bool) "warm TLB has a generation" true
+    (tlb.Seghw.Tlb.gen > 0);
+  let bytes = Buffer.to_bytes (Core.save state) in
+  let restored = Core.restore compiled bytes in
+  let rmmu = Osim.Process.mmu (Core.state_process restored) in
+  let rtlb = Seghw.Mmu.tlb rmmu in
+  Alcotest.(check int) "TLB gen" tlb.Seghw.Tlb.gen rtlb.Seghw.Tlb.gen;
+  Alcotest.(check int) "TLB hits" tlb.Seghw.Tlb.hits rtlb.Seghw.Tlb.hits;
+  Alcotest.(check int) "TLB misses" tlb.Seghw.Tlb.misses
+    rtlb.Seghw.Tlb.misses;
+  let gs = Seghw.Mmu.seg rmmu Seghw.Segreg.GS in
+  Alcotest.(check bool) "GS selector" true
+    (Seghw.Selector.equal (Seghw.Segreg.selector gs) sel);
+  (match Seghw.Segreg.cached_descriptor gs with
+   | Some d ->
+     Alcotest.(check bool) "GS hidden cache kept the stale descriptor"
+       true
+       (Seghw.Descriptor.equal d stale)
+   | None -> Alcotest.fail "GS hidden cache lost");
+  (* ... while the restored LDT carries the rewritten slot. *)
+  (match Seghw.Descriptor_table.get (Seghw.Mmu.ldt rmmu) index with
+   | Some d ->
+     Alcotest.(check bool) "LDT slot is the fresh descriptor" true
+       (Seghw.Descriptor.equal d fresh)
+   | None -> Alcotest.fail "LDT slot lost")
+
+(* Damaged images must fail with [Snapshot.Error], never any other
+   exception, and never yield a machine silently. *)
+let expect_snapshot_error what f =
+  match f () with
+  | _ -> Alcotest.fail (what ^ ": restore succeeded on damaged image")
+  | exception Snapshot.Error _ -> ()
+  | exception e ->
+    Alcotest.fail
+      (Printf.sprintf "%s: escaped with %s" what (Printexc.to_string e))
+
+let test_truncated_fails_typed () =
+  let compiled = matmul () in
+  let state = warm_state compiled 2000 in
+  let bytes = Buffer.to_bytes (Core.save state) in
+  let len = Bytes.length bytes in
+  (* Every prefix length down to the empty image, sampled densely. *)
+  let cuts =
+    [ 0; 1; 4; 7; 8; 15; 16; 31 ]
+    @ List.init 16 (fun i -> (i + 1) * len / 17)
+  in
+  List.iter
+    (fun cut ->
+      if cut < len then
+        expect_snapshot_error
+          (Printf.sprintf "truncated at %d" cut)
+          (fun () ->
+            Core.restore compiled (Bytes.sub bytes 0 cut)))
+    cuts
+
+let test_corrupted_fails_typed () =
+  let compiled = matmul () in
+  let state = warm_state compiled 2000 in
+  let bytes = Buffer.to_bytes (Core.save state) in
+  let len = Bytes.length bytes in
+  (* Flipping a byte either still parses to a machine (a flipped
+     counter value is indistinguishable from a legitimate one) or
+     raises [Snapshot.Error] — anything else is an escape. *)
+  for i = 0 to 99 do
+    let at = i * len / 100 in
+    let copy = Bytes.copy bytes in
+    Bytes.set copy at
+      (Char.chr (Char.code (Bytes.get copy at) lxor 0xFF));
+    match Core.restore compiled copy with
+    | _ -> ()
+    | exception Snapshot.Error _ -> ()
+    | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "flip at %d escaped with %s" at
+           (Printexc.to_string e))
+  done;
+  (* Specific signatures. *)
+  let flip at =
+    let copy = Bytes.copy bytes in
+    Bytes.set copy at
+      (Char.chr (Char.code (Bytes.get copy at) lxor 0xFF));
+    copy
+  in
+  (match Core.restore compiled (flip 0) with
+   | _ -> Alcotest.fail "bad magic accepted"
+   | exception Snapshot.Error Snapshot.Bad_magic -> ()
+   | exception e ->
+     Alcotest.fail ("bad magic: " ^ Printexc.to_string e));
+  (match Core.restore compiled (flip 8) with
+   | _ -> Alcotest.fail "bad version accepted"
+   | exception Snapshot.Error (Snapshot.Bad_version _) -> ()
+   | exception e ->
+     Alcotest.fail ("bad version: " ^ Printexc.to_string e))
+
+let test_wrong_program_rejected () =
+  let compiled = matmul () in
+  let other = Core.compile Core.gcc (Workloads.Micro.fft2d ~n:8 ()) in
+  let state = warm_state compiled 2000 in
+  let bytes = Buffer.to_bytes (Core.save state) in
+  match Core.restore other bytes with
+  | _ -> Alcotest.fail "mismatched program accepted"
+  | exception Snapshot.Error Snapshot.Program_mismatch -> ()
+  | exception e ->
+    Alcotest.fail ("wrong program: " ^ Printexc.to_string e)
+
+(* server_ready: the warm-start marker the Table 8 split snapshots at.
+   It must fire exactly once per request-server init, leave the machine
+   block-aligned, and cost the same under every backend (so warm-start
+   reassembly stays byte-identical). *)
+let test_run_to_marker () =
+  List.iter
+    (fun backend ->
+      let compiled =
+        Core.compile backend (Workloads.Netapps.qpopper ~messages:2 ())
+      in
+      let state = Core.start compiled in
+      let process = Core.state_process state in
+      Alcotest.(check bool) "marker fires" true
+        (Snapshot.run_to_marker process);
+      (* Post-marker EIP is a block start: Callext ends a superblock. *)
+      let cpu = Osim.Process.cpu process in
+      let prog = Machine.Cpu.program cpu in
+      Alcotest.(check bool) "block-aligned at marker" true
+        (prog.Machine.Program.block_at.(Machine.Cpu.eip cpu) >= 0);
+      (* Resuming from the marker ends exactly like the unbroken run. *)
+      let baseline = Core.run compiled in
+      let bytes = Buffer.to_bytes (Core.save state) in
+      let resumed = Core.finish (Core.restore compiled bytes) in
+      Alcotest.(check int) "cycles" baseline.Core.cycles
+        resumed.Core.cycles;
+      Alcotest.(check string) "output" baseline.Core.output
+        resumed.Core.output)
+    [ Core.gcc; Core.bcc; Core.cash ]
+
+let suite =
+  [
+    Alcotest.test_case "save is byte-stable" `Quick test_save_is_byte_stable;
+    Alcotest.test_case "round-trip digest-identical on every engine" `Quick
+      test_round_trip_every_engine;
+    Alcotest.test_case "resume equals uninterrupted run" `Quick
+      test_resume_equals_uninterrupted;
+    Alcotest.test_case "cross-engine resume oracle" `Quick
+      test_cross_engine_resume;
+    Alcotest.test_case "mid-block snapshot aligns deterministically" `Quick
+      test_mid_block_alignment_deterministic;
+    Alcotest.test_case "TLB gen and hidden segreg caches survive" `Quick
+      test_tlb_gen_and_hidden_caches_survive;
+    Alcotest.test_case "truncated image fails with typed error" `Quick
+      test_truncated_fails_typed;
+    Alcotest.test_case "corrupted image fails with typed error" `Quick
+      test_corrupted_fails_typed;
+    Alcotest.test_case "mismatched program rejected" `Quick
+      test_wrong_program_rejected;
+    Alcotest.test_case "run_to_marker warm start" `Quick test_run_to_marker;
+  ]

@@ -377,6 +377,75 @@ let test_checker_on_run () =
   Alcotest.(check bool) "overrun: sink saw the failure" true
     (Trace.count s2 Trace.K_limit_check_fail = 1)
 
+(* --- Json.parse: the writer's inverse ----------------------------------- *)
+
+let test_json_parse_roundtrip () =
+  (* A value exercising every constructor and the escapes the writer
+     emits; parse (to_string v) must reproduce it exactly. *)
+  let v =
+    Trace.Json.(
+      Obj
+        [
+          ("null", Null);
+          ("bools", List [ Bool true; Bool false ]);
+          ("ints", List [ Int 0; Int (-17); Int 1_000_000_007 ]);
+          ("floats", List [ Float 1.5; Float (-0.25); Float 3.0 ]);
+          ("strings",
+           List
+             [ Str ""; Str "plain"; Str "quote\" slash\\ nl\n tab\t cr\r";
+               Str "ctrl\x01\x1f" ]);
+          ("nested", Obj [ ("empty_obj", Obj []); ("empty_list", List []) ]);
+        ])
+  in
+  let reparsed = Trace.Json.parse (Trace.Json.to_string v) in
+  Alcotest.(check string) "roundtrip"
+    (Trace.Json.to_string v)
+    (Trace.Json.to_string reparsed)
+
+let test_json_parse_record () =
+  (* The shape bench --compare reads: a BENCH_<n>.json perf record. *)
+  let json =
+    Trace.Json.parse
+      {|{"schema":4,"bench":"full-reproduction","engine":"block",
+         "traced":false,"jobs":4,"wall_seconds":95.31,
+         "insns_executed":4060396260,"insns_per_host_second":4.26e7}|}
+  in
+  let fld k conv = Option.bind (Trace.Json.member k json) conv in
+  Alcotest.(check (option int)) "schema" (Some 4)
+    (fld "schema" Trace.Json.to_int_opt);
+  Alcotest.(check (option string)) "engine" (Some "block")
+    (fld "engine" Trace.Json.to_string_opt);
+  Alcotest.(check (option (float 1e-9))) "wall" (Some 95.31)
+    (fld "wall_seconds" Trace.Json.to_float_opt);
+  Alcotest.(check (option (float 1e0))) "ips" (Some 4.26e7)
+    (fld "ips" Trace.Json.to_float_opt
+     |> function None -> fld "insns_per_host_second" Trace.Json.to_float_opt
+               | some -> some);
+  (* ints widen through to_float_opt *)
+  Alcotest.(check (option (float 1e-9))) "int widens" (Some 4.0)
+    (fld "jobs" Trace.Json.to_float_opt)
+
+let test_json_parse_rejects () =
+  let rejects s =
+    match Trace.Json.parse s with
+    | exception Trace.Json.Parse_error _ -> ()
+    | _ -> Alcotest.failf "parsed malformed input %S" s
+  in
+  List.iter rejects
+    [ ""; "{"; "[1,"; "{\"a\":}"; "\"unterminated"; "tru"; "1.2.3";
+      "{\"a\":1} trailing"; "\"bad \\q escape\"" ]
+
+let test_json_parse_own_export () =
+  (* The full sink export must parse back: to_json -> to_string ->
+     parse is the path TRACE_<n>.json consumers rely on. *)
+  let s = Trace.create () in
+  ignore (Core.exec ~trace:s Core.cash clean_src);
+  let text = Trace.Json.to_string (Trace.to_json s) in
+  let reparsed = Trace.Json.parse text in
+  Alcotest.(check string) "sink export reparses"
+    text
+    (Trace.Json.to_string reparsed)
+
 let suite =
   [
     Alcotest.test_case "sink: counters" `Quick test_counters;
@@ -397,4 +466,11 @@ let suite =
       test_context_switch_events;
     Alcotest.test_case "checker: fail-is-final invariant" `Quick
       test_checker_on_run;
+    Alcotest.test_case "json: parse roundtrips writer" `Quick
+      test_json_parse_roundtrip;
+    Alcotest.test_case "json: parse BENCH record" `Quick test_json_parse_record;
+    Alcotest.test_case "json: parse rejects malformed" `Quick
+      test_json_parse_rejects;
+    Alcotest.test_case "json: sink export reparses" `Quick
+      test_json_parse_own_export;
   ]
