@@ -61,6 +61,15 @@ let engine =
                here), predecode, or reference. Simulated cycles and output \
                are engine-independent.")
 
+let no_chain =
+  Arg.(value & flag &
+       info [ "no-chain" ]
+         ~doc:"Disable block chaining (meaningful only with \
+               $(b,--engine=block)): hot blocks dispatch one at a time \
+               instead of being chained past the dispatch loop. Purely a \
+               host-throughput knob — simulated cycles, output, and \
+               faults are identical either way.")
+
 let replay =
   Arg.(value & opt (some file) None &
        info [ "replay" ] ~docv:"SNAPSHOT"
@@ -98,8 +107,9 @@ let print_profile sink =
       violations
   end
 
-let run file backend stats dump_asm profile engine replay =
+let run file backend stats dump_asm profile engine no_chain replay =
   let source = read_file file in
+  if no_chain then Core.set_chaining false;
   match Core.compile backend source with
   | exception Minic.Lexer.Lex_error (m, l) ->
     Printf.eprintf "%s:%d: lexical error: %s\n" file l m; 1
@@ -165,6 +175,6 @@ let cmd =
   let doc = "compile and run mini-C on the simulated segmented x86" in
   Cmd.v (Cmd.info "cashc" ~doc)
     Term.(const run $ file $ backend $ stats $ dump_asm $ profile $ engine
-          $ replay)
+          $ no_chain $ replay)
 
 let () = exit (Cmd.eval' cmd)

@@ -68,13 +68,14 @@ let outcome_str = function
   | Status Cpu.Running -> "running"
   | Status (Cpu.Faulted f) -> "faulted: " ^ Seghw.Fault.to_string f
 
-let run_one ~engine ?map_size ?(fuel = 1_000_000) ?(setup = fun _ -> ())
-    insns =
+let run_one ~engine ?chain ?map_size ?(fuel = 1_000_000)
+    ?(setup = fun _ -> ()) insns =
   let mmu = env ?map_size () in
   let phys = Phys_mem.create () in
   let program = Program.link ~entry:"main" (Insn.Label "main" :: insns) in
   let cpu =
-    Cpu.create ~engine ~mmu ~phys ~costs:Cost_model.pentium3 ~program ()
+    Cpu.create ~engine ?chain ~mmu ~phys ~costs:Cost_model.pentium3 ~program
+      ()
   in
   Registers.set (Cpu.regs cpu) Registers.ESP 0x8000;
   setup cpu;
@@ -86,8 +87,10 @@ let run_one ~engine ?map_size ?(fuel = 1_000_000) ?(setup = fun _ -> ())
 (* Run [insns] under the block engine and the reference oracle on fresh
    machines and assert every observable equal; returns the block-engine
    CPU for extra assertions. *)
-let check ?map_size ?fuel ?setup name insns =
-  let blk, ob = run_one ~engine:Cpu.Block ?map_size ?fuel ?setup insns in
+let check ?chain ?map_size ?fuel ?setup name insns =
+  let blk, ob =
+    run_one ~engine:Cpu.Block ?chain ?map_size ?fuel ?setup insns
+  in
   let orc, oo = run_one ~engine:Cpu.Reference ?map_size ?fuel ?setup insns in
   Alcotest.(check string) (name ^ ": outcome") (outcome_str oo)
     (outcome_str ob);
@@ -352,6 +355,184 @@ let test_tlb_gen_counter () =
   Seghw.Tlb.flush t;
   Alcotest.(check bool) "flush bumps" true (t.Seghw.Tlb.gen > g2)
 
+(* --- chained execution --------------------------------------------------- *)
+
+(* The tests below all use two-block loops hot enough to chain: the
+   builder fires on the 64th unchained dispatch of the head block, and
+   by then the back-edge Jcc has accumulated well past the 24-sample
+   15/16 bias it needs, so every later iteration runs the whole loop as
+   one chain pass without re-entering the dispatch loop. Each test then
+   pins one way a chain pass can be interrupted and compares against
+   the reference oracle instruction-for-instruction. *)
+
+let hot_iters = 300
+
+let test_chain_forms_and_is_exact () =
+  let cpu =
+    check ~chain:true "chain/forms"
+      Insn.[
+        Mov (Long, Reg Registers.ECX, Imm hot_iters);
+        Label "loop";
+        Alu (Add, Reg Registers.EAX, Imm 2);
+        Jmp "body";
+        Label "body";
+        Mov (Long, Mem (Insn.mem ~disp:0x1000 ()), Reg Registers.EAX);
+        Alu (Sub, Reg Registers.ECX, Imm 1);
+        Cmp (Reg Registers.ECX, Imm 0);
+        Jcc (Gt, "loop");
+        Halt;
+      ]
+  in
+  Alcotest.(check bool) "a chain was built" true (Cpu.chain_count cpu > 0);
+  Alcotest.(check int) "loop result" (2 * hot_iters)
+    (Registers.get (Cpu.regs cpu) Registers.EAX)
+
+let test_chain_off_builds_nothing () =
+  let cpu =
+    check ~chain:false "chain/off"
+      Insn.[
+        Mov (Long, Reg Registers.ECX, Imm hot_iters);
+        Label "loop";
+        Alu (Add, Reg Registers.EAX, Imm 2);
+        Jmp "body";
+        Label "body";
+        Alu (Sub, Reg Registers.ECX, Imm 1);
+        Cmp (Reg Registers.ECX, Imm 0);
+        Jcc (Gt, "loop");
+        Halt;
+      ]
+  in
+  Alcotest.(check int) "no chains with chaining off" 0 (Cpu.chain_count cpu)
+
+(* A store through EBX walks 0x100 bytes per iteration from 0x1000: it
+   crosses the 0x10000 mapping limit around iteration 240, deep inside
+   chained execution. The faulting store is the FIRST instruction of
+   the chained successor (the fall-through block after a never-taken
+   Jcc), so the unwind must commit the head block from the chain's
+   prefix sums and zero instructions of the successor. *)
+let test_chained_fault_first_insn () =
+  let cpu =
+    check ~chain:true "chain/fault-first"
+      Insn.[
+        Mov (Long, Reg Registers.EBX, Imm 0x1000);
+        Mov (Long, Reg Registers.ECX, Imm 400);
+        Label "loop";
+        Alu (Add, Reg Registers.EAX, Imm 1);
+        Cmp (Reg Registers.EDX, Imm 5);
+        Jcc (Eq, "out");
+        Mov (Long, Mem (Insn.mem ~base:Registers.EBX ()), Imm 7);
+        Alu (Add, Reg Registers.EBX, Imm 0x100);
+        Alu (Sub, Reg Registers.ECX, Imm 1);
+        Cmp (Reg Registers.ECX, Imm 0);
+        Jcc (Gt, "loop");
+        Label "out";
+        Halt;
+      ]
+  in
+  Alcotest.(check bool) "chain built before the fault" true
+    (Cpu.chain_count cpu > 0);
+  match Cpu.status cpu with
+  | Cpu.Faulted _ -> ()
+  | _ -> Alcotest.fail "expected a fault"
+
+(* Same walk, but the faulting store is the LAST instruction of the
+   chained successor before its terminator: everything in the chain
+   pass up to and including the preceding instructions must commit. *)
+let test_chained_fault_last_insn () =
+  let cpu =
+    check ~chain:true "chain/fault-last"
+      Insn.[
+        Mov (Long, Reg Registers.EBX, Imm 0x1000);
+        Mov (Long, Reg Registers.ECX, Imm 400);
+        Label "loop";
+        Alu (Add, Reg Registers.EAX, Imm 1);
+        Cmp (Reg Registers.EDX, Imm 5);
+        Jcc (Eq, "out");
+        Alu (Add, Reg Registers.EBX, Imm 0x100);
+        Alu (Sub, Reg Registers.ECX, Imm 1);
+        Cmp (Reg Registers.ECX, Imm 0);
+        Mov (Long, Mem (Insn.mem ~base:Registers.EBX ()), Imm 7);
+        Jcc (Gt, "loop");
+        Label "out";
+        Halt;
+      ]
+  in
+  Alcotest.(check bool) "chain built before the fault" true
+    (Cpu.chain_count cpu > 0);
+  match Cpu.status cpu with
+  | Cpu.Faulted _ -> ()
+  | _ -> Alcotest.fail "expected a fault"
+
+(* Fuel expiring around and inside chained execution, at every
+   alignment: the engine must refuse a chain pass it cannot afford and
+   fall back to per-block and per-instruction dispatch, never
+   overrunning the budget and never diverging from the oracle. *)
+let test_chain_fuel_straddle () =
+  let insns =
+    Insn.[
+      Mov (Long, Reg Registers.ECX, Imm 120);
+      Label "loop";
+      Alu (Add, Reg Registers.EAX, Imm 1);
+      Jmp "body";
+      Label "body";
+      Alu (Add, Reg Registers.EBX, Imm 3);
+      Alu (Sub, Reg Registers.ECX, Imm 1);
+      Cmp (Reg Registers.ECX, Imm 0);
+      Jcc (Gt, "loop");
+      Halt;
+    ]
+  in
+  (* 8 insns/iteration after a 2-insn prologue: the chain builds on the
+     64th head dispatch (≈ instruction 514), so this sweep covers fuel
+     running out before the build, on it, and at every offset inside
+     chained passes. *)
+  let full = check ~chain:true "chain-fuel/full" insns in
+  Alcotest.(check bool) "the sweep does reach chained execution" true
+    (Cpu.chain_count full > 0);
+  for fuel = 480 to 600 do
+    ignore
+      (check ~chain:true ~fuel (Printf.sprintf "chain-fuel=%d" fuel) insns
+        : Cpu.t)
+  done
+
+(* A computed Ret lands in the middle of a block that is a member of a
+   built chain: chains only start at head-block boundaries, so the
+   engine must step per-instruction from the landing point and
+   re-synchronise, exactly like the unchained mid-block entry. *)
+let test_ret_into_chained_block () =
+  let insns =
+    Insn.[
+      (* 0: Label main *)
+      Mov (Long, Reg Registers.ECX, Imm 200) (* 1 *);
+      Mov (Long, Reg Registers.EDX, Imm 0) (* 2 *);
+      Label "loop" (* 3 *);
+      Alu (Add, Reg Registers.EAX, Imm 1) (* 4 *);
+      Jmp "body" (* 5 *);
+      Label "body" (* 6 *);
+      Alu (Add, Reg Registers.EBX, Imm 2) (* 7 *);
+      Alu (Add, Reg Registers.EBX, Imm 3) (* 8: Ret target, mid-block *);
+      Alu (Sub, Reg Registers.ECX, Imm 1) (* 9 *);
+      Cmp (Reg Registers.ECX, Imm 0) (* 10 *);
+      Jcc (Gt, "loop") (* 11 *);
+      Cmp (Reg Registers.EDX, Imm 0) (* 12 *);
+      Jcc (Ne, "fin") (* 13 *);
+      Mov (Long, Reg Registers.EDX, Imm 1) (* 14 *);
+      Push (Imm 8) (* 15 *);
+      Ret (* 16 *);
+      Label "fin" (* 17 *);
+      Halt (* 18 *);
+    ]
+  in
+  let p = Program.link ~entry:"main" (Insn.Label "main" :: insns) in
+  Alcotest.(check int) "index 8 is mid-block (test premise)"
+    Program.no_block p.Program.block_at.(8);
+  let cpu = check ~chain:true "ret-into-chained" insns in
+  Alcotest.(check bool) "the loop did chain" true (Cpu.chain_count cpu > 0);
+  Alcotest.(check int) "loop iterations" 200
+    (Registers.get (Cpu.regs cpu) Registers.EAX);
+  Alcotest.(check int) "mid-entry ran the block suffix once" 1003
+    (Registers.get (Cpu.regs cpu) Registers.EBX)
+
 (* --- compile counters ---------------------------------------------------- *)
 
 let test_block_counters () =
@@ -383,6 +564,18 @@ let suite =
       test_fuel_mid_block;
     Alcotest.test_case "ret into the middle of a block" `Quick
       test_mid_block_entry;
+    Alcotest.test_case "chain forms and stays exact" `Quick
+      test_chain_forms_and_is_exact;
+    Alcotest.test_case "chaining off builds nothing" `Quick
+      test_chain_off_builds_nothing;
+    Alcotest.test_case "fault on first insn of chained successor" `Quick
+      test_chained_fault_first_insn;
+    Alcotest.test_case "fault on last insn of chained successor" `Quick
+      test_chained_fault_last_insn;
+    Alcotest.test_case "fuel straddling chained execution (sweep)" `Quick
+      test_chain_fuel_straddle;
+    Alcotest.test_case "ret into the middle of a chained block" `Quick
+      test_ret_into_chained_block;
     Alcotest.test_case "segreg reload vs memory fast path" `Quick
       test_segreg_reload_fast_path;
     Alcotest.test_case "tlb conflict eviction under fast path" `Quick

@@ -19,11 +19,13 @@
      the paper's mechanism exists to close.
 
    Both properties run under the predecoded AND the superblock
-   execution engine for every seed — the random fleet doubles as a
-   differential test of the engines themselves — with the reference
-   oracle joining on every 7th seed as a spot check (it is an order of
-   magnitude slower, and the dedicated oracle suite already covers it
-   densely). Within a seed, outputs must also agree across engines.
+   execution engine for every seed — the latter twice, with block
+   chaining on and off, so the fleet doubles as a differential test of
+   the engines AND of the chain/fusion machinery against its own
+   per-block fallback — with the reference oracle joining on every 7th
+   seed as a spot check (it is an order of magnitude slower, and the
+   dedicated oracle suite already covers it densely). Within a seed,
+   outputs must also agree across engines.
 
    Every case is deterministic (own PRNG state per seed), so a failure
    message naming the seed reproduces the program exactly. On top of
@@ -189,8 +191,8 @@ let faild ~seed ~what ~backend ~src ?run fmt =
       Alcotest.fail msg)
     fmt
 
-let run_backend ~seed ~what ~engine backend src =
-  match Core.exec ~engine backend src with
+let run_backend ~seed ~what ~engine ?chain backend src =
+  match Core.exec ~engine ?chain backend src with
   | r -> r
   | exception e ->
     faild ~seed ~what ~backend ~src "seed %d: %s under %s raised %s\n%s" seed
@@ -198,10 +200,16 @@ let run_backend ~seed ~what ~engine backend src =
       (Core.backend_name backend)
       (Printexc.to_string e) src
 
-(* Both fast engines on every seed; the reference oracle on every 7th. *)
+(* Both fast engines on every seed — the block engine with chaining on
+   AND off, so the fleet differentials the chain/fusion machinery
+   against its own per-block fallback on every program — with the
+   reference oracle joining on every 7th. *)
 let engines ~seed =
-  [ ("predecode", Machine.Cpu.Predecoded); ("block", Machine.Cpu.Block) ]
-  @ (if seed mod 7 = 0 then [ ("reference", Machine.Cpu.Reference) ] else [])
+  [ ("predecode", Machine.Cpu.Predecoded, None);
+    ("block", Machine.Cpu.Block, Some true);
+    ("block-nochain", Machine.Cpu.Block, Some false) ]
+  @ (if seed mod 7 = 0 then [ ("reference", Machine.Cpu.Reference, None) ]
+     else [])
 
 (* Property 1: on an in-bounds program all three compilers finish and
    print the same thing — under every engine, with identical output
@@ -219,11 +227,11 @@ let check_in_bounds seed =
    | _ -> ());
   let first_output = ref None in
   List.iter
-    (fun (ename, engine) ->
+    (fun (ename, engine, chain) ->
       let what = "in-bounds/" ^ ename in
-      let g = run_backend ~seed ~what ~engine Core.gcc src in
-      let b = run_backend ~seed ~what ~engine Core.bcc src in
-      let c = run_backend ~seed ~what ~engine Core.cash src in
+      let g = run_backend ~seed ~what ~engine ?chain Core.gcc src in
+      let b = run_backend ~seed ~what ~engine ?chain Core.bcc src in
+      let c = run_backend ~seed ~what ~engine ?chain Core.cash src in
       List.iter
         (fun (name, backend, r) ->
           if r.Core.status <> Core.Finished then
@@ -253,11 +261,11 @@ let check_in_bounds seed =
 let check_out_of_bounds seed =
   let src = gen ~seed ~oob:true in
   List.iter
-    (fun (ename, engine) ->
+    (fun (ename, engine, chain) ->
       let what = "oob/" ^ ename in
-      let g = run_backend ~seed ~what ~engine Core.gcc src in
-      let b = run_backend ~seed ~what ~engine Core.bcc src in
-      let c = run_backend ~seed ~what ~engine Core.cash src in
+      let g = run_backend ~seed ~what ~engine ?chain Core.gcc src in
+      let b = run_backend ~seed ~what ~engine ?chain Core.bcc src in
+      let c = run_backend ~seed ~what ~engine ?chain Core.cash src in
       if not (is_bound_violation b.Core.status) then
         faild ~seed ~what ~backend:Core.bcc ~src ~run:b
           "seed %d: bcc missed the overrun under %s (%s)\n%s" seed ename

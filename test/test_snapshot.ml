@@ -141,6 +141,50 @@ let test_mid_block_alignment_deterministic () =
   Alcotest.(check int) "already aligned = 0 steps" 0
     (Snapshot.align_to_block (Core.state_process s1))
 
+(* Block chains are a derived cache, not machine state: a snapshot
+   taken while the block engine is running hot chained code carries no
+   chain data (so the format needed no version bump), a restored
+   machine starts with zero chains and re-derives them from its own
+   branch-bias samples, and finishing under a never-chaining engine
+   from the same bytes lands on the same digest. *)
+let test_snapshot_mid_chain () =
+  let compiled = cash_matmul () in
+  let baseline = Core.run ~engine:Machine.Cpu.Reference compiled in
+  let state = Core.start ~engine:Machine.Cpu.Block compiled in
+  let process = Core.state_process state in
+  let cpu = Osim.Process.cpu process in
+  (* Run half the program with real (chain-building) dispatch, not
+     single-stepping: the interrupted run must be inside chained
+     execution when the snapshot is requested. *)
+  (try ignore (Osim.Process.run ~fuel:(baseline.Core.insns / 2) process
+                : Machine.Cpu.status)
+   with Machine.Cpu.Out_of_fuel -> ());
+  Alcotest.(check bool) "interrupted mid-run" true
+    (Machine.Cpu.status cpu = Machine.Cpu.Running);
+  Alcotest.(check bool) "chains are hot at the snapshot point" true
+    (Machine.Cpu.chain_count cpu > 0);
+  ignore (Snapshot.align_to_block process);
+  let bytes = Buffer.to_bytes (Core.save state) in
+  let restored = Core.restore ~engine:Machine.Cpu.Block compiled bytes in
+  let rcpu = Osim.Process.cpu (Core.state_process restored) in
+  Alcotest.(check int) "restored machine re-derives: zero chains on load" 0
+    (Machine.Cpu.chain_count rcpu);
+  let under_block = Core.finish restored in
+  Alcotest.(check bool) "chains re-derived while finishing" true
+    (Machine.Cpu.chain_count rcpu > 0);
+  let under_predecode =
+    Core.finish (Core.restore ~engine:Machine.Cpu.Predecoded compiled bytes)
+  in
+  Alcotest.(check string) "digest: chained finish = predecode finish"
+    (Core.state_digest (Core.state_of_run compiled under_block))
+    (Core.state_digest (Core.state_of_run compiled under_predecode));
+  Alcotest.(check string) "digest: = uninterrupted reference run"
+    (Core.state_digest (Core.state_of_run compiled baseline))
+    (Core.state_digest (Core.state_of_run compiled under_block));
+  Alcotest.(check int) "cycles" baseline.Core.cycles under_block.Core.cycles;
+  Alcotest.(check string) "output" baseline.Core.output
+    under_block.Core.output
+
 (* The TLB generation counter and the hidden segment-register caches —
    including a cache that disagrees with the current LDT, the stale-
    selector property Cash's segment reuse relies on — must survive a
@@ -309,6 +353,8 @@ let suite =
       test_cross_engine_resume;
     Alcotest.test_case "mid-block snapshot aligns deterministically" `Quick
       test_mid_block_alignment_deterministic;
+    Alcotest.test_case "mid-chain snapshot: chains re-derived on restore"
+      `Quick test_snapshot_mid_chain;
     Alcotest.test_case "TLB gen and hidden segreg caches survive" `Quick
       test_tlb_gen_and_hidden_caches_survive;
     Alcotest.test_case "truncated image fails with typed error" `Quick
