@@ -354,7 +354,17 @@ let run_reproduction ~experiments ~engine ~chain ~jobs ~traced ~quick
     ~print_tables =
   Core.set_default_engine engine;
   Core.set_chaining chain;
-  let aggregate = if traced then Some (Trace.create ()) else None in
+  let aggregate =
+    if traced then begin
+      (* Every sink created from here on — this aggregate and each
+         worker's per-job sink inside Harness.Suite — carries the
+         shipped checker plugins; worker states fold back into the
+         aggregate through Trace.merge_into. *)
+      Trace.set_auto_plugins Checkers.all;
+      Some (Trace.create ())
+    end
+    else None
+  in
   let blocks0 = Machine.Cpu.blocks_built () in
   let binsns0 = Machine.Cpu.block_insns_compiled () in
   let chains0 = Machine.Cpu.chains_built () in
@@ -404,6 +414,8 @@ let run_reproduction ~experiments ~engine ~chain ~jobs ~traced ~quick
     ~n_experiments:(List.length experiments) ~shape tp;
   (match aggregate with
    | Some s ->
+     Trace.set_auto_plugins [];
+     Trace.finish_plugins s;
      write_trace_json ~path:(Printf.sprintf "TRACE_%d.json" n) s;
      print_endline "\n== trace: top functions by attributed cycles ==";
      List.iteri
@@ -414,7 +426,23 @@ let run_reproduction ~experiments ~engine ~chain ~jobs ~traced ~quick
      print_endline "\n== trace: event counters ==";
      List.iter
        (fun (k, v) -> Printf.printf "%-28s %14d\n" k v)
-       (Trace.counters s)
+       (Trace.counters s);
+     let violations = Checkers.shipped_violations s in
+     print_endline "\n== trace: checker plugins ==";
+     List.iter
+       (fun name ->
+         let n =
+           List.length (List.filter (fun (c, _) -> c = name) violations)
+         in
+         Printf.printf "%-28s %s\n" name
+           (if n = 0 then "ok" else Printf.sprintf "%d violation(s)" n))
+       (Trace.plugin_names s);
+     if violations <> [] then begin
+       List.iter
+         (fun (c, m) -> Printf.eprintf "plugin violation: %s: %s\n" c m)
+         violations;
+       exit 1
+     end
    | None -> ());
   (reports, tp, shape)
 

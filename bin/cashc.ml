@@ -9,6 +9,11 @@
                                                          profile + hardware
                                                          event counters on
                                                          stderr
+     dune exec bin/cashc.exe -- --check prog.c         # traced run with the
+                                                         shipped checker
+                                                         plugins attached;
+                                                         exit 5 on a plugin
+                                                         violation
      dune exec bin/cashc.exe -- --replay s.snap prog.c # restore a machine
                                                          checkpoint of prog.c
                                                          (e.g. a differential
@@ -47,6 +52,16 @@ let profile =
          ~doc:"Run with a trace sink attached and print a flat per-function \
                cycle profile plus hardware event counters to stderr. \
                Simulated cycles are identical with and without this flag.")
+
+let check =
+  Arg.(value & flag &
+       info [ "check" ]
+         ~doc:"Run with the shipped checker plugins (bounds precision, \
+               stack smash, LDT slot reuse, fault/counter consistency) \
+               attached to the trace sink, print their report to stderr, \
+               and exit 5 if any plugin recorded a violation on an \
+               otherwise clean run. Composes with $(b,--profile); tracing \
+               never changes simulated behaviour.")
 
 let engine_conv =
   Arg.enum
@@ -107,7 +122,26 @@ let print_profile sink =
       violations
   end
 
-let run file backend stats dump_asm profile engine no_chain replay =
+(* The plugin report: one line per attached plugin, then every recorded
+   violation. Returns [true] when the run is clean. *)
+let print_check sink =
+  Trace.finish_plugins sink;
+  let violations = Checkers.shipped_violations sink in
+  Printf.eprintf "-- checker plugins --\n";
+  List.iter
+    (fun name ->
+      let n =
+        List.length (List.filter (fun (c, _) -> c = name) violations)
+      in
+      Printf.eprintf "%-24s %s\n" name
+        (if n = 0 then "ok" else Printf.sprintf "%d violation(s)" n))
+    (Trace.plugin_names sink);
+  List.iter
+    (fun (checker, msg) -> Printf.eprintf "%s: %s\n" checker msg)
+    violations;
+  violations = []
+
+let run file backend stats dump_asm profile check engine no_chain replay =
   let source = read_file file in
   if no_chain then Core.set_chaining false;
   match Core.compile backend source with
@@ -123,7 +157,12 @@ let run file backend stats dump_asm profile engine no_chain replay =
       0
     end
     else begin
-      let trace = if profile then Some (Trace.create ()) else None in
+      let trace =
+        if profile || check then Some (Trace.create ()) else None
+      in
+      (match trace with
+       | Some sink when check -> Checkers.attach_shipped sink
+       | _ -> ());
       match
         match replay with
         | None -> Ok (Core.run ~engine ?trace compiled)
@@ -139,10 +178,16 @@ let run file backend stats dump_asm profile engine no_chain replay =
         4
       | Ok r ->
       print_string r.Core.output;
-      (match trace with Some s -> print_profile s | None -> ());
+      let plugins_clean =
+        match trace with
+        | Some s ->
+          if profile then print_profile s;
+          if check then print_check s else true
+        | None -> true
+      in
       let exit_code =
         match r.Core.status with
-        | Core.Finished -> 0
+        | Core.Finished -> if plugins_clean then 0 else 5
         | Core.Bound_violation m ->
           Printf.eprintf "bound violation: %s\n" m; 2
         | Core.Crashed m ->
@@ -174,7 +219,7 @@ let run file backend stats dump_asm profile engine no_chain replay =
 let cmd =
   let doc = "compile and run mini-C on the simulated segmented x86" in
   Cmd.v (Cmd.info "cashc" ~doc)
-    Term.(const run $ file $ backend $ stats $ dump_asm $ profile $ engine
-          $ no_chain $ replay)
+    Term.(const run $ file $ backend $ stats $ dump_asm $ profile $ check
+          $ engine $ no_chain $ replay)
 
 let () = exit (Cmd.eval' cmd)

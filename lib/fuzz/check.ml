@@ -1,0 +1,207 @@
+(* The differential property, as a reusable predicate.
+
+   [check] runs one generated program through the three compilers
+   (gcc unchecked / bcc software fat pointers / cash segmentation
+   hardware) under a configurable engine matrix and judges the result:
+
+   - in bounds: all three finish with identical output, under every
+     engine, with identical output across engines — neither checker may
+     change observable semantics of a correct program;
+   - out of bounds, loop shape: bcc and cash BOTH report a bound
+     violation while gcc never does;
+   - out of bounds, straight-line shape: bcc reports a bound violation;
+     cash FINISHES with the baseline's (corrupted) output. That is the
+     paper's §3.8 policy — only references inside loops are checked —
+     and the fleet pins it as a {e known miss} ([Pass {known_miss =
+     true}]) rather than reporting a divergence. If cash ever starts
+     catching straight-line references, the pin fails loudly and the
+     policy model here must be updated, not silently absorbed.
+
+   Failures come back as a value ([Fail]) rather than an exception so
+   the same function serves as the shrinking predicate: a candidate
+   program "still fails" iff [check] on it is [Fail _].
+
+   With [~plugins:true] every cash run carries a fresh sink with the
+   shipped checker plugins attached ({!Checkers.attach_shipped}); any
+   plugin violation is a failure in its own right — the fleet then
+   cross-checks the simulated hardware itself, not just compiler
+   agreement.
+
+   [~force_fail:true] short-circuits the property into a failure on an
+   otherwise healthy program: CI's dump-and-replay drill uses it to
+   exercise the artifact path (and the shrinker, which under a
+   constantly-failing predicate reduces the program to near-nothing)
+   on demand. *)
+
+type failure = {
+  f_seed : int;
+  f_what : string;  (* property leg, e.g. "oob/block" *)
+  f_backend : Core.backend;
+  f_message : string;
+  f_src : string;
+  f_run : Core.run option;  (* the machine the offending run left, if any *)
+}
+
+type verdict = Pass of { known_miss : bool } | Fail of failure
+
+exception Failed of failure
+
+let status_name = function
+  | Core.Finished -> "finished"
+  | Core.Bound_violation m -> "bound_violation: " ^ m
+  | Core.Crashed m -> "crashed: " ^ m
+
+let is_bv = function Core.Bound_violation _ -> true | _ -> false
+
+(* One engine per program: the superblock engine with chaining, the
+   fleet's throughput configuration. *)
+let fast_engines = [ ("block", Machine.Cpu.Block, Some true) ]
+
+(* The full differential matrix of test/test_differential.ml: both fast
+   engines on every seed — the block engine with chaining on AND off —
+   with the reference oracle joining on every 7th seed. *)
+let all_engines ~seed =
+  [ ("predecode", Machine.Cpu.Predecoded, None);
+    ("block", Machine.Cpu.Block, Some true);
+    ("block-nochain", Machine.Cpu.Block, Some false) ]
+  @ (if seed mod 7 = 0 then [ ("reference", Machine.Cpu.Reference, None) ]
+     else [])
+
+let fail ~seed ~what ~backend ~src ?run fmt =
+  Printf.ksprintf
+    (fun msg ->
+      raise
+        (Failed
+           {
+             f_seed = seed;
+             f_what = what;
+             f_backend = backend;
+             f_message = msg;
+             f_src = src;
+             f_run = run;
+           }))
+    fmt
+
+let run_backend ~seed ~what ~engine ?chain ?trace backend src =
+  try Core.exec ~engine ?chain ?trace backend src with
+  | Failed _ as e -> raise e
+  | e ->
+    fail ~seed ~what ~backend ~src "seed %d: %s under %s raised %s" seed what
+      (Core.backend_name backend) (Printexc.to_string e)
+
+(* A cash run, optionally with the shipped plugins watching the
+   hardware event stream. Each run gets its own sink, so a violation
+   names the exact program and engine leg that provoked it. *)
+let run_cash ~plugins ~seed ~what ~engine ?chain src =
+  if not plugins then run_backend ~seed ~what ~engine ?chain Core.cash src
+  else begin
+    let sink = Trace.create () in
+    Checkers.attach_shipped sink;
+    let r =
+      run_backend ~seed ~what ~engine ?chain ~trace:sink Core.cash src
+    in
+    Trace.finish_plugins sink;
+    (match Checkers.shipped_violations sink with
+     | [] -> ()
+     | (checker, msg) :: _ as vs ->
+       fail ~seed ~what ~backend:Core.cash ~src ~run:r
+         "seed %d: %d plugin violation(s) under %s, first: [%s] %s" seed
+         (List.length vs) what checker msg);
+    r
+  end
+
+let check_in_bounds ~engines ~plugins ~seed src =
+  let first_output = ref None in
+  List.iter
+    (fun (ename, engine, chain) ->
+      let what = "in-bounds/" ^ ename in
+      let g = run_backend ~seed ~what ~engine ?chain Core.gcc src in
+      let b = run_backend ~seed ~what ~engine ?chain Core.bcc src in
+      let c = run_cash ~plugins ~seed ~what ~engine ?chain src in
+      List.iter
+        (fun (name, backend, r) ->
+          if r.Core.status <> Core.Finished then
+            fail ~seed ~what ~backend ~src ~run:r
+              "seed %d: %s did not finish under %s: %s" seed name ename
+              (status_name r.Core.status))
+        [ ("gcc", Core.gcc, g); ("bcc", Core.bcc, b); ("cash", Core.cash, c) ];
+      if b.Core.output <> g.Core.output then
+        fail ~seed ~what ~backend:Core.bcc ~src ~run:b
+          "seed %d: bcc output %S <> gcc output %S (%s)" seed b.Core.output
+          g.Core.output ename;
+      if c.Core.output <> g.Core.output then
+        fail ~seed ~what ~backend:Core.cash ~src ~run:c
+          "seed %d: cash output %S <> gcc output %S (%s)" seed c.Core.output
+          g.Core.output ename;
+      match !first_output with
+      | None -> first_output := Some g.Core.output
+      | Some out ->
+        if g.Core.output <> out then
+          fail ~seed ~what ~backend:Core.gcc ~src ~run:g
+            "seed %d: output differs across engines at %s" seed ename)
+    engines
+
+let check_oob ~engines ~plugins ~seed prog src =
+  let direct = Gen.oob_is_direct prog.Gen.oob in
+  List.iter
+    (fun (ename, engine, chain) ->
+      let what = (if direct then "oob-direct/" else "oob/") ^ ename in
+      let g = run_backend ~seed ~what ~engine ?chain Core.gcc src in
+      let b = run_backend ~seed ~what ~engine ?chain Core.bcc src in
+      let c = run_cash ~plugins ~seed ~what ~engine ?chain src in
+      if not (is_bv b.Core.status) then
+        fail ~seed ~what ~backend:Core.bcc ~src ~run:b
+          "seed %d: bcc missed the overrun under %s (%s)" seed ename
+          (status_name b.Core.status);
+      if is_bv g.Core.status then
+        fail ~seed ~what ~backend:Core.gcc ~src ~run:g
+          "seed %d: gcc reported a bound violation it cannot detect under %s \
+           (%s)"
+          seed ename
+          (status_name g.Core.status);
+      if direct then begin
+        (* The known miss, pinned: straight-line references are
+           unchecked by policy, so like the baseline cash runs straight
+           through the overrun. Output equality with gcc is NOT part of
+           the pin — an out-of-bounds read has no defined value and the
+           two backends lay out data differently, so each corrupts (or
+           reads) its own neighbour. *)
+        if is_bv c.Core.status then
+          fail ~seed ~what ~backend:Core.cash ~src ~run:c
+            "seed %d: cash caught a straight-line overrun under %s — §3.8 \
+             loop-only policy says it cannot; update the policy model"
+            seed ename;
+        if c.Core.status <> Core.Finished then
+          fail ~seed ~what ~backend:Core.cash ~src ~run:c
+            "seed %d: cash did not finish on a straight-line overrun under \
+             %s (%s)"
+            seed ename
+            (status_name c.Core.status)
+      end
+      else if not (is_bv c.Core.status) then
+        fail ~seed ~what ~backend:Core.cash ~src ~run:c
+          "seed %d: cash missed the overrun under %s (%s)" seed ename
+          (status_name c.Core.status))
+    engines
+
+let check ?(engines = fast_engines) ?(plugins = false) ?(force_fail = false)
+    ~seed prog =
+  let src = Gen.render prog in
+  try
+    if force_fail then begin
+      let what = "in-bounds/forced" in
+      let run =
+        match Core.exec ~engine:Machine.Cpu.Predecoded Core.cash src with
+        | r -> Some r
+        | exception _ -> None
+      in
+      fail ~seed ~what ~backend:Core.cash ~src ?run
+        "seed %d: forced failure (CASH_DIFF_FORCE_FAIL)" seed
+    end;
+    (match prog.Gen.oob with
+     | None -> check_in_bounds ~engines ~plugins ~seed src
+     | Some _ -> check_oob ~engines ~plugins ~seed prog src);
+    Pass { known_miss = Gen.oob_is_direct prog.Gen.oob }
+  with Failed f -> Fail f
+
+let failed verdict = match verdict with Fail _ -> true | Pass _ -> false

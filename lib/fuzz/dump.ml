@@ -1,0 +1,63 @@
+(* Crash artifacts for failing fleet cases.
+
+   A failure dumps three files under [dir]: the generated source
+   ([seed_N.c]), a lib/snapshot checkpoint of the machine the offending
+   run left behind ([seed_N.snap], when a machine exists — a
+   compile-time failure has none), and a metadata file ([seed_N.txt])
+   whose [replay:] line is a ready-to-run `cashc --replay` command.
+   The shrunk reproducer rides next to the original with a [?suffix]
+   (conventionally ".min").
+
+   Dumping must never mask the failure it is recording, so every
+   filesystem (or snapshot) error only warns on stderr and returns the
+   empty artifact list. *)
+
+(* [Sys.mkdir] is single-level; a dump directory like
+   "artifacts/fuzz/run1" has to be built parent-first. Racing creators
+   are fine: an EEXIST surfacing as [Sys_error] is swallowed and the
+   final existence check below decides. *)
+let rec mkdir_p dir =
+  if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
+  else begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  output_string oc contents;
+  close_out oc
+
+(* Returns the paths written, [] if nothing could be. [run] is the
+   machine the offending run left behind, when one exists. *)
+let dump_failure ~dir ~seed ?(suffix = "") ~what ~backend ~src run =
+  try
+    mkdir_p dir;
+    if not (Sys.file_exists dir) then
+      failwith (Printf.sprintf "could not create %s" dir);
+    let base = Filename.concat dir (Printf.sprintf "seed_%d%s" seed suffix) in
+    write_file (base ^ ".c") src;
+    let snapped =
+      match run with
+      | None -> false
+      | Some (r : Core.run) ->
+        let state = Core.state_of_run (Core.compile backend src) r in
+        write_file (base ^ ".snap") (Buffer.contents (Core.save state));
+        true
+    in
+    write_file (base ^ ".txt")
+      (Printf.sprintf
+         "seed: %d\nproperty: %s\nbackend: %s\nreplay: cashc --compiler %s%s \
+          %s.c\n"
+         seed what
+         (Core.backend_name backend)
+         (Core.backend_name backend)
+         (if snapped then Printf.sprintf " --replay %s.snap" base else "")
+         base);
+    [ base ^ ".c" ]
+    @ (if snapped then [ base ^ ".snap" ] else [])
+    @ [ base ^ ".txt" ]
+  with e ->
+    Printf.eprintf "fuzz dump failed for seed %d: %s\n%!" seed
+      (Printexc.to_string e);
+    []

@@ -1,0 +1,314 @@
+(* Structured mini-C program generator.
+
+   Programs are generated as a small typed STRUCTURE — arrays, helper
+   functions, a list of operations, and an optional injected
+   out-of-bounds access — and only then rendered to source. The
+   structure is what makes shrinking work: dropping an op or shrinking
+   an array is an edit to the structure, and [render] re-derives
+   everything implied by it (which arrays are declared, which helpers
+   are emitted, which arrays are folded into the final checksum), so
+   every shrunk candidate is a well-formed program by construction.
+
+   In-bounds-ness is also by construction: [render] clamps every
+   in-bounds access to the (current) array size, so a shrinking pass
+   that halves an array cannot accidentally turn a correct program
+   into an overrunning one. The injected overrun is the only
+   out-of-bounds access, and it stays out of bounds under any size.
+
+   Overrun shapes cover BOTH sides of Cash's checking policy (§3.8:
+   the compiler checks references inside loops only):
+
+   - the three loop shapes (store / load / pointer walk) run 1-3
+     elements past the end and MUST be caught by bcc and cash alike;
+   - the two direct shapes (straight-line store / load at a constant
+     out-of-bounds index) must be caught by bcc, while cash misses
+     them BY POLICY — the harness verifies that miss honestly (see
+     [Check]) instead of reporting it as a divergence.
+
+   Overruns stay small (≤ [64] ints past the end, inside the zpad
+   landing pad) so the unchecked baseline corrupts silently instead of
+   crashing — exactly the failure mode the paper's mechanism closes. *)
+
+type arr = { a_id : int; size : int }
+
+type helper_kind = Hsum | Hdot | Hwstore
+
+type helper = { h_id : int; h_kind : helper_kind; h_k : int }
+
+type op =
+  | Fill of { a : int; mult : int; add : int }
+  | Sum of { a : int }
+  | Nested of { a : int; b : int }
+  | Ptr_walk of { a : int }
+  | Offset_read of { a : int; base : int; off : int }
+  | Cond_store of { a : int; i0 : int; i1 : int }
+  | Alias_mix of { a : int; gap : int; n : int }
+  | Call1 of { h : int; a : int; n : int }  (* Hsum/Hwstore helper *)
+  | Call2 of { h : int; a : int; b : int; n : int }  (* Hdot helper *)
+
+type oob_shape =
+  | O_loop_store
+  | O_loop_load
+  | O_loop_ptr
+  | O_direct_store
+  | O_direct_load
+
+type oob = { shape : oob_shape; o_arr : int; past : int }
+
+type prog = {
+  arrays : arr list;
+  helpers : helper list;
+  ops : op list;
+  oob : oob option;
+}
+
+(* Is the injected overrun a straight-line reference — the shape Cash
+   leaves unchecked by policy? *)
+let oob_is_direct = function
+  | Some { shape = O_direct_store | O_direct_load; _ } -> true
+  | Some _ | None -> false
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let arrays_of_op = function
+  | Fill { a; _ } | Sum { a } | Ptr_walk { a } | Offset_read { a; _ }
+  | Cond_store { a; _ } | Alias_mix { a; _ } | Call1 { a; _ } ->
+    [ a ]
+  | Nested { a; b } | Call2 { a; b; _ } -> [ a; b ]
+
+let helper_of_op = function
+  | Call1 { h; _ } | Call2 { h; _ } -> Some h
+  | _ -> None
+
+(* Arrays/helpers actually referenced by the program, in id order.
+   [render] declares exactly these, so structural shrinking of the op
+   list shrinks the declarations with it. *)
+let live_arrays p =
+  let refs =
+    List.concat_map arrays_of_op p.ops
+    @ (match p.oob with Some { o_arr; _ } -> [ o_arr ] | None -> [])
+  in
+  List.filter (fun a -> List.mem a.a_id refs) p.arrays
+
+let live_helpers p =
+  let refs = List.filter_map helper_of_op p.ops in
+  List.filter (fun h -> List.mem h.h_id refs) p.helpers
+
+let find_arr p id =
+  match List.find_opt (fun a -> a.a_id = id) p.arrays with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Gen: op references array g%d" id)
+
+let clamp lo hi v = max lo (min hi v)
+
+let render_helper buf h =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  match h.h_kind with
+  | Hsum ->
+    pr
+      "int h%d(int *p, int n) {\n\
+      \  int i; int s; s = 0;\n\
+      \  for (i = 0; i < n; i = i + 1) s = (s + p[i] * %d) %% 9973;\n\
+      \  return s;\n\
+       }\n"
+      h.h_id h.h_k
+  | Hdot ->
+    pr
+      "int h%d(int *p, int *q, int n) {\n\
+      \  int i; int s; s = 0;\n\
+      \  for (i = 0; i < n; i = i + 1) s = (s + p[i] * q[i] + %d) %% 9973;\n\
+      \  return s;\n\
+       }\n"
+      h.h_id h.h_k
+  | Hwstore ->
+    pr
+      "int h%d(int *p, int n) {\n\
+      \  int i;\n\
+      \  for (i = 0; i < n; i = i + 1) p[i] = (p[i] * %d + i) %% 97;\n\
+      \  return n;\n\
+       }\n"
+      h.h_id h.h_k
+
+let render_op p buf op =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let g id = Printf.sprintf "g%d" id in
+  match op with
+  | Fill { a; mult; add } ->
+    let s = (find_arr p a).size in
+    pr "  for (i = 0; i < %d; i = i + 1) %s[i] = (i * %d + %d) %% 97;\n" s
+      (g a) mult add
+  | Sum { a } ->
+    let s = (find_arr p a).size in
+    pr "  for (i = 0; i < %d; i = i + 1) acc = (acc + %s[i]) %% 9973;\n" s (g a)
+  | Nested { a; b } ->
+    let sa = (find_arr p a).size and sb = (find_arr p b).size in
+    pr
+      "  for (i = 0; i < %d; i = i + 1)\n\
+      \    for (j = 0; j < %d; j = j + 1)\n\
+      \      acc = (acc + %s[i] * %s[j]) %% 9973;\n"
+      sa sb (g a) (g b)
+  | Ptr_walk { a } ->
+    let s = (find_arr p a).size in
+    pr
+      "  {\n\
+      \    int *p = %s;\n\
+      \    for (i = 0; i < %d; i = i + 1) { acc = (acc + *p) %% 9973; p = p + \
+       1; }\n\
+      \  }\n"
+      (g a) s
+  | Offset_read { a; base; off } ->
+    let s = (find_arr p a).size in
+    let base = clamp 0 (s - 1) base in
+    let off = clamp 0 (s - 1 - base) off in
+    pr "  { int *p = %s + %d; acc = (acc + p[%d]) %% 9973; }\n" (g a) base off
+  | Cond_store { a; i0; i1 } ->
+    let s = (find_arr p a).size in
+    let i0 = clamp 0 (s - 1) i0 and i1 = clamp 0 (s - 1) i1 in
+    pr "  if (%s[%d] > 40) %s[%d] = acc %% 89; else %s[%d] = (acc + 7) %% 89;\n"
+      (g a) i0 (g a) i1 (g a) i1
+  | Alias_mix { a; gap; n } ->
+    let s = (find_arr p a).size in
+    let gap = clamp 0 (s - 1) gap in
+    let n = clamp 1 (s - gap) n in
+    pr
+      "  {\n\
+      \    int *p = %s;\n\
+      \    int *q = %s + %d;\n\
+      \    for (i = 0; i < %d; i = i + 1) { *p = (*p + *q * 3) %% 97; p = p + \
+       1; q = q + 1; }\n\
+      \  }\n"
+      (g a) (g a) gap n
+  | Call1 { h; a; n } ->
+    let s = (find_arr p a).size in
+    let n = clamp 1 s n in
+    pr "  acc = (acc + h%d(%s, %d)) %% 9973;\n" h (g a) n
+  | Call2 { h; a; b; n } ->
+    let sa = (find_arr p a).size and sb = (find_arr p b).size in
+    let n = clamp 1 (min sa sb) n in
+    pr "  acc = (acc + h%d(%s, %s, %d)) %% 9973;\n" h (g a) (g b) n
+
+let render_oob p buf { shape; o_arr; past } =
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let a = find_arr p o_arr in
+  let g = Printf.sprintf "g%d" a.a_id in
+  match shape with
+  | O_loop_store ->
+    pr "  for (i = 0; i <= %d; i = i + 1) %s[i] = i;\n" (a.size + past) g
+  | O_loop_load ->
+    pr "  for (i = 0; i <= %d; i = i + 1) acc = (acc + %s[i]) %% 9973;\n"
+      (a.size + past) g
+  | O_loop_ptr ->
+    pr
+      "  {\n\
+      \    int *p = %s;\n\
+      \    for (i = 0; i <= %d; i = i + 1) { acc = acc + *p; p = p + 1; }\n\
+      \  }\n"
+      g (a.size + past)
+  | O_direct_store -> pr "  %s[%d] = 77;\n" g (a.size + past)
+  | O_direct_load -> pr "  acc = (acc + %s[%d]) %% 9973;\n" g (a.size + past)
+
+let render p =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let live = live_arrays p in
+  List.iter (fun a -> pr "int g%d[%d];\n" a.a_id a.size) live;
+  (* Landing pad: keeps the baseline's small overruns inside the data
+     section (declaration order is layout order), so gcc corrupts
+     silently rather than faulting. *)
+  if p.oob <> None && live <> [] then pr "int zpad[64];\n";
+  List.iter (render_helper buf) (live_helpers p);
+  pr "int main() {\n  int i; int j; int acc = 0;\n";
+  List.iter (render_op p buf) p.ops;
+  (* Fold every live array back into the checksum so stores above are
+     observable in the printed output. *)
+  List.iter
+    (fun a ->
+      pr "  for (i = 0; i < %d; i = i + 1) acc = (acc * 31 + g%d[i]) %% 99991;\n"
+        a.size a.a_id)
+    live;
+  (match p.oob with
+   | Some oob when live_arrays p <> [] -> render_oob p buf oob
+   | _ -> ());
+  pr "  print_int(acc);\n  return 0;\n}\n";
+  Buffer.contents buf
+
+(* --- generation ---------------------------------------------------------- *)
+
+(* One program, from its own PRNG state: same seed, same program —
+   a reported seed reproduces the failing program exactly. *)
+let gen_program st ~oob =
+  let n_arrays = 1 + Random.State.int st 3 in
+  let arrays =
+    List.init n_arrays (fun i -> { a_id = i; size = 4 + Random.State.int st 21 })
+  in
+  let n_helpers = Random.State.int st 3 in
+  let helpers =
+    List.init n_helpers (fun i ->
+        let h_kind =
+          match Random.State.int st 3 with
+          | 0 -> Hsum
+          | 1 -> Hdot
+          | _ -> Hwstore
+        in
+        { h_id = i; h_kind; h_k = 2 + Random.State.int st 7 })
+  in
+  let pick_arr () = Random.State.int st n_arrays in
+  let size_of id = (List.nth arrays id).size in
+  let fills =
+    List.mapi
+      (fun k a ->
+        Fill { a = a.a_id; mult = 3 + (2 * k); add = 1 + Random.State.int st 50 })
+      arrays
+  in
+  let n_ops = 2 + Random.State.int st 5 in
+  let gen_op () =
+    match Random.State.int st 8 with
+    | 0 -> Sum { a = pick_arr () }
+    | 1 -> Nested { a = pick_arr (); b = pick_arr () }
+    | 2 -> Ptr_walk { a = pick_arr () }
+    | 3 ->
+      let a = pick_arr () in
+      let s = size_of a in
+      let base = Random.State.int st s in
+      Offset_read { a; base; off = Random.State.int st (s - base) }
+    | 4 ->
+      let a = pick_arr () in
+      let s = size_of a in
+      Cond_store { a; i0 = Random.State.int st s; i1 = Random.State.int st s }
+    | 5 ->
+      let a = pick_arr () in
+      let s = size_of a in
+      let gap = Random.State.int st s in
+      Alias_mix { a; gap; n = 1 + Random.State.int st (max 1 (s - gap)) }
+    | _ when helpers = [] -> Sum { a = pick_arr () }
+    | _ -> (
+      let h = List.nth helpers (Random.State.int st n_helpers) in
+      match h.h_kind with
+      | Hsum | Hwstore ->
+        let a = pick_arr () in
+        Call1 { h = h.h_id; a; n = 1 + Random.State.int st (size_of a) }
+      | Hdot ->
+        let a = pick_arr () and b = pick_arr () in
+        let s = min (size_of a) (size_of b) in
+        Call2 { h = h.h_id; a; b; n = 1 + Random.State.int st s })
+  in
+  let ops = fills @ List.init n_ops (fun _ -> gen_op ()) in
+  let oob =
+    if not oob then None
+    else
+      let o_arr = pick_arr () in
+      let past = Random.State.int st 3 in
+      let shape =
+        match Random.State.int st 5 with
+        | 0 -> O_loop_store
+        | 1 -> O_loop_load
+        | 2 -> O_loop_ptr
+        | 3 -> O_direct_store
+        | _ -> O_direct_load
+      in
+      Some { shape; o_arr; past }
+  in
+  { arrays; helpers; ops; oob }
+
+let generate ~seed ~oob =
+  gen_program (Random.State.make [| 0xC0DE; seed |]) ~oob

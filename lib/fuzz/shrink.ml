@@ -1,0 +1,69 @@
+(* Greedy structural shrinking.
+
+   [minimize ~pred prog] takes a program for which [pred] holds ("still
+   fails the differential property") and returns a smaller one for
+   which it still holds. Candidates are STRUCTURAL edits — drop the
+   injected overrun, drop one operation, shrink an array, pull the
+   overrun distance to zero — generated in a fixed order, and the first
+   candidate that keeps failing restarts the search from itself
+   (first-improvement greedy descent to a fixpoint). Everything about
+   the process is deterministic, so the same seed always shrinks to the
+   byte-identical reproducer.
+
+   Every candidate strictly decreases the measure (op count, overrun
+   presence, total array size, overrun distance), so the descent
+   terminates; and because [Gen.render] clamps all in-bounds accesses
+   to the current array sizes, no size edit can turn an in-bounds
+   program into an out-of-bounds one — the predicate keeps measuring
+   the ORIGINAL failure, not one the shrinker invented. *)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let resize (p : Gen.prog) id size =
+  {
+    p with
+    Gen.arrays =
+      List.map
+        (fun (a : Gen.arr) -> if a.a_id = id then { a with size } else a)
+        p.Gen.arrays;
+  }
+
+(* All one-step smaller programs, most aggressive first: removing whole
+   operations (and with them, via [Gen.render]'s liveness, whole arrays
+   and helpers) beats nudging sizes. *)
+let candidates (p : Gen.prog) =
+  let drop_ops =
+    List.init (List.length p.Gen.ops) (fun i ->
+        { p with Gen.ops = drop_nth p.Gen.ops i })
+  in
+  let drop_oob =
+    match p.Gen.oob with
+    | Some _ -> [ { p with Gen.oob = None } ]
+    | None -> []
+  in
+  let shrink_sizes =
+    List.concat_map
+      (fun (a : Gen.arr) ->
+        (if a.size > 4 then [ resize p a.a_id 4 ] else [])
+        @ (if a.size / 2 > 4 then [ resize p a.a_id (a.size / 2) ] else []))
+      p.Gen.arrays
+  in
+  let shrink_past =
+    match p.Gen.oob with
+    | Some o when o.Gen.past > 0 ->
+      [ { p with Gen.oob = Some { o with Gen.past = 0 } } ]
+    | _ -> []
+  in
+  drop_ops @ drop_oob @ shrink_sizes @ shrink_past
+
+let minimize ~pred (p : Gen.prog) =
+  if not (pred p) then p
+  else
+    let rec go p =
+      (* [find_opt] evaluates [pred] lazily in candidate order, so this
+         is first-improvement, not best-of-round. *)
+      match List.find_opt pred (candidates p) with
+      | Some smaller -> go smaller
+      | None -> p
+    in
+    go p

@@ -164,194 +164,8 @@ module Histogram = struct
     !acc
 end
 
-(* --- the sink ----------------------------------------------------------- *)
-
-type sink = {
-  counters : int array;           (* indexed by kind_index *)
-  ring : event option array;      (* circular buffer of recent events *)
-  capacity : int;
-  mutable head : int;             (* next write position *)
-  mutable total : int;            (* events emitted, ever *)
-  mutable checkers : (string * (event -> unit)) list;
-  mutable violation_log : (string * string) list; (* newest first *)
-  reload_interval : Histogram.t;
-  mutable checks_at_last_reload : int;
-  (* (symbol -> insns, cycles), merged in by the profiler *)
-  attribution : (string, int ref * int ref) Hashtbl.t;
-  (* (Jcc site -> taken, fall-through retires), merged in by the block
-     engine's chaining machinery — the statistics its chain-layout
-     decisions were made from, exported for offline inspection *)
-  branch_bias : (int, int ref * int ref) Hashtbl.t;
-}
-
-let create ?(capacity = 4096) () =
-  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
-  {
-    counters = Array.make num_kinds 0;
-    ring = Array.make capacity None;
-    capacity;
-    head = 0;
-    total = 0;
-    checkers = [];
-    violation_log = [];
-    reload_interval = Histogram.create ();
-    checks_at_last_reload = 0;
-    attribution = Hashtbl.create 31;
-    branch_bias = Hashtbl.create 31;
-  }
-
-let count t kind = t.counters.(kind_index kind)
-
-let emit t ev =
-  let k = kind_of_event ev in
-  let ki = kind_index k in
-  t.counters.(ki) <- t.counters.(ki) + 1;
-  (match ev with
-   | Tlb_miss { evicted = true; _ } ->
-     let e = kind_index K_tlb_evict in
-     t.counters.(e) <- t.counters.(e) + 1
-   | Segreg_load _ ->
-     (* Reload-rate metric: how many limit checks ran since the previous
-        segment-register load. *)
-     let checks =
-       t.counters.(kind_index K_limit_check_pass)
-       + t.counters.(kind_index K_limit_check_fail)
-     in
-     Histogram.add t.reload_interval (checks - t.checks_at_last_reload);
-     t.checks_at_last_reload <- checks
-   | _ -> ());
-  t.ring.(t.head) <- Some ev;
-  t.head <- (t.head + 1) mod t.capacity;
-  t.total <- t.total + 1;
-  match t.checkers with
-  | [] -> ()
-  | cs -> List.iter (fun (_, f) -> f ev) cs
-
-let counters t =
-  List.filter_map
-    (fun k ->
-      let c = count t k in
-      if c > 0 then Some (kind_name k, c) else None)
-    all_kinds
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-let events t =
-  (* Oldest-first: the ring wraps at [head]. *)
-  let acc = ref [] in
-  for i = t.capacity - 1 downto 0 do
-    match t.ring.((t.head + i) mod t.capacity) with
-    | Some ev -> acc := ev :: !acc
-    | None -> ()
-  done;
-  !acc
-
-let total_events t = t.total
-let dropped t = max 0 (t.total - t.capacity)
-let reload_interval t = t.reload_interval
-
-let add_checker t ~name f = t.checkers <- t.checkers @ [ (name, f) ]
-
-let violation t ~checker msg =
-  t.violation_log <- (checker, msg) :: t.violation_log
-
-let violations t = List.rev t.violation_log
-
-let add_attribution t sym ~insns ~cycles =
-  match Hashtbl.find_opt t.attribution sym with
-  | Some (i, c) ->
-    i := !i + insns;
-    c := !c + cycles
-  | None -> Hashtbl.add t.attribution sym (ref insns, ref cycles)
-
-let attributions t =
-  Hashtbl.fold (fun sym (i, c) acc -> (sym, !i, !c) :: acc) t.attribution []
-  |> List.sort (fun (na, _, ca) (nb, _, cb) ->
-         match compare cb ca with 0 -> String.compare na nb | n -> n)
-
-let add_branch_bias t ~site ~taken ~not_taken =
-  match Hashtbl.find_opt t.branch_bias site with
-  | Some (tk, fl) ->
-    tk := !tk + taken;
-    fl := !fl + not_taken
-  | None -> Hashtbl.add t.branch_bias site (ref taken, ref not_taken)
-
-let branch_bias t =
-  Hashtbl.fold (fun site (tk, fl) acc -> (site, !tk, !fl) :: acc) t.branch_bias []
-  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
-
-(* Ten-bucket histogram of per-site taken share: bucket [i] counts the
-   sites whose taken fraction lies in [i*10%, (i+1)*10%) — 100% lands
-   in the last bucket. A chainable site shows up at the edges. *)
-let branch_bias_histogram t =
-  let buckets = Array.make 10 0 in
-  Hashtbl.iter
-    (fun _ (tk, fl) ->
-      let total = !tk + !fl in
-      if total > 0 then begin
-        let b = min 9 (!tk * 10 / total) in
-        buckets.(b) <- buckets.(b) + 1
-      end)
-    t.branch_bias;
-  buckets
-
-(* Fold one finished sink into another, for aggregating the per-job
-   sinks of a parallel run after the barrier. Counters, the
-   reload-interval histogram, attribution, and the emitted-event totals
-   sum exactly; [src]'s surviving ring events and violations are
-   appended after [into]'s in [src]-emission order, so merging per-job
-   sinks in job order is deterministic. [into]'s checkers are NOT run
-   on the merged events: merging is aggregation, not emission. Both
-   sinks are expected to be quiescent (their runs finished) — the
-   reload-interval boundary state is not carried over, so a sink that
-   keeps emitting after being merged into would start a fresh interval. *)
-let merge_into ~into src =
-  Array.iteri
-    (fun i c -> into.counters.(i) <- into.counters.(i) + c)
-    src.counters;
-  List.iter
-    (fun ev ->
-      into.ring.(into.head) <- Some ev;
-      into.head <- (into.head + 1) mod into.capacity)
-    (events src);
-  into.total <- into.total + src.total;
-  Histogram.merge_into ~into:into.reload_interval src.reload_interval;
-  (* [violation_log] is newest-first; prepending the reversed oldest-first
-     view keeps "into's violations, then src's" once re-reversed. *)
-  into.violation_log <- List.rev_append (violations src) into.violation_log;
-  Hashtbl.iter
-    (fun sym (i, c) -> add_attribution into sym ~insns:!i ~cycles:!c)
-    src.attribution;
-  Hashtbl.iter
-    (fun site (tk, fl) ->
-      add_branch_bias into ~site ~taken:!tk ~not_taken:!fl)
-    src.branch_bias
-
-(* --- pretty-printing ---------------------------------------------------- *)
-
-let ldt_path_name = function
-  | Slow_syscall -> "modify_ldt"
-  | Call_gate -> "cash_modify_ldt"
-
-let pp_event ppf = function
-  | Segreg_load { reg; selector } ->
-    Fmt.pf ppf "segreg_load %s <- 0x%04x" reg selector
-  | Limit_check { seg; base; offset; size; write; ok } ->
-    Fmt.pf ppf "limit_check %s base=0x%x offset=0x%x size=%d %s %s" seg base
-      offset size
-      (if write then "write" else "read")
-      (if ok then "pass" else "FAIL")
-  | Fault { detail; _ } -> Fmt.pf ppf "fault %s" detail
-  | Tlb_hit -> Fmt.string ppf "tlb_hit"
-  | Tlb_miss { page; evicted } ->
-    Fmt.pf ppf "tlb_miss page=0x%x%s" page (if evicted then " (evict)" else "")
-  | Ldt_update { path; index; cleared } ->
-    Fmt.pf ppf "ldt_update via %s index=%d %s" (ldt_path_name path) index
-      (if cleared then "clear" else "set")
-  | Call_gate_entry { selector } ->
-    Fmt.pf ppf "call_gate_entry 0x%04x" selector
-  | Context_switch { pid } -> Fmt.pf ppf "context_switch pid=%d" pid
-
-(* --- JSON export -------------------------------------------------------- *)
+(* --- JSON values: defined before the sink so plugin specs can
+   reference [Json.t] in their report signatures ------------------------ *)
 
 module Json = struct
   type t =
@@ -594,6 +408,307 @@ module Json = struct
   let to_string_opt = function Str s -> Some s | _ -> None
 end
 
+(* --- the sink and the plugin layer --------------------------------------- *)
+
+(* Per-plugin state is heterogeneous: each plugin module extends this
+   open type with its own constructor and pattern-matches it back out
+   in its callbacks (the idiomatic OCaml rendering of Checkbochs'
+   per-plugin void pointer). *)
+type plugin_state = ..
+
+type sink = {
+  counters : int array;           (* indexed by kind_index *)
+  ring : event option array;      (* circular buffer of recent events *)
+  capacity : int;
+  mutable head : int;             (* next write position *)
+  mutable total : int;            (* events emitted, ever *)
+  mutable checkers : (string * (event -> unit)) list;
+  mutable violation_log : (string * string) list; (* newest first *)
+  reload_interval : Histogram.t;
+  mutable checks_at_last_reload : int;
+  (* (symbol -> insns, cycles), merged in by the profiler *)
+  attribution : (string, int ref * int ref) Hashtbl.t;
+  (* (Jcc site -> taken, fall-through retires), merged in by the block
+     engine's chaining machinery — the statistics its chain-layout
+     decisions were made from, exported for offline inspection *)
+  branch_bias : (int, int ref * int ref) Hashtbl.t;
+  (* instantiated plugins, in attach order; fed by [emit] after the
+     inline checkers *)
+  mutable plugins : plugin_instance list;
+}
+
+and plugin_instance = {
+  i_spec : plugin_spec;
+  mutable i_state : plugin_state;
+  mutable i_finished : bool;
+}
+
+and plugin_spec = {
+  p_name : string;
+  p_doc : string;
+  p_init : unit -> plugin_state;
+  p_on_event : sink -> plugin_state -> event -> unit;
+  p_at_finish : sink -> plugin_state -> unit;
+  p_merge : into:plugin_state -> plugin_state -> unit;
+  p_to_json : plugin_state -> Json.t;
+}
+
+module Plugin = struct
+  type spec = plugin_spec = {
+    p_name : string;
+    p_doc : string;
+    p_init : unit -> plugin_state;
+    p_on_event : sink -> plugin_state -> event -> unit;
+    p_at_finish : sink -> plugin_state -> unit;
+    p_merge : into:plugin_state -> plugin_state -> unit;
+    p_to_json : plugin_state -> Json.t;
+  }
+
+  (* The global registry: CLIs resolve --check=<name> against it. An
+     atomic snapshot list, so registration from any domain is safe;
+     re-registering a name replaces the old spec (latest wins). *)
+  let registry : spec list Atomic.t = Atomic.make []
+
+  let rec register spec =
+    let old = Atomic.get registry in
+    let cleaned = List.filter (fun s -> s.p_name <> spec.p_name) old in
+    if not (Atomic.compare_and_set registry old (cleaned @ [ spec ])) then
+      register spec
+
+  let find name =
+    List.find_opt (fun s -> s.p_name = name) (Atomic.get registry)
+
+  let registered () =
+    List.sort
+      (fun a b -> String.compare a.p_name b.p_name)
+      (Atomic.get registry)
+end
+
+(* Plugins attached to every subsequently created sink — how a parallel
+   harness whose workers create their own sinks (lib/harness/suite.ml)
+   gets the same plugin set on each of them without threading a list
+   through every layer. Process-wide; set it before fanning out. *)
+let auto_plugins : plugin_spec list Atomic.t = Atomic.make []
+let set_auto_plugins specs = Atomic.set auto_plugins specs
+
+let attach t (spec : plugin_spec) =
+  if List.exists (fun i -> i.i_spec.p_name = spec.p_name) t.plugins then
+    invalid_arg ("Trace.attach: plugin already attached: " ^ spec.p_name);
+  t.plugins <-
+    t.plugins @ [ { i_spec = spec; i_state = spec.p_init (); i_finished = false } ]
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  let t =
+    {
+      counters = Array.make num_kinds 0;
+      ring = Array.make capacity None;
+      capacity;
+      head = 0;
+      total = 0;
+      checkers = [];
+      violation_log = [];
+      reload_interval = Histogram.create ();
+      checks_at_last_reload = 0;
+      attribution = Hashtbl.create 31;
+      branch_bias = Hashtbl.create 31;
+      plugins = [];
+    }
+  in
+  List.iter (attach t) (Atomic.get auto_plugins);
+  t
+
+let plugin_names t = List.map (fun i -> i.i_spec.p_name) t.plugins
+
+let plugin_json t =
+  List.map (fun i -> (i.i_spec.p_name, i.i_spec.p_to_json i.i_state)) t.plugins
+
+(* Run each plugin's end-of-run pass exactly once (idempotent): a
+   plugin may only discover a violation once the event stream is known
+   to be over — e.g. a failed limit check with no fault ever following. *)
+let finish_plugins t =
+  List.iter
+    (fun i ->
+      if not i.i_finished then begin
+        i.i_finished <- true;
+        i.i_spec.p_at_finish t i.i_state
+      end)
+    t.plugins
+
+let count t kind = t.counters.(kind_index kind)
+
+let emit t ev =
+  let k = kind_of_event ev in
+  let ki = kind_index k in
+  t.counters.(ki) <- t.counters.(ki) + 1;
+  (match ev with
+   | Tlb_miss { evicted = true; _ } ->
+     let e = kind_index K_tlb_evict in
+     t.counters.(e) <- t.counters.(e) + 1
+   | Segreg_load _ ->
+     (* Reload-rate metric: how many limit checks ran since the previous
+        segment-register load. *)
+     let checks =
+       t.counters.(kind_index K_limit_check_pass)
+       + t.counters.(kind_index K_limit_check_fail)
+     in
+     Histogram.add t.reload_interval (checks - t.checks_at_last_reload);
+     t.checks_at_last_reload <- checks
+   | _ -> ());
+  t.ring.(t.head) <- Some ev;
+  t.head <- (t.head + 1) mod t.capacity;
+  t.total <- t.total + 1;
+  (match t.checkers with
+   | [] -> ()
+   | cs -> List.iter (fun (_, f) -> f ev) cs);
+  match t.plugins with
+  | [] -> ()
+  | ps -> List.iter (fun i -> i.i_spec.p_on_event t i.i_state ev) ps
+
+let counters t =
+  List.filter_map
+    (fun k ->
+      let c = count t k in
+      if c > 0 then Some (kind_name k, c) else None)
+    all_kinds
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let events t =
+  (* Oldest-first: the ring wraps at [head]. *)
+  let acc = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    match t.ring.((t.head + i) mod t.capacity) with
+    | Some ev -> acc := ev :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let total_events t = t.total
+let dropped t = max 0 (t.total - t.capacity)
+let reload_interval t = t.reload_interval
+
+let add_checker t ~name f = t.checkers <- t.checkers @ [ (name, f) ]
+
+let violation t ~checker msg =
+  t.violation_log <- (checker, msg) :: t.violation_log
+
+let violations t = List.rev t.violation_log
+
+let add_attribution t sym ~insns ~cycles =
+  match Hashtbl.find_opt t.attribution sym with
+  | Some (i, c) ->
+    i := !i + insns;
+    c := !c + cycles
+  | None -> Hashtbl.add t.attribution sym (ref insns, ref cycles)
+
+let attributions t =
+  Hashtbl.fold (fun sym (i, c) acc -> (sym, !i, !c) :: acc) t.attribution []
+  |> List.sort (fun (na, _, ca) (nb, _, cb) ->
+         match compare cb ca with 0 -> String.compare na nb | n -> n)
+
+let add_branch_bias t ~site ~taken ~not_taken =
+  match Hashtbl.find_opt t.branch_bias site with
+  | Some (tk, fl) ->
+    tk := !tk + taken;
+    fl := !fl + not_taken
+  | None -> Hashtbl.add t.branch_bias site (ref taken, ref not_taken)
+
+let branch_bias t =
+  Hashtbl.fold (fun site (tk, fl) acc -> (site, !tk, !fl) :: acc) t.branch_bias []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
+(* Ten-bucket histogram of per-site taken share: bucket [i] counts the
+   sites whose taken fraction lies in [i*10%, (i+1)*10%) — 100% lands
+   in the last bucket. A chainable site shows up at the edges. *)
+let branch_bias_histogram t =
+  let buckets = Array.make 10 0 in
+  Hashtbl.iter
+    (fun _ (tk, fl) ->
+      let total = !tk + !fl in
+      if total > 0 then begin
+        let b = min 9 (!tk * 10 / total) in
+        buckets.(b) <- buckets.(b) + 1
+      end)
+    t.branch_bias;
+  buckets
+
+(* Fold one finished sink into another, for aggregating the per-job
+   sinks of a parallel run after the barrier. Counters, the
+   reload-interval histogram, attribution, and the emitted-event totals
+   sum exactly; [src]'s surviving ring events and violations are
+   appended after [into]'s in [src]-emission order, so merging per-job
+   sinks in job order is deterministic. [into]'s checkers are NOT run
+   on the merged events: merging is aggregation, not emission. Both
+   sinks are expected to be quiescent (their runs finished) — the
+   reload-interval boundary state is not carried over, so a sink that
+   keeps emitting after being merged into would start a fresh interval. *)
+let merge_into ~into src =
+  Array.iteri
+    (fun i c -> into.counters.(i) <- into.counters.(i) + c)
+    src.counters;
+  List.iter
+    (fun ev ->
+      into.ring.(into.head) <- Some ev;
+      into.head <- (into.head + 1) mod into.capacity)
+    (events src);
+  into.total <- into.total + src.total;
+  Histogram.merge_into ~into:into.reload_interval src.reload_interval;
+  (* [violation_log] is newest-first; prepending the reversed oldest-first
+     view keeps "into's violations, then src's" once re-reversed. *)
+  into.violation_log <- List.rev_append (violations src) into.violation_log;
+  Hashtbl.iter
+    (fun sym (i, c) -> add_attribution into sym ~insns:!i ~cycles:!c)
+    src.attribution;
+  Hashtbl.iter
+    (fun site (tk, fl) ->
+      add_branch_bias into ~site ~taken:!tk ~not_taken:!fl)
+    src.branch_bias;
+  (* Plugin states fold by name: a plugin present on both sides merges
+     src's state into into's (aggregation — [into]'s plugins are NOT
+     re-run on the merged events, same as its checkers); a plugin only
+     on [src] moves across with its state. The fold happens after the
+     ring append above, so a plugin cannot observe merged events as
+     emissions. *)
+  List.iter
+    (fun si ->
+      match
+        List.find_opt
+          (fun ii -> ii.i_spec.p_name = si.i_spec.p_name)
+          into.plugins
+      with
+      | Some ii -> ii.i_spec.p_merge ~into:ii.i_state si.i_state
+      | None ->
+        into.plugins <-
+          into.plugins
+          @ [ { i_spec = si.i_spec; i_state = si.i_state;
+                i_finished = si.i_finished } ])
+    src.plugins
+
+(* --- pretty-printing ---------------------------------------------------- *)
+
+let ldt_path_name = function
+  | Slow_syscall -> "modify_ldt"
+  | Call_gate -> "cash_modify_ldt"
+
+let pp_event ppf = function
+  | Segreg_load { reg; selector } ->
+    Fmt.pf ppf "segreg_load %s <- 0x%04x" reg selector
+  | Limit_check { seg; base; offset; size; write; ok } ->
+    Fmt.pf ppf "limit_check %s base=0x%x offset=0x%x size=%d %s %s" seg base
+      offset size
+      (if write then "write" else "read")
+      (if ok then "pass" else "FAIL")
+  | Fault { detail; _ } -> Fmt.pf ppf "fault %s" detail
+  | Tlb_hit -> Fmt.string ppf "tlb_hit"
+  | Tlb_miss { page; evicted } ->
+    Fmt.pf ppf "tlb_miss page=0x%x%s" page (if evicted then " (evict)" else "")
+  | Ldt_update { path; index; cleared } ->
+    Fmt.pf ppf "ldt_update via %s index=%d %s" (ldt_path_name path) index
+      (if cleared then "clear" else "set")
+  | Call_gate_entry { selector } ->
+    Fmt.pf ppf "call_gate_entry 0x%04x" selector
+  | Context_switch { pid } -> Fmt.pf ppf "context_switch pid=%d" pid
+
 let json_of_event ev : Json.t =
   match ev with
   | Segreg_load { reg; selector } ->
@@ -677,6 +792,7 @@ let to_json t : Json.t =
                Json.Obj
                  [ ("checker", Json.Str checker); ("message", Json.Str msg) ])
              (violations t)) );
+      ("plugins", Json.Obj (plugin_json t));
       ("events_total", Json.Int t.total);
       ("events_dropped", Json.Int (dropped t));
       ("events", Json.List (List.map json_of_event (events t)));

@@ -89,11 +89,118 @@ module Histogram : sig
   val merge_into : into:t -> t -> unit
 end
 
+(** Minimal JSON values + serialiser, for the export paths (bench
+    [--trace], [cashc --profile]). Strings are escaped per RFC 8259. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+
+  exception Parse_error of string
+
+  (** Parse one JSON document — the inverse of {!to_string}, so perf
+      records (BENCH_<n>.json) written by one run can be read back by a
+      later one ([bench --compare]). Accepts standard RFC 8259 JSON;
+      integral int-syntax literals parse to [Int], other numbers to
+      [Float].
+      @raise Parse_error on malformed input (with a byte offset). *)
+  val parse : string -> t
+
+  (** [member k json] is the value of field [k] if [json] is an object
+      that has it. *)
+  val member : string -> t -> t option
+
+  (** [Int]s widen to float; everything non-numeric is [None]. *)
+  val to_float_opt : t -> float option
+
+  val to_int_opt : t -> int option
+  val to_string_opt : t -> string option
+end
+
 type sink
 
+(** {2 Plugins}
+
+    A plugin is a named, stateful event subscriber in the Checkbochs
+    style: one hardware-level property per plugin, expressed over the
+    typed event stream. Unlike the raw {!add_checker} callbacks,
+    plugins carry their own typed state (so they survive
+    {!merge_into} across a parallel run's per-job sinks), an
+    end-of-run pass for invariants only decidable once the stream is
+    over, and a JSON report. Shipped plugins live in [lib/checkers];
+    writing a new one takes a state constructor and a
+    {!Plugin.spec}. *)
+
+(** The open union of per-plugin states. Each plugin extends it with
+    its own constructor ([type Trace.plugin_state += My_state of ...])
+    and matches it back out inside its callbacks. *)
+type plugin_state = ..
+
+module Plugin : sig
+  type spec = {
+    p_name : string;       (** unique key: registry, per-sink instances,
+                               and {!merge_into} pairing all use it *)
+    p_doc : string;        (** one-line description for [--check] listings *)
+    p_init : unit -> plugin_state;
+    p_on_event : sink -> plugin_state -> event -> unit;
+        (** run on every emitted event; report problems with
+            {!violation} (never raise) *)
+    p_at_finish : sink -> plugin_state -> unit;
+        (** end-of-run pass, run once by {!finish_plugins} *)
+    p_merge : into:plugin_state -> plugin_state -> unit;
+        (** fold a finished worker instance's state into [into]'s;
+            called by {!merge_into} when both sinks carry the plugin *)
+    p_to_json : plugin_state -> Json.t;  (** state summary for export *)
+  }
+
+  (** Register a spec under its name for by-name lookup (CLI [--check]
+      flags); re-registering a name replaces the old spec. Attaching
+      does not require registration. *)
+  val register : spec -> unit
+
+  val find : string -> spec option
+
+  (** All registered specs, sorted by name. *)
+  val registered : unit -> spec list
+end
+
 (** [create ()] makes a detached sink. [capacity] (default 4096) bounds
-    the event ring; older events are overwritten but still counted. *)
+    the event ring; older events are overwritten but still counted.
+    Any {!set_auto_plugins} specs are attached to the new sink. *)
 val create : ?capacity:int -> unit -> sink
+
+(** Instantiate a plugin on this sink: its state is created and every
+    subsequent {!emit} feeds it. Attach before the first event —
+    plugins that cross-check the sink's counters assume they saw the
+    whole stream.
+    @raise Invalid_argument if a plugin of the same name is attached. *)
+val attach : sink -> Plugin.spec -> unit
+
+(** Plugins attached automatically by every subsequent {!create} —
+    how a parallel harness whose workers build their own sinks gets
+    the same plugin set on each without threading a list through every
+    layer. Process-wide; set it (e.g. to [Checkers.all]) before
+    fanning out, and reset to [[]] afterwards. *)
+val set_auto_plugins : Plugin.spec list -> unit
+
+(** Names of the plugins attached to this sink, in attach order. *)
+val plugin_names : sink -> string list
+
+(** Each attached plugin's JSON report, in attach order. *)
+val plugin_json : sink -> (string * Json.t) list
+
+(** Run every attached plugin's [p_at_finish] pass. Idempotent per
+    instance: a second call (or a call after {!merge_into} brought in
+    an already-finished instance) does nothing, so end-of-run
+    violations are recorded exactly once. *)
+val finish_plugins : sink -> unit
 
 (** Record an event: bump its kind counter, append it to the ring, feed
     every registered checker. *)
@@ -155,49 +262,18 @@ val branch_bias_histogram : sink -> int array
     exactly;
     [src]'s surviving ring events and violations are appended after
     [into]'s in emission order, so merging per-job sinks in job order
-    is deterministic. [into]'s checkers are not run on merged events
-    (aggregation, not emission), and both sinks should be quiescent:
-    reload-interval boundary state is not carried across the merge.
+    is deterministic. [into]'s checkers and plugins are not run on
+    merged events (aggregation, not emission): a plugin present on
+    both sinks has [src]'s state folded in through its [p_merge], and
+    one present only on [src] moves across with its state. Both sinks
+    should be quiescent: reload-interval boundary state is not carried
+    across the merge.
     A sink is single-domain — emit into per-job sinks and merge after
     joining, never share one sink across running domains. *)
 val merge_into : into:sink -> sink -> unit
 
 val pp_event : Format.formatter -> event -> unit
 
-(** Minimal JSON values + serialiser, for the export paths (bench
-    [--trace], [cashc --profile]). Strings are escaped per RFC 8259. *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | Str of string
-    | List of t list
-    | Obj of (string * t) list
-
-  val to_string : t -> string
-
-  exception Parse_error of string
-
-  (** Parse one JSON document — the inverse of {!to_string}, so perf
-      records (BENCH_<n>.json) written by one run can be read back by a
-      later one ([bench --compare]). Accepts standard RFC 8259 JSON;
-      integral int-syntax literals parse to [Int], other numbers to
-      [Float].
-      @raise Parse_error on malformed input (with a byte offset). *)
-  val parse : string -> t
-
-  (** [member k json] is the value of field [k] if [json] is an object
-      that has it. *)
-  val member : string -> t -> t option
-
-  (** [Int]s widen to float; everything non-numeric is [None]. *)
-  val to_float_opt : t -> float option
-
-  val to_int_opt : t -> int option
-  val to_string_opt : t -> string option
-end
 
 (** Full sink state as JSON: counters, attribution, reload-interval
     histogram, violations, ring contents, drop count. *)

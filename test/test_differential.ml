@@ -1,304 +1,95 @@
-(* Property-based differential testing of the three compilers.
+(* Property-based differential testing of the three compilers — the
+   tier-1 face of the fuzzing subsystem in lib/fuzz (the standalone
+   `cashfuzz` binary runs the same fleet at 10^5-program scale).
 
-   A seeded generator produces random mini-C programs — global arrays,
-   (nested) loops, pointer walks, offset-pointer reads, data-dependent
-   stores — that are in bounds *by construction*, then optionally injects
-   one loop that runs out of bounds (final index size..size+2, small
-   enough that the unchecked baseline stays on mapped pages and corrupts
-   silently instead of crashing).
+   A seeded generator ([Fuzz.Gen]) produces random mini-C programs —
+   global arrays, (nested) loops, helper-function calls over array
+   pointers, aliased pointer walks, offset reads, data-dependent
+   stores — in bounds *by construction*, then optionally injects one
+   out-of-bounds access (small enough that the unchecked baseline stays
+   on mapped pages and corrupts silently instead of crashing).
 
-   Properties, over a fixed-seed fleet of 210 programs:
+   Properties, over a fixed-seed fleet of 210 programs ([Fuzz.Check]):
 
    - in bounds: gcc, bcc, and cash all Finish with identical output —
      neither checker may change observable semantics of a correct
      program, and the checked compilers must agree with the baseline;
-   - out of bounds: bcc and cash BOTH report a bound violation (the
-     software checker and the segmentation hardware flag the same bug),
-     while gcc never does — it either finishes silently corrupted or
-     crashes on an unrelated fault, which is exactly the failure mode
-     the paper's mechanism exists to close.
+   - out of bounds, loop shape: bcc and cash BOTH report a bound
+     violation (the software checker and the segmentation hardware flag
+     the same bug), while gcc never does — it either finishes silently
+     corrupted or crashes on an unrelated fault, which is exactly the
+     failure mode the paper's mechanism exists to close;
+   - out of bounds, straight-line shape: bcc reports a bound violation;
+     cash runs straight through it. That is §3.8's policy — the Cash
+     compiler checks references inside loops only — and the fleet pins
+     it HONESTLY as a known miss rather than a divergence (a cash that
+     started catching these would fail the pin and force the policy
+     model to be updated).
 
-   Both properties run under the predecoded AND the superblock
-   execution engine for every seed — the latter twice, with block
-   chaining on and off, so the fleet doubles as a differential test of
-   the engines AND of the chain/fusion machinery against its own
-   per-block fallback — with the reference oracle joining on every 7th
-   seed as a spot check (it is an order of magnitude slower, and the
-   dedicated oracle suite already covers it densely). Within a seed,
-   outputs must also agree across engines.
+   Both properties run under the predecoded AND the superblock engine
+   for every seed — the latter twice, with block chaining on and off —
+   with the reference oracle joining on every 7th seed
+   ([Fuzz.Check.all_engines]). Within a seed, outputs must also agree
+   across engines.
 
    Every case is deterministic (own PRNG state per seed), so a failure
    message naming the seed reproduces the program exactly. On top of
-   that, a failing property dumps crash artifacts — the generated
-   source, a lib/snapshot checkpoint of the machine the offending run
-   left behind, and a replay command line — under $CASH_DIFF_DUMP
-   (default "diff-failures"), so the terminal state can be re-examined
-   offline with `cashc --replay`. CASH_DIFF_FORCE_FAIL=<seed> forces
-   that in-bounds seed to fail, which is how CI exercises the
-   dump-and-replay path on demand. *)
+   that, a failing seed is greedily shrunk to a minimal reproducer
+   ([Fuzz.Shrink]) and BOTH programs are dumped with machine snapshots
+   and replay command lines — seed_N.{c,snap,txt} and
+   seed_N.min.{c,snap,txt} — under $CASH_DIFF_DUMP (default
+   "diff-failures", created recursively), so the terminal state can be
+   re-examined offline with `cashc --replay`. CASH_DIFF_FORCE_FAIL=<n>
+   forces that in-bounds seed to fail, which is how CI exercises the
+   dump-shrink-replay path on demand. *)
 
-type arr = { name : string; size : int }
-
-(* Generate one program. Returns the source; [oob] injects exactly one
-   overrunning loop (store, load, or pointer walk) at the end of main,
-   after the checksum has been folded, so the unchecked baseline's
-   behaviour up to the injection point is untouched. *)
-let gen_program st ~oob =
-  let n_arrays = 1 + Random.State.int st 3 in
-  let arrays =
-    List.init n_arrays (fun i ->
-        { name = Printf.sprintf "g%d" i; size = 4 + Random.State.int st 21 })
-  in
-  let buf = Buffer.create 512 in
-  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  List.iter (fun a -> pr "int %s[%d];\n" a.name a.size) arrays;
-  (* Landing pad: keeps the baseline's small overruns inside the data
-     section (declaration order is layout order), so gcc corrupts
-     silently rather than faulting. *)
-  pr "int zpad[64];\n";
-  pr "int main() {\n  int i; int j; int acc = 0;\n";
-  List.iteri
-    (fun k a ->
-      pr "  for (i = 0; i < %d; i = i + 1) %s[i] = (i * %d + %d) %% 97;\n"
-        a.size a.name
-        (3 + (2 * k))
-        (1 + Random.State.int st 50))
-    arrays;
-  let pick () = List.nth arrays (Random.State.int st n_arrays) in
-  let n_ops = 1 + Random.State.int st 4 in
-  for _ = 1 to n_ops do
-    match Random.State.int st 5 with
-    | 0 ->
-      let a = pick () in
-      pr "  for (i = 0; i < %d; i = i + 1) acc = (acc + %s[i]) %% 9973;\n"
-        a.size a.name
-    | 1 ->
-      let a = pick () and b = pick () in
-      pr
-        "  for (i = 0; i < %d; i = i + 1)\n\
-        \    for (j = 0; j < %d; j = j + 1)\n\
-        \      acc = (acc + %s[i] * %s[j]) %% 9973;\n"
-        a.size b.size a.name b.name
-    | 2 ->
-      let a = pick () in
-      pr
-        "  {\n\
-        \    int *p = %s;\n\
-        \    for (i = 0; i < %d; i = i + 1) { acc = (acc + *p) %% 9973; p = \
-         p + 1; }\n\
-        \  }\n"
-        a.name a.size
-    | 3 ->
-      let a = pick () in
-      let k = Random.State.int st a.size in
-      let j = Random.State.int st (a.size - k) in
-      pr "  { int *p = %s + %d; acc = (acc + p[%d]) %% 9973; }\n" a.name k j
-    | _ ->
-      let a = pick () in
-      let i0 = Random.State.int st a.size in
-      let i1 = Random.State.int st a.size in
-      pr "  if (%s[%d] > 40) %s[%d] = acc %% 89; else %s[%d] = (acc + 7) %% 89;\n"
-        a.name i0 a.name i1 a.name i1
-  done;
-  (* Fold every array back into the checksum so the stores above are
-     observable in the printed output. *)
-  List.iter
-    (fun a ->
-      pr "  for (i = 0; i < %d; i = i + 1) acc = (acc * 31 + %s[i]) %% 99991;\n"
-        a.size a.name)
-    arrays;
-  (* The injected overrun is a loop running one-to-three elements past
-     the end: the Cash compiler checks references inside loops only
-     (§3.8 — straight-line references are left unchecked by policy), so
-     a straight-line overrun would not exercise the checker at all. *)
-  if oob then begin
-    let a = pick () in
-    let last = a.size + Random.State.int st 3 in
-    match Random.State.int st 3 with
-    | 0 -> pr "  for (i = 0; i <= %d; i = i + 1) %s[i] = i;\n" last a.name
-    | 1 ->
-      pr "  for (i = 0; i <= %d; i = i + 1) acc = (acc + %s[i]) %% 9973;\n"
-        last a.name
-    | _ ->
-      pr
-        "  {\n\
-        \    int *p = %s;\n\
-        \    for (i = 0; i <= %d; i = i + 1) { acc = acc + *p; p = p + 1; }\n\
-        \  }\n"
-        a.name last
-  end;
-  pr "  print_int(acc);\n  return 0;\n}\n";
-  Buffer.contents buf
-
-let gen ~seed ~oob =
-  gen_program (Random.State.make [| 0xC0DE; seed |]) ~oob
-
-let status_name = function
-  | Core.Finished -> "finished"
-  | Core.Bound_violation m -> "bound_violation: " ^ m
-  | Core.Crashed m -> "crashed: " ^ m
-
-let is_bound_violation = function Core.Bound_violation _ -> true | _ -> false
-
-(* --- crash artifacts ---------------------------------------------------- *)
+let in_bounds_cases = 140
+let oob_cases = 70
 
 let dump_dir () =
   match Sys.getenv_opt "CASH_DIFF_DUMP" with
   | Some d when d <> "" -> d
   | _ -> "diff-failures"
 
-let write_file path contents =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
+let force_fail () =
+  match Sys.getenv_opt "CASH_DIFF_FORCE_FAIL" with
+  | Some s -> int_of_string_opt s
+  | None -> None
 
-(* Dump the failing seed's artifacts before the failure unwinds: the
-   source, a snapshot of the machine the offending run left behind
-   (when one exists — a compile-time failure has no machine), and a
-   metadata file with the replay command. Dumping must never mask the
-   test failure, so filesystem errors only warn. *)
-let dump_failure ~seed ~what ~backend ~src run =
-  let dir = dump_dir () in
-  try
-    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-    let base = Filename.concat dir (Printf.sprintf "seed_%d" seed) in
-    write_file (base ^ ".c") src;
-    let snapped =
-      match run with
-      | None -> false
-      | Some (r : Core.run) ->
-        let state = Core.state_of_run (Core.compile backend src) r in
-        write_file (base ^ ".snap") (Buffer.contents (Core.save state));
-        true
-    in
-    write_file (base ^ ".txt")
-      (Printf.sprintf
-         "seed: %d\nproperty: %s\nbackend: %s\nreplay: cashc --compiler %s%s \
-          %s.c\n"
-         seed what
-         (Core.backend_name backend)
-         (Core.backend_name backend)
-         (if snapped then Printf.sprintf " --replay %s.snap" base else "")
-         base)
-  with Sys_error msg ->
-    Printf.eprintf "diff dump failed for seed %d: %s\n%!" seed msg
+(* The fleet fans out across domains exactly as before (CASH_JOBS or
+   the recommended count, via lib/parallel inside Fuzz.Fleet); failure
+   reports come back in seed order, so a red run names the same seed a
+   serial run would. *)
+let run_fleet ~first_seed ~count ~oob_every =
+  let stats =
+    Fuzz.Fleet.run
+      {
+        Fuzz.Fleet.count;
+        first_seed;
+        oob_every;
+        engines = Fuzz.Fleet.All;
+        jobs = None;
+        dump_dir = Some (dump_dir ());
+        force_fail = force_fail ();
+        shrink = true;
+        plugins = false;
+      }
+  in
+  match stats.Fuzz.Fleet.failures with
+  | [] -> ()
+  | (r : Fuzz.Fleet.failure_report) :: rest ->
+    Alcotest.failf "%s%s%s" r.r_message
+      (match r.r_artifacts with
+       | [] -> ""
+       | ps -> "\nartifacts: " ^ String.concat ", " ps)
+      (if rest = [] then ""
+       else Printf.sprintf "\n(+%d more failing seeds)" (List.length rest))
 
-(* [Alcotest.failf], with the artifact dump riding on the front. *)
-let faild ~seed ~what ~backend ~src ?run fmt =
-  Printf.ksprintf
-    (fun msg ->
-      dump_failure ~seed ~what ~backend ~src run;
-      Alcotest.fail msg)
-    fmt
-
-let run_backend ~seed ~what ~engine ?chain backend src =
-  match Core.exec ~engine ?chain backend src with
-  | r -> r
-  | exception e ->
-    faild ~seed ~what ~backend ~src "seed %d: %s under %s raised %s\n%s" seed
-      what
-      (Core.backend_name backend)
-      (Printexc.to_string e) src
-
-(* Both fast engines on every seed — the block engine with chaining on
-   AND off, so the fleet differentials the chain/fusion machinery
-   against its own per-block fallback on every program — with the
-   reference oracle joining on every 7th. *)
-let engines ~seed =
-  [ ("predecode", Machine.Cpu.Predecoded, None);
-    ("block", Machine.Cpu.Block, Some true);
-    ("block-nochain", Machine.Cpu.Block, Some false) ]
-  @ (if seed mod 7 = 0 then [ ("reference", Machine.Cpu.Reference, None) ]
-     else [])
-
-(* Property 1: on an in-bounds program all three compilers finish and
-   print the same thing — under every engine, with identical output
-   across engines. *)
-let check_in_bounds seed =
-  let src = gen ~seed ~oob:false in
-  (match Sys.getenv_opt "CASH_DIFF_FORCE_FAIL" with
-   | Some s when int_of_string_opt s = Some seed ->
-     let what = "in-bounds/forced" in
-     let r =
-       run_backend ~seed ~what ~engine:Machine.Cpu.Predecoded Core.cash src
-     in
-     faild ~seed ~what ~backend:Core.cash ~src ~run:r
-       "seed %d: forced failure (CASH_DIFF_FORCE_FAIL)" seed
-   | _ -> ());
-  let first_output = ref None in
-  List.iter
-    (fun (ename, engine, chain) ->
-      let what = "in-bounds/" ^ ename in
-      let g = run_backend ~seed ~what ~engine ?chain Core.gcc src in
-      let b = run_backend ~seed ~what ~engine ?chain Core.bcc src in
-      let c = run_backend ~seed ~what ~engine ?chain Core.cash src in
-      List.iter
-        (fun (name, backend, r) ->
-          if r.Core.status <> Core.Finished then
-            faild ~seed ~what ~backend ~src ~run:r
-              "seed %d: %s did not finish under %s: %s\n%s" seed name ename
-              (status_name r.Core.status) src)
-        [ ("gcc", Core.gcc, g); ("bcc", Core.bcc, b); ("cash", Core.cash, c) ];
-      if b.Core.output <> g.Core.output then
-        faild ~seed ~what ~backend:Core.bcc ~src ~run:b
-          "seed %d: bcc output %S <> gcc output %S (%s)\n%s" seed
-          b.Core.output g.Core.output ename src;
-      if c.Core.output <> g.Core.output then
-        faild ~seed ~what ~backend:Core.cash ~src ~run:c
-          "seed %d: cash output %S <> gcc output %S (%s)\n%s" seed
-          c.Core.output g.Core.output ename src;
-      match !first_output with
-      | None -> first_output := Some g.Core.output
-      | Some out ->
-        if g.Core.output <> out then
-          faild ~seed ~what ~backend:Core.gcc ~src ~run:g
-            "seed %d: output differs across engines at %s\n%s" seed ename src)
-    (engines ~seed)
-
-(* Property 2: on the same program with one injected overrun, both
-   checked compilers flag it and the unchecked baseline never calls it a
-   bound violation — under every engine. *)
-let check_out_of_bounds seed =
-  let src = gen ~seed ~oob:true in
-  List.iter
-    (fun (ename, engine, chain) ->
-      let what = "oob/" ^ ename in
-      let g = run_backend ~seed ~what ~engine ?chain Core.gcc src in
-      let b = run_backend ~seed ~what ~engine ?chain Core.bcc src in
-      let c = run_backend ~seed ~what ~engine ?chain Core.cash src in
-      if not (is_bound_violation b.Core.status) then
-        faild ~seed ~what ~backend:Core.bcc ~src ~run:b
-          "seed %d: bcc missed the overrun under %s (%s)\n%s" seed ename
-          (status_name b.Core.status) src;
-      if not (is_bound_violation c.Core.status) then
-        faild ~seed ~what ~backend:Core.cash ~src ~run:c
-          "seed %d: cash missed the overrun under %s (%s)\n%s" seed ename
-          (status_name c.Core.status) src;
-      if is_bound_violation g.Core.status then
-        faild ~seed ~what ~backend:Core.gcc ~src ~run:g
-          "seed %d: gcc reported a bound violation it cannot detect under %s \
-           (%s)\n%s"
-          seed ename (status_name g.Core.status) src)
-    (engines ~seed)
-
-let in_bounds_cases = 140
-let oob_cases = 70
-
-(* Every case is an independent deterministic simulation (fresh kernel,
-   machine, and MMU per run), so the fleet fans out across domains —
-   CASH_JOBS (or the recommended domain count) workers via
-   lib/parallel. Failures stay deterministic: Parallel.run_jobs
-   re-raises the lowest-seed failure, so a red run names the same seed
-   a serial run would. *)
-let run_fleet ~first n check =
-  ignore
-    (Parallel.run_jobs (Array.init n (fun i () -> check (first + i)))
-      : unit array)
-
-let test_in_bounds () = run_fleet ~first:0 in_bounds_cases check_in_bounds
+let test_in_bounds () =
+  run_fleet ~first_seed:0 ~count:in_bounds_cases ~oob_every:0
 
 let test_out_of_bounds () =
-  run_fleet ~first:1000 oob_cases check_out_of_bounds
+  run_fleet ~first_seed:1000 ~count:oob_cases ~oob_every:1
 
 (* The generator itself must be deterministic, or a reported seed would
    not reproduce the failing program. *)
@@ -306,7 +97,8 @@ let test_generator_deterministic () =
   for seed = 0 to 9 do
     Alcotest.(check string)
       (Printf.sprintf "seed %d stable" seed)
-      (gen ~seed ~oob:true) (gen ~seed ~oob:true)
+      (Fuzz.Gen.render (Fuzz.Gen.generate ~seed ~oob:true))
+      (Fuzz.Gen.render (Fuzz.Gen.generate ~seed ~oob:true))
   done
 
 let suite =

@@ -1,0 +1,272 @@
+(* The fuzzing subsystem itself: generator shape coverage, the honest
+   known-miss classification, deterministic greedy shrinking, crash-dump
+   plumbing (recursive directory creation), and the fleet runner's
+   accounting. The 210-program differential fleet lives in
+   test_differential.ml; these tests pin the machinery it runs on. *)
+
+let render ~seed ~oob = Fuzz.Gen.render (Fuzz.Gen.generate ~seed ~oob)
+
+(* --- generator ----------------------------------------------------------- *)
+
+(* The generator must exercise BOTH sides of §3.8's checking policy:
+   loop-shaped overruns (checked by cash) and straight-line overruns
+   (cash's known miss). A generator that stopped emitting either would
+   silently gut the honesty property. *)
+let test_generator_emits_both_shapes () =
+  let direct = ref 0 and loops = ref 0 in
+  for seed = 0 to 199 do
+    match (Fuzz.Gen.generate ~seed ~oob:true).Fuzz.Gen.oob with
+    | None -> Alcotest.failf "seed %d: oob requested but not injected" seed
+    | Some o ->
+      if Fuzz.Gen.oob_is_direct (Some o) then incr direct else incr loops
+  done;
+  Alcotest.(check bool) "straight-line overruns generated" true (!direct > 20);
+  Alcotest.(check bool) "loop overruns generated" true (!loops > 20)
+
+(* Helper calls and aliased pointer walks must actually appear — the
+   richer shapes this generator grew over the original fleet's. *)
+let test_generator_emits_rich_shapes () =
+  let has_helper = ref false and has_alias = ref false in
+  for seed = 0 to 99 do
+    let p = Fuzz.Gen.generate ~seed ~oob:false in
+    List.iter
+      (fun op ->
+        match op with
+        | Fuzz.Gen.Call1 _ | Fuzz.Gen.Call2 _ -> has_helper := true
+        | Fuzz.Gen.Alias_mix _ -> has_alias := true
+        | _ -> ())
+      p.Fuzz.Gen.ops
+  done;
+  Alcotest.(check bool) "helper calls generated" true !has_helper;
+  Alcotest.(check bool) "aliased walks generated" true !has_alias
+
+(* A straight-line overrun is a Pass with the miss on the record, not a
+   divergence: bcc catches it, cash runs through it, and the verdict
+   says so. *)
+let test_direct_oob_is_known_miss () =
+  let prog =
+    {
+      Fuzz.Gen.arrays = [ { Fuzz.Gen.a_id = 0; size = 8 } ];
+      helpers = [];
+      ops = [ Fuzz.Gen.Fill { a = 0; mult = 3; add = 1 } ];
+      oob =
+        Some { Fuzz.Gen.shape = Fuzz.Gen.O_direct_store; o_arr = 0; past = 1 };
+    }
+  in
+  (match Fuzz.Check.check ~seed:0 prog with
+   | Fuzz.Check.Pass { known_miss } ->
+     Alcotest.(check bool) "direct overrun is the known miss" true known_miss
+   | Fuzz.Check.Fail f -> Alcotest.failf "direct overrun: %s" f.f_message);
+  let loop =
+    { prog with
+      Fuzz.Gen.oob =
+        Some { Fuzz.Gen.shape = Fuzz.Gen.O_loop_store; o_arr = 0; past = 1 };
+    }
+  in
+  match Fuzz.Check.check ~seed:0 loop with
+  | Fuzz.Check.Pass { known_miss } ->
+    Alcotest.(check bool) "loop overrun is caught, no miss" false known_miss
+  | Fuzz.Check.Fail f -> Alcotest.failf "loop overrun: %s" f.f_message
+
+(* --- shrinking ----------------------------------------------------------- *)
+
+(* Greedy descent under an always-failing predicate (the forced-failure
+   drill's situation) must strip the program to near-nothing — and do it
+   deterministically: same seed, byte-identical shrunk source. *)
+let test_shrink_deterministic_and_minimal () =
+  let seed = 3 in
+  let prog = Fuzz.Gen.generate ~seed ~oob:false in
+  let pred p = Fuzz.Check.failed (Fuzz.Check.check ~force_fail:true ~seed p) in
+  let s1 = Fuzz.Gen.render (Fuzz.Shrink.minimize ~pred prog) in
+  let s2 = Fuzz.Gen.render (Fuzz.Shrink.minimize ~pred prog) in
+  Alcotest.(check string) "byte-identical across runs" s1 s2;
+  Alcotest.(check bool) "the shrunk program still fails" true
+    (pred (Fuzz.Shrink.minimize ~pred prog));
+  let lines = List.length (String.split_on_char '\n' (String.trim s1)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "minimal (%d lines <= 10)" lines)
+    true (lines <= 10)
+
+(* Shrinking preserves the failure it is minimizing, not just "some
+   failure": under a structural predicate that keeps the overrun, every
+   edit the shrinker makes leaves a valid failing program, and the
+   fixpoint retains the overrun with everything droppable gone. *)
+let test_shrink_keeps_predicate () =
+  let prog = Fuzz.Gen.generate ~seed:17 ~oob:true in
+  let pred (p : Fuzz.Gen.prog) = p.Fuzz.Gen.oob <> None in
+  let small = Fuzz.Shrink.minimize ~pred prog in
+  Alcotest.(check bool) "overrun retained" true (small.Fuzz.Gen.oob <> None);
+  Alcotest.(check int) "all ops dropped" 0 (List.length small.Fuzz.Gen.ops);
+  (match small.Fuzz.Gen.oob with
+   | Some o -> Alcotest.(check int) "overrun distance pulled to 0" 0 o.Fuzz.Gen.past
+   | None -> assert false);
+  (* a passing program is returned untouched *)
+  let untouched = Fuzz.Shrink.minimize ~pred:(fun _ -> false) prog in
+  Alcotest.(check string) "no-fail input is untouched"
+    (Fuzz.Gen.render prog) (Fuzz.Gen.render untouched)
+
+(* Render-time clamping: shrinking an array can never turn an in-bounds
+   program out of bounds — every candidate of an in-bounds program must
+   still pass the differential property. *)
+let test_shrink_candidates_stay_in_bounds () =
+  let prog = Fuzz.Gen.generate ~seed:11 ~oob:false in
+  List.iteri
+    (fun i cand ->
+      match Fuzz.Check.check ~seed:11 cand with
+      | Fuzz.Check.Pass _ -> ()
+      | Fuzz.Check.Fail f ->
+        Alcotest.failf "candidate %d broke in-bounds-ness: %s\n%s" i
+          f.f_message (Fuzz.Gen.render cand))
+    (Fuzz.Shrink.candidates prog)
+
+(* --- crash dumps --------------------------------------------------------- *)
+
+let temp_root () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "cash_fuzz_test_%d" (Unix.getpid ()))
+  in
+  (* leftovers from a previous crashed run are fine; names below are
+     unique per test *)
+  dir
+
+(* The satellite fix: a nested dump directory is created recursively
+   instead of the dump failing silently on the missing parent. *)
+let test_dump_creates_nested_dir () =
+  let dir = Filename.concat (temp_root ()) "a/b/c" in
+  let paths =
+    Fuzz.Dump.dump_failure ~dir ~seed:42 ~what:"test" ~backend:Core.cash
+      ~src:"int main() { return 0; }" None
+  in
+  Alcotest.(check bool) "directory chain created" true
+    (Sys.file_exists dir && Sys.is_directory dir);
+  Alcotest.(check (list string))
+    "source + metadata written (no machine, no snapshot)"
+    [ Filename.concat dir "seed_42.c"; Filename.concat dir "seed_42.txt" ]
+    paths;
+  List.iter
+    (fun p -> Alcotest.(check bool) (p ^ " exists") true (Sys.file_exists p))
+    paths
+
+(* With a terminal machine attached, the dump adds a snapshot and the
+   replay line in the metadata names it. *)
+let test_dump_snapshot_replayable () =
+  let dir = Filename.concat (temp_root ()) "snap" in
+  let src = render ~seed:5 ~oob:false in
+  let compiled = Core.compile Core.cash src in
+  let r = Core.run compiled in
+  let paths =
+    Fuzz.Dump.dump_failure ~dir ~seed:5 ~suffix:".min" ~what:"test"
+      ~backend:Core.cash ~src (Some r)
+  in
+  let base = Filename.concat dir "seed_5.min" in
+  Alcotest.(check (list string))
+    "snapshot included"
+    [ base ^ ".c"; base ^ ".snap"; base ^ ".txt" ]
+    paths;
+  (* the snapshot restores against the dumped source and replays the
+     terminal state: same status, same output *)
+  let ic = open_in_bin (base ^ ".snap") in
+  let bytes = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
+  close_in ic;
+  let replayed = Core.finish (Core.restore compiled bytes) in
+  Alcotest.(check bool) "replayed status" true
+    (replayed.Core.status = r.Core.status);
+  Alcotest.(check string) "replayed output" r.Core.output replayed.Core.output;
+  let ic = open_in (base ^ ".txt") in
+  let meta = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check bool) "replay line names the snapshot" true
+    (let re = Str.regexp_string ("--replay " ^ base ^ ".snap") in
+     try ignore (Str.search_forward re meta 0); true with Not_found -> false)
+
+(* --- the fleet ----------------------------------------------------------- *)
+
+(* A healthy fleet: everything passes, the injection cadence and the
+   known-miss count are on the books, and -j1/-j2 agree on all of it. *)
+let test_fleet_accounting () =
+  let run jobs =
+    Fuzz.Fleet.run
+      { Fuzz.Fleet.default with
+        count = 24; first_seed = 0; oob_every = 3; jobs = Some jobs;
+        dump_dir = None;
+      }
+  in
+  let s1 = run 1 and s2 = run 2 in
+  Alcotest.(check int) "ran" 24 s1.Fuzz.Fleet.ran;
+  Alcotest.(check int) "every 3rd injected" 8 s1.Fuzz.Fleet.oob_injected;
+  Alcotest.(check bool) "no failures" true (s1.Fuzz.Fleet.failures = []);
+  Alcotest.(check int) "known misses agree across -j" s1.Fuzz.Fleet.known_misses
+    s2.Fuzz.Fleet.known_misses;
+  Alcotest.(check int) "injection agrees across -j" s1.Fuzz.Fleet.oob_injected
+    s2.Fuzz.Fleet.oob_injected
+
+(* The forced-failure drill end to end, as CI runs it (via cashfuzz
+   --force-fail): the seed fails, is shrunk to <= 10 lines, and both
+   the original and the .min reproducer land with snapshots. *)
+let test_fleet_forced_failure_drill () =
+  let dir = Filename.concat (temp_root ()) "drill" in
+  let stats =
+    Fuzz.Fleet.run
+      { Fuzz.Fleet.default with
+        count = 4; first_seed = 0; oob_every = 0; jobs = Some 2;
+        dump_dir = Some dir; force_fail = Some 2;
+      }
+  in
+  match stats.Fuzz.Fleet.failures with
+  | [ r ] ->
+    Alcotest.(check int) "the forced seed" 2 r.Fuzz.Fleet.r_seed;
+    let expect suffix =
+      let p = Filename.concat dir (Printf.sprintf "seed_2%s" suffix) in
+      Alcotest.(check bool) (p ^ " dumped") true (List.mem p r.r_artifacts);
+      Alcotest.(check bool) (p ^ " exists") true (Sys.file_exists p)
+    in
+    List.iter expect [ ".c"; ".snap"; ".txt"; ".min.c"; ".min.snap"; ".min.txt" ];
+    (match r.Fuzz.Fleet.r_min_src with
+     | Some src ->
+       let lines = List.length (String.split_on_char '\n' (String.trim src)) in
+       Alcotest.(check bool)
+         (Printf.sprintf "shrunk to %d lines <= 10" lines)
+         true (lines <= 10)
+     | None -> Alcotest.fail "no shrunk reproducer")
+  | l -> Alcotest.failf "expected exactly the forced failure, got %d" (List.length l)
+
+(* Plugin mode: the shipped checkers ride every cash run of the fleet
+   and stay silent on a healthy sweep (including caught overruns, whose
+   check-fault pairing they verify). *)
+let test_fleet_plugins_clean () =
+  let stats =
+    Fuzz.Fleet.run
+      { Fuzz.Fleet.default with
+        count = 12; first_seed = 0; oob_every = 2; jobs = Some 2;
+        dump_dir = None; plugins = true;
+      }
+  in
+  Alcotest.(check bool) "no plugin violations across the sweep" true
+    (stats.Fuzz.Fleet.failures = [])
+
+let suite =
+  [
+    Alcotest.test_case "generator: both overrun shapes" `Quick
+      test_generator_emits_both_shapes;
+    Alcotest.test_case "generator: helpers + aliasing appear" `Quick
+      test_generator_emits_rich_shapes;
+    Alcotest.test_case "check: straight-line overrun is a known miss" `Quick
+      test_direct_oob_is_known_miss;
+    Alcotest.test_case "shrink: deterministic and minimal" `Quick
+      test_shrink_deterministic_and_minimal;
+    Alcotest.test_case "shrink: keeps the failing property" `Quick
+      test_shrink_keeps_predicate;
+    Alcotest.test_case "shrink: candidates stay in bounds" `Slow
+      test_shrink_candidates_stay_in_bounds;
+    Alcotest.test_case "dump: creates nested directories" `Quick
+      test_dump_creates_nested_dir;
+    Alcotest.test_case "dump: snapshot replays terminal state" `Quick
+      test_dump_snapshot_replayable;
+    Alcotest.test_case "fleet: accounting, -j1 = -j2" `Slow
+      test_fleet_accounting;
+    Alcotest.test_case "fleet: forced-failure drill shrinks + dumps" `Quick
+      test_fleet_forced_failure_drill;
+    Alcotest.test_case "fleet: shipped plugins silent" `Slow
+      test_fleet_plugins_clean;
+  ]

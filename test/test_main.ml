@@ -17,6 +17,7 @@ let () =
       ("trace", Test_trace.suite);
       ("snapshot", Test_snapshot.suite);
       ("differential", Test_differential.suite);
+      ("fuzz", Test_fuzz.suite);
       ("parallel", Test_parallel.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);

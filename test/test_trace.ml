@@ -429,6 +429,214 @@ let test_branch_bias_export () =
   Alcotest.(check (list (triple int int int)))
     "reference run samples nothing" [] (Trace.branch_bias sink2)
 
+(* --- plugins ------------------------------------------------------------- *)
+
+(* A counting plugin: the state records how many events its on_event
+   saw and how many finish passes ran; merge sums both. The counts are
+   read back through the plugin's own JSON report, so the tests observe
+   exactly what an export consumer would. *)
+type Trace.plugin_state += Counting of { events : int ref; finishes : int ref }
+
+let counting_spec name =
+  {
+    Trace.Plugin.p_name = name;
+    p_doc = "test: counts delivered events";
+    p_init = (fun () -> Counting { events = ref 0; finishes = ref 0 });
+    p_on_event =
+      (fun _sink st _ev ->
+        match st with Counting c -> incr c.events | _ -> assert false);
+    p_at_finish =
+      (fun _sink st ->
+        match st with Counting c -> incr c.finishes | _ -> assert false);
+    p_merge =
+      (fun ~into src ->
+        match (into, src) with
+        | Counting i, Counting s ->
+          i.events := !(i.events) + !(s.events);
+          i.finishes := !(i.finishes) + !(s.finishes)
+        | _ -> assert false);
+    p_to_json =
+      (fun st ->
+        match st with
+        | Counting c ->
+          Trace.Json.Obj
+            [ ("events", Trace.Json.Int !(c.events));
+              ("finishes", Trace.Json.Int !(c.finishes)) ]
+        | _ -> Trace.Json.Null);
+  }
+
+let plugin_field sink plugin field =
+  match List.assoc_opt plugin (Trace.plugin_json sink) with
+  | Some js ->
+    (match Option.bind (Trace.Json.member field js) Trace.Json.to_int_opt with
+     | Some n -> n
+     | None -> Alcotest.failf "plugin %s: no int field %s" plugin field)
+  | None -> Alcotest.failf "plugin %s not attached" plugin
+
+let some_event = Trace.Tlb_hit
+
+let test_plugin_feed_and_finish () =
+  let s = Trace.create () in
+  Trace.attach s (counting_spec "c");
+  (match Trace.attach s (counting_spec "c") with
+   | exception Invalid_argument _ -> ()
+   | () -> Alcotest.fail "duplicate attach must be rejected");
+  Trace.emit s some_event;
+  Trace.emit s some_event;
+  Trace.emit s some_event;
+  Alcotest.(check (list string)) "names" [ "c" ] (Trace.plugin_names s);
+  Alcotest.(check int) "every emit delivered" 3 (plugin_field s "c" "events");
+  Trace.finish_plugins s;
+  Trace.finish_plugins s;
+  (* idempotent per instance: the second call is a no-op *)
+  Alcotest.(check int) "finish ran exactly once" 1
+    (plugin_field s "c" "finishes")
+
+(* The merge_into contract for plugins (trace.mli): aggregation, not
+   emission. A plugin on both sinks has the states folded through
+   p_merge — into's on_event is NOT re-run on the merged ring events —
+   and a plugin only on src moves across with its state intact. *)
+let test_plugin_merge_semantics () =
+  let into = Trace.create () in
+  let src = Trace.create () in
+  Trace.attach into (counting_spec "both");
+  Trace.attach src (counting_spec "both");
+  Trace.attach src (counting_spec "src-only");
+  Trace.emit into some_event;
+  Trace.emit into some_event;
+  for _ = 1 to 3 do Trace.emit src some_event done;
+  Trace.merge_into ~into src;
+  (* 2 + 3 via p_merge; were into's plugin re-fed src's 3 ring events
+     as emissions, this would read 8 *)
+  Alcotest.(check int) "states folded, events not re-emitted" 5
+    (plugin_field into "both" "events");
+  Alcotest.(check int) "src-only moved with its state" 3
+    (plugin_field into "src-only" "events");
+  Alcotest.(check (list string))
+    "attach order, movers appended"
+    [ "both"; "src-only" ]
+    (Trace.plugin_names into)
+
+(* Violations recorded by plugins on parallel workers' sinks must
+   survive the merge, in deterministic job order — the property the
+   fuzz fleet's plugin mode rests on under -j. *)
+let test_plugin_violations_survive_merge () =
+  let worker i =
+    let s = Trace.create () in
+    Trace.attach s
+      { (counting_spec "flagger") with
+        Trace.Plugin.p_on_event =
+          (fun sink _st _ev ->
+            Trace.violation sink ~checker:"flagger"
+              (Printf.sprintf "job %d" i));
+      };
+    Trace.emit s some_event;
+    s
+  in
+  (* the harness pattern: per-job sinks, merged after the barrier in
+     job order *)
+  let sinks = List.init 3 worker in
+  let aggregate = Trace.create () in
+  List.iter (fun s -> Trace.merge_into ~into:aggregate s) sinks;
+  Alcotest.(check (list (pair string string)))
+    "all workers' violations, job order"
+    [ ("flagger", "job 0"); ("flagger", "job 1"); ("flagger", "job 2") ]
+    (Trace.violations aggregate)
+
+let test_auto_plugins () =
+  Fun.protect
+    ~finally:(fun () -> Trace.set_auto_plugins [])
+    (fun () ->
+      Trace.set_auto_plugins [ counting_spec "auto" ];
+      let s = Trace.create () in
+      Alcotest.(check (list string))
+        "create attaches the ambient set" [ "auto" ] (Trace.plugin_names s);
+      Trace.emit s some_event;
+      Alcotest.(check int) "and it is live" 1
+        (plugin_field s "auto" "events"));
+  let s = Trace.create () in
+  Alcotest.(check (list string)) "reset restores plain sinks" []
+    (Trace.plugin_names s)
+
+(* The shipped plugins on real compiled runs: a clean run and a caught
+   overrun are both within spec — zero violations. *)
+let test_shipped_plugins_clean_runs () =
+  List.iter
+    (fun src ->
+      let sink = Trace.create () in
+      Checkers.attach_shipped sink;
+      ignore (Core.exec ~trace:sink Core.cash src);
+      Trace.finish_plugins sink;
+      Alcotest.(check (list (pair string string)))
+        "no violations" [] (Checkers.shipped_violations sink))
+    [ clean_src; overrun_src ]
+
+(* And each shipped plugin fires on a hand-built out-of-spec stream —
+   the positive control for the zero-violation assertions above. *)
+let test_shipped_plugins_fire () =
+  let expect_violation name spec events ~finish =
+    let sink = Trace.create () in
+    Trace.attach sink spec;
+    List.iter (Trace.emit sink) events;
+    if finish then Trace.finish_plugins sink;
+    match Trace.violations sink with
+    | (checker, _) :: _ ->
+      Alcotest.(check string) (name ^ ": right checker") name checker
+    | [] -> Alcotest.failf "%s: out-of-spec stream raised no violation" name
+  in
+  let failed_check =
+    Trace.Limit_check
+      { seg = "DS"; base = 0x1000; offset = 64; size = 4; write = true;
+        ok = false }
+  in
+  (* failed check resolved by a TLB hit instead of a fault *)
+  expect_violation "bounds_precision" Checkers.Bounds_precision.spec
+    [ failed_check; Trace.Tlb_hit ] ~finish:false;
+  (* stream ends with the failure still pending *)
+  expect_violation "bounds_precision" Checkers.Bounds_precision.spec
+    [ failed_check ] ~finish:true;
+  (* a failing write into the learned stack window, never answered *)
+  expect_violation "stack_smash" Checkers.Stack_smash.spec
+    [ Trace.Limit_check
+        { seg = "SS"; base = 0x8000; offset = 0; size = 64; write = true;
+          ok = true };
+      Trace.Limit_check
+        { seg = "DS"; base = 0x8010; offset = 60; size = 4; write = true;
+          ok = false };
+      Trace.Tlb_hit ] ~finish:false;
+  (* GS loaded from an LDT slot after the slot was cleared *)
+  expect_violation "ldt_reuse" Checkers.Ldt_reuse.spec
+    [ Trace.Ldt_update { path = Trace.Slow_syscall; index = 5; cleared = true };
+      Trace.Segreg_load { reg = "GS"; selector = (5 lsl 3) lor 4 lor 3 } ]
+    ~finish:false;
+  (* a failed check with no protection fault anywhere in the stream *)
+  expect_violation "fault_consistency" Checkers.Fault_consistency.spec
+    [ failed_check ] ~finish:true
+
+(* Plugin reports ride the sink's JSON export under "plugins". *)
+let test_plugin_json_export () =
+  let s = Trace.create () in
+  Checkers.attach_shipped s;
+  ignore (Core.exec ~trace:s Core.cash overrun_src);
+  Trace.finish_plugins s;
+  let js = Trace.to_json s in
+  match Trace.Json.member "plugins" js with
+  | Some (Trace.Json.Obj fields) ->
+    Alcotest.(check (list string))
+      "one report per shipped plugin"
+      (List.map (fun (sp : Trace.Plugin.spec) -> sp.p_name) Checkers.all)
+      (List.map fst fields);
+    let bp =
+      match List.assoc_opt "bounds_precision" fields with
+      | Some v -> v
+      | None -> Alcotest.fail "bounds_precision report missing"
+    in
+    Alcotest.(check (option int)) "the caught overrun is on the record"
+      (Some 1)
+      (Option.bind (Trace.Json.member "checks_failed" bp)
+         Trace.Json.to_int_opt)
+  | _ -> Alcotest.fail "export has no plugins object"
+
 (* --- Json.parse: the writer's inverse ----------------------------------- *)
 
 let test_json_parse_roundtrip () =
@@ -520,6 +728,19 @@ let suite =
       test_checker_on_run;
     Alcotest.test_case "branch-bias histogram exports" `Quick
       test_branch_bias_export;
+    Alcotest.test_case "plugin: feed + idempotent finish" `Quick
+      test_plugin_feed_and_finish;
+    Alcotest.test_case "plugin: merge folds states, never re-emits" `Quick
+      test_plugin_merge_semantics;
+    Alcotest.test_case "plugin: violations survive merge in job order" `Quick
+      test_plugin_violations_survive_merge;
+    Alcotest.test_case "plugin: auto-attach on create" `Quick test_auto_plugins;
+    Alcotest.test_case "plugin: shipped set clean on real runs" `Quick
+      test_shipped_plugins_clean_runs;
+    Alcotest.test_case "plugin: shipped set fires out of spec" `Quick
+      test_shipped_plugins_fire;
+    Alcotest.test_case "plugin: reports in JSON export" `Quick
+      test_plugin_json_export;
     Alcotest.test_case "json: parse roundtrips writer" `Quick
       test_json_parse_roundtrip;
     Alcotest.test_case "json: parse BENCH record" `Quick test_json_parse_record;
