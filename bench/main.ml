@@ -14,6 +14,8 @@
                                               # chain-on vs chain-off gate
      dune exec bench/main.exe -- --compare BENCH_3.json
                                               # + ratios vs a prior record
+     dune exec bench/main.exe -- --serve 2000 # warm-pool request server
+                                              # throughput (pooled vs fresh)
 
    The reproduction pass runs its 14 experiments as independent jobs on
    a Domain pool (lib/parallel): -j N picks the worker count, defaulting
@@ -118,16 +120,20 @@ type shape = {
   avg_chain_insns : float;
 }
 
-(* Schema 5: adds "chaining" and the chain shape of the run
-   ("chains_built" / "avg_chain_blocks" / "avg_chain_insns") to schema
-   4's engine + superblock shape. *)
+(* Schema 6: adds the serve record kind (bench = "serve", written by
+   --serve, with request-throughput and latency-percentile fields)
+   alongside the reproduction records, which carry schema 5's fields
+   unchanged ("chaining" and the chain shape on top of schema 4's
+   engine + superblock shape). *)
+let schema = 6
+
 let write_json ~path ~oc ~engine ~traced ~quick ~jobs ~n_experiments
     ~shape tp =
   let json =
     Trace.Json.(
       Obj
         [
-          ("schema", Int 5);
+          ("schema", Int schema);
           ( "bench",
             Str (if quick then "quick-reproduction" else "full-reproduction")
           );
@@ -147,16 +153,15 @@ let write_json ~path ~oc ~engine ~traced ~quick ~jobs ~n_experiments
           ("avg_chain_insns", Float shape.avg_chain_insns);
         ])
   in
-  output_string oc (Trace.Json.to_string json);
-  output_char oc '\n';
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Trace.Json.to_string json);
+      output_char oc '\n');
   Printf.printf "wrote %s\n" path
 
 let write_trace_json ~path sink =
-  let oc = open_out path in
-  output_string oc (Trace.Json.to_string (Trace.to_json sink));
-  output_char oc '\n';
-  close_out oc;
+  Core.write_file path (Trace.Json.to_string (Trace.to_json sink) ^ "\n");
   Printf.printf "wrote %s\n" path
 
 (* Per-job wall-clock: the suite's critical path is its slowest job.
@@ -210,12 +215,7 @@ let compare_of_argv argv =
   !found
 
 let compare_against ~path ~engine ~quick ~jobs ~shape tp =
-  match
-    let ic = open_in_bin path in
-    let s = really_input_string ic (in_channel_length ic) in
-    close_in ic;
-    Trace.Json.parse s
-  with
+  match Trace.Json.parse (Core.read_file path) with
   | exception Sys_error msg ->
     Printf.eprintf "bench --compare: cannot read %s: %s\n" path msg
   | exception Trace.Json.Parse_error msg ->
@@ -309,6 +309,129 @@ let compare_against ~path ~engine ~quick ~jobs ~shape tp =
            host noise; re-measure the old commit on this host before \
            reading this as a regression\n"
           ((ratio -. 1.) *. 100.) path)
+
+(* --- --serve: warm-pool request-server throughput ----------------------- *)
+
+let serve_of_argv argv =
+  let n = Array.length argv in
+  let found = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--serve" && i + 1 < n then found := Some argv.(i + 1)
+      else if String.length a > 8 && String.sub a 0 8 = "--serve=" then
+        found := Some (String.sub a 8 (String.length a - 8)))
+    argv;
+  match !found with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> Some n
+    | _ ->
+      Printf.eprintf "bench --serve: expected a positive request count, got %S\n" s;
+      exit 2)
+
+let print_serve_summary ~label (s : Serve.Server.summary) =
+  Printf.printf
+    "%-22s %6d req  %8.3f s  %8.1f req/s  p50 %8.1f us  p90 %8.1f us  \
+     p99 %8.1f us  (%d error(s))\n"
+    label s.Serve.Server.requests s.Serve.Server.wall_seconds
+    s.Serve.Server.req_per_s s.Serve.Server.p50_us s.Serve.Server.p90_us
+    s.Serve.Server.p99_us s.Serve.Server.errors
+
+let write_serve_json ~engine ~jobs ~requests ~(pooled : Serve.Server.summary)
+    ~(fresh : Serve.Server.summary) ~alloc_pooled ~alloc_fresh =
+  let n, path, oc = claim_output_channel () in
+  let json =
+    Trace.Json.(
+      Obj
+        [
+          ("schema", Int schema);
+          ("bench", Str "serve");
+          ("engine", Str (Core.engine_name engine));
+          ("jobs", Int jobs);
+          ("ocaml_version", Str Sys.ocaml_version);
+          ("requests", Int requests);
+          ("errors", Int pooled.Serve.Server.errors);
+          ("wall_seconds", Float pooled.Serve.Server.wall_seconds);
+          ("req_per_s", Float pooled.Serve.Server.req_per_s);
+          ("p50_us", Float pooled.Serve.Server.p50_us);
+          ("p90_us", Float pooled.Serve.Server.p90_us);
+          ("p99_us", Float pooled.Serve.Server.p99_us);
+          ("fresh_requests", Int fresh.Serve.Server.requests);
+          ("fresh_req_per_s", Float fresh.Serve.Server.req_per_s);
+          ("fresh_p50_us", Float fresh.Serve.Server.p50_us);
+          ("alloc_bytes_per_request", Float alloc_pooled);
+          ("fresh_alloc_bytes_per_request", Float alloc_fresh);
+        ])
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Trace.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path;
+  ignore n
+
+(* The --serve benchmark: the Table 8 request mix through the warm-pool
+   server (restore into reused machines) against the fresh-restore
+   baseline (build a machine per request) — same warm set, same engine,
+   same worker count; the baseline leg runs a fifth of the requests
+   since it exists only for the ratio. A second probe at one job
+   measures allocation per replay request on both paths
+   (Gc.allocated_bytes is per-domain, so the probe must not fan out). *)
+let run_serve ~requests ~engine ~jobs =
+  Core.set_default_engine engine;
+  Printf.printf
+    "== bench --serve: warm-pool request server (engine %s, -j %d) ==\n%!"
+    (Core.engine_name engine) jobs;
+  let warms = Serve.Server.table8_warms ~jobs () in
+  let names = List.map (fun w -> w.Serve.Server.w_name) warms in
+  let pooled_server = Serve.Server.create ~jobs ~warms ~engine () in
+  let fresh_server =
+    Serve.Server.create ~jobs ~warms ~engine ~pooled:false ()
+  in
+  let _, pooled =
+    Serve.Server.run_lines pooled_server (Serve.Server.gen_mix ~names requests)
+  in
+  let fresh_n = max 1 (requests / 5) in
+  let _, fresh =
+    Serve.Server.run_lines fresh_server (Serve.Server.gen_mix ~names fresh_n)
+  in
+  print_serve_summary ~label:"pooled (restore_into)" pooled;
+  print_serve_summary ~label:"fresh (restore)" fresh;
+  if fresh.Serve.Server.req_per_s > 0. then
+    Printf.printf "pooled/fresh speedup   %.2fx req/s, %.2fx p50 latency\n"
+      (pooled.Serve.Server.req_per_s /. fresh.Serve.Server.req_per_s)
+      (fresh.Serve.Server.p50_us /. max 1e-9 pooled.Serve.Server.p50_us);
+  (* Allocation probe: replay-only, one job so every allocation lands on
+     this domain's counter, one warm pool reused across all [probe_n]
+     requests. *)
+  let probe_n = 50 in
+  let probe_lines =
+    (* replay-only: drop the mix's every-4th compile-and-run *)
+    List.filteri (fun i _ -> i mod 4 <> 3)
+      (Serve.Server.gen_mix ~names:[ List.hd names ] probe_n)
+  in
+  let alloc_per_request pooled =
+    let s1 = Serve.Server.create ~jobs:1 ~warms ~engine ~pooled () in
+    (* one throwaway request so the worker pool exists before measuring *)
+    ignore (Serve.Server.run_lines s1 [ List.hd probe_lines ]);
+    let a0 = Gc.allocated_bytes () in
+    ignore (Serve.Server.run_lines s1 probe_lines);
+    (Gc.allocated_bytes () -. a0) /. float_of_int (List.length probe_lines)
+  in
+  let alloc_pooled = alloc_per_request true in
+  let alloc_fresh = alloc_per_request false in
+  Printf.printf
+    "allocation per replay request: pooled %.0f bytes, fresh %.0f bytes\n"
+    alloc_pooled alloc_fresh;
+  if pooled.Serve.Server.errors > 0 || fresh.Serve.Server.errors > 0 then
+    Printf.eprintf "bench --serve: warning: %d pooled / %d fresh error(s)\n"
+      pooled.Serve.Server.errors fresh.Serve.Server.errors;
+  write_serve_json ~engine ~jobs ~requests ~pooled ~fresh ~alloc_pooled
+    ~alloc_fresh;
+  if pooled.Serve.Server.errors > 0 || fresh.Serve.Server.errors > 0 then
+    exit 1
 
 (* --- bechamel: one Test.make per table ---------------------------------- *)
 
@@ -475,6 +598,11 @@ let () =
     | Some j -> j
     | None -> Parallel.default_jobs ()
   in
+  (match serve_of_argv Sys.argv with
+   | Some requests ->
+     run_serve ~requests ~engine ~jobs;
+     exit 0
+   | None -> ());
   let experiments = experiments ~quick in
   let render reports =
     String.concat "\n"

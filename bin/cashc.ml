@@ -96,12 +96,7 @@ let replay =
                already-terminated machine replays its final status and \
                output.")
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
+let read_file = Core.read_file
 
 let print_profile sink =
   Printf.eprintf "-- flat profile (cycles by function) --\n";

@@ -214,6 +214,23 @@ let restore ?engine ?trace (compiled : compiled) bytes =
     s_kernel = Osim.Process.kernel process;
   }
 
+(* Pool-aware restore: overwrite [state]'s existing machine with the
+   image instead of building a fresh one. The state keeps its process
+   and kernel (reused in place); only the runtime binding can change
+   (see [Snapshot.restore_into]). On [Snapshot.Error] the machine is
+   half-scrubbed — discard the state rather than reusing it. *)
+let restore_into ?trace state bytes =
+  let trace =
+    match trace with Some _ as s -> s | None -> current_trace ()
+  in
+  let runtime =
+    Snapshot.restore_into ?runtime:state.s_runtime
+      ~program:state.s_compiled.Compilers.Codegen.program state.s_process
+      bytes
+  in
+  Machine.Cpu.set_sink (Osim.Process.cpu state.s_process) trace;
+  { state with s_runtime = runtime }
+
 let state_digest state =
   Snapshot.digest (Buffer.to_bytes (save state))
 
@@ -269,6 +286,22 @@ let static_info ?(budget = 3) (r : compiled) =
       Minic.Loop_analysis.characteristics ~budget
         r.Compilers.Codegen.analysis;
   }
+
+(* Exception-safe whole-file I/O, shared by every reader and writer in
+   the CLIs, the bench harness, and the fuzz dumper: the channel is
+   closed even when the read or write raises, so a failing path cannot
+   leak a descriptor. *)
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents)
 
 (* Kept for the original scaffold's smoke test. *)
 let placeholder () = ()

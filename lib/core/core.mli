@@ -91,6 +91,17 @@ val restore :
   ?engine:Machine.Cpu.engine -> ?trace:Trace.sink -> compiled -> bytes ->
   state
 
+(** Pool-aware restore: overwrite [state]'s {e existing} machine with
+    snapshot bytes taken of the same compiled program, in place —
+    {!Snapshot.restore_into}. The returned state reuses the process and
+    kernel; by the determinism oracle its {!state_digest} is
+    byte-identical to a fresh {!restore} of the same image, including
+    after the previous request faulted, halted, or stopped
+    mid-superblock. On [Snapshot.Error] the machine is half-scrubbed:
+    discard the state instead of pooling it.
+    @raise Snapshot.Error on bad images or a program mismatch. *)
+val restore_into : ?trace:Trace.sink -> state -> bytes -> state
+
 (** [save] digested — the byte-stable state-equality oracle. *)
 val state_digest : state -> string
 
@@ -184,6 +195,13 @@ type static_info = {
 }
 
 val static_info : ?budget:int -> compiled -> static_info
+
+(** Read a whole file, closing the channel even if the read raises. *)
+val read_file : string -> string
+
+(** Write a whole file (binary, truncating), closing the channel even
+    if the write raises. *)
+val write_file : string -> string -> unit
 
 (** Retained for the original scaffold's smoke test. *)
 val placeholder : unit -> unit

@@ -39,7 +39,10 @@ type failure = {
   f_backend : Core.backend;
   f_message : string;
   f_src : string;
-  f_run : Core.run option;  (* the machine the offending run left, if any *)
+  (* The offending run and its compiled program, if the program got that
+     far. Carrying the compilation alongside the run lets the dumper
+     snapshot the machine without compiling the source a second time. *)
+  f_run : (Core.compiled * Core.run) option;
 }
 
 type verdict = Pass of { known_miss : bool } | Fail of failure
@@ -82,10 +85,17 @@ let fail ~seed ~what ~backend ~src ?run fmt =
            }))
     fmt
 
+(* Compile then run, as separate steps, so the failure value can carry
+   the compiled program alongside the run (the dumper reuses it instead
+   of recompiling). Returns the (compiled, run) pair. *)
 let run_backend ~seed ~what ~engine ?chain ?trace backend src =
-  try Core.exec ~engine ?chain ?trace backend src with
-  | Failed _ as e -> raise e
-  | e ->
+  match
+    let compiled = Core.compile backend src in
+    (compiled, Core.run ~engine ?chain ?trace compiled)
+  with
+  | pair -> pair
+  | exception (Failed _ as e) -> raise e
+  | exception e ->
     fail ~seed ~what ~backend ~src "seed %d: %s under %s raised %s" seed what
       (Core.backend_name backend) (Printexc.to_string e)
 
@@ -97,17 +107,17 @@ let run_cash ~plugins ~seed ~what ~engine ?chain src =
   else begin
     let sink = Trace.create () in
     Checkers.attach_shipped sink;
-    let r =
+    let pair =
       run_backend ~seed ~what ~engine ?chain ~trace:sink Core.cash src
     in
     Trace.finish_plugins sink;
     (match Checkers.shipped_violations sink with
      | [] -> ()
      | (checker, msg) :: _ as vs ->
-       fail ~seed ~what ~backend:Core.cash ~src ~run:r
+       fail ~seed ~what ~backend:Core.cash ~src ~run:pair
          "seed %d: %d plugin violation(s) under %s, first: [%s] %s" seed
          (List.length vs) what checker msg);
-    r
+    pair
   end
 
 let check_in_bounds ~engines ~plugins ~seed src =
@@ -115,29 +125,30 @@ let check_in_bounds ~engines ~plugins ~seed src =
   List.iter
     (fun (ename, engine, chain) ->
       let what = "in-bounds/" ^ ename in
-      let g = run_backend ~seed ~what ~engine ?chain Core.gcc src in
-      let b = run_backend ~seed ~what ~engine ?chain Core.bcc src in
-      let c = run_cash ~plugins ~seed ~what ~engine ?chain src in
+      let (_, g) as gp = run_backend ~seed ~what ~engine ?chain Core.gcc src in
+      let (_, b) as bp = run_backend ~seed ~what ~engine ?chain Core.bcc src in
+      let (_, c) as cp = run_cash ~plugins ~seed ~what ~engine ?chain src in
       List.iter
-        (fun (name, backend, r) ->
+        (fun (name, backend, ((_, r) as pair)) ->
           if r.Core.status <> Core.Finished then
-            fail ~seed ~what ~backend ~src ~run:r
+            fail ~seed ~what ~backend ~src ~run:pair
               "seed %d: %s did not finish under %s: %s" seed name ename
               (status_name r.Core.status))
-        [ ("gcc", Core.gcc, g); ("bcc", Core.bcc, b); ("cash", Core.cash, c) ];
+        [ ("gcc", Core.gcc, gp); ("bcc", Core.bcc, bp);
+          ("cash", Core.cash, cp) ];
       if b.Core.output <> g.Core.output then
-        fail ~seed ~what ~backend:Core.bcc ~src ~run:b
+        fail ~seed ~what ~backend:Core.bcc ~src ~run:bp
           "seed %d: bcc output %S <> gcc output %S (%s)" seed b.Core.output
           g.Core.output ename;
       if c.Core.output <> g.Core.output then
-        fail ~seed ~what ~backend:Core.cash ~src ~run:c
+        fail ~seed ~what ~backend:Core.cash ~src ~run:cp
           "seed %d: cash output %S <> gcc output %S (%s)" seed c.Core.output
           g.Core.output ename;
       match !first_output with
       | None -> first_output := Some g.Core.output
       | Some out ->
         if g.Core.output <> out then
-          fail ~seed ~what ~backend:Core.gcc ~src ~run:g
+          fail ~seed ~what ~backend:Core.gcc ~src ~run:gp
             "seed %d: output differs across engines at %s" seed ename)
     engines
 
@@ -146,15 +157,15 @@ let check_oob ~engines ~plugins ~seed prog src =
   List.iter
     (fun (ename, engine, chain) ->
       let what = (if direct then "oob-direct/" else "oob/") ^ ename in
-      let g = run_backend ~seed ~what ~engine ?chain Core.gcc src in
-      let b = run_backend ~seed ~what ~engine ?chain Core.bcc src in
-      let c = run_cash ~plugins ~seed ~what ~engine ?chain src in
+      let (_, g) as gp = run_backend ~seed ~what ~engine ?chain Core.gcc src in
+      let (_, b) as bp = run_backend ~seed ~what ~engine ?chain Core.bcc src in
+      let (_, c) as cp = run_cash ~plugins ~seed ~what ~engine ?chain src in
       if not (is_bv b.Core.status) then
-        fail ~seed ~what ~backend:Core.bcc ~src ~run:b
+        fail ~seed ~what ~backend:Core.bcc ~src ~run:bp
           "seed %d: bcc missed the overrun under %s (%s)" seed ename
           (status_name b.Core.status);
       if is_bv g.Core.status then
-        fail ~seed ~what ~backend:Core.gcc ~src ~run:g
+        fail ~seed ~what ~backend:Core.gcc ~src ~run:gp
           "seed %d: gcc reported a bound violation it cannot detect under %s \
            (%s)"
           seed ename
@@ -167,19 +178,19 @@ let check_oob ~engines ~plugins ~seed prog src =
            two backends lay out data differently, so each corrupts (or
            reads) its own neighbour. *)
         if is_bv c.Core.status then
-          fail ~seed ~what ~backend:Core.cash ~src ~run:c
+          fail ~seed ~what ~backend:Core.cash ~src ~run:cp
             "seed %d: cash caught a straight-line overrun under %s — §3.8 \
              loop-only policy says it cannot; update the policy model"
             seed ename;
         if c.Core.status <> Core.Finished then
-          fail ~seed ~what ~backend:Core.cash ~src ~run:c
+          fail ~seed ~what ~backend:Core.cash ~src ~run:cp
             "seed %d: cash did not finish on a straight-line overrun under \
              %s (%s)"
             seed ename
             (status_name c.Core.status)
       end
       else if not (is_bv c.Core.status) then
-        fail ~seed ~what ~backend:Core.cash ~src ~run:c
+        fail ~seed ~what ~backend:Core.cash ~src ~run:cp
           "seed %d: cash missed the overrun under %s (%s)" seed ename
           (status_name c.Core.status))
     engines
@@ -191,9 +202,12 @@ let check ?(engines = fast_engines) ?(plugins = false) ?(force_fail = false)
     if force_fail then begin
       let what = "in-bounds/forced" in
       let run =
-        match Core.exec ~engine:Machine.Cpu.Predecoded Core.cash src with
-        | r -> Some r
+        match Core.compile Core.cash src with
         | exception _ -> None
+        | compiled -> (
+          match Core.run ~engine:Machine.Cpu.Predecoded compiled with
+          | r -> Some (compiled, r)
+          | exception _ -> None)
       in
       fail ~seed ~what ~backend:Core.cash ~src ?run
         "seed %d: forced failure (CASH_DIFF_FORCE_FAIL)" seed

@@ -14,38 +14,36 @@
 
 (* [Sys.mkdir] is single-level; a dump directory like
    "artifacts/fuzz/run1" has to be built parent-first. Racing creators
-   are fine: an EEXIST surfacing as [Sys_error] is swallowed and the
-   final existence check below decides. *)
+   are fine: an EEXIST surfacing as [Sys_error] is swallowed only when
+   the path is indeed there afterwards. Any other failure — permission
+   denied, a read-only filesystem — propagates to [dump_failure]'s
+   warn-and-return handler instead of being silently absorbed here and
+   resurfacing as a confusing write error three lines later. *)
 let rec mkdir_p dir =
   if dir = "" || dir = "." || dir = "/" || Sys.file_exists dir then ()
   else begin
     mkdir_p (Filename.dirname dir);
-    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
   end
 
-let write_file path contents =
-  let oc = open_out_bin path in
-  output_string oc contents;
-  close_out oc
-
 (* Returns the paths written, [] if nothing could be. [run] is the
-   machine the offending run left behind, when one exists. *)
+   machine the offending run left behind, paired with its compiled
+   program (the checker already compiled it once — reuse it, don't
+   recompile), when one exists. *)
 let dump_failure ~dir ~seed ?(suffix = "") ~what ~backend ~src run =
   try
     mkdir_p dir;
-    if not (Sys.file_exists dir) then
-      failwith (Printf.sprintf "could not create %s" dir);
     let base = Filename.concat dir (Printf.sprintf "seed_%d%s" seed suffix) in
-    write_file (base ^ ".c") src;
+    Core.write_file (base ^ ".c") src;
     let snapped =
       match run with
       | None -> false
-      | Some (r : Core.run) ->
-        let state = Core.state_of_run (Core.compile backend src) r in
-        write_file (base ^ ".snap") (Buffer.contents (Core.save state));
+      | Some (compiled, (r : Core.run)) ->
+        let state = Core.state_of_run compiled r in
+        Core.write_file (base ^ ".snap") (Buffer.contents (Core.save state));
         true
     in
-    write_file (base ^ ".txt")
+    Core.write_file (base ^ ".txt")
       (Printf.sprintf
          "seed: %d\nproperty: %s\nbackend: %s\nreplay: cashc --compiler %s%s \
           %s.c\n"

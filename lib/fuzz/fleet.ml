@@ -58,8 +58,16 @@ type stats = {
   oob_injected : int;
   known_misses : int;  (* direct overruns cash passed on by §3.8 policy *)
   failures : failure_report list;  (* seed order *)
-  wall_seconds : float;
-  programs_per_sec : float;
+  wall_seconds : float;  (* whole run: check AND shrink/dump phases *)
+  programs_per_sec : float;  (* count / wall_seconds *)
+  (* The check phase alone, timed per seed inside its job and summed
+     across workers (so above one job it exceeds the wall clock).
+     Shrinking a failure re-runs the predicate dozens of times and
+     dumping touches the filesystem; folding that into one wall-clock
+     rate made a run with failures look like a slow fleet. The pair
+     below reports generator+checker throughput undistorted. *)
+  check_seconds : float;
+  check_programs_per_sec : float;  (* count / check_seconds *)
 }
 
 let engines_for cfg ~seed =
@@ -109,18 +117,27 @@ let run cfg =
     Array.init cfg.count (fun i () ->
         let seed = cfg.first_seed + i in
         let oob = cfg.oob_every > 0 && i mod cfg.oob_every = cfg.oob_every - 1 in
+        (* Generate + check is the phase whose throughput the fleet
+           reports; shrink + dump (inside [report_failure]) is failure
+           triage and is timed only by the whole-run wall clock. *)
+        let c0 = Unix.gettimeofday () in
         let prog = Gen.generate ~seed ~oob in
-        match check_seed cfg ~seed prog with
-        | Check.Pass { known_miss } -> (oob, known_miss, None)
-        | Check.Fail f -> (oob, false, Some (report_failure cfg ~seed prog f)))
+        let verdict = check_seed cfg ~seed prog in
+        let check_dt = Unix.gettimeofday () -. c0 in
+        match verdict with
+        | Check.Pass { known_miss } -> (oob, known_miss, None, check_dt)
+        | Check.Fail f ->
+          (oob, false, Some (report_failure cfg ~seed prog f), check_dt))
   in
   let results = Parallel.run_jobs ?jobs:cfg.jobs tasks in
   let wall = Unix.gettimeofday () -. t0 in
   let oob_injected = ref 0 and known_misses = ref 0 and failures = ref [] in
+  let check_seconds = ref 0. in
   Array.iter
-    (fun (oob, miss, failure) ->
+    (fun (oob, miss, failure, check_dt) ->
       if oob then incr oob_injected;
       if miss then incr known_misses;
+      check_seconds := !check_seconds +. check_dt;
       match failure with Some r -> failures := r :: !failures | None -> ())
     results;
   {
@@ -131,4 +148,8 @@ let run cfg =
     wall_seconds = wall;
     programs_per_sec =
       (if wall > 0. then float_of_int cfg.count /. wall else 0.);
+    check_seconds = !check_seconds;
+    check_programs_per_sec =
+      (if !check_seconds > 0. then float_of_int cfg.count /. !check_seconds
+       else 0.);
   }

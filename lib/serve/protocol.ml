@@ -1,0 +1,175 @@
+(* The cashd wire protocol: newline-framed JSON, one request or
+   response per line, over stdin/stdout or a Unix socket.
+
+   Requests:
+
+     {"id": 1, "op": "compile-and-run", "backend": "cash",
+      "source": "int main() { ... }", "engine": "block"}
+     {"id": 2, "op": "replay", "snapshot": "qpopper/cash3"}
+
+   [id] is optional (defaults to the request's 1-based position in the
+   stream); [engine] is optional (defaults to the server's ambient
+   engine). [backend] uses the cashc names: gcc, bcc, bcc-bound, cash
+   (= cash3), cash2, cash4. [snapshot] names an entry of the server's
+   warm set — by default the twelve Table 8 "app/backend" pairs.
+
+   Responses (one per request, in request order):
+
+     {"id": 1, "ok": true, "status": "finished", "output": "...",
+      "cycles": 59780, "insns": 12083, "latency_us": 312.4}
+     {"id": 2, "ok": false, "error": "unknown snapshot \"x\"",
+      "latency_us": 1.9}
+
+   [status] is "finished", "bound_violation", or "crashed", with the
+   fault message in [detail] for the latter two. A bound violation or a
+   crash of the simulated program is a successful request ([ok] true):
+   the simulator did its job. [ok] false means the request itself
+   failed — unparseable line, unknown backend or snapshot, source that
+   does not compile — and carries [error] instead of the run fields.
+
+   After the last response the server emits one summary line:
+
+     {"summary": true, "requests": 200, "errors": 0,
+      "wall_seconds": 0.19, "req_per_s": 1052.6,
+      "p50_us": 410.2, "p90_us": 890.1, "p99_us": 2104.0} *)
+
+type spec =
+  | Compile_and_run of { backend : Core.backend; source : string }
+  | Replay of { snapshot : string }
+
+type request = {
+  rq_id : int;
+  rq_engine : Machine.Cpu.engine option;
+  rq_spec : spec;
+}
+
+(* The cashc names (cash3 = cash: [Core.backend_name] prints the
+   register count). *)
+let backends =
+  [ ("gcc", Core.gcc); ("bcc", Core.bcc); ("bcc-bound", Core.bcc_bound);
+    ("cash", Core.cash); ("cash2", Core.cash_n 2); ("cash3", Core.cash);
+    ("cash4", Core.cash_n 4) ]
+
+let backend_of_string name = List.assoc_opt name backends
+
+type response = {
+  rs_id : int;
+  rs_ok : bool;
+  rs_status : string;  (* "" on a failed request *)
+  rs_detail : string;  (* fault message, "" when finished *)
+  rs_output : string;
+  rs_cycles : int;
+  rs_insns : int;
+  rs_error : string option;  (* [Some] iff not [rs_ok] *)
+  rs_latency_us : float;
+}
+
+let failure ~id ?(latency_us = 0.) msg =
+  {
+    rs_id = id;
+    rs_ok = false;
+    rs_status = "";
+    rs_detail = "";
+    rs_output = "";
+    rs_cycles = 0;
+    rs_insns = 0;
+    rs_error = Some msg;
+    rs_latency_us = latency_us;
+  }
+
+let of_run ~id ~latency_us (r : Core.run) =
+  let status, detail =
+    match r.Core.status with
+    | Core.Finished -> ("finished", "")
+    | Core.Bound_violation m -> ("bound_violation", m)
+    | Core.Crashed m -> ("crashed", m)
+  in
+  {
+    rs_id = id;
+    rs_ok = true;
+    rs_status = status;
+    rs_detail = detail;
+    rs_output = r.Core.output;
+    rs_cycles = r.Core.cycles;
+    rs_insns = r.Core.insns;
+    rs_error = None;
+    rs_latency_us = latency_us;
+  }
+
+(* --- parsing ------------------------------------------------------------- *)
+
+let parse_request ~default_id line =
+  match Trace.Json.parse line with
+  | exception Trace.Json.Parse_error m -> Error ("bad JSON: " ^ m)
+  | json -> (
+    let str k = Option.bind (Trace.Json.member k json) Trace.Json.to_string_opt in
+    let rq_id =
+      match Option.bind (Trace.Json.member "id" json) Trace.Json.to_int_opt with
+      | Some i -> i
+      | None -> default_id
+    in
+    let rq_engine =
+      match str "engine" with
+      | None -> Ok None
+      | Some name -> (
+        match Core.engine_of_string name with
+        | Some e -> Ok (Some e)
+        | None -> Error (Printf.sprintf "unknown engine %S" name))
+    in
+    match rq_engine with
+    | Error e -> Error e
+    | Ok rq_engine -> (
+      match str "op" with
+      | Some "compile-and-run" -> (
+        match (str "backend", str "source") with
+        | None, _ -> Error "compile-and-run: missing \"backend\""
+        | _, None -> Error "compile-and-run: missing \"source\""
+        | Some b, Some source -> (
+          match backend_of_string b with
+          | None -> Error (Printf.sprintf "unknown backend %S" b)
+          | Some backend ->
+            Ok { rq_id; rq_engine; rq_spec = Compile_and_run { backend; source } }))
+      | Some "replay" -> (
+        match str "snapshot" with
+        | None -> Error "replay: missing \"snapshot\""
+        | Some snapshot ->
+          Ok { rq_id; rq_engine; rq_spec = Replay { snapshot } })
+      | Some op -> Error (Printf.sprintf "unknown op %S" op)
+      | None -> Error "missing \"op\""))
+
+(* --- rendering ----------------------------------------------------------- *)
+
+let request_to_json rq =
+  let open Trace.Json in
+  let base = [ ("id", Int rq.rq_id) ] in
+  let engine =
+    match rq.rq_engine with
+    | None -> []
+    | Some e -> [ ("engine", Str (Core.engine_name e)) ]
+  in
+  let spec =
+    match rq.rq_spec with
+    | Compile_and_run { backend; source } ->
+      [ ("op", Str "compile-and-run");
+        ("backend", Str (Core.backend_name backend));
+        ("source", Str source) ]
+    | Replay { snapshot } ->
+      [ ("op", Str "replay"); ("snapshot", Str snapshot) ]
+  in
+  Obj (base @ spec @ engine)
+
+let response_to_json rs =
+  let open Trace.Json in
+  let us = Float.round (rs.rs_latency_us *. 10.) /. 10. in
+  match rs.rs_error with
+  | Some e ->
+    Obj
+      [ ("id", Int rs.rs_id); ("ok", Bool false); ("error", Str e);
+        ("latency_us", Float us) ]
+  | None ->
+    Obj
+      ([ ("id", Int rs.rs_id); ("ok", Bool true);
+         ("status", Str rs.rs_status) ]
+      @ (if rs.rs_detail = "" then [] else [ ("detail", Str rs.rs_detail) ])
+      @ [ ("output", Str rs.rs_output); ("cycles", Int rs.rs_cycles);
+          ("insns", Int rs.rs_insns); ("latency_us", Float us) ])

@@ -1,0 +1,66 @@
+(** The cashd wire protocol: newline-framed JSON, one request or
+    response per line.
+
+    Requests:
+    {v
+    {"id": 1, "op": "compile-and-run", "backend": "cash",
+     "source": "int main() { ... }", "engine": "block"}
+    {"id": 2, "op": "replay", "snapshot": "qpopper/cash3"}
+    v}
+
+    [id] defaults to the request's 1-based stream position; [engine]
+    defaults to the server's ambient engine; [backend] uses the cashc
+    names (gcc, bcc, bcc-bound, cash = cash3, cash2, cash4).
+
+    Responses (one per request, in request order):
+    {v
+    {"id": 1, "ok": true, "status": "finished", "output": "...",
+     "cycles": 59780, "insns": 12083, "latency_us": 312.4}
+    {"id": 2, "ok": false, "error": "unknown snapshot \"x\"",
+     "latency_us": 1.9}
+    v}
+
+    A bound violation or crash {e of the simulated program} is a
+    successful request ([ok] true, [status] "bound_violation" /
+    "crashed" with the fault in [detail]); [ok] false means the request
+    itself failed — bad JSON, unknown backend or snapshot, source that
+    does not compile. *)
+
+type spec =
+  | Compile_and_run of { backend : Core.backend; source : string }
+  | Replay of { snapshot : string }
+
+type request = {
+  rq_id : int;
+  rq_engine : Machine.Cpu.engine option;
+  rq_spec : spec;
+}
+
+(** The accepted [backend] names and their compilers. *)
+val backends : (string * Core.backend) list
+
+val backend_of_string : string -> Core.backend option
+
+type response = {
+  rs_id : int;
+  rs_ok : bool;
+  rs_status : string;  (** "" on a failed request *)
+  rs_detail : string;  (** fault message, "" when finished *)
+  rs_output : string;
+  rs_cycles : int;
+  rs_insns : int;
+  rs_error : string option;  (** [Some] iff not [rs_ok] *)
+  rs_latency_us : float;
+}
+
+(** A request-level failure carrying [msg]. *)
+val failure : id:int -> ?latency_us:float -> string -> response
+
+(** A served run's response. *)
+val of_run : id:int -> latency_us:float -> Core.run -> response
+
+(** Parse one request line. [default_id] fills a missing [id]. *)
+val parse_request : default_id:int -> string -> (request, string) result
+
+val request_to_json : request -> Trace.Json.t
+val response_to_json : response -> Trace.Json.t

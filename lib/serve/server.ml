@@ -1,0 +1,325 @@
+(* The warm-pool request server behind [bin/cashd.exe] and
+   [bench --serve].
+
+   A server owns a warm set (named snapshot images plus their compiled
+   programs — by default the twelve Table 8 "app/backend" pairs warmed
+   to their accept loop) and a handful of knobs; requests arrive as
+   newline-framed JSON ({!Protocol}), are batched onto the
+   [Parallel.run_jobs] domain pool, and come back as one response line
+   per request, in request order, followed by a summary line with
+   latency percentiles.
+
+   The pooled execution path is the point: each worker domain keeps a
+   {!Pool} of machines per (program, engine) pair in domain-local
+   storage, and serves a request by [Core.restore_into] — overwriting a
+   reused machine in place — rather than [Core.restore] building a
+   fresh one. The determinism oracle (test_serve) pins that both paths
+   produce byte-identical machines; [pooled = false] keeps the
+   fresh-restore path alive as the A/B baseline leg for
+   [bench --serve].
+
+   Worker state lives in [Domain.DLS], so pools are per-domain and
+   never contend. [Parallel.run_jobs] spawns fresh domains per call,
+   which would discard the pools every batch — the [batch] size
+   (default 256) amortises the machine builds within a batch, and at
+   [jobs = 1] the tasks run in the calling domain, so its pools
+   persist across batches. *)
+
+type warm = {
+  w_name : string;  (* the [replay] request's [snapshot] field *)
+  w_compiled : Core.compiled;
+  w_image : bytes;
+}
+
+(* The Table 8 warm set: each of the 12 app/backend pairs compiled and
+   run to its [server_ready] marker ([Harness.Table8.warm]); a pair
+   that never reaches the marker falls back to a pristine start image,
+   which replays the init portion but stays byte-identical. *)
+let table8_warms ?jobs () =
+  Parallel.map ?jobs
+    (fun pair ->
+      let w = Harness.Table8.warm pair in
+      let image =
+        match w.Harness.Table8.w_image with
+        | Some b -> b
+        | None ->
+          Buffer.to_bytes (Core.save (Core.start w.Harness.Table8.w_compiled))
+      in
+      {
+        w_name = w.Harness.Table8.w_label;
+        w_compiled = w.Harness.Table8.w_compiled;
+        w_image = image;
+      })
+    (Harness.Table8.split_pairs ())
+
+let table8_names () =
+  List.map (fun (_, _, label) -> label) (Harness.Table8.split_pairs ())
+
+type t = {
+  sv_id : int;  (* keys this server's pools in the shared DLS table *)
+  warms : warm list;
+  jobs : int option;
+  batch : int;
+  pool_capacity : int;
+  policy : Pool.policy;
+  pooled : bool;
+  engine : Machine.Cpu.engine;
+}
+
+let next_id = Atomic.make 0
+
+let create ?jobs ?(batch = 256) ?(pool_capacity = 1) ?(policy = Pool.Grow)
+    ?(pooled = true) ?engine ?(warms = []) () =
+  if batch < 1 then invalid_arg "Server.create: batch < 1";
+  let engine =
+    match engine with Some e -> e | None -> Core.default_engine ()
+  in
+  {
+    sv_id = Atomic.fetch_and_add next_id 1;
+    warms;
+    jobs;
+    batch;
+    pool_capacity;
+    policy;
+    pooled;
+    engine;
+  }
+
+(* --- per-worker state ----------------------------------------------------- *)
+
+(* Machine pools, one per (server, program, engine) triple. Domain-local:
+   each worker grows its own and they never contend. *)
+let pools_key : (string, Pool.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+(* Compile-and-run requests repeat sources (load generators cycle a few
+   samples), so workers memoise (compiled, pristine image) per
+   (backend, source) — shared across servers deliberately, since the
+   pair is a pure function of its key. *)
+let compile_cache_key : (string, Core.compiled * bytes) Hashtbl.t Domain.DLS.key
+    =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let worker_pool t ~key ~engine compiled =
+  let pools = Domain.DLS.get pools_key in
+  let k = Printf.sprintf "%d\x00%s\x00%s" t.sv_id key (Core.engine_name engine) in
+  match Hashtbl.find_opt pools k with
+  | Some p -> p
+  | None ->
+    let p =
+      Pool.create ~capacity:t.pool_capacity ~policy:t.policy ~engine compiled
+    in
+    Hashtbl.add pools k p;
+    p
+
+(* --- one request ---------------------------------------------------------- *)
+
+(* Resolve a request to (pool key, program, image to restore). *)
+let resolve t (rq : Protocol.request) =
+  match rq.Protocol.rq_spec with
+  | Protocol.Replay { snapshot } -> (
+    match List.find_opt (fun w -> w.w_name = snapshot) t.warms with
+    | Some w -> Ok ("replay:" ^ snapshot, w.w_compiled, w.w_image)
+    | None -> Error (Printf.sprintf "unknown snapshot %S" snapshot))
+  | Protocol.Compile_and_run { backend; source } -> (
+    let ck = Core.backend_name backend ^ "\x00" ^ source in
+    let cache = Domain.DLS.get compile_cache_key in
+    match Hashtbl.find_opt cache ck with
+    | Some (compiled, image) -> Ok ("src:" ^ ck, compiled, image)
+    | None -> (
+      match Core.compile backend source with
+      | exception e -> Error ("compile error: " ^ Printexc.to_string e)
+      | compiled ->
+        let image = Buffer.to_bytes (Core.save (Core.start compiled)) in
+        Hashtbl.add cache ck (compiled, image);
+        Ok ("src:" ^ ck, compiled, image)))
+
+let run_request t (rq : Protocol.request) =
+  let t0 = Unix.gettimeofday () in
+  let latency_us () = (Unix.gettimeofday () -. t0) *. 1e6 in
+  match resolve t rq with
+  | Error msg -> Protocol.failure ~id:rq.Protocol.rq_id ~latency_us:(latency_us ()) msg
+  | Ok (key, compiled, image) -> (
+    let engine =
+      match rq.Protocol.rq_engine with Some e -> e | None -> t.engine
+    in
+    match
+      if t.pooled then
+        let pool = worker_pool t ~key ~engine compiled in
+        Pool.with_machine pool (fun s ->
+            Core.finish (Core.restore_into s image))
+      else Core.finish (Core.restore ~engine compiled image)
+    with
+    | run -> Protocol.of_run ~id:rq.Protocol.rq_id ~latency_us:(latency_us ()) run
+    | exception e ->
+      Protocol.failure ~id:rq.Protocol.rq_id ~latency_us:(latency_us ())
+        (Printexc.to_string e))
+
+let handle_line t ~default_id line =
+  match Protocol.parse_request ~default_id line with
+  | Error msg -> Protocol.failure ~id:default_id msg
+  | Ok rq -> run_request t rq
+
+(* --- batches and streams -------------------------------------------------- *)
+
+let run_batch t ~default_id lines =
+  let tasks =
+    Array.of_list
+      (List.mapi
+         (fun i line -> fun () -> handle_line t ~default_id:(default_id + i) line)
+         lines)
+  in
+  Array.to_list (Parallel.run_jobs ?jobs:t.jobs tasks)
+
+type summary = {
+  requests : int;
+  errors : int;
+  wall_seconds : float;
+  req_per_s : float;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+}
+
+(* Nearest-rank percentile over a sorted latency array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (Float.ceil (p *. float_of_int n /. 100.)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let summarize ~wall_seconds ~errors lats =
+  Array.sort compare lats;
+  let requests = Array.length lats in
+  {
+    requests;
+    errors;
+    wall_seconds;
+    req_per_s =
+      (if wall_seconds > 0. then float_of_int requests /. wall_seconds else 0.);
+    p50_us = percentile lats 50.;
+    p90_us = percentile lats 90.;
+    p99_us = percentile lats 99.;
+  }
+
+let summary_to_json s =
+  let open Trace.Json in
+  let r1 x = Float.round (x *. 10.) /. 10. in
+  Obj
+    [ ("summary", Bool true); ("requests", Int s.requests);
+      ("errors", Int s.errors);
+      ("wall_seconds", Float (Float.round (s.wall_seconds *. 1e4) /. 1e4));
+      ("req_per_s", Float (r1 s.req_per_s)); ("p50_us", Float (r1 s.p50_us));
+      ("p90_us", Float (r1 s.p90_us)); ("p99_us", Float (r1 s.p99_us)) ]
+
+let rec take n = function
+  | x :: rest when n > 0 ->
+    let batch, tail = take (n - 1) rest in
+    (x :: batch, tail)
+  | rest -> ([], rest)
+
+(* In-process driver: run every line, return responses in request order
+   plus the summary. [bench --serve] and the batch tests use this. *)
+let run_lines t lines =
+  let t0 = Unix.gettimeofday () in
+  let responses = ref [] in
+  let count = ref 0 in
+  let errors = ref 0 in
+  let rec loop = function
+    | [] -> ()
+    | lines ->
+      let batch, rest = take t.batch lines in
+      let rs = run_batch t ~default_id:(!count + 1) batch in
+      List.iter
+        (fun r ->
+          incr count;
+          if not r.Protocol.rs_ok then incr errors)
+        rs;
+      responses := List.rev_append rs !responses;
+      loop rest
+  in
+  loop lines;
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let rs = List.rev !responses in
+  let lats =
+    Array.of_list (List.map (fun r -> r.Protocol.rs_latency_us) rs)
+  in
+  (rs, summarize ~wall_seconds ~errors:!errors lats)
+
+(* Streaming driver: read newline-framed requests from [ic] in batches
+   of [t.batch], write one response line per request (request order,
+   flushed per batch), then the summary line. Blank lines are
+   skipped. *)
+let serve t ic oc =
+  let t0 = Unix.gettimeofday () in
+  let lats = ref [] in
+  let count = ref 0 in
+  let errors = ref 0 in
+  let eof = ref false in
+  let read_batch () =
+    let acc = ref [] in
+    let n = ref 0 in
+    while (not !eof) && !n < t.batch do
+      match input_line ic with
+      | "" -> ()
+      | line ->
+        acc := line :: !acc;
+        incr n
+      | exception End_of_file -> eof := true
+    done;
+    List.rev !acc
+  in
+  let rec loop () =
+    match read_batch () with
+    | [] -> ()
+    | lines ->
+      let rs = run_batch t ~default_id:(!count + 1) lines in
+      List.iter
+        (fun r ->
+          incr count;
+          if not r.Protocol.rs_ok then incr errors;
+          lats := r.Protocol.rs_latency_us :: !lats;
+          output_string oc (Trace.Json.to_string (Protocol.response_to_json r));
+          output_char oc '\n')
+        rs;
+      flush oc;
+      loop ()
+  in
+  loop ();
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let s =
+    summarize ~wall_seconds ~errors:!errors (Array.of_list !lats)
+  in
+  output_string oc (Trace.Json.to_string (summary_to_json s));
+  output_char oc '\n';
+  flush oc;
+  s
+
+(* --- load generation ------------------------------------------------------ *)
+
+(* Small compile-and-run payloads for the mixed load: micro kernels kept
+   tiny so the compile (memoised per worker anyway) stays cheap. *)
+let sample_sources () =
+  [ (Core.gcc, Workloads.Micro.matmul ~n:4 ());
+    (Core.bcc, Workloads.Micro.gaussian ~n:6 ());
+    (Core.cash, Workloads.Micro.edge_detect ~width:8 ~height:6 ()) ]
+
+(* The Table 8 request mix: every 4th request is a compile-and-run
+   cycling through the sample sources, the rest replay the warm names
+   round-robin. Deterministic — same [n] and [names], same lines. *)
+let gen_mix ~names n =
+  let samples = sample_sources () in
+  let nsamples = List.length samples in
+  let nnames = List.length names in
+  List.init n (fun i ->
+      let rq_id = i + 1 in
+      let rq_spec =
+        if nnames = 0 || i mod 4 = 3 then
+          let backend, source = List.nth samples (i / 4 mod nsamples) in
+          Protocol.Compile_and_run { backend; source }
+        else Protocol.Replay { snapshot = List.nth names (i mod nnames) }
+      in
+      Trace.Json.to_string
+        (Protocol.request_to_json
+           { Protocol.rq_id; rq_engine = None; rq_spec }))

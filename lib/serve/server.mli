@@ -1,0 +1,83 @@
+(** The warm-pool request server behind [bin/cashd.exe] and
+    [bench --serve]: newline-framed JSON requests ({!Protocol}) batched
+    onto the [Parallel] domain pool, served by restoring snapshot
+    images into {e reused} machines ({!Core.restore_into}) drawn from
+    per-worker {!Pool}s. *)
+
+(** A named warm snapshot a [replay] request can target. *)
+type warm = {
+  w_name : string;  (** the request's [snapshot] field *)
+  w_compiled : Core.compiled;
+  w_image : bytes;
+}
+
+(** The twelve Table 8 "app/backend" warm images, each run to its
+    [server_ready] marker ([Harness.Table8.warm]); compiles and warms
+    in parallel. A pair that never reaches the marker falls back to a
+    pristine start image (init replays, results unchanged). *)
+val table8_warms : ?jobs:int -> unit -> warm list
+
+(** The warm names {!table8_warms} would produce, without compiling
+    anything — for generating request mixes up front. *)
+val table8_names : unit -> string list
+
+type t
+
+(** [create ()] — a server. [warms] (default empty) is the replay
+    target set; [jobs] caps worker domains (default
+    [Parallel.default_jobs]); [batch] (default 256) is how many
+    requests are in flight per dispatch — also the reuse horizon, since
+    worker pools live in domain-local storage and
+    [Parallel.run_jobs] spawns fresh domains per call (at [jobs = 1]
+    the calling domain serves everything and its pools persist);
+    [pool_capacity]/[policy] (default 1/[Grow]) configure each worker
+    pool; [pooled = false] serves every request through a fresh
+    [Core.restore] instead — the A/B baseline leg; [engine] is the
+    default CPU engine for requests that don't name one (default: the
+    ambient {!Core.default_engine}).
+    @raise Invalid_argument when [batch < 1]. *)
+val create :
+  ?jobs:int -> ?batch:int -> ?pool_capacity:int -> ?policy:Pool.policy ->
+  ?pooled:bool -> ?engine:Machine.Cpu.engine -> ?warms:warm list -> unit -> t
+
+(** Serve one already-parsed request on the calling domain. *)
+val run_request : t -> Protocol.request -> Protocol.response
+
+(** Parse and serve one request line; a parse failure becomes an
+    [ok = false] response carrying [default_id]. *)
+val handle_line : t -> default_id:int -> string -> Protocol.response
+
+(** Serve a batch of lines across the worker pool; responses come back
+    in line order. Line [i] defaults its id to [default_id + i]. *)
+val run_batch :
+  t -> default_id:int -> string list -> Protocol.response list
+
+(** End-of-run throughput report. Latency percentiles are
+    nearest-rank over per-request wall latencies in microseconds. *)
+type summary = {
+  requests : int;
+  errors : int;  (** [ok = false] responses *)
+  wall_seconds : float;
+  req_per_s : float;
+  p50_us : float;
+  p90_us : float;
+  p99_us : float;
+}
+
+val summary_to_json : summary -> Trace.Json.t
+
+(** Serve every line in-process (batching internally) and return the
+    responses in request order plus the summary — the [bench --serve]
+    driver. *)
+val run_lines : t -> string list -> Protocol.response list * summary
+
+(** Stream: read request lines from [ic] until EOF, write one response
+    line per request (request order, flushed per batch) to [oc], then
+    the summary line; returns the summary. Blank lines are skipped. *)
+val serve : t -> in_channel -> out_channel -> summary
+
+(** [gen_mix ~names n] — [n] deterministic request lines of the Table 8
+    mix: every 4th a small compile-and-run (cycling gcc/bcc/cash micro
+    kernels), the rest replays round-robin over [names]. With [names]
+    empty every request is a compile-and-run. *)
+val gen_mix : names:string list -> int -> string list

@@ -363,7 +363,28 @@ let restore_table r tbl what =
   in
   List.iter (fun (i, d) -> Seghw.Descriptor_table.set tbl i d) entries
 
-let restore_body ?engine ~(program : Machine.Program.t) (r : reader) =
+(* Where the parsed image lands: a freshly loaded machine (the classic
+   [restore]), or an existing machine reused in place (the pool path,
+   [restore_into]). The two targets share every parsing and validation
+   step; they differ only in how the machine comes to exist and in the
+   scrub that makes a reused machine equivalent to a fresh one. *)
+type target =
+  | Fresh of Machine.Cpu.engine option
+  | Reuse of Osim.Process.t * Cashrt.Runtime.t option
+
+(* Scrub a descriptor table back to its load-time contents so replaying
+   the image's entries reproduces the fresh table exactly. The LDT
+   starts empty at [Osim.Process.load]; the GDT's only load-time entries
+   are re-set from the image (every snapshot contains them — they are
+   never cleared at runtime), and index 0 is never present. *)
+let scrub_table ?(keep = -1) tbl =
+  let live = ref [] in
+  Seghw.Descriptor_table.iteri
+    (fun i _ -> if i <> keep then live := i :: !live)
+    tbl;
+  List.iter (fun i -> Seghw.Descriptor_table.clear tbl i) !live
+
+let restore_body ~target ~(program : Machine.Program.t) (r : reader) =
   need r (String.length magic) "magic";
   if String.sub r.data 0 (String.length magic) <> magic then
     raise (Error Bad_magic);
@@ -372,6 +393,17 @@ let restore_body ?engine ~(program : Machine.Program.t) (r : reader) =
   if v <> version then raise (Error (Bad_version v));
   let pd = r_str r "program digest" in
   if pd <> program_digest program then raise (Error Program_mismatch);
+  (match target with
+   | Fresh _ -> ()
+   | Reuse (process, _) ->
+     (* The pooled machine must be running the image's program: its
+        compiled block closures and load-time layout are functions of
+        the program, so reusing a machine across programs would not be
+        a restore at all. Physical equality is the fast path (pools key
+        machines by compiled program). *)
+     let pp = Osim.Process.program process in
+     if pp != program && program_digest pp <> pd then
+       raise (Error Program_mismatch));
   (* Kernel section is parsed first but imported after [load], which
      consumes a pid from the fresh kernel. *)
   expect_tag r tag_kernel "kernel";
@@ -467,10 +499,20 @@ let restore_body ?engine ~(program : Machine.Program.t) (r : reader) =
   expect_tag r tag_ldt "LDT";
   (* LDT entries are replayed below through [Descriptor_table.set]. *)
   let restore_ldt tbl r = restore_table r tbl "LDT" in
-  (* Build the fresh machine now: everything parsed past this point is
-     written directly into it. *)
-  let kernel = Osim.Kernel.create () in
-  let process = Osim.Process.load ?engine ~kernel program in
+  (* Build (or scrub) the machine now: everything parsed past this
+     point is written directly into it. *)
+  let process =
+    match target with
+    | Fresh engine ->
+      let kernel = Osim.Kernel.create () in
+      Osim.Process.load ?engine ~kernel program
+    | Reuse (process, _) ->
+      let mmu = Osim.Process.mmu process in
+      scrub_table (Seghw.Mmu.ldt mmu);
+      scrub_table ~keep:0 (Seghw.Mmu.gdt mmu);
+      process
+  in
+  let kernel = Osim.Process.kernel process in
   let mmu = Osim.Process.mmu process in
   restore_ldt (Seghw.Mmu.ldt mmu) r;
   expect_tag r tag_paging "paging";
@@ -510,7 +552,18 @@ let restore_body ?engine ~(program : Machine.Program.t) (r : reader) =
   while hw > !len do
     len := !len * 2
   done;
-  ph.Machine.Phys_mem.data <- Bytes.make !len '\000';
+  (match target with
+   | Fresh _ -> ph.Machine.Phys_mem.data <- Bytes.make !len '\000'
+   | Reuse _ ->
+     if Bytes.length ph.Machine.Phys_mem.data < !len then
+       ph.Machine.Phys_mem.data <- Bytes.make !len '\000'
+     else
+       (* Everything the previous occupant wrote lies below its
+          high-water mark (every write path raises it), so scrubbing
+          [0, high_water) leaves the whole buffer zero without
+          reallocating. *)
+       Bytes.fill ph.Machine.Phys_mem.data 0 ph.Machine.Phys_mem.high_water
+         '\000');
   ph.Machine.Phys_mem.high_water <- hw;
   let n_pages = r_int r "physical memory" in
   if n_pages < 0 then raise (Error (Corrupt "negative page count"));
@@ -518,8 +571,11 @@ let restore_body ?engine ~(program : Machine.Program.t) (r : reader) =
     let page = r_int r "physical memory" in
     let chunk = r_str r "physical memory" in
     let start = page * page_size in
+    (* Bound pages by the length a fresh machine would allocate, not
+       the (possibly larger) reused buffer, so both targets accept and
+       reject exactly the same images. *)
     if page < 0 || String.length chunk > page_size
-       || start + String.length chunk > Bytes.length ph.Machine.Phys_mem.data
+       || start + String.length chunk > !len
     then raise (Error (Corrupt "physical page outside image"));
     Bytes.blit_string chunk 0 ph.Machine.Phys_mem.data start
       (String.length chunk)
@@ -582,7 +638,19 @@ let restore_body ?engine ~(program : Machine.Program.t) (r : reader) =
       let p_global_fallbacks = r_int r "runtime" in
       let p_started = r_bool r "runtime" in
       expect_tag r tag_end "end";
-      let rt = Cashrt.Runtime.attach ~pool_capacity:p_capacity process in
+      (* Reuse the pooled machine's runtime when its segment pool has
+         the image's capacity ([Segment_pool.import_state] requires it);
+         otherwise attach a fresh runtime, which re-registers the cash
+         externals on the reused CPU exactly as a fresh load would. *)
+      let rt =
+        match target with
+        | Reuse (_, Some rt)
+          when Cashrt.Segment_pool.capacity (Cashrt.Runtime.pool rt)
+               = p_capacity ->
+          rt
+        | Fresh _ | Reuse _ ->
+          Cashrt.Runtime.attach ~pool_capacity:p_capacity process
+      in
       Cashrt.Runtime.import_state rt
         {
           Cashrt.Runtime.p_pool =
@@ -624,14 +692,28 @@ let restore_body ?engine ~(program : Machine.Program.t) (r : reader) =
   Osim.Libc.import_state (Osim.Process.libc process) lstate;
   (process, runtime)
 
-let restore ?engine ~program bytes =
-  let r = { data = Bytes.to_string bytes; pos = 0 } in
-  try restore_body ?engine ~program r with
+let wrap_restore f =
+  try f () with
   | Error _ as e -> raise e
   | Seghw.Fault.Fault f ->
     raise (Error (Corrupt ("fault during restore: " ^ Seghw.Fault.to_string f)))
   | Invalid_argument m -> raise (Error (Corrupt m))
   | Failure m -> raise (Error (Corrupt m))
+
+let restore ?engine ~program bytes =
+  let r = { data = Bytes.to_string bytes; pos = 0 } in
+  wrap_restore (fun () -> restore_body ~target:(Fresh engine) ~program r)
+
+let restore_into ?runtime ~program process bytes =
+  (* [unsafe_to_string] spares the per-request copy of a multi-hundred-
+     KB image; the reader never mutates it, and callers hold images as
+     write-once blobs. *)
+  let r = { data = Bytes.unsafe_to_string bytes; pos = 0 } in
+  let _, rt =
+    wrap_restore (fun () ->
+        restore_body ~target:(Reuse (process, runtime)) ~program r)
+  in
+  rt
 
 (* --- checkpoint placement ------------------------------------------------ *)
 

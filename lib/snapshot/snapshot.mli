@@ -56,6 +56,36 @@ val restore :
   ?engine:Machine.Cpu.engine -> program:Machine.Program.t -> bytes ->
   Osim.Process.t * Cashrt.Runtime.t option
 
+(** Re-parse an image directly into an existing machine — the pooled
+    executor's allocation-free restore. The process must have been
+    loaded with (a program digest-equal to) [program]; its register
+    files, descriptor tables, page tables, and TLB are overwritten in
+    place, and physical memory is blitted into the existing bytes with
+    the previous occupant's tail scrubbed — no large-object allocation
+    when the reused buffer is big enough. The scrub also repairs a
+    machine left [Faulted], [Halted], or mid-superblock by its previous
+    run: [Machine.Cpu.import_state] overwrites the status and resets
+    every derived fast path, so the result is byte-identical (by
+    {!state_digest}) to a fresh {!restore} of the same image, under any
+    engine. Compiled superblock closures survive reuse (they are a
+    derived cache keyed by the unchanged program).
+
+    Pass [runtime] to reuse the machine's Cash runtime when the image
+    carries a runtime section of the same pool capacity; otherwise a
+    fresh runtime is attached. Returns the runtime now wired to the
+    machine ([None] for images without a runtime section).
+
+    The image format is unchanged (version 1): anything {!restore}
+    loads, [restore_into] loads, and vice versa.
+
+    @raise Error as {!restore}; additionally [Program_mismatch] when
+    the process is running a different program. On any [Error] the
+    reused machine is left half-scrubbed and must be discarded, not
+    returned to a pool. *)
+val restore_into :
+  ?runtime:Cashrt.Runtime.t -> program:Machine.Program.t ->
+  Osim.Process.t -> bytes -> Cashrt.Runtime.t option
+
 (** MD5 hex of an image — the byte-stable state-equality oracle. *)
 val digest : bytes -> string
 

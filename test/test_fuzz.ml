@@ -157,7 +157,7 @@ let test_dump_snapshot_replayable () =
   let r = Core.run compiled in
   let paths =
     Fuzz.Dump.dump_failure ~dir ~seed:5 ~suffix:".min" ~what:"test"
-      ~backend:Core.cash ~src (Some r)
+      ~backend:Core.cash ~src (Some (compiled, r))
   in
   let base = Filename.concat dir "seed_5.min" in
   Alcotest.(check (list string))
@@ -166,16 +166,12 @@ let test_dump_snapshot_replayable () =
     paths;
   (* the snapshot restores against the dumped source and replays the
      terminal state: same status, same output *)
-  let ic = open_in_bin (base ^ ".snap") in
-  let bytes = Bytes.of_string (really_input_string ic (in_channel_length ic)) in
-  close_in ic;
+  let bytes = Bytes.of_string (Core.read_file (base ^ ".snap")) in
   let replayed = Core.finish (Core.restore compiled bytes) in
   Alcotest.(check bool) "replayed status" true
     (replayed.Core.status = r.Core.status);
   Alcotest.(check string) "replayed output" r.Core.output replayed.Core.output;
-  let ic = open_in (base ^ ".txt") in
-  let meta = really_input_string ic (in_channel_length ic) in
-  close_in ic;
+  let meta = Core.read_file (base ^ ".txt") in
   Alcotest.(check bool) "replay line names the snapshot" true
     (let re = Str.regexp_string ("--replay " ^ base ^ ".snap") in
      try ignore (Str.search_forward re meta 0); true with Not_found -> false)
@@ -199,7 +195,15 @@ let test_fleet_accounting () =
   Alcotest.(check int) "known misses agree across -j" s1.Fuzz.Fleet.known_misses
     s2.Fuzz.Fleet.known_misses;
   Alcotest.(check int) "injection agrees across -j" s1.Fuzz.Fleet.oob_injected
-    s2.Fuzz.Fleet.oob_injected
+    s2.Fuzz.Fleet.oob_injected;
+  (* the check phase is timed on its own and sums worker time, so it is
+     positive and (a run with no failures does no shrinking) close to —
+     in particular never hugely above — the serial wall clock *)
+  Alcotest.(check bool) "check phase timed" true
+    (s1.Fuzz.Fleet.check_seconds > 0.
+     && s1.Fuzz.Fleet.check_programs_per_sec > 0.);
+  Alcotest.(check bool) "check time within serial wall clock + epsilon" true
+    (s1.Fuzz.Fleet.check_seconds <= s1.Fuzz.Fleet.wall_seconds +. 0.05)
 
 (* The forced-failure drill end to end, as CI runs it (via cashfuzz
    --force-fail): the seed fails, is shrunk to <= 10 lines, and both

@@ -19,6 +19,7 @@ let () =
       ("differential", Test_differential.suite);
       ("fuzz", Test_fuzz.suite);
       ("parallel", Test_parallel.suite);
+      ("serve", Test_serve.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
     ]

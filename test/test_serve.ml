@@ -1,0 +1,367 @@
+(* lib/serve: the warm-pool request server and its determinism oracle.
+
+   The heart of the pool is [Core.restore_into]: re-parsing a snapshot
+   image directly into a machine some previous request used, instead of
+   building a fresh one. The oracle under test is byte-exact state
+   equality — for every engine, restoring an image into a reused
+   machine must produce the same [Core.state_digest] as a fresh
+   [Core.restore] of the same image, no matter what the previous
+   request left behind: a cleanly halted machine, one that faulted on a
+   bound violation, or one parked mid-superblock. On top of that ride
+   the pool policies (Grow/Block) and the server itself, whose batched
+   responses must be identical at any job count and to direct
+   [Core.run]s. *)
+
+let engines =
+  [ ("predecoded", Machine.Cpu.Predecoded);
+    ("block", Machine.Cpu.Block);
+    ("reference", Machine.Cpu.Reference) ]
+
+let matmul () = Core.compile Core.gcc (Workloads.Micro.matmul ~n:6 ())
+let cash_matmul () = Core.compile Core.cash (Workloads.Micro.matmul ~n:6 ())
+
+(* A program cash faults on: a loop overrun past a 2-element array. *)
+let oob_src = "int a[2]; int main() { int i; for (i=0;i<9;i++) a[i]=i; return 0; }"
+let cash_oob () = Core.compile Core.cash oob_src
+
+(* Step a freshly started machine [n] instructions, then to the next
+   superblock boundary (same helper as test_snapshot). *)
+let warm_state ?engine compiled n =
+  let state = Core.start ?engine compiled in
+  let process = Core.state_process state in
+  let cpu = Osim.Process.cpu process in
+  let target = Machine.Cpu.insns_executed cpu + n in
+  while
+    (match Machine.Cpu.status cpu with
+     | Machine.Cpu.Running -> true
+     | _ -> false)
+    && Machine.Cpu.insns_executed cpu < target
+  do
+    Machine.Cpu.step cpu
+  done;
+  ignore (Snapshot.align_to_block process);
+  state
+
+(* Step [n] instructions WITHOUT aligning, leaving the machine parked
+   mid-superblock — the messiest reuse candidate. *)
+let midblock_state ?engine compiled n =
+  let state = Core.start ?engine compiled in
+  let cpu = Osim.Process.cpu (Core.state_process state) in
+  for _ = 1 to n do
+    match Machine.Cpu.status cpu with
+    | Machine.Cpu.Running -> Machine.Cpu.step cpu
+    | _ -> ()
+  done;
+  state
+
+(* --- the determinism oracle ---------------------------------------------- *)
+
+(* Pooled restore == fresh restore, byte for byte, on every engine, for
+   every kind of leftover machine. *)
+let test_restore_into_digest_oracle () =
+  List.iter
+    (fun (ename, engine) ->
+      List.iter
+        (fun compiled ->
+          let image =
+            Buffer.to_bytes (Core.save (warm_state ~engine compiled 500))
+          in
+          let fresh = Core.restore ~engine compiled image in
+          let d_fresh = Core.state_digest fresh in
+          let victims =
+            [ ("halted", Core.state_of_run compiled (Core.run ~engine compiled));
+              ("mid-block", midblock_state ~engine compiled 137);
+              ("pristine", Core.start ~engine compiled) ]
+          in
+          List.iter
+            (fun (vname, victim) ->
+              let reused = Core.restore_into victim image in
+              Alcotest.(check string)
+                (Printf.sprintf "pooled = fresh digest (%s, %s)" ename vname)
+                d_fresh (Core.state_digest reused))
+            victims)
+        [ matmul (); cash_matmul () ])
+    engines
+
+(* Reuse after a FAULTED run: the previous request died on a bound
+   violation; the next restore into that machine must still be
+   byte-identical to a fresh one, and finish identically. *)
+let test_restore_into_after_fault () =
+  let compiled = cash_oob () in
+  List.iter
+    (fun (ename, engine) ->
+      let image =
+        Buffer.to_bytes (Core.save (warm_state ~engine compiled 20))
+      in
+      let crashed = Core.run ~engine compiled in
+      (match crashed.Core.status with
+       | Core.Bound_violation _ -> ()
+       | s ->
+         Alcotest.failf "expected a bound violation, got %s (%s)"
+           (match s with
+            | Core.Finished -> "finished"
+            | Core.Crashed m -> "crashed: " ^ m
+            | Core.Bound_violation _ -> assert false)
+           ename);
+      let victim = Core.state_of_run compiled crashed in
+      let reused = Core.restore_into victim image in
+      let fresh = Core.restore ~engine compiled image in
+      Alcotest.(check string)
+        (Printf.sprintf "pooled = fresh digest after fault (%s)" ename)
+        (Core.state_digest fresh) (Core.state_digest reused);
+      let r1 = Core.finish reused and r2 = Core.run ~engine compiled in
+      Alcotest.(check bool)
+        (Printf.sprintf "replayed fault matches (%s)" ename)
+        true
+        (r1.Core.status = r2.Core.status && r1.Core.output = r2.Core.output
+         && r1.Core.cycles = r2.Core.cycles))
+    engines
+
+(* Restoring an image into a machine built for a different program is
+   a [Program_mismatch], not silent corruption. *)
+let test_restore_into_rejects_wrong_program () =
+  let a = matmul () and b = cash_matmul () in
+  let image = Buffer.to_bytes (Core.save (Core.start a)) in
+  let victim = Core.start b in
+  match Core.restore_into victim image with
+  | _ -> Alcotest.fail "expected Program_mismatch"
+  | exception Snapshot.Error Snapshot.Program_mismatch -> ()
+
+(* --- pool policies -------------------------------------------------------- *)
+
+(* Sequential reuse through with_machine builds exactly one machine. *)
+let test_pool_reuses_machine () =
+  let compiled = matmul () in
+  let image = Buffer.to_bytes (Core.save (warm_state compiled 300)) in
+  let pool = Serve.Pool.create compiled in
+  let baseline = Core.finish (Core.restore compiled image) in
+  for _ = 1 to 8 do
+    let r =
+      Serve.Pool.with_machine pool (fun s ->
+          Core.finish (Core.restore_into s image))
+    in
+    Alcotest.(check string) "pooled run output" baseline.Core.output
+      r.Core.output;
+    Alcotest.(check int) "pooled run cycles" baseline.Core.cycles r.Core.cycles
+  done;
+  Alcotest.(check int) "one machine built for 8 requests" 1
+    (Serve.Pool.built pool);
+  Alcotest.(check int) "and it is idle again" 1 (Serve.Pool.idle pool)
+
+(* Grow policy: more concurrent acquires than capacity just build. *)
+let test_pool_grow_past_capacity () =
+  let pool = Serve.Pool.create ~capacity:1 ~policy:Serve.Pool.Grow (matmul ()) in
+  let a = Serve.Pool.acquire pool in
+  let b = Serve.Pool.acquire pool in
+  Alcotest.(check int) "built past capacity" 2 (Serve.Pool.built pool);
+  Serve.Pool.release pool a;
+  Serve.Pool.release pool b;
+  Alcotest.(check int) "both idle" 2 (Serve.Pool.idle pool)
+
+(* Block policy: the second acquire waits for a release instead of
+   building; a discarded machine frees its slot for a rebuild. *)
+let test_pool_block_waits () =
+  let pool =
+    Serve.Pool.create ~capacity:1 ~policy:Serve.Pool.Block (matmul ())
+  in
+  let a = Serve.Pool.acquire pool in
+  let got = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        let b = Serve.Pool.acquire pool in
+        Atomic.set got true;
+        Serve.Pool.release pool b)
+  in
+  (* the waiter cannot have acquired: capacity 1, machine held here *)
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "waiter blocked at capacity" false (Atomic.get got);
+  Serve.Pool.release pool a;
+  Domain.join d;
+  Alcotest.(check bool) "waiter ran after release" true (Atomic.get got);
+  Alcotest.(check int) "still one machine" 1 (Serve.Pool.built pool);
+  (* discard shrinks the build count so capacity frees up *)
+  let c = Serve.Pool.acquire pool in
+  Serve.Pool.discard pool c;
+  Alcotest.(check int) "discard releases the slot" 0 (Serve.Pool.built pool)
+
+(* --- the server ----------------------------------------------------------- *)
+
+let mini_warms () =
+  List.map
+    (fun (name, compiled) ->
+      {
+        Serve.Server.w_name = name;
+        w_compiled = compiled;
+        w_image = Buffer.to_bytes (Core.save (warm_state compiled 400));
+      })
+    [ ("m/gcc", matmul ()); ("m/cash", cash_matmul ()) ]
+
+let tiny_src = "int main() { print_int(41 + 1); return 0; }"
+
+let request_lines =
+  [ {|{"op": "replay", "snapshot": "m/gcc"}|};
+    {|{"op": "replay", "snapshot": "m/cash"}|};
+    Printf.sprintf {|{"op": "compile-and-run", "backend": "gcc", "source": %S}|}
+      tiny_src;
+    {|{"op": "replay", "snapshot": "m/cash", "engine": "block"}|};
+    {|{"op": "replay", "snapshot": "no-such-snapshot"}|};
+    {|this is not json|};
+    {|{"op": "compile-and-run", "backend": "cash", "source": "int nope("}|} ]
+
+(* Everything observable about a response except its latency. *)
+let strip (r : Serve.Protocol.response) =
+  ( r.Serve.Protocol.rs_id, r.rs_ok, r.rs_status, r.rs_detail, r.rs_output,
+    r.rs_cycles, r.rs_insns, r.rs_error )
+
+(* Batched responses are byte-identical (modulo latency) at any job
+   count, pooled or fresh, and match direct Core runs. *)
+let test_server_batch_matches_direct () =
+  let warms = mini_warms () in
+  let serve ~jobs ~pooled =
+    let server = Serve.Server.create ~jobs ~warms ~pooled ~batch:4 () in
+    let responses, summary = Serve.Server.run_lines server request_lines in
+    Alcotest.(check int) "one response per request"
+      (List.length request_lines) (List.length responses);
+    Alcotest.(check int) "summary counts requests"
+      (List.length request_lines) summary.Serve.Server.requests;
+    Alcotest.(check int) "three request-level failures" 3
+      summary.Serve.Server.errors;
+    List.map strip responses
+  in
+  let j1 = serve ~jobs:1 ~pooled:true in
+  Alcotest.(check bool) "-j4 pooled identical" true
+    (j1 = serve ~jobs:4 ~pooled:true);
+  Alcotest.(check bool) "-j1 fresh identical" true
+    (j1 = serve ~jobs:1 ~pooled:false);
+  Alcotest.(check bool) "-j4 fresh identical" true
+    (j1 = serve ~jobs:4 ~pooled:false);
+  (* spot-check against direct runs *)
+  let w = List.hd warms in
+  let direct =
+    Core.finish (Core.restore w.Serve.Server.w_compiled w.Serve.Server.w_image)
+  in
+  (match j1 with
+   | (id, ok, status, _, output, cycles, insns, err) :: _ ->
+     Alcotest.(check int) "replay id defaults to position" 1 id;
+     Alcotest.(check bool) "replay ok" true ok;
+     Alcotest.(check string) "replay status" "finished" status;
+     Alcotest.(check string) "replay output" direct.Core.output output;
+     Alcotest.(check int) "replay cycles" direct.Core.cycles cycles;
+     Alcotest.(check int) "replay insns" direct.Core.insns insns;
+     Alcotest.(check bool) "no error" true (err = None)
+   | [] -> Alcotest.fail "no responses");
+  let direct_tiny = Core.exec Core.gcc tiny_src in
+  (match List.nth j1 2 with
+   | _, ok, status, _, output, _, _, _ ->
+     Alcotest.(check bool) "compile-and-run ok" true ok;
+     Alcotest.(check string) "compile-and-run status" "finished" status;
+     Alcotest.(check string) "compile-and-run output" direct_tiny.Core.output
+       output);
+  List.iteri
+    (fun i (_, ok, _, _, _, _, _, err) ->
+      if i >= 4 then begin
+        Alcotest.(check bool) (Printf.sprintf "request %d failed" (i + 1))
+          false ok;
+        Alcotest.(check bool) "carries an error" true (err <> None)
+      end)
+    j1
+
+(* The streaming entry point: same requests through channels, responses
+   line-framed in order, summary line last. *)
+let test_server_streams_channels () =
+  let dir = Filename.get_temp_dir_name () in
+  let req_path = Filename.concat dir
+      (Printf.sprintf "cash_serve_req_%d.jsonl" (Unix.getpid ())) in
+  let rsp_path = Filename.concat dir
+      (Printf.sprintf "cash_serve_rsp_%d.jsonl" (Unix.getpid ())) in
+  Core.write_file req_path (String.concat "\n" request_lines ^ "\n");
+  let server = Serve.Server.create ~jobs:1 ~warms:(mini_warms ()) () in
+  let ic = open_in req_path in
+  let oc = open_out rsp_path in
+  let summary =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic; close_out_noerr oc)
+      (fun () -> Serve.Server.serve server ic oc)
+  in
+  Alcotest.(check int) "summary requests" (List.length request_lines)
+    summary.Serve.Server.requests;
+  let lines =
+    String.split_on_char '\n' (String.trim (Core.read_file rsp_path))
+  in
+  Alcotest.(check int) "one line per response + summary"
+    (List.length request_lines + 1) (List.length lines);
+  List.iteri
+    (fun i line ->
+      let json = Trace.Json.parse line in
+      if i < List.length request_lines then
+        Alcotest.(check (option int)) "ids in request order" (Some (i + 1))
+          (Option.bind (Trace.Json.member "id" json) Trace.Json.to_int_opt)
+      else
+        Alcotest.(check bool) "summary line last" true
+          (Trace.Json.member "summary" json <> None))
+    lines;
+  Sys.remove req_path;
+  Sys.remove rsp_path
+
+(* --- protocol ------------------------------------------------------------- *)
+
+let test_protocol_round_trip () =
+  let reqs =
+    [ { Serve.Protocol.rq_id = 7; rq_engine = Some Machine.Cpu.Block;
+        rq_spec = Serve.Protocol.Replay { snapshot = "a/b" } };
+      { Serve.Protocol.rq_id = 8; rq_engine = None;
+        rq_spec =
+          Serve.Protocol.Compile_and_run
+            { backend = Core.cash; source = "int main() { return 0; }" } } ]
+  in
+  List.iter
+    (fun rq ->
+      let line = Trace.Json.to_string (Serve.Protocol.request_to_json rq) in
+      match Serve.Protocol.parse_request ~default_id:0 line with
+      | Error e -> Alcotest.failf "round-trip failed: %s" e
+      | Ok rq' ->
+        Alcotest.(check int) "id" rq.Serve.Protocol.rq_id
+          rq'.Serve.Protocol.rq_id;
+        Alcotest.(check bool) "engine" true
+          (rq.Serve.Protocol.rq_engine = rq'.Serve.Protocol.rq_engine);
+        Alcotest.(check bool) "spec" true
+          (match (rq.Serve.Protocol.rq_spec, rq'.Serve.Protocol.rq_spec) with
+           | ( Serve.Protocol.Replay { snapshot = a },
+               Serve.Protocol.Replay { snapshot = b } ) -> a = b
+           | ( Serve.Protocol.Compile_and_run a,
+               Serve.Protocol.Compile_and_run b ) ->
+             a.source = b.source
+             && Core.backend_name a.backend = Core.backend_name b.backend
+           | _ -> false))
+    reqs;
+  (* malformed lines come back as Error, not exceptions *)
+  List.iter
+    (fun line ->
+      match Serve.Protocol.parse_request ~default_id:3 line with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" line)
+    [ "nope"; "{}"; {|{"op": "replay"}|}; {|{"op": "warp"}|};
+      {|{"op": "compile-and-run", "backend": "tcc", "source": "x"}|};
+      {|{"op": "replay", "snapshot": "s", "engine": "warp"}|} ]
+
+let suite =
+  [
+    Alcotest.test_case "restore_into: pooled = fresh digest, all engines"
+      `Slow test_restore_into_digest_oracle;
+    Alcotest.test_case "restore_into: reuse after a faulted run" `Quick
+      test_restore_into_after_fault;
+    Alcotest.test_case "restore_into: rejects a different program" `Quick
+      test_restore_into_rejects_wrong_program;
+    Alcotest.test_case "pool: 8 requests build 1 machine" `Quick
+      test_pool_reuses_machine;
+    Alcotest.test_case "pool: grow builds past capacity" `Quick
+      test_pool_grow_past_capacity;
+    Alcotest.test_case "pool: block waits, discard frees the slot" `Quick
+      test_pool_block_waits;
+    Alcotest.test_case "server: batches match direct runs at -j1/-j4" `Slow
+      test_server_batch_matches_direct;
+    Alcotest.test_case "server: streams channels with summary" `Quick
+      test_server_streams_channels;
+    Alcotest.test_case "protocol: round-trip and rejection" `Quick
+      test_protocol_round_trip;
+  ]
