@@ -16,6 +16,9 @@
                                               # + ratios vs a prior record
      dune exec bench/main.exe -- --serve 2000 # warm-pool request server
                                               # throughput (pooled vs fresh)
+     dune exec bench/main.exe -- --frontend   # compile-pipeline throughput:
+                                              # lexer A/B, compiles/s, fleet
+                                              # cold vs warm-pool legs
 
    The reproduction pass runs its 14 experiments as independent jobs on
    a Domain pool (lib/parallel): -j N picks the worker count, defaulting
@@ -120,12 +123,13 @@ type shape = {
   avg_chain_insns : float;
 }
 
-(* Schema 6: adds the serve record kind (bench = "serve", written by
-   --serve, with request-throughput and latency-percentile fields)
-   alongside the reproduction records, which carry schema 5's fields
-   unchanged ("chaining" and the chain shape on top of schema 4's
-   engine + superblock shape). *)
-let schema = 6
+(* Schema 7: adds the frontend record kind (bench = "frontend", written
+   by --frontend, with lexer A/B throughput, allocation-per-token,
+   compiles/s, and cold-vs-warm-pool fleet fields) alongside
+   schema 6's serve records (bench = "serve") and the reproduction
+   records, which carry schema 5's fields unchanged ("chaining" and the
+   chain shape on top of schema 4's engine + superblock shape). *)
+let schema = 7
 
 let write_json ~path ~oc ~engine ~traced ~quick ~jobs ~n_experiments
     ~shape tp =
@@ -433,6 +437,211 @@ let run_serve ~requests ~engine ~jobs =
   if pooled.Serve.Server.errors > 0 || fresh.Serve.Server.errors > 0 then
     exit 1
 
+(* --- --frontend: compile-pipeline throughput ---------------------------- *)
+
+let frontend_of_argv argv = Array.exists (fun a -> a = "--frontend") argv
+
+let write_frontend_json ~engine ~jobs ~corpus_programs ~corpus_bytes ~tokens
+    ~ref_tokens_per_s ~tokens_per_s ~ref_minor_per_ktok ~minor_per_ktok
+    ~compiles_per_s ~cold ~warm ~blocks_built_first ~blocks_bound_rerun =
+  let n, path, oc = claim_output_channel () in
+  let open Fuzz.Fleet in
+  let json =
+    Trace.Json.(
+      Obj
+        [
+          ("schema", Int schema);
+          ("bench", Str "frontend");
+          ("engine", Str (Core.engine_name engine));
+          ("jobs", Int jobs);
+          ("ocaml_version", Str Sys.ocaml_version);
+          ("corpus_programs", Int corpus_programs);
+          ("corpus_bytes", Int corpus_bytes);
+          ("tokens", Int tokens);
+          ("ref_tokens_per_s", Float ref_tokens_per_s);
+          ("tokens_per_s", Float tokens_per_s);
+          ( "lexer_speedup",
+            Float
+              (if ref_tokens_per_s > 0. then tokens_per_s /. ref_tokens_per_s
+               else 0.) );
+          ("ref_minor_words_per_ktok", Float ref_minor_per_ktok);
+          ("minor_words_per_ktok", Float minor_per_ktok);
+          ("compiles_per_s", Float compiles_per_s);
+          ("fleet_programs_per_s_cold", Float cold.check_programs_per_sec);
+          ("fleet_programs_per_s_warm", Float warm.check_programs_per_sec);
+          ("fleet_compile_share_cold", Float cold.compile_share);
+          ("fleet_compile_share_warm", Float warm.compile_share);
+          ("blocks_built_first", Int blocks_built_first);
+          ("blocks_bound_rerun", Int blocks_bound_rerun);
+        ])
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Trace.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path;
+  ignore n
+
+(* The --frontend benchmark: throughput of the compile pipeline itself,
+   with its three in-process A/B gates.
+
+   1. Lexer A/B over a corpus of workload kernels plus generated fuzz
+      programs: the table-driven [Minic.Lexer.scan] against the
+      list-building [Minic.Lexer_reference.tokenize]. Gate: token
+      streams (token + line) byte-identical on every corpus program,
+      and the new lexer not slower. A [Gc.minor_words] probe reports
+      allocation per 1000 tokens on both paths.
+
+   2. Whole-pipeline compiles per second ([Core.compile], uncached —
+      lex + parse + typecheck + codegen).
+
+   3. The fuzz fleet run twice over the same seeds: the first leg
+      starts from a cold process (empty physical-memory recycling
+      pools, cold allocator), the second replays with every domain's
+      pools warm. Gate: a cached program re-run on the block engine
+      builds zero new superblocks (it binds the shared closures
+      instead) and its output is byte-identical across all three
+      engines. *)
+let run_frontend ~quick ~engine ~jobs =
+  Core.set_default_engine engine;
+  Printf.printf
+    "== bench --frontend: compile-pipeline throughput (engine %s, -j %d) ==\n%!"
+    (Core.engine_name engine) jobs;
+  let gen_src seed oob = Fuzz.Gen.render (Fuzz.Gen.generate ~seed ~oob) in
+  let gen_n = if quick then 40 else 200 in
+  let corpus =
+    [ Workloads.Micro.matmul (); Workloads.Micro.gaussian ();
+      Workloads.Micro.fft2d (); Workloads.Micro.edge_detect ();
+      Workloads.Micro.svd (); Workloads.Micro.volrender () ]
+    @ List.init gen_n (fun i -> gen_src i (i mod 3 = 2))
+  in
+  let corpus_programs = List.length corpus in
+  let corpus_bytes =
+    List.fold_left (fun acc s -> acc + String.length s) 0 corpus
+  in
+  (* Gate 1a: the equivalence oracle, over the whole corpus. *)
+  List.iteri
+    (fun i s ->
+      if Minic.Lexer.tokenize s <> Minic.Lexer_reference.tokenize s then begin
+        Printf.eprintf
+          "bench --frontend: token stream differs from the reference lexer \
+           on corpus program %d\n"
+          i;
+        exit 1
+      end)
+    corpus;
+  let reps = if quick then 10 else 40 in
+  let time_tokens f =
+    let t0 = Unix.gettimeofday () in
+    let tokens = ref 0 in
+    for _ = 1 to reps do
+      List.iter (fun s -> tokens := !tokens + f s) corpus
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    (!tokens, if dt > 0. then float_of_int !tokens /. dt else 0.)
+  in
+  let count_new s = Minic.Lexer.count (Minic.Lexer.scan s) in
+  let count_ref s = List.length (Minic.Lexer_reference.tokenize s) in
+  (* Interleave-free warmup, then measure reference first so the new
+     lexer cannot ride a warmer cache. *)
+  ignore (List.fold_left (fun acc s -> acc + count_ref s + count_new s) 0 corpus);
+  let tokens, ref_tokens_per_s = time_tokens count_ref in
+  let _, tokens_per_s = time_tokens count_new in
+  let minor_per_ktok f =
+    let m0 = Gc.minor_words () in
+    let toks = List.fold_left (fun acc s -> acc + f s) 0 corpus in
+    (Gc.minor_words () -. m0) /. float_of_int (max 1 toks) *. 1000.
+  in
+  let ref_minor_per_ktok = minor_per_ktok count_ref in
+  let minor_per_ktok = minor_per_ktok count_new in
+  Printf.printf
+    "corpus                 %6d programs, %d bytes, %d tokens/pass\n"
+    corpus_programs corpus_bytes (tokens / reps);
+  Printf.printf "reference lexer        %12.0f tokens/s  (%8.0f minor words / \
+                 1k tokens)\n"
+    ref_tokens_per_s ref_minor_per_ktok;
+  Printf.printf "table-driven lexer     %12.0f tokens/s  (%8.0f minor words / \
+                 1k tokens)  %.2fx\n"
+    tokens_per_s minor_per_ktok
+    (if ref_tokens_per_s > 0. then tokens_per_s /. ref_tokens_per_s else 0.);
+  (* Gate 1b: the rewrite must not be slower than what it replaced. *)
+  if tokens_per_s < ref_tokens_per_s then begin
+    prerr_endline "bench --frontend: table-driven lexer slower than reference";
+    exit 1
+  end;
+  (* Whole-pipeline compile throughput, uncached on purpose. *)
+  let creps = if quick then 1 else 3 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to creps do
+    List.iter (fun s -> ignore (Core.compile Core.cash s)) corpus
+  done;
+  let cdt = Unix.gettimeofday () -. t0 in
+  let compiles_per_s =
+    if cdt > 0. then float_of_int (creps * corpus_programs) /. cdt else 0.
+  in
+  Printf.printf "compile (cash)         %12.1f programs/s\n" compiles_per_s;
+  (* The fleet, twice over the same seeds. The fleet streams distinct
+     programs, so it deliberately bypasses the program cache (see
+     Fuzz.Check); what the second leg measures is the steady state of
+     the per-domain physical-memory recycling pools and the warmed
+     allocator, i.e. the configuration a long overnight sweep runs in. *)
+  let fleet_n = if quick then 60 else 150 in
+  let fleet_cfg =
+    { Fuzz.Fleet.default with
+      count = fleet_n; jobs = Some jobs; dump_dir = None; shrink = false }
+  in
+  let cold = Fuzz.Fleet.run fleet_cfg in
+  let warm = Fuzz.Fleet.run fleet_cfg in
+  let open Fuzz.Fleet in
+  let fleet_line label (s : Fuzz.Fleet.stats) =
+    Printf.printf
+      "fleet %-16s %12.1f programs/s  (compile %4.1f%% of check phase)\n"
+      label s.check_programs_per_sec (s.compile_share *. 100.)
+  in
+  fleet_line "(cold process)" cold;
+  fleet_line "(warm pools)" warm;
+  if cold.failures <> [] || warm.failures <> [] then begin
+    Printf.eprintf "bench --frontend: %d cold / %d warm fleet failure(s)\n"
+      (List.length cold.failures) (List.length warm.failures);
+    exit 1
+  end;
+  (* Gate 3: shared superblocks. A fresh machine over an
+     already-compiled program must bind the cached closures, build
+     nothing new, and agree with every engine byte for byte. *)
+  let probe_src = gen_src 424242 false in
+  let compiled = Core.compile_cached Core.cash probe_src in
+  let out e = (Core.run ~engine:e compiled).Core.output in
+  let b0 = Machine.Cpu.blocks_built () in
+  let out_blk1 = out Machine.Cpu.Block in
+  let blocks_built_first = Machine.Cpu.blocks_built () - b0 in
+  let b1 = Machine.Cpu.blocks_built () in
+  let d1 = Machine.Cpu.blocks_bound () in
+  let out_blk2 = out Machine.Cpu.Block in
+  let blocks_built_rerun = Machine.Cpu.blocks_built () - b1 in
+  let blocks_bound_rerun = Machine.Cpu.blocks_bound () - d1 in
+  Printf.printf
+    "shared superblocks     %6d built on first run, %d built / %d bound on \
+     re-run\n"
+    blocks_built_first blocks_built_rerun blocks_bound_rerun;
+  if blocks_built_rerun <> 0 || blocks_bound_rerun = 0 then begin
+    prerr_endline
+      "bench --frontend: re-run rebuilt superblocks instead of binding the \
+       shared cache";
+    exit 1
+  end;
+  if out_blk1 <> out_blk2
+     || out_blk1 <> out Machine.Cpu.Predecoded
+     || out_blk1 <> out Machine.Cpu.Reference
+  then begin
+    prerr_endline "bench --frontend: probe output differs across engines";
+    exit 1
+  end;
+  write_frontend_json ~engine ~jobs ~corpus_programs ~corpus_bytes
+    ~tokens:(tokens / reps) ~ref_tokens_per_s ~tokens_per_s
+    ~ref_minor_per_ktok ~minor_per_ktok ~compiles_per_s ~cold ~warm
+    ~blocks_built_first ~blocks_bound_rerun
+
 (* --- bechamel: one Test.make per table ---------------------------------- *)
 
 open Bechamel
@@ -603,6 +812,10 @@ let () =
      run_serve ~requests ~engine ~jobs;
      exit 0
    | None -> ());
+  if frontend_of_argv Sys.argv then begin
+    run_frontend ~quick ~engine ~jobs;
+    exit 0
+  end;
   let experiments = experiments ~quick in
   let render reports =
     String.concat "\n"

@@ -115,7 +115,8 @@ let serve_socket server path max_conns =
            Printf.eprintf "cashd: connection failed: %s\n%!"
              (Printexc.to_string e);
            { Serve.Server.requests = 0; errors = 0; wall_seconds = 0.;
-             req_per_s = 0.; p50_us = 0.; p90_us = 0.; p99_us = 0. }
+             req_per_s = 0.; p50_us = 0.; p90_us = 0.; p99_us = 0.;
+             compile_hits = 0; compile_misses = 0 }
        in
        (try close_out oc with Sys_error _ -> ());
        incr served;
@@ -148,10 +149,12 @@ let run engine no_chain jobs batch pool_capacity pool_policy no_pool no_warm
      | None ->
        let s = Serve.Server.serve server stdin stdout in
        Printf.eprintf "cashd: %d request(s), %d error(s), %.1f req/s, \
-                       p50 %.1fus p90 %.1fus p99 %.1fus\n%!"
+                       p50 %.1fus p90 %.1fus p99 %.1fus, \
+                       compile cache %d hit(s) / %d miss(es)\n%!"
          s.Serve.Server.requests s.Serve.Server.errors
          s.Serve.Server.req_per_s s.Serve.Server.p50_us s.Serve.Server.p90_us
-         s.Serve.Server.p99_us);
+         s.Serve.Server.p99_us s.Serve.Server.compile_hits
+         s.Serve.Server.compile_misses);
     0
 
 let cmd =

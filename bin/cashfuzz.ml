@@ -109,7 +109,9 @@ let run count first_seed oob_every jobs engines dump_dir no_dump no_shrink
     \  known misses:  %d  (straight-line overruns cash skips by policy)\n\
     \  failures:      %d\n\
     \  wall:          %.1f s  (%.1f programs/s, check + shrink/dump)\n\
-    \  check phase:   %.1f s  (%.1f programs/s, summed across workers)\n"
+    \  check phase:   %.1f s  (%.1f programs/s, summed across workers)\n\
+    \  compile:       %.1f s  (%.0f%% of the check phase: lex + parse + \
+     typecheck + codegen)\n"
     stats.ran first_seed
     (first_seed + count - 1)
     (match engines with Fast -> "fast" | All -> "all")
@@ -117,7 +119,8 @@ let run count first_seed oob_every jobs engines dump_dir no_dump no_shrink
     stats.oob_injected stats.known_misses
     (List.length stats.failures)
     stats.wall_seconds stats.programs_per_sec stats.check_seconds
-    stats.check_programs_per_sec;
+    stats.check_programs_per_sec stats.compile_seconds
+    (stats.compile_share *. 100.);
   List.iter
     (fun r ->
       Printf.printf "\nFAIL seed %d (%s, %s): %s\n" r.r_seed r.r_what

@@ -41,6 +41,26 @@ type compiled = Compilers.Codegen.result
     [Minic.Typecheck.Type_error] on bad input. *)
 val compile : backend -> string -> compiled
 
+(** {!compile} through the process-wide compiled-program cache, keyed
+    on a digest of the full backend configuration plus the source: each
+    distinct program compiles once per process, no matter how many
+    worker domains, fleet re-checks, or serve requests ask for it.
+    Returning the {e same} [compiled] value also shares its program
+    identity, so the block engine's shared superblock cache binds
+    instead of recompiling. Compilation errors propagate and are never
+    cached; the table is capacity-bounded (cleared wholesale on
+    overflow). Safe from any domain. *)
+val compile_cached : backend -> string -> compiled
+
+(** [(hits, misses)] of {!compile_cached} since process start. *)
+val compile_cache_stats : unit -> int * int
+
+(** Cumulative wall-clock seconds spent inside {!compile} (lex + parse
+    + typecheck + codegen) since process start, summed across domains —
+    above one worker it can exceed the wall clock, like the fleet's
+    check-phase split. {!compile_cached} hits add nothing. *)
+val compile_seconds : unit -> float
+
 type status =
   | Finished                   (** ran to the final HLT *)
   | Bound_violation of string  (** segment limit / BOUND / software check *)

@@ -68,6 +68,15 @@ type stats = {
      below reports generator+checker throughput undistorted. *)
   check_seconds : float;
   check_programs_per_sec : float;  (* count / check_seconds *)
+  (* The frontend+codegen slice of the check phase: seconds spent
+     inside [Core.compile] (lex, parse, typecheck, codegen), summed
+     across workers like [check_seconds] — the rest of the check phase
+     is execution and comparison. Each check compiles its three
+     backends once, ahead of the engine loop (see [Check]), so this is
+     a clean per-program frontend cost; a rising share across
+     otherwise-identical runs means a frontend regression. *)
+  compile_seconds : float;
+  compile_share : float;  (* compile_seconds / check_seconds; 0 if unknown *)
 }
 
 let engines_for cfg ~seed =
@@ -113,6 +122,7 @@ let report_failure cfg ~seed prog (f : Check.failure) =
 
 let run cfg =
   let t0 = Unix.gettimeofday () in
+  let compile0 = Core.compile_seconds () in
   let tasks =
     Array.init cfg.count (fun i () ->
         let seed = cfg.first_seed + i in
@@ -130,6 +140,7 @@ let run cfg =
           (oob, false, Some (report_failure cfg ~seed prog f), check_dt))
   in
   let results = Parallel.run_jobs ?jobs:cfg.jobs tasks in
+  let compile_seconds = Core.compile_seconds () -. compile0 in
   let wall = Unix.gettimeofday () -. t0 in
   let oob_injected = ref 0 and known_misses = ref 0 and failures = ref [] in
   let check_seconds = ref 0. in
@@ -152,4 +163,7 @@ let run cfg =
     check_programs_per_sec =
       (if !check_seconds > 0. then float_of_int cfg.count /. !check_seconds
        else 0.);
+    compile_seconds;
+    compile_share =
+      (if !check_seconds > 0. then compile_seconds /. !check_seconds else 0.);
   }

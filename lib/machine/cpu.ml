@@ -188,6 +188,14 @@ let block_insns_total = Atomic.make 0
 let blocks_built () = Atomic.get blocks_built_total
 let block_insns_compiled () = Atomic.get block_insns_total
 
+(* Superblocks *bound* rather than compiled: a [Block] CPU whose
+   program's closure set was already in the process-wide shared cache
+   ([build_ublocks]) bumps this by its block count instead of the build
+   counters. blocks_bound / (blocks_built + blocks_bound) is the shared
+   cache's hit rate. *)
+let blocks_bound_total = Atomic.make 0
+let blocks_bound () = Atomic.get blocks_bound_total
+
 (* Chaining defaults to on for [Block] CPUs; [set_chaining false] (the
    `--no-chain` flag, the differential fleet's chain-off leg, and the
    bench A/B gate) restores PR 4's plain per-block dispatch. Read once
@@ -1175,18 +1183,14 @@ let step_predecoded t =
 (* --- the superblock engine --------------------------------------------- *)
 
 (* The closure compiler: every instruction of a block is lowered, once
-   per CPU, into an operand-resolved [t -> int] closure. Work the
+   per *program*, into an operand-resolved [t -> int] closure. Work the
    stepping engines redo per execution happens here once, at compile
    time:
 
    - the instruction-constructor match and every operand-shape match;
-   - register names resolved to file indices (closures index the
-     captured [gp] array directly);
+   - register names resolved to file indices;
    - the segment override / EBP-ESP default-segment rule;
-   - the segment-register mirror [sr] and fast-path slot [k] of the
-     access — legal because [Mmu.t]'s segreg fields are immutable
-     references to records that a segreg reload mutates in place, so a
-     captured [sr] always sees current descriptor state;
+   - the fast-path slot [k] of the access;
    - the addressing-mode shape (base/index/scale/displacement);
    - a terminator's branch target and fall-through EIP.
 
@@ -1199,66 +1203,83 @@ let step_predecoded t =
    cannot diverge from the stepping engines; the engine-equivalence
    suites pin the specialised shapes.
 
-   Closures are compiled against one specific CPU ([compile_insn]
-   takes [t] and captures its register file, MMU, and physical
-   memory); [build_ublocks] stores them on that same CPU and nothing
-   else runs them. *)
+   Closures are CPU-independent: they capture only program data (code
+   indices, register-file slots, immediates, branch targets) and fetch
+   the running CPU's register file, MMU, physical memory, and stat
+   counters from the [cpu] argument at execution time. That is what
+   lets [build_ublocks] share one compiled closure set process-wide
+   across every machine running the same [Program.t]. A segment
+   register's mirror is re-read from the running CPU's [mmu] per call
+   ([seg_field] is a six-way constant-tag match, not a table walk), so
+   it always reflects current descriptor state. Per-CPU capture lives
+   on in [fuse_block]: chained closures are recompiled per CPU and
+   capture that CPU's arrays on purpose, so steady-state hot loops
+   keep their capture performance. *)
 
 (* Physical-address closure for one memory operand: addressing shape,
-   default segment, mirror and slot resolved now; the returned closure
-   does the adds and one [translate_via]. *)
-let compile_addr t (m : Insn.mem) ~size ~write : t -> int =
-  let mmu = t.mmu in
+   default segment, and fast-path slot resolved now; the returned
+   closure does the adds and one [translate_via]. *)
+let compile_addr (m : Insn.mem) ~size ~write : t -> int =
   let seg = default_seg m in
-  let sr = seg_field mmu seg in
   let k = seg_slot seg in
-  let gp = t.regs.Registers.gp in
   let disp = m.Insn.disp in
   match (m.Insn.base, m.Insn.index) with
   | Some b, None ->
     let bi = reg_index b in
     fun cpu ->
-      let off = (Array.unsafe_get gp bi + disp) land 0xFFFFFFFF in
-      translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size ~write
+      let mmu = cpu.mmu in
+      let off =
+        (Array.unsafe_get cpu.regs.Registers.gp bi + disp) land 0xFFFFFFFF
+      in
+      translate_via cpu mmu (seg_field mmu seg) k ~tr:None ~seg_name:seg
+        ~offset:off ~size ~write
   | Some b, Some (x, scale) ->
     let bi = reg_index b and xi = reg_index x in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
+      let mmu = cpu.mmu in
       let off =
         (Array.unsafe_get gp bi + (Array.unsafe_get gp xi * scale) + disp)
         land 0xFFFFFFFF
       in
-      translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size ~write
+      translate_via cpu mmu (seg_field mmu seg) k ~tr:None ~seg_name:seg
+        ~offset:off ~size ~write
   | None, Some (x, scale) ->
     let xi = reg_index x in
     fun cpu ->
-      let off = ((Array.unsafe_get gp xi * scale) + disp) land 0xFFFFFFFF in
-      translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size ~write
+      let mmu = cpu.mmu in
+      let off =
+        ((Array.unsafe_get cpu.regs.Registers.gp xi * scale) + disp)
+        land 0xFFFFFFFF
+      in
+      translate_via cpu mmu (seg_field mmu seg) k ~tr:None ~seg_name:seg
+        ~offset:off ~size ~write
   | None, None ->
     let off = disp land 0xFFFFFFFF in
     fun cpu ->
-      translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size ~write
+      let mmu = cpu.mmu in
+      translate_via cpu mmu (seg_field mmu seg) k ~tr:None ~seg_name:seg
+        ~offset:off ~size ~write
 
 (* Compile one non-terminator instruction. [ret] is the closure's
    return value — 0 for body instructions, the fall-through EIP when an
    ordinary instruction ends a block because the next one is a branch
    target. *)
-let compile_insn t idx ~ret : t -> int =
-  let gp = t.regs.Registers.gp in
-  let fp = t.regs.Registers.fp in
-  let ph = t.phys in
-  let mmu = t.mmu in
+let compile_insn code idx ~ret : t -> int =
   let kss = seg_slot Seghw.Segreg.SS in
-  match (Array.get t.code idx : Insn.t) with
+  match (Array.get code idx : Insn.t) with
   | Insn.Label _ ->
-    let r = Array.get t.stat_refs idx in
-    fun _ -> incr r; ret
+    fun cpu -> incr (Array.unsafe_get cpu.stat_refs idx); ret
   | Insn.Nop -> fun _ -> ret
   | Insn.Mov (Insn.Long, Insn.Reg d, Insn.Reg s) ->
     let di = reg_index d and si = reg_index s in
-    fun _ -> Array.unsafe_set gp di (Array.unsafe_get gp si); ret
+    fun cpu ->
+      let gp = cpu.regs.Registers.gp in
+      Array.unsafe_set gp di (Array.unsafe_get gp si);
+      ret
   | Insn.Mov (Insn.Long, Insn.Reg d, Insn.Imm i) ->
     let di = reg_index d and v = i land 0xFFFFFFFF in
-    fun _ -> Array.unsafe_set gp di v; ret
+    fun cpu -> Array.unsafe_set cpu.regs.Registers.gp di v; ret
   (* The two hottest shapes — 32-bit loads and stores through a
      register-addressed operand — get the address computation fused
      into the instruction closure itself (no separate [compile_addr]
@@ -1269,15 +1290,17 @@ let compile_insn t idx ~ret : t -> int =
         Insn.Reg d,
         Insn.Mem ({ Insn.base = Some b; Insn.index = None; _ } as m) ) ->
     let seg = default_seg m in
-    let sr = seg_field mmu seg and k = seg_slot seg in
+    let k = seg_slot seg in
     let bi = reg_index b and di = reg_index d and disp = m.Insn.disp in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
+      let mmu = cpu.mmu in
       let off = (Array.unsafe_get gp bi + disp) land 0xFFFFFFFF in
       let phys =
-        translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size:4
-          ~write:false
+        translate_via cpu mmu (seg_field mmu seg) k ~tr:None ~seg_name:seg
+          ~offset:off ~size:4 ~write:false
       in
-      Array.unsafe_set gp di (p_read32 ph phys);
+      Array.unsafe_set gp di (p_read32 cpu.phys phys);
       ret
   | Insn.Mov
       ( Insn.Long,
@@ -1285,87 +1308,101 @@ let compile_insn t idx ~ret : t -> int =
         Insn.Mem ({ Insn.base = Some b; Insn.index = Some (x, sc); _ } as m) )
     ->
     let seg = default_seg m in
-    let sr = seg_field mmu seg and k = seg_slot seg in
+    let k = seg_slot seg in
     let bi = reg_index b
     and xi = reg_index x
     and di = reg_index d
     and disp = m.Insn.disp in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
+      let mmu = cpu.mmu in
       let off =
         (Array.unsafe_get gp bi + (Array.unsafe_get gp xi * sc) + disp)
         land 0xFFFFFFFF
       in
       let phys =
-        translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size:4
-          ~write:false
+        translate_via cpu mmu (seg_field mmu seg) k ~tr:None ~seg_name:seg
+          ~offset:off ~size:4 ~write:false
       in
-      Array.unsafe_set gp di (p_read32 ph phys);
+      Array.unsafe_set gp di (p_read32 cpu.phys phys);
       ret
   | Insn.Mov (Insn.Long, Insn.Reg d, Insn.Mem m) ->
-    let pa = compile_addr t m ~size:4 ~write:false in
+    let pa = compile_addr m ~size:4 ~write:false in
     let di = reg_index d in
-    fun cpu -> Array.unsafe_set gp di (p_read32 ph (pa cpu)); ret
+    fun cpu ->
+      Array.unsafe_set cpu.regs.Registers.gp di (p_read32 cpu.phys (pa cpu));
+      ret
   | Insn.Mov
       ( Insn.Long,
         Insn.Mem ({ Insn.base = Some b; Insn.index = None; _ } as m),
         Insn.Reg s ) ->
     let seg = default_seg m in
-    let sr = seg_field mmu seg and k = seg_slot seg in
+    let k = seg_slot seg in
     let bi = reg_index b and si = reg_index s and disp = m.Insn.disp in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
+      let mmu = cpu.mmu in
       let off = (Array.unsafe_get gp bi + disp) land 0xFFFFFFFF in
       let phys =
-        translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size:4
-          ~write:true
+        translate_via cpu mmu (seg_field mmu seg) k ~tr:None ~seg_name:seg
+          ~offset:off ~size:4 ~write:true
       in
-      p_write32 ph phys (Array.unsafe_get gp si);
+      p_write32 cpu.phys phys (Array.unsafe_get gp si);
       ret
   | Insn.Mov
       ( Insn.Long,
         Insn.Mem ({ Insn.base = Some b; Insn.index = Some (x, sc); _ } as m),
         Insn.Reg s ) ->
     let seg = default_seg m in
-    let sr = seg_field mmu seg and k = seg_slot seg in
+    let k = seg_slot seg in
     let bi = reg_index b
     and xi = reg_index x
     and si = reg_index s
     and disp = m.Insn.disp in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
+      let mmu = cpu.mmu in
       let off =
         (Array.unsafe_get gp bi + (Array.unsafe_get gp xi * sc) + disp)
         land 0xFFFFFFFF
       in
       let phys =
-        translate_via cpu mmu sr k ~tr:None ~seg_name:seg ~offset:off ~size:4
-          ~write:true
+        translate_via cpu mmu (seg_field mmu seg) k ~tr:None ~seg_name:seg
+          ~offset:off ~size:4 ~write:true
       in
-      p_write32 ph phys (Array.unsafe_get gp si);
+      p_write32 cpu.phys phys (Array.unsafe_get gp si);
       ret
   | Insn.Mov (Insn.Long, Insn.Mem m, Insn.Reg s) ->
-    let pa = compile_addr t m ~size:4 ~write:true in
+    let pa = compile_addr m ~size:4 ~write:true in
     let si = reg_index s in
-    fun cpu -> p_write32 ph (pa cpu) (Array.unsafe_get gp si); ret
+    fun cpu ->
+      p_write32 cpu.phys (pa cpu) (Array.unsafe_get cpu.regs.Registers.gp si);
+      ret
   | Insn.Mov (Insn.Long, Insn.Mem m, Insn.Imm i) ->
-    let pa = compile_addr t m ~size:4 ~write:true in
+    let pa = compile_addr m ~size:4 ~write:true in
     let v = i land 0xFFFFFFFF in
-    fun cpu -> p_write32 ph (pa cpu) v; ret
+    fun cpu -> p_write32 cpu.phys (pa cpu) v; ret
   | Insn.Mov (Insn.Byte, Insn.Reg d, Insn.Mem m) ->
     (* Byte loads merge into the destination's low byte, exactly
        [write_operand]'s Byte case. *)
-    let pa = compile_addr t m ~size:1 ~write:false in
+    let pa = compile_addr m ~size:1 ~write:false in
     let di = reg_index d in
     fun cpu ->
-      let v = p_read8 ph (pa cpu) land 0xFF in
+      let gp = cpu.regs.Registers.gp in
+      let v = p_read8 cpu.phys (pa cpu) land 0xFF in
       Array.unsafe_set gp di ((Array.unsafe_get gp di land 0xFFFFFF00) lor v);
       ret
   | Insn.Mov (Insn.Byte, Insn.Mem m, Insn.Reg s) ->
-    let pa = compile_addr t m ~size:1 ~write:true in
+    let pa = compile_addr m ~size:1 ~write:true in
     let si = reg_index s in
-    fun cpu -> p_write8 ph (pa cpu) (Array.unsafe_get gp si land 0xFF); ret
+    fun cpu ->
+      p_write8 cpu.phys (pa cpu)
+        (Array.unsafe_get cpu.regs.Registers.gp si land 0xFF);
+      ret
   | Insn.Mov (Insn.Byte, Insn.Mem m, Insn.Imm i) ->
-    let pa = compile_addr t m ~size:1 ~write:true in
+    let pa = compile_addr m ~size:1 ~write:true in
     let v = i land 0xFF in
-    fun cpu -> p_write8 ph (pa cpu) v; ret
+    fun cpu -> p_write8 cpu.phys (pa cpu) v; ret
   | Insn.Mov (w, dst, src) -> fun cpu -> eff_mov cpu w dst src; ret
   | Insn.Lea (r, m) ->
     (* The four addressing shapes of [effective_offset], resolved here;
@@ -1375,40 +1412,48 @@ let compile_insn t idx ~ret : t -> int =
     (match (m.Insn.base, m.Insn.index) with
      | Some b, None ->
        let bi = reg_index b in
-       fun _ ->
+       fun cpu ->
+         let gp = cpu.regs.Registers.gp in
          Array.unsafe_set gp di ((Array.unsafe_get gp bi + disp) land 0xFFFFFFFF);
          ret
      | Some b, Some (x, sc) ->
        let bi = reg_index b and xi = reg_index x in
-       fun _ ->
+       fun cpu ->
+         let gp = cpu.regs.Registers.gp in
          Array.unsafe_set gp di
            ((Array.unsafe_get gp bi + (Array.unsafe_get gp xi * sc) + disp)
             land 0xFFFFFFFF);
          ret
      | None, Some (x, sc) ->
        let xi = reg_index x in
-       fun _ ->
+       fun cpu ->
+         let gp = cpu.regs.Registers.gp in
          Array.unsafe_set gp di
            (((Array.unsafe_get gp xi * sc) + disp) land 0xFFFFFFFF);
          ret
      | None, None ->
        let v = disp land 0xFFFFFFFF in
-       fun _ -> Array.unsafe_set gp di v; ret)
+       fun cpu -> Array.unsafe_set cpu.regs.Registers.gp di v; ret)
   | Insn.Movsx (r, Insn.Mem m, Insn.Byte) ->
-    let pa = compile_addr t m ~size:1 ~write:false in
+    let pa = compile_addr m ~size:1 ~write:false in
     let di = reg_index r in
     fun cpu ->
-      Array.unsafe_set gp di (sx8 (p_read8 ph (pa cpu)) land 0xFFFFFFFF);
+      Array.unsafe_set cpu.regs.Registers.gp di
+        (sx8 (p_read8 cpu.phys (pa cpu)) land 0xFFFFFFFF);
       ret
   | Insn.Movsx (r, src, w) -> fun cpu -> eff_movsx cpu r src w; ret
   | Insn.Movzx (r, Insn.Mem m, Insn.Byte) ->
-    let pa = compile_addr t m ~size:1 ~write:false in
+    let pa = compile_addr m ~size:1 ~write:false in
     let di = reg_index r in
-    fun cpu -> Array.unsafe_set gp di (p_read8 ph (pa cpu) land 0xFF); ret
+    fun cpu ->
+      Array.unsafe_set cpu.regs.Registers.gp di
+        (p_read8 cpu.phys (pa cpu) land 0xFF);
+      ret
   | Insn.Movzx (r, src, w) -> fun cpu -> eff_movzx cpu r src w; ret
   | Insn.Alu (Insn.Add, Insn.Reg d, Insn.Reg s) ->
     let di = reg_index d and si = reg_index s in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       let a = Array.unsafe_get gp di and b = Array.unsafe_get gp si in
       set_flags_add cpu a b;
       Array.unsafe_set gp di ((a + b) land 0xFFFFFFFF);
@@ -1416,6 +1461,7 @@ let compile_insn t idx ~ret : t -> int =
   | Insn.Alu (Insn.Add, Insn.Reg d, Insn.Imm i) ->
     let di = reg_index d and b = i land 0xFFFFFFFF in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       let a = Array.unsafe_get gp di in
       set_flags_add cpu a b;
       Array.unsafe_set gp di ((a + b) land 0xFFFFFFFF);
@@ -1423,6 +1469,7 @@ let compile_insn t idx ~ret : t -> int =
   | Insn.Alu (Insn.Sub, Insn.Reg d, Insn.Reg s) ->
     let di = reg_index d and si = reg_index s in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       let a = Array.unsafe_get gp di and b = Array.unsafe_get gp si in
       set_flags_sub cpu a b;
       Array.unsafe_set gp di ((a - b) land 0xFFFFFFFF);
@@ -1430,6 +1477,7 @@ let compile_insn t idx ~ret : t -> int =
   | Insn.Alu (Insn.Sub, Insn.Reg d, Insn.Imm i) ->
     let di = reg_index d and b = i land 0xFFFFFFFF in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       let a = Array.unsafe_get gp di in
       set_flags_sub cpu a b;
       Array.unsafe_set gp di ((a - b) land 0xFFFFFFFF);
@@ -1437,6 +1485,7 @@ let compile_insn t idx ~ret : t -> int =
   | Insn.Alu (op, Insn.Reg d, Insn.Reg s) ->
     let di = reg_index d and si = reg_index s in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       Array.unsafe_set gp di
         (alu_result cpu op (Array.unsafe_get gp di) (Array.unsafe_get gp si)
          land 0xFFFFFFFF);
@@ -1444,14 +1493,16 @@ let compile_insn t idx ~ret : t -> int =
   | Insn.Alu (op, Insn.Reg d, Insn.Imm i) ->
     let di = reg_index d and b = i land 0xFFFFFFFF in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       Array.unsafe_set gp di
         (alu_result cpu op (Array.unsafe_get gp di) b land 0xFFFFFFFF);
       ret
   | Insn.Alu (op, Insn.Reg d, Insn.Mem m) ->
-    let pa = compile_addr t m ~size:4 ~write:false in
+    let pa = compile_addr m ~size:4 ~write:false in
     let di = reg_index d in
     fun cpu ->
-      let b = p_read32 ph (pa cpu) in
+      let b = p_read32 cpu.phys (pa cpu) in
+      let gp = cpu.regs.Registers.gp in
       Array.unsafe_set gp di
         (alu_result cpu op (Array.unsafe_get gp di) b land 0xFFFFFFFF);
       ret
@@ -1461,19 +1512,21 @@ let compile_insn t idx ~ret : t -> int =
        lowering. Two pre-resolved translations in the generic effect's
        order — dst read, flags, dst write — so a write fault still
        lands after the flags commit, exactly like [eff_alu]. *)
-    let ra = compile_addr t m ~size:4 ~write:false in
-    let wa = compile_addr t m ~size:4 ~write:true in
+    let ra = compile_addr m ~size:4 ~write:false in
+    let wa = compile_addr m ~size:4 ~write:true in
     let si = reg_index s in
     fun cpu ->
+      let ph = cpu.phys in
       let a = p_read32 ph (ra cpu) in
-      let r = alu_result cpu op a (Array.unsafe_get gp si) in
+      let r = alu_result cpu op a (Array.unsafe_get cpu.regs.Registers.gp si) in
       p_write32 ph (wa cpu) r;
       ret
   | Insn.Alu (op, Insn.Mem m, Insn.Imm i) ->
-    let ra = compile_addr t m ~size:4 ~write:false in
-    let wa = compile_addr t m ~size:4 ~write:true in
+    let ra = compile_addr m ~size:4 ~write:false in
+    let wa = compile_addr m ~size:4 ~write:true in
     let b = i land 0xFFFFFFFF in
     fun cpu ->
+      let ph = cpu.phys in
       let a = p_read32 ph (ra cpu) in
       let r = alu_result cpu op a b in
       p_write32 ph (wa cpu) r;
@@ -1484,7 +1537,8 @@ let compile_insn t idx ~ret : t -> int =
     let si = reg_index s
     and ax = reg_index Registers.EAX
     and dx = reg_index Registers.EDX in
-    fun _ ->
+    fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       let a = to_signed (Array.unsafe_get gp ax) in
       let b = to_signed (Array.unsafe_get gp si) in
       if b = 0 then Seghw.Fault.ud "integer division by zero";
@@ -1496,6 +1550,7 @@ let compile_insn t idx ~ret : t -> int =
   | Insn.Inc (Insn.Reg r) ->
     let ri = reg_index r in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       Array.unsafe_set gp ri
         (inc_result cpu (Array.unsafe_get gp ri) land 0xFFFFFFFF);
       ret
@@ -1503,6 +1558,7 @@ let compile_insn t idx ~ret : t -> int =
   | Insn.Dec (Insn.Reg r) ->
     let ri = reg_index r in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       Array.unsafe_set gp ri
         (dec_result cpu (Array.unsafe_get gp ri) land 0xFFFFFFFF);
       ret
@@ -1510,53 +1566,71 @@ let compile_insn t idx ~ret : t -> int =
   | Insn.Cmp (Insn.Reg a, Insn.Reg b) ->
     let ai = reg_index a and bi = reg_index b in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       set_flags_sub cpu (Array.unsafe_get gp ai) (Array.unsafe_get gp bi);
       ret
   | Insn.Cmp (Insn.Reg a, Insn.Imm i) ->
     let ai = reg_index a and b = i land 0xFFFFFFFF in
-    fun cpu -> set_flags_sub cpu (Array.unsafe_get gp ai) b; ret
+    fun cpu ->
+      set_flags_sub cpu (Array.unsafe_get cpu.regs.Registers.gp ai) b;
+      ret
   | Insn.Cmp (Insn.Mem m, Insn.Imm i) ->
-    let pa = compile_addr t m ~size:4 ~write:false in
+    let pa = compile_addr m ~size:4 ~write:false in
     let b = i land 0xFFFFFFFF in
-    fun cpu -> set_flags_sub cpu (p_read32 ph (pa cpu)) b; ret
+    fun cpu -> set_flags_sub cpu (p_read32 cpu.phys (pa cpu)) b; ret
   | Insn.Cmp (Insn.Mem m, Insn.Reg b) ->
-    let pa = compile_addr t m ~size:4 ~write:false in
+    let pa = compile_addr m ~size:4 ~write:false in
     let bi = reg_index b in
     fun cpu ->
-      set_flags_sub cpu (p_read32 ph (pa cpu)) (Array.unsafe_get gp bi);
+      set_flags_sub cpu
+        (p_read32 cpu.phys (pa cpu))
+        (Array.unsafe_get cpu.regs.Registers.gp bi);
       ret
   | Insn.Cmp (Insn.Reg a, Insn.Mem m) ->
-    let pa = compile_addr t m ~size:4 ~write:false in
+    let pa = compile_addr m ~size:4 ~write:false in
     let ai = reg_index a in
     fun cpu ->
-      let av = Array.unsafe_get gp ai in
-      set_flags_sub cpu av (p_read32 ph (pa cpu));
+      let av = Array.unsafe_get cpu.regs.Registers.gp ai in
+      set_flags_sub cpu av (p_read32 cpu.phys (pa cpu));
       ret
   | Insn.Cmp (a, b) -> fun cpu -> eff_cmp cpu a b; ret
   | Insn.Test (Insn.Reg a, Insn.Reg b) ->
     let ai = reg_index a and bi = reg_index b in
     fun cpu ->
+      let gp = cpu.regs.Registers.gp in
       set_flags_logic cpu (Array.unsafe_get gp ai land Array.unsafe_get gp bi);
       ret
   | Insn.Test (a, b) -> fun cpu -> eff_test cpu a b; ret
   | Insn.Setcc (c, r) ->
     let ri = reg_index r in
-    fun cpu -> Array.unsafe_set gp ri (if cond_holds cpu c then 1 else 0); ret
+    fun cpu ->
+      Array.unsafe_set cpu.regs.Registers.gp ri
+        (if cond_holds cpu c then 1 else 0);
+      ret
   | Insn.Fmov (Insn.Freg d, Insn.Freg s) ->
     let di = freg_index d and si = freg_index s in
-    fun _ -> Array.unsafe_set fp di (Array.unsafe_get fp si); ret
+    fun cpu ->
+      let fp = cpu.regs.Registers.fp in
+      Array.unsafe_set fp di (Array.unsafe_get fp si);
+      ret
   | Insn.Fmov (Insn.Freg d, Insn.Fmem m) ->
-    let pa = compile_addr t m ~size:8 ~write:false in
+    let pa = compile_addr m ~size:8 ~write:false in
     let di = freg_index d in
-    fun cpu -> Array.unsafe_set fp di (p_read_float ph (pa cpu)); ret
+    fun cpu ->
+      Array.unsafe_set cpu.regs.Registers.fp di
+        (p_read_float cpu.phys (pa cpu));
+      ret
   | Insn.Fmov (Insn.Fmem m, Insn.Freg s) ->
-    let pa = compile_addr t m ~size:8 ~write:true in
+    let pa = compile_addr m ~size:8 ~write:true in
     let si = freg_index s in
-    fun cpu -> p_write_float ph (pa cpu) (Array.unsafe_get fp si); ret
+    fun cpu ->
+      p_write_float cpu.phys (pa cpu)
+        (Array.unsafe_get cpu.regs.Registers.fp si);
+      ret
   | Insn.Fmov (dst, src) -> fun cpu -> eff_fmov cpu dst src; ret
   | Insn.Fload_const (r, f) ->
     let ri = freg_index r in
-    fun _ -> Array.unsafe_set fp ri f; ret
+    fun cpu -> Array.unsafe_set cpu.regs.Registers.fp ri f; ret
   | Insn.Falu (op, d, Insn.Freg s) ->
     (* Fmul/Fadd measured at 2.6%/1.6% of grown-workload retirements
        (EXPERIMENTS.md PR 5): resolve the register slots and the
@@ -1564,48 +1638,56 @@ let compile_insn t idx ~ret : t -> int =
     let di = freg_index d and si = freg_index s in
     (match op with
      | Insn.Fadd ->
-       fun _ ->
+       fun cpu ->
+         let fp = cpu.regs.Registers.fp in
          Array.unsafe_set fp di
            (Array.unsafe_get fp di +. Array.unsafe_get fp si);
          ret
      | Insn.Fsub ->
-       fun _ ->
+       fun cpu ->
+         let fp = cpu.regs.Registers.fp in
          Array.unsafe_set fp di
            (Array.unsafe_get fp di -. Array.unsafe_get fp si);
          ret
      | Insn.Fmul ->
-       fun _ ->
+       fun cpu ->
+         let fp = cpu.regs.Registers.fp in
          Array.unsafe_set fp di
            (Array.unsafe_get fp di *. Array.unsafe_get fp si);
          ret
      | Insn.Fdiv ->
-       fun _ ->
+       fun cpu ->
+         let fp = cpu.regs.Registers.fp in
          Array.unsafe_set fp di
            (Array.unsafe_get fp di /. Array.unsafe_get fp si);
          ret)
   | Insn.Falu (op, d, Insn.Fmem m) ->
-    let pa = compile_addr t m ~size:8 ~write:false in
+    let pa = compile_addr m ~size:8 ~write:false in
     let di = freg_index d in
     (match op with
      | Insn.Fadd ->
        fun cpu ->
+         let fp = cpu.regs.Registers.fp in
          Array.unsafe_set fp di
-           (Array.unsafe_get fp di +. p_read_float ph (pa cpu));
+           (Array.unsafe_get fp di +. p_read_float cpu.phys (pa cpu));
          ret
      | Insn.Fsub ->
        fun cpu ->
+         let fp = cpu.regs.Registers.fp in
          Array.unsafe_set fp di
-           (Array.unsafe_get fp di -. p_read_float ph (pa cpu));
+           (Array.unsafe_get fp di -. p_read_float cpu.phys (pa cpu));
          ret
      | Insn.Fmul ->
        fun cpu ->
+         let fp = cpu.regs.Registers.fp in
          Array.unsafe_set fp di
-           (Array.unsafe_get fp di *. p_read_float ph (pa cpu));
+           (Array.unsafe_get fp di *. p_read_float cpu.phys (pa cpu));
          ret
      | Insn.Fdiv ->
        fun cpu ->
+         let fp = cpu.regs.Registers.fp in
          Array.unsafe_set fp di
-           (Array.unsafe_get fp di /. p_read_float ph (pa cpu));
+           (Array.unsafe_get fp di /. p_read_float cpu.phys (pa cpu));
          ret)
   | Insn.Fcmp (a, src) -> fun cpu -> eff_fcmp cpu a src; ret
   | Insn.Fneg r -> fun cpu -> fset cpu r (-.fget cpu r); ret
@@ -1613,19 +1695,26 @@ let compile_insn t idx ~ret : t -> int =
   | Insn.Cvtsi2sd (d, src) -> fun cpu -> eff_cvtsi2sd cpu d src; ret
   | Insn.Cvtsd2si (d, src) -> fun cpu -> eff_cvtsd2si cpu d src; ret
   | Insn.Push (Insn.Reg s) ->
-    let sr = mmu.Seghw.Mmu.ss and si = reg_index s in
+    let si = reg_index s in
     fun cpu ->
-      push32_via cpu mmu sr kss ~tr:None Seghw.Segreg.SS (Array.unsafe_get gp si);
+      let mmu = cpu.mmu in
+      push32_via cpu mmu mmu.Seghw.Mmu.ss kss ~tr:None Seghw.Segreg.SS
+        (Array.unsafe_get cpu.regs.Registers.gp si);
       ret
   | Insn.Push (Insn.Imm i) ->
-    let sr = mmu.Seghw.Mmu.ss and v = i land 0xFFFFFFFF in
-    fun cpu -> push32_via cpu mmu sr kss ~tr:None Seghw.Segreg.SS v; ret
+    let v = i land 0xFFFFFFFF in
+    fun cpu ->
+      let mmu = cpu.mmu in
+      push32_via cpu mmu mmu.Seghw.Mmu.ss kss ~tr:None Seghw.Segreg.SS v;
+      ret
   | Insn.Push o -> fun cpu -> eff_push cpu o; ret
   | Insn.Pop (Insn.Reg d) ->
-    let sr = mmu.Seghw.Mmu.ss and di = reg_index d in
+    let di = reg_index d in
     fun cpu ->
-      Array.unsafe_set gp di
-        (pop32_via cpu mmu sr kss ~tr:None Seghw.Segreg.SS land 0xFFFFFFFF);
+      let mmu = cpu.mmu in
+      Array.unsafe_set cpu.regs.Registers.gp di
+        (pop32_via cpu mmu mmu.Seghw.Mmu.ss kss ~tr:None Seghw.Segreg.SS
+         land 0xFFFFFFFF);
       ret
   | Insn.Pop o -> fun cpu -> eff_pop cpu o; ret
   | Insn.Mov_from_seg (o, name) -> fun cpu -> eff_mov_from_seg cpu o name; ret
@@ -1642,11 +1731,11 @@ let compile_insn t idx ~ret : t -> int =
    [targets] entry is read once, here. A block can also end on an
    ordinary instruction (the next one is a branch target), in which
    case the fall-through EIP is baked into the ordinary closure. *)
-let compile_term t idx : t -> int =
+let compile_term code targets idx : t -> int =
   let next = idx + 1 in
-  match (Array.get t.code idx : Insn.t) with
+  match (Array.get code idx : Insn.t) with
   | Insn.Jmp _ ->
-    let tgt = Array.get t.targets idx in
+    let tgt = Array.get targets idx in
     fun _ -> tgt
   | Insn.Jcc (c, _) ->
     (* The hot conditions are resolved to direct flag reads — each
@@ -1655,7 +1744,7 @@ let compile_term t idx : t -> int =
        does NOT instrument this closure: bias is sampled by the
        dispatch loop from the returned EIP (chain_jcc_tgt), so chained
        and unchained CPUs execute identical code. *)
-    let tgt = Array.get t.targets idx in
+    let tgt = Array.get targets idx in
     (match c with
      | Insn.Eq -> fun cpu -> if cpu.zf then tgt else next
      | Insn.Ne -> fun cpu -> if cpu.zf then next else tgt
@@ -1666,37 +1755,84 @@ let compile_term t idx : t -> int =
      | Insn.Ge -> fun cpu -> if cpu.sf = cpu.ovf then tgt else next
      | _ -> fun cpu -> if cond_holds cpu c then tgt else next)
   | Insn.Call _ ->
-    let tgt = Array.get t.targets idx in
-    let mmu = t.mmu in
-    let sr = mmu.Seghw.Mmu.ds and kds = seg_slot Seghw.Segreg.DS in
+    let tgt = Array.get targets idx in
+    let kds = seg_slot Seghw.Segreg.DS in
     fun cpu ->
-      push32_via cpu mmu sr kds ~tr:None Seghw.Segreg.DS next;
+      let mmu = cpu.mmu in
+      push32_via cpu mmu mmu.Seghw.Mmu.ds kds ~tr:None Seghw.Segreg.DS next;
       tgt
   | Insn.Ret ->
-    let mmu = t.mmu in
-    let sr = mmu.Seghw.Mmu.ds and kds = seg_slot Seghw.Segreg.DS in
-    fun cpu -> pop32_via cpu mmu sr kds ~tr:None Seghw.Segreg.DS
+    let kds = seg_slot Seghw.Segreg.DS in
+    fun cpu ->
+      let mmu = cpu.mmu in
+      pop32_via cpu mmu mmu.Seghw.Mmu.ds kds ~tr:None Seghw.Segreg.DS
   | Insn.Halt ->
     fun cpu ->
       cpu.status <- Halted;
       next
   | i ->
     if Program.block_terminator i then fun cpu -> exec cpu idx i
-    else compile_insn t idx ~ret:next
+    else compile_insn code idx ~ret:next
 
-(* Compile every block, once per CPU, on the first [Block] run. *)
+(* The process-wide shared superblock cache. The closure compiler above
+   captures nothing CPU-specific, so a program's compiled closure set
+   is a pure function of its [Program.t] — keyed here by [Program.uid]
+   identity. Every machine executing the same linked program (fleet
+   re-checks, warm-pool restores, the serve loop's request machines)
+   binds the one shared set instead of recompiling; [blocks_bound_total]
+   counts those rebinds, the build counters only real compiles. Chains
+   and traced closure sets stay per-CPU derived caches ([fuse_block]
+   captures the owning CPU's arrays on purpose). Compilation happens
+   under the lock — it is a few microseconds of closure allocation, and
+   holding the lock gives the strict at-most-once-per-program
+   guarantee the serve-scale tests pin.
+
+   The table is an ephemeron keyed on the [Program.t] record: an entry
+   lives exactly as long as its program does, and is swept by the GC
+   the moment the last machine (or compile-cache slot) holding the
+   program dies. A strong capacity-bounded table here was measured to
+   cost the fuzzing fleet ~43% of its throughput — hundreds of dead
+   programs' closure sets pinned in the major heap turn every major
+   collection into a sweep of megabytes of garbage-that-isn't. The
+   closures capture the program's code/targets arrays, never the
+   [Program.t] record itself, so the ephemeron's key-in-data cycle
+   rule holds and entries really are collectable. *)
+module Ublk_tbl = Ephemeron.K1.Make (struct
+  type nonrec t = Program.t
+
+  let equal = ( == )
+  let hash (p : Program.t) = p.Program.uid
+end)
+
+let shared_ublocks : (t -> int) array array Ublk_tbl.t = Ublk_tbl.create 64
+let shared_ublocks_lock = Mutex.create ()
+
+(* Bind (or compile) the program's closure set on the first [Block] run. *)
 let build_ublocks t =
   let nb = Array.length t.block_starts in
   t.ublocks <-
-    Array.init nb (fun b ->
-        let start = t.block_starts.(b) in
-        let len = t.block_lens.(b) in
-        Array.init len (fun j ->
-            if j = len - 1 then compile_term t (start + j)
-            else compile_insn t (start + j) ~ret:0));
-  t.ublocks_ready <- true;
-  ignore (Atomic.fetch_and_add blocks_built_total nb : int);
-  ignore (Atomic.fetch_and_add block_insns_total (Array.length t.code) : int)
+    Mutex.protect shared_ublocks_lock (fun () ->
+        match Ublk_tbl.find_opt shared_ublocks t.program with
+        | Some ub ->
+          ignore (Atomic.fetch_and_add blocks_bound_total nb : int);
+          ub
+        | None ->
+          let code = t.code and targets = t.targets in
+          let ub =
+            Array.init nb (fun b ->
+                let start = t.block_starts.(b) in
+                let len = t.block_lens.(b) in
+                Array.init len (fun j ->
+                    if j = len - 1 then compile_term code targets (start + j)
+                    else compile_insn code (start + j) ~ret:0))
+          in
+          Ublk_tbl.add shared_ublocks t.program ub;
+          ignore (Atomic.fetch_and_add blocks_built_total nb : int);
+          ignore
+            (Atomic.fetch_and_add block_insns_total (Array.length t.code)
+              : int);
+          ub);
+  t.ublocks_ready <- true
 
 (* --- block chaining ----------------------------------------------------- *)
 

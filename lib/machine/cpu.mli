@@ -94,13 +94,24 @@ val run : ?fuel:int -> t -> status
 val total_retired : unit -> int
 
 (** Superblocks compiled by {!Block}-engine CPUs of this process (summed
-    over all domains; each CPU compiles its program once, lazily, on its
-    first run). Reported as BENCH schema 4's ["blocks_built"]. *)
+    over all domains). Compiled closures capture no CPU state — they
+    fetch the running machine's registers, MMU, and memory from their
+    argument — so each {e program}'s closure set compiles once, lazily,
+    on the first run of the first machine executing it, and lands in a
+    process-wide shared cache keyed on [Program.uid]. Reported as BENCH
+    schema 4's ["blocks_built"]. *)
 val blocks_built : unit -> int
 
 (** Instructions covered by those compiled superblocks; divided by
     {!blocks_built} this gives BENCH schema 4's ["avg_block_len"]. *)
 val block_insns_compiled : unit -> int
+
+(** Superblocks {e bound} from the shared cache instead of compiled: a
+    later machine running an already-compiled program bumps this by its
+    block count. [blocks_bound / (blocks_built + blocks_bound)] is the
+    shared superblock cache's hit rate; a serve/pool workload re-running
+    one program should show {!blocks_built} constant while this grows. *)
+val blocks_bound : unit -> int
 
 (** {2 Block chaining}
 

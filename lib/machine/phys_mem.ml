@@ -6,8 +6,40 @@
 
 type t = { mutable data : Bytes.t; mutable high_water : int }
 
+(* A domain-local free list of retired backing buffers. The kernel maps
+   the 1 MiB stack eagerly, so every process dirties ~1 MiB of physical
+   memory and the doubling buffer lands at 2 MiB: a fleet sweep that
+   creates thousands of short-lived processes otherwise pushes ~3 MiB
+   of zeroed large objects per process through the major heap. Callers
+   that know a process is dead hand its buffer back with [release];
+   [create] then re-zeroes just the dirtied prefix ([0, high_water) —
+   everything ever written sits below [high_water] by the [ensure]
+   invariant, the same property [Snapshot.restore_into] relies on) and
+   reuses the allocation. Domain-local, so no locking; a buffer never
+   moves between domains. *)
+let pool : (Bytes.t * int) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let pool_max = 8
+
 let create ?(initial = 1 lsl 20) () =
-  { data = Bytes.make initial '\000'; high_water = 0 }
+  let pool = Domain.DLS.get pool in
+  match !pool with
+  | (data, dirty) :: rest when Bytes.length data >= initial ->
+    pool := rest;
+    Bytes.fill data 0 dirty '\000';
+    { data; high_water = 0 }
+  | _ -> { data = Bytes.make initial '\000'; high_water = 0 }
+
+let release t =
+  let pool = Domain.DLS.get pool in
+  if List.length !pool < pool_max then begin
+    pool := (t.data, t.high_water) :: !pool;
+    (* Detach the buffer from the released value: a stale use of [t]
+       must not scribble on a buffer the next process now owns. *)
+    t.data <- Bytes.empty;
+    t.high_water <- 0
+  end
 
 let ensure t addr_end =
   if addr_end > Bytes.length t.data then begin

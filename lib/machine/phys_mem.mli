@@ -15,6 +15,15 @@ type t = {
 
 val create : ?initial:int -> unit -> t
 
+(** Hand a dead process's backing buffer to a domain-local free list;
+    a later [create] on this domain re-zeroes its dirtied prefix and
+    reuses the allocation instead of pushing another multi-megabyte
+    zeroed Bytes through the major heap. Only call when nothing will
+    touch this [t] again (the value is detached from its buffer).
+    Never required for correctness — an unreleased buffer is simply
+    collected. *)
+val release : t -> unit
+
 val read8 : t -> int -> int
 val write8 : t -> int -> int -> unit
 val read16 : t -> int -> int

@@ -21,6 +21,7 @@ type datum = {
 }
 
 type t = {
+  uid : int;           (* process-unique program identity (see [link]) *)
   code : Insn.t array;
   labels : (string, int) Hashtbl.t; (* label -> instruction index *)
   entry : string;
@@ -105,7 +106,17 @@ let is_stat_label l =
   && String.unsafe_get l 6 = '_'
 
 (* Build a program from an instruction list: index every [Label], resolve
-   all jump/call targets to instruction indices, and locate the entry. *)
+   all jump/call targets to instruction indices, and locate the entry.
+
+   Every linked program gets a process-unique [uid], the key under which
+   the block engine's process-wide shared superblock cache stores the
+   program's compiled closure set: two machines see the same uid exactly
+   when they execute the same [link] result (which the compiled-program
+   cache arranges for repeated compiles of the same source). The uid is
+   identity, not content — it never enters snapshots, whose program
+   check digests [(code, data, entry)] instead. *)
+let uid_counter = Atomic.make 0
+
 let link ?(entry = "main") ?(data = []) insns =
   let code = Array.of_list insns in
   let labels = Hashtbl.create 97 in
@@ -137,6 +148,7 @@ let link ?(entry = "main") ?(data = []) insns =
   let data_bytes = List.fold_left (fun acc d -> acc + d.size) 0 data in
   let block_starts, block_lens, block_at = partition code targets entry_index in
   {
+    uid = Atomic.fetch_and_add uid_counter 1;
     code;
     labels;
     entry;

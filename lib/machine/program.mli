@@ -17,6 +17,12 @@ type datum = {
 }
 
 type t = {
+  uid : int;
+      (** Process-unique identity stamped at {!link} time: two machines
+          share a uid exactly when they run the same linked program, so
+          derived per-program caches (the block engine's process-wide
+          shared superblock cache) can key on it. Identity, not content —
+          snapshots never carry it. *)
   code : Insn.t array;
   labels : (string, int) Hashtbl.t;
   entry : string;

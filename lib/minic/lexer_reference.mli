@@ -1,0 +1,9 @@
+(** The original list-building mini-C lexer, kept as the reference
+    implementation for {!Lexer}'s table-driven scanner. Test oracle and
+    benchmark baseline only — production code lexes through {!Lexer}. *)
+
+exception Lex_error of string * int  (** message, line *)
+
+(** Tokenise a full source string; the result always ends with [EOF].
+    @raise Lex_error with the offending line number. *)
+val tokenize : string -> Token.located list

@@ -11,20 +11,22 @@
 
 exception Parse_error of string * int
 
-type state = { mutable toks : Token.located list }
+(* The parser walks the scanner's flat token arrays by index instead of
+   destructing a [Token.located list]: [peek]/[peek2] are array reads
+   (EOF past the end), [advance] an increment. Edge semantics match the
+   list version exactly — advancing past the final EOF is a no-op and
+   an error there reports line 0. *)
+type state = { buf : Lexer.buf; mutable pos : int }
 
 let error st fmt =
-  let line = match st.toks with t :: _ -> t.Token.line | [] -> 0 in
+  let line = Lexer.line_at st.buf st.pos in
   Printf.ksprintf (fun msg -> raise (Parse_error (msg, line))) fmt
 
-let peek st =
-  match st.toks with t :: _ -> t.Token.tok | [] -> Token.EOF
-
-let peek2 st =
-  match st.toks with _ :: t :: _ -> t.Token.tok | _ -> Token.EOF
+let peek st = Lexer.token st.buf st.pos
+let peek2 st = Lexer.token st.buf (st.pos + 1)
 
 let advance st =
-  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+  if st.pos < Lexer.count st.buf then st.pos <- st.pos + 1
 
 let expect st tok =
   if peek st = tok then advance st
@@ -431,7 +433,7 @@ let parse_global st =
 
 (* Parse a complete translation unit. *)
 let parse_program src =
-  let st = { toks = Lexer.tokenize src } in
+  let st = { buf = Lexer.scan src; pos = 0 } in
   let rec go acc =
     if peek st = Token.EOF then List.rev acc
     else go (parse_global st :: acc)

@@ -62,6 +62,10 @@ type summary = {
   p50_us : float;
   p90_us : float;
   p99_us : float;
+  compile_hits : int;
+      (** process-wide {!Core.compile_cached} hits during this run —
+          compile-and-run requests whose program was already compiled *)
+  compile_misses : int;  (** ... and the compiles actually performed *)
 }
 
 val summary_to_json : summary -> Trace.Json.t

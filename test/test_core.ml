@@ -91,6 +91,53 @@ let test_bound_violation_surfaces () =
       (String.length msg > 10)
   | _ -> Alcotest.fail "expected violation"
 
+(* --- the process-wide program cache and shared superblocks --------------- *)
+
+let test_compile_cached () =
+  let src = "int main() { print_int(987654); return 0; }" in
+  let _, m0 = Core.compile_cache_stats () in
+  let c1 = Core.compile_cached Core.cash src in
+  let h1, m1 = Core.compile_cache_stats () in
+  Alcotest.(check int) "first compile is a miss" (m0 + 1) m1;
+  let c2 = Core.compile_cached Core.cash src in
+  let h2, m2 = Core.compile_cache_stats () in
+  Alcotest.(check int) "second compile is a hit" (h1 + 1) h2;
+  Alcotest.(check int) "…and not a miss" m1 m2;
+  Alcotest.(check bool) "the very same compiled program comes back" true
+    (c1 == c2);
+  (* cash_default and cash_security_only both render "cash3", so the
+     cache must key on the configuration itself, not its name *)
+  let g = Core.compile_cached Core.gcc src in
+  Alcotest.(check bool) "another backend gets its own program" true (g != c2);
+  let r1 = Core.run c1 and r2 = Core.run c2 in
+  Alcotest.(check string) "cached output identical" r1.Core.output
+    r2.Core.output
+
+let test_shared_superblocks_bind () =
+  let src =
+    "int main() { int i; int s = 0; for (i = 0; i < 50; i++) s = s + i; \
+     print_int(s); return 0; }"
+  in
+  let compiled = Core.compile_cached Core.cash src in
+  let run ~engine = Core.run ~engine compiled in
+  (* first block run compiles the program's superblocks once, into the
+     process-wide cache… *)
+  let r1 = run ~engine:Machine.Cpu.Block in
+  let built0 = Machine.Cpu.blocks_built () in
+  let bound0 = Machine.Cpu.blocks_bound () in
+  (* …so a second machine over the same program binds them instead *)
+  let r2 = run ~engine:Machine.Cpu.Block in
+  Alcotest.(check int) "re-run builds no superblocks" built0
+    (Machine.Cpu.blocks_built ());
+  Alcotest.(check bool) "re-run binds the shared ones" true
+    (Machine.Cpu.blocks_bound () > bound0);
+  Alcotest.(check string) "identical output" r1.Core.output r2.Core.output;
+  Alcotest.(check bool) "identical cycles" true (r1.Core.cycles = r2.Core.cycles);
+  let rp = run ~engine:Machine.Cpu.Predecoded in
+  let rr = run ~engine:Machine.Cpu.Reference in
+  Alcotest.(check string) "predecode agrees" r1.Core.output rp.Core.output;
+  Alcotest.(check string) "reference agrees" r1.Core.output rr.Core.output
+
 let suite =
   [
     Alcotest.test_case "backend names" `Quick test_backend_names;
@@ -103,4 +150,7 @@ let suite =
     Alcotest.test_case "static info" `Quick test_static_info;
     Alcotest.test_case "stat sum" `Quick test_stat_sum;
     Alcotest.test_case "violation surfaces" `Quick test_bound_violation_surfaces;
+    Alcotest.test_case "compile cache" `Quick test_compile_cached;
+    Alcotest.test_case "shared superblocks bind" `Quick
+      test_shared_superblocks_bind;
   ]

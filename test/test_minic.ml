@@ -470,9 +470,143 @@ int main() {
     Alcotest.(check bool) "src not written" false (List.mem k l.La.written)
   | None -> Alcotest.fail "src missing"
 
+(* --- table-driven lexer vs the reference oracle ------------------------- *)
+
+(* The production lexer is the table-driven scanner; the original
+   list-building lexer survives as [Lexer_reference], the oracle. The
+   two must agree token for token — including line numbers — on every
+   program the repo can produce, and must reject the same garbage with
+   the same message on the same line. *)
+
+module Lexref = Minic.Lexer_reference
+
+(* Token stream or lex error, comparable across the two lexers. *)
+let outcome f src =
+  match f src with
+  | toks -> Ok toks
+  | exception Lexer.Lex_error (m, l) -> Error (m, l)
+  | exception Lexref.Lex_error (m, l) -> Error (m, l)
+
+let check_agree what src =
+  let a = outcome Lexer.tokenize src in
+  let b = outcome Lexref.tokenize src in
+  if a <> b then Alcotest.failf "lexers disagree on %s: %S" what src
+
+let test_oracle_workloads () =
+  List.iter
+    (fun (name, src) -> check_agree name src)
+    [ ("matmul", Workloads.Micro.matmul ());
+      ("gaussian", Workloads.Micro.gaussian ());
+      ("fft2d", Workloads.Micro.fft2d ());
+      ("edge_detect", Workloads.Micro.edge_detect ());
+      ("svd", Workloads.Micro.svd ());
+      ("volrender", Workloads.Micro.volrender ());
+      ("toast", Workloads.Macro.toast ());
+      ("cjpeg", Workloads.Macro.cjpeg ());
+      ("quat", Workloads.Macro.quat ());
+      ("raylab", Workloads.Macro.raylab ());
+      ("speex", Workloads.Macro.speex ());
+      ("gif2png", Workloads.Macro.gif2png ()) ]
+
+let test_oracle_fuzz () =
+  (* the differential suite's seed range, with and without overruns *)
+  for seed = 0 to 209 do
+    check_agree
+      (Printf.sprintf "seed %d" seed)
+      (Fuzz.Gen.render (Fuzz.Gen.generate ~seed ~oob:(seed mod 3 = 0)))
+  done
+
+let test_oracle_tricky () =
+  List.iter
+    (fun src -> check_agree "tricky" src)
+    [ "";
+      "   \t  \n ";
+      "int main() { return 0; }\r\n";
+      "a\r\nb\r\nc";
+      "x // comment to eof";
+      "x /* block */ y /**/z";
+      "/**/x/**//**/y// tail";
+      "0 00 0x0 0xff 0XFF 0x2A 123456789";
+      "1.5 1e3 1E3 1e+3 1e-3 1.5e2";
+      {|'a' '\n' '\t' '\\' '\'' '\0' '\x41'|};
+      {|"" "a" "\x41\x42" "tab\there" "q\"q" "a\nb"|};
+      "a+++b a---b a+ ++b";
+      "<<= < <= << = == != ! & && | ||";
+      "x=1;y+=2;z-=3;w*=4;v/=5;u%=6;";
+      "int _ab1 a_b_c sizeof sizeofx intx do doubled";
+      (* both lexers must reject these identically: same message, line *)
+      "@"; "\n\n  @"; "a\r\n@"; "$"; "`";
+      "\"unterminated"; "\"unterminated\n more";
+      "'"; "'a"; {|'\q'|};
+      "/* runs off the end" ]
+
+let test_lex_error_lines () =
+  let line_of name f src =
+    match f src with
+    | exception Lexer.Lex_error (_, l) -> l
+    | exception Lexref.Lex_error (_, l) -> l
+    | _ -> Alcotest.failf "%s: expected a lex error for %S" name src
+  in
+  List.iter
+    (fun (src, expect) ->
+      Alcotest.(check int) ("new: " ^ String.escaped src) expect
+        (line_of "new" Lexer.tokenize src);
+      Alcotest.(check int) ("ref: " ^ String.escaped src) expect
+        (line_of "ref" Lexref.tokenize src))
+    [ ("@", 1); ("\n@", 2); ("a\nb\n  @", 3); ("//c\n/* x\n\n*/\n@", 5) ]
+
+(* The flat-array scan: counts, lines, and the pointer-length halves
+   must recover the reference stream and the original spellings. *)
+let test_scan_positions () =
+  let src =
+    "int g = 0x2A;\nint main() {\n  int a[4]; /* c */\n  return a[0] + g;\n}\n"
+  in
+  let b = Lexer.scan src in
+  let locs = Lexref.tokenize src in
+  Alcotest.(check int) "count" (List.length locs) (Lexer.count b);
+  List.iteri
+    (fun i (l : Token.located) ->
+      if Lexer.token b i <> l.Token.tok then
+        Alcotest.failf "token %d differs" i;
+      Alcotest.(check int) (Printf.sprintf "line of token %d" i) l.Token.line
+        (Lexer.line_at b i);
+      match l.Token.tok with
+      | Token.INT_LIT _ | Token.FLOAT_LIT _ | Token.STR_LIT _
+      | Token.CHAR_LIT _ | Token.EOF ->
+        ()
+      | t ->
+        (* keywords, identifiers, punctuation: spelling = rendering *)
+        Alcotest.(check string)
+          (Printf.sprintf "spelling of token %d" i)
+          (Token.to_string t)
+          (String.sub src (Lexer.offset b i) (Lexer.length_at b i)))
+    locs;
+  Alcotest.(check bool) "past the end is EOF" true
+    (Lexer.token b 999 = Token.EOF);
+  Alcotest.(check int) "past the end is line 0" 0 (Lexer.line_at b 999)
+
+let test_parse_error_lines () =
+  List.iter
+    (fun (src, expect) ->
+      match Parser.parse_program src with
+      | exception Parser.Parse_error (_, l) ->
+        Alcotest.(check int) ("line of " ^ String.escaped src) expect l
+      | _ -> Alcotest.failf "expected a parse error in %S" src)
+    [ ("int main() { return 0 }", 1);
+      ("int main() {\n  int x = 1;\n  return 0\n}", 4);
+      ("int main() {\r\n  return 0\r\n}", 3);
+      ("int f(int\n) { }", 2) ]
+
 let suite =
   suite
   @ [
+      Alcotest.test_case "lexer oracle: workloads" `Quick test_oracle_workloads;
+      Alcotest.test_case "lexer oracle: fuzz programs" `Quick test_oracle_fuzz;
+      Alcotest.test_case "lexer oracle: tricky inputs" `Quick
+        test_oracle_tricky;
+      Alcotest.test_case "lex error lines" `Quick test_lex_error_lines;
+      Alcotest.test_case "scan positions" `Quick test_scan_positions;
+      Alcotest.test_case "parse error lines" `Quick test_parse_error_lines;
       Alcotest.test_case "lex hex escape" `Quick test_lex_hex_escape;
       Alcotest.test_case "parse empties" `Quick test_parse_empty_things;
       Alcotest.test_case "dangling else" `Quick test_parse_dangling_else;

@@ -303,6 +303,36 @@ let test_server_streams_channels () =
   Sys.remove req_path;
   Sys.remove rsp_path
 
+(* The summary reports the process-wide program cache: a repeated
+   compile-and-run source compiles once and hits thereafter, and the
+   hit/miss pair rides at the END of the summary JSON (CI greps the
+   leading fields by position). *)
+let test_summary_compile_cache () =
+  let src = "int main() { print_int(20260808); return 0; }" in
+  let lines =
+    List.init 4 (fun _ ->
+        Printf.sprintf
+          {|{"op": "compile-and-run", "backend": "cash", "source": %S}|} src)
+  in
+  let server = Serve.Server.create ~jobs:1 () in
+  let _, s = Serve.Server.run_lines server lines in
+  Alcotest.(check int) "no errors" 0 s.Serve.Server.errors;
+  Alcotest.(check bool) "at most one miss" true
+    (s.Serve.Server.compile_misses <= 1);
+  Alcotest.(check bool) "the rest are hits" true
+    (s.Serve.Server.compile_hits >= 3);
+  let json = Trace.Json.to_string (Serve.Server.summary_to_json s) in
+  let has needle =
+    let nl = String.length needle and jl = String.length json in
+    let rec go i = i + nl <= jl && (String.sub json i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "summary json carries compile_hits" true
+    (has "\"compile_hits\"");
+  Alcotest.(check bool) "…and compile_misses" true (has "\"compile_misses\"");
+  Alcotest.(check bool) "grep-pinned prefix unchanged" true
+    (has "\"summary\":true,\"requests\":")
+
 (* --- protocol ------------------------------------------------------------- *)
 
 let test_protocol_round_trip () =
@@ -360,6 +390,8 @@ let suite =
       test_pool_block_waits;
     Alcotest.test_case "server: batches match direct runs at -j1/-j4" `Slow
       test_server_batch_matches_direct;
+    Alcotest.test_case "server: summary reports the compile cache" `Quick
+      test_summary_compile_cache;
     Alcotest.test_case "server: streams channels with summary" `Quick
       test_server_streams_channels;
     Alcotest.test_case "protocol: round-trip and rejection" `Quick
