@@ -19,6 +19,9 @@
      dune exec bench/main.exe -- --frontend   # compile-pipeline throughput:
                                               # lexer A/B, compiles/s, fleet
                                               # cold vs warm-pool legs
+     dune exec bench/main.exe -- --matrix     # five-scheme protection matrix
+                                              # (gcc/bcc/bcc-bound/cash/mpx/
+                                              # cap; --quick for the CI slice)
 
    The reproduction pass runs its 14 experiments as independent jobs on
    a Domain pool (lib/parallel): -j N picks the worker count, defaulting
@@ -123,13 +126,14 @@ type shape = {
   avg_chain_insns : float;
 }
 
-(* Schema 7: adds the frontend record kind (bench = "frontend", written
-   by --frontend, with lexer A/B throughput, allocation-per-token,
-   compiles/s, and cold-vs-warm-pool fleet fields) alongside
-   schema 6's serve records (bench = "serve") and the reproduction
-   records, which carry schema 5's fields unchanged ("chaining" and the
-   chain shape on top of schema 4's engine + superblock shape). *)
-let schema = 7
+(* Schema 8: adds the five-scheme matrix record kind (bench = "matrix",
+   written by --matrix, with per-scheme total cycles and overhead
+   percentages over the workload slice) alongside schema 7's frontend
+   records (bench = "frontend"), schema 6's serve records (bench =
+   "serve"), and the reproduction records, which carry schema 5's
+   fields unchanged ("chaining" and the chain shape on top of
+   schema 4's engine + superblock shape). *)
+let schema = 8
 
 let write_json ~path ~oc ~engine ~traced ~quick ~jobs ~n_experiments
     ~shape tp =
@@ -436,6 +440,78 @@ let run_serve ~requests ~engine ~jobs =
     ~alloc_fresh;
   if pooled.Serve.Server.errors > 0 || fresh.Serve.Server.errors > 0 then
     exit 1
+
+(* --- --matrix: the five-scheme protection matrix ------------------------ *)
+
+let matrix_of_argv argv = Array.exists (fun a -> a = "--matrix") argv
+
+let write_matrix_json ~engine ~jobs ~quick ~workloads
+    (totals : Harness.Matrix.totals list) =
+  let n, path, oc = claim_output_channel () in
+  let field name = String.map (fun c -> if c = '-' then '_' else c) name in
+  let per_scheme =
+    List.concat_map
+      (fun (t : Harness.Matrix.totals) ->
+        [
+          (field t.Harness.Matrix.t_scheme ^ "_cycles",
+           Trace.Json.Int t.Harness.Matrix.t_cycles);
+          (field t.Harness.Matrix.t_scheme ^ "_overhead_pct",
+           Trace.Json.Float t.Harness.Matrix.t_overhead_pct);
+        ])
+      totals
+  in
+  let json =
+    Trace.Json.(
+      Obj
+        ([
+           ("schema", Int schema);
+           ("bench", Str "matrix");
+           ("engine", Str (Core.engine_name engine));
+           ("jobs", Int jobs);
+           ("quick", Bool quick);
+           ("ocaml_version", Str Sys.ocaml_version);
+           ("workloads", Int workloads);
+         ]
+        @ per_scheme))
+  in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Trace.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "wrote %s\n" path;
+  ignore n
+
+(* The --matrix benchmark: one headline table comparing every protection
+   scheme (gcc baseline, bcc, bcc-bound, cash, mpx, cap) over the
+   micro/macro/netapps workload slice. The matrix module itself gates
+   output agreement and the gcc cycle floor (raising on violation);
+   simulated cycles are engine- and parallelism-independent, so the
+   printed table is byte-identical at any -j and under any engine — the
+   CI step pins that by diffing two runs. *)
+let run_matrix ~quick ~engine ~jobs =
+  Core.set_default_engine engine;
+  Printf.printf
+    "== bench --matrix: five-scheme protection matrix (engine %s, -j %d) \
+     ==\n%!"
+    (Core.engine_name engine) jobs;
+  match Harness.Matrix.run ~quick ~jobs () with
+  | exception Harness.Runner.Disagreement msg ->
+    Printf.eprintf "bench --matrix: %s\n" msg;
+    exit 1
+  | report, totals ->
+    Harness.Report.print report;
+    print_endline "\n== per-scheme totals over the slice ==";
+    List.iter
+      (fun (t : Harness.Matrix.totals) ->
+        Printf.printf "%-10s %12d cycles  %+7.1f%% vs gcc\n"
+          t.Harness.Matrix.t_scheme t.Harness.Matrix.t_cycles
+          t.Harness.Matrix.t_overhead_pct)
+      totals;
+    let workloads =
+      List.length (Harness.Matrix.workloads ~quick)
+    in
+    write_matrix_json ~engine ~jobs ~quick ~workloads totals
 
 (* --- --frontend: compile-pipeline throughput ---------------------------- *)
 
@@ -812,6 +888,10 @@ let () =
      run_serve ~requests ~engine ~jobs;
      exit 0
    | None -> ());
+  if matrix_of_argv Sys.argv then begin
+    run_matrix ~quick ~engine ~jobs;
+    exit 0
+  end;
   if frontend_of_argv Sys.argv then begin
     run_frontend ~quick ~engine ~jobs;
     exit 0

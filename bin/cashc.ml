@@ -28,7 +28,8 @@ let backend_conv =
     [ ("gcc", Core.gcc); ("bcc", Core.bcc); ("cash", Core.cash);
       (* "cash3" = "cash": [Core.backend_name] prints the register count,
          and crash-dump replay lines quote that name verbatim. *)
-      ("cash2", Core.cash_n 2); ("cash3", Core.cash); ("cash4", Core.cash_n 4) ]
+      ("cash2", Core.cash_n 2); ("cash3", Core.cash); ("cash4", Core.cash_n 4);
+      ("mpx", Core.mpx); ("cap", Core.cap) ]
   in
   Arg.enum all
 
@@ -38,7 +39,8 @@ let file =
 
 let backend =
   Arg.(value & opt backend_conv Core.cash &
-       info [ "c"; "compiler" ] ~doc:"Compiler: gcc, bcc, cash, cash2, cash4.")
+       info [ "c"; "compiler" ]
+         ~doc:"Compiler: gcc, bcc, cash, cash2, cash4, mpx, cap.")
 
 let stats =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print static and dynamic statistics.")

@@ -65,24 +65,56 @@ type bcc_config = {
 let bcc_default = { use_bound_insn = false }
 let bcc_bound_insn = { use_bound_insn = true }
 
+type mpx_config = {
+  (* Bounds registers available for FCFS loop hoisting, BND1..BND3 —
+     BND0 stays the bounds-transit register every pointer-producing
+     expression leaves its bounds in, mirroring how Cash keeps a value's
+     info pointer in EBX. "Intel MPX Explained" measures four
+     architectural BND registers; one is the transit register here, so
+     at most three are hoistable. *)
+  bnd_budget : int;
+}
+
+let mpx_default = { bnd_budget = 3 }
+
+type cap_config = {
+  (* GANDALF-style tag clearing: pointer arithmetic whose result escapes
+     the capability's bounds clears the tag bit, and any later
+     dereference through the untagged capability faults. [false] defers
+     everything to the per-access bounds check. *)
+  clear_on_escape : bool;
+}
+
+let cap_default = { clear_on_escape = true }
+
 type kind =
   | Gcc
   | Bcc of bcc_config
   | Cash of cash_config
+  | Mpx of mpx_config
+  | Cap of cap_config
 
 let name = function
   | Gcc -> "gcc"
   | Bcc { use_bound_insn = false } -> "bcc"
   | Bcc { use_bound_insn = true } -> "bcc-bound"
   | Cash c -> Printf.sprintf "cash%d" c.seg_budget
+  | Mpx _ -> "mpx"
+  | Cap _ -> "cap"
 
 (* How many bytes a *value* of this type occupies in memory under this
-   backend. Pointer representation is the paper's: 1 word (GCC), 3 words
-   (BCC), 2 words (Cash). *)
+   backend. Pointer representation is the paper's for the three original
+   compilers — 1 word (GCC), 3 words (BCC), 2 words (Cash) — plus 1 word
+   for MPX (bounds live in registers and the bound table, never inline)
+   and 2 words for the capability backend (value + tagged capability
+   word). *)
 let rec val_size kind (ty : Ast.ty) =
   match ty with
   | Ast.Tptr _ ->
-    (match kind with Gcc -> 4 | Cash _ -> 8 | Bcc _ -> 12)
+    (match kind with
+     | Gcc | Mpx _ -> 4
+     | Cash _ | Cap _ -> 8
+     | Bcc _ -> 12)
   | Ast.Tarray (t, n) -> n * val_size kind t
   | Ast.Tint -> 4
   | Ast.Tchar -> 1

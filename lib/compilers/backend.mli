@@ -35,10 +35,30 @@ type bcc_config = {
 val bcc_default : bcc_config
 val bcc_bound_insn : bcc_config
 
+type mpx_config = {
+  bnd_budget : int;
+      (** bounds registers available for FCFS loop hoisting (BND1..3;
+          BND0 is the bounds-transit register) *)
+}
+
+(** BND1..BND3 hoistable, BND0 in transit — the four MPX registers. *)
+val mpx_default : mpx_config
+
+type cap_config = {
+  clear_on_escape : bool;
+      (** GANDALF-style: arithmetic escaping the bounds clears the tag *)
+}
+
+val cap_default : cap_config
+
 type kind =
   | Gcc  (** no checking: the baseline *)
   | Bcc of bcc_config  (** software checking, 3-word fat pointers *)
   | Cash of cash_config  (** the paper's contribution *)
+  | Mpx of mpx_config
+      (** Intel-MPX-style: bounds registers + bound-table spills *)
+  | Cap of cap_config
+      (** capability-style: tagged 2-word pointers, checked per access *)
 
 val name : kind -> string
 

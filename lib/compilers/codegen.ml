@@ -1,4 +1,4 @@
-(* Code generation: typed IR -> machine instructions, for all three
+(* Code generation: typed IR -> machine instructions, for all five
    backends.
 
    The generator is a simple one-register-plus-stack scheme with the
@@ -30,7 +30,27 @@
      BCC-style software check, driven by the info structure;
    - references outside loops are not checked (§3.8);
    - segment registers used anywhere in a function are saved in the
-     prologue and restored in the epilogue. *)
+     prologue and restored in the epilogue.
+
+   The MPX-style backend mirrors the Cash structure with bounds
+   registers instead of segment registers:
+   - pointers stay 1 word; BND0 is the bounds-transit register — the
+     invariant is that whenever a pointer value sits in EAX, BND0 holds
+     its bounds (the analogue of Cash's EBX info-pointer convention);
+   - wherever Cash moves EBX metadata to or from memory, MPX emits
+     BNDSTX/BNDLDX keyed on the slot's linear address, so a caller's
+     argument spill and the callee's parameter load meet at the same
+     bound-table entry;
+   - at loop entry the first [bnd_budget] assignable bases get BND1-3
+     first-come-first-served (establishment hoisted to the preheader);
+   - unlike Cash (§3.8), every reference is checked, in or out of
+     loops — BNDCL/BNDCU are 1-cycle register checks, so coverage is
+     cheap once the bounds are resident.
+
+   The capability backend needs no per-function machinery at all:
+   pointers are 2 words (value + EBX capability word riding the Cash
+   metadata plumbing), CAPCHK validates every dereference in hardware,
+   and CAPCLR clears the tag when arithmetic escapes the bounds. *)
 
 open Machine
 module Ast = Minic.Ast
@@ -73,6 +93,13 @@ type seg_assign = {
        definition sites need no segment work at all *)
 }
 
+(* An MPX loop-nest assignment: base [abase] owns bounds register
+   [breg] (1-3; 0 is the transit register and never assigned). *)
+type mpx_assign = {
+  breg : int;
+  mbase : Minic.Loop_analysis.base;
+}
+
 type fenv = {
   kind : Backend.kind;
   prog : Ir.tprog;
@@ -99,11 +126,23 @@ type fenv = {
   mutable break_labels : string list;
   mutable continue_labels : string list;
   mutable local_arrays : Ir.sym list; (* for prologue/epilogue seg calls *)
+  (* MPX: the FCFS bounds-register nest, which base each BND register
+     currently holds, and the frame slots the prologue/epilogue spill
+     used registers through (BNDSTX/BNDLDX, the analogue of seg_saves) *)
+  mutable mpx_nest : (string * mpx_assign) list;
+  mutable bnd_contents : (int * string) list;
+  mutable bnd_saves : (int * int) list;
 }
 
 let cash_config = function
   | Backend.Cash c -> Some c
-  | Backend.Gcc | Backend.Bcc _ -> None
+  | Backend.Gcc | Backend.Bcc _ | Backend.Mpx _ | Backend.Cap _ -> None
+
+let mpx_config = function Backend.Mpx c -> Some c | _ -> None
+
+let cap_clears_on_escape = function
+  | Backend.Cap { Backend.clear_on_escape } -> clear_on_escape
+  | _ -> false
 
 let emit env i = env.code <- i :: env.code
 
@@ -243,7 +282,10 @@ let is_double ty = Ast.decay ty = Ast.Tdouble
 let is_ptr ty = match Ast.decay ty with Ast.Tptr _ -> true | _ -> false
 
 let ptr_meta_words env =
-  match env.kind with Backend.Gcc -> 0 | Backend.Cash _ -> 1 | Backend.Bcc _ -> 2
+  match env.kind with
+  | Backend.Gcc | Backend.Mpx _ -> 0
+  | Backend.Cash _ | Backend.Cap _ -> 1
+  | Backend.Bcc _ -> 2
 
 (* Memory operands addressing a BCC bounds record (lower at +0, upper at
    +4) for an array variable or string literal. *)
@@ -273,8 +315,21 @@ let push_result env ty =
       if ptr_meta_words env >= 2 then emit_push env ecx;
       if ptr_meta_words env >= 1 then emit_push env ebx
     end;
-    emit_push env eax
+    emit_push env eax;
+    (* MPX keeps pointers 1 word; the bounds follow the value through the
+       bound table instead, keyed on the spill slot's linear address *)
+    (match env.kind with
+     | Backend.Mpx _ when is_ptr ty ->
+       emit env (Insn.Bndstx (0, Insn.mem ~base:Registers.ESP ()))
+     | _ -> ())
   end
+
+(* MPX: recover BND0 for a pointer value about to be popped from [ESP]. *)
+let mpx_reload_spilled env =
+  match env.kind with
+  | Backend.Mpx _ ->
+    emit env (Insn.Bndldx (0, Insn.mem ~base:Registers.ESP ()))
+  | _ -> ()
 
 (* Load "no provenance" pointer metadata: the flat global segment (Cash)
    or the whole address space (BCC). *)
@@ -286,6 +341,13 @@ let load_unchecked_meta env =
   | Backend.Bcc _ ->
     emit_mov env ebx (Insn.Imm 0);
     emit_mov env ecx (Insn.Imm 0xFFFFFFFF)
+  | Backend.Mpx _ ->
+    (* BNDMK with no base register: [0, disp) — the unbounded range *)
+    emit env (Insn.Bndmk (0, Insn.mem ~disp:0xFFFFFFFF ()))
+  | Backend.Cap _ ->
+    (* a tagged universal capability: checks pass, parity with BCC's
+       unknown-provenance sentinel *)
+    emit env (Insn.Capmk (Registers.EBX, Insn.Imm 0, Insn.Imm 0xFFFFFFFF))
 
 (* --- condition-code helpers ------------------------------------------- *)
 
@@ -429,6 +491,9 @@ type plan =
   | P_bcc_direct of int         (* BCC direct array ref: index < count *)
   | P_sw_var                    (* software check, base is a named var *)
   | P_sw_regs                   (* software check, metadata in registers *)
+  | P_mpx of mpx_assign option  (* MPX: BNDCL/BNDCU against BND1-3 (Some)
+                                   or bounds established into BND0 (None) *)
+  | P_cap                       (* capability: CAPCHK validates the access *)
 
 let in_loop env = env.loop_stack <> []
 
@@ -464,6 +529,88 @@ let scale_ok s = s = 1 || s = 2 || s = 4 || s = 8
 let str_addr env i = Data_layout.string_addr env.layout i
 let str_info env i = Data_layout.string_info env.layout i
 let str_size env i = Data_layout.string_size env.layout env.prog i
+
+(* --- bounds-register bookkeeping (MPX) --------------------------------- *)
+
+(* BND1-3 are callee-saved through the bound table (the analogue of
+   Cash's seg_saves); BND0 is the caller-save transit register. *)
+let ensure_bnd_saved env breg =
+  if breg <> 0 && not (List.mem_assoc breg env.bnd_saves) then begin
+    let slot = alloc_slot env 4 in
+    env.bnd_saves <- (breg, slot) :: env.bnd_saves
+  end
+
+let record_bnd_contents env breg key =
+  env.bnd_contents <- (breg, key) :: List.remove_assoc breg env.bnd_contents
+
+(* Load the bounds of base [b] into BND register [breg]: BNDMK from the
+   object's static extent for arrays and string literals, BNDLDX through
+   the pointer variable's slot for pointer variables. *)
+let mpx_load_base_bounds env ~breg (b : Minic.Loop_analysis.base) =
+  (match b with
+   | Minic.Loop_analysis.Bstr i ->
+     emit_mov env esi (Insn.Imm (str_addr env i));
+     emit env
+       (Insn.Bndmk
+          (breg, Insn.mem ~base:Registers.ESI ~disp:(str_size env i) ()))
+   | Minic.Loop_analysis.Bsym sym ->
+     (match sym.Ir.ty with
+      | Ast.Tarray (elem, n) ->
+        let total = n * elem_size env elem in
+        (match loc_of env sym with
+         | Global e -> emit_mov env esi (Insn.Imm e.Data_layout.addr)
+         | Frame off -> emit_lea env Registers.ESI (ebp_mem off));
+        emit env
+          (Insn.Bndmk (breg, Insn.mem ~base:Registers.ESI ~disp:total ()))
+      | Ast.Tptr _ ->
+        emit env (Insn.Bndldx (breg, fix_mem env (var_mem env sym ~delta:0)))
+      | _ -> assert false)
+   | Minic.Loop_analysis.Bcomplex -> assert false);
+  record_bnd_contents env breg (Minic.Loop_analysis.base_key b)
+
+(* Full establishment of a loop-nest assignment (the analogue of
+   [establish_assignment]): spill slot reserved, bounds loaded. *)
+let mpx_establish env (a : mpx_assign) =
+  ensure_bnd_saved env a.breg;
+  env.stats.seg_loads <- env.stats.seg_loads + 1;
+  mpx_load_base_bounds env ~breg:a.breg a.mbase
+
+(* --- capability metadata (Cap) ----------------------------------------- *)
+
+(* Load the capability word describing base [b] into EBX: CAPMK interns
+   static extents in the hardware capability table; pointer variables
+   carry their capability in the shadow word at value+4. *)
+let cap_load_base_meta env (b : Minic.Loop_analysis.base) =
+  match b with
+  | Minic.Loop_analysis.Bstr i ->
+    let lo = str_addr env i in
+    emit env
+      (Insn.Capmk
+         (Registers.EBX, Insn.Imm lo, Insn.Imm (lo + str_size env i)))
+  | Minic.Loop_analysis.Bsym sym ->
+    (match sym.Ir.ty with
+     | Ast.Tarray (elem, n) ->
+       let total = n * elem_size env elem in
+       (match loc_of env sym with
+        | Global e ->
+          emit env
+            (Insn.Capmk
+               (Registers.EBX, Insn.Imm e.Data_layout.addr,
+                Insn.Imm (e.Data_layout.addr + total)))
+        | Frame off ->
+          emit_lea env Registers.ESI (ebp_mem off);
+          emit_lea env Registers.EDI (ebp_mem (off + total));
+          emit env (Insn.Capmk (Registers.EBX, esi, edi)))
+     | Ast.Tptr _ ->
+       emit_mov env ebx (Insn.Mem (fix_mem env (var_mem env sym ~delta:4)))
+     | _ -> assert false)
+  | Minic.Loop_analysis.Bcomplex -> assert false
+
+(* After pointer arithmetic (result in EAX, capability in EBX): clear the
+   tag in hardware if the new value escaped the capability's bounds. *)
+let cap_clear_escape env =
+  if cap_clears_on_escape env.kind then
+    emit env (Insn.Capclr (Registers.EAX, Registers.EBX))
 
 (* --- per-loop segment-register assignment (§3.3, §3.7) ------------------
 
@@ -695,6 +842,17 @@ let decide_plan env ~pe ~direct_index ~is_store =
            | _ -> P_sw_regs)
         end
     end
+  | Backend.Mpx _ ->
+    (* check-everywhere coverage: BNDCL/BNDCU are 1-cycle register
+       checks, so, unlike Cash, direct references outside loops are
+       checked too. An active loop-nest assignment supplies a resident
+       BND1-3; otherwise bounds are established into BND0 at the site. *)
+    env.stats.hw_checks <- env.stats.hw_checks + 1;
+    let b = base_of_expr pe in
+    P_mpx (List.assoc_opt (Minic.Loop_analysis.base_key b) env.mpx_nest)
+  | Backend.Cap _ ->
+    env.stats.hw_checks <- env.stats.hw_checks + 1;
+    P_cap
 
 
 (* --- the mutually recursive generator ---------------------------------- *)
@@ -711,7 +869,10 @@ let rec gen_expr env (e : Ir.texpr) =
      | Backend.Bcc _ ->
        let rec_addr = str_info env i in
        emit_mov env ebx (Insn.Mem (abs_mem rec_addr));
-       emit_mov env ecx (Insn.Mem (abs_mem (rec_addr + 4))))
+       emit_mov env ecx (Insn.Mem (abs_mem (rec_addr + 4)))
+     | Backend.Mpx _ ->
+       mpx_load_base_bounds env ~breg:0 (Minic.Loop_analysis.Bstr i)
+     | Backend.Cap _ -> cap_load_base_meta env (Minic.Loop_analysis.Bstr i))
   | Ir.Tsizeof ty -> emit_mov env eax (Insn.Imm (Backend.sizeof env.kind ty))
   | Ir.Tvar sym -> gen_var env sym
   | Ir.Tindex _ | Ir.Tderef _ -> gen_ref_load env e
@@ -767,11 +928,13 @@ and gen_var env (sym : Ir.sym) =
     emit_mov env eax (Insn.Mem (var_mem env sym ~delta:0));
     (match env.kind with
      | Backend.Gcc -> ()
-     | Backend.Cash _ ->
+     | Backend.Cash _ | Backend.Cap _ ->
        emit_mov env ebx (Insn.Mem (var_mem env sym ~delta:4))
      | Backend.Bcc _ ->
        emit_mov env ebx (Insn.Mem (var_mem env sym ~delta:4));
-       emit_mov env ecx (Insn.Mem (var_mem env sym ~delta:8)))
+       emit_mov env ecx (Insn.Mem (var_mem env sym ~delta:8))
+     | Backend.Mpx _ ->
+       emit env (Insn.Bndldx (0, fix_mem env (var_mem env sym ~delta:0))))
   | Ast.Tarray (elem, n) ->
     (* the array decays to a pointer to its first element *)
     let total = n * elem_size env elem in
@@ -789,7 +952,11 @@ and gen_var env (sym : Ir.sym) =
        ignore total;
        let lo, hi = bcc_bounds_ops env (info_of_sym env sym) in
        emit_mov env ebx (Insn.Mem lo);
-       emit_mov env ecx (Insn.Mem hi))
+       emit_mov env ecx (Insn.Mem hi)
+     | Backend.Mpx _ ->
+       mpx_load_base_bounds env ~breg:0 (Minic.Loop_analysis.Bsym sym)
+     | Backend.Cap _ ->
+       cap_load_base_meta env (Minic.Loop_analysis.Bsym sym))
   | Ast.Tvoid -> failwith "void variable"
 
 and gen_addr_of env (inner : Ir.texpr) =
@@ -939,7 +1106,8 @@ and gen_ptr_arith env op (p : Ir.texpr) (i : Ir.texpr) =
     gen_expr env p;
     emit_alu env
       (match op with Ast.Add -> Insn.Add | _ -> Insn.Sub)
-      eax (Insn.Imm (n * esize))
+      eax (Insn.Imm (n * esize));
+    cap_clear_escape env
   | _ when simple_ptr && not (expr_clobbers_fp i) ->
     (* index first into EAX, then fold the named pointer in directly *)
     gen_expr env i;
@@ -959,42 +1127,53 @@ and gen_ptr_arith env op (p : Ir.texpr) (i : Ir.texpr) =
      | _ ->
        emit_alu env Insn.Sub edx eax;
        emit_mov env eax edx);
-    (* metadata loads touch only EBX/ECX *)
-    if ptr_meta_words env >= 1 then begin
-      match p.Ir.e, env.kind with
-      | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym), Backend.Cash _ ->
-        (match info_of_sym env sym with
-         | Info_const a -> emit_mov env ebx (Insn.Imm a)
-         | Info_frame off -> emit_lea env Registers.EBX (ebp_mem off)
-         | Info_slot m -> emit_mov env ebx (Insn.Mem m))
-      | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym), Backend.Bcc _ ->
-        let lo, hi = bcc_bounds_ops env (info_of_sym env sym) in
-        emit_mov env ebx (Insn.Mem lo);
-        emit_mov env ecx (Insn.Mem hi)
-      | Ir.Tvar sym, _ ->
-        emit_mov env ebx (Insn.Mem (var_mem env sym ~delta:4));
-        if ptr_meta_words env >= 2 then
-          emit_mov env ecx (Insn.Mem (var_mem env sym ~delta:8))
-      | Ir.Tstr_lit si, Backend.Cash _ ->
-        emit_mov env ebx (Insn.Imm (str_info env si))
-      | Ir.Tstr_lit si, Backend.Bcc _ ->
-        let rec_addr = str_info env si in
-        emit_mov env ebx (Insn.Mem (abs_mem rec_addr));
-        emit_mov env ecx (Insn.Mem (abs_mem (rec_addr + 4)))
-      | _ -> assert false
-    end
+    (* metadata loads touch only EBX/ECX (MPX: BND0 and ESI) *)
+    (match env.kind with
+     | Backend.Mpx _ ->
+       mpx_load_base_bounds env ~breg:0 (base_of_expr p)
+     | _ ->
+       if ptr_meta_words env >= 1 then begin
+         match p.Ir.e, env.kind with
+         | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym), Backend.Cash _ ->
+           (match info_of_sym env sym with
+            | Info_const a -> emit_mov env ebx (Insn.Imm a)
+            | Info_frame off -> emit_lea env Registers.EBX (ebp_mem off)
+            | Info_slot m -> emit_mov env ebx (Insn.Mem m))
+         | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym), Backend.Bcc _ ->
+           let lo, hi = bcc_bounds_ops env (info_of_sym env sym) in
+           emit_mov env ebx (Insn.Mem lo);
+           emit_mov env ecx (Insn.Mem hi)
+         | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym), Backend.Cap _ ->
+           cap_load_base_meta env (Minic.Loop_analysis.Bsym sym)
+         | Ir.Tvar sym, _ ->
+           emit_mov env ebx (Insn.Mem (var_mem env sym ~delta:4));
+           if ptr_meta_words env >= 2 then
+             emit_mov env ecx (Insn.Mem (var_mem env sym ~delta:8))
+         | Ir.Tstr_lit si, Backend.Cash _ ->
+           emit_mov env ebx (Insn.Imm (str_info env si))
+         | Ir.Tstr_lit si, Backend.Bcc _ ->
+           let rec_addr = str_info env si in
+           emit_mov env ebx (Insn.Mem (abs_mem rec_addr));
+           emit_mov env ecx (Insn.Mem (abs_mem (rec_addr + 4)))
+         | Ir.Tstr_lit si, Backend.Cap _ ->
+           cap_load_base_meta env (Minic.Loop_analysis.Bstr si)
+         | _ -> assert false
+       end);
+    cap_clear_escape env
   | _ ->
     gen_expr env p;
     push_result env p.Ir.ty;
     gen_expr env i;
     if esize > 1 then emit_alu env Insn.Imul eax (Insn.Imm esize);
+    mpx_reload_spilled env;
     emit_pop env edx;
     (match op with
      | Ast.Add -> emit_alu env Insn.Add edx eax
      | _ -> emit_alu env Insn.Sub edx eax);
     emit_mov env eax edx;
     if ptr_meta_words env >= 1 then emit_pop env ebx;
-    if ptr_meta_words env >= 2 then emit_pop env ecx
+    if ptr_meta_words env >= 2 then emit_pop env ecx;
+    cap_clear_escape env
 
 and gen_int_binop env op (a : Ir.texpr) (b : Ir.texpr) =
   match op with
@@ -1288,6 +1467,46 @@ and gen_index_mem_named env ~(base : Ir.texpr) ~idx ~esize ~is_store =
      | _ -> assert false);
     Insn.mem ~base:Registers.EDI ()
   | P_sw_regs -> assert false (* named bases never take the regs path *)
+  | P_mpx a ->
+    (* element address into EDI, then the two 1-cycle register checks
+       against a resident BND register (assigned, or BND0 established
+       here) — the check-everywhere analogue of Cash's segment plan *)
+    (match base.Ir.e with
+     | Ir.Tvar ({ Ir.ty = Ast.Tarray _; _ } as sym) ->
+       (match loc_of env sym with
+        | Global entry ->
+          emit_lea env Registers.EDI
+            (Insn.mem ~disp:entry.Data_layout.addr ~index:(Registers.EAX, s)
+               ())
+        | Frame off ->
+          emit_lea env Registers.EDI
+            (Insn.mem ~base:Registers.EBP ~disp:off ~index:(Registers.EAX, s)
+               ()))
+     | Ir.Tstr_lit i ->
+       emit_lea env Registers.EDI
+         (Insn.mem ~disp:(str_addr env i) ~index:(Registers.EAX, s) ())
+     | Ir.Tvar sym ->
+       emit_mov env edx (Insn.Mem (var_mem env sym ~delta:0));
+       emit_lea env Registers.EDI
+         (Insn.mem ~base:Registers.EDX ~index:(Registers.EAX, s) ())
+     | _ -> assert false);
+    let breg =
+      match a with
+      | Some a -> a.breg
+      | None ->
+        mpx_load_base_bounds env ~breg:0 (base_of_expr base);
+        0
+    in
+    emit env (Insn.Bndcl (breg, edi));
+    emit env (Insn.Bndcu (breg, edi, esize));
+    Insn.mem ~base:Registers.EDI ()
+  | P_cap ->
+    (* the access itself is checked in hardware: CAPCHK validates the
+       effective address against the capability in EBX *)
+    let m = unchecked_mem () in
+    cap_load_base_meta env (base_of_expr base);
+    emit env (Insn.Capchk (Registers.EBX, m, esize, is_store));
+    m
 
 (* a[i] where the base is a computed pointer expression. *)
 and gen_index_mem_complex env ~(base : Ir.texpr) ~idx ~esize ~is_store =
@@ -1295,6 +1514,7 @@ and gen_index_mem_complex env ~(base : Ir.texpr) ~idx ~esize ~is_store =
   gen_expr env base;
   push_result env base.Ir.ty;
   let s = eval_index env idx ~esize in
+  mpx_reload_spilled env;
   emit_pop env edx;
   if ptr_meta_words env >= 1 then emit_pop env ebx;
   if ptr_meta_words env >= 2 then emit_pop env ecx;
@@ -1316,6 +1536,18 @@ and gen_index_mem_complex env ~(base : Ir.texpr) ~idx ~esize ~is_store =
          `Regs);
     Insn.mem ~base:Registers.EDI ()
   | P_bcc_direct _ -> assert false
+  | P_mpx _ ->
+    (* a computed base always rides the BND0 transit bounds, just
+       recovered from the spill slot above *)
+    emit_lea env Registers.EDI
+      (Insn.mem ~base:Registers.EDX ~index:(Registers.EAX, s) ());
+    emit env (Insn.Bndcl (0, edi));
+    emit env (Insn.Bndcu (0, edi, esize));
+    Insn.mem ~base:Registers.EDI ()
+  | P_cap ->
+    let m = Insn.mem ~base:Registers.EDX ~index:(Registers.EAX, s) () in
+    emit env (Insn.Capchk (Registers.EBX, m, esize, is_store));
+    m
 
 (* *p and derived forms. *)
 and gen_deref_mem env ~(pe : Ir.texpr) ~esize ~is_store =
@@ -1363,7 +1595,37 @@ and gen_deref_mem env ~(pe : Ir.texpr) ~esize ~is_store =
             (`Slots
                ( fix_mem env (var_mem env sym ~delta:4),
                  fix_mem env (var_mem env sym ~delta:8) )));
-       Insn.mem ~base:Registers.EDI ())
+       Insn.mem ~base:Registers.EDI ()
+     | P_mpx a ->
+       (if is_array then
+          match loc_of env sym with
+          | Global entry -> emit_mov env edi (Insn.Imm entry.Data_layout.addr)
+          | Frame off -> emit_lea env Registers.EDI (ebp_mem off)
+        else emit_mov env edi (Insn.Mem (var_mem env sym ~delta:0)));
+       let breg =
+         match a with
+         | Some a -> a.breg
+         | None ->
+           mpx_load_base_bounds env ~breg:0 (Minic.Loop_analysis.Bsym sym);
+           0
+       in
+       emit env (Insn.Bndcl (breg, edi));
+       emit env (Insn.Bndcu (breg, edi, esize));
+       Insn.mem ~base:Registers.EDI ()
+     | P_cap ->
+       let m =
+         if is_array then
+           (match loc_of env sym with
+            | Global entry -> abs_mem entry.Data_layout.addr
+            | Frame off -> fix_mem env (ebp_mem off))
+         else begin
+           emit_mov env edx (Insn.Mem (var_mem env sym ~delta:0));
+           Insn.mem ~base:Registers.EDX ()
+         end
+       in
+       cap_load_base_meta env (Minic.Loop_analysis.Bsym sym);
+       emit env (Insn.Capchk (Registers.EBX, m, esize, is_store));
+       m)
   | _ ->
     (* computed pointer expression *)
     let plan = decide_plan env ~pe ~direct_index:None ~is_store in
@@ -1381,7 +1643,16 @@ and gen_deref_mem env ~(pe : Ir.texpr) ~esize ~is_store =
         | _ ->
           emit_sw_check ~sentinel:true env ~addr_reg:Registers.EAX ~size:esize
             `Regs);
-       Insn.mem ~base:Registers.EAX ())
+       Insn.mem ~base:Registers.EAX ()
+     | P_mpx _ ->
+       (* gen_expr left the value's bounds in BND0 (transit invariant) *)
+       emit env (Insn.Bndcl (0, eax));
+       emit env (Insn.Bndcu (0, eax, esize));
+       Insn.mem ~base:Registers.EAX ()
+     | P_cap ->
+       let m = Insn.mem ~base:Registers.EAX () in
+       emit env (Insn.Capchk (Registers.EBX, m, esize, is_store));
+       m)
 
 (* The memory operand for a reference lvalue (Tindex or Tderef). *)
 and gen_ref_mem ?(is_store = false) env (refe : Ir.texpr) =
@@ -1411,7 +1682,11 @@ and gen_ref_load env (refe : Ir.texpr) =
     if ptr_meta_words env >= 2 then
       emit env
         (Insn.Mov (Insn.Long, ecx, Insn.Mem { m with Insn.disp = m.Insn.disp + 8 }));
-    emit env (Insn.Mov (Insn.Long, eax, Insn.Mem m))
+    emit env (Insn.Mov (Insn.Long, eax, Insn.Mem m));
+    (* MPX: the loaded pointer's bounds follow it out of the table *)
+    (match env.kind with
+     | Backend.Mpx _ -> emit env (Insn.Bndldx (0, m))
+     | _ -> ())
   | Ast.Tvoid | Ast.Tarray _ -> failwith "gen_ref_load: bad element type"
 
 (* Store the pushed right-hand side into a reference lvalue; leaves the
@@ -1435,6 +1710,7 @@ and gen_ref_store env (refe : Ir.texpr) =
     emit env (Insn.Fmov (Insn.Fmem m, xmm0))
   | Ast.Tptr _ ->
     let m = materialize_addr env m in
+    mpx_reload_spilled env;
     emit_pop env eax;
     if ptr_meta_words env >= 1 then emit_pop env ebx;
     if ptr_meta_words env >= 2 then emit_pop env ecx;
@@ -1444,7 +1720,11 @@ and gen_ref_store env (refe : Ir.texpr) =
         (Insn.Mov (Insn.Long, Insn.Mem { m with Insn.disp = m.Insn.disp + 4 }, ebx));
     if ptr_meta_words env >= 2 then
       emit env
-        (Insn.Mov (Insn.Long, Insn.Mem { m with Insn.disp = m.Insn.disp + 8 }, ecx))
+        (Insn.Mov (Insn.Long, Insn.Mem { m with Insn.disp = m.Insn.disp + 8 }, ecx));
+    (* MPX: re-key the stored pointer's bounds on its new home *)
+    (match env.kind with
+     | Backend.Mpx _ -> emit env (Insn.Bndstx (0, m))
+     | _ -> ())
   | Ast.Tvoid | Ast.Tarray _ -> failwith "gen_ref_store: bad element type"
 
 (* --- assignment, increment/decrement ----------------------------------- *)
@@ -1490,7 +1770,27 @@ and gen_assign env (lv : Ir.texpr) (rhs : Ir.texpr) =
             | Some a when not a.skip_def_reload ->
               gen_seg_reload_at_def env sym a ~active:false
             | Some _ | None -> ())
-       end
+       end;
+       (match env.kind with
+        | Backend.Mpx _ ->
+          (* re-key the bounds on the variable's slot; a live loop-nest
+             register is refreshed from the table, and any register left
+             holding the old object's bounds is invalidated so the
+             loop-exit pass re-establishes it *)
+          emit env
+            (Insn.Bndstx (0, fix_mem env (var_mem env sym ~delta:0)));
+          if not same_object then begin
+            match List.assoc_opt key env.mpx_nest with
+            | Some a ->
+              emit env
+                (Insn.Bndldx
+                   (a.breg, fix_mem env (var_mem env sym ~delta:0)));
+              record_bnd_contents env a.breg key
+            | None ->
+              env.bnd_contents <-
+                List.filter (fun (_, k) -> k <> key) env.bnd_contents
+          end
+        | _ -> ())
      | Ast.Tvoid | Ast.Tarray _ -> failwith "bad assignment target")
   | Ir.Tindex _ | Ir.Tderef _ when Ast.decay lv.Ir.ty = Ast.Tdouble ->
     (* doubles skip the stack round trip: the value sits in XMM0 while the
@@ -1549,7 +1849,17 @@ and gen_incdec env pos op (lv : Ir.texpr) =
           if ptr_meta_words env >= 1 then
             emit_mov env ebx (Insn.Mem (var_mem env sym ~delta:4));
           if ptr_meta_words env >= 2 then
-            emit_mov env ecx (Insn.Mem (var_mem env sym ~delta:8))
+            emit_mov env ecx (Insn.Mem (var_mem env sym ~delta:8));
+          (match env.kind with
+           | Backend.Mpx _ ->
+             (* same-object arithmetic: the table entry is still right *)
+             emit env
+               (Insn.Bndldx (0, fix_mem env (var_mem env sym ~delta:0)))
+           | Backend.Cap _ when cap_clears_on_escape env.kind ->
+             emit_mov env esi slot;
+             emit env (Insn.Capclr (Registers.ESI, Registers.EBX));
+             emit_mov env (Insn.Mem (var_mem env sym ~delta:4)) ebx
+           | _ -> ())
         | _ -> ())
      | Ast.Tchar ->
        emit env
@@ -1579,7 +1889,17 @@ and gen_incdec env pos op (lv : Ir.texpr) =
           if ptr_meta_words env >= 2 then
             emit env
               (Insn.Mov
-                 (Insn.Long, ecx, Insn.Mem { m with Insn.disp = m.Insn.disp + 8 }))
+                 (Insn.Long, ecx, Insn.Mem { m with Insn.disp = m.Insn.disp + 8 }));
+          (match env.kind with
+           | Backend.Mpx _ -> emit env (Insn.Bndldx (0, m))
+           | Backend.Cap _ when cap_clears_on_escape env.kind ->
+             (* ESI still holds the stepped value *)
+             emit env (Insn.Capclr (Registers.ESI, Registers.EBX));
+             emit env
+               (Insn.Mov
+                  (Insn.Long, Insn.Mem { m with Insn.disp = m.Insn.disp + 4 },
+                   ebx))
+           | _ -> ())
         | _ -> ())
      | Ast.Tchar ->
        emit env (Insn.Movzx (Registers.ESI, Insn.Mem m, Insn.Byte));
@@ -1640,7 +1960,21 @@ and gen_builtin env (b : Ir.builtin) args =
        emit env (Insn.Callext "cash_malloc");
        pop 4;
        (* the runtime returns the info-structure address in ECX *)
-       emit_mov env ebx ecx)
+       emit_mov env ebx ecx
+     | Backend.Mpx _ ->
+       emit env (Insn.Callext "malloc");
+       pop 4;
+       (* libc leaves base in ECX, one-past-end in EDX; BNDMK takes the
+          base register as lower and the full effective address as upper,
+          so turn EDX into the size first *)
+       emit_alu env Insn.Sub edx ecx;
+       emit env
+         (Insn.Bndmk
+            (0, Insn.mem ~base:Registers.ECX ~index:(Registers.EDX, 1) ()))
+     | Backend.Cap _ ->
+       emit env (Insn.Callext "malloc");
+       pop 4;
+       emit env (Insn.Capmk (Registers.EBX, ecx, edx)))
   | Ir.Bfree, [ p ] ->
     gen_expr env p;
     emit_push env eax;
@@ -1817,9 +2151,58 @@ and enter_loop_codegen env (li : Ir.loop_info) ~gen_cond_and_body =
      in
      env.active_nest <- entries
    | _ -> ());
+  (* MPX: the same FCFS discipline over BND1-3. Establishment is one
+     BNDMK or BNDLDX hoisted to the preheader; there are no base slots
+     to hoist, so inheritance just keeps the resident register. *)
+  let saved_mpx = env.mpx_nest in
+  (match mpx_config env.kind, summary with
+   | Some cfg, Some s ->
+     let rec take n = function
+       | [] -> []
+       | _ when n = 0 -> []
+       | x :: r -> x :: take (n - 1) r
+     in
+     let desired =
+       take cfg.Backend.bnd_budget
+         (List.filter
+            (fun b ->
+              Minic.Loop_analysis.base_assignable s b
+              && not (Minic.Loop_analysis.base_declared_inside s b))
+            s.Minic.Loop_analysis.bases)
+     in
+     let entries =
+       List.mapi
+         (fun i b ->
+           let breg = i + 1 in
+           let key = Minic.Loop_analysis.base_key b in
+           match List.assoc_opt key env.mpx_nest with
+           | Some a
+             when a.breg = breg
+                  && List.assoc_opt breg env.bnd_contents = Some key ->
+             (key, a) (* inherited: the bounds are already resident *)
+           | _ ->
+             let a = { breg; mbase = b } in
+             mpx_establish env a;
+             (key, a))
+         desired
+     in
+     env.mpx_nest <- entries
+   | _ -> ());
   env.loop_stack <- li.Ir.loop_id :: env.loop_stack;
   gen_cond_and_body summary;
   env.loop_stack <- List.tl env.loop_stack;
+  (* MPX exit: re-establish any enclosing-nest register the inner loop
+     repurposed, or whose base was retargeted inside (the same back-edge
+     soundness argument as the segment re-establishment below) *)
+  env.mpx_nest <- saved_mpx;
+  (match mpx_config env.kind with
+   | Some _ ->
+     List.iter
+       (fun (key, a) ->
+         if List.assoc_opt a.breg env.bnd_contents <> Some key then
+           mpx_establish env a)
+       saved_mpx
+   | None -> ());
   (* undo this loop's relative-base hoists on inherited assignments *)
   List.iter (fun (a, old_access) -> a.access <- old_access) !reverts;
   env.active_nest <- saved_nest;
@@ -1869,7 +2252,10 @@ and gen_stmt env (s : Ir.tstmt) =
   | Ir.Sexpr { Ir.e = Ir.Tincdec (_, op, ({ Ir.e = Ir.Tvar sym; _ } as lv));
                _ }
     when (match Ast.decay lv.Ir.ty with
-          | Ast.Tint | Ast.Tptr _ -> true
+          | Ast.Tint -> true
+          (* capability escape-clearing must see pointer steps, so those
+             take the full gen_incdec path *)
+          | Ast.Tptr _ -> not (cap_clears_on_escape env.kind)
           | _ -> false) ->
     (* statement-context i++ / p++: a single read-modify-write, as an
        optimising compiler emits — the result value is dead *)
@@ -1987,7 +2373,9 @@ let assign_frame env (f : Ir.tfunc) =
            Hashtbl.replace env.info_offsets l.Ir.id info_off;
            Hashtbl.replace env.offsets l.Ir.id (info_off + 8);
            env.local_arrays <- l :: env.local_arrays
-         | Backend.Gcc ->
+         | Backend.Gcc | Backend.Mpx _ | Backend.Cap _ ->
+           (* no in-memory info structure: MPX bounds come from BNDMK on
+              the static extent, capabilities from CAPMK *)
            env.frame_size <- env.frame_size + data_size;
            Hashtbl.replace env.offsets l.Ir.id (-env.frame_size))
       | _ ->
@@ -2020,7 +2408,7 @@ let local_array_init env (sym : Ir.sym) =
     emit_mov env (Insn.Mem (ebp_mem info_off)) esi;
     emit_lea env Registers.ESI (ebp_mem (data_off + size));
     emit_mov env (Insn.Mem (ebp_mem (info_off + 4))) esi
-  | Backend.Gcc -> ()
+  | Backend.Gcc | Backend.Mpx _ | Backend.Cap _ -> ()
 
 let local_array_free env (sym : Ir.sym) =
   match env.kind with
@@ -2030,7 +2418,7 @@ let local_array_free env (sym : Ir.sym) =
     emit_push env esi;
     emit env (Insn.Callext "cash_seg_free");
     emit_alu env Insn.Add (Insn.Reg Registers.ESP) (Insn.Imm 4)
-  | Backend.Bcc _ | Backend.Gcc -> ()
+  | Backend.Bcc _ | Backend.Gcc | Backend.Mpx _ | Backend.Cap _ -> ()
 
 (* Does the emitted body reference the per-function fault label? *)
 let body_uses_fault body fname =
@@ -2063,6 +2451,9 @@ let gen_function ~kind ~prog ~layout ~analysis ~stats ~label_counter
       break_labels = [];
       continue_labels = [];
       local_arrays = [];
+      mpx_nest = [];
+      bnd_contents = [];
+      bnd_saves = [];
     }
   in
   assign_frame env f;
@@ -2080,6 +2471,11 @@ let gen_function ~kind ~prog ~layout ~analysis ~stats ~label_counter
     (fun (seg, slot) ->
       emit env (Insn.Mov_from_seg (Insn.Mem (fix_mem env (ebp_mem slot)), seg)))
     env.seg_saves;
+  (* MPX: BND1-3 are preserved through the bound table, keyed on fresh
+     frame slots (the caller may have live loop-nest bounds in them) *)
+  List.iter
+    (fun (breg, slot) -> emit env (Insn.Bndstx (breg, ebp_mem slot)))
+    env.bnd_saves;
   List.iter (local_array_init env) (List.rev env.local_arrays);
   let prologue = List.rev env.code in
   (* epilogue *)
@@ -2090,6 +2486,9 @@ let gen_function ~kind ~prog ~layout ~analysis ~stats ~label_counter
     (fun (seg, slot) ->
       emit env (Insn.Mov_to_seg (seg, Insn.Mem (fix_mem env (ebp_mem slot)))))
     env.seg_saves;
+  List.iter
+    (fun (breg, slot) -> emit env (Insn.Bndldx (breg, ebp_mem slot)))
+    env.bnd_saves;
   emit_mov env (Insn.Reg Registers.ESP) (Insn.Reg Registers.EBP);
   emit_pop env (Insn.Reg Registers.EBP);
   emit env Insn.Ret;
@@ -2138,6 +2537,9 @@ let gen_start ~kind ~prog ~(layout : Data_layout.t) =
       break_labels = [];
       continue_labels = [];
       local_arrays = [];
+      mpx_nest = [];
+      bnd_contents = [];
+      bnd_saves = [];
     }
   in
   emit env (Insn.Label "_start");
@@ -2166,7 +2568,7 @@ let gen_start ~kind ~prog ~(layout : Data_layout.t) =
          register ~info:(str_info env i) ~addr:(str_addr env i)
            ~size:(String.length s + 1))
        prog.Ir.strings
-   | Backend.Gcc | Backend.Bcc _ -> ());
+   | Backend.Gcc | Backend.Bcc _ | Backend.Mpx _ | Backend.Cap _ -> ());
   emit env (Insn.Call "main");
   emit env Insn.Halt;
   List.rev env.code

@@ -41,6 +41,14 @@ let cash_n = function
   | 4 -> Compilers.Backend.Cash Compilers.Backend.cash_four_regs
   | n -> invalid_arg (Printf.sprintf "cash_n: no %d-register configuration" n)
 
+(* MPX-style bounds-register checking: 1-word pointers, BND0-3, bounds
+   spilled through the two-level bound table. *)
+let mpx : backend = Compilers.Backend.Mpx Compilers.Backend.mpx_default
+
+(* Capability checking: 2-word tagged base+length pointers, every
+   dereference validated in hardware. *)
+let cap : backend = Compilers.Backend.Cap Compilers.Backend.cap_default
+
 let backend_name = Compilers.Backend.name
 
 type compiled = Compilers.Codegen.result

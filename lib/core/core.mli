@@ -32,6 +32,17 @@ val cash_security : backend
     @raise Invalid_argument for any other count. *)
 val cash_n : int -> backend
 
+(** MPX-style bounds-register checking: 1-word pointers, four BND
+    registers, bounds spilled through a two-level bound table keyed on
+    the pointer slot's linear address. Checks everywhere (in and out of
+    loops). *)
+val mpx : backend
+
+(** Capability checking: 2-word tagged base+length pointers, every
+    dereference validated by the hardware capability table; pointer
+    arithmetic that escapes the bounds clears the tag. *)
+val cap : backend
+
 val backend_name : backend -> string
 
 type compiled = Compilers.Codegen.result

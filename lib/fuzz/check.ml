@@ -1,21 +1,24 @@
 (* The differential property, as a reusable predicate.
 
-   [check] runs one generated program through the three compilers
+   [check] runs one generated program through the five compilers
    (gcc unchecked / bcc software fat pointers / cash segmentation
-   hardware) under a configurable engine matrix and judges the result:
+   hardware / mpx bounds registers / cap capabilities) under a
+   configurable engine matrix and judges the result:
 
-   - in bounds: all three finish with identical output, under every
-     engine, with identical output across engines — neither checker may
+   - in bounds: all five finish with identical output, under every
+     engine, with identical output across engines — no checker may
      change observable semantics of a correct program;
-   - out of bounds, loop shape: bcc and cash BOTH report a bound
-     violation while gcc never does;
-   - out of bounds, straight-line shape: bcc reports a bound violation;
-     cash FINISHES with the baseline's (corrupted) output. That is the
-     paper's §3.8 policy — only references inside loops are checked —
-     and the fleet pins it as a {e known miss} ([Pass {known_miss =
-     true}]) rather than reporting a divergence. If cash ever starts
-     catching straight-line references, the pin fails loudly and the
-     policy model here must be updated, not silently absorbed.
+   - out of bounds, loop shape: bcc, cash, mpx, and cap ALL report a
+     bound violation while gcc never does;
+   - out of bounds, straight-line shape: bcc, mpx, and cap report a
+     bound violation (mpx and cap check every reference, in or out of
+     loops); cash FINISHES with the baseline's (corrupted) output. That
+     is the paper's §3.8 policy — only references inside loops are
+     checked — and the fleet pins it as a {e known miss} ([Pass
+     {known_miss = true}]) rather than reporting a divergence. If cash
+     ever starts catching straight-line references, the pin fails
+     loudly and the policy model here must be updated, not silently
+     absorbed.
 
    Failures come back as a value ([Fail]) rather than an exception so
    the same function serves as the shrinking predicate: a candidate
@@ -159,6 +162,8 @@ let check_in_bounds ~engines ~plugins ~seed src =
   let gc = compile_backend ~seed ~what Core.gcc src in
   let bc = compile_backend ~seed ~what Core.bcc src in
   let cc = compile_backend ~seed ~what Core.cash src in
+  let mc = compile_backend ~seed ~what Core.mpx src in
+  let kc = compile_backend ~seed ~what Core.cap src in
   List.iter
     (fun (ename, engine, chain) ->
       let what = "in-bounds/" ^ ename in
@@ -169,6 +174,12 @@ let check_in_bounds ~engines ~plugins ~seed src =
         run_backend ~seed ~what ~engine ?chain Core.bcc bc src
       in
       let (_, c) as cp = run_cash ~plugins ~seed ~what ~engine ?chain cc src in
+      let (_, m) as mp =
+        run_backend ~seed ~what ~engine ?chain Core.mpx mc src
+      in
+      let (_, k) as kp =
+        run_backend ~seed ~what ~engine ?chain Core.cap kc src
+      in
       List.iter
         (fun (name, backend, ((_, r) as pair)) ->
           if r.Core.status <> Core.Finished then
@@ -176,22 +187,23 @@ let check_in_bounds ~engines ~plugins ~seed src =
               "seed %d: %s did not finish under %s: %s" seed name ename
               (status_name r.Core.status))
         [ ("gcc", Core.gcc, gp); ("bcc", Core.bcc, bp);
-          ("cash", Core.cash, cp) ];
-      if b.Core.output <> g.Core.output then
-        fail ~seed ~what ~backend:Core.bcc ~src ~run:bp
-          "seed %d: bcc output %S <> gcc output %S (%s)" seed b.Core.output
-          g.Core.output ename;
-      if c.Core.output <> g.Core.output then
-        fail ~seed ~what ~backend:Core.cash ~src ~run:cp
-          "seed %d: cash output %S <> gcc output %S (%s)" seed c.Core.output
-          g.Core.output ename;
+          ("cash", Core.cash, cp); ("mpx", Core.mpx, mp);
+          ("cap", Core.cap, kp) ];
+      List.iter
+        (fun (name, backend, ((_, r) as pair)) ->
+          if r.Core.output <> g.Core.output then
+            fail ~seed ~what ~backend ~src ~run:pair
+              "seed %d: %s output %S <> gcc output %S (%s)" seed name
+              r.Core.output g.Core.output ename)
+        [ ("bcc", Core.bcc, bp); ("cash", Core.cash, cp);
+          ("mpx", Core.mpx, mp); ("cap", Core.cap, kp) ];
       (match !first_output with
        | None -> first_output := Some g.Core.output
        | Some out ->
          if g.Core.output <> out then
            fail ~seed ~what ~backend:Core.gcc ~src ~run:gp
              "seed %d: output differs across engines at %s" seed ename);
-      release_runs [ g; b; c ])
+      release_runs [ g; b; c; m; k ])
     engines
 
 let check_oob ~engines ~plugins ~seed prog src =
@@ -200,6 +212,8 @@ let check_oob ~engines ~plugins ~seed prog src =
   let gc = compile_backend ~seed ~what Core.gcc src in
   let bc = compile_backend ~seed ~what Core.bcc src in
   let cc = compile_backend ~seed ~what Core.cash src in
+  let mc = compile_backend ~seed ~what Core.mpx src in
+  let kc = compile_backend ~seed ~what Core.cap src in
   List.iter
     (fun (ename, engine, chain) ->
       let what = (if direct then "oob-direct/" else "oob/") ^ ename in
@@ -210,10 +224,27 @@ let check_oob ~engines ~plugins ~seed prog src =
         run_backend ~seed ~what ~engine ?chain Core.bcc bc src
       in
       let (_, c) as cp = run_cash ~plugins ~seed ~what ~engine ?chain cc src in
+      let (_, m) as mp =
+        run_backend ~seed ~what ~engine ?chain Core.mpx mc src
+      in
+      let (_, k) as kp =
+        run_backend ~seed ~what ~engine ?chain Core.cap kc src
+      in
       if not (is_bv b.Core.status) then
         fail ~seed ~what ~backend:Core.bcc ~src ~run:bp
           "seed %d: bcc missed the overrun under %s (%s)" seed ename
           (status_name b.Core.status);
+      (* Unlike cash's loop-only policy, the MPX and capability
+         backends check every reference — BOTH overrun shapes must
+         fault. *)
+      if not (is_bv m.Core.status) then
+        fail ~seed ~what ~backend:Core.mpx ~src ~run:mp
+          "seed %d: mpx missed the overrun under %s (%s)" seed ename
+          (status_name m.Core.status);
+      if not (is_bv k.Core.status) then
+        fail ~seed ~what ~backend:Core.cap ~src ~run:kp
+          "seed %d: cap missed the overrun under %s (%s)" seed ename
+          (status_name k.Core.status);
       if is_bv g.Core.status then
         fail ~seed ~what ~backend:Core.gcc ~src ~run:gp
           "seed %d: gcc reported a bound violation it cannot detect under %s \
@@ -243,7 +274,7 @@ let check_oob ~engines ~plugins ~seed prog src =
         fail ~seed ~what ~backend:Core.cash ~src ~run:cp
           "seed %d: cash missed the overrun under %s (%s)" seed ename
           (status_name c.Core.status);
-      release_runs [ g; b; c ])
+      release_runs [ g; b; c; m; k ])
     engines
 
 let check ?(engines = fast_engines) ?(plugins = false) ?(force_fail = false)

@@ -34,6 +34,22 @@ type t = {
                            including the (minimal) kernel work *)
   int_syscall : int;    (* int 0x80 kernel entry/exit incl. register
                            save/restore — the slow modify_ldt path *)
+  (* MPX, calibrated from "Intel MPX Explained": bndcl/bndcu issue on
+     a dedicated port at ~1 cycle; bndmk is a lea-class computation;
+     bndldx/bndstx walk the two-level bound directory/table — two
+     dependent memory accesses plus address arithmetic even on a hit
+     (the hardware adds more on a directory miss; see Bound_regs). *)
+  bndmk : int;
+  bndcl : int;
+  bndcu : int;
+  bndldx : int;         (* bound-table walk, hit *)
+  bndstx : int;
+  (* Capability backend, per the CHERI cost structure: the per-access
+     check is pipelined with the access itself (~1 cycle), making the
+     2-word pointer traffic — not the check — the dominant cost. *)
+  capmk : int;
+  capchk : int;
+  capclr : int;
 }
 
 let pentium3 = {
@@ -57,6 +73,14 @@ let pentium3 = {
   cvt = 3;
   call_gate = 253;
   int_syscall = 781;
+  bndmk = 1;
+  bndcl = 1;
+  bndcu = 1;
+  bndldx = 4;  (* directory load + table load + address arithmetic *)
+  bndstx = 4;
+  capmk = 1;
+  capchk = 1;
+  capclr = 1;
 }
 
 let has_mem_operand (o : Insn.operand) =
@@ -97,6 +121,14 @@ let cost t (i : Insn.t) =
   | Insn.Lcall_gate _ -> t.call_gate
   | Insn.Int_syscall _ -> t.int_syscall
   | Insn.Bound (_, _) -> t.bound + t.mem_access
+  | Insn.Bndmk (_, _) -> t.bndmk
+  | Insn.Bndcl (_, o) -> t.bndcl + mem o
+  | Insn.Bndcu (_, o, _) -> t.bndcu + mem o
+  | Insn.Bndldx (_, _) -> t.bndldx
+  | Insn.Bndstx (_, _) -> t.bndstx
+  | Insn.Capmk (_, lo, hi) -> t.capmk + mem lo + mem hi
+  | Insn.Capchk (_, _, _, _) -> t.capchk
+  | Insn.Capclr (_, _) -> t.capclr
   | Insn.Label _ -> 0
   | Insn.Callext _ -> t.call (* host routine adds its own cycles *)
   | Insn.Halt | Insn.Nop -> 0

@@ -24,6 +24,14 @@ type t = {
   cvt : int;
   call_gate : int;
   int_syscall : int;
+  bndmk : int;  (** make bounds into a BND register *)
+  bndcl : int;  (** lower-bound check *)
+  bndcu : int;  (** upper-bound check *)
+  bndldx : int;  (** bound-table load (two-level walk) *)
+  bndstx : int;  (** bound-table store (two-level walk) *)
+  capmk : int;  (** intern a capability *)
+  capchk : int;  (** capability tag + range check *)
+  capclr : int;  (** conditional tag clear after pointer arithmetic *)
 }
 
 (** The calibrated P-III model. *)

@@ -1105,6 +1105,116 @@ let[@inline] eff_bound t r m =
   if v < lower || v > upper then
     Seghw.Fault.br (Printf.sprintf "bound: %d not in [%d, %d]" v lower upper)
 
+(* --- MPX-style bounds registers ----------------------------------------
+   The bound-register instructions never touch guest memory themselves:
+   BNDMK reads only registers, and BNDLDX/BNDSTX key the hardware-owned
+   two-level table by the *linear address* of the pointer's memory slot
+   (segment base + effective address) — the same key no matter which
+   segment register or addressing mode names the slot, so a caller's
+   spill and a callee's reload meet at the same entry. Computing the key
+   performs no limit check and can't fault: it is the hardware's
+   internal address arithmetic, as in real MPX. *)
+
+let[@inline] btable_key t (m : Insn.mem) =
+  let sr = seg_field t.mmu (default_seg m) in
+  (sr.Seghw.Segreg.f_base + effective_offset t m) land 0xFFFFFFFF
+
+let[@inline] eff_bndmk t b (m : Insn.mem) =
+  (* bndmk bnd, m: lower = value of m's base register (0 when absent),
+     upper = the full effective address — one past the end, so
+     [base + disp:size] and [base + index*1] (malloc's byte count in a
+     scaled index) both form [base, base+size). *)
+  let lower =
+    match m.Insn.base with Some r -> rget t r | None -> 0
+  in
+  let upper = effective_offset t m in
+  Seghw.Bound_regs.set t.mmu.Seghw.Mmu.bndregs b ~lower ~upper
+
+let[@inline] eff_bndcl t b o =
+  let bnd = Seghw.Bound_regs.reg t.mmu.Seghw.Mmu.bndregs b in
+  if bnd.Seghw.Bound_regs.valid then begin
+    let v = read_operand t o ~width:Insn.Long in
+    if v < bnd.Seghw.Bound_regs.lower then
+      Seghw.Fault.br
+        (Printf.sprintf "bndcl: 0x%x below lower bound 0x%x" v
+           bnd.Seghw.Bound_regs.lower)
+  end
+
+let[@inline] eff_bndcu t b o size =
+  let bnd = Seghw.Bound_regs.reg t.mmu.Seghw.Mmu.bndregs b in
+  if bnd.Seghw.Bound_regs.valid then begin
+    let v = read_operand t o ~width:Insn.Long in
+    if v + size > bnd.Seghw.Bound_regs.upper then
+      Seghw.Fault.br
+        (Printf.sprintf "bndcu: 0x%x+%d above upper bound 0x%x" v size
+           bnd.Seghw.Bound_regs.upper)
+  end
+
+let[@inline] eff_bndldx t b (m : Insn.mem) =
+  let key = btable_key t m in
+  let hit = Seghw.Bound_regs.load t.mmu.Seghw.Mmu.bndregs b ~key in
+  match t.mmu.Seghw.Mmu.trace with
+  | None -> ()
+  | Some s -> Trace.emit s (Trace.Btable_load { key; hit })
+
+let[@inline] eff_bndstx t b (m : Insn.mem) =
+  let key = btable_key t m in
+  let allocated = Seghw.Bound_regs.store t.mmu.Seghw.Mmu.bndregs b ~key in
+  (* A store that must allocate a second-level table pays extra memory
+     traffic — the analogue of the paper's LDT-reload accounting. The
+     charge is purely additive and keyed on architectural table state,
+     so all three engines charge it identically. *)
+  if allocated then
+    t.cycles <- t.cycles + Seghw.Bound_regs.dir_alloc_cycles
+
+(* --- capability instructions -------------------------------------------
+   A capability is 2 words in the compiled code: the raw pointer plus a
+   capability word [(captab index lsl 1) lor tag]. CAPMK interns the
+   range in the hardware table; CAPCHK validates the tag and range on
+   every dereference; CAPCLR clears the tag (GANDALF-style) when
+   pointer arithmetic escapes the range. *)
+
+let[@inline] eff_capmk t dst lo hi =
+  let lower = read_operand t lo ~width:Insn.Long in
+  let upper = read_operand t hi ~width:Insn.Long in
+  let idx = Seghw.Captab.intern t.mmu.Seghw.Mmu.captab ~lower ~upper in
+  rset t dst (Seghw.Captab.word_of_index idx)
+
+let[@inline] eff_capchk t cap (m : Insn.mem) size write =
+  let tab = t.mmu.Seghw.Mmu.captab in
+  tab.Seghw.Captab.checks <- tab.Seghw.Captab.checks + 1;
+  let w = rget t cap in
+  if Seghw.Captab.tag_of w = 0 then
+    Seghw.Fault.br
+      (Printf.sprintf "capability tag: %s through untagged capability"
+         (if write then "write" else "read"));
+  let lower, upper = Seghw.Captab.bounds tab (Seghw.Captab.index_of w) in
+  let ea = effective_offset t m in
+  if ea < lower || ea + size > upper then
+    Seghw.Fault.br
+      (Printf.sprintf
+         "capability bounds: %s 0x%x+%d outside [0x%x, 0x%x)"
+         (if write then "write" else "read") ea size lower upper)
+
+let[@inline] eff_capclr t vr cr =
+  let w = rget t cr in
+  if Seghw.Captab.tag_of w = 1 then begin
+    let tab = t.mmu.Seghw.Mmu.captab in
+    let lower, upper = Seghw.Captab.bounds tab (Seghw.Captab.index_of w) in
+    let v = rget t vr in
+    (* The upper bound is inclusive for arithmetic: a one-past-the-end
+       pointer keeps its tag (C's &a[n] idiom); dereferencing it still
+       faults in CAPCHK, whose upper is exclusive. *)
+    if v < lower || v > upper then begin
+      tab.Seghw.Captab.tag_clears <- tab.Seghw.Captab.tag_clears + 1;
+      rset t cr (w land lnot 1);
+      match t.mmu.Seghw.Mmu.trace with
+      | None -> ()
+      | Some s ->
+        Trace.emit s (Trace.Cap_tag_clear { value = v; lower; upper })
+    end
+  end
+
 let[@inline] eff_callext t name =
   match Hashtbl.find_opt t.externals name with
   | Some f -> f t
@@ -1163,6 +1273,14 @@ let exec t eip (i : Insn.t) =
   | Insn.Lcall_gate sel -> t.kernel t ~gate:(`Gate sel); next
   | Insn.Int_syscall n -> t.kernel t ~gate:(`Int n); next
   | Insn.Bound (r, m) -> eff_bound t r m; next
+  | Insn.Bndmk (b, m) -> eff_bndmk t b m; next
+  | Insn.Bndcl (b, o) -> eff_bndcl t b o; next
+  | Insn.Bndcu (b, o, size) -> eff_bndcu t b o size; next
+  | Insn.Bndldx (b, m) -> eff_bndldx t b m; next
+  | Insn.Bndstx (b, m) -> eff_bndstx t b m; next
+  | Insn.Capmk (dst, lo, hi) -> eff_capmk t dst lo hi; next
+  | Insn.Capchk (cap, m, size, write) -> eff_capchk t cap m size write; next
+  | Insn.Capclr (vr, cr) -> eff_capclr t vr cr; next
   | Insn.Callext name -> eff_callext t name; next
 
 (* One pre-decoded step: fetch, execute, commit EIP, charge the
@@ -1719,6 +1837,15 @@ let compile_insn code idx ~ret : t -> int =
   | Insn.Pop o -> fun cpu -> eff_pop cpu o; ret
   | Insn.Mov_from_seg (o, name) -> fun cpu -> eff_mov_from_seg cpu o name; ret
   | Insn.Bound (r, m) -> fun cpu -> eff_bound cpu r m; ret
+  | Insn.Bndmk (b, m) -> fun cpu -> eff_bndmk cpu b m; ret
+  | Insn.Bndcl (b, o) -> fun cpu -> eff_bndcl cpu b o; ret
+  | Insn.Bndcu (b, o, size) -> fun cpu -> eff_bndcu cpu b o size; ret
+  | Insn.Bndldx (b, m) -> fun cpu -> eff_bndldx cpu b m; ret
+  | Insn.Bndstx (b, m) -> fun cpu -> eff_bndstx cpu b m; ret
+  | Insn.Capmk (dst, lo, hi) -> fun cpu -> eff_capmk cpu dst lo hi; ret
+  | Insn.Capchk (cap, m, size, write) ->
+    fun cpu -> eff_capchk cpu cap m size write; ret
+  | Insn.Capclr (vr, cr) -> fun cpu -> eff_capclr cpu vr cr; ret
   | (Insn.Jmp _ | Insn.Jcc _ | Insn.Call _ | Insn.Ret | Insn.Halt
     | Insn.Mov_to_seg _ | Insn.Lcall_gate _ | Insn.Int_syscall _
     | Insn.Callext _) as i ->
@@ -2474,6 +2601,14 @@ let exec_reference t (i : Insn.t) =
    | Insn.Lcall_gate sel -> t.kernel t ~gate:(`Gate sel)
    | Insn.Int_syscall n -> t.kernel t ~gate:(`Int n)
    | Insn.Bound (r, m) -> eff_bound t r m
+   | Insn.Bndmk (b, m) -> eff_bndmk t b m
+   | Insn.Bndcl (b, o) -> eff_bndcl t b o
+   | Insn.Bndcu (b, o, size) -> eff_bndcu t b o size
+   | Insn.Bndldx (b, m) -> eff_bndldx t b m
+   | Insn.Bndstx (b, m) -> eff_bndstx t b m
+   | Insn.Capmk (dst, lo, hi) -> eff_capmk t dst lo hi
+   | Insn.Capchk (cap, m, size, write) -> eff_capchk t cap m size write
+   | Insn.Capclr (vr, cr) -> eff_capclr t vr cr
    | Insn.Callext name -> eff_callext t name);
   t.eip <- next;
   t.insns_executed <- t.insns_executed + 1;

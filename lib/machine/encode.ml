@@ -95,6 +95,15 @@ let size (i : Insn.t) =
   | Insn.Lcall_gate _ -> 7 (* lcall ptr16:32 *)
   | Insn.Int_syscall _ -> 2
   | Insn.Bound (_, m) -> 1 + mem_size m
+  (* MPX encodings: 0F 1A / 0F 1B with an F3/F2/66 prefix, then ModRM. *)
+  | Insn.Bndmk (_, m) | Insn.Bndldx (_, m) | Insn.Bndstx (_, m) ->
+    3 + mem_size m
+  | Insn.Bndcl (_, o) | Insn.Bndcu (_, o, _) ->
+    3 + (match o with Insn.Mem m -> mem_size m | _ -> 1)
+  (* Capability ops: modelled on the MPX two-byte-opcode shape. *)
+  | Insn.Capmk (_, lo, hi) -> 1 + operand_pair_size lo hi
+  | Insn.Capchk (_, m, _, _) -> 3 + mem_size m
+  | Insn.Capclr _ -> 3
   | Insn.Label _ -> 0
   | Insn.Callext _ -> 5
   | Insn.Halt -> 1

@@ -79,6 +79,27 @@ type t =
   | Lcall_gate of Seghw.Selector.t (* far call through a call gate *)
   | Int_syscall of int             (* int 0x80-style kernel entry *)
   | Bound of Registers.reg * mem   (* bound r32, m32&32 *)
+  (* MPX-style bounds registers (BND0-BND3, indexed 0-3).
+     [Bndmk b, m] makes bounds like BNDMK: lower = the value of [m]'s
+     base register (0 without one), upper = the full effective address
+     of [m] — one past the object's end, the same convention as BCC's
+     bounds records and libc malloc's EDX return. *)
+  | Bndmk of int * mem             (* bndmk m, %bndN *)
+  | Bndcl of int * operand         (* #BR if value < lower *)
+  | Bndcu of int * operand * int   (* #BR if value + size > upper *)
+  | Bndldx of int * mem            (* load bounds from the bound table,
+                                      keyed by [m]'s linear address *)
+  | Bndstx of int * mem            (* store bounds into the bound table *)
+  (* Capability backend: a capability word is (table index << 1) | tag.
+     [Capmk dst, lo, hi] interns [lo, hi) in the hardware capability
+     table and writes the tagged word to [dst]. [Capchk cap, m, size,
+     write] faults (#BR) on an untagged capability or an access of
+     [size] bytes at [m]'s effective address outside the bounds.
+     [Capclr val, cap] clears [cap]'s tag when [val]'s value has escaped
+     the bounds (GANDALF-style tag clearing on pointer arithmetic). *)
+  | Capmk of Registers.reg * operand * operand   (* dst, lower, upper *)
+  | Capchk of Registers.reg * mem * int * bool   (* cap, ea, size, write *)
+  | Capclr of Registers.reg * Registers.reg      (* value, cap *)
   (* pseudo *)
   | Label of string
   | Callext of string  (* call into a host-implemented runtime routine *)
@@ -180,6 +201,21 @@ let pp ppf = function
   | Int_syscall n -> Fmt.pf ppf "int $0x%x" n
   | Bound (r, m) ->
     Fmt.pf ppf "bound %%%s, %a" (Registers.reg_name r) pp_mem m
+  | Bndmk (b, m) -> Fmt.pf ppf "bndmk %a, %%bnd%d" pp_mem m b
+  | Bndcl (b, o) -> Fmt.pf ppf "bndcl %a, %%bnd%d" pp_operand o b
+  | Bndcu (b, o, size) ->
+    Fmt.pf ppf "bndcu %a+%d, %%bnd%d" pp_operand o size b
+  | Bndldx (b, m) -> Fmt.pf ppf "bndldx %a, %%bnd%d" pp_mem m b
+  | Bndstx (b, m) -> Fmt.pf ppf "bndstx %%bnd%d, %a" b pp_mem m
+  | Capmk (r, lo, hi) ->
+    Fmt.pf ppf "capmk %a, %a, %%%s" pp_operand lo pp_operand hi
+      (Registers.reg_name r)
+  | Capchk (c, m, size, write) ->
+    Fmt.pf ppf "capchk.%s %%%s, %a, %d" (if write then "w" else "r")
+      (Registers.reg_name c) pp_mem m size
+  | Capclr (v, c) ->
+    Fmt.pf ppf "capclr %%%s, %%%s" (Registers.reg_name v)
+      (Registers.reg_name c)
   | Label l -> Fmt.pf ppf "%s:" l
   | Callext name -> Fmt.pf ppf "call @%s" name
   | Halt -> Fmt.pf ppf "hlt"

@@ -1,0 +1,164 @@
+(* MPX-style bounds-register file and two-level bound table.
+
+   Architectural state for the [Backend.Mpx] compiler, modelled on
+   "Intel MPX Explained": four bounds registers BND0-BND3, each holding
+   a [lower, upper) byte range for one pointer, and a two-level
+   in-memory structure — a bound DIRECTORY of 4 KiB granules, each
+   pointing at a second-level bound TABLE — that BNDSTX/BNDLDX use to
+   spill and reload bounds keyed by the *linear address of the pointer's
+   own memory slot*. That keying is what makes spills transparent to the
+   compiler: the caller BNDSTXes against the stack slot it pushes an
+   argument into, and the callee BNDLDXes against the very same linear
+   address through its frame pointer.
+
+   Costs: the constant per-walk cost (directory load + table load) is
+   tabulated in [Cost_model]; a BNDSTX that must allocate a second-level
+   table first charges [dir_alloc_cycles] extra on top — the analogue of
+   the paper's LDT-reload accounting for Cash, and deterministic across
+   engines because the table state evolves identically under all of
+   them. *)
+
+type bnd = {
+  mutable valid : bool;  (* invalid = unbounded, checks always pass *)
+  mutable lower : int;
+  mutable upper : int;   (* one past the end, BCC's record convention *)
+}
+
+type t = {
+  regs : bnd array;  (* BND0-BND3 *)
+  directory : (int, (int, int * int) Hashtbl.t) Hashtbl.t;
+      (* granule (linear addr / 4 KiB) -> second-level table *)
+  mutable entries : int;       (* live bound-table entries *)
+  mutable loads : int;         (* BNDLDX walks *)
+  mutable load_misses : int;   (* walks that found no entry *)
+  mutable stores : int;        (* BNDSTX walks *)
+  mutable dir_allocs : int;    (* second-level tables allocated *)
+  mutable evictions : int;     (* entries overwritten in place *)
+}
+
+(* Extra cycles charged when a BNDSTX has to allocate a second-level
+   table: the directory write plus the new table's setup traffic. *)
+let dir_alloc_cycles = 6
+
+let num_regs = 4
+
+let granule key = key lsr 12
+
+let create () =
+  {
+    regs = Array.init num_regs (fun _ -> { valid = false; lower = 0; upper = 0 });
+    directory = Hashtbl.create 16;
+    entries = 0;
+    loads = 0;
+    load_misses = 0;
+    stores = 0;
+    dir_allocs = 0;
+    evictions = 0;
+  }
+
+let reg t i = t.regs.(i)
+
+let set t i ~lower ~upper =
+  let b = t.regs.(i) in
+  b.valid <- true;
+  b.lower <- lower;
+  b.upper <- upper
+
+let invalidate t i = t.regs.(i).valid <- false
+
+(* [store] spills register [i]'s bounds at [key]; returns [true] when a
+   second-level table had to be allocated (the caller charges
+   [dir_alloc_cycles]). An invalid register stores the unbounded range,
+   so a later reload stays permissive rather than faulting. *)
+let store t i ~key =
+  t.stores <- t.stores + 1;
+  let b = t.regs.(i) in
+  let entry = if b.valid then (b.lower, b.upper) else (0, 0xFFFFFFFF) in
+  let g = granule key in
+  let table, allocated =
+    match Hashtbl.find_opt t.directory g with
+    | Some tbl -> (tbl, false)
+    | None ->
+      let tbl = Hashtbl.create 32 in
+      Hashtbl.replace t.directory g tbl;
+      t.dir_allocs <- t.dir_allocs + 1;
+      (tbl, true)
+  in
+  (match Hashtbl.find_opt table key with
+   | Some old ->
+     if old <> entry then t.evictions <- t.evictions + 1
+   | None -> t.entries <- t.entries + 1);
+  Hashtbl.replace table key entry;
+  allocated
+
+(* [load] reloads bounds for [key] into register [i]; returns [true] on
+   a hit. A miss — no entry for that slot — loads the unbounded range
+   (real MPX's INIT bounds), never faults: an unspilled pointer is an
+   untracked one. *)
+let load t i ~key =
+  t.loads <- t.loads + 1;
+  let entry =
+    match Hashtbl.find_opt t.directory (granule key) with
+    | Some table -> Hashtbl.find_opt table key
+    | None -> None
+  in
+  match entry with
+  | Some (lower, upper) ->
+    set t i ~lower ~upper;
+    true
+  | None ->
+    t.load_misses <- t.load_misses + 1;
+    set t i ~lower:0 ~upper:0xFFFFFFFF;
+    false
+
+let reset t =
+  Array.iter (fun b -> b.valid <- false; b.lower <- 0; b.upper <- 0) t.regs;
+  Hashtbl.reset t.directory;
+  t.entries <- 0;
+  t.loads <- 0;
+  t.load_misses <- 0;
+  t.stores <- 0;
+  t.dir_allocs <- 0;
+  t.evictions <- 0
+
+(* --- snapshot support ---------------------------------------------------- *)
+
+(* Registers as (valid, lower, upper) triples, in register order. *)
+let export_regs t =
+  Array.to_list (Array.map (fun b -> (b.valid, b.lower, b.upper)) t.regs)
+
+let import_regs t l =
+  List.iteri
+    (fun i (valid, lower, upper) ->
+      if i < num_regs then begin
+        t.regs.(i).valid <- valid;
+        t.regs.(i).lower <- lower;
+        t.regs.(i).upper <- upper
+      end)
+    l
+
+(* Table entries as (key, lower, upper), sorted by key so the image is
+   deterministic regardless of hash-table insertion history. *)
+let export_table t =
+  let all = ref [] in
+  Hashtbl.iter
+    (fun _ table ->
+      Hashtbl.iter (fun key (lo, up) -> all := (key, lo, up) :: !all) table)
+    t.directory;
+  List.sort compare !all
+
+let import_table t l =
+  List.iter
+    (fun (key, lower, upper) ->
+      let g = granule key in
+      let table =
+        match Hashtbl.find_opt t.directory g with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Hashtbl.create 32 in
+          Hashtbl.replace t.directory g tbl;
+          tbl
+      in
+      if not (Hashtbl.mem table key) then t.entries <- t.entries + 1;
+      Hashtbl.replace table key (lower, upper))
+    l

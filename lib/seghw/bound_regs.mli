@@ -1,0 +1,50 @@
+(** MPX-style bounds registers (BND0-BND3) and the two-level bound
+    directory/table that BNDSTX/BNDLDX spill through, keyed by the
+    linear address of the pointer's memory slot. *)
+
+type bnd = {
+  mutable valid : bool;  (** invalid = unbounded; checks always pass *)
+  mutable lower : int;
+  mutable upper : int;   (** one past the end *)
+}
+
+type t = {
+  regs : bnd array;
+  directory : (int, (int, int * int) Hashtbl.t) Hashtbl.t;
+  mutable entries : int;
+  mutable loads : int;
+  mutable load_misses : int;
+  mutable stores : int;
+  mutable dir_allocs : int;
+  mutable evictions : int;
+}
+
+(** Extra cycles a BNDSTX pays when it must allocate a second-level
+    table — the analogue of the paper's LDT-reload accounting. *)
+val dir_alloc_cycles : int
+
+val num_regs : int
+
+val create : unit -> t
+val reg : t -> int -> bnd
+val set : t -> int -> lower:int -> upper:int -> unit
+val invalidate : t -> int -> unit
+
+(** Spill register [i]'s bounds at linear address [key]; [true] when a
+    second-level table was allocated (charge [dir_alloc_cycles]). *)
+val store : t -> int -> key:int -> bool
+
+(** Reload bounds for [key] into register [i]; [true] on a hit. A miss
+    loads the unbounded range and never faults. *)
+val load : t -> int -> key:int -> bool
+
+val reset : t -> unit
+
+val export_regs : t -> (bool * int * int) list
+val import_regs : t -> (bool * int * int) list -> unit
+
+(** Entries as (key, lower, upper), sorted by key — deterministic
+    regardless of insertion history. *)
+val export_table : t -> (int * int * int) list
+
+val import_table : t -> (int * int * int) list -> unit

@@ -1,0 +1,72 @@
+(* The hardware capability table for the [Backend.Cap] compiler.
+
+   A capability word, as the compiled code carries it next to every
+   pointer value, is [(index lsl 1) lor tag]: bit 0 is the validity tag
+   (GANDALF-style — cleared by pointer arithmetic that escapes the
+   bounds, and checked in hardware on every dereference), and the upper
+   bits index this table, which holds the [lower, upper) byte range the
+   capability grants access to.
+
+   Interning is deterministic: the same (lower, upper) pair always
+   yields the same index, and indices are handed out first-come
+   first-served — so capability words, and therefore all simulated
+   state, are identical across engines and across runs. The table is
+   hardware-owned (it lives beside the LDT, not in guest memory), which
+   is what lets capability pointers stay 2 words with no per-object
+   info structures in the data image. *)
+
+type t = {
+  mutable entries : (int * int) array;  (* index -> (lower, upper) *)
+  mutable count : int;
+  intern_tbl : (int * int, int) Hashtbl.t;
+  mutable checks : int;      (* Capchk executions *)
+  mutable tag_clears : int;  (* Capclr clears actually taken *)
+}
+
+let create () =
+  {
+    entries = Array.make 16 (0, 0);
+    count = 0;
+    intern_tbl = Hashtbl.create 32;
+    checks = 0;
+    tag_clears = 0;
+  }
+
+let tag_of word = word land 1
+let index_of word = word lsr 1
+let word_of_index idx = (idx lsl 1) lor 1
+
+let intern t ~lower ~upper =
+  match Hashtbl.find_opt t.intern_tbl (lower, upper) with
+  | Some idx -> idx
+  | None ->
+    let idx = t.count in
+    if idx >= Array.length t.entries then begin
+      let bigger = Array.make (2 * Array.length t.entries) (0, 0) in
+      Array.blit t.entries 0 bigger 0 t.count;
+      t.entries <- bigger
+    end;
+    t.entries.(idx) <- (lower, upper);
+    t.count <- idx + 1;
+    Hashtbl.replace t.intern_tbl (lower, upper) idx;
+    idx
+
+(* Bounds of a capability word's entry; an out-of-table index (possible
+   only through forged integer-to-pointer bit patterns) is unbounded. *)
+let bounds t idx =
+  if idx >= 0 && idx < t.count then t.entries.(idx) else (0, 0xFFFFFFFF)
+
+let count t = t.count
+
+let reset t =
+  t.count <- 0;
+  Hashtbl.reset t.intern_tbl;
+  t.checks <- 0;
+  t.tag_clears <- 0
+
+(* --- snapshot support ---------------------------------------------------- *)
+
+let export t = List.init t.count (fun i -> t.entries.(i))
+
+let import t l =
+  List.iter (fun (lower, upper) -> ignore (intern t ~lower ~upper)) l

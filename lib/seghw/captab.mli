@@ -1,0 +1,29 @@
+(** Hardware capability table for the capability backend: a capability
+    word is [(index lsl 1) lor tag]; the table maps indices to
+    [lower, upper) ranges, interned deterministically. *)
+
+type t = {
+  mutable entries : (int * int) array;
+  mutable count : int;
+  intern_tbl : (int * int, int) Hashtbl.t;
+  mutable checks : int;
+  mutable tag_clears : int;
+}
+
+val create : unit -> t
+
+val tag_of : int -> int
+val index_of : int -> int
+val word_of_index : int -> int
+
+(** Deterministic: equal ranges yield equal indices, FCFS. *)
+val intern : t -> lower:int -> upper:int -> int
+
+(** Bounds of an entry; out-of-table indices are unbounded. *)
+val bounds : t -> int -> int * int
+
+val count : t -> int
+val reset : t -> unit
+
+val export : t -> (int * int) list
+val import : t -> (int * int) list -> unit

@@ -21,6 +21,8 @@ type t = {
   gs : Segreg.t;
   paging : Paging.t;
   tlb : Tlb.t;
+  bndregs : Bound_regs.t; (* MPX bounds registers + bound table *)
+  captab : Captab.t;      (* capability-backend hardware table *)
   mutable limit_checks : int; (* # segment-limit checks performed *)
   mutable trace : Trace.sink option;
       (* event sink; None (the default) keeps every emit site to one
@@ -40,6 +42,8 @@ let create ~gdt ~ldt =
     gs = Segreg.create ();
     paging = Paging.create ();
     tlb = Tlb.create ();
+    bndregs = Bound_regs.create ();
+    captab = Captab.create ();
     limit_checks = 0;
     trace = None;
   }
@@ -59,6 +63,8 @@ let gdt t = t.gdt
 let ldt t = t.ldt
 let paging t = t.paging
 let tlb t = t.tlb
+let bndregs t = t.bndregs
+let captab t = t.captab
 
 (* Reload the LDTR (simulates an LDT switch: flushes nothing but future
    segment loads resolve against the new table). *)

@@ -26,6 +26,8 @@ type t = {
   gs : Segreg.t;
   paging : Paging.t;
   tlb : Tlb.t;
+  bndregs : Bound_regs.t;  (** MPX bounds registers + bound table *)
+  captab : Captab.t;  (** capability-backend hardware table *)
   mutable limit_checks : int;  (** segment-limit checks performed *)
   mutable trace : Trace.sink option;
       (** event sink; [None] (the default) keeps every emit site to one
@@ -47,6 +49,8 @@ val gdt : t -> Descriptor_table.t
 val ldt : t -> Descriptor_table.t
 val paging : t -> Paging.t
 val tlb : t -> Tlb.t
+val bndregs : t -> Bound_regs.t
+val captab : t -> Captab.t
 
 (** Reload the LDTR: future segment loads resolve against the new
     table (already-loaded registers keep their descriptor caches). *)

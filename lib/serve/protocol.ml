@@ -10,7 +10,8 @@
    [id] is optional (defaults to the request's 1-based position in the
    stream); [engine] is optional (defaults to the server's ambient
    engine). [backend] uses the cashc names: gcc, bcc, bcc-bound, cash
-   (= cash3), cash2, cash4. [snapshot] names an entry of the server's
+   (= cash3), cash2, cash4, mpx, cap. [snapshot] names an entry of the
+   server's
    warm set — by default the twelve Table 8 "app/backend" pairs.
 
    Responses (one per request, in request order):
@@ -48,7 +49,7 @@ type request = {
 let backends =
   [ ("gcc", Core.gcc); ("bcc", Core.bcc); ("bcc-bound", Core.bcc_bound);
     ("cash", Core.cash); ("cash2", Core.cash_n 2); ("cash3", Core.cash);
-    ("cash4", Core.cash_n 4) ]
+    ("cash4", Core.cash_n 4); ("mpx", Core.mpx); ("cap", Core.cap) ]
 
 let backend_of_string name = List.assoc_opt name backends
 

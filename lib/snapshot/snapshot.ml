@@ -40,7 +40,13 @@ let error_to_string = function
   | Corrupt what -> Printf.sprintf "corrupt snapshot: %s" what
 
 let magic = "CASHSNAP"
-let version = 1
+
+(* Version 2 added the protection-hardware section (MPX bounds
+   registers + bound table, capability table). Version-1 images are
+   still accepted: they predate the new backends, so restoring one
+   zero-initializes the protection state — exactly the state such a
+   machine was in when saved. *)
+let version = 2
 
 (* Section tags, in image order. *)
 let tag_kernel = 1
@@ -56,6 +62,7 @@ let tag_phys = 10
 let tag_mmu = 11
 let tag_libc = 12
 let tag_runtime = 13
+let tag_protection = 14
 let tag_end = 0
 
 (* --- writer primitives -------------------------------------------------- *)
@@ -216,10 +223,14 @@ let w_phys b (ph : Machine.Phys_mem.t) =
       w_int b p;
       w_str b chunk)
 
-let save ?runtime process =
+let save ?(format_version = version) ?runtime process =
+  if format_version <> 1 && format_version <> version then
+    invalid_arg
+      (Printf.sprintf "Snapshot.save: unwritable format version %d"
+         format_version);
   let b = Buffer.create (1 lsl 16) in
   Buffer.add_string b magic;
-  w_int b version;
+  w_int b format_version;
   w_str b (program_digest (Osim.Process.program process));
   (* Kernel. *)
   w_u8 b tag_kernel;
@@ -301,6 +312,35 @@ let save ?runtime process =
   (* MMU counters. *)
   w_u8 b tag_mmu;
   w_int b mmu.Seghw.Mmu.limit_checks;
+  (* Protection hardware: MPX bounds registers + bound table, and the
+     capability table (new in version 2; the v1 legacy writer exists
+     only for the back-compatibility oracle in the test suite). *)
+  if format_version >= 2 then begin
+    w_u8 b tag_protection;
+    let br = Seghw.Mmu.bndregs mmu in
+    List.iter
+      (fun (valid, lower, upper) ->
+        w_bool b valid;
+        w_int b lower;
+        w_int b upper)
+      (Seghw.Bound_regs.export_regs br);
+    w_int b br.Seghw.Bound_regs.entries;
+    w_int b br.Seghw.Bound_regs.loads;
+    w_int b br.Seghw.Bound_regs.load_misses;
+    w_int b br.Seghw.Bound_regs.stores;
+    w_int b br.Seghw.Bound_regs.dir_allocs;
+    w_int b br.Seghw.Bound_regs.evictions;
+    w_list b (Seghw.Bound_regs.export_table br) (fun b (key, lo, up) ->
+        w_int b key;
+        w_int b lo;
+        w_int b up);
+    let ct = Seghw.Mmu.captab mmu in
+    w_list b (Seghw.Captab.export ct) (fun b (lo, up) ->
+        w_int b lo;
+        w_int b up);
+    w_int b ct.Seghw.Captab.checks;
+    w_int b ct.Seghw.Captab.tag_clears
+  end;
   (* libc. *)
   w_u8 b tag_libc;
   let l = Osim.Libc.export_state (Osim.Process.libc process) in
@@ -390,7 +430,9 @@ let restore_body ~target ~(program : Machine.Program.t) (r : reader) =
     raise (Error Bad_magic);
   r.pos <- String.length magic;
   let v = r_int r "version" in
-  if v <> version then raise (Error (Bad_version v));
+  (* Version 1 is still readable: it lacks only the protection-hardware
+     section, which restores zero-initialized below. *)
+  if v <> 1 && v <> version then raise (Error (Bad_version v));
   let pd = r_str r "program digest" in
   if pd <> program_digest program then raise (Error Program_mismatch);
   (match target with
@@ -582,6 +624,55 @@ let restore_body ~target ~(program : Machine.Program.t) (r : reader) =
   done;
   expect_tag r tag_mmu "MMU";
   let limit_checks = r_int r "MMU" in
+  (* Protection hardware (version ≥ 2). A reused machine is scrubbed
+     either way; a v1 image leaves the state zero-initialized, which is
+     exactly the state a pre-v2 machine was in when saved. *)
+  let br = Seghw.Mmu.bndregs mmu in
+  let ct = Seghw.Mmu.captab mmu in
+  Seghw.Bound_regs.reset br;
+  Seghw.Captab.reset ct;
+  if v >= 2 then begin
+    expect_tag r tag_protection "protection";
+    let regs =
+      List.init Seghw.Bound_regs.num_regs (fun _ ->
+          let valid = r_bool r "bound registers" in
+          let lower = r_int r "bound registers" in
+          let upper = r_int r "bound registers" in
+          (valid, lower, upper))
+    in
+    Seghw.Bound_regs.import_regs br regs;
+    let entries = r_int r "bound table" in
+    let loads = r_int r "bound table" in
+    let load_misses = r_int r "bound table" in
+    let stores = r_int r "bound table" in
+    let dir_allocs = r_int r "bound table" in
+    let evictions = r_int r "bound table" in
+    let table =
+      r_list r "bound table" (fun r ->
+          let key = r_int r "bound table" in
+          let lo = r_int r "bound table" in
+          let up = r_int r "bound table" in
+          (key, lo, up))
+    in
+    Seghw.Bound_regs.import_table br table;
+    (* Counters overwrite whatever [import_table] accumulated, so the
+       restored machine's next snapshot is byte-identical. *)
+    br.Seghw.Bound_regs.entries <- entries;
+    br.Seghw.Bound_regs.loads <- loads;
+    br.Seghw.Bound_regs.load_misses <- load_misses;
+    br.Seghw.Bound_regs.stores <- stores;
+    br.Seghw.Bound_regs.dir_allocs <- dir_allocs;
+    br.Seghw.Bound_regs.evictions <- evictions;
+    let caps =
+      r_list r "capability table" (fun r ->
+          let lo = r_int r "capability table" in
+          let up = r_int r "capability table" in
+          (lo, up))
+    in
+    Seghw.Captab.import ct caps;
+    ct.Seghw.Captab.checks <- r_int r "capability table";
+    ct.Seghw.Captab.tag_clears <- r_int r "capability table"
+  end;
   expect_tag r tag_libc "libc";
   let lstate =
     let p_brk = r_int r "libc" in

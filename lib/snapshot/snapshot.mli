@@ -6,8 +6,10 @@
     descriptor caches}, the GDT and the per-process LDT, the page
     tables and frame allocator, the TLB (entries plus its [gen]
     counter), sparse page-granular physical memory, the kernel's clock
-    and statistics, the libc allocator/output state, and — for Cash
-    programs — the runtime's segment pool and reuse cache.
+    and statistics, the libc allocator/output state, the protection
+    hardware of the MPX and capability backends (bounds registers, the
+    two-level bound table, the capability table — version 2), and —
+    for Cash programs — the runtime's segment pool and reuse cache.
 
     Encoding is byte-stable: saving the same machine state twice
     yields identical bytes (hashtable-backed structures are serialized
@@ -33,7 +35,9 @@ exception Error of error
 
 val error_to_string : error -> string
 
-(** Format version written by {!save}. *)
+(** Format version written by {!save}. {!restore} additionally accepts
+    version-1 images (which predate the MPX/capability protection
+    section); their protection state restores zero-initialized. *)
 val version : int
 
 (** Digest of the program identity embedded in every snapshot (code,
@@ -42,8 +46,14 @@ val program_digest : Machine.Program.t -> string
 
 (** Serialize the complete state of [process] (plus its Cash runtime,
     when given). The process must not be mid-instruction: call between
-    {!Machine.Cpu.step}s or after {!Machine.Cpu.run} returns. *)
-val save : ?runtime:Cashrt.Runtime.t -> Osim.Process.t -> Buffer.t
+    {!Machine.Cpu.step}s or after {!Machine.Cpu.run} returns.
+    [format_version] defaults to the current {!version}; pass [1] to
+    write a legacy image without the protection-hardware section — it
+    exists only for the back-compatibility oracle in the test suite.
+    @raise Invalid_argument on an unwritable format version. *)
+val save :
+  ?format_version:int -> ?runtime:Cashrt.Runtime.t -> Osim.Process.t ->
+  Buffer.t
 
 (** Rebuild a process (fresh kernel, LDT, MMU, physical memory, CPU,
     libc — and the Cash runtime iff the image carries its section)
@@ -75,7 +85,8 @@ val restore :
     fresh runtime is attached. Returns the runtime now wired to the
     machine ([None] for images without a runtime section).
 
-    The image format is unchanged (version 1): anything {!restore}
+    The accepted image formats match {!restore} exactly (current
+    version plus version-1 back-compatibility): anything {!restore}
     loads, [restore_into] loads, and vice versa.
 
     @raise Error as {!restore}; additionally [Program_mismatch] when

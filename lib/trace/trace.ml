@@ -40,6 +40,8 @@ type event =
   | Ldt_update of { path : ldt_path; index : int; cleared : bool }
   | Call_gate_entry of { selector : int }
   | Context_switch of { pid : int }
+  | Btable_load of { key : int; hit : bool }
+  | Cap_tag_clear of { value : int; lower : int; upper : int }
 
 type kind =
   | K_segreg_load
@@ -58,6 +60,9 @@ type kind =
   | K_cash_modify_ldt
   | K_call_gate_entry
   | K_context_switch
+  | K_btable_hit
+  | K_btable_miss
+  | K_cap_tag_clear
 
 let kind_index = function
   | K_segreg_load -> 0
@@ -76,15 +81,19 @@ let kind_index = function
   | K_cash_modify_ldt -> 13
   | K_call_gate_entry -> 14
   | K_context_switch -> 15
+  | K_btable_hit -> 16
+  | K_btable_miss -> 17
+  | K_cap_tag_clear -> 18
 
-let num_kinds = 16
+let num_kinds = 19
 
 let all_kinds =
   [
     K_segreg_load; K_limit_check_pass; K_limit_check_fail; K_fault_gp;
     K_fault_ss; K_fault_pf; K_fault_np; K_fault_ud; K_fault_br; K_tlb_hit;
     K_tlb_miss; K_tlb_evict; K_modify_ldt; K_cash_modify_ldt;
-    K_call_gate_entry; K_context_switch;
+    K_call_gate_entry; K_context_switch; K_btable_hit; K_btable_miss;
+    K_cap_tag_clear;
   ]
 
 let kind_name = function
@@ -104,6 +113,9 @@ let kind_name = function
   | K_cash_modify_ldt -> "ldt.cash_modify_ldt"
   | K_call_gate_entry -> "ldt.call_gate_entry"
   | K_context_switch -> "sched.context_switch"
+  | K_btable_hit -> "btable.hit"
+  | K_btable_miss -> "btable.miss"
+  | K_cap_tag_clear -> "cap.tag_clear"
 
 let kind_of_event = function
   | Segreg_load _ -> K_segreg_load
@@ -122,6 +134,8 @@ let kind_of_event = function
   | Ldt_update { path = Call_gate; _ } -> K_cash_modify_ldt
   | Call_gate_entry _ -> K_call_gate_entry
   | Context_switch _ -> K_context_switch
+  | Btable_load { hit; _ } -> if hit then K_btable_hit else K_btable_miss
+  | Cap_tag_clear _ -> K_cap_tag_clear
 
 (* --- histograms --------------------------------------------------------- *)
 
@@ -708,6 +722,10 @@ let pp_event ppf = function
   | Call_gate_entry { selector } ->
     Fmt.pf ppf "call_gate_entry 0x%04x" selector
   | Context_switch { pid } -> Fmt.pf ppf "context_switch pid=%d" pid
+  | Btable_load { key; hit } ->
+    Fmt.pf ppf "btable_load key=0x%x %s" key (if hit then "hit" else "MISS")
+  | Cap_tag_clear { value; lower; upper } ->
+    Fmt.pf ppf "cap_tag_clear value=0x%x bounds=[0x%x,0x%x]" value lower upper
 
 let json_of_event ev : Json.t =
   match ev with
@@ -749,6 +767,14 @@ let json_of_event ev : Json.t =
       [ ("event", Json.Str "call_gate_entry"); ("selector", Json.Int selector) ]
   | Context_switch { pid } ->
     Json.Obj [ ("event", Json.Str "context_switch"); ("pid", Json.Int pid) ]
+  | Btable_load { key; hit } ->
+    Json.Obj
+      [ ("event", Json.Str "btable_load"); ("key", Json.Int key);
+        ("hit", Json.Bool hit) ]
+  | Cap_tag_clear { value; lower; upper } ->
+    Json.Obj
+      [ ("event", Json.Str "cap_tag_clear"); ("value", Json.Int value);
+        ("lower", Json.Int lower); ("upper", Json.Int upper) ]
 
 let to_json t : Json.t =
   Json.Obj

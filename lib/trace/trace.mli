@@ -46,6 +46,12 @@ type event =
   | Ldt_update of { path : ldt_path; index : int; cleared : bool }
   | Call_gate_entry of { selector : int }
   | Context_switch of { pid : int }
+  | Btable_load of { key : int; hit : bool }
+      (** one BNDLDX bound-table walk (MPX backend); a miss loads the
+          unbounded range and never faults *)
+  | Cap_tag_clear of { value : int; lower : int; upper : int }
+      (** a CAPCLR actually clearing the tag: pointer arithmetic
+          escaped the capability's bounds (capability backend) *)
 
 (** Event classes, the counter index space. Every emitted event bumps
     exactly one kind counter, except that a [Tlb_miss] with
@@ -67,6 +73,9 @@ type kind =
   | K_cash_modify_ldt
   | K_call_gate_entry
   | K_context_switch
+  | K_btable_hit
+  | K_btable_miss
+  | K_cap_tag_clear
 
 val kind_of_event : event -> kind
 val kind_name : kind -> string

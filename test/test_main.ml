@@ -20,6 +20,7 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("parallel", Test_parallel.suite);
       ("serve", Test_serve.suite);
+      ("protection", Test_protection.suite);
       ("harness", Test_harness.suite);
       ("integration", Test_integration.suite);
     ]

@@ -342,6 +342,78 @@ let test_run_to_marker () =
         resumed.Core.output)
     [ Core.gcc; Core.bcc; Core.cash ]
 
+(* Version-2 images carry the protection hardware of the MPX and
+   capability backends: the warmed machine has live bounds registers,
+   bound-table entries, and interned capabilities, and all of it must
+   round-trip — digest-identical restore, and a resumed run
+   indistinguishable from an uninterrupted one. *)
+let test_protection_state_round_trips () =
+  List.iter
+    (fun backend ->
+      let compiled = Core.compile backend (Workloads.Micro.matmul ~n:6 ()) in
+      let name = Core.backend_name backend in
+      let baseline = Core.run compiled in
+      let state = warm_state compiled 2000 in
+      let d1 = Core.state_digest state in
+      let bytes = Buffer.to_bytes (Core.save state) in
+      let restored = Core.restore compiled bytes in
+      Alcotest.(check string)
+        (name ^ ": restore digest-identical")
+        d1 (Core.state_digest restored);
+      let resumed = Core.finish restored in
+      Alcotest.(check bool)
+        (name ^ ": resumed status") true
+        (baseline.Core.status = resumed.Core.status);
+      Alcotest.(check int)
+        (name ^ ": resumed cycles")
+        baseline.Core.cycles resumed.Core.cycles;
+      Alcotest.(check int)
+        (name ^ ": resumed insns")
+        baseline.Core.insns resumed.Core.insns;
+      Alcotest.(check string)
+        (name ^ ": resumed output")
+        baseline.Core.output resumed.Core.output)
+    [ Core.mpx; Core.cap ]
+
+(* Back-compatibility: a version-1 image (no protection section) still
+   restores under the version-2 reader, with the protection hardware
+   zero-initialized. For a machine whose backend never touches that
+   hardware, zero-initialized IS its true state — so re-saving the
+   v1-restored machine must reproduce the fresh v2 image exactly. *)
+let test_v1_image_restores_under_v2 () =
+  let compiled = matmul () in
+  let state = warm_state compiled 2000 in
+  let process = Core.state_process state in
+  let v1 = Buffer.to_bytes (Snapshot.save ~format_version:1 process) in
+  let v2 = Buffer.to_bytes (Snapshot.save process) in
+  Alcotest.(check bool) "v1 and v2 encodings differ" false
+    (Bytes.equal v1 v2);
+  let restored = Core.restore compiled v1 in
+  Alcotest.(check string) "v1 restore re-saves as the fresh v2 image"
+    (Snapshot.digest v2)
+    (Core.state_digest restored);
+  (* And the restored machine is live: it finishes like the original. *)
+  let baseline = Core.run compiled in
+  let resumed = Core.finish restored in
+  Alcotest.(check int) "v1-restored run cycles" baseline.Core.cycles
+    resumed.Core.cycles;
+  Alcotest.(check string) "v1-restored run output" baseline.Core.output
+    resumed.Core.output
+
+(* A v1 image of an MPX machine loses the bound-table state by
+   construction; restoring must still succeed (registers come back
+   unbounded, so checks stay permissive) and run to completion. *)
+let test_v1_image_of_mpx_machine_restores () =
+  let compiled = Core.compile Core.mpx (Workloads.Micro.matmul ~n:6 ()) in
+  let state = warm_state compiled 2000 in
+  let v1 =
+    Buffer.to_bytes
+      (Snapshot.save ~format_version:1 (Core.state_process state))
+  in
+  let resumed = Core.finish (Core.restore compiled v1) in
+  Alcotest.(check bool) "mpx machine restored from v1 finishes" true
+    (resumed.Core.status = Core.Finished)
+
 let suite =
   [
     Alcotest.test_case "save is byte-stable" `Quick test_save_is_byte_stable;
@@ -364,4 +436,10 @@ let suite =
     Alcotest.test_case "mismatched program rejected" `Quick
       test_wrong_program_rejected;
     Alcotest.test_case "run_to_marker warm start" `Quick test_run_to_marker;
+    Alcotest.test_case "protection hardware state round-trips (v2)" `Quick
+      test_protection_state_round_trips;
+    Alcotest.test_case "v1 image restores under the v2 reader" `Quick
+      test_v1_image_restores_under_v2;
+    Alcotest.test_case "v1 image of an MPX machine restores permissive"
+      `Quick test_v1_image_of_mpx_machine_restores;
   ]
